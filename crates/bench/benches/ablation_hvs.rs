@@ -1,0 +1,78 @@
+//! Ablation — HVS effectiveness on an exploration trace.
+//!
+//! Replays a realistic query trace (repeated heavy property expansions
+//! mixed with light point queries) against endpoints with the HVS on and
+//! off, and benches the raw HVS hit path against the decomposer recompute
+//! it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elinda_bench::{bench_store, fig4_queries};
+use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+use elinda_endpoint::{ElindaEndpoint, EndpointConfig, QueryEngine};
+use elinda_rdf::vocab;
+use std::time::Duration;
+
+fn trace_queries() -> Vec<String> {
+    let (outgoing, incoming) = fig4_queries();
+    let philosopher = format!("{}Philosopher", vocab::dbo::NS);
+    let politician = format!("{}Politician", vocab::dbo::NS);
+    let mut trace = Vec::new();
+    // A session revisits the same heavy charts many times.
+    for _ in 0..5 {
+        trace.push(outgoing.clone());
+        trace.push(incoming.clone());
+        trace.push(property_expansion_sparql(&philosopher, ExpansionDirection::Outgoing));
+        trace.push(property_expansion_sparql(&politician, ExpansionDirection::Incoming));
+        trace.push("SELECT ?s WHERE { ?s a owl:Thing } LIMIT 10".to_string());
+    }
+    trace
+}
+
+fn hvs_ablation(c: &mut Criterion) {
+    let data = bench_store(0.1);
+    let store = &data.store;
+    let trace = trace_queries();
+
+    let mut group = c.benchmark_group("hvs_trace");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("hvs_on", {
+            let mut cfg = EndpointConfig::full();
+            cfg.hvs.heavy_threshold = Duration::ZERO;
+            cfg
+        }),
+        ("hvs_off", EndpointConfig::decomposer_only()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("replay", name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let ep = ElindaEndpoint::new(store, cfg.clone());
+                let mut rows = 0usize;
+                for q in &trace {
+                    rows += ep.execute(q).unwrap().solutions.len();
+                }
+                rows
+            })
+        });
+    }
+    group.finish();
+
+    // The single-query comparison: hit vs recompute.
+    let (outgoing, _) = fig4_queries();
+    let mut cfg = EndpointConfig::full();
+    cfg.hvs.heavy_threshold = Duration::ZERO;
+    let warm = ElindaEndpoint::new(store, cfg);
+    warm.execute(&outgoing).unwrap();
+    let recompute = ElindaEndpoint::new(store, EndpointConfig::decomposer_only());
+
+    let mut group = c.benchmark_group("hvs_single");
+    group.bench_function("hit", |b| {
+        b.iter(|| warm.execute(&outgoing).unwrap().solutions.len())
+    });
+    group.bench_function("recompute", |b| {
+        b.iter(|| recompute.execute(&outgoing).unwrap().solutions.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hvs_ablation);
+criterion_main!(benches);

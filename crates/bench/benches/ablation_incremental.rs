@@ -1,0 +1,64 @@
+//! Ablation — incremental evaluation: chunk size `N` versus
+//! time-to-first-chart and total completion time.
+//!
+//! The paper leaves `N` and `k` to "an administrator's configuration";
+//! this bench maps the trade-off: small `N` gives a fast first chart but
+//! more windows; the total work is constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elinda_bench::bench_store;
+use elinda_endpoint::incremental::{
+    ChartDirection, IncrementalConfig, IncrementalPropertyChart,
+};
+use elinda_store::ClassHierarchy;
+
+fn incremental(c: &mut Criterion) {
+    let data = bench_store(0.15);
+    let store = &data.store;
+    let hierarchy = ClassHierarchy::build(store);
+    let thing = hierarchy.owl_thing().expect("owl:Thing");
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    for &chunk in &[1_000usize, 10_000, 50_000, usize::MAX] {
+        let label = if chunk == usize::MAX { "all".to_string() } else { chunk.to_string() };
+        // Time to the first rendered chart (one window).
+        group.bench_with_input(
+            BenchmarkId::new("first_chart", &label),
+            &chunk,
+            |b, &n| {
+                b.iter(|| {
+                    let mut inc = IncrementalPropertyChart::for_class(
+                        store,
+                        &hierarchy,
+                        thing,
+                        ChartDirection::Outgoing,
+                        IncrementalConfig { chunk_size: n, max_steps: Some(1) },
+                    );
+                    inc.run().rows.len()
+                })
+            },
+        );
+        // Time to the complete chart.
+        group.bench_with_input(
+            BenchmarkId::new("full_chart", &label),
+            &chunk,
+            |b, &n| {
+                b.iter(|| {
+                    let mut inc = IncrementalPropertyChart::for_class(
+                        store,
+                        &hierarchy,
+                        thing,
+                        ChartDirection::Outgoing,
+                        IncrementalConfig { chunk_size: n, max_steps: None },
+                    );
+                    inc.run().rows.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, incremental);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation — cost of each expansion versus dataset scale.
+//!
+//! Every exploration step is one of these expansions; this bench shows
+//! how each scales with `|S|`, justifying which ones need the serving
+//! architecture (the property expansions) and which are cheap enough
+//! as-is (subclass, object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elinda_bench::bench_store;
+use elinda_core::{expansion, Direction, Explorer};
+use elinda_rdf::vocab;
+
+fn expansions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion_scaling");
+    group.sample_size(10);
+    for &scale in &[0.05f64, 0.1, 0.2] {
+        let data = bench_store(scale);
+        let store = data.store;
+        let explorer = Explorer::new(&store);
+        let person = store
+            .lookup_iri(&format!("{}Person", vocab::dbo::NS))
+            .expect("Person");
+        let pane = explorer.pane_for_class(person);
+        let bar = pane.as_bar();
+        let label = format!("{}", pane.set.len());
+
+        group.bench_with_input(BenchmarkId::new("subclass", &label), &bar, |b, bar| {
+            b.iter(|| {
+                expansion::subclass_expansion(&store, explorer.hierarchy(), bar)
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("property_out", &label),
+            &bar,
+            |b, bar| {
+                b.iter(|| {
+                    expansion::property_expansion(&store, bar, Direction::Outgoing)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("property_in", &label),
+            &bar,
+            |b, bar| {
+                b.iter(|| {
+                    expansion::property_expansion(&store, bar, Direction::Incoming)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+        // Object expansion over the birthPlace bar.
+        let birth_place = store
+            .lookup_iri(&format!("{}birthPlace", vocab::dbo::NS))
+            .expect("birthPlace");
+        let prop_chart =
+            expansion::property_expansion(&store, &bar, Direction::Outgoing).unwrap();
+        let bp_bar = prop_chart.bar(birth_place).expect("birthPlace bar").clone();
+        group.bench_with_input(BenchmarkId::new("objects", &label), &bp_bar, |b, bar| {
+            b.iter(|| {
+                expansion::object_expansion(
+                    &store,
+                    explorer.hierarchy(),
+                    bar,
+                    Direction::Outgoing,
+                )
+                .unwrap()
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, expansions);
+criterion_main!(benches);

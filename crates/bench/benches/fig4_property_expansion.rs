@@ -1,0 +1,50 @@
+//! Fig. 4 — running times of level-zero property expansions over
+//! different store configurations.
+//!
+//! The paper's bars (on ~400M-triple DBpedia): Virtuoso SPARQL 454 s
+//! (outgoing) / 124 s (incoming); eLinda decomposer 1.5 s / 1.2 s; eLinda
+//! HVS ≈ 80 ms. This bench reproduces the *shape* at laptop scale: naive
+//! ≫ decomposer ≫ HVS, with the outgoing naive run slower than the
+//! incoming one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elinda_bench::{bench_store, fig4_queries};
+use elinda_endpoint::{ElindaEndpoint, EndpointConfig, QueryEngine};
+use std::time::Duration;
+
+fn fig4(c: &mut Criterion) {
+    let data = bench_store(0.15);
+    let store = &data.store;
+    let (outgoing, incoming) = fig4_queries();
+
+    let baseline = ElindaEndpoint::new(store, EndpointConfig::baseline());
+    let decomposer = ElindaEndpoint::new(store, EndpointConfig::decomposer_only());
+    let mut hvs_cfg = EndpointConfig::full();
+    hvs_cfg.hvs.heavy_threshold = Duration::ZERO;
+    let hvs = ElindaEndpoint::new(store, hvs_cfg);
+    // Warm the HVS so its measurements are hits.
+    hvs.execute(&outgoing).unwrap();
+    hvs.execute(&incoming).unwrap();
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for (dir, query) in [("outgoing", &outgoing), ("incoming", &incoming)] {
+        group.bench_with_input(
+            BenchmarkId::new("virtuoso_sparql", dir),
+            query,
+            |b, q| b.iter(|| baseline.execute(q).unwrap().solutions.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("elinda_decomposer", dir),
+            query,
+            |b, q| b.iter(|| decomposer.execute(q).unwrap().solutions.len()),
+        );
+        group.bench_with_input(BenchmarkId::new("elinda_hvs", dir), query, |b, q| {
+            b.iter(|| hvs.execute(q).unwrap().solutions.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

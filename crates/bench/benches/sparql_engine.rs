@@ -1,0 +1,50 @@
+//! Microbenches of the SPARQL engine substrate: parsing, BGP joins, and
+//! the naive aggregation path the decomposer replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elinda_bench::{bench_store, fig4_queries};
+use elinda_sparql::{parse_query, Executor};
+
+fn engine(c: &mut Criterion) {
+    let data = bench_store(0.05);
+    let store = &data.store;
+    let executor = Executor::new(store);
+    let (outgoing, _) = fig4_queries();
+
+    let mut group = c.benchmark_group("sparql");
+    group.sample_size(20);
+    group.bench_function("parse_paper_query", |b| {
+        b.iter(|| parse_query(&outgoing).unwrap())
+    });
+    group.bench_function("bgp_two_pattern_join", |b| {
+        b.iter(|| {
+            executor
+                .run("SELECT ?s ?o WHERE { ?s a owl:Thing . ?s <http://dbpedia.org/ontology/birthPlace> ?o }")
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("group_by_count", |b| {
+        b.iter(|| {
+            executor
+                .run("SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c")
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("filter_scan", |b| {
+        b.iter(|| {
+            executor
+                .run(r#"SELECT ?s WHERE { ?s a owl:Thing FILTER(CONTAINS(STR(?s), "Philosopher_1")) }"#)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("naive_nested_aggregation", |b| {
+        b.iter(|| executor.run(&outgoing).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine);
+criterion_main!(benches);

@@ -1,0 +1,380 @@
+//! `repro` — regenerate every table and figure of the eLinda paper.
+//!
+//! ```sh
+//! cargo run --release -p elinda-bench --bin repro            # all experiments
+//! cargo run --release -p elinda-bench --bin repro -- f4     # one experiment
+//! cargo run --release -p elinda-bench --bin repro -- --scale 0.3
+//! ```
+//!
+//! The output is the paper-vs-measured record kept in EXPERIMENTS.md.
+
+use elinda_bench::fig4_queries;
+use elinda_core::{Direction, ExpansionKind, Exploration, Explorer};
+use elinda_datagen::{generate_dbpedia, DbpediaConfig};
+use elinda_endpoint::incremental::{
+    ChartDirection, IncrementalConfig, IncrementalPropertyChart,
+};
+use elinda_endpoint::{ElindaEndpoint, EndpointConfig, QueryEngine, RemoteConfig, RemoteEndpoint, ServedBy};
+use elinda_rdf::{vocab, TermId};
+use elinda_store::TripleStore;
+use elinda_viz::{render_chart, ChartStyle};
+use std::time::{Duration, Instant};
+
+struct Args {
+    experiments: Vec<String>,
+    scale: f64,
+}
+
+fn parse_args() -> Args {
+    let mut experiments = Vec::new();
+    let mut scale = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale takes a number");
+            }
+            "--experiment" => {
+                if let Some(e) = args.next() {
+                    experiments.push(e.to_lowercase());
+                }
+            }
+            other if !other.starts_with('-') => experiments.push(other.to_lowercase()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    Args { experiments, scale }
+}
+
+fn dbo(store: &TripleStore, local: &str) -> TermId {
+    store
+        .lookup_iri(&format!("{}{local}", vocab::dbo::NS))
+        .unwrap_or_else(|| panic!("missing {local}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |id: &str| args.experiments.is_empty() || args.experiments.iter().any(|e| e == id);
+
+    println!("# eLinda reproduction harness");
+    let cfg = DbpediaConfig::paper_shape().scaled(args.scale);
+    let build_start = Instant::now();
+    let store = generate_dbpedia(&cfg);
+    println!(
+        "dataset: paper_shape × {:.2} → {} triples (generated in {:?})\n",
+        args.scale,
+        store.len(),
+        build_start.elapsed()
+    );
+    let explorer = Explorer::new(&store);
+
+    if run("f1") {
+        f1(&store, &explorer);
+    }
+    if run("f2") {
+        f2(&store, &explorer);
+    }
+    if run("f4") {
+        f4(&store);
+    }
+    if run("t1") {
+        t1(&store, &explorer);
+    }
+    if run("t2") {
+        t2(&store, &explorer, &cfg);
+    }
+    if run("t3") {
+        t3(&store, &explorer, &cfg);
+    }
+    if run("t4") {
+        t4(&store);
+    }
+    if run("t5") {
+        t5(&store);
+    }
+    if run("s1") {
+        s1(&store, &explorer);
+    }
+    if run("s2") {
+        s2(&store, &explorer, &cfg);
+    }
+    if run("s3") {
+        s3(&store, &explorer);
+    }
+}
+
+fn header(id: &str, what: &str) {
+    println!("## {id} — {what}");
+}
+
+fn f1(store: &TripleStore, explorer: &Explorer<'_>) {
+    header("F1", "Fig. 1: initial chart over DBpedia");
+    let pane = explorer.initial_pane().expect("owl:Thing instantiated");
+    let chart = pane.subclass_chart(explorer);
+    print!(
+        "{}",
+        render_chart(&chart, explorer, &ChartStyle { max_bars: 8, ..Default::default() })
+    );
+    let agent = dbo(store, "Agent");
+    let h = explorer.hierarchy();
+    println!(
+        "hover(Agent): {} instances | paper: >2M instances (full DBpedia)",
+        chart.bar(agent).map_or(0, |b| b.height())
+    );
+    println!(
+        "hover(Agent): {} direct / {} total subclasses | paper: 5 / 277\n",
+        h.direct_subclass_count(agent),
+        h.total_subclass_count(agent)
+    );
+}
+
+fn f2(store: &TripleStore, explorer: &Explorer<'_>) {
+    header("F2", "Fig. 2: Thing → Agent → Person → Philosopher → influencedBy");
+    let pane = explorer.initial_pane().unwrap();
+    let mut expl = Exploration::start(pane.subclass_chart(explorer));
+    for class in ["Agent", "Person"] {
+        expl.apply(explorer, dbo(store, class), ExpansionKind::Subclass)
+            .expect("subclass step");
+    }
+    expl.apply(
+        explorer,
+        dbo(store, "Philosopher"),
+        ExpansionKind::Property(Direction::Outgoing),
+    )
+    .expect("property step");
+    expl.apply(
+        explorer,
+        dbo(store, "influencedBy"),
+        ExpansionKind::Objects(Direction::Outgoing),
+    )
+    .expect("object step");
+    let chart = expl.current();
+    let classes: Vec<String> = chart
+        .bars()
+        .iter()
+        .map(|b| format!("{}({})", explorer.display(b.label), b.height()))
+        .collect();
+    println!("influencer classes: {}", classes.join(", "));
+    let scientist = dbo(store, "Scientist");
+    println!(
+        "Scientist bar present: {} | paper: \"One of the bars shown is Scientist\"\n",
+        chart.bar(scientist).is_some()
+    );
+}
+
+fn f4(store: &TripleStore) {
+    header("F4", "Fig. 4: level-zero property expansions by store configuration");
+    let (outgoing, incoming) = fig4_queries();
+    let baseline = ElindaEndpoint::new(store, EndpointConfig::baseline());
+    let decomposer = ElindaEndpoint::new(store, EndpointConfig::decomposer_only());
+    let mut hvs_cfg = EndpointConfig::full();
+    hvs_cfg.hvs.heavy_threshold = Duration::ZERO;
+    let hvs = ElindaEndpoint::new(store, hvs_cfg);
+    hvs.execute(&outgoing).unwrap();
+    hvs.execute(&incoming).unwrap();
+
+    let median = |ep: &ElindaEndpoint<'_>, q: &str, expect: ServedBy| -> Duration {
+        let mut times: Vec<Duration> = (0..5)
+            .map(|_| {
+                let out = ep.execute(q).unwrap();
+                assert_eq!(out.served_by, expect);
+                out.elapsed
+            })
+            .collect();
+        times.sort();
+        times[times.len() / 2]
+    };
+
+    let rows = [
+        ("virtuoso_sparql", &baseline, ServedBy::Direct, "454 s", "124 s"),
+        ("elinda_decomposer", &decomposer, ServedBy::Decomposer, "1.5 s", "1.2 s"),
+        ("elinda_hvs", &hvs, ServedBy::Hvs, "~0.08 s", "~0.08 s"),
+    ];
+    println!(
+        "{:<20} {:>14} {:>14}   paper(out/in)",
+        "configuration", "outgoing", "incoming"
+    );
+    let mut measured: Vec<(f64, f64)> = Vec::new();
+    for (name, ep, expect, p_out, p_in) in rows {
+        let o = median(ep, &outgoing, expect);
+        let i = median(ep, &incoming, expect);
+        measured.push((o.as_secs_f64(), i.as_secs_f64()));
+        println!(
+            "{name:<20} {:>14} {:>14}   {p_out} / {p_in}",
+            format!("{o:?}"),
+            format!("{i:?}")
+        );
+    }
+    let naive = measured[0];
+    let dec = measured[1];
+    let hit = measured[2];
+    println!(
+        "speedups: naive/decomposer = {:.0}× / {:.0}× (paper ≈303× / ≈103×)",
+        naive.0 / dec.0,
+        naive.1 / dec.1
+    );
+    println!(
+        "          decomposer/hvs   = {:.0}× / {:.0}× (paper ≈19× / ≈15×)",
+        dec.0 / hit.0.max(1e-9),
+        dec.1 / hit.1.max(1e-9)
+    );
+    println!(
+        "shape checks: naive>decomposer: {} | decomposer>hvs: {} | naive out>in: {}\n",
+        naive.0 > dec.0 && naive.1 > dec.1,
+        dec.0 > hit.0 && dec.1 > hit.1,
+        naive.0 > naive.1
+    );
+}
+
+fn t1(store: &TripleStore, explorer: &Explorer<'_>) {
+    header("T1", "49 top-level classes, 22 without instances");
+    let h = explorer.hierarchy();
+    let thing = h.owl_thing().unwrap();
+    let tops = h.direct_subclasses(thing);
+    let empty = tops
+        .iter()
+        .filter(|&&c| {
+            h.instance_count(store, c) == 0
+                && h.all_subclasses(c).iter().all(|&s| h.instance_count(store, s) == 0)
+        })
+        .count();
+    println!("measured: {} top-level, {} empty | paper: 49, 22\n", tops.len(), empty);
+}
+
+fn t2(store: &TripleStore, explorer: &Explorer<'_>, cfg: &DbpediaConfig) {
+    header("T2", "Politician property pool and 20% coverage threshold");
+    let pane = explorer.pane_for_class(dbo(store, "Politician"));
+    let chart = pane.property_chart(explorer, Direction::Outgoing);
+    println!(
+        "measured: {} instances, {} distinct properties, {} above 20% | paper: ~40000, 1482, 38 (pool scaled: {}, {})\n",
+        pane.stats.instance_count,
+        chart.len(),
+        chart.above_coverage(0.20).len(),
+        cfg.politician_total_properties,
+        cfg.politician_props_above_threshold,
+    );
+}
+
+fn t3(store: &TripleStore, explorer: &Explorer<'_>, cfg: &DbpediaConfig) {
+    header("T3", "Philosopher: ingoing properties above 20% coverage");
+    let pane = explorer.pane_for_class(dbo(store, "Philosopher"));
+    let chart = pane.property_chart(explorer, Direction::Incoming);
+    let above = chart.above_coverage(0.20);
+    let names: Vec<&str> = above.iter().map(|b| explorer.display(b.label)).collect();
+    println!(
+        "measured: {} above threshold ({}) | paper: 9, including author (cfg: {})\n",
+        above.len(),
+        names.join(", "),
+        cfg.philosopher_ingoing_above_threshold,
+    );
+}
+
+fn t4(store: &TripleStore) {
+    header("T4", "HVS: heavy-query caching and clear-on-update");
+    let (outgoing, _) = fig4_queries();
+    let mut cfg = EndpointConfig::full();
+    cfg.hvs.heavy_threshold = Duration::ZERO;
+    let ep = ElindaEndpoint::new(store, cfg);
+    ep.execute(&outgoing).unwrap();
+    for _ in 0..4 {
+        ep.execute(&outgoing).unwrap();
+    }
+    let stats = ep.hvs_stats();
+    println!(
+        "trace of 5 repeats: hits={} misses={} insertions={} (paper: threshold 1 s, cleared on any update — see tests/hvs_invalidation.rs)\n",
+        stats.hits, stats.misses, stats.insertions
+    );
+}
+
+fn t5(store: &TripleStore) {
+    header("T5", "verbatim Section 4 query: parse + naive ≡ decomposed");
+    let text = "SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+        FROM {SELECT ?s ?p count(*) AS ?sp
+        FROM {?s a owl:Thing. ?s ?p ?o.}
+        GROUP BY ?s ?p} GROUP BY ?p";
+    let parsed = elinda_sparql::parse_query(text).expect("parses");
+    let rec = elinda_endpoint::recognize_property_expansion(&parsed).expect("recognized");
+    let h = elinda_store::ClassHierarchy::build(store);
+    let decomposed = elinda_endpoint::decomposer::execute_decomposed(store, &h, &rec);
+    let naive = elinda_sparql::Executor::new(store).execute(&parsed).unwrap();
+    println!(
+        "parsed: yes | recognized: yes | rows naive={} decomposed={} equal-count={}\n",
+        naive.len(),
+        decomposed.len(),
+        naive.len() == decomposed.len()
+    );
+}
+
+fn s1(store: &TripleStore, explorer: &Explorer<'_>) {
+    header("S1", "twenty most significant properties of the largest class");
+    let pane = explorer.initial_pane().unwrap();
+    let chart = pane.subclass_chart(explorer);
+    let largest = chart.bars()[0].label;
+    let class_pane = explorer.pane_for_class(largest);
+    let props = class_pane.property_chart(explorer, Direction::Outgoing);
+    let top: Vec<String> = props
+        .window(0, 20)
+        .iter()
+        .map(|b| format!("{}({:.0}%)", explorer.display(b.label), props.coverage(b) * 100.0))
+        .collect();
+    println!("largest class: {}", explorer.display(largest));
+    println!("top-20 properties: {}\n", top.join(", "));
+    let _ = store;
+}
+
+fn s2(store: &TripleStore, explorer: &Explorer<'_>, cfg: &DbpediaConfig) {
+    header("S2", "erroneous data: people born in resources of type Food");
+    let pane = explorer.pane_for_class(dbo(store, "Person"));
+    let conn = pane
+        .connections_chart(explorer, dbo(store, "birthPlace"), Direction::Outgoing)
+        .unwrap();
+    let food_bar = conn.bar(dbo(store, "Food"));
+    println!(
+        "Food bar in the birthPlace connections chart: {} resources (planted: {})\n",
+        food_bar.map_or(0, |b| b.height()),
+        cfg.erroneous_birthplaces
+    );
+}
+
+fn s3(store: &TripleStore, explorer: &Explorer<'_>) {
+    header("S3", "remote compatibility mode + incremental evaluation");
+    let remote = RemoteEndpoint::new(store, RemoteConfig::default());
+    let start = Instant::now();
+    let (_, elapsed) = remote
+        .execute_wire("SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c LIMIT 5")
+        .unwrap();
+    let _ = start;
+    println!("remote chart query over HTTP/JSON: {elapsed:?} (includes simulated RTT)");
+
+    let h = explorer.hierarchy();
+    let thing = h.owl_thing().unwrap();
+    let chunk = 20_000;
+    let t0 = Instant::now();
+    let mut inc = IncrementalPropertyChart::for_class(
+        store,
+        h,
+        thing,
+        ChartDirection::Outgoing,
+        IncrementalConfig { chunk_size: chunk, max_steps: Some(1) },
+    );
+    let first = inc.run();
+    let first_time = t0.elapsed();
+    let t1 = Instant::now();
+    let mut full = IncrementalPropertyChart::for_class(
+        store,
+        h,
+        thing,
+        ChartDirection::Outgoing,
+        IncrementalConfig { chunk_size: chunk, max_steps: None },
+    );
+    let complete = full.run();
+    let full_time = t1.elapsed();
+    println!(
+        "incremental (N={chunk}): first chart {first_time:?} ({} props), full chart {full_time:?} ({} props)\n",
+        first.rows.len(),
+        complete.rows.len()
+    );
+}

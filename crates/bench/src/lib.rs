@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the eLinda benchmark harness.
+//!
+//! The Criterion benches and the `repro` binary both need the same
+//! datasets and query texts; this small library hosts them so the numbers
+//! in EXPERIMENTS.md and the benches are produced by identical code.
+
+pub mod setup;
+
+pub use setup::{bench_store, fig4_queries, BenchData};

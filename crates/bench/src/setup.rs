@@ -1,0 +1,50 @@
+//! Dataset and query setup shared by the benches and the `repro` binary.
+
+use elinda_datagen::{generate_dbpedia, DbpediaConfig};
+use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+use elinda_rdf::vocab;
+use elinda_store::TripleStore;
+
+/// A loaded benchmark dataset.
+pub struct BenchData {
+    /// The store.
+    pub store: TripleStore,
+    /// The configuration it was generated from.
+    pub config: DbpediaConfig,
+}
+
+/// The paper-shape DBpedia-like store at a given instance scale
+/// (1.0 ≈ 60k triples; Fig. 4 benches use larger scales).
+pub fn bench_store(scale: f64) -> BenchData {
+    let config = DbpediaConfig::paper_shape().scaled(scale);
+    let store = generate_dbpedia(&config);
+    BenchData { store, config }
+}
+
+/// The two Fig. 4 queries: the level-zero (class `owl:Thing`) outgoing
+/// and incoming property expansions — "the slowest and most commonly
+/// used queries by eLinda".
+pub fn fig4_queries() -> (String, String) {
+    (
+        property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Outgoing),
+        property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Incoming),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_store_builds_small_scale() {
+        let data = bench_store(0.02);
+        assert!(data.store.len() > 1_000);
+    }
+
+    #[test]
+    fn fig4_queries_parse() {
+        let (out, inc) = fig4_queries();
+        assert!(elinda_sparql::parse_query(&out).is_ok());
+        assert!(elinda_sparql::parse_query(&inc).is_ok());
+    }
+}

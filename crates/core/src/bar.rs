@@ -1,0 +1,62 @@
+//! [`Bar`]: the formal model's `B = ⟨S, λ, t⟩`.
+
+use crate::nodeset::NodeSet;
+use crate::spec::SetSpec;
+use elinda_rdf::TermId;
+
+/// The type `t` of a bar: its node set represents instances of a class or
+/// the subjects/objects featuring a property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarKind {
+    /// The bar's nodes are instances associated with a class (its label).
+    Class,
+    /// The bar's nodes are URIs associated with a property (its label).
+    Property,
+}
+
+/// A bar `⟨S, λ, t⟩` plus the intensional definition of `S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// The node set `S`.
+    pub nodes: NodeSet,
+    /// The label `λ` (a class or property URI).
+    pub label: TermId,
+    /// The bar type `t`.
+    pub kind: BarKind,
+    /// How `S` is defined from the exploration path; enables SPARQL
+    /// generation for this bar.
+    pub spec: SetSpec,
+}
+
+impl Bar {
+    /// Construct a bar.
+    pub fn new(nodes: NodeSet, label: TermId, kind: BarKind, spec: SetSpec) -> Self {
+        Bar { nodes, label, kind, spec }
+    }
+
+    /// The bar height `|S|`.
+    pub fn height(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> TermId {
+        TermId::from_raw(n).unwrap()
+    }
+
+    #[test]
+    fn height_is_set_size() {
+        let bar = Bar::new(
+            [id(1), id(2), id(3)].into_iter().collect(),
+            id(9),
+            BarKind::Class,
+            SetSpec::AllOfType(id(9)),
+        );
+        assert_eq!(bar.height(), 3);
+        assert_eq!(bar.kind, BarKind::Class);
+    }
+}

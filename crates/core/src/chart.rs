@@ -1,0 +1,207 @@
+//! [`BarChart`]: a chart mapping labels to bars, sorted by height.
+//!
+//! "The bars are sorted by decreasing height. … To facilitate the
+//! visualization of a large number of bars, only a subset of the bars is
+//! initially shown. A widget located at the top of the chart allows to
+//! control the visible part of the chart." (paper Section 3.2)
+
+use crate::bar::Bar;
+use elinda_rdf::TermId;
+
+/// What a chart shows, i.e. which expansion produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChartKind {
+    /// Distribution over direct subclasses (subclass expansion).
+    Subclass,
+    /// Distribution over outgoing properties (property expansion).
+    PropertyOutgoing,
+    /// Distribution over incoming properties.
+    PropertyIncoming,
+    /// Distribution of connected objects by class (object expansion).
+    ObjectsOutgoing,
+    /// Distribution of connecting subjects by class (incoming objects).
+    ObjectsIncoming,
+}
+
+/// A bar chart: bars sorted by decreasing height, with a window widget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarChart {
+    bars: Vec<Bar>,
+    /// The size of the set the expanded bar represented (`|S|`); the
+    /// denominator for coverage percentages.
+    total: usize,
+    /// Which expansion produced the chart.
+    kind: ChartKind,
+    /// Nodes that produced no bar (e.g. untyped objects in an object
+    /// expansion).
+    unclassified: usize,
+}
+
+impl BarChart {
+    /// Build a chart from unsorted bars. Bars are sorted by decreasing
+    /// height, ties broken by label id for determinism. Empty bars are
+    /// dropped (a label with zero support shows no bar).
+    pub fn new(mut bars: Vec<Bar>, total: usize, kind: ChartKind) -> Self {
+        bars.retain(|b| b.height() > 0);
+        bars.sort_by(|a, b| b.height().cmp(&a.height()).then(a.label.cmp(&b.label)));
+        BarChart { bars, total, kind, unclassified: 0 }
+    }
+
+    /// Build a chart that also records how many nodes matched no label.
+    pub fn with_unclassified(
+        bars: Vec<Bar>,
+        total: usize,
+        kind: ChartKind,
+        unclassified: usize,
+    ) -> Self {
+        let mut chart = Self::new(bars, total, kind);
+        chart.unclassified = unclassified;
+        chart
+    }
+
+    /// The bars, sorted by decreasing height.
+    pub fn bars(&self) -> &[Bar] {
+        &self.bars
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True if the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// The chart kind.
+    pub fn kind(&self) -> ChartKind {
+        self.kind
+    }
+
+    /// `|S|` of the expanded set (the coverage denominator).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Nodes that matched no label (untyped objects).
+    pub fn unclassified(&self) -> usize {
+        self.unclassified
+    }
+
+    /// The labels in bar order.
+    pub fn labels(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.bars.iter().map(|b| b.label)
+    }
+
+    /// Find a bar by label (the chart's `B[λ]`).
+    pub fn bar(&self, label: TermId) -> Option<&Bar> {
+        self.bars.iter().find(|b| b.label == label)
+    }
+
+    /// Coverage of a bar: `|B[λ]| / |S|` — the bar-height semantics of the
+    /// property charts.
+    pub fn coverage(&self, bar: &Bar) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            bar.height() as f64 / self.total as f64
+        }
+    }
+
+    /// A window of the chart — the visibility widget: bars
+    /// `[offset, offset + len)` in sorted order.
+    pub fn window(&self, offset: usize, len: usize) -> &[Bar] {
+        let start = offset.min(self.bars.len());
+        let end = (offset + len).min(self.bars.len());
+        &self.bars[start..end]
+    }
+
+    /// Bars whose coverage meets `threshold` (the property-chart coverage
+    /// filter, default 20% in the paper).
+    pub fn above_coverage(&self, threshold: f64) -> Vec<&Bar> {
+        self.bars
+            .iter()
+            .filter(|b| self.coverage(b) >= threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bar::BarKind;
+    use crate::nodeset::NodeSet;
+    use crate::spec::SetSpec;
+
+    fn id(n: u32) -> TermId {
+        TermId::from_raw(n).unwrap()
+    }
+
+    fn bar(label: u32, size: u32) -> Bar {
+        let nodes: NodeSet = (100 * label..100 * label + size).map(id).collect();
+        Bar::new(nodes, id(label), BarKind::Class, SetSpec::AllOfType(id(label)))
+    }
+
+    #[test]
+    fn bars_sorted_by_decreasing_height() {
+        let chart = BarChart::new(vec![bar(1, 2), bar(2, 5), bar(3, 3)], 10, ChartKind::Subclass);
+        let heights: Vec<usize> = chart.bars().iter().map(Bar::height).collect();
+        assert_eq!(heights, vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_label() {
+        let chart = BarChart::new(vec![bar(3, 4), bar(1, 4), bar(2, 4)], 10, ChartKind::Subclass);
+        let labels: Vec<TermId> = chart.labels().collect();
+        assert_eq!(labels, vec![id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn empty_bars_are_dropped() {
+        let chart = BarChart::new(vec![bar(1, 0), bar(2, 3)], 10, ChartKind::Subclass);
+        assert_eq!(chart.len(), 1);
+    }
+
+    #[test]
+    fn coverage_and_threshold() {
+        let chart = BarChart::new(
+            vec![bar(1, 8), bar(2, 2), bar(3, 1)],
+            10,
+            ChartKind::PropertyOutgoing,
+        );
+        let b1 = chart.bar(id(1)).unwrap();
+        assert!((chart.coverage(b1) - 0.8).abs() < 1e-12);
+        let visible = chart.above_coverage(0.2);
+        assert_eq!(visible.len(), 2); // 80% and 20% pass, 10% filtered
+    }
+
+    #[test]
+    fn coverage_of_empty_total() {
+        let chart = BarChart::new(vec![bar(1, 2)], 0, ChartKind::Subclass);
+        let b = chart.bar(id(1)).unwrap();
+        assert_eq!(chart.coverage(b), 0.0);
+    }
+
+    #[test]
+    fn window_clamps() {
+        let chart = BarChart::new(vec![bar(1, 3), bar(2, 2), bar(3, 1)], 6, ChartKind::Subclass);
+        assert_eq!(chart.window(0, 2).len(), 2);
+        assert_eq!(chart.window(2, 5).len(), 1);
+        assert_eq!(chart.window(9, 5).len(), 0);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let chart = BarChart::new(vec![bar(1, 3), bar(2, 2)], 5, ChartKind::Subclass);
+        assert!(chart.bar(id(2)).is_some());
+        assert!(chart.bar(id(9)).is_none());
+    }
+
+    #[test]
+    fn unclassified_recorded() {
+        let chart =
+            BarChart::with_unclassified(vec![bar(1, 3)], 5, ChartKind::ObjectsOutgoing, 2);
+        assert_eq!(chart.unclassified(), 2);
+    }
+}

@@ -1,0 +1,591 @@
+//! The three bar expansions of Section 2, plus the filter operation.
+//!
+//! Each expansion `η` maps a bar `B = ⟨S, λ, t⟩` to a chart `η(B)`:
+//!
+//! * **Subclass expansion** (`t = class`): one bar per direct subclass `τ`
+//!   of `λ`, holding the members of `S` of class `τ`;
+//! * **Property expansion** (`t = class`): one bar per property `π`
+//!   featured by members of `S`, holding the members featuring `π`
+//!   (outgoing: as subjects; incoming: as objects);
+//! * **Object expansion** (`t = property`): one bar per class `τ` of the
+//!   nodes connected to `S` via `λ`, holding those connected nodes.
+//!
+//! The filter operation removes URIs violating a condition from every bar.
+
+use crate::bar::{Bar, BarKind};
+use crate::chart::{BarChart, ChartKind};
+use crate::nodeset::NodeSet;
+use crate::spec::SetSpec;
+use elinda_rdf::fx::FxHashMap;
+use elinda_rdf::{TermId, Triple};
+use elinda_store::{ClassHierarchy, TripleStore};
+use std::fmt;
+
+/// Whether the members of `S` play the subject role (outgoing) or the
+/// object role (incoming) — Section 2 defines both versions of the
+/// property and object expansions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Members of `S` are the subjects.
+    Outgoing,
+    /// Members of `S` are the objects.
+    Incoming,
+}
+
+/// Which expansion to apply in an exploration step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExpansionKind {
+    /// Subclass expansion (requires a class bar).
+    Subclass,
+    /// Property expansion (requires a class bar).
+    Property(Direction),
+    /// Object expansion (requires a property bar).
+    Objects(Direction),
+}
+
+impl ExpansionKind {
+    /// The bar type the expansion applies to (rule (b) of an exploration).
+    pub fn applicable_to(self) -> BarKind {
+        match self {
+            ExpansionKind::Subclass | ExpansionKind::Property(_) => BarKind::Class,
+            ExpansionKind::Objects(_) => BarKind::Property,
+        }
+    }
+}
+
+/// A condition on URIs for the filter operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UriFilter {
+    /// Keep URIs featuring the property.
+    HasProperty {
+        /// The property.
+        prop: TermId,
+        /// Role of the URI.
+        direction: Direction,
+    },
+    /// Keep URIs with the exact property value.
+    HasValue {
+        /// The property.
+        prop: TermId,
+        /// The required object value.
+        value: TermId,
+    },
+    /// Keep URIs contained in an explicit set.
+    InSet(NodeSet),
+}
+
+impl UriFilter {
+    /// Does `id` satisfy the condition?
+    pub fn accepts(&self, store: &TripleStore, id: TermId) -> bool {
+        match self {
+            UriFilter::HasProperty { prop, direction } => match direction {
+                Direction::Outgoing => !store.spo_range(id, Some(*prop)).is_empty(),
+                Direction::Incoming => !store.pos_range(*prop, Some(id)).is_empty(),
+            },
+            UriFilter::HasValue { prop, value } => {
+                store.contains(Triple::new(id, *prop, *value))
+            }
+            UriFilter::InSet(set) => set.contains(id),
+        }
+    }
+
+    /// Refine a spec with this filter, when the filter is intensional.
+    fn refine_spec(&self, spec: &SetSpec) -> SetSpec {
+        match self {
+            UriFilter::HasProperty { prop, direction } => SetSpec::WithProperty {
+                parent: Box::new(spec.clone()),
+                prop: *prop,
+                direction: *direction,
+            },
+            UriFilter::HasValue { prop, value } => SetSpec::WithValue {
+                parent: Box::new(spec.clone()),
+                prop: *prop,
+                value: *value,
+            },
+            // Extensional filters keep the parent definition.
+            UriFilter::InSet(_) => spec.clone(),
+        }
+    }
+}
+
+/// An expansion applied to a bar of the wrong type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandError {
+    /// The bar type the expansion needs.
+    pub expected: BarKind,
+    /// The bar type it was given.
+    pub actual: BarKind,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expansion requires a {:?} bar but was applied to a {:?} bar",
+            self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+fn require_kind(bar: &Bar, expected: BarKind) -> Result<(), ExpandError> {
+    if bar.kind == expected {
+        Ok(())
+    } else {
+        Err(ExpandError { expected, actual: bar.kind })
+    }
+}
+
+/// Apply any expansion to a bar (dispatcher used by explorations).
+pub fn expand(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    bar: &Bar,
+    kind: ExpansionKind,
+) -> Result<BarChart, ExpandError> {
+    expand_opts(store, hierarchy, bar, kind, false)
+}
+
+/// [`expand`] with the transitive-instances option (for datasets that do
+/// not materialize types).
+pub fn expand_opts(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    bar: &Bar,
+    kind: ExpansionKind,
+    transitive: bool,
+) -> Result<BarChart, ExpandError> {
+    match kind {
+        ExpansionKind::Subclass if transitive => {
+            subclass_expansion_transitive(store, hierarchy, bar)
+        }
+        ExpansionKind::Subclass => subclass_expansion(store, hierarchy, bar),
+        ExpansionKind::Property(d) => property_expansion(store, bar, d),
+        ExpansionKind::Objects(d) => object_expansion(store, hierarchy, bar, d),
+    }
+}
+
+/// Subclass expansion: `labels(B)` are the direct subclasses `τ` of `λ`;
+/// `B[τ]` holds the members of `S` of class `τ`.
+pub fn subclass_expansion(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    bar: &Bar,
+) -> Result<BarChart, ExpandError> {
+    subclass_expansion_impl(store, hierarchy, bar, false)
+}
+
+/// Subclass expansion over transitive instance sets: `B[τ]` holds the
+/// members of `S` of class `τ` *or any subclass of* `τ`. On datasets
+/// with materialized types this equals [`subclass_expansion`]; on
+/// non-materialized datasets (YAGO) it is the only way a drill-down sees
+/// the deep instances.
+pub fn subclass_expansion_transitive(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    bar: &Bar,
+) -> Result<BarChart, ExpandError> {
+    subclass_expansion_impl(store, hierarchy, bar, true)
+}
+
+fn subclass_expansion_impl(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    bar: &Bar,
+    transitive: bool,
+) -> Result<BarChart, ExpandError> {
+    require_kind(bar, BarKind::Class)?;
+    let mut bars = Vec::new();
+    for &sub in hierarchy.direct_subclasses(bar.label) {
+        let (instances, spec) = if transitive {
+            (
+                NodeSet::from_sorted_vec(hierarchy.instances_transitive(store, sub)),
+                SetSpec::NarrowTransitive { parent: Box::new(bar.spec.clone()), class: sub },
+            )
+        } else {
+            (
+                NodeSet::from_sorted_vec(hierarchy.instances(store, sub)),
+                SetSpec::Narrow { parent: Box::new(bar.spec.clone()), class: sub },
+            )
+        };
+        let nodes = bar.nodes.intersect(&instances);
+        bars.push(Bar::new(nodes, sub, BarKind::Class, spec));
+    }
+    Ok(BarChart::new(bars, bar.nodes.len(), ChartKind::Subclass))
+}
+
+/// Property expansion: `labels(B)` are the properties featured by members
+/// of `S`; `B[π]` holds the members featuring `π`. Properties are
+/// inferred from the data triples, never from `rdf:Property` declarations
+/// (paper Section 3.3).
+pub fn property_expansion(
+    store: &TripleStore,
+    bar: &Bar,
+    direction: Direction,
+) -> Result<BarChart, ExpandError> {
+    require_kind(bar, BarKind::Class)?;
+    let mut by_prop: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    let mut props_buf: Vec<TermId> = Vec::new();
+    for s in &bar.nodes {
+        props_buf.clear();
+        match direction {
+            Direction::Outgoing => {
+                // SPO range for s is sorted by p: dedup by run.
+                let mut last = None;
+                for t in store.spo_range(s, None) {
+                    if last != Some(t.p) {
+                        props_buf.push(t.p);
+                        last = Some(t.p);
+                    }
+                }
+            }
+            Direction::Incoming => {
+                // OSP range for o = s is sorted by (s2, p): collect distinct.
+                props_buf.extend(store.osp_range(s, None).iter().map(|t| t.p));
+                props_buf.sort_unstable();
+                props_buf.dedup();
+            }
+        }
+        for &p in &props_buf {
+            by_prop.entry(p).or_default().push(s);
+        }
+    }
+    let chart_kind = match direction {
+        Direction::Outgoing => ChartKind::PropertyOutgoing,
+        Direction::Incoming => ChartKind::PropertyIncoming,
+    };
+    let bars = by_prop
+        .into_iter()
+        .map(|(prop, members)| {
+            Bar::new(
+                // Members were pushed in iteration order over the sorted
+                // node set, so they are sorted and unique already.
+                NodeSet::from_sorted_vec(members),
+                prop,
+                BarKind::Property,
+                SetSpec::WithProperty {
+                    parent: Box::new(bar.spec.clone()),
+                    prop,
+                    direction,
+                },
+            )
+        })
+        .collect();
+    Ok(BarChart::new(bars, bar.nodes.len(), chart_kind))
+}
+
+/// Object expansion: for a property bar `B = ⟨S, λ, property⟩`, the chart
+/// groups the nodes connected to `S` via `λ` by their class. Connected
+/// nodes with no `rdf:type` are counted as unclassified.
+pub fn object_expansion(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    bar: &Bar,
+    direction: Direction,
+) -> Result<BarChart, ExpandError> {
+    require_kind(bar, BarKind::Property)?;
+    let prop = bar.label;
+    let mut connected: Vec<TermId> = Vec::new();
+    for s in &bar.nodes {
+        match direction {
+            Direction::Outgoing => connected.extend(store.objects_of(s, prop)),
+            Direction::Incoming => connected.extend(store.subjects_with(prop, s)),
+        }
+    }
+    connected.sort_unstable();
+    connected.dedup();
+
+    let mut by_class: FxHashMap<TermId, Vec<TermId>> = FxHashMap::default();
+    let mut unclassified = 0usize;
+    for &o in &connected {
+        let classes = hierarchy.classes_of(store, o);
+        if classes.is_empty() {
+            unclassified += 1;
+        }
+        for c in classes {
+            by_class.entry(c).or_default().push(o);
+        }
+    }
+    let chart_kind = match direction {
+        Direction::Outgoing => ChartKind::ObjectsOutgoing,
+        Direction::Incoming => ChartKind::ObjectsIncoming,
+    };
+    let bars = by_class
+        .into_iter()
+        .map(|(class, members)| {
+            Bar::new(
+                NodeSet::from_sorted_vec(members),
+                class,
+                BarKind::Class,
+                SetSpec::ObjectsVia {
+                    source: Box::new(bar.spec.clone()),
+                    prop,
+                    direction,
+                    class,
+                },
+            )
+        })
+        .collect();
+    Ok(BarChart::with_unclassified(
+        bars,
+        connected.len(),
+        chart_kind,
+        unclassified,
+    ))
+}
+
+/// The filter operation: remove from every bar the URIs violating the
+/// condition. Bar specs are refined when the condition is intensional.
+pub fn filter_chart(store: &TripleStore, chart: &BarChart, filter: &UriFilter) -> BarChart {
+    let bars = chart
+        .bars()
+        .iter()
+        .map(|b| {
+            Bar::new(
+                b.nodes.filter(|id| filter.accepts(store, id)),
+                b.label,
+                b.kind,
+                filter.refine_spec(&b.spec),
+            )
+        })
+        .collect();
+    // The denominator |S| is preserved: filtering bars does not change S.
+    BarChart::with_unclassified(bars, chart.total(), chart.kind(), chart.unclassified())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_sparql::Executor;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Agent rdfs:subClassOf owl:Thing .
+        ex:Person rdfs:subClassOf ex:Agent .
+        ex:Philosopher rdfs:subClassOf ex:Person .
+        ex:Scientist rdfs:subClassOf ex:Person .
+        ex:Work rdfs:subClassOf owl:Thing .
+
+        ex:plato a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:influencedBy ex:socrates ; ex:born ex:athens .
+        ex:socrates a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:born ex:athens .
+        ex:darwin a ex:Scientist ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:influencedBy ex:socrates .
+        ex:kant a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:influencedBy ex:darwin ; ex:influencedBy ex:socrates .
+
+        ex:rep a ex:Work ; a owl:Thing ; ex:author ex:plato .
+        ex:cri a ex:Work ; a owl:Thing ; ex:author ex:kant .
+        ex:untyped_thing ex:author ex:plato .
+    "#;
+
+    fn setup() -> (TripleStore, ClassHierarchy) {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let h = ClassHierarchy::build(&store);
+        (store, h)
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    fn class_bar(store: &TripleStore, h: &ClassHierarchy, local: &str) -> Bar {
+        let class = id(store, local);
+        let spec = SetSpec::AllOfType(class);
+        Bar::new(spec.eval(store, h), class, BarKind::Class, spec)
+    }
+
+    #[test]
+    fn subclass_expansion_partitions_by_subclass() {
+        let (store, h) = setup();
+        let person = class_bar(&store, &h, "Person");
+        let chart = subclass_expansion(&store, &h, &person).unwrap();
+        assert_eq!(chart.kind(), ChartKind::Subclass);
+        assert_eq!(chart.total(), 4);
+        let phil = chart.bar(id(&store, "Philosopher")).unwrap();
+        let sci = chart.bar(id(&store, "Scientist")).unwrap();
+        assert_eq!(phil.height(), 3);
+        assert_eq!(sci.height(), 1);
+        // Sorted by decreasing height.
+        assert_eq!(chart.bars()[0].label, id(&store, "Philosopher"));
+        // Each bar ⊆ S.
+        for b in chart.bars() {
+            assert!(b.nodes.is_subset_of(&person.nodes));
+        }
+    }
+
+    #[test]
+    fn subclass_expansion_rejects_property_bars() {
+        let (store, h) = setup();
+        let person = class_bar(&store, &h, "Person");
+        let prop_chart = property_expansion(&store, &person, Direction::Outgoing).unwrap();
+        let prop_bar = &prop_chart.bars()[0];
+        let err = subclass_expansion(&store, &h, prop_bar).unwrap_err();
+        assert_eq!(err.expected, BarKind::Class);
+    }
+
+    #[test]
+    fn property_expansion_outgoing_counts_coverage() {
+        let (store, h) = setup();
+        let phil = class_bar(&store, &h, "Philosopher");
+        let chart = property_expansion(&store, &phil, Direction::Outgoing).unwrap();
+        let infl = chart.bar(id(&store, "influencedBy")).unwrap();
+        assert_eq!(infl.height(), 2); // plato, kant
+        assert!((chart.coverage(infl) - 2.0 / 3.0).abs() < 1e-12);
+        let born = chart.bar(id(&store, "born")).unwrap();
+        assert_eq!(born.height(), 2); // plato, socrates
+        // kant has two influencedBy triples but appears once in the bar.
+        assert!(infl.nodes.contains(id(&store, "kant")));
+    }
+
+    #[test]
+    fn property_expansion_incoming() {
+        let (store, h) = setup();
+        let phil = class_bar(&store, &h, "Philosopher");
+        let chart = property_expansion(&store, &phil, Direction::Incoming).unwrap();
+        // Philosophers are targets of influencedBy (socrates, darwin is not
+        // a philosopher) and author (plato, kant).
+        let infl = chart.bar(id(&store, "influencedBy")).unwrap();
+        assert_eq!(infl.height(), 1); // socrates
+        let author = chart.bar(id(&store, "author")).unwrap();
+        assert_eq!(author.height(), 2); // plato, kant
+    }
+
+    #[test]
+    fn property_bars_match_their_sparql() {
+        let (store, h) = setup();
+        let phil = class_bar(&store, &h, "Philosopher");
+        for direction in [Direction::Outgoing, Direction::Incoming] {
+            let chart = property_expansion(&store, &phil, direction).unwrap();
+            for b in chart.bars() {
+                let sol = Executor::new(&store).execute(&b.spec.to_query(&store)).unwrap();
+                let via_sparql = NodeSet::from_vec(sol.term_column("x"));
+                assert_eq!(b.nodes, via_sparql, "bar {:?} {:?}", b.label, direction);
+            }
+        }
+    }
+
+    #[test]
+    fn object_expansion_groups_by_class() {
+        let (store, h) = setup();
+        let phil = class_bar(&store, &h, "Philosopher");
+        let chart = property_expansion(&store, &phil, Direction::Outgoing).unwrap();
+        let infl_bar = chart.bar(id(&store, "influencedBy")).unwrap();
+        let conn = object_expansion(&store, &h, infl_bar, Direction::Outgoing).unwrap();
+        // Influencers of philosophers: socrates (Philosopher…), darwin (Scientist…).
+        let sci = conn.bar(id(&store, "Scientist")).unwrap();
+        assert_eq!(sci.height(), 1);
+        assert!(sci.nodes.contains(id(&store, "darwin")));
+        let ph = conn.bar(id(&store, "Philosopher")).unwrap();
+        assert_eq!(ph.height(), 1); // socrates
+        assert_eq!(conn.total(), 2); // two distinct connected objects
+        assert_eq!(conn.unclassified(), 0);
+    }
+
+    #[test]
+    fn object_expansion_counts_untyped() {
+        let (store, h) = setup();
+        let work = class_bar(&store, &h, "Work");
+        // Incoming property chart of Work: author arrives FROM works…
+        // actually author leaves works; take outgoing.
+        let chart = property_expansion(&store, &work, Direction::Outgoing).unwrap();
+        let author_bar = chart.bar(id(&store, "author")).unwrap();
+        let conn = object_expansion(&store, &h, author_bar, Direction::Outgoing).unwrap();
+        // Targets: plato, kant — both typed.
+        assert_eq!(conn.unclassified(), 0);
+
+        // Now incoming on the Person side: who authors persons?  Use the
+        // untyped subject: ex:untyped_thing authors plato.
+        let person = class_bar(&store, &h, "Person");
+        let pchart = property_expansion(&store, &person, Direction::Incoming).unwrap();
+        let author_in = pchart.bar(id(&store, "author")).unwrap();
+        let conn = object_expansion(&store, &h, author_in, Direction::Incoming).unwrap();
+        assert_eq!(conn.unclassified(), 1); // ex:untyped_thing
+        let works = conn.bar(id(&store, "Work")).unwrap();
+        assert_eq!(works.height(), 2);
+    }
+
+    #[test]
+    fn object_bars_match_their_sparql() {
+        let (store, h) = setup();
+        let phil = class_bar(&store, &h, "Philosopher");
+        let chart = property_expansion(&store, &phil, Direction::Outgoing).unwrap();
+        let infl_bar = chart.bar(id(&store, "influencedBy")).unwrap();
+        let conn = object_expansion(&store, &h, infl_bar, Direction::Outgoing).unwrap();
+        for b in conn.bars() {
+            let sol = Executor::new(&store).execute(&b.spec.to_query(&store)).unwrap();
+            let via_sparql = NodeSet::from_vec(sol.term_column("x"));
+            assert_eq!(b.nodes, via_sparql, "object bar {:?}", b.label);
+        }
+    }
+
+    #[test]
+    fn object_expansion_rejects_class_bars() {
+        let (store, h) = setup();
+        let person = class_bar(&store, &h, "Person");
+        let err = object_expansion(&store, &h, &person, Direction::Outgoing).unwrap_err();
+        assert_eq!(err.expected, BarKind::Property);
+    }
+
+    #[test]
+    fn filter_removes_violating_uris() {
+        let (store, h) = setup();
+        let person = class_bar(&store, &h, "Person");
+        let chart = subclass_expansion(&store, &h, &person).unwrap();
+        let filter = UriFilter::HasValue {
+            prop: id(&store, "born"),
+            value: id(&store, "athens"),
+        };
+        let filtered = filter_chart(&store, &chart, &filter);
+        // Only plato & socrates born in athens; both Philosophers.
+        assert_eq!(filtered.len(), 1);
+        let phil = filtered.bar(id(&store, "Philosopher")).unwrap();
+        assert_eq!(phil.height(), 2);
+        // The denominator |S| is unchanged by filtering.
+        assert_eq!(filtered.total(), chart.total());
+        // The refined spec still matches SPARQL.
+        let sol = Executor::new(&store).execute(&phil.spec.to_query(&store)).unwrap();
+        assert_eq!(NodeSet::from_vec(sol.term_column("x")), phil.nodes);
+    }
+
+    #[test]
+    fn filter_has_property_and_in_set() {
+        let (store, h) = setup();
+        let person = class_bar(&store, &h, "Person");
+        let chart = subclass_expansion(&store, &h, &person).unwrap();
+        let filtered = filter_chart(
+            &store,
+            &chart,
+            &UriFilter::HasProperty {
+                prop: id(&store, "influencedBy"),
+                direction: Direction::Outgoing,
+            },
+        );
+        // plato, kant (Philosopher), darwin (Scientist).
+        assert_eq!(filtered.bar(id(&store, "Philosopher")).unwrap().height(), 2);
+        assert_eq!(filtered.bar(id(&store, "Scientist")).unwrap().height(), 1);
+
+        let keep: NodeSet = [id(&store, "plato")].into_iter().collect();
+        let filtered = filter_chart(&store, &chart, &UriFilter::InSet(keep));
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.bars()[0].height(), 1);
+    }
+
+    #[test]
+    fn dispatcher_routes_by_kind() {
+        let (store, h) = setup();
+        let person = class_bar(&store, &h, "Person");
+        assert!(expand(&store, &h, &person, ExpansionKind::Subclass).is_ok());
+        assert!(expand(&store, &h, &person, ExpansionKind::Property(Direction::Outgoing)).is_ok());
+        assert!(expand(&store, &h, &person, ExpansionKind::Objects(Direction::Outgoing)).is_err());
+        assert_eq!(ExpansionKind::Subclass.applicable_to(), BarKind::Class);
+        assert_eq!(
+            ExpansionKind::Objects(Direction::Incoming).applicable_to(),
+            BarKind::Property
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! [`Exploration`]: a chain of charts `(λ₁, η₁) ↦ B₁, …, (λₘ, ηₘ) ↦ Bₘ`.
+//!
+//! Section 2's validity rules are enforced on every step:
+//!
+//! * (a) `λᵢ ∈ labels(Bᵢ₋₁)`;
+//! * (b) `ηᵢ` is applicable to `Bᵢ₋₁[λᵢ]`;
+//! * (c) `Bᵢ = ηᵢ(Bᵢ₋₁[λᵢ])`.
+
+use crate::bar::BarKind;
+use crate::chart::BarChart;
+use crate::expansion::{self, ExpansionKind};
+use crate::explorer::Explorer;
+use elinda_rdf::TermId;
+use std::fmt;
+
+/// One step of an exploration: the selected label and the applied
+/// expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorationStep {
+    /// The selected bar's label `λᵢ`.
+    pub label: TermId,
+    /// The applied expansion `ηᵢ`.
+    pub expansion: ExpansionKind,
+}
+
+/// Why a step was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplorationError {
+    /// Rule (a): the label is not in the previous chart.
+    UnknownLabel(TermId),
+    /// Rule (b): the expansion does not apply to the selected bar's type.
+    Inapplicable {
+        /// The expansion attempted.
+        expansion: ExpansionKind,
+        /// The selected bar's type.
+        bar_kind: BarKind,
+    },
+}
+
+impl fmt::Display for ExplorationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorationError::UnknownLabel(l) => {
+                write!(f, "label {l} is not in the current chart")
+            }
+            ExplorationError::Inapplicable { expansion, bar_kind } => write!(
+                f,
+                "expansion {expansion:?} is not applicable to a {bar_kind:?} bar"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExplorationError {}
+
+/// An exploration path: the initial chart `B₀` plus the applied steps and
+/// resulting charts.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    charts: Vec<BarChart>,
+    steps: Vec<ExplorationStep>,
+}
+
+impl Exploration {
+    /// Start from an initial chart `B₀` (in eLinda, the subclass expansion
+    /// of the root class — see `Explorer::initial_pane`).
+    pub fn start(initial: BarChart) -> Self {
+        Exploration { charts: vec![initial], steps: Vec::new() }
+    }
+
+    /// The current chart `Bₘ`.
+    pub fn current(&self) -> &BarChart {
+        self.charts.last().expect("always at least the initial chart")
+    }
+
+    /// All charts, `B₀ … Bₘ`.
+    pub fn charts(&self) -> &[BarChart] {
+        &self.charts
+    }
+
+    /// The applied steps.
+    pub fn steps(&self) -> &[ExplorationStep] {
+        &self.steps
+    }
+
+    /// Number of applied steps (`m`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if no step has been applied yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Apply a step `(λ, η)` to the current chart, validating rules
+    /// (a) and (b) and computing (c).
+    pub fn apply(
+        &mut self,
+        explorer: &Explorer<'_>,
+        label: TermId,
+        kind: ExpansionKind,
+    ) -> Result<&BarChart, ExplorationError> {
+        let bar = self
+            .current()
+            .bar(label)
+            .ok_or(ExplorationError::UnknownLabel(label))?;
+        if bar.kind != kind.applicable_to() {
+            return Err(ExplorationError::Inapplicable { expansion: kind, bar_kind: bar.kind });
+        }
+        let chart = expansion::expand_opts(
+            explorer.store(),
+            explorer.hierarchy(),
+            bar,
+            kind,
+            explorer.is_transitive(),
+        )
+        .expect("kind checked against bar kind");
+        self.charts.push(chart);
+        self.steps.push(ExplorationStep { label, expansion: kind });
+        Ok(self.current())
+    }
+
+    /// Undo the last step (panes can be closed in the UI).
+    pub fn pop(&mut self) -> Option<ExplorationStep> {
+        if self.steps.is_empty() {
+            return None;
+        }
+        self.charts.pop();
+        self.steps.pop()
+    }
+
+    /// The colored breadcrumb trail of Fig. 2: the display labels of the
+    /// selected bars, in order.
+    pub fn breadcrumbs(&self, explorer: &Explorer<'_>) -> Vec<String> {
+        self.steps
+            .iter()
+            .map(|s| explorer.display(s.label).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expansion::Direction;
+    use elinda_store::TripleStore;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Agent rdfs:subClassOf owl:Thing ; rdfs:label "Agent"@en .
+        ex:Person rdfs:subClassOf ex:Agent ; rdfs:label "Person"@en .
+        ex:Philosopher rdfs:subClassOf ex:Person ; rdfs:label "Philosopher"@en .
+        ex:Scientist rdfs:subClassOf ex:Person ; rdfs:label "Scientist"@en .
+        ex:plato a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:influencedBy ex:socrates .
+        ex:socrates a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing .
+        ex:kant a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:influencedBy ex:darwin .
+        ex:darwin a ex:Scientist ; a ex:Person ; a ex:Agent ; a owl:Thing .
+    "#;
+
+    fn setup(store: &TripleStore) -> (Explorer<'_>, Exploration) {
+        let ex = Explorer::new(store);
+        let pane = ex.initial_pane().unwrap();
+        let expl = Exploration::start(pane.subclass_chart(&ex));
+        (ex, expl)
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    #[test]
+    fn fig2_path_thing_agent_person_philosopher_influencers() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let (ex, mut expl) = setup(&store);
+
+        // owl:Thing -> Agent -> Person -> Philosopher (subclass steps).
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass).unwrap();
+        // Person chart: Philosopher (3), Scientist (1).
+        assert_eq!(expl.current().len(), 2);
+        // Philosopher -> property chart.
+        expl.apply(
+            &ex,
+            id(&store, "Philosopher"),
+            ExpansionKind::Property(Direction::Outgoing),
+        )
+        .unwrap();
+        // influencedBy -> connections (object expansion).
+        expl.apply(
+            &ex,
+            id(&store, "influencedBy"),
+            ExpansionKind::Objects(Direction::Outgoing),
+        )
+        .unwrap();
+        // Influencers: socrates (Philosopher…), darwin (Scientist…).
+        let chart = expl.current();
+        assert!(chart.bar(id(&store, "Scientist")).is_some());
+        assert_eq!(expl.len(), 4);
+        assert_eq!(
+            expl.breadcrumbs(&ex),
+            vec!["Agent", "Person", "Philosopher", "influencedBy"]
+        );
+    }
+
+    #[test]
+    fn rule_a_unknown_label() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let (ex, mut expl) = setup(&store);
+        let bogus = id(&store, "plato"); // an instance, not a chart label
+        let err = expl.apply(&ex, bogus, ExpansionKind::Subclass).unwrap_err();
+        assert_eq!(err, ExplorationError::UnknownLabel(bogus));
+    }
+
+    #[test]
+    fn rule_b_inapplicable_expansion() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let (ex, mut expl) = setup(&store);
+        // Objects expansion on a class bar is inapplicable.
+        let err = expl
+            .apply(&ex, id(&store, "Agent"), ExpansionKind::Objects(Direction::Outgoing))
+            .unwrap_err();
+        assert!(matches!(err, ExplorationError::Inapplicable { .. }));
+        // And subclass expansion on a property bar.
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass).unwrap();
+        expl.apply(
+            &ex,
+            id(&store, "Philosopher"),
+            ExpansionKind::Property(Direction::Outgoing),
+        )
+        .unwrap();
+        let err = expl
+            .apply(&ex, id(&store, "influencedBy"), ExpansionKind::Subclass)
+            .unwrap_err();
+        assert!(matches!(err, ExplorationError::Inapplicable { .. }));
+    }
+
+    #[test]
+    fn failed_steps_leave_state_unchanged() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let (ex, mut expl) = setup(&store);
+        let before = expl.current().clone();
+        let _ = expl.apply(&ex, id(&store, "plato"), ExpansionKind::Subclass);
+        assert_eq!(expl.len(), 0);
+        assert_eq!(expl.current(), &before);
+    }
+
+    #[test]
+    fn pop_undoes_steps() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let (ex, mut expl) = setup(&store);
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
+        assert_eq!(expl.len(), 1);
+        let step = expl.pop().unwrap();
+        assert_eq!(step.label, id(&store, "Agent"));
+        assert_eq!(expl.len(), 0);
+        assert!(expl.pop().is_none());
+        assert!(expl.is_empty());
+    }
+
+    #[test]
+    fn every_bar_along_the_path_generates_sparql() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let (ex, mut expl) = setup(&store);
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass).unwrap();
+        for chart in expl.charts() {
+            for bar in chart.bars() {
+                let text = bar.spec.to_sparql(&store);
+                assert!(text.starts_with("SELECT DISTINCT ?x"), "{text}");
+            }
+        }
+    }
+}

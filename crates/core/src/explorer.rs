@@ -1,0 +1,278 @@
+//! [`Explorer`]: the session facade over a loaded dataset.
+//!
+//! Owns the derived structures (class hierarchy, label index) built from a
+//! store snapshot, serves panes, the autocomplete class search, and the
+//! general dataset statistics shown when first connecting (Section 3.1).
+
+use crate::bar::{Bar, BarKind};
+use crate::nodeset::NodeSet;
+use crate::pane::{Pane, PaneStats};
+use crate::spec::SetSpec;
+use elinda_rdf::TermId;
+use elinda_store::{ClassHierarchy, DatasetStats, LabelIndex, TripleStore};
+
+/// A session over a dataset: store + hierarchy + labels.
+pub struct Explorer<'a> {
+    store: &'a TripleStore,
+    hierarchy: ClassHierarchy,
+    labels: LabelIndex,
+    epoch: u64,
+    /// Resolve class membership through `rdfs:subClassOf*` instead of
+    /// direct `rdf:type` only (for datasets without materialized types).
+    transitive: bool,
+}
+
+impl<'a> Explorer<'a> {
+    /// Build the derived structures for a store snapshot (direct-type
+    /// semantics, matching materialized datasets like DBpedia).
+    pub fn new(store: &'a TripleStore) -> Self {
+        Self::with_transitive(store, false)
+    }
+
+    /// An explorer that resolves instances through the subclass closure —
+    /// required for datasets like YAGO where entities carry only their
+    /// leaf type. Generated SPARQL uses `rdfs:subClassOf*` paths.
+    pub fn new_transitive(store: &'a TripleStore) -> Self {
+        Self::with_transitive(store, true)
+    }
+
+    fn with_transitive(store: &'a TripleStore, transitive: bool) -> Self {
+        let hierarchy = ClassHierarchy::build(store);
+        let labels = LabelIndex::build(store, &hierarchy);
+        Explorer { store, hierarchy, labels, epoch: store.epoch(), transitive }
+    }
+
+    /// True when class membership is resolved transitively.
+    pub fn is_transitive(&self) -> bool {
+        self.transitive
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &'a TripleStore {
+        self.store
+    }
+
+    /// The class hierarchy.
+    pub fn hierarchy(&self) -> &ClassHierarchy {
+        &self.hierarchy
+    }
+
+    /// The label index.
+    pub fn labels(&self) -> &LabelIndex {
+        &self.labels
+    }
+
+    /// True if the store has been mutated since this explorer was built
+    /// (callers should then rebuild).
+    pub fn is_stale(&self) -> bool {
+        self.epoch != self.store.epoch()
+    }
+
+    /// Display name of a term (label, else local name / lexical form).
+    pub fn display(&self, id: TermId) -> &str {
+        self.labels.display(self.store, id)
+    }
+
+    /// Dataset statistics: total triples, classes, properties, ….
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(self.store, &self.hierarchy)
+    }
+
+    /// The autocomplete class search box (Section 3.2).
+    pub fn search_classes(&self, prefix: &str, limit: usize) -> Vec<TermId> {
+        self.labels.autocomplete(prefix, limit)
+    }
+
+    /// The initial pane: all instances of `owl:Thing` when the dataset has
+    /// that root, otherwise all typed subjects (the LinkedGeoData case,
+    /// browsed "in a limited fashion"). `None` for a dataset with no
+    /// `rdf:type` triples at all.
+    pub fn initial_pane(&self) -> Option<Pane> {
+        let thing_instances = |thing| {
+            if self.transitive {
+                self.hierarchy.instances_transitive(self.store, thing).len()
+            } else {
+                self.hierarchy.instance_count(self.store, thing)
+            }
+        };
+        match self.hierarchy.owl_thing() {
+            Some(thing) if thing_instances(thing) > 0 => {
+                Some(self.pane_for_class(thing))
+            }
+            _ => {
+                let spec = SetSpec::AllTyped;
+                let set = spec.eval(self.store, &self.hierarchy);
+                if set.is_empty() {
+                    return None;
+                }
+                Some(Pane {
+                    title: "(all typed subjects)".to_string(),
+                    class: None,
+                    set,
+                    spec,
+                    stats: PaneStats {
+                        instance_count: 0,
+                        direct_subclasses: self.hierarchy.top_level_classes().len(),
+                        total_subclasses: self.hierarchy.classes().len(),
+                    },
+                }
+                .with_recounted_instances())
+            }
+        }
+    }
+
+    /// A pane focused on all instances of a class — what the autocomplete
+    /// search opens directly, skipping the drill-down.
+    pub fn pane_for_class(&self, class: TermId) -> Pane {
+        let spec = if self.transitive {
+            SetSpec::AllOfTypeTransitive(class)
+        } else {
+            SetSpec::AllOfType(class)
+        };
+        let set = spec.eval(self.store, &self.hierarchy);
+        Pane {
+            title: self.display(class).to_string(),
+            class: Some(class),
+            set,
+            spec,
+            stats: self.stats_for(class, None),
+        }
+        .with_recounted_instances()
+    }
+
+    /// A pane opened by clicking a class bar: focuses on the (possibly
+    /// narrowed) bar set — "from now on the different expansions will
+    /// operate on this narrowed set" (Section 3.4).
+    pub fn pane_from_bar(&self, bar: &Bar) -> Option<Pane> {
+        if bar.kind != BarKind::Class {
+            return None;
+        }
+        Some(
+            Pane {
+                title: self.display(bar.label).to_string(),
+                class: Some(bar.label),
+                set: bar.nodes.clone(),
+                spec: bar.spec.clone(),
+                stats: self.stats_for(bar.label, Some(&bar.nodes)),
+            }
+            .with_recounted_instances(),
+        )
+    }
+
+    /// A pane over an explicit set with a known spec (used by the filter
+    /// expansion: exploring `S_f` after data filters).
+    pub fn pane_for_set(
+        &self,
+        title: impl Into<String>,
+        class: Option<TermId>,
+        set: NodeSet,
+        spec: SetSpec,
+    ) -> Pane {
+        let stats = match class {
+            Some(c) => self.stats_for(c, Some(&set)),
+            None => PaneStats {
+                instance_count: set.len(),
+                direct_subclasses: 0,
+                total_subclasses: 0,
+            },
+        };
+        Pane { title: title.into(), class, set, spec, stats }
+    }
+
+    fn stats_for(&self, class: TermId, set: Option<&NodeSet>) -> PaneStats {
+        PaneStats {
+            instance_count: match set {
+                Some(s) => s.len(),
+                None => self.hierarchy.instance_count(self.store, class),
+            },
+            direct_subclasses: self.hierarchy.direct_subclass_count(class),
+            total_subclasses: self.hierarchy.total_subclass_count(class),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Agent a owl:Class ; rdfs:subClassOf owl:Thing ; rdfs:label "Agent"@en .
+        ex:Person a owl:Class ; rdfs:subClassOf ex:Agent ; rdfs:label "Person"@en .
+        ex:Philosopher a owl:Class ; rdfs:subClassOf ex:Person ; rdfs:label "Philosopher"@en .
+        ex:plato a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing .
+        ex:ada a ex:Person ; a ex:Agent ; a owl:Thing .
+    "#;
+
+    #[test]
+    fn initial_pane_uses_owl_thing() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let ex = Explorer::new(&store);
+        let pane = ex.initial_pane().unwrap();
+        assert_eq!(pane.stats.instance_count, 2);
+        assert!(pane.class.is_some());
+        assert_eq!(pane.stats.direct_subclasses, 1); // Agent
+        assert_eq!(pane.stats.total_subclasses, 3);
+    }
+
+    #[test]
+    fn initial_pane_rootless_fallback() {
+        let store = TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            ex:x a ex:A . ex:y a ex:B .
+            "#,
+        )
+        .unwrap();
+        let ex = Explorer::new(&store);
+        let pane = ex.initial_pane().unwrap();
+        assert!(pane.class.is_none());
+        assert_eq!(pane.set.len(), 2);
+    }
+
+    #[test]
+    fn initial_pane_none_for_untyped_dataset() {
+        let store = TripleStore::from_turtle(
+            "@prefix ex: <http://e/> . ex:x ex:p ex:y .",
+        )
+        .unwrap();
+        let ex = Explorer::new(&store);
+        assert!(ex.initial_pane().is_none());
+    }
+
+    #[test]
+    fn pane_for_class_by_search() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let ex = Explorer::new(&store);
+        let hits = ex.search_classes("philo", 5);
+        assert_eq!(hits.len(), 1);
+        let pane = ex.pane_for_class(hits[0]);
+        assert_eq!(pane.title, "Philosopher");
+        assert_eq!(pane.set.len(), 1);
+    }
+
+    #[test]
+    fn staleness() {
+        let mut store = TripleStore::from_turtle(DATA).unwrap();
+        {
+            let ex = Explorer::new(&store);
+            assert!(!ex.is_stale());
+        }
+        let x = store.intern(elinda_rdf::Term::iri("http://e/new"));
+        store.insert(x, x, x);
+        let ex = Explorer::new(&store);
+        assert!(!ex.is_stale());
+    }
+
+    #[test]
+    fn display_prefers_labels() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let ex = Explorer::new(&store);
+        let person = store.lookup_iri("http://e/Person").unwrap();
+        assert_eq!(ex.display(person), "Person");
+        let plato = store.lookup_iri("http://e/plato").unwrap();
+        assert_eq!(ex.display(plato), "plato"); // local name fallback
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! The eLinda exploration model (paper Sections 2–3).
+//!
+//! The formal core: a *bar* is a triple `B = ⟨S, λ, t⟩` of a URI set, a
+//! label, and a type (`class` or `property`); a *bar chart* maps labels to
+//! bars; a *bar expansion* turns a bar into a chart. eLinda supports three
+//! expansions — subclass, property, and object — each with outgoing and
+//! incoming variants, plus a filter operation, chained into *explorations*
+//! `(λ₁, η₁) ↦ B₁, …, (λₘ, ηₘ) ↦ Bₘ`.
+//!
+//! Modules:
+//!
+//! * [`nodeset`] — sorted, shared URI sets (`S`);
+//! * [`spec`] — the *intensional* definition of a set, accumulated along
+//!   the exploration path; every bar carries one, which is what makes
+//!   "generate SPARQL code to extract each of the bars" possible;
+//! * [`bar`] / [`chart`] — bars and charts, sorted by decreasing height;
+//! * [`expansion`] — the three expansions and the filter operation, each
+//!   implemented algorithmically over the store indexes *and* expressible
+//!   as generated SPARQL (differential tests assert agreement);
+//! * [`explorer`] — the session facade: hierarchy + labels + panes;
+//! * [`pane`] — the UI pane model: statistics, tabs, coverage threshold;
+//! * [`exploration`] — exploration paths with the validity rules (a)–(c);
+//! * [`table`] — the data table with per-column filters and SPARQL
+//!   exposure.
+
+pub mod bar;
+pub mod chart;
+pub mod expansion;
+pub mod exploration;
+pub mod explorer;
+pub mod nodeset;
+pub mod pane;
+pub mod session;
+pub mod spec;
+pub mod table;
+
+pub use bar::{Bar, BarKind};
+pub use chart::{BarChart, ChartKind};
+pub use expansion::{Direction, ExpansionKind, UriFilter};
+pub use exploration::{Exploration, ExplorationError, ExplorationStep};
+pub use explorer::Explorer;
+pub use nodeset::NodeSet;
+pub use pane::{Pane, PaneStats};
+pub use session::{PaneState, Session, Tab};
+pub use spec::SetSpec;
+pub use table::{ColumnFilter, DataTable};

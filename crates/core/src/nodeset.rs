@@ -1,0 +1,186 @@
+//! [`NodeSet`]: the URI sets `S` of the formal model.
+//!
+//! Sets are sorted, deduplicated, and shared (`Arc`), so that expanding a
+//! bar never copies the parent set and membership/intersection run in
+//! `O(log n)` / `O(n + m)`.
+
+use elinda_rdf::TermId;
+use std::sync::Arc;
+
+/// An immutable, sorted, deduplicated set of node ids, cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    items: Arc<[TermId]>,
+}
+
+impl NodeSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        NodeSet { items: Arc::from(Vec::new()) }
+    }
+
+    /// Build from an arbitrary vector (sorted and deduplicated here).
+    pub fn from_vec(mut items: Vec<TermId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        NodeSet { items: items.into() }
+    }
+
+    /// Build from a vector already sorted and deduplicated.
+    ///
+    /// Debug builds assert the invariant.
+    pub fn from_sorted_vec(items: Vec<TermId>) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "input not sorted/unique");
+        NodeSet { items: items.into() }
+    }
+
+    /// Number of nodes (`|S|`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: TermId) -> bool {
+        self.items.binary_search(&id).is_ok()
+    }
+
+    /// The nodes, sorted.
+    pub fn as_slice(&self) -> &[TermId] {
+        &self.items
+    }
+
+    /// Iterate over the nodes.
+    pub fn iter(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Sorted-merge intersection.
+    pub fn intersect(&self, other: &NodeSet) -> NodeSet {
+        let (mut a, mut b) = (self.as_slice(), other.as_slice());
+        // Iterate over the smaller side with binary probes when the sizes
+        // are lopsided; linear merge otherwise.
+        if a.len() > b.len() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut out = Vec::new();
+        if b.len() / a.len().max(1) > 16 {
+            for &x in a {
+                if b.binary_search(&x).is_ok() {
+                    out.push(x);
+                }
+            }
+        } else {
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        NodeSet::from_sorted_vec(out)
+    }
+
+    /// Keep only nodes satisfying the predicate.
+    pub fn filter(&self, mut pred: impl FnMut(TermId) -> bool) -> NodeSet {
+        NodeSet::from_sorted_vec(self.iter().filter(|&id| pred(id)).collect())
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &NodeSet) -> bool {
+        self.iter().all(|id| other.contains(id))
+    }
+}
+
+impl FromIterator<TermId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = TermId>>(iter: I) -> Self {
+        NodeSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = TermId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, TermId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> TermId {
+        TermId::from_raw(n).unwrap()
+    }
+
+    fn set(ids: &[u32]) -> NodeSet {
+        ids.iter().map(|&n| id(n)).collect()
+    }
+
+    #[test]
+    fn from_vec_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[id(1), id(3), id(5)]);
+    }
+
+    #[test]
+    fn membership() {
+        let s = set(&[2, 4, 6]);
+        assert!(s.contains(id(4)));
+        assert!(!s.contains(id(5)));
+        assert!(!NodeSet::empty().contains(id(1)));
+    }
+
+    #[test]
+    fn intersect_merge_path() {
+        let a = set(&[1, 2, 3, 4, 5]);
+        let b = set(&[2, 4, 6]);
+        assert_eq!(a.intersect(&b), set(&[2, 4]));
+        assert_eq!(b.intersect(&a), set(&[2, 4]));
+    }
+
+    #[test]
+    fn intersect_probe_path() {
+        let big: NodeSet = (1..=1000).map(id).collect();
+        let small = set(&[7, 500, 999, 2000]);
+        assert_eq!(small.intersect(&big), set(&[7, 500, 999]));
+        assert_eq!(big.intersect(&small), set(&[7, 500, 999]));
+    }
+
+    #[test]
+    fn intersect_with_empty() {
+        let a = set(&[1, 2]);
+        assert!(a.intersect(&NodeSet::empty()).is_empty());
+        assert!(NodeSet::empty().intersect(&a).is_empty());
+    }
+
+    #[test]
+    fn filter_and_subset() {
+        let a = set(&[1, 2, 3, 4]);
+        let evens = a.filter(|id| id.raw() % 2 == 0);
+        assert_eq!(evens, set(&[2, 4]));
+        assert!(evens.is_subset_of(&a));
+        assert!(!a.is_subset_of(&evens));
+        assert!(NodeSet::empty().is_subset_of(&evens));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = set(&[1, 2, 3]);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+    }
+}

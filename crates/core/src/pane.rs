@@ -1,0 +1,258 @@
+//! [`Pane`]: the tabbed UI unit of Section 3.
+//!
+//! "Each pane visualizes data related to a set of subjects (instances) S
+//! from several different perspectives. … The upper left corner of a pane
+//! shows basic statistics: the total number of instances (i.e. |S|), and
+//! the number of direct and indirect subclasses that class type T has."
+
+use crate::bar::{Bar, BarKind};
+use crate::chart::BarChart;
+use crate::expansion::{self, Direction, ExpandError};
+use crate::explorer::Explorer;
+use crate::nodeset::NodeSet;
+use crate::spec::SetSpec;
+use crate::table::DataTable;
+use elinda_rdf::TermId;
+
+/// The default property-coverage threshold: "only 38 properties that cross
+/// the default coverage threshold of 20% are shown".
+pub const DEFAULT_COVERAGE_THRESHOLD: f64 = 0.20;
+
+/// The statistics shown in the upper-left corner of a pane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaneStats {
+    /// `|S|`.
+    pub instance_count: usize,
+    /// Direct subclasses of the pane's class.
+    pub direct_subclasses: usize,
+    /// Transitive subclasses of the pane's class.
+    pub total_subclasses: usize,
+}
+
+/// A pane: a focused set `S` (all of one class type, possibly narrowed),
+/// its statistics, and the charts available from its tabs.
+#[derive(Debug, Clone)]
+pub struct Pane {
+    /// Display title (usually the class label).
+    pub title: String,
+    /// The class type `T` of the subjects, when the pane is class-based.
+    pub class: Option<TermId>,
+    /// The subject set `S`. Not necessarily all instances of `T` — the
+    /// pane may focus on a narrowed set (paper footnote 6).
+    pub set: NodeSet,
+    /// The intensional definition of `S`.
+    pub spec: SetSpec,
+    /// The corner statistics.
+    pub stats: PaneStats,
+}
+
+impl Pane {
+    /// Recompute `instance_count` from the actual set (used by
+    /// constructors).
+    pub(crate) fn with_recounted_instances(mut self) -> Self {
+        self.stats.instance_count = self.set.len();
+        self
+    }
+
+    /// The pane's set as a class bar `⟨S, T, class⟩` — the input to the
+    /// subclass and property expansions.
+    pub fn as_bar(&self) -> Bar {
+        let label = self.class.unwrap_or_else(|| {
+            // A root-less pane still needs a label; reuse an arbitrary
+            // member as a placeholder only if the set is non-empty.
+            self.set
+                .as_slice()
+                .first()
+                .copied()
+                .unwrap_or_else(|| TermId::from_raw(1).expect("nonzero"))
+        });
+        Bar::new(self.set.clone(), label, BarKind::Class, self.spec.clone())
+    }
+
+    /// The default tab: the subclass distribution chart. For a class-less
+    /// pane (root-less dataset), the chart distributes over the top-level
+    /// classes instead.
+    pub fn subclass_chart(&self, explorer: &Explorer<'_>) -> BarChart {
+        match self.class {
+            Some(_) => expansion::expand_opts(
+                explorer.store(),
+                explorer.hierarchy(),
+                &self.as_bar(),
+                crate::expansion::ExpansionKind::Subclass,
+                explorer.is_transitive(),
+            )
+            .expect("pane bar is a class bar"),
+            None => {
+                // Distribute S over the top-level classes.
+                let store = explorer.store();
+                let h = explorer.hierarchy();
+                let bars = h
+                    .top_level_classes()
+                    .into_iter()
+                    .map(|class| {
+                        let (instances, spec) = if explorer.is_transitive() {
+                            (
+                                NodeSet::from_sorted_vec(h.instances_transitive(store, class)),
+                                SetSpec::NarrowTransitive {
+                                    parent: Box::new(self.spec.clone()),
+                                    class,
+                                },
+                            )
+                        } else {
+                            (
+                                NodeSet::from_sorted_vec(h.instances(store, class)),
+                                SetSpec::Narrow {
+                                    parent: Box::new(self.spec.clone()),
+                                    class,
+                                },
+                            )
+                        };
+                        Bar::new(self.set.intersect(&instances), class, BarKind::Class, spec)
+                    })
+                    .collect();
+                BarChart::new(bars, self.set.len(), crate::chart::ChartKind::Subclass)
+            }
+        }
+    }
+
+    /// The *Property Data* tab: the property-coverage chart. All bars are
+    /// computed; apply [`BarChart::above_coverage`] with
+    /// [`DEFAULT_COVERAGE_THRESHOLD`] for the default view.
+    pub fn property_chart(&self, explorer: &Explorer<'_>, direction: Direction) -> BarChart {
+        expansion::property_expansion(explorer.store(), &self.as_bar(), direction)
+            .expect("pane bar is a class bar")
+    }
+
+    /// The *Connections* tab: the object expansion for the selected
+    /// property bar of the pane's property chart.
+    pub fn connections_chart(
+        &self,
+        explorer: &Explorer<'_>,
+        property: TermId,
+        direction: Direction,
+    ) -> Result<BarChart, ExpandError> {
+        let prop_chart = self.property_chart(explorer, direction);
+        let bar = prop_chart.bar(property).cloned().unwrap_or_else(|| {
+            // A property no member features: an empty property bar.
+            Bar::new(
+                NodeSet::empty(),
+                property,
+                BarKind::Property,
+                SetSpec::WithProperty {
+                    parent: Box::new(self.spec.clone()),
+                    prop: property,
+                    direction,
+                },
+            )
+        });
+        expansion::object_expansion(explorer.store(), explorer.hierarchy(), &bar, direction)
+    }
+
+    /// Start a data table over the pane's instances.
+    pub fn data_table(&self) -> DataTable {
+        DataTable::new(self.set.clone(), self.spec.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_store::TripleStore;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Agent rdfs:subClassOf owl:Thing .
+        ex:Person rdfs:subClassOf ex:Agent .
+        ex:Philosopher rdfs:subClassOf ex:Person .
+        ex:Work rdfs:subClassOf owl:Thing .
+        ex:plato a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing ;
+            ex:influencedBy ex:socrates .
+        ex:socrates a ex:Philosopher ; a ex:Person ; a ex:Agent ; a owl:Thing .
+        ex:rep a ex:Work ; a owl:Thing ; ex:author ex:plato .
+    "#;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(DATA).unwrap()
+    }
+
+    #[test]
+    fn initial_pane_subclass_chart_is_fig1() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let pane = ex.initial_pane().unwrap();
+        let chart = pane.subclass_chart(&ex);
+        // Top-level: Agent (2 instances), Work (1).
+        assert_eq!(chart.len(), 2);
+        assert_eq!(chart.bars()[0].height(), 2);
+        assert_eq!(chart.bars()[1].height(), 1);
+        assert_eq!(chart.total(), 3);
+    }
+
+    #[test]
+    fn drill_down_path() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let pane = ex.initial_pane().unwrap();
+        let chart = pane.subclass_chart(&ex);
+        let agent_bar = &chart.bars()[0];
+        let agent_pane = ex.pane_from_bar(agent_bar).unwrap();
+        assert_eq!(agent_pane.stats.instance_count, 2);
+        assert_eq!(agent_pane.stats.direct_subclasses, 1);
+        let chart = agent_pane.subclass_chart(&ex);
+        assert_eq!(chart.len(), 1); // Person
+    }
+
+    #[test]
+    fn property_chart_with_threshold() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let phil = store.lookup_iri("http://e/Philosopher").unwrap();
+        let pane = ex.pane_for_class(phil);
+        let chart = pane.property_chart(&ex, Direction::Outgoing);
+        // rdf:type covers 100%, influencedBy 50%.
+        let visible = chart.above_coverage(DEFAULT_COVERAGE_THRESHOLD);
+        assert_eq!(visible.len(), 2);
+        let visible = chart.above_coverage(0.6);
+        assert_eq!(visible.len(), 1);
+    }
+
+    #[test]
+    fn connections_chart() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let phil = store.lookup_iri("http://e/Philosopher").unwrap();
+        let infl = store.lookup_iri("http://e/influencedBy").unwrap();
+        let pane = ex.pane_for_class(phil);
+        let conn = pane
+            .connections_chart(&ex, infl, Direction::Outgoing)
+            .unwrap();
+        // socrates is the single connected object, a Philosopher (etc.).
+        assert!(conn.bar(phil).is_some());
+        assert_eq!(conn.total(), 1);
+    }
+
+    #[test]
+    fn connections_with_unused_property_is_empty() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let work = store.lookup_iri("http://e/Work").unwrap();
+        let infl = store.lookup_iri("http://e/influencedBy").unwrap();
+        let pane = ex.pane_for_class(work);
+        let conn = pane
+            .connections_chart(&ex, infl, Direction::Outgoing)
+            .unwrap();
+        assert!(conn.is_empty());
+    }
+
+    #[test]
+    fn pane_from_property_bar_is_rejected() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let phil = store.lookup_iri("http://e/Philosopher").unwrap();
+        let pane = ex.pane_for_class(phil);
+        let chart = pane.property_chart(&ex, Direction::Outgoing);
+        assert!(ex.pane_from_bar(&chart.bars()[0]).is_none());
+    }
+}

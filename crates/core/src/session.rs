@@ -1,0 +1,309 @@
+//! [`Session`]: the tabbed multi-pane workspace of Section 3.2.
+//!
+//! "Exploration with ELINDA is effectively performed by constructing a
+//! sequence of tabbed panes. … When pointing ELINDA to a new dataset an
+//! initial pane is shown, and during the exploration the user may open
+//! additional panes one beneath the other." Each pane remembers which
+//! tab is active (Subclasses / Property Data / Connections), its coverage
+//! threshold, and which bar of which pane opened it — from which the
+//! breadcrumb trail is derived.
+
+use crate::bar::{Bar, BarKind};
+use crate::chart::BarChart;
+use crate::expansion::Direction;
+use crate::explorer::Explorer;
+use crate::pane::{Pane, DEFAULT_COVERAGE_THRESHOLD};
+use elinda_rdf::TermId;
+
+/// The active tab of a pane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tab {
+    /// The default subclass-distribution chart.
+    Subclasses,
+    /// The property-coverage chart (outgoing or ingoing).
+    PropertyData(Direction),
+    /// The object expansion for a selected property.
+    Connections(TermId, Direction),
+}
+
+/// One pane plus its UI state.
+#[derive(Debug, Clone)]
+pub struct PaneState {
+    /// The pane model.
+    pub pane: Pane,
+    /// The active tab.
+    pub tab: Tab,
+    /// The property-chart coverage threshold (default 20%).
+    pub threshold: f64,
+    /// `(parent pane index, clicked bar label)` when opened from a bar.
+    pub opened_from: Option<(usize, TermId)>,
+}
+
+/// An eLinda session: an explorer plus the stack of open panes.
+pub struct Session<'a> {
+    explorer: Explorer<'a>,
+    panes: Vec<PaneState>,
+    active: usize,
+}
+
+impl<'a> Session<'a> {
+    /// Start a session; `None` when the dataset has no typed subjects.
+    pub fn start(explorer: Explorer<'a>) -> Option<Self> {
+        let initial = explorer.initial_pane()?;
+        Some(Session {
+            explorer,
+            panes: vec![PaneState {
+                pane: initial,
+                tab: Tab::Subclasses,
+                threshold: DEFAULT_COVERAGE_THRESHOLD,
+                opened_from: None,
+            }],
+            active: 0,
+        })
+    }
+
+    /// The explorer.
+    pub fn explorer(&self) -> &Explorer<'a> {
+        &self.explorer
+    }
+
+    /// All open panes, oldest first.
+    pub fn panes(&self) -> &[PaneState] {
+        &self.panes
+    }
+
+    /// Index of the active pane.
+    pub fn active_index(&self) -> usize {
+        self.active
+    }
+
+    /// The active pane.
+    pub fn active(&self) -> &PaneState {
+        &self.panes[self.active]
+    }
+
+    /// Activate a pane by index.
+    pub fn select(&mut self, index: usize) -> bool {
+        if index < self.panes.len() {
+            self.active = index;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Switch the active pane's tab.
+    pub fn set_tab(&mut self, tab: Tab) {
+        self.panes[self.active].tab = tab;
+    }
+
+    /// Adjust the active pane's coverage threshold ("the user may adjust
+    /// the threshold and reveal more properties").
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.panes[self.active].threshold = threshold.clamp(0.0, 1.0);
+    }
+
+    /// The chart of the active pane's current tab.
+    pub fn current_chart(&self) -> BarChart {
+        let state = self.active();
+        match state.tab {
+            Tab::Subclasses => state.pane.subclass_chart(&self.explorer),
+            Tab::PropertyData(dir) => state.pane.property_chart(&self.explorer, dir),
+            Tab::Connections(prop, dir) => state
+                .pane
+                .connections_chart(&self.explorer, prop, dir)
+                .unwrap_or_else(|_| state.pane.subclass_chart(&self.explorer)),
+        }
+    }
+
+    /// Open a pane for a class by name (the autocomplete search path).
+    pub fn open_class(&mut self, class: TermId) -> usize {
+        let pane = self.explorer.pane_for_class(class);
+        self.push(pane, None)
+    }
+
+    /// Click a class bar of the active pane's current chart: opens a new
+    /// pane beneath, focused on the (narrowed) bar set.
+    pub fn click_bar(&mut self, bar: &Bar) -> Option<usize> {
+        if bar.kind != BarKind::Class {
+            return None;
+        }
+        let parent = self.active;
+        let pane = self.explorer.pane_from_bar(bar)?;
+        Some(self.push(pane, Some((parent, bar.label))))
+    }
+
+    /// Close a pane (the initial pane cannot be closed).
+    pub fn close(&mut self, index: usize) -> bool {
+        if index == 0 || index >= self.panes.len() {
+            return false;
+        }
+        self.panes.remove(index);
+        // Re-point children of the removed pane at its parent and shift
+        // later indices down.
+        for state in &mut self.panes {
+            if let Some((parent, _)) = &mut state.opened_from {
+                if *parent == index {
+                    *parent = 0;
+                } else if *parent > index {
+                    *parent -= 1;
+                }
+            }
+        }
+        if self.active >= self.panes.len() {
+            self.active = self.panes.len() - 1;
+        }
+        true
+    }
+
+    /// The breadcrumb trail of the active pane: the labels clicked to
+    /// reach it, root first.
+    pub fn breadcrumbs(&self) -> Vec<String> {
+        let mut crumbs = Vec::new();
+        let mut cursor = self.active;
+        let mut guard = 0;
+        while let Some((parent, label)) = self.panes[cursor].opened_from {
+            crumbs.push(self.explorer.display(label).to_string());
+            cursor = parent;
+            guard += 1;
+            if guard > self.panes.len() {
+                break; // defensive: cycles cannot normally occur
+            }
+        }
+        crumbs.reverse();
+        crumbs
+    }
+
+    fn push(&mut self, pane: Pane, opened_from: Option<(usize, TermId)>) -> usize {
+        self.panes.push(PaneState {
+            pane,
+            tab: Tab::Subclasses,
+            threshold: DEFAULT_COVERAGE_THRESHOLD,
+            opened_from,
+        });
+        self.active = self.panes.len() - 1;
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_store::TripleStore;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Agent rdfs:subClassOf owl:Thing ; rdfs:label "Agent"@en .
+        ex:Person rdfs:subClassOf ex:Agent ; rdfs:label "Person"@en .
+        ex:alice a ex:Person ; a ex:Agent ; a owl:Thing ; ex:knows ex:bob .
+        ex:bob a ex:Person ; a ex:Agent ; a owl:Thing .
+    "#;
+
+    fn session(store: &TripleStore) -> Session<'_> {
+        Session::start(Explorer::new(store)).expect("typed data")
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    #[test]
+    fn starts_with_the_initial_pane() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let s = session(&store);
+        assert_eq!(s.panes().len(), 1);
+        assert_eq!(s.active().tab, Tab::Subclasses);
+        assert!(!s.current_chart().is_empty());
+    }
+
+    #[test]
+    fn clicking_bars_opens_panes_beneath() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let mut s = session(&store);
+        let chart = s.current_chart();
+        let agent_bar = chart.bar(id(&store, "Agent")).unwrap().clone();
+        let idx = s.click_bar(&agent_bar).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(s.active().pane.title, "Agent");
+        let chart = s.current_chart();
+        let person_bar = chart.bar(id(&store, "Person")).unwrap().clone();
+        s.click_bar(&person_bar).unwrap();
+        assert_eq!(s.panes().len(), 3);
+        assert_eq!(s.breadcrumbs(), vec!["Agent", "Person"]);
+    }
+
+    #[test]
+    fn property_bars_do_not_open_panes() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let mut s = session(&store);
+        s.set_tab(Tab::PropertyData(Direction::Outgoing));
+        let chart = s.current_chart();
+        let bar = chart.bars()[0].clone();
+        assert!(s.click_bar(&bar).is_none());
+        assert_eq!(s.panes().len(), 1);
+    }
+
+    #[test]
+    fn tabs_and_threshold() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let mut s = session(&store);
+        s.set_tab(Tab::PropertyData(Direction::Outgoing));
+        let chart = s.current_chart();
+        assert!(matches!(
+            chart.kind(),
+            crate::chart::ChartKind::PropertyOutgoing
+        ));
+        s.set_threshold(2.0);
+        assert_eq!(s.active().threshold, 1.0); // clamped
+        s.set_threshold(0.5);
+        let visible = chart.above_coverage(s.active().threshold);
+        assert!(visible.len() <= chart.len());
+    }
+
+    #[test]
+    fn connections_tab() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let mut s = session(&store);
+        let chart = s.current_chart();
+        let agent_bar = chart.bar(id(&store, "Agent")).unwrap().clone();
+        s.click_bar(&agent_bar).unwrap();
+        s.set_tab(Tab::Connections(id(&store, "knows"), Direction::Outgoing));
+        let conn = s.current_chart();
+        // bob is known; he is a Person/Agent/Thing.
+        assert!(conn.bar(id(&store, "Person")).is_some());
+    }
+
+    #[test]
+    fn close_and_reselect() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let mut s = session(&store);
+        let chart = s.current_chart();
+        let agent_bar = chart.bar(id(&store, "Agent")).unwrap().clone();
+        s.click_bar(&agent_bar).unwrap();
+        assert!(!s.close(0), "initial pane cannot close");
+        assert!(s.close(1));
+        assert_eq!(s.panes().len(), 1);
+        assert_eq!(s.active_index(), 0);
+        assert!(!s.select(5));
+        assert!(s.select(0));
+    }
+
+    #[test]
+    fn closing_a_middle_pane_repoints_children() {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let mut s = session(&store);
+        let chart = s.current_chart();
+        let agent_bar = chart.bar(id(&store, "Agent")).unwrap().clone();
+        s.click_bar(&agent_bar).unwrap(); // pane 1
+        let chart = s.current_chart();
+        let person_bar = chart.bar(id(&store, "Person")).unwrap().clone();
+        s.click_bar(&person_bar).unwrap(); // pane 2 (child of 1)
+        s.close(1);
+        // Pane 2 (now index 1) re-points at the root.
+        assert_eq!(s.panes()[1].opened_from.unwrap().0, 0);
+        s.select(1);
+        assert_eq!(s.breadcrumbs(), vec!["Person"]);
+    }
+}

@@ -1,0 +1,534 @@
+//! [`SetSpec`]: the intensional definition of a node set.
+//!
+//! Every set `S` reached during an exploration is definable from the path
+//! that produced it: the initial class, the subclass narrowings, the
+//! property restrictions, the connection hops, and the data filters. A
+//! [`SetSpec`] records that definition. It can be
+//!
+//! * evaluated algorithmically against the store ([`SetSpec::eval`]), and
+//! * compiled to a SPARQL query ([`SetSpec::to_query`]) — the paper's
+//!   "ELINDA enables the user to generate SPARQL code to extract each of
+//!   the bars along the exploration".
+//!
+//! Differential tests assert the two agree on every variant.
+
+use crate::expansion::Direction;
+use crate::nodeset::NodeSet;
+use elinda_rdf::{Term, TermId, Triple};
+use elinda_sparql::ast::{
+    GroupGraphPattern, PatternElement, Predicate, Query, SelectClause, SelectItem,
+    SelectItems, TermOrVar, TriplePatternAst,
+};
+use elinda_store::{ClassHierarchy, TripleStore};
+
+/// An intensional definition of a URI set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetSpec {
+    /// All direct instances of a class: `?x a <C>`.
+    AllOfType(TermId),
+    /// Instances of a class or any transitive subclass:
+    /// `?x a ?t . ?t rdfs:subClassOf* <C>`. Used on datasets that do not
+    /// materialize types (e.g. YAGO).
+    AllOfTypeTransitive(TermId),
+    /// Every typed subject — the initial set for datasets without a root
+    /// class (the LinkedGeoData case).
+    AllTyped,
+    /// Members of `parent` that are also instances of `class` (one
+    /// subclass-expansion step).
+    Narrow {
+        /// The parent set.
+        parent: Box<SetSpec>,
+        /// The narrowing class.
+        class: TermId,
+    },
+    /// Members of `parent` that are instances of `class` or any of its
+    /// transitive subclasses (the subclass step on non-materialized
+    /// datasets).
+    NarrowTransitive {
+        /// The parent set.
+        parent: Box<SetSpec>,
+        /// The narrowing class.
+        class: TermId,
+    },
+    /// Members of `parent` featuring property `prop` (one
+    /// property-expansion step).
+    WithProperty {
+        /// The parent set.
+        parent: Box<SetSpec>,
+        /// The property.
+        prop: TermId,
+        /// Whether members act as subjects (outgoing) or objects (incoming).
+        direction: Direction,
+    },
+    /// Instances of `class` connected to the `source` set via `prop` (one
+    /// object-expansion step; the focus switch of the Connections tab).
+    ObjectsVia {
+        /// The set being connected from.
+        source: Box<SetSpec>,
+        /// The connecting property.
+        prop: TermId,
+        /// Direction of the property relative to `source`.
+        direction: Direction,
+        /// The class of the connected nodes.
+        class: TermId,
+    },
+    /// Members of `parent` with the exact property value (a data filter
+    /// promoted to a filter expansion).
+    WithValue {
+        /// The parent set.
+        parent: Box<SetSpec>,
+        /// The filtering property.
+        prop: TermId,
+        /// The required value.
+        value: TermId,
+    },
+}
+
+impl SetSpec {
+    /// Evaluate the spec against a store.
+    pub fn eval(&self, store: &TripleStore, hierarchy: &ClassHierarchy) -> NodeSet {
+        match self {
+            SetSpec::AllOfType(class) => {
+                NodeSet::from_sorted_vec(hierarchy.instances(store, *class))
+            }
+            SetSpec::AllOfTypeTransitive(class) => {
+                NodeSet::from_sorted_vec(hierarchy.instances_transitive(store, *class))
+            }
+            SetSpec::AllTyped => {
+                let Some(ty) = store.lookup_iri(elinda_rdf::vocab::rdf::TYPE) else {
+                    return NodeSet::empty();
+                };
+                let mut subjects: Vec<TermId> =
+                    store.pos_range(ty, None).iter().map(|t| t.s).collect();
+                subjects.sort_unstable();
+                subjects.dedup();
+                NodeSet::from_sorted_vec(subjects)
+            }
+            SetSpec::Narrow { parent, class } => {
+                let parent_set = parent.eval(store, hierarchy);
+                let class_set = NodeSet::from_sorted_vec(hierarchy.instances(store, *class));
+                parent_set.intersect(&class_set)
+            }
+            SetSpec::NarrowTransitive { parent, class } => {
+                let parent_set = parent.eval(store, hierarchy);
+                let class_set =
+                    NodeSet::from_sorted_vec(hierarchy.instances_transitive(store, *class));
+                parent_set.intersect(&class_set)
+            }
+            SetSpec::WithProperty { parent, prop, direction } => {
+                let parent_set = parent.eval(store, hierarchy);
+                match direction {
+                    Direction::Outgoing => {
+                        parent_set.filter(|s| !store.spo_range(s, Some(*prop)).is_empty())
+                    }
+                    Direction::Incoming => {
+                        parent_set.filter(|s| !store.pos_range(*prop, Some(s)).is_empty())
+                    }
+                }
+            }
+            SetSpec::ObjectsVia { source, prop, direction, class } => {
+                let source_set = source.eval(store, hierarchy);
+                let mut connected: Vec<TermId> = Vec::new();
+                for y in &source_set {
+                    match direction {
+                        Direction::Outgoing => {
+                            connected.extend(store.objects_of(y, *prop));
+                        }
+                        Direction::Incoming => {
+                            connected.extend(store.subjects_with(*prop, y));
+                        }
+                    }
+                }
+                connected.sort_unstable();
+                connected.dedup();
+                let connected = NodeSet::from_sorted_vec(connected);
+                let class_set = NodeSet::from_sorted_vec(hierarchy.instances(store, *class));
+                connected.intersect(&class_set)
+            }
+            SetSpec::WithValue { parent, prop, value } => {
+                let parent_set = parent.eval(store, hierarchy);
+                parent_set.filter(|s| store.contains(Triple::new(s, *prop, *value)))
+            }
+        }
+    }
+
+    /// Compile the spec to a `SELECT DISTINCT ?x` SPARQL query.
+    pub fn to_query(&self, store: &TripleStore) -> Query {
+        let mut gen = SparqlGen { store, counter: 0, patterns: Vec::new() };
+        let x = gen.fresh("x");
+        gen.emit(self, &x);
+        Query {
+            select: SelectClause {
+                distinct: true,
+                items: SelectItems::Items(vec![SelectItem::var(x)]),
+            },
+            where_clause: GroupGraphPattern {
+                elements: vec![PatternElement::Triples(gen.patterns)],
+            },
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// Compile to SPARQL query text.
+    pub fn to_sparql(&self, store: &TripleStore) -> String {
+        self.to_query(store).to_string()
+    }
+
+    /// The exploration depth of the spec (number of steps from the root).
+    pub fn depth(&self) -> usize {
+        match self {
+            SetSpec::AllOfType(_) | SetSpec::AllOfTypeTransitive(_) | SetSpec::AllTyped => 0,
+            SetSpec::Narrow { parent, .. }
+            | SetSpec::NarrowTransitive { parent, .. }
+            | SetSpec::WithProperty { parent, .. }
+            | SetSpec::WithValue { parent, .. } => 1 + parent.depth(),
+            SetSpec::ObjectsVia { source, .. } => 1 + source.depth(),
+        }
+    }
+}
+
+struct SparqlGen<'a> {
+    store: &'a TripleStore,
+    counter: usize,
+    patterns: Vec<TriplePatternAst>,
+}
+
+impl SparqlGen<'_> {
+    fn fresh(&mut self, base: &str) -> String {
+        let name = if self.counter == 0 && base == "x" {
+            "x".to_string()
+        } else {
+            format!("{base}{}", self.counter)
+        };
+        self.counter += 1;
+        name
+    }
+
+    fn term(&self, id: TermId) -> TermOrVar {
+        TermOrVar::Term(self.store.resolve(id).clone())
+    }
+
+    fn type_pred(&self) -> TermOrVar {
+        TermOrVar::Term(Term::iri(elinda_rdf::vocab::rdf::TYPE))
+    }
+
+    /// `?var a ?t . ?t rdfs:subClassOf* <class>` — the transitive-type
+    /// idiom for datasets without materialized types.
+    fn emit_transitive_type(&mut self, var: &str, class: TermId) {
+        let t = self.fresh("t");
+        self.patterns.push(TriplePatternAst::new(
+            TermOrVar::var(var),
+            self.type_pred(),
+            TermOrVar::var(&t),
+        ));
+        self.patterns.push(TriplePatternAst::with_path(
+            TermOrVar::var(&t),
+            Predicate::ZeroOrMore(Term::iri(elinda_rdf::vocab::rdfs::SUB_CLASS_OF)),
+            self.term(class),
+        ));
+    }
+
+    /// Emit the patterns constraining variable `var` to be in `spec`.
+    fn emit(&mut self, spec: &SetSpec, var: &str) {
+        match spec {
+            SetSpec::AllOfType(class) => {
+                self.patterns.push(TriplePatternAst::new(
+                    TermOrVar::var(var),
+                    self.type_pred(),
+                    self.term(*class),
+                ));
+            }
+            SetSpec::AllOfTypeTransitive(class) => {
+                self.emit_transitive_type(var, *class);
+            }
+            SetSpec::AllTyped => {
+                let t = self.fresh("t");
+                self.patterns.push(TriplePatternAst::new(
+                    TermOrVar::var(var),
+                    self.type_pred(),
+                    TermOrVar::var(t),
+                ));
+            }
+            SetSpec::Narrow { parent, class } => {
+                self.emit(parent, var);
+                self.patterns.push(TriplePatternAst::new(
+                    TermOrVar::var(var),
+                    self.type_pred(),
+                    self.term(*class),
+                ));
+            }
+            SetSpec::NarrowTransitive { parent, class } => {
+                self.emit(parent, var);
+                self.emit_transitive_type(var, *class);
+            }
+            SetSpec::WithProperty { parent, prop, direction } => {
+                self.emit(parent, var);
+                let other = self.fresh("v");
+                let (s, o) = match direction {
+                    Direction::Outgoing => (TermOrVar::var(var), TermOrVar::var(other)),
+                    Direction::Incoming => (TermOrVar::var(other), TermOrVar::var(var)),
+                };
+                self.patterns.push(TriplePatternAst::new(s, self.term(*prop), o));
+            }
+            SetSpec::ObjectsVia { source, prop, direction, class } => {
+                let y = self.fresh("y");
+                self.emit(source, &y);
+                let (s, o) = match direction {
+                    Direction::Outgoing => (TermOrVar::var(&y), TermOrVar::var(var)),
+                    Direction::Incoming => (TermOrVar::var(var), TermOrVar::var(&y)),
+                };
+                self.patterns.push(TriplePatternAst::new(s, self.term(*prop), o));
+                self.patterns.push(TriplePatternAst::new(
+                    TermOrVar::var(var),
+                    self.type_pred(),
+                    self.term(*class),
+                ));
+            }
+            SetSpec::WithValue { parent, prop, value } => {
+                self.emit(parent, var);
+                self.patterns.push(TriplePatternAst::new(
+                    TermOrVar::var(var),
+                    self.term(*prop),
+                    self.term(*value),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_sparql::Executor;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Person rdfs:subClassOf owl:Thing .
+        ex:Philosopher rdfs:subClassOf ex:Person .
+        ex:Scientist rdfs:subClassOf ex:Person .
+        ex:plato a ex:Philosopher ; a ex:Person ; ex:influencedBy ex:socrates ; ex:born ex:athens .
+        ex:socrates a ex:Philosopher ; a ex:Person ; ex:born ex:athens .
+        ex:darwin a ex:Scientist ; a ex:Person ; ex:influencedBy ex:socrates ; ex:born ex:shrewsbury .
+        ex:kant a ex:Philosopher ; a ex:Person ; ex:influencedBy ex:darwin .
+        ex:athens a ex:City .
+        ex:shrewsbury a ex:City .
+    "#;
+
+    fn setup() -> (TripleStore, ClassHierarchy) {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let h = ClassHierarchy::build(&store);
+        (store, h)
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    fn assert_agrees(spec: &SetSpec, store: &TripleStore, h: &ClassHierarchy) {
+        let direct = spec.eval(store, h);
+        let query = spec.to_query(store);
+        let sol = Executor::new(store).execute(&query).unwrap();
+        let via_sparql = NodeSet::from_vec(sol.term_column("x"));
+        assert_eq!(
+            direct, via_sparql,
+            "algorithmic vs SPARQL mismatch for {spec:?}\nquery: {query}"
+        );
+    }
+
+    #[test]
+    fn all_of_type() {
+        let (store, h) = setup();
+        let spec = SetSpec::AllOfType(id(&store, "Philosopher"));
+        assert_eq!(spec.eval(&store, &h).len(), 3);
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn all_typed() {
+        let (store, h) = setup();
+        let spec = SetSpec::AllTyped;
+        assert_eq!(spec.eval(&store, &h).len(), 6);
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn narrow() {
+        let (store, h) = setup();
+        let spec = SetSpec::Narrow {
+            parent: Box::new(SetSpec::AllOfType(id(&store, "Person"))),
+            class: id(&store, "Philosopher"),
+        };
+        assert_eq!(spec.eval(&store, &h).len(), 3);
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn with_property_outgoing() {
+        let (store, h) = setup();
+        let spec = SetSpec::WithProperty {
+            parent: Box::new(SetSpec::AllOfType(id(&store, "Philosopher"))),
+            prop: id(&store, "influencedBy"),
+            direction: Direction::Outgoing,
+        };
+        // plato and kant feature influencedBy.
+        assert_eq!(spec.eval(&store, &h).len(), 2);
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn with_property_incoming() {
+        let (store, h) = setup();
+        let spec = SetSpec::WithProperty {
+            parent: Box::new(SetSpec::AllOfType(id(&store, "Person"))),
+            prop: id(&store, "influencedBy"),
+            direction: Direction::Incoming,
+        };
+        // socrates and darwin are influence targets.
+        assert_eq!(spec.eval(&store, &h).len(), 2);
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn objects_via_outgoing() {
+        let (store, h) = setup();
+        // Philosophers' influencers of class Scientist: darwin (influences kant).
+        let spec = SetSpec::ObjectsVia {
+            source: Box::new(SetSpec::AllOfType(id(&store, "Philosopher"))),
+            prop: id(&store, "influencedBy"),
+            direction: Direction::Outgoing,
+            class: id(&store, "Scientist"),
+        };
+        let set = spec.eval(&store, &h);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(id(&store, "darwin")));
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn objects_via_incoming() {
+        let (store, h) = setup();
+        // People influenced by scientists: kant (influencedBy darwin).
+        let spec = SetSpec::ObjectsVia {
+            source: Box::new(SetSpec::AllOfType(id(&store, "Scientist"))),
+            prop: id(&store, "influencedBy"),
+            direction: Direction::Incoming,
+            class: id(&store, "Philosopher"),
+        };
+        let set = spec.eval(&store, &h);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(id(&store, "kant")));
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn with_value() {
+        let (store, h) = setup();
+        let spec = SetSpec::WithValue {
+            parent: Box::new(SetSpec::AllOfType(id(&store, "Philosopher"))),
+            prop: id(&store, "born"),
+            value: id(&store, "athens"),
+        };
+        assert_eq!(spec.eval(&store, &h).len(), 2); // plato, socrates
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn deep_chained_spec() {
+        let (store, h) = setup();
+        // Persons -> narrowed to Philosopher -> having influencedBy ->
+        // their influence targets of class Philosopher -> born in athens.
+        let spec = SetSpec::WithValue {
+            parent: Box::new(SetSpec::ObjectsVia {
+                source: Box::new(SetSpec::WithProperty {
+                    parent: Box::new(SetSpec::Narrow {
+                        parent: Box::new(SetSpec::AllOfType(id(&store, "Person"))),
+                        class: id(&store, "Philosopher"),
+                    }),
+                    prop: id(&store, "influencedBy"),
+                    direction: Direction::Outgoing,
+                }),
+                prop: id(&store, "influencedBy"),
+                direction: Direction::Outgoing,
+                class: id(&store, "Philosopher"),
+            }),
+            prop: id(&store, "born"),
+            value: id(&store, "athens"),
+        };
+        assert_eq!(spec.depth(), 4);
+        let set = spec.eval(&store, &h);
+        // plato/kant's influencers who are philosophers: socrates; born in athens.
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(id(&store, "socrates")));
+        assert_agrees(&spec, &store, &h);
+    }
+
+    const UNMATERIALIZED: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Person rdfs:subClassOf ex:Agent .
+        ex:Philosopher rdfs:subClassOf ex:Person .
+        ex:plato a ex:Philosopher ; ex:born ex:athens .
+        ex:ada a ex:Person .
+        ex:org a ex:Agent .
+    "#;
+
+    #[test]
+    fn all_of_type_transitive() {
+        let store = TripleStore::from_turtle(UNMATERIALIZED).unwrap();
+        let h = ClassHierarchy::build(&store);
+        let agent = store.lookup_iri("http://e/Agent").unwrap();
+        // Direct typing sees only org; transitive sees all three.
+        assert_eq!(SetSpec::AllOfType(agent).eval(&store, &h).len(), 1);
+        let spec = SetSpec::AllOfTypeTransitive(agent);
+        assert_eq!(spec.eval(&store, &h).len(), 3);
+        assert_agrees(&spec, &store, &h);
+        // The generated SPARQL uses the subClassOf* path.
+        assert!(spec.to_sparql(&store).contains("subClassOf>*"));
+    }
+
+    #[test]
+    fn narrow_transitive() {
+        let store = TripleStore::from_turtle(UNMATERIALIZED).unwrap();
+        let h = ClassHierarchy::build(&store);
+        let agent = store.lookup_iri("http://e/Agent").unwrap();
+        let person = store.lookup_iri("http://e/Person").unwrap();
+        let spec = SetSpec::NarrowTransitive {
+            parent: Box::new(SetSpec::AllOfTypeTransitive(agent)),
+            class: person,
+        };
+        let set = spec.eval(&store, &h);
+        assert_eq!(set.len(), 2); // plato (Philosopher ⊑ Person), ada
+        assert_eq!(spec.depth(), 1);
+        assert_agrees(&spec, &store, &h);
+    }
+
+    #[test]
+    fn generated_sparql_is_readable() {
+        let (store, _) = setup();
+        let spec = SetSpec::Narrow {
+            parent: Box::new(SetSpec::AllOfType(id(&store, "Person"))),
+            class: id(&store, "Philosopher"),
+        };
+        let text = spec.to_sparql(&store);
+        assert!(text.starts_with("SELECT DISTINCT ?x"));
+        assert!(text.contains("http://e/Philosopher"));
+    }
+
+    #[test]
+    fn empty_result_specs() {
+        let (store, h) = setup();
+        let spec = SetSpec::ObjectsVia {
+            source: Box::new(SetSpec::AllOfType(id(&store, "City"))),
+            prop: id(&store, "influencedBy"),
+            direction: Direction::Outgoing,
+            class: id(&store, "Person"),
+        };
+        assert!(spec.eval(&store, &h).is_empty());
+        assert_agrees(&spec, &store, &h);
+    }
+}

@@ -1,0 +1,391 @@
+//! [`DataTable`]: the tabular instance-data view of Section 3.3.
+//!
+//! "Each bar in the property chart that is selected by the user is added
+//! as a new column in the table. The column is then filled-in with actual
+//! values that are fetched from the dataset. … the table exposes the
+//! SPARQL query it was generated from. … A data filter may be attached to
+//! each table column … Note that by applying data filters, the set S that
+//! is captured by the pane is left unchanged. If we want to change our
+//! focus of exploration we may ask ELINDA to open a new pane that is
+//! associated with S_f — the set S after applying the filters (filter
+//! expansion)."
+
+use crate::nodeset::NodeSet;
+use crate::spec::SetSpec;
+use elinda_rdf::{Term, TermId};
+use elinda_sparql::ast::{
+    Expr, Func, GroupGraphPattern, PatternElement, Query, SelectClause, SelectItem,
+    SelectItems, TermOrVar, TriplePatternAst,
+};
+use elinda_store::TripleStore;
+
+/// A filter attached to a table column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnFilter {
+    /// Keep rows whose column contains the exact value.
+    Equals {
+        /// The column's property.
+        prop: TermId,
+        /// The required value.
+        value: TermId,
+    },
+    /// Keep rows where some value's string form contains the text
+    /// (case-sensitive).
+    Contains {
+        /// The column's property.
+        prop: TermId,
+        /// The text to search for.
+        text: String,
+    },
+}
+
+impl ColumnFilter {
+    /// The property the filter applies to.
+    pub fn prop(&self) -> TermId {
+        match self {
+            ColumnFilter::Equals { prop, .. } | ColumnFilter::Contains { prop, .. } => *prop,
+        }
+    }
+
+    fn accepts(&self, store: &TripleStore, instance: TermId) -> bool {
+        match self {
+            ColumnFilter::Equals { prop, value } => {
+                store.contains(elinda_rdf::Triple::new(instance, *prop, *value))
+            }
+            ColumnFilter::Contains { prop, text } => {
+                store.objects_of(instance, *prop).any(|o| {
+                    let term = store.resolve(o);
+                    match term {
+                        Term::Iri(i) => i.contains(text.as_str()),
+                        Term::Literal(l) => l.lexical().contains(text.as_str()),
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// One table column: a property and, per instance, its values.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// The property.
+    pub prop: TermId,
+    /// Values per instance, aligned with the table's instance order.
+    pub values: Vec<Vec<TermId>>,
+}
+
+/// The data table over a pane's instance set.
+#[derive(Debug, Clone)]
+pub struct DataTable {
+    instances: NodeSet,
+    spec: SetSpec,
+    columns: Vec<Column>,
+    filters: Vec<ColumnFilter>,
+}
+
+impl DataTable {
+    /// An empty table over the pane's set.
+    pub fn new(instances: NodeSet, spec: SetSpec) -> Self {
+        DataTable { instances, spec, columns: Vec::new(), filters: Vec::new() }
+    }
+
+    /// The pane set `S` (never changed by filters).
+    pub fn instances(&self) -> &NodeSet {
+        &self.instances
+    }
+
+    /// The columns, in selection order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The attached filters.
+    pub fn filters(&self) -> &[ColumnFilter] {
+        &self.filters
+    }
+
+    /// Add a property column and fill it from the dataset.
+    pub fn add_column(&mut self, store: &TripleStore, prop: TermId) {
+        if self.columns.iter().any(|c| c.prop == prop) {
+            return;
+        }
+        let values = self
+            .instances
+            .iter()
+            .map(|s| store.objects_of(s, prop).collect())
+            .collect();
+        self.columns.push(Column { prop, values });
+    }
+
+    /// Remove a column (and any filters on it).
+    pub fn remove_column(&mut self, prop: TermId) {
+        self.columns.retain(|c| c.prop != prop);
+        self.filters.retain(|f| f.prop() != prop);
+    }
+
+    /// Attach a filter.
+    pub fn add_filter(&mut self, filter: ColumnFilter) {
+        self.filters.push(filter);
+    }
+
+    /// The visible rows: `(instance, values per column)` for instances
+    /// passing every filter.
+    pub fn rows<'t>(
+        &'t self,
+        store: &'t TripleStore,
+    ) -> impl Iterator<Item = (TermId, Vec<&'t [TermId]>)> + 't {
+        self.instances
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| self.filters.iter().all(|f| f.accepts(store, s)))
+            .map(move |(i, &s)| {
+                let vals = self
+                    .columns
+                    .iter()
+                    .map(|c| c.values[i].as_slice())
+                    .collect();
+                (s, vals)
+            })
+    }
+
+    /// `S_f`: the instance set after applying the filters — the input to
+    /// the filter expansion (opening a new pane on the narrowed set).
+    pub fn filtered_instances(&self, store: &TripleStore) -> NodeSet {
+        self.instances
+            .filter(|s| self.filters.iter().all(|f| f.accepts(store, s)))
+    }
+
+    /// The spec of `S_f`, refining the pane spec with each `Equals`
+    /// filter. `Contains` filters are not expressible as triple patterns
+    /// alone and are attached as SPARQL `FILTER`s in [`Self::to_query`].
+    pub fn filtered_spec(&self) -> SetSpec {
+        let mut spec = self.spec.clone();
+        for f in &self.filters {
+            if let ColumnFilter::Equals { prop, value } = f {
+                spec = SetSpec::WithValue {
+                    parent: Box::new(spec),
+                    prop: *prop,
+                    value: *value,
+                };
+            }
+        }
+        spec
+    }
+
+    /// The SPARQL query the table "was generated from": one row variable,
+    /// an `OPTIONAL` block per unfiltered column, a required pattern or
+    /// `FILTER` per filtered column.
+    pub fn to_query(&self, store: &TripleStore) -> Query {
+        let base = self.spec.to_query(store);
+        let mut elements = base.where_clause.elements;
+        let mut items = vec![SelectItem::var("x")];
+        for (i, col) in self.columns.iter().enumerate() {
+            let var = format!("col{i}");
+            items.push(SelectItem::var(var.clone()));
+            let prop_term = TermOrVar::Term(store.resolve(col.prop).clone());
+            let pattern = TriplePatternAst::new(
+                TermOrVar::var("x"),
+                prop_term,
+                TermOrVar::var(var.clone()),
+            );
+            // A filtered column binds a required pattern; an unfiltered one
+            // is OPTIONAL so that value-less instances still show a row.
+            let col_filters: Vec<&ColumnFilter> = self
+                .filters
+                .iter()
+                .filter(|f| f.prop() == col.prop)
+                .collect();
+            if col_filters.is_empty() {
+                elements.push(PatternElement::Optional(GroupGraphPattern {
+                    elements: vec![PatternElement::Triples(vec![pattern])],
+                }));
+            } else {
+                elements.push(PatternElement::Triples(vec![pattern]));
+                for f in col_filters {
+                    match f {
+                        ColumnFilter::Equals { value, .. } => {
+                            elements.push(PatternElement::Filter(Expr::Binary(
+                                elinda_sparql::ast::BinOp::Eq,
+                                Box::new(Expr::Var(var.clone())),
+                                Box::new(Expr::Constant(store.resolve(*value).clone())),
+                            )));
+                        }
+                        ColumnFilter::Contains { text, .. } => {
+                            elements.push(PatternElement::Filter(Expr::Call(
+                                Func::Contains,
+                                vec![
+                                    Expr::Call(Func::Str, vec![Expr::Var(var.clone())]),
+                                    Expr::Constant(Term::Literal(
+                                        elinda_rdf::term::Literal::plain(text.clone()),
+                                    )),
+                                ],
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Query {
+            select: SelectClause { distinct: false, items: SelectItems::Items(items) },
+            where_clause: GroupGraphPattern { elements },
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// The exposed SPARQL text.
+    pub fn to_sparql(&self, store: &TripleStore) -> String {
+        self.to_query(store).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_sparql::Executor;
+    use elinda_store::ClassHierarchy;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Philosopher rdfs:subClassOf ex:Person .
+        ex:plato a ex:Philosopher ; ex:birthPlace ex:athens ; ex:influencedBy ex:socrates .
+        ex:socrates a ex:Philosopher ; ex:birthPlace ex:athens .
+        ex:kant a ex:Philosopher ; ex:birthPlace ex:konigsberg ; ex:influencedBy ex:hume , ex:newton .
+        ex:wittgenstein a ex:Philosopher ; ex:birthPlace ex:vienna .
+    "#;
+
+    fn setup() -> (TripleStore, NodeSet, SetSpec) {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let h = ClassHierarchy::build(&store);
+        let phil = store.lookup_iri("http://e/Philosopher").unwrap();
+        let spec = SetSpec::AllOfType(phil);
+        let set = spec.eval(&store, &h);
+        (store, set, spec)
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    #[test]
+    fn columns_fill_with_values() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set, spec);
+        table.add_column(&store, id(&store, "birthPlace"));
+        table.add_column(&store, id(&store, "influencedBy"));
+        assert_eq!(table.columns().len(), 2);
+        let rows: Vec<_> = table.rows(&store).collect();
+        assert_eq!(rows.len(), 4);
+        // kant has two influencers in one cell.
+        let kant = id(&store, "kant");
+        let kant_row = rows.iter().find(|(s, _)| *s == kant).unwrap();
+        assert_eq!(kant_row.1[1].len(), 2);
+        // wittgenstein has none.
+        let w = id(&store, "wittgenstein");
+        let w_row = rows.iter().find(|(s, _)| *s == w).unwrap();
+        assert!(w_row.1[1].is_empty());
+    }
+
+    #[test]
+    fn duplicate_columns_ignored() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set, spec);
+        table.add_column(&store, id(&store, "birthPlace"));
+        table.add_column(&store, id(&store, "birthPlace"));
+        assert_eq!(table.columns().len(), 1);
+    }
+
+    #[test]
+    fn equals_filter_restricts_rows_but_not_s() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set.clone(), spec);
+        table.add_column(&store, id(&store, "birthPlace"));
+        table.add_filter(ColumnFilter::Equals {
+            prop: id(&store, "birthPlace"),
+            value: id(&store, "athens"),
+        });
+        assert_eq!(table.rows(&store).count(), 2);
+        // S unchanged.
+        assert_eq!(table.instances(), &set);
+        // S_f narrowed.
+        let sf = table.filtered_instances(&store);
+        assert_eq!(sf.len(), 2);
+        assert!(sf.contains(id(&store, "plato")));
+    }
+
+    #[test]
+    fn contains_filter() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set, spec);
+        table.add_column(&store, id(&store, "birthPlace"));
+        table.add_filter(ColumnFilter::Contains {
+            prop: id(&store, "birthPlace"),
+            text: "vien".into(),
+        });
+        let rows: Vec<_> = table.rows(&store).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, id(&store, "wittgenstein"));
+    }
+
+    #[test]
+    fn filtered_spec_matches_filtered_instances() {
+        let (store, set, spec) = setup();
+        let h = ClassHierarchy::build(&store);
+        let mut table = DataTable::new(set, spec);
+        table.add_column(&store, id(&store, "birthPlace"));
+        table.add_filter(ColumnFilter::Equals {
+            prop: id(&store, "birthPlace"),
+            value: id(&store, "athens"),
+        });
+        let sf = table.filtered_instances(&store);
+        let spec_sf = table.filtered_spec().eval(&store, &h);
+        assert_eq!(sf, spec_sf);
+    }
+
+    #[test]
+    fn remove_column_drops_its_filters() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set, spec);
+        let bp = id(&store, "birthPlace");
+        table.add_column(&store, bp);
+        table.add_filter(ColumnFilter::Equals { prop: bp, value: id(&store, "athens") });
+        table.remove_column(bp);
+        assert!(table.columns().is_empty());
+        assert!(table.filters().is_empty());
+        assert_eq!(table.rows(&store).count(), 4);
+    }
+
+    #[test]
+    fn exposed_sparql_executes_and_agrees_on_rows() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set, spec);
+        table.add_column(&store, id(&store, "birthPlace"));
+        table.add_column(&store, id(&store, "influencedBy"));
+        let query = table.to_query(&store);
+        let sol = Executor::new(&store).execute(&query).unwrap();
+        // Each instance appears; kant appears twice (two influencers join).
+        let xs = sol.term_column("x");
+        assert_eq!(xs.len(), 5); // 3 single rows + kant x2
+        let text = table.to_sparql(&store);
+        assert!(text.contains("OPTIONAL"));
+    }
+
+    #[test]
+    fn exposed_sparql_with_filter_agrees() {
+        let (store, set, spec) = setup();
+        let mut table = DataTable::new(set, spec);
+        let bp = id(&store, "birthPlace");
+        table.add_column(&store, bp);
+        table.add_filter(ColumnFilter::Equals { prop: bp, value: id(&store, "athens") });
+        let sol = Executor::new(&store).execute(&table.to_query(&store)).unwrap();
+        let mut xs = sol.term_column("x");
+        xs.sort_unstable();
+        xs.dedup();
+        let sf = table.filtered_instances(&store);
+        assert_eq!(NodeSet::from_vec(xs), sf);
+    }
+}

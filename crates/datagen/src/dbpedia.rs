@@ -1,0 +1,794 @@
+//! The DBpedia-like generator, calibrated to the counts the paper reports.
+
+use elinda_rdf::term::Literal;
+use elinda_rdf::{vocab, Graph, Term, TermId};
+use elinda_store::TripleStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the DBpedia-like dataset.
+///
+/// Instance counts scale the dataset; the structural counts (classes,
+/// property-pool sizes, thresholds) default to the paper's published
+/// numbers.
+#[derive(Debug, Clone)]
+pub struct DbpediaConfig {
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Number of `Philosopher` instances.
+    pub philosophers: usize,
+    /// Number of `Politician` instances.
+    pub politicians: usize,
+    /// Number of `Scientist` instances.
+    pub scientists: usize,
+    /// Number of `Writer` instances.
+    pub writers: usize,
+    /// Persons spread across the filler `Person` subclasses.
+    pub generic_persons: usize,
+    /// Number of `Organisation` instances.
+    pub organisations: usize,
+    /// Number of `Place` instances.
+    pub places: usize,
+    /// Number of `Work` instances.
+    pub works: usize,
+    /// Number of `Food` instances (the error-detection scenario needs
+    /// typed Food resources).
+    pub foods: usize,
+    /// Total distinct properties featured by `Politician` instances
+    /// (1482 in DBpedia).
+    pub politician_total_properties: usize,
+    /// Politician properties meeting the coverage threshold (38 in
+    /// DBpedia). Includes the universal `rdf:type`, `rdfs:label`, and
+    /// `dbo:birthPlace`.
+    pub politician_props_above_threshold: usize,
+    /// Ingoing `Philosopher` properties meeting the threshold (9 in
+    /// DBpedia).
+    pub philosopher_ingoing_above_threshold: usize,
+    /// Ingoing `Philosopher` properties below the threshold.
+    pub philosopher_ingoing_tail: usize,
+    /// Persons whose `birthPlace` erroneously points at a `Food` resource
+    /// (the "people born in food" demo scenario).
+    pub erroneous_birthplaces: usize,
+    /// The coverage threshold the calibration targets (default 20%).
+    pub coverage_threshold: f64,
+}
+
+impl DbpediaConfig {
+    /// A tiny dataset (≈ 3k triples) for unit and integration tests.
+    pub fn tiny() -> Self {
+        DbpediaConfig {
+            seed: 42,
+            philosophers: 40,
+            politicians: 60,
+            scientists: 25,
+            writers: 25,
+            generic_persons: 60,
+            organisations: 30,
+            places: 25,
+            works: 40,
+            foods: 10,
+            politician_total_properties: 60,
+            politician_props_above_threshold: 8,
+            philosopher_ingoing_above_threshold: 9,
+            philosopher_ingoing_tail: 6,
+            erroneous_birthplaces: 3,
+            coverage_threshold: 0.20,
+        }
+    }
+
+    /// The paper-shape dataset: every structural count matches the
+    /// published DBpedia figures, instance counts scaled to laptop size
+    /// (≈ 10× fewer politicians than DBpedia's ≈ 40k).
+    pub fn paper_shape() -> Self {
+        DbpediaConfig {
+            seed: 7,
+            philosophers: 1200,
+            politicians: 4000,
+            scientists: 1500,
+            writers: 1500,
+            generic_persons: 4000,
+            organisations: 1500,
+            places: 1200,
+            works: 2500,
+            foods: 150,
+            politician_total_properties: 1482,
+            politician_props_above_threshold: 38,
+            philosopher_ingoing_above_threshold: 9,
+            philosopher_ingoing_tail: 40,
+            erroneous_birthplaces: 25,
+            coverage_threshold: 0.20,
+        }
+    }
+
+    /// Multiply every instance count (structural counts unchanged).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
+        self.philosophers = scale(self.philosophers);
+        self.politicians = scale(self.politicians);
+        self.scientists = scale(self.scientists);
+        self.writers = scale(self.writers);
+        self.generic_persons = scale(self.generic_persons);
+        self.organisations = scale(self.organisations);
+        self.places = scale(self.places);
+        self.works = scale(self.works);
+        self.foods = scale(self.foods);
+        self.erroneous_birthplaces = scale(self.erroneous_birthplaces);
+        self
+    }
+}
+
+impl Default for DbpediaConfig {
+    fn default() -> Self {
+        Self::tiny()
+    }
+}
+
+/// Structural constants of the generated ontology (the paper's DBpedia
+/// facts — fixed, not configurable).
+pub mod shape {
+    /// Top-level classes under `owl:Thing`.
+    pub const TOP_LEVEL_CLASSES: usize = 49;
+    /// Top-level classes with no instances ("almost half").
+    pub const EMPTY_TOP_LEVEL_CLASSES: usize = 22;
+    /// Direct subclasses of `Agent`.
+    pub const AGENT_DIRECT_SUBCLASSES: usize = 5;
+    /// Transitive subclasses of `Agent`.
+    pub const AGENT_TOTAL_SUBCLASSES: usize = 277;
+}
+
+/// Generate the DBpedia-like dataset as a loaded store.
+pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
+    TripleStore::from_graph(generate_dbpedia_graph(cfg))
+}
+
+/// Generate the DBpedia-like dataset as a raw graph (for the incremental
+/// evaluator and serialization tests).
+pub fn generate_dbpedia_graph(cfg: &DbpediaConfig) -> Graph {
+    Builder::new(cfg).build()
+}
+
+// Named top-level classes that receive instances.
+const INSTANTIATED_TOP_LEVEL: &[&str] = &[
+    "Agent", "Place", "Work", "Event", "Species", "Food", "Device",
+];
+
+// Named empty top-level classes; the remainder of the 22 are filler.
+const NAMED_EMPTY_TOP_LEVEL: &[&str] = &[
+    "Colour", "Name", "PersonFunction", "TimePeriod", "Holiday", "Currency",
+];
+
+// Named Person subclasses (beyond the calibrated four).
+const NAMED_PERSON_SUBCLASSES: &[&str] = &[
+    "Artist", "Athlete", "Cleric", "Engineer", "Journalist", "Judge",
+    "MilitaryPerson", "Monarch", "Musician", "Painter",
+];
+
+// The nine above-threshold ingoing Philosopher properties (the paper names
+// `author`; the rest are plausible DBpedia relations).
+const PHILOSOPHER_INGOING: &[&str] = &[
+    "author", "influencedBy", "spouse", "child", "parent",
+    "doctoralAdvisor", "doctoralStudent", "successor", "predecessor",
+];
+
+struct Builder<'c> {
+    cfg: &'c DbpediaConfig,
+    g: Graph,
+    rng: StdRng,
+    // Well-known ids.
+    rdf_type: TermId,
+    sub_class_of: TermId,
+    rdfs_label: TermId,
+    owl_thing: TermId,
+    owl_class: TermId,
+    // Instance pools.
+    philosophers: Vec<TermId>,
+    politicians: Vec<TermId>,
+    scientists: Vec<TermId>,
+    writers: Vec<TermId>,
+    generic_persons: Vec<TermId>,
+    organisations: Vec<TermId>,
+    places: Vec<TermId>,
+    works: Vec<TermId>,
+    foods: Vec<TermId>,
+}
+
+impl<'c> Builder<'c> {
+    fn new(cfg: &'c DbpediaConfig) -> Self {
+        let mut g = Graph::with_capacity(1024, 4096);
+        let rdf_type = g.intern_iri(vocab::rdf::TYPE);
+        let sub_class_of = g.intern_iri(vocab::rdfs::SUB_CLASS_OF);
+        let rdfs_label = g.intern_iri(vocab::rdfs::LABEL);
+        let owl_thing = g.intern_iri(vocab::owl::THING);
+        let owl_class = g.intern_iri(vocab::owl::CLASS);
+        Builder {
+            cfg,
+            g,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            rdf_type,
+            sub_class_of,
+            rdfs_label,
+            owl_thing,
+            owl_class,
+            philosophers: Vec::new(),
+            politicians: Vec::new(),
+            scientists: Vec::new(),
+            writers: Vec::new(),
+            generic_persons: Vec::new(),
+            organisations: Vec::new(),
+            places: Vec::new(),
+            works: Vec::new(),
+            foods: Vec::new(),
+        }
+    }
+
+    fn class(&mut self, name: &str, parent: TermId) -> TermId {
+        let id = self.g.intern_iri(format!("{}{name}", vocab::dbo::NS));
+        self.g.insert_ids(id, self.rdf_type, self.owl_class);
+        self.g.insert_ids(id, self.sub_class_of, parent);
+        let label = self.g.intern(Term::Literal(Literal::lang(name, "en")));
+        self.g.insert_ids(id, self.rdfs_label, label);
+        id
+    }
+
+    fn property(&mut self, name: &str) -> TermId {
+        self.g.intern_iri(format!("{}{name}", vocab::dbo::NS))
+    }
+
+    /// An instance typed with the given class chain (leaf first), with
+    /// transitively materialized `rdf:type` including `owl:Thing`.
+    fn instance(&mut self, name: &str, chain: &[TermId]) -> TermId {
+        let id = self.g.intern_iri(format!("{}{name}", vocab::dbr::NS));
+        for &c in chain {
+            self.g.insert_ids(id, self.rdf_type, c);
+        }
+        self.g.insert_ids(id, self.rdf_type, self.owl_thing);
+        let label = self
+            .g
+            .intern(Term::Literal(Literal::plain(name.replace('_', " "))));
+        self.g.insert_ids(id, self.rdfs_label, label);
+        id
+    }
+
+    /// The rotated block of `k` indices out of `n`, deterministic in
+    /// `salt`. Exact-coverage assignment: property `salt` goes to exactly
+    /// these instances.
+    fn block(n: usize, k: usize, salt: usize) -> impl Iterator<Item = usize> {
+        let start = (salt.wrapping_mul(2654435761)) % n.max(1);
+        (0..k.min(n)).map(move |i| (start + i) % n)
+    }
+
+    /// Block size for a coverage target, clamped to the correct side of
+    /// the threshold. `k/n ≥ t ⇔ k ≥ ⌈t·n⌉`.
+    fn block_size(&self, n: usize, coverage: f64, above: bool) -> usize {
+        let min_above = (self.cfg.coverage_threshold * n as f64).ceil() as usize;
+        let min_above = min_above.max(1);
+        let k = (coverage * n as f64).round() as usize;
+        if above {
+            k.clamp(min_above, n)
+        } else {
+            k.clamp(1, min_above.saturating_sub(1).max(1).min(n))
+        }
+    }
+
+    fn build(mut self) -> Graph {
+        let cfg = self.cfg;
+        // ------------------------------------------------------------------
+        // Ontology: 49 top-level classes, 22 empty.
+        // ------------------------------------------------------------------
+        let agent = self.class("Agent", self.owl_thing);
+        for name in &INSTANTIATED_TOP_LEVEL[1..] {
+            self.class(name, self.owl_thing);
+        }
+        for name in NAMED_EMPTY_TOP_LEVEL {
+            self.class(name, self.owl_thing);
+        }
+        let named = INSTANTIATED_TOP_LEVEL.len() + NAMED_EMPTY_TOP_LEVEL.len();
+        let mut filler_top_levels = Vec::new();
+        for i in named..shape::TOP_LEVEL_CLASSES {
+            filler_top_levels.push(self.class(&format!("TopLevel{i}"), self.owl_thing));
+        }
+        // Land exactly on the published 27 instantiated / 22 empty split:
+        // the named instantiated classes get instances below; enough filler
+        // top-levels get a couple here.
+        let instantiated_filler = shape::TOP_LEVEL_CLASSES
+            - shape::EMPTY_TOP_LEVEL_CLASSES
+            - INSTANTIATED_TOP_LEVEL.len();
+        for (i, &c) in filler_top_levels.iter().take(instantiated_filler).enumerate() {
+            for j in 0..2 {
+                self.instance(&format!("TopFiller_{i}_{j}"), &[c]);
+            }
+        }
+
+        // Agent subtree: 5 direct children; 277 transitive subclasses.
+        let person = self.class("Person", agent);
+        let organisation = self.class("Organisation", agent);
+        let deity = self.class("Deity", agent);
+        let family = self.class("Family", agent);
+        self.class("Robot", agent);
+
+        // Person subtree: 179 descendants (so Person's branch holds 180 of
+        // Agent's 277).
+        let philosopher = self.class("Philosopher", person);
+        let politician = self.class("Politician", person);
+        let scientist = self.class("Scientist", person);
+        let writer = self.class("Writer", person);
+        for name in NAMED_PERSON_SUBCLASSES {
+            self.class(name, person);
+        }
+        // Depth below the named classes.
+        self.class("Epistemologist", philosopher);
+        self.class("Ethicist", philosopher);
+        let named_person_descendants = 4 + NAMED_PERSON_SUBCLASSES.len() + 2;
+        let person_descendants_target = 179;
+        let mut filler_person_classes = Vec::new();
+        for i in named_person_descendants..person_descendants_target {
+            filler_person_classes.push(self.class(&format!("PersonType{i}"), person));
+        }
+
+        // Organisation subtree: 79 descendants (80 nodes in the branch).
+        for i in 0..79 {
+            self.class(&format!("OrgType{i}"), organisation);
+        }
+        // Deity: 4 descendants; Family: 3 descendants.
+        for i in 0..4 {
+            self.class(&format!("DeityType{i}"), deity);
+        }
+        for i in 0..3 {
+            self.class(&format!("FamilyType{i}"), family);
+        }
+        // Branch totals under Agent:
+        //   direct (5) + Person(180) - Person itself already counted as
+        //   direct… the arithmetic: descendants(Agent) = 5 direct +
+        //   179 (under Person) + 79 (under Organisation) + 4 (under Deity)
+        //   + 3 (under Family) + 0 (under Robot) = 270.  Two more named
+        //   levels are added below to land exactly on 277 via
+        //   OrgSubLevel/DeitySub classes:
+        for i in 0..7 {
+            self.class(&format!("AgentMisc{i}"), organisation);
+        }
+
+        // ------------------------------------------------------------------
+        // Instances.
+        // ------------------------------------------------------------------
+        let place = self.g.intern_iri(format!("{}Place", vocab::dbo::NS));
+        let work = self.g.intern_iri(format!("{}Work", vocab::dbo::NS));
+        let food = self.g.intern_iri(format!("{}Food", vocab::dbo::NS));
+        let event = self.g.intern_iri(format!("{}Event", vocab::dbo::NS));
+        let species = self.g.intern_iri(format!("{}Species", vocab::dbo::NS));
+        let device = self.g.intern_iri(format!("{}Device", vocab::dbo::NS));
+
+        for i in 0..cfg.places {
+            let id = self.instance(&format!("City_{i}"), &[place]);
+            self.places.push(id);
+        }
+        for i in 0..cfg.foods {
+            let id = self.instance(&format!("Food_{i}"), &[food]);
+            self.foods.push(id);
+        }
+        for i in 0..cfg.works {
+            let id = self.instance(&format!("Work_{i}"), &[work]);
+            self.works.push(id);
+        }
+        // A handful of instances for the remaining instantiated top-levels.
+        for (i, &c) in [event, species, device].iter().enumerate() {
+            for j in 0..3 {
+                self.instance(&format!("Misc_{i}_{j}"), &[c]);
+            }
+        }
+
+        let person_chain = |leaf: TermId| vec![leaf, person, agent];
+        for i in 0..cfg.philosophers {
+            let id = self.instance(&format!("Philosopher_{i}"), &person_chain(philosopher));
+            self.philosophers.push(id);
+        }
+        for i in 0..cfg.politicians {
+            let id = self.instance(&format!("Politician_{i}"), &person_chain(politician));
+            self.politicians.push(id);
+        }
+        for i in 0..cfg.scientists {
+            let id = self.instance(&format!("Scientist_{i}"), &person_chain(scientist));
+            self.scientists.push(id);
+        }
+        for i in 0..cfg.writers {
+            let id = self.instance(&format!("Writer_{i}"), &person_chain(writer));
+            self.writers.push(id);
+        }
+        // Generic persons over the filler Person subclasses, Zipf-ish.
+        for i in 0..cfg.generic_persons {
+            let rank = 1 + (i % filler_person_classes.len().max(1));
+            let class_idx = (i / rank.max(1)) % filler_person_classes.len().max(1);
+            let leaf = filler_person_classes
+                .get(class_idx)
+                .copied()
+                .unwrap_or(person);
+            let id = self.instance(&format!("Person_{i}"), &person_chain(leaf));
+            self.generic_persons.push(id);
+        }
+        for i in 0..cfg.organisations {
+            let id = self.instance(&format!("Org_{i}"), &[organisation, agent]);
+            self.organisations.push(id);
+        }
+
+        // ------------------------------------------------------------------
+        // Person-wide properties: birthPlace at ~70% coverage. The block is
+        // assigned per person pool so that every class's own coverage is
+        // exact (a single block over the concatenated pools could starve
+        // one class entirely). The planted erroneous Food targets go to the
+        // generic-person pool.
+        // ------------------------------------------------------------------
+        let birth_place = self.property("birthPlace");
+        let pools: Vec<Vec<TermId>> = vec![
+            self.philosophers.clone(),
+            self.politicians.clone(),
+            self.scientists.clone(),
+            self.writers.clone(),
+            self.generic_persons.clone(),
+        ];
+        let mut erroneous_left = cfg.erroneous_birthplaces;
+        for (pool_no, pool) in pools.iter().enumerate() {
+            let n = pool.len();
+            if n == 0 {
+                continue;
+            }
+            let k = self.block_size(n, 0.70, true);
+            let is_generic_pool = pool_no == pools.len() - 1;
+            for idx in Self::block(n, k, 13 + pool_no) {
+                let s = pool[idx];
+                let target = if is_generic_pool && erroneous_left > 0 && !self.foods.is_empty()
+                {
+                    erroneous_left -= 1;
+                    self.foods[idx % self.foods.len()]
+                } else {
+                    self.places[idx % self.places.len().max(1)]
+                };
+                self.g.insert_ids(s, birth_place, target);
+            }
+        }
+
+        self.politician_properties(politician);
+        self.philosopher_properties();
+        self.work_properties();
+
+        self.g
+    }
+
+    /// The Politician property pool: exactly `politician_total_properties`
+    /// distinct properties, exactly `politician_props_above_threshold` at
+    /// or above the coverage threshold. `rdf:type`, `rdfs:label` (100%)
+    /// and `birthPlace` (70%) are universal and count toward the
+    /// above-threshold figure.
+    fn politician_properties(&mut self, _politician: TermId) {
+        let cfg = self.cfg;
+        let n = self.politicians.len();
+        if n == 0 {
+            return;
+        }
+        const UNIVERSAL: usize = 3; // rdf:type, rdfs:label, birthPlace
+        let above = cfg.politician_props_above_threshold.saturating_sub(UNIVERSAL);
+        let below = cfg
+            .politician_total_properties
+            .saturating_sub(cfg.politician_props_above_threshold);
+        let t = cfg.coverage_threshold;
+
+        for i in 0..above {
+            let prop = self.property(&format!("polAbove{i}"));
+            // Coverage descending from ~0.95 to the threshold.
+            let frac = if above > 1 { i as f64 / (above - 1) as f64 } else { 0.0 };
+            let coverage = t + (0.95 - t) * (1.0 - frac) * (1.0 - frac);
+            let k = self.block_size(n, coverage, true);
+            for idx in Self::block(n, k, 1000 + i) {
+                let s = self.politicians[idx];
+                let o = self.pick_object(i, idx);
+                self.g.insert_ids(s, prop, o);
+            }
+        }
+        for i in 0..below {
+            let prop = self.property(&format!("polTail{i}"));
+            // A long geometric tail below the threshold.
+            let coverage = (t * 0.95) * (0.97f64).powi((i % 120) as i32);
+            let k = self.block_size(n, coverage, false);
+            for idx in Self::block(n, k, 5000 + i) {
+                let s = self.politicians[idx];
+                let o = self.pick_object(i, idx);
+                self.g.insert_ids(s, prop, o);
+            }
+        }
+    }
+
+    /// One object for a property assignment: rotate through organisations,
+    /// places, and literals so that object expansions have mixed classes.
+    fn pick_object(&mut self, prop_salt: usize, idx: usize) -> TermId {
+        match prop_salt % 3 {
+            0 if !self.organisations.is_empty() => {
+                self.organisations[idx % self.organisations.len()]
+            }
+            1 if !self.places.is_empty() => self.places[idx % self.places.len()],
+            _ => {
+                let v: u32 = self.rng.gen_range(0..10_000);
+                self.g.intern(Term::Literal(Literal::integer(i64::from(v))))
+            }
+        }
+    }
+
+    /// Philosopher outgoing properties (influencedBy with mixed-type
+    /// targets — the Fig. 2 exploration) and the calibrated ingoing pool.
+    fn philosopher_properties(&mut self) {
+        let cfg = self.cfg;
+        let n = self.philosophers.len();
+        if n == 0 {
+            return;
+        }
+        let t = cfg.coverage_threshold;
+
+        // Outgoing influencedBy at ~50% coverage, targets rotating over
+        // philosopher / scientist / writer / politician.
+        let influenced_by = self.property("influencedBy");
+        let k = self.block_size(n, 0.5, true);
+        for idx in Self::block(n, k, 77) {
+            let s = self.philosophers[idx];
+            let target = match idx % 4 {
+                0 => self.philosophers[(idx * 7 + 1) % n],
+                1 => self.scientists[idx % self.scientists.len().max(1)],
+                2 => self.writers[idx % self.writers.len().max(1)],
+                _ => self.politicians[idx % self.politicians.len().max(1)],
+            };
+            if s != target {
+                self.g.insert_ids(s, influenced_by, target);
+            }
+        }
+        // A couple more outgoing philosopher properties.
+        for (name, coverage) in [("mainInterest", 0.6), ("era", 0.4), ("notableIdea", 0.3)] {
+            let prop = self.property(name);
+            let k = self.block_size(n, coverage, true);
+            for idx in Self::block(n, k, name.len() * 131) {
+                let s = self.philosophers[idx];
+                let o = self.pick_object(name.len(), idx);
+                self.g.insert_ids(s, prop, o);
+            }
+        }
+
+        // Ingoing: exactly the nine named properties above the threshold…
+        for (i, name) in PHILOSOPHER_INGOING.iter().enumerate() {
+            let prop = self.property(name);
+            let frac = i as f64 / (PHILOSOPHER_INGOING.len() - 1) as f64;
+            let coverage = t + (0.7 - t) * (1.0 - frac);
+            let k = self.block_size(n, coverage, true);
+            for idx in Self::block(n, k, 9000 + i) {
+                let target = self.philosophers[idx];
+                let source = self.ingoing_source(name, idx);
+                self.g.insert_ids(source, prop, target);
+            }
+        }
+        // …and a below-threshold tail.
+        for i in 0..cfg.philosopher_ingoing_tail {
+            let prop = self.property(&format!("philRef{i}"));
+            let coverage = (t * 0.9) * (0.9f64).powi(i as i32);
+            let k = self.block_size(n, coverage, false);
+            for idx in Self::block(n, k, 12000 + i) {
+                let target = self.philosophers[idx];
+                let source = self.generic_persons[(idx * 3 + i) % self.generic_persons.len().max(1)];
+                self.g.insert_ids(source, prop, target);
+            }
+        }
+    }
+
+    /// A source entity for an ingoing philosopher property.
+    fn ingoing_source(&self, name: &str, idx: usize) -> TermId {
+        let pick = |pool: &[TermId], salt: usize| pool[(idx * 11 + salt) % pool.len().max(1)];
+        match name {
+            // "author … connects between different works to philosophers
+            // who authored them".
+            "author" => pick(&self.works, 1),
+            "doctoralAdvisor" | "doctoralStudent" => pick(&self.scientists, 2),
+            "influencedBy" | "successor" | "predecessor" => pick(&self.philosophers, 3),
+            _ => pick(&self.generic_persons, 4),
+        }
+    }
+
+    /// Work properties beyond `author` (which the ingoing pool creates).
+    fn work_properties(&mut self) {
+        let n = self.works.len();
+        if n == 0 {
+            return;
+        }
+        let genre = self.property("genre");
+        let k = self.block_size(n, 0.5, true);
+        for idx in Self::block(n, k, 333) {
+            let s = self.works[idx];
+            let o = self.pick_object(2, idx);
+            self.g.insert_ids(s, genre, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_store::ClassHierarchy;
+
+    fn dbo(store: &TripleStore, local: &str) -> TermId {
+        store
+            .lookup_iri(&format!("{}{local}", vocab::dbo::NS))
+            .unwrap_or_else(|| panic!("missing class {local}"))
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_dbpedia_graph(&DbpediaConfig::tiny());
+        let b = generate_dbpedia_graph(&DbpediaConfig::tiny());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            elinda_rdf::ntriples::write_document(&a),
+            elinda_rdf::ntriples::write_document(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_dbpedia_graph(&DbpediaConfig::tiny());
+        let mut cfg = DbpediaConfig::tiny();
+        cfg.seed = 43;
+        let b = generate_dbpedia_graph(&cfg);
+        assert_ne!(
+            elinda_rdf::ntriples::write_document(&a),
+            elinda_rdf::ntriples::write_document(&b)
+        );
+    }
+
+    #[test]
+    fn top_level_shape_49_classes_22_empty() {
+        let store = generate_dbpedia(&DbpediaConfig::tiny());
+        let h = ClassHierarchy::build(&store);
+        let thing = h.owl_thing().unwrap();
+        let tops = h.direct_subclasses(thing);
+        assert_eq!(tops.len(), shape::TOP_LEVEL_CLASSES);
+        let empty = tops
+            .iter()
+            .filter(|&&c| {
+                h.instance_count(&store, c) == 0
+                    && h.all_subclasses(c)
+                        .iter()
+                        .all(|&s| h.instance_count(&store, s) == 0)
+            })
+            .count();
+        assert_eq!(empty, shape::EMPTY_TOP_LEVEL_CLASSES);
+    }
+
+    #[test]
+    fn agent_shape_5_direct_277_total() {
+        let store = generate_dbpedia(&DbpediaConfig::tiny());
+        let h = ClassHierarchy::build(&store);
+        let agent = dbo(&store, "Agent");
+        assert_eq!(
+            h.direct_subclass_count(agent),
+            shape::AGENT_DIRECT_SUBCLASSES
+        );
+        assert_eq!(h.total_subclass_count(agent), shape::AGENT_TOTAL_SUBCLASSES);
+    }
+
+    #[test]
+    fn politician_property_pool_is_calibrated() {
+        let cfg = DbpediaConfig::tiny();
+        let store = generate_dbpedia(&cfg);
+        let h = ClassHierarchy::build(&store);
+        let politician = dbo(&store, "Politician");
+        let instances = h.instances(&store, politician);
+        assert_eq!(instances.len(), cfg.politicians);
+        // Count distinct properties and their coverage.
+        let mut coverage: std::collections::HashMap<TermId, usize> = Default::default();
+        for &s in &instances {
+            let mut last = None;
+            for t in store.spo_range(s, None) {
+                if last != Some(t.p) {
+                    *coverage.entry(t.p).or_default() += 1;
+                    last = Some(t.p);
+                }
+            }
+        }
+        assert_eq!(coverage.len(), cfg.politician_total_properties);
+        let thresh =
+            (cfg.coverage_threshold * instances.len() as f64).ceil() as usize;
+        let above = coverage.values().filter(|&&k| k >= thresh).count();
+        assert_eq!(above, cfg.politician_props_above_threshold);
+    }
+
+    #[test]
+    fn philosopher_ingoing_is_calibrated() {
+        let cfg = DbpediaConfig::tiny();
+        let store = generate_dbpedia(&cfg);
+        let h = ClassHierarchy::build(&store);
+        let philosopher = dbo(&store, "Philosopher");
+        let instances = h.instances(&store, philosopher);
+        let mut coverage: std::collections::HashMap<TermId, usize> = Default::default();
+        for &s in &instances {
+            let mut props: Vec<TermId> =
+                store.osp_range(s, None).iter().map(|t| t.p).collect();
+            props.sort_unstable();
+            props.dedup();
+            for p in props {
+                *coverage.entry(p).or_default() += 1;
+            }
+        }
+        let thresh =
+            (cfg.coverage_threshold * instances.len() as f64).ceil() as usize;
+        let above: Vec<_> = coverage
+            .iter()
+            .filter(|(_, &k)| k >= thresh)
+            .map(|(&p, _)| p)
+            .collect();
+        assert_eq!(above.len(), cfg.philosopher_ingoing_above_threshold);
+        let author = store
+            .lookup_iri(&format!("{}author", vocab::dbo::NS))
+            .unwrap();
+        assert!(above.contains(&author), "author must be above threshold");
+    }
+
+    #[test]
+    fn influenced_by_targets_include_scientists() {
+        let store = generate_dbpedia(&DbpediaConfig::tiny());
+        let h = ClassHierarchy::build(&store);
+        let infl = store
+            .lookup_iri(&format!("{}influencedBy", vocab::dbo::NS))
+            .unwrap();
+        let scientist = dbo(&store, "Scientist");
+        let phil = dbo(&store, "Philosopher");
+        let phil_set: std::collections::HashSet<TermId> =
+            h.instances(&store, phil).into_iter().collect();
+        let mut scientist_targets = 0;
+        for t in store.pos_range(infl, None) {
+            if phil_set.contains(&t.s) && h.classes_of(&store, t.o).contains(&scientist) {
+                scientist_targets += 1;
+            }
+        }
+        assert!(scientist_targets > 0, "Fig. 2 needs scientist influencers");
+    }
+
+    #[test]
+    fn erroneous_birthplaces_point_at_food() {
+        let cfg = DbpediaConfig::tiny();
+        let store = generate_dbpedia(&cfg);
+        let h = ClassHierarchy::build(&store);
+        let bp = store
+            .lookup_iri(&format!("{}birthPlace", vocab::dbo::NS))
+            .unwrap();
+        let food = dbo(&store, "Food");
+        let bad = store
+            .pos_range(bp, None)
+            .iter()
+            .filter(|t| h.classes_of(&store, t.o).contains(&food))
+            .count();
+        assert_eq!(bad, cfg.erroneous_birthplaces);
+    }
+
+    #[test]
+    fn types_are_materialized_to_owl_thing() {
+        let store = generate_dbpedia(&DbpediaConfig::tiny());
+        let h = ClassHierarchy::build(&store);
+        let thing = h.owl_thing().unwrap();
+        let phil = dbo(&store, "Philosopher");
+        for s in h.instances(&store, phil) {
+            let classes = h.classes_of(&store, s);
+            assert!(classes.contains(&thing));
+            assert!(classes.contains(&dbo(&store, "Person")));
+            assert!(classes.contains(&dbo(&store, "Agent")));
+        }
+    }
+
+    #[test]
+    fn scaled_config_multiplies_instances() {
+        let cfg = DbpediaConfig::tiny().scaled(2.0);
+        assert_eq!(cfg.politicians, DbpediaConfig::tiny().politicians * 2);
+        assert_eq!(
+            cfg.politician_total_properties,
+            DbpediaConfig::tiny().politician_total_properties
+        );
+    }
+
+    #[test]
+    fn paper_shape_has_published_structural_counts() {
+        let cfg = DbpediaConfig::paper_shape();
+        assert_eq!(cfg.politician_total_properties, 1482);
+        assert_eq!(cfg.politician_props_above_threshold, 38);
+        assert_eq!(cfg.philosopher_ingoing_above_threshold, 9);
+    }
+}

@@ -1,0 +1,133 @@
+//! A LinkedGeoData-like dataset: a class hierarchy with **no root class**
+//! (paper footnote 7: "We also handle the case of datasets with not root
+//! class, as found in LinkedGeoData").
+
+use elinda_rdf::term::Literal;
+use elinda_rdf::{vocab, Graph, Term, TermId};
+use elinda_store::TripleStore;
+
+/// Configuration for the LinkedGeoData-like dataset.
+#[derive(Debug, Clone)]
+pub struct LgdConfig {
+    /// Seed (generation is deterministic).
+    pub seed: u64,
+    /// Instances per leaf class.
+    pub instances_per_leaf: usize,
+}
+
+impl LgdConfig {
+    /// A tiny dataset for tests.
+    pub fn tiny() -> Self {
+        LgdConfig { seed: 42, instances_per_leaf: 8 }
+    }
+}
+
+impl Default for LgdConfig {
+    fn default() -> Self {
+        Self::tiny()
+    }
+}
+
+const NS: &str = "http://linkedgeodata.org/ontology/";
+
+/// The root-less hierarchy: three independent trees.
+const TREES: &[(&str, &[&str])] = &[
+    ("Amenity", &["School", "Hospital", "Restaurant", "Pharmacy"]),
+    ("Shop", &["Bakery", "Butcher", "Supermarket"]),
+    ("Highway", &["Motorway", "Residential"]),
+];
+
+/// Generate the LinkedGeoData-like dataset.
+pub fn generate_lgd(cfg: &LgdConfig) -> TripleStore {
+    let mut g = Graph::new();
+    let rdf_type = g.intern_iri(vocab::rdf::TYPE);
+    let sub_class_of = g.intern_iri(vocab::rdfs::SUB_CLASS_OF);
+    let rdfs_label = g.intern_iri(vocab::rdfs::LABEL);
+    let rdfs_class = g.intern_iri(vocab::rdfs::CLASS);
+    let lat = g.intern_iri(format!("{NS}lat"));
+    let lon = g.intern_iri(format!("{NS}lon"));
+    let near = g.intern_iri(format!("{NS}near"));
+
+    let class = |g: &mut Graph, name: &str, parent: Option<TermId>| -> TermId {
+        let id = g.intern_iri(format!("{NS}{name}"));
+        g.insert_ids(id, rdf_type, rdfs_class);
+        if let Some(p) = parent {
+            g.insert_ids(id, sub_class_of, p);
+        }
+        let label = g.intern(Term::Literal(Literal::lang(name, "en")));
+        g.insert_ids(id, rdfs_label, label);
+        id
+    };
+
+    let mut all_instances: Vec<TermId> = Vec::new();
+    for (root_name, leaves) in TREES {
+        let root = class(&mut g, root_name, None);
+        for (li, leaf_name) in leaves.iter().enumerate() {
+            let leaf = class(&mut g, leaf_name, Some(root));
+            for i in 0..cfg.instances_per_leaf {
+                let node = g.intern_iri(format!("{NS}node/{leaf_name}_{i}"));
+                g.insert_ids(node, rdf_type, leaf);
+                g.insert_ids(node, rdf_type, root);
+                // Deterministic pseudo-coordinates from the seed.
+                let h = cfg
+                    .seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((li * 1000 + i) as u64);
+                let lat_v = g.intern(Term::Literal(Literal::double(
+                    (h % 180_000) as f64 / 1000.0 - 90.0,
+                )));
+                let lon_v = g.intern(Term::Literal(Literal::double(
+                    ((h / 7) % 360_000) as f64 / 1000.0 - 180.0,
+                )));
+                g.insert_ids(node, lat, lat_v);
+                g.insert_ids(node, lon, lon_v);
+                if let Some(&prev) = all_instances.last() {
+                    if i % 3 == 0 {
+                        g.insert_ids(node, near, prev);
+                    }
+                }
+                all_instances.push(node);
+            }
+        }
+    }
+    TripleStore::from_graph(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_store::ClassHierarchy;
+
+    #[test]
+    fn has_no_root_class() {
+        let store = generate_lgd(&LgdConfig::tiny());
+        let h = ClassHierarchy::build(&store);
+        assert!(h.owl_thing().is_none());
+        // Three independent roots.
+        let tops = h.top_level_classes();
+        assert_eq!(tops.len(), 3);
+    }
+
+    #[test]
+    fn leaves_are_instantiated() {
+        let cfg = LgdConfig::tiny();
+        let store = generate_lgd(&cfg);
+        let h = ClassHierarchy::build(&store);
+        let bakery = store.lookup_iri(&format!("{NS}Bakery")).unwrap();
+        assert_eq!(h.instance_count(&store, bakery), cfg.instances_per_leaf);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_lgd(&LgdConfig::tiny());
+        let b = generate_lgd(&LgdConfig::tiny());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn instances_have_coordinates() {
+        let store = generate_lgd(&LgdConfig::tiny());
+        let lat = store.lookup_iri(&format!("{NS}lat")).unwrap();
+        assert!(!store.pos_range(lat, None).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Deterministic synthetic Linked-Data generators.
+//!
+//! The paper evaluates eLinda against live DBpedia, YAGO, and
+//! LinkedGeoData endpoints. Those cannot ship with a reproduction, so this
+//! crate generates datasets whose *structure* matches the facts the paper
+//! reports (see DESIGN.md, substitution table):
+//!
+//! * 49 top-level classes, 22 of which have no instances;
+//! * `Agent` with 5 direct and 277 transitive subclasses;
+//! * the `owl:Thing → Agent → Person → Philosopher` drill-down path;
+//! * `Politician` with a configurable property pool (1482 distinct
+//!   properties at paper scale) of which exactly 38 clear the 20%
+//!   coverage threshold;
+//! * `Philosopher` with exactly 9 ingoing properties above threshold
+//!   (including `author` from works);
+//! * `influencedBy` edges from philosophers to persons of several types
+//!   (including `Scientist` — the Fig. 2 exploration);
+//! * erroneous `birthPlace → Food` triples (the error-detection demo);
+//! * transitively materialized `rdf:type` (as DBpedia serves it).
+//!
+//! Coverage targets are met *exactly*, not in expectation: each property
+//! is assigned to a deterministic, rotated block of instances whose size
+//! is computed from the target coverage and clamped to the correct side
+//! of the threshold.
+//!
+//! [`generate_lgd`] produces a LinkedGeoData-like dataset with *no* root
+//! class (paper footnote 7), and [`generate_yago`] a YAGO-like dataset
+//! (`rdfs:Class` declarations, deep WordNet-style chains, leaf-only
+//! non-materialized types, multilingual labels).
+
+pub mod dbpedia;
+pub mod lgd;
+pub mod yago;
+
+pub use dbpedia::{generate_dbpedia, generate_dbpedia_graph, DbpediaConfig};
+pub use lgd::{generate_lgd, LgdConfig};
+pub use yago::{generate_yago, YagoConfig};

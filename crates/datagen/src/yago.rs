@@ -1,0 +1,153 @@
+//! A YAGO-like dataset.
+//!
+//! The paper lists YAGO among the endpoints eLinda explores. YAGO's
+//! shape differs from DBpedia's in ways that exercise different code
+//! paths: classes are declared with `rdfs:Class` (not `owl:Class`), the
+//! hierarchy is rooted at `owl:Thing` but much deeper (WordNet-derived
+//! chains), types are *not* transitively materialized, and labels come
+//! in many languages.
+
+use elinda_rdf::term::Literal;
+use elinda_rdf::{vocab, Graph, Term, TermId};
+use elinda_store::TripleStore;
+
+/// Configuration for the YAGO-like dataset.
+#[derive(Debug, Clone)]
+pub struct YagoConfig {
+    /// Seed (generation is deterministic).
+    pub seed: u64,
+    /// Depth of each WordNet-style chain under the top classes.
+    pub chain_depth: usize,
+    /// Number of chains.
+    pub chains: usize,
+    /// Instances attached at each chain's leaf.
+    pub instances_per_leaf: usize,
+}
+
+impl YagoConfig {
+    /// A tiny dataset for tests.
+    pub fn tiny() -> Self {
+        YagoConfig { seed: 11, chain_depth: 6, chains: 8, instances_per_leaf: 6 }
+    }
+}
+
+impl Default for YagoConfig {
+    fn default() -> Self {
+        Self::tiny()
+    }
+}
+
+const NS: &str = "http://yago-knowledge.org/resource/";
+const LANGS: &[&str] = &["en", "de", "fr", "es"];
+
+/// Generate the YAGO-like dataset.
+pub fn generate_yago(cfg: &YagoConfig) -> TripleStore {
+    let mut g = Graph::new();
+    let rdf_type = g.intern_iri(vocab::rdf::TYPE);
+    let sub_class_of = g.intern_iri(vocab::rdfs::SUB_CLASS_OF);
+    let rdfs_label = g.intern_iri(vocab::rdfs::LABEL);
+    let rdfs_class = g.intern_iri(vocab::rdfs::CLASS);
+    let owl_thing = g.intern_iri(vocab::owl::THING);
+    let linked_to = g.intern_iri(format!("{NS}linksTo"));
+    let created = g.intern_iri(format!("{NS}created"));
+
+    let declare = |g: &mut Graph, name: &str, parent: TermId, lang_ix: usize| -> TermId {
+        let id = g.intern_iri(format!("{NS}wordnet_{name}"));
+        g.insert_ids(id, rdf_type, rdfs_class);
+        g.insert_ids(id, sub_class_of, parent);
+        let lang = LANGS[lang_ix % LANGS.len()];
+        let label = g.intern(Term::Literal(Literal::lang(name.replace('_', " "), lang)));
+        g.insert_ids(id, rdfs_label, label);
+        // English label too, so autocomplete prefers it.
+        let en = g.intern(Term::Literal(Literal::lang(name.replace('_', " "), "en")));
+        g.insert_ids(id, rdfs_label, en);
+        id
+    };
+
+    let mut leaves = Vec::new();
+    for chain in 0..cfg.chains {
+        let mut parent = owl_thing;
+        for depth in 0..cfg.chain_depth {
+            let name = format!("chain{chain}_level{depth}");
+            parent = declare(&mut g, &name, parent, chain + depth);
+        }
+        leaves.push(parent);
+    }
+
+    // Instances only at the leaves, with a *single* (leaf) type — YAGO
+    // does not materialize transitive types, so `instances_transitive`
+    // is required to see them from ancestors.
+    let mut prev: Option<TermId> = None;
+    for (li, &leaf) in leaves.iter().enumerate() {
+        for i in 0..cfg.instances_per_leaf {
+            let inst = g.intern_iri(format!("{NS}entity_{li}_{i}"));
+            g.insert_ids(inst, rdf_type, leaf);
+            let label = g.intern(Term::Literal(Literal::lang(
+                format!("entity {li} {i}"),
+                LANGS[(cfg.seed as usize + i) % LANGS.len()],
+            )));
+            g.insert_ids(inst, rdfs_label, label);
+            if let Some(p) = prev {
+                if (i + li) % 2 == 0 {
+                    g.insert_ids(inst, linked_to, p);
+                }
+            }
+            if i % 3 == 0 {
+                let year = g.intern(Term::Literal(Literal::integer(
+                    1900 + ((cfg.seed as usize + li * 31 + i * 7) % 120) as i64,
+                )));
+                g.insert_ids(inst, created, year);
+            }
+            prev = Some(inst);
+        }
+    }
+    TripleStore::from_graph(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_store::ClassHierarchy;
+
+    #[test]
+    fn rooted_at_owl_thing_with_deep_chains() {
+        let cfg = YagoConfig::tiny();
+        let store = generate_yago(&cfg);
+        let h = ClassHierarchy::build(&store);
+        let thing = h.owl_thing().expect("rooted");
+        assert_eq!(h.direct_subclass_count(thing), cfg.chains);
+        assert_eq!(
+            h.total_subclass_count(thing),
+            cfg.chains * cfg.chain_depth
+        );
+    }
+
+    #[test]
+    fn types_are_not_materialized() {
+        let cfg = YagoConfig::tiny();
+        let store = generate_yago(&cfg);
+        let h = ClassHierarchy::build(&store);
+        let thing = h.owl_thing().unwrap();
+        // No direct owl:Thing instances…
+        assert_eq!(h.instance_count(&store, thing), 0);
+        // …but the transitive view sees everything.
+        assert_eq!(
+            h.instances_transitive(&store, thing).len(),
+            cfg.chains * cfg.instances_per_leaf
+        );
+    }
+
+    #[test]
+    fn classes_declared_with_rdfs_class() {
+        let store = generate_yago(&YagoConfig::tiny());
+        let h = ClassHierarchy::build(&store);
+        assert!(!h.declared_classes().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_yago(&YagoConfig::tiny());
+        let b = generate_yago(&YagoConfig::tiny());
+        assert_eq!(a.len(), b.len());
+    }
+}

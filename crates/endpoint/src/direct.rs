@@ -1,0 +1,66 @@
+//! [`DirectEndpoint`]: the plain SPARQL path — the stand-in for the
+//! Virtuoso endpoint the paper routes non-heavy queries to.
+
+use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
+use elinda_sparql::exec::QueryError;
+use elinda_sparql::Executor;
+use elinda_store::TripleStore;
+use std::time::Instant;
+
+/// Executes every query with the naive SPARQL executor.
+pub struct DirectEndpoint<'a> {
+    store: &'a TripleStore,
+}
+
+impl<'a> DirectEndpoint<'a> {
+    /// An endpoint over the store.
+    pub fn new(store: &'a TripleStore) -> Self {
+        DirectEndpoint { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &'a TripleStore {
+        self.store
+    }
+}
+
+impl QueryEngine for DirectEndpoint<'_> {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
+        let start = Instant::now();
+        let solutions = Executor::new(self.store).run(query)?;
+        Ok(QueryOutcome {
+            solutions,
+            elapsed: start.elapsed(),
+            served_by: ServedBy::Direct,
+        })
+    }
+
+    fn data_epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_and_measures() {
+        let store = TripleStore::from_turtle(
+            "@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .",
+        )
+        .unwrap();
+        let ep = DirectEndpoint::new(&store);
+        let out = ep.execute("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
+        assert_eq!(out.solutions.len(), 2);
+        assert_eq!(out.served_by, ServedBy::Direct);
+        assert_eq!(ep.data_epoch(), 0);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let store = TripleStore::new();
+        let ep = DirectEndpoint::new(&store);
+        assert!(ep.execute("SELECT").is_err());
+    }
+}

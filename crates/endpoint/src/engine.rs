@@ -1,0 +1,50 @@
+//! The [`QueryEngine`] abstraction: anything that can answer a SPARQL
+//! query with a measured runtime.
+
+use elinda_sparql::exec::QueryError;
+use elinda_sparql::Solutions;
+use std::time::Duration;
+
+/// Which component served a query (the Fig. 4 store configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// The plain SPARQL executor (the "Virtuoso endpoint" path).
+    Direct,
+    /// A heavy-query-store hit.
+    Hvs,
+    /// The eLinda decomposer.
+    Decomposer,
+    /// A remote endpoint in compatibility mode.
+    Remote,
+}
+
+/// A query result with its measured runtime and serving component.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The solution sequence.
+    pub solutions: Solutions,
+    /// Measured wall-clock runtime.
+    pub elapsed: Duration,
+    /// Which component answered.
+    pub served_by: ServedBy,
+}
+
+/// An engine that answers SPARQL text queries.
+pub trait QueryEngine {
+    /// Execute a query, measuring its runtime.
+    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError>;
+
+    /// The epoch of the underlying data (bumped on updates).
+    fn data_epoch(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_by_is_comparable() {
+        assert_ne!(ServedBy::Direct, ServedBy::Hvs);
+        assert_eq!(ServedBy::Decomposer, ServedBy::Decomposer);
+    }
+}

@@ -1,0 +1,231 @@
+//! The eLinda heavy query store (HVS).
+//!
+//! "For each query to the ELINDA endpoint, the system first checks if the
+//! HVS encountered it before and determined it to be heavy. If so, use
+//! the result from the HVS, otherwise route it to the Virtuoso endpoint.
+//! ELINDA backend measures the run time of the routed queries. Queries
+//! with runtime bigger than one second are considered heavy and saved in
+//! the HVS. The HVS is cleared on any updated to the ELINDA knowledge
+//! bases." (Section 4)
+
+use elinda_rdf::fx::FxHashMap;
+use elinda_sparql::Solutions;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// HVS configuration.
+#[derive(Debug, Clone)]
+pub struct HvsConfig {
+    /// Queries at or above this runtime are considered heavy. The paper
+    /// uses 1 s against a ~400M-triple Virtuoso; scale it down with the
+    /// dataset.
+    pub heavy_threshold: Duration,
+    /// Maximum number of cached queries (FIFO eviction).
+    pub capacity: usize,
+}
+
+impl Default for HvsConfig {
+    fn default() -> Self {
+        HvsConfig { heavy_threshold: Duration::from_secs(1), capacity: 1024 }
+    }
+}
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HvsStats {
+    /// Lookups that found a cached heavy result.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Heavy results stored.
+    pub insertions: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Full clears triggered by knowledge-base updates.
+    pub invalidations: u64,
+}
+
+struct Inner {
+    map: FxHashMap<String, Solutions>,
+    order: VecDeque<String>,
+    epoch: u64,
+    stats: HvsStats,
+}
+
+/// The key-value heavy query store.
+pub struct HeavyQueryStore {
+    config: HvsConfig,
+    inner: Mutex<Inner>,
+}
+
+impl HeavyQueryStore {
+    /// An empty HVS bound to the given data epoch.
+    pub fn new(config: HvsConfig, epoch: u64) -> Self {
+        HeavyQueryStore {
+            config,
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                order: VecDeque::new(),
+                epoch,
+                stats: HvsStats::default(),
+            }),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HvsConfig {
+        &self.config
+    }
+
+    /// Clear the cache if the knowledge base moved to a new epoch
+    /// ("cleared on any update"). Returns `true` if it cleared.
+    pub fn sync_epoch(&self, epoch: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.epoch != epoch {
+            inner.map.clear();
+            inner.order.clear();
+            inner.epoch = epoch;
+            inner.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Look up a query previously determined to be heavy.
+    pub fn get(&self, query: &str) -> Option<Solutions> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(query).cloned() {
+            Some(sol) => {
+                inner.stats.hits += 1;
+                Some(sol)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a measured query. Stored only if its runtime met the heavy
+    /// threshold. Returns `true` if stored.
+    pub fn record(&self, query: &str, solutions: &Solutions, elapsed: Duration) -> bool {
+        if elapsed < self.config.heavy_threshold {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(query) {
+            return false;
+        }
+        while inner.order.len() >= self.config.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(query.to_string(), solutions.clone());
+        inner.order.push_back(query.to_string());
+        inner.stats.insertions += 1;
+        true
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> HvsStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(n: usize) -> Solutions {
+        Solutions {
+            vars: vec!["x".into()],
+            rows: (0..n)
+                .map(|i| vec![Some(elinda_sparql::Value::Int(i as i64))])
+                .collect(),
+        }
+    }
+
+    fn hvs(threshold_ms: u64, capacity: usize) -> HeavyQueryStore {
+        HeavyQueryStore::new(
+            HvsConfig {
+                heavy_threshold: Duration::from_millis(threshold_ms),
+                capacity,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn stores_only_heavy_queries() {
+        let h = hvs(100, 10);
+        assert!(!h.record("q1", &sol(1), Duration::from_millis(50)));
+        assert!(h.record("q2", &sol(2), Duration::from_millis(150)));
+        assert!(h.get("q1").is_none());
+        assert_eq!(h.get("q2").unwrap().len(), 2);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let h = hvs(100, 10);
+        assert!(h.record("q", &sol(1), Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn epoch_sync_clears() {
+        let h = hvs(0, 10);
+        h.record("q", &sol(1), Duration::from_millis(1));
+        assert!(!h.sync_epoch(0)); // same epoch: no clear
+        assert_eq!(h.len(), 1);
+        assert!(h.sync_epoch(1)); // update happened: clear
+        assert!(h.is_empty());
+        assert_eq!(h.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_fifo() {
+        let h = hvs(0, 2);
+        h.record("a", &sol(1), Duration::from_millis(1));
+        h.record("b", &sol(2), Duration::from_millis(1));
+        h.record("c", &sol(3), Duration::from_millis(1));
+        assert!(h.get("a").is_none()); // evicted
+        assert!(h.get("b").is_some());
+        assert!(h.get("c").is_some());
+        assert_eq!(h.stats().evictions, 1);
+    }
+
+    #[test]
+    fn duplicate_records_are_ignored() {
+        let h = hvs(0, 10);
+        assert!(h.record("q", &sol(1), Duration::from_millis(1)));
+        assert!(!h.record("q", &sol(9), Duration::from_millis(1)));
+        assert_eq!(h.get("q").unwrap().len(), 1); // first result kept
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let h = hvs(0, 10);
+        h.get("nope");
+        h.record("q", &sol(1), Duration::from_millis(1));
+        h.get("q");
+        h.get("q");
+        let s = h.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.insertions, 1);
+    }
+}

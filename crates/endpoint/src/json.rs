@@ -1,0 +1,562 @@
+//! A minimal SPARQL 1.1 Query Results JSON codec.
+//!
+//! The remote compatibility mode talks to its endpoint "via its HTTP/JSON
+//! SPARQL interface" (paper footnote 9). This module implements exactly
+//! that wire format — `{"head": {"vars": […]}, "results": {"bindings":
+//! […]}}` — with a purpose-built encoder and a small recursive-descent
+//! JSON parser. A general JSON dependency is deliberately avoided (see
+//! DESIGN.md dependency notes).
+
+use elinda_rdf::Term;
+use elinda_sparql::{Solutions, Value};
+use elinda_store::TripleStore;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn encode_binding(out: &mut String, value: &Value, store: &TripleStore) {
+    out.push('{');
+    match value {
+        Value::Term(id) => match store.resolve(*id) {
+            Term::Iri(iri) if iri.starts_with("_:") => {
+                out.push_str("\"type\":\"bnode\",\"value\":\"");
+                escape_json(out, &iri[2..]);
+                out.push('"');
+            }
+            Term::Iri(iri) => {
+                out.push_str("\"type\":\"uri\",\"value\":\"");
+                escape_json(out, iri);
+                out.push('"');
+            }
+            Term::Literal(lit) => {
+                out.push_str("\"type\":\"literal\",\"value\":\"");
+                escape_json(out, lit.lexical());
+                out.push('"');
+                if let Some(lang) = lit.language() {
+                    out.push_str(",\"xml:lang\":\"");
+                    escape_json(out, lang);
+                    out.push('"');
+                } else if let elinda_rdf::term::LiteralKind::Typed(dt) = lit.kind() {
+                    out.push_str(",\"datatype\":\"");
+                    escape_json(out, dt);
+                    out.push('"');
+                }
+            }
+        },
+        Value::Int(n) => {
+            out.push_str(&format!(
+                "\"type\":\"literal\",\"value\":\"{n}\",\"datatype\":\"{}\"",
+                elinda_rdf::vocab::xsd::INTEGER
+            ));
+        }
+        Value::Float(f) => {
+            out.push_str(&format!(
+                "\"type\":\"literal\",\"value\":\"{f}\",\"datatype\":\"{}\"",
+                elinda_rdf::vocab::xsd::DOUBLE
+            ));
+        }
+        Value::Bool(b) => {
+            out.push_str(&format!(
+                "\"type\":\"literal\",\"value\":\"{b}\",\"datatype\":\"{}\"",
+                elinda_rdf::vocab::xsd::BOOLEAN
+            ));
+        }
+        Value::Str(s) => {
+            out.push_str("\"type\":\"literal\",\"value\":\"");
+            escape_json(out, s);
+            out.push('"');
+        }
+    }
+    out.push('}');
+}
+
+/// Encode a solution sequence in the SPARQL-JSON results format.
+pub fn encode_solutions(solutions: &Solutions, store: &TripleStore) -> String {
+    let mut out = String::with_capacity(64 + solutions.rows.len() * 64);
+    out.push_str("{\"head\":{\"vars\":[");
+    for (i, v) in solutions.vars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(&mut out, v);
+        out.push('"');
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    for (ri, row) in solutions.rows.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        for (v, cell) in solutions.vars.iter().zip(row) {
+            if let Some(value) = cell {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                escape_json(&mut out, v);
+                out.push_str("\":");
+                encode_binding(&mut out, value, store);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Generic JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the results format needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (always carried as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (sorted keys).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let mut p = JsonParser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError { offset: self.pos, message: msg.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse()
+            .map(Json::Number)
+            .map_err(|_| self.err(format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| self.err("invalid UTF-8"))?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err(self.err("unterminated string")),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied().ok_or_else(|| {
+                        self.err("dangling escape")
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(
+                                self.bytes.get(self.pos..self.pos + 4).ok_or_else(|| {
+                                    self.err("truncated \\u escape")
+                                })?,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs for completeness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let hex2 = std::str::from_utf8(
+                                    self.bytes.get(self.pos..self.pos + 4).ok_or_else(
+                                        || self.err("truncated surrogate"),
+                                    )?,
+                                )
+                                .map_err(|_| self.err("bad surrogate"))?;
+                                let low = u32::from_str_radix(hex2, 16)
+                                    .map_err(|_| self.err("bad surrogate"))?;
+                                self.pos += 4;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("bad codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("unknown escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                Some((_, c)) => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+/// Build a [`Solutions`]-shaped structure back from wire JSON, resolving
+/// URIs/literals against a store interner where possible. Unresolvable
+/// terms (the remote endpoint may return terms the local store has never
+/// seen) become computed [`Value::Str`] values.
+pub fn decode_solutions(input: &str, store: &TripleStore) -> Result<Solutions, JsonError> {
+    let root = parse_json(input)?;
+    let vars: Vec<String> = root
+        .get("head")
+        .and_then(|h| h.get("vars"))
+        .and_then(Json::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let bindings = root
+        .get("results")
+        .and_then(|r| r.get("bindings"))
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+    let mut rows = Vec::with_capacity(bindings.len());
+    for b in bindings {
+        let mut row: Vec<Option<Value>> = vec![None; vars.len()];
+        for (i, v) in vars.iter().enumerate() {
+            if let Some(cell) = b.get(v) {
+                row[i] = Some(decode_binding(cell, store));
+            }
+        }
+        rows.push(row);
+    }
+    Ok(Solutions { vars, rows })
+}
+
+fn decode_binding(cell: &Json, store: &TripleStore) -> Value {
+    let ty = cell.get("type").and_then(Json::as_str).unwrap_or("literal");
+    let value = cell.get("value").and_then(Json::as_str).unwrap_or("");
+    let term: Option<Term> = match ty {
+        "uri" => Some(Term::iri(value)),
+        "bnode" => Some(Term::blank(value)),
+        _ => {
+            if let Some(lang) = cell.get("xml:lang").and_then(Json::as_str) {
+                Some(Term::Literal(elinda_rdf::term::Literal::lang(value, lang)))
+            } else if let Some(dt) = cell.get("datatype").and_then(Json::as_str) {
+                Some(Term::Literal(elinda_rdf::term::Literal::typed(value, dt)))
+            } else {
+                Some(Term::Literal(elinda_rdf::term::Literal::plain(value)))
+            }
+        }
+    };
+    let term = term.expect("always constructed");
+    match store.interner().get(&term) {
+        Some(id) => Value::Term(id),
+        None => {
+            // Not in the local interner: surface as a computed scalar.
+            if let Term::Literal(lit) = &term {
+                if let Some(n) = lit.as_integer() {
+                    return Value::Int(n);
+                }
+                if let Some(f) = lit.as_double() {
+                    return Value::Float(f);
+                }
+            }
+            Value::Str(value.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_sparql::Executor;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:a a ex:C ; rdfs:label "A \"quoted\" label"@en ; ex:n 42 .
+            ex:b a ex:C .
+            _:x a ex:C .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn json_parser_handles_primitives() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-2.5e2").unwrap(), Json::Number(-250.0));
+        assert_eq!(
+            parse_json(r#""a\nbA""#).unwrap(),
+            Json::String("a\nbA".into())
+        );
+        assert_eq!(
+            parse_json(r#""😀""#).unwrap(),
+            Json::String("😀".into())
+        );
+    }
+
+    #[test]
+    fn json_parser_handles_structures() {
+        let v = parse_json(r#"{"a": [1, 2], "b": {"c": "d"}, "e": []}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+        assert_eq!(v.get("e").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        for bad in ["{", "[1,", r#""unterminated"#, "tru", "{}extra", "{1: 2}"] {
+            assert!(parse_json(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = store();
+        let sol = Executor::new(&s)
+            .run("SELECT ?x ?l WHERE { ?x a <http://e/C> OPTIONAL { ?x <http://www.w3.org/2000/01/rdf-schema#label> ?l } }")
+            .unwrap();
+        let wire = encode_solutions(&sol, &s);
+        let decoded = decode_solutions(&wire, &s).unwrap();
+        assert_eq!(decoded.vars, sol.vars);
+        assert_eq!(decoded.rows.len(), sol.rows.len());
+        // Every term resolves back to the same id.
+        for (a, b) in sol.rows.iter().zip(&decoded.rows) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn encode_computed_values() {
+        let s = store();
+        let sol = Executor::new(&s)
+            .run("SELECT (COUNT(*) AS ?n) WHERE { ?x a <http://e/C> }")
+            .unwrap();
+        let wire = encode_solutions(&sol, &s);
+        assert!(wire.contains("\"3\""));
+        assert!(wire.contains(elinda_rdf::vocab::xsd::INTEGER));
+        let decoded = decode_solutions(&wire, &s).unwrap();
+        // "3"^^xsd:integer is not in the interner, so it decodes as Int.
+        assert_eq!(decoded.rows[0][0], Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn unknown_terms_decode_as_strings() {
+        let s = store();
+        let wire = r#"{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"uri","value":"http://elsewhere/unseen"}}]}}"#;
+        let decoded = decode_solutions(wire, &s).unwrap();
+        assert_eq!(
+            decoded.rows[0][0],
+            Some(Value::Str("http://elsewhere/unseen".into()))
+        );
+    }
+
+    #[test]
+    fn unbound_cells_survive_the_wire() {
+        let s = store();
+        let sol = Solutions {
+            vars: vec!["a".into(), "b".into()],
+            rows: vec![vec![Some(Value::Int(1)), None]],
+        };
+        let wire = encode_solutions(&sol, &s);
+        let decoded = decode_solutions(&wire, &s).unwrap();
+        assert_eq!(decoded.rows[0][1], None);
+    }
+}

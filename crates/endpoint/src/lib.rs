@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The eLinda serving architecture (paper Section 4, Fig. 3).
+//!
+//! "The architecture design of ELINDA is driven primarily by the
+//! requirement of responsiveness, which means that expansions should
+//! happen instantly, preferably in tens to hundreds of milliseconds."
+//! Three techniques deliver that, all implemented here:
+//!
+//! * **eLinda HVS** ([`hvs`]) — a key-value *heavy query store*: queries
+//!   whose measured runtime exceeds a threshold (1 s in the paper) are
+//!   cached; the cache is cleared on any update to the knowledge base
+//!   (store-epoch tracking);
+//! * **eLinda decomposer** ([`decomposer`]) — recognizes the
+//!   property-expansion query shape on the SPARQL AST and answers it from
+//!   the store's indexes instead of the naive nested aggregation,
+//!   "for *all* property expansion queries … for subclasses of
+//!   owl:Thing";
+//! * **incremental evaluation** ([`incremental`]) — computes a chart on
+//!   the first `N` triples, then the next `N`, aggregating partial
+//!   results "in the frontend", for `k` steps or until complete.
+//!
+//! [`router`] wires them together in front of the direct executor
+//! ([`direct`], the stand-in for the Virtuoso endpoint), and [`remote`]
+//! is the *compatibility mode*: a simulated remote HTTP/JSON endpoint
+//! where no preprocessing is possible and only incremental evaluation
+//! helps. [`json`] implements the SPARQL-JSON results wire format the
+//! remote mode speaks.
+
+pub mod decomposer;
+pub mod direct;
+pub mod engine;
+pub mod hvs;
+pub mod incremental;
+pub mod json;
+pub mod metrics;
+pub mod remote;
+pub mod router;
+
+pub use decomposer::{recognize_property_expansion, PropertyExpansionQuery};
+pub use direct::DirectEndpoint;
+pub use engine::{QueryEngine, QueryOutcome, ServedBy};
+pub use hvs::{HeavyQueryStore, HvsConfig, HvsStats};
+pub use incremental::{IncrementalConfig, IncrementalPropertyChart, PartialChart};
+pub use metrics::{LatencySummary, MeteredEndpoint};
+pub use remote::{RemoteConfig, RemoteEndpoint, WireSolutions, WireValue};
+pub use router::{DecomposerMode, ElindaEndpoint, EndpointConfig};

@@ -1,0 +1,198 @@
+//! Query metering: per-component latency statistics.
+//!
+//! The demonstration compares configurations live ("with the discussed
+//! solutions turned on and off"); [`MeteredEndpoint`] wraps any
+//! [`QueryEngine`] and records, per serving component, how many queries
+//! it answered and at what latency — the data behind the Fig. 4 bars.
+
+use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
+use elinda_sparql::exec::QueryError;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Latency summary for one serving component.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySummary {
+    /// Number of queries answered.
+    pub count: u64,
+    /// Total time.
+    pub total: Duration,
+    /// Fastest query.
+    pub min: Option<Duration>,
+    /// Slowest query.
+    pub max: Option<Duration>,
+}
+
+impl LatencySummary {
+    fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = Some(self.max.map_or(d, |m| m.max(d)));
+    }
+
+    /// Mean latency; zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Collected metrics: one summary per serving component, plus raw
+/// samples for percentile queries.
+#[derive(Debug, Default)]
+struct MetricsInner {
+    direct: LatencySummary,
+    hvs: LatencySummary,
+    decomposer: LatencySummary,
+    remote: LatencySummary,
+    samples: Vec<(ServedBy, Duration)>,
+}
+
+/// A [`QueryEngine`] wrapper that meters every query.
+pub struct MeteredEndpoint<E> {
+    inner: E,
+    metrics: Mutex<MetricsInner>,
+}
+
+impl<E: QueryEngine> MeteredEndpoint<E> {
+    /// Wrap an engine.
+    pub fn new(inner: E) -> Self {
+        MeteredEndpoint { inner, metrics: Mutex::new(MetricsInner::default()) }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The summary for one component.
+    pub fn summary(&self, component: ServedBy) -> LatencySummary {
+        let m = self.metrics.lock();
+        match component {
+            ServedBy::Direct => m.direct.clone(),
+            ServedBy::Hvs => m.hvs.clone(),
+            ServedBy::Decomposer => m.decomposer.clone(),
+            ServedBy::Remote => m.remote.clone(),
+        }
+    }
+
+    /// Latency at percentile `p` (0–100) over all recorded queries of a
+    /// component; `None` when nothing was recorded.
+    pub fn percentile(&self, component: ServedBy, p: f64) -> Option<Duration> {
+        let m = self.metrics.lock();
+        let mut samples: Vec<Duration> = m
+            .samples
+            .iter()
+            .filter(|(c, _)| *c == component)
+            .map(|(_, d)| *d)
+            .collect();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+        Some(samples[rank.min(samples.len() - 1)])
+    }
+
+    /// Total queries recorded.
+    pub fn total_queries(&self) -> u64 {
+        let m = self.metrics.lock();
+        m.direct.count + m.hvs.count + m.decomposer.count + m.remote.count
+    }
+
+    /// Reset all metrics.
+    pub fn reset(&self) {
+        *self.metrics.lock() = MetricsInner::default();
+    }
+}
+
+impl<E: QueryEngine> QueryEngine for MeteredEndpoint<E> {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
+        let out = self.inner.execute(query)?;
+        let mut m = self.metrics.lock();
+        let slot = match out.served_by {
+            ServedBy::Direct => &mut m.direct,
+            ServedBy::Hvs => &mut m.hvs,
+            ServedBy::Decomposer => &mut m.decomposer,
+            ServedBy::Remote => &mut m.remote,
+        };
+        slot.record(out.elapsed);
+        m.samples.push((out.served_by, out.elapsed));
+        Ok(out)
+    }
+
+    fn data_epoch(&self) -> u64 {
+        self.inner.data_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectEndpoint;
+    use elinda_store::TripleStore;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(
+            "@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn records_per_component() {
+        let s = store();
+        let ep = MeteredEndpoint::new(DirectEndpoint::new(&s));
+        for _ in 0..3 {
+            ep.execute("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
+        }
+        let direct = ep.summary(ServedBy::Direct);
+        assert_eq!(direct.count, 3);
+        assert!(direct.mean() > Duration::ZERO);
+        assert!(direct.min.unwrap() <= direct.max.unwrap());
+        assert_eq!(ep.summary(ServedBy::Hvs).count, 0);
+        assert_eq!(ep.total_queries(), 3);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = store();
+        let ep = MeteredEndpoint::new(DirectEndpoint::new(&s));
+        for _ in 0..10 {
+            ep.execute("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
+        }
+        let p50 = ep.percentile(ServedBy::Direct, 50.0).unwrap();
+        let p100 = ep.percentile(ServedBy::Direct, 100.0).unwrap();
+        assert!(p50 <= p100);
+        assert!(ep.percentile(ServedBy::Hvs, 50.0).is_none());
+    }
+
+    #[test]
+    fn failed_queries_are_not_recorded() {
+        let s = store();
+        let ep = MeteredEndpoint::new(DirectEndpoint::new(&s));
+        let _ = ep.execute("SELECT nonsense");
+        assert_eq!(ep.total_queries(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = store();
+        let ep = MeteredEndpoint::new(DirectEndpoint::new(&s));
+        ep.execute("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
+        ep.reset();
+        assert_eq!(ep.total_queries(), 0);
+    }
+
+    #[test]
+    fn epoch_passthrough() {
+        let s = store();
+        let ep = MeteredEndpoint::new(DirectEndpoint::new(&s));
+        assert_eq!(ep.data_epoch(), 0);
+        assert_eq!(ep.inner().data_epoch(), 0);
+    }
+}

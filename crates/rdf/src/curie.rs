@@ -1,0 +1,139 @@
+//! CURIE (compact URI) shortening for display.
+//!
+//! The eLinda UI shows `dbo:Philosopher` rather than the full IRI; this
+//! module maintains the prefix map used by the viz crate and by generated
+//! SPARQL.
+
+use crate::vocab;
+
+/// An ordered prefix → namespace map with longest-match shortening.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixMap {
+    /// `(prefix, namespace)` pairs, checked in order of declaration.
+    entries: Vec<(String, String)>,
+}
+
+impl PrefixMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The conventional prefixes used throughout the reproduction:
+    /// `rdf`, `rdfs`, `owl`, `xsd`, `dbo`, `dbr`.
+    pub fn common() -> Self {
+        let mut m = PrefixMap::new();
+        m.declare("rdf", vocab::rdf::NS);
+        m.declare("rdfs", vocab::rdfs::NS);
+        m.declare("owl", vocab::owl::NS);
+        m.declare("xsd", vocab::xsd::NS);
+        m.declare("dbo", vocab::dbo::NS);
+        m.declare("dbr", vocab::dbr::NS);
+        m
+    }
+
+    /// Declare (or redeclare) a prefix.
+    pub fn declare(&mut self, prefix: impl Into<String>, namespace: impl Into<String>) {
+        let prefix = prefix.into();
+        let namespace = namespace.into();
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            e.1 = namespace;
+        } else {
+            self.entries.push((prefix, namespace));
+        }
+    }
+
+    /// Expand a CURIE like `dbo:Person` to a full IRI, if the prefix is
+    /// declared.
+    pub fn expand(&self, curie: &str) -> Option<String> {
+        let colon = curie.find(':')?;
+        let (prefix, local) = curie.split_at(colon);
+        let local = &local[1..];
+        self.entries
+            .iter()
+            .find(|(p, _)| p == prefix)
+            .map(|(_, ns)| format!("{ns}{local}"))
+    }
+
+    /// Shorten an IRI to a CURIE using the longest matching namespace;
+    /// returns the IRI in `<...>` form when nothing matches.
+    pub fn shorten(&self, iri: &str) -> String {
+        let best = self
+            .entries
+            .iter()
+            .filter(|(_, ns)| iri.starts_with(ns.as_str()) && iri.len() > ns.len())
+            .max_by_key(|(_, ns)| ns.len());
+        match best {
+            Some((prefix, ns)) => format!("{prefix}:{}", &iri[ns.len()..]),
+            None => format!("<{iri}>"),
+        }
+    }
+
+    /// All declared `(prefix, namespace)` pairs.
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.entries
+    }
+
+    /// Render SPARQL `PREFIX` headers for every declared prefix.
+    pub fn sparql_headers(&self) -> String {
+        let mut out = String::new();
+        for (p, ns) in &self.entries {
+            out.push_str(&format!("PREFIX {p}: <{ns}>\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorten_uses_longest_match() {
+        let mut m = PrefixMap::new();
+        m.declare("e", "http://e.org/");
+        m.declare("eo", "http://e.org/onto/");
+        assert_eq!(m.shorten("http://e.org/onto/Person"), "eo:Person");
+        assert_eq!(m.shorten("http://e.org/alice"), "e:alice");
+    }
+
+    #[test]
+    fn shorten_falls_back_to_angle_brackets() {
+        let m = PrefixMap::common();
+        assert_eq!(m.shorten("http://unknown.org/x"), "<http://unknown.org/x>");
+    }
+
+    #[test]
+    fn shorten_never_produces_empty_local_name() {
+        let m = PrefixMap::common();
+        // The namespace itself should not shorten to "dbo:".
+        assert_eq!(m.shorten(vocab::dbo::NS), format!("<{}>", vocab::dbo::NS));
+    }
+
+    #[test]
+    fn expand_round_trips_shorten() {
+        let m = PrefixMap::common();
+        let iri = format!("{}Philosopher", vocab::dbo::NS);
+        let curie = m.shorten(&iri);
+        assert_eq!(curie, "dbo:Philosopher");
+        assert_eq!(m.expand(&curie).as_deref(), Some(iri.as_str()));
+    }
+
+    #[test]
+    fn redeclare_overwrites() {
+        let mut m = PrefixMap::new();
+        m.declare("x", "http://one/");
+        m.declare("x", "http://two/");
+        assert_eq!(m.expand("x:a").as_deref(), Some("http://two/a"));
+        assert_eq!(m.entries().len(), 1);
+    }
+
+    #[test]
+    fn sparql_headers_list_all() {
+        let m = PrefixMap::common();
+        let h = m.sparql_headers();
+        assert!(h.contains("PREFIX rdf:"));
+        assert!(h.contains("PREFIX dbo:"));
+        assert_eq!(h.lines().count(), m.entries().len());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type shared by the RDF parsers.
+
+use std::fmt;
+
+/// An error raised while parsing RDF syntax (N-Triples or Turtle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RdfError {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl RdfError {
+    /// Create an error at the given 1-based line.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        RdfError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RDF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_and_message() {
+        let e = RdfError::new(7, "unexpected end of IRI");
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("unexpected end of IRI"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&RdfError::new(1, "x"));
+    }
+}

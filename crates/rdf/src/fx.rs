@@ -1,0 +1,131 @@
+//! A small, fast, non-cryptographic hasher in the style of `rustc-hash`.
+//!
+//! The interner and the store hash terms and ids on every triple insert and
+//! every pattern probe; SipHash (the standard-library default) is measurably
+//! slower for these short keys. The sanctioned dependency list does not
+//! include `rustc-hash`, so we carry the ~40 lines ourselves.
+//!
+//! HashDoS resistance is irrelevant here: all inputs are produced by our own
+//! generators and parsers, never by a network adversary.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash family (derived from the golden
+/// ratio, as used by Firefox and rustc).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast word-at-a-time hasher. Not HashDoS resistant.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the remainder length so that "ab" and "ab\0" differ.
+            buf[7] = rem.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_close_inputs() {
+        assert_ne!(hash_of(&"hello"), hash_of(&"hellp"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        // Trailing bytes matter (remainder handling).
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&b"ab".as_slice()), hash_of(&b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn usable_in_hashmap() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m["key-512"], 512);
+    }
+
+    #[test]
+    fn spreads_sequential_integers() {
+        // Sanity check that the low bits of sequential keys differ; HashMap
+        // uses the high bits via multiplication, but uniform garbage in the
+        // low bits is a good smoke test for the mixer.
+        let mut seen = FxHashSet::default();
+        for i in 0..4096u64 {
+            seen.insert(hash_of(&i) & 0xfff);
+        }
+        assert!(seen.len() > 2048, "poor low-bit dispersion: {}", seen.len());
+    }
+}

@@ -1,0 +1,185 @@
+//! [`Graph`]: an interner plus a deduplicated set of triples.
+//!
+//! This is the paper's *RDF graph G* — "a finite collection of RDF triples"
+//! — in interned form, and the unit of data flowing from parsers and
+//! generators into the store.
+
+use crate::interner::{Interner, TermId};
+use crate::term::Term;
+use crate::triple::Triple;
+use crate::fx::FxHashSet;
+
+/// An in-memory RDF graph: terms interned, triples deduplicated.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    triples: Vec<Triple>,
+    seen: FxHashSet<Triple>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with capacity hints.
+    pub fn with_capacity(terms: usize, triples: usize) -> Self {
+        Graph {
+            interner: Interner::with_capacity(terms),
+            triples: Vec::with_capacity(triples),
+            seen: FxHashSet::with_capacity_and_hasher(triples, Default::default()),
+        }
+    }
+
+    /// Intern a term.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Intern an IRI.
+    pub fn intern_iri(&mut self, iri: impl Into<Box<str>>) -> TermId {
+        self.interner.intern_iri(iri)
+    }
+
+    /// Insert a triple of already-interned ids. Returns `true` if the triple
+    /// was new.
+    pub fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let t = Triple::new(s, p, o);
+        if self.seen.insert(t) {
+            self.triples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Intern three terms and insert the triple. Returns `true` if new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.interner.intern(s);
+        let p = self.interner.intern(p);
+        let o = self.interner.intern(o);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Convenience: insert a triple of IRIs.
+    pub fn insert_iris(&mut self, s: &str, p: &str, o: &str) -> bool {
+        self.insert(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// True if the graph contains the triple.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.seen.contains(&t)
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The triples in insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// The interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the interner (for callers that pre-intern terms).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Decompose into `(interner, triples)`, dropping the dedup set.
+    pub fn into_parts(self) -> (Interner, Vec<Triple>) {
+        (self.interner, self.triples)
+    }
+
+    /// Merge another graph into this one, re-interning its terms.
+    pub fn extend_from(&mut self, other: &Graph) {
+        for t in other.triples() {
+            let s = self.interner.intern(other.interner.resolve(t.s).clone());
+            let p = self.interner.intern(other.interner.resolve(t.p).clone());
+            let o = self.interner.intern(other.interner.resolve(t.o).clone());
+            self.insert_ids(s, p, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+    use crate::vocab;
+
+    #[test]
+    fn insert_dedups() {
+        let mut g = Graph::new();
+        assert!(g.insert_iris("http://e/a", vocab::rdf::TYPE, "http://e/C"));
+        assert!(!g.insert_iris("http://e/a", vocab::rdf::TYPE, "http://e/C"));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let mut g = Graph::new();
+        g.insert_iris("http://e/a", "http://e/p", "http://e/b");
+        let t = g.triples()[0];
+        assert!(g.contains(t));
+        let s = t.s;
+        assert!(!g.contains(Triple::new(s, s, s)));
+    }
+
+    #[test]
+    fn mixed_terms() {
+        let mut g = Graph::new();
+        g.insert(
+            Term::iri("http://e/a"),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::Literal(Literal::lang("a", "en")),
+        );
+        assert_eq!(g.len(), 1);
+        let t = g.triples()[0];
+        assert!(g.interner().resolve(t.o).is_literal());
+    }
+
+    #[test]
+    fn extend_from_remaps_ids() {
+        let mut a = Graph::new();
+        a.insert_iris("http://e/x", "http://e/p", "http://e/y");
+
+        let mut b = Graph::new();
+        // Intern some padding first so ids diverge between graphs.
+        b.intern_iri("http://e/pad1");
+        b.intern_iri("http://e/pad2");
+        b.insert_iris("http://e/x", "http://e/p", "http://e/z");
+        b.extend_from(&a);
+
+        assert_eq!(b.len(), 2);
+        let mut objects: Vec<String> = b
+            .triples()
+            .iter()
+            .map(|t| b.interner().resolve(t.o).to_string())
+            .collect();
+        objects.sort();
+        assert_eq!(objects, vec!["<http://e/y>", "<http://e/z>"]);
+    }
+
+    #[test]
+    fn into_parts_preserves_counts() {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            g.insert_iris(&format!("http://e/s{i}"), "http://e/p", "http://e/o");
+        }
+        let (interner, triples) = g.into_parts();
+        assert_eq!(triples.len(), 10);
+        assert_eq!(interner.len(), 12); // 10 subjects + p + o
+    }
+}

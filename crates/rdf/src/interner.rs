@@ -1,0 +1,203 @@
+//! Bijective interning of [`Term`]s into dense 32-bit [`TermId`]s.
+//!
+//! Every crate above this one manipulates terms by id: the store's indexes
+//! are sorted arrays of `(u32, u32, u32)`, the SPARQL engine's bindings are
+//! `u32`s, and a bar's node set is a sorted `Vec<TermId>`. The interner is
+//! the single point where strings exist.
+
+use std::sync::Arc;
+
+use crate::fx::FxHashMap;
+use crate::term::Term;
+
+/// A dense identifier for an interned [`Term`]. Ids start at 1 so that
+/// `Option<TermId>` is pointer-sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(std::num::NonZeroU32);
+
+impl TermId {
+    /// Construct from a raw index (1-based). Returns `None` for 0.
+    pub fn from_raw(raw: u32) -> Option<Self> {
+        std::num::NonZeroU32::new(raw).map(TermId)
+    }
+
+    /// The raw 1-based index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0.get()
+    }
+
+    /// The 0-based index into the interner's term table.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0.get() - 1) as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.raw())
+    }
+}
+
+/// A bijective map between [`Term`]s and [`TermId`]s.
+///
+/// Terms are stored once behind an `Arc`; the reverse map shares that
+/// allocation, so interning a term costs one allocation total.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    terms: Vec<Arc<Term>>,
+    ids: FxHashMap<Arc<Term>, TermId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `capacity` terms.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Interner {
+            terms: Vec::with_capacity(capacity),
+            ids: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
+    }
+
+    /// Intern a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let arc = Arc::new(term);
+        let raw = u32::try_from(self.terms.len() + 1).expect("interner overflow: > 2^32 terms");
+        let id = TermId::from_raw(raw).expect("raw is nonzero");
+        self.terms.push(Arc::clone(&arc));
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// Intern an IRI given as a string.
+    pub fn intern_iri(&mut self, iri: impl Into<Box<str>>) -> TermId {
+        self.intern(Term::Iri(iri.into()))
+    }
+
+    /// Look up the id of a term without interning it.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Look up the id of an IRI without interning it.
+    pub fn get_iri(&self, iri: &str) -> Option<TermId> {
+        // Avoids allocating when the IRI is already interned is not possible
+        // with std's borrow-based lookup across enum variants, so we build
+        // the probe term once.
+        self.get(&Term::Iri(iri.into()))
+    }
+
+    /// Resolve an id back to its term. Panics if the id is from another
+    /// interner (out of range).
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Resolve an id if it is in range.
+    pub fn try_resolve(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index()).map(Arc::as_ref)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over all `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| {
+            (TermId::from_raw(i as u32 + 1).expect("nonzero"), t.as_ref())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern_iri("http://e.org/a");
+        let b = i.intern_iri("http://e.org/a");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern_iri("http://e.org/a");
+        let b = i.intern_iri("http://e.org/b");
+        let c = i.intern(Term::Literal(Literal::plain("http://e.org/a")));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let terms = [
+            Term::iri("http://e.org/x"),
+            Term::Literal(Literal::lang("x", "en")),
+            Term::Literal(Literal::integer(7)),
+            Term::blank("b0"),
+        ];
+        let ids: Vec<_> = terms.iter().cloned().map(|t| i.intern(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(i.resolve(*id), t);
+            assert_eq!(i.get(t), Some(*id));
+        }
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut i = Interner::new();
+        assert_eq!(i.get_iri("http://e.org/a"), None);
+        let id = i.intern_iri("http://e.org/a");
+        assert_eq!(i.get_iri("http://e.org/a"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_out_of_range() {
+        let mut i = Interner::new();
+        i.intern_iri("http://e.org/a");
+        assert!(i.try_resolve(TermId::from_raw(1).unwrap()).is_some());
+        assert!(i.try_resolve(TermId::from_raw(2).unwrap()).is_none());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_interning() {
+        let mut i = Interner::new();
+        let ids: Vec<_> = (0..100).map(|n| i.intern_iri(format!("http://e.org/{n}"))).collect();
+        for (n, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), n);
+        }
+        let collected: Vec<_> = i.iter().map(|(id, _)| id).collect();
+        assert_eq!(collected, ids);
+    }
+
+    #[test]
+    fn option_termid_is_small() {
+        assert_eq!(
+            std::mem::size_of::<Option<TermId>>(),
+            std::mem::size_of::<TermId>()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! RDF substrate for the eLinda reproduction.
+//!
+//! This crate provides the data model from Section 2 of the paper: an RDF
+//! graph is a finite set of triples over URIs `U` and literals `L`. On top
+//! of the bare model it adds the machinery every other crate relies on:
+//!
+//! * [`Term`] / [`Literal`] — IRIs and literals (plain, language-tagged,
+//!   and datatyped);
+//! * [`Interner`] / [`TermId`] — a bijective mapping between terms and
+//!   dense 32-bit ids, so that the store, the SPARQL engine, and the
+//!   exploration model all work on `u32`-sized values;
+//! * [`Triple`] — an interned RDF triple;
+//! * [`Graph`] — an interner plus a deduplicated triple set, the unit of
+//!   data exchanged between the generators, parsers, and the store;
+//! * N-Triples and Turtle-subset parsing/serialization ([`ntriples`],
+//!   [`turtle`]);
+//! * the standard vocabularies used by eLinda ([`vocab`]) and CURIE
+//!   shortening for display ([`curie`]).
+//!
+//! Blank nodes are accepted by the parsers and represented as IRIs in the
+//! reserved `_:` scheme; the eLinda formal model only distinguishes URIs
+//! from literals, and this encoding preserves join behaviour.
+
+pub mod curie;
+pub mod error;
+pub mod fx;
+pub mod graph;
+pub mod interner;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod vocab;
+
+pub use curie::PrefixMap;
+pub use error::RdfError;
+pub use graph::Graph;
+pub use interner::{Interner, TermId};
+pub use term::{Literal, Term};
+pub use triple::Triple;

@@ -1,0 +1,356 @@
+//! N-Triples parsing and serialization.
+//!
+//! N-Triples is the line-oriented exchange format used by the test fixtures
+//! and by dataset dumps. The parser is strict about structure but tolerant
+//! of surrounding whitespace and `#` comments.
+
+use crate::error::RdfError;
+use crate::graph::Graph;
+use crate::term::{Literal, Term};
+
+/// Parse a full N-Triples document into a [`Graph`].
+pub fn parse_document(input: &str) -> Result<Graph, RdfError> {
+    let mut graph = Graph::new();
+    parse_into(input, &mut graph)?;
+    Ok(graph)
+}
+
+/// Parse an N-Triples document into an existing graph.
+pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), RdfError> {
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        if let Some((s, p, o)) = parse_line(line, lineno)? {
+            graph.insert(s, p, o);
+        }
+    }
+    Ok(())
+}
+
+/// Parse a single N-Triples line. Returns `None` for blank lines and
+/// comments.
+pub fn parse_line(line: &str, lineno: usize) -> Result<Option<(Term, Term, Term)>, RdfError> {
+    let mut cur = Cursor { bytes: line.as_bytes(), pos: 0, line: lineno };
+    cur.skip_ws();
+    if cur.at_end() || cur.peek() == Some(b'#') {
+        return Ok(None);
+    }
+    let s = cur.parse_term()?;
+    cur.skip_ws();
+    let p = cur.parse_term()?;
+    if !p.is_iri() || p.is_blank() {
+        return Err(RdfError::new(lineno, "predicate must be an IRI"));
+    }
+    cur.skip_ws();
+    let o = cur.parse_term()?;
+    cur.skip_ws();
+    if cur.peek() != Some(b'.') {
+        return Err(RdfError::new(lineno, "expected '.' terminating the triple"));
+    }
+    cur.pos += 1;
+    cur.skip_ws();
+    if !cur.at_end() && cur.peek() != Some(b'#') {
+        return Err(RdfError::new(lineno, "trailing content after '.'"));
+    }
+    if s.is_literal() {
+        return Err(RdfError::new(lineno, "subject must not be a literal"));
+    }
+    Ok(Some((s, p, o)))
+}
+
+/// Serialize a graph as N-Triples, one triple per line, in insertion order.
+pub fn write_document(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.triples() {
+        let s = graph.interner().resolve(t.s);
+        let p = graph.interner().resolve(t.p);
+        let o = graph.interner().resolve(t.o);
+        out.push_str(&format!("{s} {p} {o} .\n"));
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RdfError {
+        RdfError::new(self.line, msg)
+    }
+
+    fn rest(&self) -> &'a str {
+        // Safe: pos always lands on a char boundary because we only advance
+        // past ASCII bytes or via char-aware scanning.
+        std::str::from_utf8(&self.bytes[self.pos..]).unwrap_or("")
+    }
+
+    fn parse_term(&mut self) -> Result<Term, RdfError> {
+        match self.peek() {
+            Some(b'<') => self.parse_iri().map(Term::Iri),
+            Some(b'_') => self.parse_blank(),
+            Some(b'"') => self.parse_literal(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of line")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Box<str>, RdfError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'>' {
+                let iri = &self.bytes[start..self.pos];
+                self.pos += 1;
+                let iri = std::str::from_utf8(iri)
+                    .map_err(|_| self.err("invalid UTF-8 in IRI"))?;
+                if iri.is_empty() {
+                    return Err(self.err("empty IRI"));
+                }
+                return Ok(iri.into());
+            }
+            if c == b' ' || c == b'\t' {
+                return Err(self.err("whitespace inside IRI"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated IRI"))
+    }
+
+    fn parse_blank(&mut self) -> Result<Term, RdfError> {
+        // "_:" label
+        if self.rest().len() < 2 || &self.bytes[self.pos..self.pos + 2] != b"_:" {
+            return Err(self.err("expected blank node label '_:'"));
+        }
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("empty blank node label"));
+        }
+        let label = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(Term::blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, RdfError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut lexical = String::new();
+        loop {
+            let rest = self.rest();
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err(self.err("unterminated literal")),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    let esc = self
+                        .rest()
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("dangling escape"))?;
+                    match esc {
+                        '"' => lexical.push('"'),
+                        '\\' => lexical.push('\\'),
+                        'n' => lexical.push('\n'),
+                        'r' => lexical.push('\r'),
+                        't' => lexical.push('\t'),
+                        'u' | 'U' => {
+                            let width = if esc == 'u' { 4 } else { 8 };
+                            let hex_start = self.pos + 1;
+                            let hex = self
+                                .rest()
+                                .get(1..1 + width)
+                                .ok_or_else(|| self.err("truncated unicode escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid unicode escape"))?;
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| self.err("invalid unicode codepoint"))?;
+                            lexical.push(c);
+                            self.pos = hex_start + width;
+                            continue;
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape '\\{other}'")));
+                        }
+                    }
+                    self.pos += esc.len_utf8();
+                }
+                Some((_, c)) => {
+                    lexical.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        // Optional language tag or datatype.
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'-' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err(self.err("empty language tag"));
+                }
+                let tag = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                Ok(Term::Literal(Literal::lang(lexical, tag)))
+            }
+            Some(b'^') => {
+                if self.rest().starts_with("^^") {
+                    self.pos += 2;
+                    let dt = self.parse_iri()?;
+                    Ok(Term::Literal(Literal::typed(lexical, dt)))
+                } else {
+                    Err(self.err("expected '^^' before datatype"))
+                }
+            }
+            _ => Ok(Term::Literal(Literal::plain(lexical))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    fn one(line: &str) -> (Term, Term, Term) {
+        parse_line(line, 1).unwrap().unwrap()
+    }
+
+    #[test]
+    fn parses_iri_triple() {
+        let (s, p, o) = one("<http://e/a> <http://e/p> <http://e/b> .");
+        assert_eq!(s, Term::iri("http://e/a"));
+        assert_eq!(p, Term::iri("http://e/p"));
+        assert_eq!(o, Term::iri("http://e/b"));
+    }
+
+    #[test]
+    fn parses_plain_lang_and_typed_literals() {
+        let (_, _, o) = one(r#"<http://e/a> <http://e/p> "hello" ."#);
+        assert_eq!(o, Term::Literal(Literal::plain("hello")));
+
+        let (_, _, o) = one(r#"<http://e/a> <http://e/p> "hallo"@de-AT ."#);
+        assert_eq!(o, Term::Literal(Literal::lang("hallo", "de-AT")));
+
+        let (_, _, o) = one(&format!(
+            r#"<http://e/a> <http://e/p> "42"^^<{}> ."#,
+            vocab::xsd::INTEGER
+        ));
+        assert_eq!(o.as_literal().unwrap().as_integer(), Some(42));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let (_, _, o) = one(r#"<http://e/a> <http://e/p> "a\"b\\c\nd\te" ."#);
+        assert_eq!(o.as_literal().unwrap().lexical(), "a\"b\\c\nd\te");
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let (_, _, o) = one(r#"<http://e/a> <http://e/p> "café \U0001F600" ."#);
+        assert_eq!(o.as_literal().unwrap().lexical(), "café 😀");
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let (s, _, o) = one("_:b0 <http://e/p> _:b1 .");
+        assert!(s.is_blank());
+        assert!(o.is_blank());
+        assert_eq!(s, Term::blank("b0"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse_document(
+            "# a comment\n\n<http://e/a> <http://e/p> <http://e/b> . # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn rejects_literal_subject_and_predicate() {
+        assert!(parse_line(r#""x" <http://e/p> <http://e/b> ."#, 1).is_err());
+        assert!(parse_line(r#"<http://e/a> "p" <http://e/b> ."#, 1).is_err());
+        assert!(parse_line("<http://e/a> _:b <http://e/b> .", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "<http://e/a> <http://e/p> <http://e/b>", // missing dot
+            "<http://e/a> <http://e/p> .",            // missing object
+            "<http://e/a <http://e/p> <http://e/b> .", // unterminated IRI
+            r#"<http://e/a> <http://e/p> "x ."#,      // unterminated literal
+            r#"<http://e/a> <http://e/p> "x"@ ."#,    // empty lang tag
+            "<http://e/a> <http://e/p> <http://e/b> . junk",
+            "<> <http://e/p> <http://e/b> .", // empty IRI
+        ] {
+            assert!(parse_line(bad, 1).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let doc = "<http://e/a> <http://e/p> <http://e/b> .\nbad line\n";
+        let err = parse_document(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let mut g = Graph::new();
+        g.insert(
+            Term::iri("http://e/a"),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::Literal(Literal::lang("A thing \"quoted\"\n", "en")),
+        );
+        g.insert(
+            Term::blank("x"),
+            Term::iri(vocab::rdf::TYPE),
+            Term::iri(vocab::owl::THING),
+        );
+        g.insert(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/count"),
+            Term::Literal(Literal::integer(12)),
+        );
+        let text = write_document(&g);
+        let g2 = parse_document(&text).unwrap();
+        assert_eq!(g2.len(), g.len());
+        let text2 = write_document(&g2);
+        assert_eq!(text, text2);
+    }
+}

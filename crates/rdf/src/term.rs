@@ -1,0 +1,336 @@
+//! RDF terms: IRIs and literals.
+//!
+//! The eLinda model (paper Section 2) assumes collections **U** of URIs and
+//! **L** of literals; a triple is an element of `U × U × (U ∪ L)`. [`Term`]
+//! is exactly `U ∪ L`. Blank nodes, which real datasets contain, are
+//! represented as IRIs in the reserved `_:` scheme so the formal model needs
+//! no third case.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// The kind of an RDF literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// A plain literal with no language tag or datatype (treated as
+    /// `xsd:string` per RDF 1.1).
+    Plain,
+    /// A language-tagged literal, e.g. `"Philosoph"@de`.
+    Lang(Box<str>),
+    /// A datatyped literal; the payload is the datatype IRI.
+    Typed(Box<str>),
+}
+
+/// An RDF literal: a lexical form plus an optional language tag or datatype.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: Box<str>,
+    kind: LiteralKind,
+}
+
+impl Literal {
+    /// A plain (string) literal.
+    pub fn plain(lexical: impl Into<Box<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang(lexical: impl Into<Box<str>>, tag: impl Into<Box<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Lang(tag.into()) }
+    }
+
+    /// A datatyped literal.
+    pub fn typed(lexical: impl Into<Box<str>>, datatype: impl Into<Box<str>>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::xsd::INTEGER)
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::xsd::DOUBLE)
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(if value { "true" } else { "false" }, crate::vocab::xsd::BOOLEAN)
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The literal kind (plain / language-tagged / datatyped).
+    pub fn kind(&self) -> &LiteralKind {
+        &self.kind
+    }
+
+    /// The language tag, if any.
+    pub fn language(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::Lang(tag) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// The datatype IRI; plain literals report `xsd:string`.
+    pub fn datatype(&self) -> &str {
+        match &self.kind {
+            LiteralKind::Plain | LiteralKind::Lang(_) => crate::vocab::xsd::STRING,
+            LiteralKind::Typed(dt) => dt,
+        }
+    }
+
+    /// Interpret the literal as an integer if its datatype is numeric and the
+    /// lexical form parses.
+    pub fn as_integer(&self) -> Option<i64> {
+        match &self.kind {
+            LiteralKind::Typed(dt)
+                if dt.as_ref() == crate::vocab::xsd::INTEGER
+                    || dt.as_ref() == crate::vocab::xsd::INT
+                    || dt.as_ref() == crate::vocab::xsd::LONG =>
+            {
+                self.lexical.parse().ok()
+            }
+            _ => None,
+        }
+    }
+
+    /// Interpret the literal as a double if its datatype is numeric.
+    pub fn as_double(&self) -> Option<f64> {
+        match &self.kind {
+            LiteralKind::Typed(dt)
+                if dt.as_ref() == crate::vocab::xsd::DOUBLE
+                    || dt.as_ref() == crate::vocab::xsd::DECIMAL
+                    || dt.as_ref() == crate::vocab::xsd::FLOAT =>
+            {
+                self.lexical.parse().ok()
+            }
+            _ => self.as_integer().map(|i| i as f64),
+        }
+    }
+}
+
+/// An RDF term: an IRI or a literal (`U ∪ L` in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI (the paper's URIs). Blank nodes are encoded as `_:label`.
+    Iri(Box<str>),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// An IRI term.
+    pub fn iri(iri: impl Into<Box<str>>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// A blank-node term, encoded in the reserved `_:` scheme.
+    pub fn blank(label: impl AsRef<str>) -> Self {
+        Term::Iri(format!("_:{}", label.as_ref()).into_boxed_str())
+    }
+
+    /// True if this term is an IRI (including encoded blank nodes).
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if this term is an encoded blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Iri(i) if i.starts_with("_:"))
+    }
+
+    /// True if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The IRI string, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(i) => Some(i),
+            Term::Literal(_) => None,
+        }
+    }
+
+    /// The literal, if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Iri(_) => None,
+            Term::Literal(l) => Some(l),
+        }
+    }
+
+    /// A short human-readable form: the IRI local name or the lexical form.
+    pub fn short_name(&self) -> Cow<'_, str> {
+        match self {
+            Term::Iri(i) => Cow::Borrowed(local_name(i)),
+            Term::Literal(l) => Cow::Borrowed(l.lexical()),
+        }
+    }
+}
+
+/// The local name of an IRI: everything after the last `#` or `/`.
+pub fn local_name(iri: &str) -> &str {
+    match iri.rfind(['#', '/']) {
+        Some(pos) if pos + 1 < iri.len() => &iri[pos + 1..],
+        _ => iri,
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    /// N-Triples surface syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = String::with_capacity(self.lexical.len() + 2);
+        buf.push('"');
+        escape_into(&mut buf, &self.lexical);
+        buf.push('"');
+        match &self.kind {
+            LiteralKind::Plain => {}
+            LiteralKind::Lang(tag) => {
+                buf.push('@');
+                buf.push_str(tag);
+            }
+            LiteralKind::Typed(dt) => {
+                buf.push_str("^^<");
+                buf.push_str(dt);
+                buf.push('>');
+            }
+        }
+        f.write_str(&buf)
+    }
+}
+
+impl fmt::Display for Term {
+    /// N-Triples surface syntax (`<iri>`, `_:b0`, or a quoted literal).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) if i.starts_with("_:") => f.write_str(i),
+            Term::Iri(i) => write!(f, "<{i}>"),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    #[test]
+    fn literal_constructors_and_accessors() {
+        let p = Literal::plain("hello");
+        assert_eq!(p.lexical(), "hello");
+        assert_eq!(p.datatype(), vocab::xsd::STRING);
+        assert_eq!(p.language(), None);
+
+        let l = Literal::lang("Philosoph", "de");
+        assert_eq!(l.language(), Some("de"));
+        assert_eq!(l.datatype(), vocab::xsd::STRING);
+
+        let t = Literal::typed("42", vocab::xsd::INTEGER);
+        assert_eq!(t.datatype(), vocab::xsd::INTEGER);
+        assert_eq!(t.as_integer(), Some(42));
+    }
+
+    #[test]
+    fn numeric_interpretation() {
+        assert_eq!(Literal::integer(-7).as_integer(), Some(-7));
+        assert_eq!(Literal::integer(-7).as_double(), Some(-7.0));
+        assert_eq!(Literal::double(2.5).as_double(), Some(2.5));
+        assert_eq!(Literal::double(2.5).as_integer(), None);
+        assert_eq!(Literal::plain("42").as_integer(), None);
+        assert_eq!(Literal::typed("nan?", vocab::xsd::INTEGER).as_integer(), None);
+    }
+
+    #[test]
+    fn boolean_literal() {
+        assert_eq!(Literal::boolean(true).lexical(), "true");
+        assert_eq!(Literal::boolean(false).lexical(), "false");
+        assert_eq!(Literal::boolean(true).datatype(), vocab::xsd::BOOLEAN);
+    }
+
+    #[test]
+    fn term_predicates() {
+        let iri = Term::iri("http://example.org/a");
+        assert!(iri.is_iri());
+        assert!(!iri.is_literal());
+        assert!(!iri.is_blank());
+        assert_eq!(iri.as_iri(), Some("http://example.org/a"));
+
+        let blank = Term::blank("b0");
+        assert!(blank.is_iri());
+        assert!(blank.is_blank());
+
+        let lit = Term::Literal(Literal::plain("x"));
+        assert!(lit.is_literal());
+        assert_eq!(lit.as_literal().unwrap().lexical(), "x");
+        assert_eq!(lit.as_iri(), None);
+    }
+
+    #[test]
+    fn display_ntriples_syntax() {
+        assert_eq!(Term::iri("http://e.org/A").to_string(), "<http://e.org/A>");
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+        assert_eq!(Term::Literal(Literal::plain("hi")).to_string(), "\"hi\"");
+        assert_eq!(Term::Literal(Literal::lang("hi", "en")).to_string(), "\"hi\"@en");
+        assert_eq!(
+            Term::Literal(Literal::typed("1", vocab::xsd::INTEGER)).to_string(),
+            format!("\"1\"^^<{}>", vocab::xsd::INTEGER)
+        );
+    }
+
+    #[test]
+    fn display_escapes_specials() {
+        let l = Literal::plain("a\"b\\c\nd\te\rf");
+        assert_eq!(l.to_string(), "\"a\\\"b\\\\c\\nd\\te\\rf\"");
+    }
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(local_name("http://e.org/onto#Person"), "Person");
+        assert_eq!(local_name("http://e.org/onto/Person"), "Person");
+        assert_eq!(local_name("Person"), "Person");
+        assert_eq!(local_name("http://e.org/onto/"), "http://e.org/onto/");
+    }
+
+    #[test]
+    fn short_name() {
+        assert_eq!(Term::iri("http://e.org/A").short_name(), "A");
+        assert_eq!(Term::Literal(Literal::plain("lex")).short_name(), "lex");
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![
+            Term::Literal(Literal::plain("b")),
+            Term::iri("http://e.org/a"),
+            Term::Literal(Literal::lang("a", "en")),
+        ];
+        v.sort();
+        let v2 = {
+            let mut c = v.clone();
+            c.sort();
+            c
+        };
+        assert_eq!(v, v2);
+    }
+}

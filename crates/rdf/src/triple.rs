@@ -1,0 +1,74 @@
+//! Interned RDF triples.
+
+use crate::interner::TermId;
+
+/// An RDF triple over interned terms.
+///
+/// Ordering is subject-major (SPO), matching the store's primary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject (always a URI in valid RDF).
+    pub s: TermId,
+    /// Predicate (always a URI).
+    pub p: TermId,
+    /// Object (URI or literal).
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+
+    /// Key for the SPO sort order.
+    #[inline]
+    pub fn spo(&self) -> (TermId, TermId, TermId) {
+        (self.s, self.p, self.o)
+    }
+
+    /// Key for the POS sort order.
+    #[inline]
+    pub fn pos(&self) -> (TermId, TermId, TermId) {
+        (self.p, self.o, self.s)
+    }
+
+    /// Key for the OSP sort order.
+    #[inline]
+    pub fn osp(&self) -> (TermId, TermId, TermId) {
+        (self.o, self.s, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> TermId {
+        TermId::from_raw(n).unwrap()
+    }
+
+    #[test]
+    fn sort_keys_permute_components() {
+        let t = Triple::new(id(1), id(2), id(3));
+        assert_eq!(t.spo(), (id(1), id(2), id(3)));
+        assert_eq!(t.pos(), (id(2), id(3), id(1)));
+        assert_eq!(t.osp(), (id(3), id(1), id(2)));
+    }
+
+    #[test]
+    fn ordering_is_spo() {
+        let a = Triple::new(id(1), id(9), id(9));
+        let b = Triple::new(id(2), id(1), id(1));
+        assert!(a < b);
+        let c = Triple::new(id(1), id(2), id(1));
+        let d = Triple::new(id(1), id(2), id(2));
+        assert!(c < d);
+    }
+
+    #[test]
+    fn triple_is_copy_and_small() {
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+    }
+}

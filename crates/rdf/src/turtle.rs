@@ -1,0 +1,576 @@
+//! A Turtle subset parser, for readable test fixtures and examples.
+//!
+//! Supported: `@prefix` / `PREFIX` declarations, `@base`, prefixed names,
+//! the `a` keyword, `;` predicate lists, `,` object lists, IRIs, blank node
+//! labels, string literals (with language tags and datatypes), and bare
+//! integer / decimal / boolean tokens. Not supported (not needed by any
+//! fixture): blank-node property lists `[...]`, collections `(...)`, and
+//! multi-line `"""` strings.
+
+use crate::error::RdfError;
+use crate::graph::Graph;
+use crate::term::{Literal, Term};
+use crate::vocab;
+use std::collections::HashMap;
+
+/// Parse a Turtle document into a [`Graph`].
+pub fn parse_document(input: &str) -> Result<Graph, RdfError> {
+    let mut graph = Graph::new();
+    parse_into(input, &mut graph)?;
+    Ok(graph)
+}
+
+/// Parse a Turtle document into an existing graph.
+pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), RdfError> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+        prefixes: HashMap::new(),
+        base: String::new(),
+    };
+    p.parse_document(graph)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Iri(String),          // <...>
+    Pname(String),        // prefix:local or prefix:
+    Blank(String),        // _:label
+    A,                    // the keyword 'a'
+    String(String),       // "..."
+    LangTag(String),      // @tag (immediately after a string)
+    DtSep,                // ^^
+    Integer(String),
+    Decimal(String),
+    Boolean(bool),
+    Dot,
+    Semi,
+    Comma,
+    PrefixDecl, // @prefix or PREFIX
+    BaseDecl,   // @base or BASE
+}
+
+struct Located {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Located>, RdfError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'<' => {
+                let end = input[i + 1..]
+                    .find('>')
+                    .ok_or_else(|| RdfError::new(line, "unterminated IRI"))?;
+                toks.push(Located { tok: Tok::Iri(input[i + 1..i + 1 + end].to_string()), line });
+                i += end + 2;
+            }
+            b'"' => {
+                let (lexical, consumed) = scan_string(&input[i..], line)?;
+                toks.push(Located { tok: Tok::String(lexical), line });
+                i += consumed;
+                // Language tag directly attached?
+                if i < bytes.len() && bytes[i] == b'@' {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len()
+                        && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-')
+                    {
+                        j += 1;
+                    }
+                    if j == start {
+                        return Err(RdfError::new(line, "empty language tag"));
+                    }
+                    toks.push(Located { tok: Tok::LangTag(input[start..j].to_string()), line });
+                    i = j;
+                }
+            }
+            b'^' => {
+                if input[i..].starts_with("^^") {
+                    toks.push(Located { tok: Tok::DtSep, line });
+                    i += 2;
+                } else {
+                    return Err(RdfError::new(line, "stray '^'"));
+                }
+            }
+            b'.' => {
+                toks.push(Located { tok: Tok::Dot, line });
+                i += 1;
+            }
+            b';' => {
+                toks.push(Located { tok: Tok::Semi, line });
+                i += 1;
+            }
+            b',' => {
+                toks.push(Located { tok: Tok::Comma, line });
+                i += 1;
+            }
+            b'@' => {
+                let rest = &input[i + 1..];
+                if rest.starts_with("prefix") {
+                    toks.push(Located { tok: Tok::PrefixDecl, line });
+                    i += 7;
+                } else if rest.starts_with("base") {
+                    toks.push(Located { tok: Tok::BaseDecl, line });
+                    i += 5;
+                } else {
+                    return Err(RdfError::new(line, "unknown directive"));
+                }
+            }
+            b'_' if input[i..].starts_with("_:") => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'-')
+                {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(RdfError::new(line, "empty blank node label"));
+                }
+                toks.push(Located { tok: Tok::Blank(input[start..j].to_string()), line });
+                i = j;
+            }
+            c if c == b'-' || c == b'+' || c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_decimal = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !is_decimal && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit()))
+                {
+                    if bytes[j] == b'.' {
+                        is_decimal = true;
+                    }
+                    j += 1;
+                }
+                let text = input[start..j].to_string();
+                let tok = if is_decimal { Tok::Decimal(text) } else { Tok::Integer(text) };
+                toks.push(Located { tok, line });
+                i = j;
+            }
+            _ => {
+                // Bare word: keyword, boolean, or prefixed name.
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && !matches!(bytes[j], b' ' | b'\t' | b'\r' | b'\n' | b';' | b',' | b'#')
+                    && !(bytes[j] == b'.' && (j + 1 >= bytes.len() || matches!(bytes[j + 1], b' ' | b'\t' | b'\r' | b'\n') ))
+                {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                let tok = match word {
+                    "a" => Tok::A,
+                    "true" => Tok::Boolean(true),
+                    "false" => Tok::Boolean(false),
+                    "PREFIX" | "prefix" => Tok::PrefixDecl,
+                    "BASE" | "base" => Tok::BaseDecl,
+                    w if w.contains(':') => Tok::Pname(w.to_string()),
+                    w => {
+                        return Err(RdfError::new(line, format!("unexpected token '{w}'")));
+                    }
+                };
+                toks.push(Located { tok, line });
+                i = j;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Scan a quoted string starting at `s[0] == '"'`. Returns (lexical, bytes consumed).
+fn scan_string(s: &str, line: usize) -> Result<(String, usize), RdfError> {
+    debug_assert!(s.starts_with('"'));
+    let mut lexical = String::new();
+    let mut iter = s.char_indices().skip(1).peekable();
+    while let Some((idx, c)) = iter.next() {
+        match c {
+            '"' => return Ok((lexical, idx + 1)),
+            '\\' => {
+                let (_, esc) = iter
+                    .next()
+                    .ok_or_else(|| RdfError::new(line, "dangling escape"))?;
+                match esc {
+                    '"' => lexical.push('"'),
+                    '\\' => lexical.push('\\'),
+                    'n' => lexical.push('\n'),
+                    'r' => lexical.push('\r'),
+                    't' => lexical.push('\t'),
+                    'u' | 'U' => {
+                        let width = if esc == 'u' { 4 } else { 8 };
+                        let mut hex = String::with_capacity(width);
+                        for _ in 0..width {
+                            let (_, h) = iter
+                                .next()
+                                .ok_or_else(|| RdfError::new(line, "truncated unicode escape"))?;
+                            hex.push(h);
+                        }
+                        let cp = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| RdfError::new(line, "invalid unicode escape"))?;
+                        lexical.push(
+                            char::from_u32(cp)
+                                .ok_or_else(|| RdfError::new(line, "invalid codepoint"))?,
+                        );
+                    }
+                    other => {
+                        return Err(RdfError::new(line, format!("unknown escape '\\{other}'")))
+                    }
+                }
+            }
+            '\n' => return Err(RdfError::new(line, "newline inside string literal")),
+            c => lexical.push(c),
+        }
+    }
+    Err(RdfError::new(line, "unterminated string literal"))
+}
+
+struct Parser {
+    tokens: Vec<Located>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|l| &l.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|l| l.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos).map(|l| &l.tok);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_dot(&mut self) -> Result<(), RdfError> {
+        match self.next() {
+            Some(Tok::Dot) => Ok(()),
+            _ => Err(RdfError::new(self.line(), "expected '.'")),
+        }
+    }
+
+    fn expand_pname(&self, pname: &str, line: usize) -> Result<String, RdfError> {
+        let colon = pname.find(':').expect("pname contains ':'");
+        let (prefix, local) = pname.split_at(colon);
+        let local = &local[1..];
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| RdfError::new(line, format!("undeclared prefix '{prefix}:'")))?;
+        Ok(format!("{ns}{local}"))
+    }
+
+    fn resolve_iri(&self, iri: &str) -> String {
+        if iri.contains("://") || iri.starts_with("urn:") || self.base.is_empty() {
+            iri.to_string()
+        } else {
+            format!("{}{}", self.base, iri)
+        }
+    }
+
+    fn parse_document(&mut self, graph: &mut Graph) -> Result<(), RdfError> {
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::PrefixDecl => {
+                    self.pos += 1;
+                    let line = self.line();
+                    let prefix = match self.next() {
+                        Some(Tok::Pname(p)) => {
+                            let p = p.clone();
+                            let colon =
+                                p.find(':').ok_or_else(|| RdfError::new(line, "bad prefix"))?;
+                            if colon + 1 != p.len() {
+                                return Err(RdfError::new(line, "prefix declaration must end in ':'"));
+                            }
+                            p[..colon].to_string()
+                        }
+                        _ => return Err(RdfError::new(line, "expected prefix name")),
+                    };
+                    let iri = match self.next() {
+                        Some(Tok::Iri(i)) => i.clone(),
+                        _ => return Err(RdfError::new(line, "expected IRI in prefix declaration")),
+                    };
+                    self.prefixes.insert(prefix, self.resolve_iri(&iri));
+                    // SPARQL-style PREFIX has no dot; Turtle @prefix does.
+                    if matches!(self.peek(), Some(Tok::Dot)) {
+                        self.pos += 1;
+                    }
+                }
+                Tok::BaseDecl => {
+                    self.pos += 1;
+                    let line = self.line();
+                    match self.next() {
+                        Some(Tok::Iri(i)) => self.base = i.clone(),
+                        _ => return Err(RdfError::new(line, "expected IRI in base declaration")),
+                    }
+                    if matches!(self.peek(), Some(Tok::Dot)) {
+                        self.pos += 1;
+                    }
+                }
+                _ => self.parse_statement(graph)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_statement(&mut self, graph: &mut Graph) -> Result<(), RdfError> {
+        let subject = self.parse_subject()?;
+        loop {
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_object()?;
+                graph.insert(subject.clone(), predicate.clone(), object);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                Some(Tok::Semi) => {
+                    self.pos += 1;
+                    // Allow trailing ';' before '.'
+                    if matches!(self.peek(), Some(Tok::Dot)) {
+                        break;
+                    }
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        self.expect_dot()
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, RdfError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Iri(i)) => {
+                let i = i.clone();
+                Ok(Term::iri(self.resolve_iri(&i)))
+            }
+            Some(Tok::Pname(p)) => {
+                let p = p.clone();
+                Ok(Term::iri(self.expand_pname(&p, line)?))
+            }
+            Some(Tok::Blank(b)) => {
+                let b = b.clone();
+                Ok(Term::blank(b))
+            }
+            _ => Err(RdfError::new(line, "expected subject")),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Term, RdfError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::A) => Ok(Term::iri(vocab::rdf::TYPE)),
+            Some(Tok::Iri(i)) => {
+                let i = i.clone();
+                Ok(Term::iri(self.resolve_iri(&i)))
+            }
+            Some(Tok::Pname(p)) => {
+                let p = p.clone();
+                Ok(Term::iri(self.expand_pname(&p, line)?))
+            }
+            _ => Err(RdfError::new(line, "expected predicate")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, RdfError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Iri(i)) => {
+                let i = i.clone();
+                Ok(Term::iri(self.resolve_iri(&i)))
+            }
+            Some(Tok::Pname(p)) => {
+                let p = p.clone();
+                Ok(Term::iri(self.expand_pname(&p, line)?))
+            }
+            Some(Tok::Blank(b)) => {
+                let b = b.clone();
+                Ok(Term::blank(b))
+            }
+            Some(Tok::A) => Err(RdfError::new(line, "'a' is only valid as a predicate")),
+            Some(Tok::Integer(n)) => Ok(Term::Literal(Literal::typed(
+                n.clone(),
+                vocab::xsd::INTEGER,
+            ))),
+            Some(Tok::Decimal(n)) => Ok(Term::Literal(Literal::typed(
+                n.clone(),
+                vocab::xsd::DECIMAL,
+            ))),
+            Some(Tok::Boolean(b)) => Ok(Term::Literal(Literal::boolean(*b))),
+            Some(Tok::String(s)) => {
+                let s = s.clone();
+                match self.peek() {
+                    Some(Tok::LangTag(tag)) => {
+                        let tag = tag.clone();
+                        self.pos += 1;
+                        Ok(Term::Literal(Literal::lang(s, tag)))
+                    }
+                    Some(Tok::DtSep) => {
+                        self.pos += 1;
+                        let line = self.line();
+                        let dt = match self.next() {
+                            Some(Tok::Iri(i)) => i.clone(),
+                            Some(Tok::Pname(p)) => {
+                                let p = p.clone();
+                                self.expand_pname(&p, line)?
+                            }
+                            _ => return Err(RdfError::new(line, "expected datatype IRI")),
+                        };
+                        Ok(Term::Literal(Literal::typed(s, dt)))
+                    }
+                    _ => Ok(Term::Literal(Literal::plain(s))),
+                }
+            }
+            _ => Err(RdfError::new(line, "expected object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix ex: <http://example.org/> .
+
+ex:Person a owl:Class ;
+    rdfs:subClassOf owl:Thing ;
+    rdfs:label "Person"@en .
+
+ex:alice a ex:Person ;
+    ex:age 34 ;
+    ex:height 1.68 ;
+    ex:active true ;
+    ex:knows ex:bob , ex:carol .
+
+ex:bob a ex:Person .
+"#;
+
+    #[test]
+    fn parses_fixture() {
+        let g = parse_document(FIXTURE).unwrap();
+        // Person: 3 triples; alice: 1 type + age + height + active + 2 knows = 6; bob: 1.
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn a_keyword_expands_to_rdf_type() {
+        let g = parse_document("@prefix ex: <http://e/> . ex:x a ex:C .").unwrap();
+        let t = g.triples()[0];
+        assert_eq!(g.interner().resolve(t.p).as_iri(), Some(vocab::rdf::TYPE));
+    }
+
+    #[test]
+    fn object_lists_and_predicate_lists() {
+        let g = parse_document(
+            "@prefix ex: <http://e/> . ex:x ex:p ex:a , ex:b ; ex:q ex:c .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn numeric_and_boolean_objects() {
+        let g = parse_document("@prefix ex: <http://e/> . ex:x ex:n 42 ; ex:d 3.25 ; ex:b false .")
+            .unwrap();
+        let lits: Vec<_> = g
+            .triples()
+            .iter()
+            .map(|t| g.interner().resolve(t.o).as_literal().unwrap().clone())
+            .collect();
+        assert_eq!(lits[0].as_integer(), Some(42));
+        assert_eq!(lits[1].as_double(), Some(3.25));
+        assert_eq!(lits[2].lexical(), "false");
+    }
+
+    #[test]
+    fn lang_and_typed_strings() {
+        let g = parse_document(
+            "@prefix ex: <http://e/> . @prefix xsd: <http://www.w3.org/2001/XMLSchema#> . \
+             ex:x ex:l \"hi\"@en ; ex:t \"2020-01-01T00:00:00\"^^xsd:dateTime .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn sparql_style_prefix_without_dot() {
+        let g = parse_document("PREFIX ex: <http://e/>\nex:x ex:p ex:y .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn base_resolution() {
+        let g = parse_document("@base <http://b/> . <x> <p> <y> .").unwrap();
+        let t = g.triples()[0];
+        assert_eq!(g.interner().resolve(t.s).as_iri(), Some("http://b/x"));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        let err = parse_document("ex:x ex:p ex:y .").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn dotted_local_names_do_not_eat_the_terminator() {
+        let g = parse_document("@prefix ex: <http://e/> . ex:x ex:p ex:y .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn blank_nodes() {
+        let g = parse_document("@prefix ex: <http://e/> . _:a ex:p _:b .").unwrap();
+        let t = g.triples()[0];
+        assert!(g.interner().resolve(t.s).is_blank());
+        assert!(g.interner().resolve(t.o).is_blank());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let g = parse_document(
+            "# header\n@prefix ex: <http://e/> . # ns\nex:x ex:p ex:y . # done\n",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_reports_line() {
+        let err = parse_document("@prefix ex: <http://e/> .\nex:x ex:p \"oops .").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Standard vocabularies the eLinda model depends on.
+//!
+//! The paper (Section 3.1) singles out `rdf:type`, `rdfs:subClassOf`,
+//! `rdfs:label`, `owl:Class`/`rdfs:Class`, and `owl:Thing` as the properties
+//! and classes that drive the ontology-based exploration.
+
+/// The RDF namespace.
+pub mod rdf {
+    /// Namespace prefix IRI.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// `rdf:type` — connects an instance to its class.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// `rdf:Property` — the class of properties (eLinda does *not* rely on
+    /// it; properties are inferred from data triples, Section 3.3).
+    pub const PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+}
+
+/// The RDFS namespace.
+pub mod rdfs {
+    /// Namespace prefix IRI.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// `rdfs:subClassOf` — the vertical exploration axis.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// `rdfs:label` — short textual labels attached to visualized elements.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// `rdfs:Class` — alternative class declaration.
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+    /// `rdfs:domain`.
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    /// `rdfs:range`.
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+}
+
+/// The OWL namespace.
+pub mod owl {
+    /// Namespace prefix IRI.
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    /// `owl:Thing` — the sensible root class for the initial chart.
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+    /// `owl:Class` — standard class declaration.
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    /// Namespace prefix IRI.
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// `xsd:string`.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// `xsd:integer`.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// `xsd:int`.
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    /// `xsd:long`.
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    /// `xsd:decimal`.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// `xsd:double`.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// `xsd:float`.
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// `xsd:boolean`.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// `xsd:dateTime`.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+}
+
+/// The DBpedia ontology namespace, used by the synthetic DBpedia-like data.
+pub mod dbo {
+    /// Namespace prefix IRI.
+    pub const NS: &str = "http://dbpedia.org/ontology/";
+}
+
+/// The DBpedia resource namespace, used by the synthetic DBpedia-like data.
+pub mod dbr {
+    /// Namespace prefix IRI.
+    pub const NS: &str = "http://dbpedia.org/resource/";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_prefixes_of_their_members() {
+        assert!(rdf::TYPE.starts_with(rdf::NS));
+        assert!(rdfs::SUB_CLASS_OF.starts_with(rdfs::NS));
+        assert!(rdfs::LABEL.starts_with(rdfs::NS));
+        assert!(owl::THING.starts_with(owl::NS));
+        assert!(xsd::INTEGER.starts_with(xsd::NS));
+    }
+
+    #[test]
+    fn distinct_core_terms() {
+        let all = [
+            rdf::TYPE,
+            rdf::PROPERTY,
+            rdfs::SUB_CLASS_OF,
+            rdfs::LABEL,
+            rdfs::CLASS,
+            owl::THING,
+            owl::CLASS,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! The SPARQL query AST and its pretty-printer.
+//!
+//! The printer emits canonical SPARQL 1.1 (parenthesized projections,
+//! `WHERE { … }`) regardless of which accepted spelling was parsed, and
+//! printing then re-parsing is a fixpoint (tested in the parser module).
+
+use elinda_rdf::Term;
+use std::fmt;
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `PREFIX` declarations (already applied during parsing; kept for
+    /// printing fidelity is unnecessary, so the printer emits full IRIs).
+    pub select: SelectClause,
+    /// The `WHERE` group.
+    pub where_clause: GroupGraphPattern,
+    /// `GROUP BY` variables.
+    pub group_by: Vec<String>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: Option<usize>,
+}
+
+/// The projection part of a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectClause {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection items, or `*`.
+    pub items: SelectItems,
+}
+
+/// `*` or an explicit projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItems {
+    /// `SELECT *`.
+    Star,
+    /// Explicit items.
+    Items(Vec<SelectItem>),
+}
+
+/// One projection item: an expression with an optional `AS ?alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression (often just a variable).
+    pub expr: Expr,
+    /// The alias, mandatory for non-variable expressions in standard
+    /// SPARQL; we default it from the expression when omitted.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// A bare variable projection.
+    pub fn var(name: impl Into<String>) -> Self {
+        SelectItem { expr: Expr::Var(name.into()), alias: None }
+    }
+
+    /// The output column name: the alias, or the variable name for bare
+    /// variable projections.
+    pub fn output_name(&self) -> Option<&str> {
+        match (&self.alias, &self.expr) {
+            (Some(a), _) => Some(a),
+            (None, Expr::Var(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// True for ascending (the default).
+    pub ascending: bool,
+}
+
+/// A group graph pattern: the contents of `{ … }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupGraphPattern {
+    /// The elements in source order.
+    pub elements: Vec<PatternElement>,
+}
+
+/// One element of a group graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElement {
+    /// A basic graph pattern (consecutive triple patterns).
+    Triples(Vec<TriplePatternAst>),
+    /// `FILTER expr`.
+    Filter(Expr),
+    /// `OPTIONAL { … }`.
+    Optional(GroupGraphPattern),
+    /// `{ … } UNION { … }`.
+    Union(GroupGraphPattern, GroupGraphPattern),
+    /// A nested `{ SELECT … }`.
+    SubSelect(Box<Query>),
+}
+
+/// A triple pattern position: a variable or a constant term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermOrVar {
+    /// `?name`.
+    Var(String),
+    /// A constant IRI or literal.
+    Term(Term),
+}
+
+impl TermOrVar {
+    /// A variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        TermOrVar::Var(name.into())
+    }
+
+    /// An IRI constant.
+    pub fn iri(iri: impl Into<Box<str>>) -> Self {
+        TermOrVar::Term(Term::Iri(iri.into()))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermOrVar::Var(v) => Some(v),
+            TermOrVar::Term(_) => None,
+        }
+    }
+}
+
+/// The predicate position of a triple pattern: a plain predicate, or a
+/// property path (the subset eLinda needs: `p*` and `p+`, used for
+/// `rdfs:subClassOf*` on datasets without materialized types).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// A variable or constant predicate.
+    Simple(TermOrVar),
+    /// `<p>*` — zero-or-more path over a constant property.
+    ZeroOrMore(Term),
+    /// `<p>+` — one-or-more path over a constant property.
+    OneOrMore(Term),
+}
+
+impl Predicate {
+    /// The variable name, if this is a simple variable predicate.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Predicate::Simple(t) => t.as_var(),
+            _ => None,
+        }
+    }
+
+    /// An IRI predicate.
+    pub fn iri(iri: impl Into<Box<str>>) -> Self {
+        Predicate::Simple(TermOrVar::iri(iri))
+    }
+}
+
+impl From<TermOrVar> for Predicate {
+    fn from(t: TermOrVar) -> Self {
+        Predicate::Simple(t)
+    }
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePatternAst {
+    /// Subject position.
+    pub s: TermOrVar,
+    /// Predicate position (possibly a property path).
+    pub p: Predicate,
+    /// Object position.
+    pub o: TermOrVar,
+}
+
+impl TriplePatternAst {
+    /// Construct a triple pattern with a simple predicate.
+    pub fn new(s: TermOrVar, p: TermOrVar, o: TermOrVar) -> Self {
+        TriplePatternAst { s, p: Predicate::Simple(p), o }
+    }
+
+    /// Construct a triple pattern with an arbitrary predicate/path.
+    pub fn with_path(s: TermOrVar, p: Predicate, o: TermOrVar) -> Self {
+        TriplePatternAst { s, p, o }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `AVG`.
+    Avg,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+}
+
+impl AggFunc {
+    /// The SPARQL keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Scalar builtin functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `STR(x)`.
+    Str,
+    /// `LANG(x)`.
+    Lang,
+    /// `DATATYPE(x)`.
+    Datatype,
+    /// `BOUND(?v)`.
+    Bound,
+    /// `ISIRI(x)`.
+    IsIri,
+    /// `ISLITERAL(x)`.
+    IsLiteral,
+    /// `REGEX(str, pattern)` — substring with optional `^`/`$` anchors.
+    Regex,
+    /// `CONTAINS(str, needle)`.
+    Contains,
+    /// `STRSTARTS(str, prefix)`.
+    StrStarts,
+    /// `STRENDS(str, suffix)`.
+    StrEnds,
+}
+
+impl Func {
+    /// The SPARQL keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Str => "STR",
+            Func::Lang => "LANG",
+            Func::Datatype => "DATATYPE",
+            Func::Bound => "BOUND",
+            Func::IsIri => "ISIRI",
+            Func::IsLiteral => "ISLITERAL",
+            Func::Regex => "REGEX",
+            Func::Contains => "CONTAINS",
+            Func::StrStarts => "STRSTARTS",
+            Func::StrEnds => "STRENDS",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`.
+    Or,
+    /// `&&`.
+    And,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+impl BinOp {
+    /// The surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// A SPARQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `?name`.
+    Var(String),
+    /// A constant term (IRI or literal).
+    Constant(Term),
+    /// A builtin call.
+    Call(Func, Vec<Expr>),
+    /// `!e` or `-e`.
+    Not(Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// An aggregate: `COUNT(*)` is `(Count, None, distinct)`.
+    Aggregate(AggFunc, Option<Box<Expr>>, bool),
+    /// `e IN (a, b, c)` / `e NOT IN (…)`.
+    In(Box<Expr>, Vec<Expr>, bool),
+}
+
+impl Expr {
+    /// True if the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate(..) => true,
+            Expr::Var(_) | Expr::Constant(_) => false,
+            Expr::Call(_, args) => args.iter().any(Expr::has_aggregate),
+            Expr::Not(e) => e.has_aggregate(),
+            Expr::Binary(_, a, b) => a.has_aggregate() || b.has_aggregate(),
+            Expr::In(e, list, _) => e.has_aggregate() || list.iter().any(Expr::has_aggregate),
+        }
+    }
+
+    /// Collect variable names referenced by this expression.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Constant(_) => {}
+            Expr::Call(_, args) => args.iter().for_each(|a| a.collect_vars(out)),
+            Expr::Not(e) => e.collect_vars(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Aggregate(_, e, _) => {
+                if let Some(e) = e {
+                    e.collect_vars(out);
+                }
+            }
+            Expr::In(e, list, _) => {
+                e.collect_vars(out);
+                list.iter().for_each(|a| a.collect_vars(out));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.select.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.select.items {
+            SelectItems::Star => write!(f, "*")?,
+            SelectItems::Items(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    match (&item.expr, &item.alias) {
+                        (Expr::Var(v), None) => write!(f, "?{v}")?,
+                        (expr, Some(a)) => write!(f, "({expr} AS ?{a})")?,
+                        (expr, None) => write!(f, "({expr})")?,
+                    }
+                }
+            }
+        }
+        write!(f, " WHERE {}", self.where_clause)?;
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY")?;
+            for v in &self.group_by {
+                write!(f, " ?{v}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY")?;
+            for k in &self.order_by {
+                if k.ascending {
+                    write!(f, " ASC({})", k.expr)?;
+                } else {
+                    write!(f, " DESC({})", k.expr)?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for GroupGraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ ")?;
+        for e in &self.elements {
+            match e {
+                PatternElement::Triples(ts) => {
+                    for t in ts {
+                        write!(f, "{} {} {} . ", t.s, t.p, t.o)?;
+                    }
+                }
+                PatternElement::Filter(expr) => write!(f, "FILTER({expr}) ")?,
+                PatternElement::Optional(g) => write!(f, "OPTIONAL {g} ")?,
+                PatternElement::Union(a, b) => write!(f, "{a} UNION {b} ")?,
+                PatternElement::SubSelect(q) => write!(f, "{{ {q} }} ")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for TermOrVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermOrVar::Var(v) => write!(f, "?{v}"),
+            TermOrVar::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Simple(t) => t.fmt(f),
+            Predicate::ZeroOrMore(t) => write!(f, "{t}*"),
+            Predicate::OneOrMore(t) => write!(f, "{t}+"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "?{v}"),
+            Expr::Constant(t) => write!(f, "{t}"),
+            Expr::Call(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Aggregate(func, arg, distinct) => {
+                write!(f, "{}(", func.name())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    None => write!(f, "*")?,
+                    Some(e) => write!(f, "{e}")?,
+                }
+                write!(f, ")")
+            }
+            Expr::In(e, list, negated) => {
+                write!(f, "({e} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, a) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_rdf::term::Literal;
+
+    #[test]
+    fn select_item_output_name() {
+        assert_eq!(SelectItem::var("x").output_name(), Some("x"));
+        let aliased = SelectItem {
+            expr: Expr::Aggregate(AggFunc::Count, None, false),
+            alias: Some("n".into()),
+        };
+        assert_eq!(aliased.output_name(), Some("n"));
+        let anon = SelectItem {
+            expr: Expr::Aggregate(AggFunc::Count, None, false),
+            alias: None,
+        };
+        assert_eq!(anon.output_name(), None);
+    }
+
+    #[test]
+    fn has_aggregate_recurses() {
+        let agg = Expr::Aggregate(AggFunc::Sum, Some(Box::new(Expr::Var("x".into()))), false);
+        let nested = Expr::Binary(BinOp::Add, Box::new(agg), Box::new(Expr::Var("y".into())));
+        assert!(nested.has_aggregate());
+        assert!(!Expr::Var("x".into()).has_aggregate());
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Binary(
+                BinOp::Eq,
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Var("y".into())),
+            )),
+        );
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn display_expression() {
+        let e = Expr::Binary(
+            BinOp::Gt,
+            Box::new(Expr::Var("age".into())),
+            Box::new(Expr::Constant(Term::Literal(Literal::integer(30)))),
+        );
+        assert!(e.to_string().contains("?age >"));
+    }
+
+    #[test]
+    fn display_simple_query() {
+        let q = Query {
+            select: SelectClause {
+                distinct: true,
+                items: SelectItems::Items(vec![SelectItem::var("s")]),
+            },
+            where_clause: GroupGraphPattern {
+                elements: vec![PatternElement::Triples(vec![TriplePatternAst::new(
+                    TermOrVar::var("s"),
+                    TermOrVar::iri("http://e/p"),
+                    TermOrVar::var("o"),
+                )])],
+            },
+            group_by: vec![],
+            order_by: vec![],
+            limit: Some(10),
+            offset: None,
+        };
+        let text = q.to_string();
+        assert_eq!(
+            text,
+            "SELECT DISTINCT ?s WHERE { ?s <http://e/p> ?o . } LIMIT 10"
+        );
+    }
+}

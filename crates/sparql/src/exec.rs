@@ -1,0 +1,1662 @@
+//! The SPARQL executor.
+//!
+//! Evaluation is a faithful, *naive* implementation of the algebra:
+//! greedy index-ordered nested-loop joins for basic graph patterns,
+//! hash joins against subselect results, and full materialization of
+//! `GROUP BY` tables. No rewriting is performed here — the decomposer in
+//! `elinda-endpoint` is the component that replaces heavy plans, and the
+//! Fig. 4 benchmark measures precisely the gap between this executor and
+//! the decomposed path.
+
+use crate::ast::*;
+use crate::parser::{parse_query, ParseError};
+use crate::value::Value;
+use elinda_rdf::fx::{FxHashMap, FxHashSet};
+use elinda_rdf::{Term, TermId};
+use elinda_store::{TriplePattern, TripleStore};
+use std::fmt;
+
+/// An execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Description.
+    pub message: String,
+}
+
+impl ExecError {
+    fn new(message: impl Into<String>) -> Self {
+        ExecError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A parse-or-execute error from [`Executor::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The query failed during evaluation.
+    Exec(ExecError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => e.fmt(f),
+            QueryError::Exec(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A solution sequence: named columns and rows of optional values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solutions {
+    /// Output column names, in projection order.
+    pub vars: Vec<String>,
+    /// Rows; each row has one entry per column.
+    pub rows: Vec<Vec<Option<Value>>>,
+}
+
+impl Solutions {
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at `(row, column name)`.
+    pub fn value(&self, row: usize, name: &str) -> Option<&Value> {
+        let col = self.column(name)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// Extract a column of term ids, skipping unbound and non-term values.
+    pub fn term_column(&self, name: &str) -> Vec<TermId> {
+        let Some(col) = self.column(name) else { return Vec::new() };
+        self.rows
+            .iter()
+            .filter_map(|r| match r.get(col) {
+                Some(Some(Value::Term(id))) => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Executes queries against a [`TripleStore`].
+pub struct Executor<'a> {
+    store: &'a TripleStore,
+}
+
+impl<'a> Executor<'a> {
+    /// An executor over the given store.
+    pub fn new(store: &'a TripleStore) -> Self {
+        Executor { store }
+    }
+
+    /// Parse and execute a query string.
+    pub fn run(&self, text: &str) -> Result<Solutions, QueryError> {
+        let q = parse_query(text).map_err(QueryError::Parse)?;
+        self.execute(&q).map_err(QueryError::Exec)
+    }
+
+    /// Execute a parsed query.
+    pub fn execute(&self, q: &Query) -> Result<Solutions, ExecError> {
+        let mut reg = Registry::default();
+        collect_query_vars(q, &mut reg);
+        let mut ev = Eval { store: self.store, reg };
+        let width = ev.reg.names.len();
+        let (vars, rows) = ev.eval_query(q, vec![vec![None; width]])?;
+        Ok(Solutions { vars, rows })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variable registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Registry {
+    names: Vec<String>,
+    index: FxHashMap<String, usize>,
+}
+
+impl Registry {
+    fn intern(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    fn get(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+}
+
+fn collect_query_vars(q: &Query, reg: &mut Registry) {
+    if let SelectItems::Items(items) = &q.select.items {
+        for item in items {
+            if let Some(a) = &item.alias {
+                reg.intern(a);
+            }
+            let mut vars = Vec::new();
+            item.expr.collect_vars(&mut vars);
+            for v in vars {
+                reg.intern(&v);
+            }
+        }
+    }
+    for v in &q.group_by {
+        reg.intern(v);
+    }
+    for k in &q.order_by {
+        let mut vars = Vec::new();
+        k.expr.collect_vars(&mut vars);
+        for v in vars {
+            reg.intern(&v);
+        }
+    }
+    collect_group_vars(&q.where_clause, reg);
+}
+
+fn collect_group_vars(g: &GroupGraphPattern, reg: &mut Registry) {
+    for e in &g.elements {
+        match e {
+            PatternElement::Triples(ts) => {
+                for t in ts {
+                    for pos in [&t.s, &t.o] {
+                        if let TermOrVar::Var(v) = pos {
+                            reg.intern(v);
+                        }
+                    }
+                    if let Some(v) = t.p.as_var() {
+                        reg.intern(v);
+                    }
+                }
+            }
+            PatternElement::Filter(expr) => {
+                let mut vars = Vec::new();
+                expr.collect_vars(&mut vars);
+                for v in vars {
+                    reg.intern(&v);
+                }
+            }
+            PatternElement::Optional(g2) => collect_group_vars(g2, reg),
+            PatternElement::Union(a, b) => {
+                collect_group_vars(a, reg);
+                collect_group_vars(b, reg);
+            }
+            PatternElement::SubSelect(q) => collect_query_vars(q, reg),
+        }
+    }
+}
+
+/// Variables syntactically bound by a group (used for `SELECT *` and join
+/// planning). Optional groups contribute too — `*` includes them.
+fn group_pattern_vars(g: &GroupGraphPattern, reg: &Registry, out: &mut Vec<usize>) {
+    let push = |out: &mut Vec<usize>, i: usize| {
+        if !out.contains(&i) {
+            out.push(i);
+        }
+    };
+    for e in &g.elements {
+        match e {
+            PatternElement::Triples(ts) => {
+                for t in ts {
+                    // Keep source order (s, p, o) for SELECT * columns.
+                    let mut vars: Vec<&str> = Vec::new();
+                    if let TermOrVar::Var(v) = &t.s {
+                        vars.push(v);
+                    }
+                    if let Some(v) = t.p.as_var() {
+                        vars.push(v);
+                    }
+                    if let TermOrVar::Var(v) = &t.o {
+                        vars.push(v);
+                    }
+                    for v in vars {
+                        if let Some(i) = reg.get(v) {
+                            push(out, i);
+                        }
+                    }
+                }
+            }
+            PatternElement::Filter(_) => {}
+            PatternElement::Optional(g2) => group_pattern_vars(g2, reg, out),
+            PatternElement::Union(a, b) => {
+                group_pattern_vars(a, reg, out);
+                group_pattern_vars(b, reg, out);
+            }
+            PatternElement::SubSelect(q) => {
+                if let SelectItems::Items(items) = &q.select.items {
+                    for item in items {
+                        if let Some(name) = item.output_name() {
+                            if let Some(i) = reg.get(name) {
+                                push(out, i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+type Row = Vec<Option<Value>>;
+
+struct Eval<'a> {
+    store: &'a TripleStore,
+    reg: Registry,
+}
+
+impl Eval<'_> {
+    /// Evaluate a query seeded with `seed` rows. Returns `(column names,
+    /// output rows)` in projection order.
+    fn eval_query(&mut self, q: &Query, seed: Vec<Row>) -> Result<(Vec<String>, Vec<Row>), ExecError> {
+        let mut bound: FxHashSet<usize> = FxHashSet::default();
+        let mut rows = self.eval_group(&q.where_clause, seed, &mut bound)?;
+
+        let aggregated = !q.group_by.is_empty()
+            || matches!(&q.select.items, SelectItems::Items(items)
+                if items.iter().any(|i| i.expr.has_aggregate()));
+
+        if aggregated {
+            rows = self.aggregate(q, rows)?;
+        }
+
+        // ORDER BY before projection (keys may reference non-projected vars;
+        // after aggregation alias vars are bound in the rows).
+        if !q.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Option<Value>>, Row)> = rows
+                .into_iter()
+                .map(|r| {
+                    let keys = q
+                        .order_by
+                        .iter()
+                        .map(|k| self.eval_expr(&k.expr, &r).unwrap_or(None))
+                        .collect();
+                    (keys, r)
+                })
+                .collect();
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (key, spec) in ka.iter().zip(kb).zip(&q.order_by) {
+                    let ((a, b), spec) = (key, spec);
+                    let ord = match (a, b) {
+                        (None, None) => std::cmp::Ordering::Equal,
+                        (None, Some(_)) => std::cmp::Ordering::Less,
+                        (Some(_), None) => std::cmp::Ordering::Greater,
+                        (Some(a), Some(b)) => a.sparql_cmp(b, self.store),
+                    };
+                    let ord = if spec.ascending { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+
+        // Projection.
+        let (names, mut out): (Vec<String>, Vec<Row>) = match &q.select.items {
+            SelectItems::Star => {
+                let mut var_ids = Vec::new();
+                group_pattern_vars(&q.where_clause, &self.reg, &mut var_ids);
+                let names: Vec<String> =
+                    var_ids.iter().map(|&i| self.reg.names[i].clone()).collect();
+                let out = rows
+                    .into_iter()
+                    .map(|r| var_ids.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                (names, out)
+            }
+            SelectItems::Items(items) => {
+                let names: Vec<String> = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        item.output_name().map_or_else(|| format!("_c{i}"), str::to_string)
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(rows.len());
+                for r in &rows {
+                    let mut row = Vec::with_capacity(items.len());
+                    for item in items {
+                        // After aggregation, aliased items are already bound
+                        // to their alias slot.
+                        let v = if aggregated {
+                            match item.output_name().and_then(|n| self.reg.get(n)) {
+                                Some(slot) => r[slot].clone(),
+                                None => self.eval_expr(&item.expr, r)?,
+                            }
+                        } else {
+                            self.eval_expr(&item.expr, r)?
+                        };
+                        row.push(v);
+                    }
+                    out.push(row);
+                }
+                (names, out)
+            }
+        };
+
+        if q.select.distinct {
+            let mut seen: FxHashSet<Row> = FxHashSet::default();
+            out.retain(|r| seen.insert(r.clone()));
+        }
+        if let Some(off) = q.offset {
+            out = out.into_iter().skip(off).collect();
+        }
+        if let Some(lim) = q.limit {
+            out.truncate(lim);
+        }
+        Ok((names, out))
+    }
+
+    fn eval_group(
+        &mut self,
+        g: &GroupGraphPattern,
+        mut rows: Vec<Row>,
+        bound: &mut FxHashSet<usize>,
+    ) -> Result<Vec<Row>, ExecError> {
+        for e in &g.elements {
+            match e {
+                PatternElement::Triples(patterns) => {
+                    for pat in plan_bgp(patterns, &self.reg, bound) {
+                        rows = self.join_pattern(rows, pat)?;
+                        for pos in [&pat.s, &pat.o] {
+                            if let TermOrVar::Var(v) = pos {
+                                if let Some(i) = self.reg.get(v) {
+                                    bound.insert(i);
+                                }
+                            }
+                        }
+                        if let Some(v) = pat.p.as_var() {
+                            if let Some(i) = self.reg.get(v) {
+                                bound.insert(i);
+                            }
+                        }
+                        if rows.is_empty() {
+                            // All subsequent joins stay empty, but filters /
+                            // unions may still matter; continue cheaply.
+                        }
+                    }
+                }
+                PatternElement::Filter(expr) => {
+                    let mut kept = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        let truthy = match self.eval_expr(expr, &r) {
+                            Ok(Some(v)) => v.truthy(self.store),
+                            // SPARQL: errors/unbound in FILTER eliminate.
+                            Ok(None) | Err(_) => false,
+                        };
+                        if truthy {
+                            kept.push(r);
+                        }
+                    }
+                    rows = kept;
+                }
+                PatternElement::Optional(g2) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for r in rows {
+                        let mut inner_bound = bound.clone();
+                        let ext = self.eval_group(g2, vec![r.clone()], &mut inner_bound)?;
+                        if ext.is_empty() {
+                            out.push(r);
+                        } else {
+                            out.extend(ext);
+                        }
+                    }
+                    rows = out;
+                }
+                PatternElement::Union(a, b) => {
+                    let mut ba = bound.clone();
+                    let mut bb = bound.clone();
+                    let ra = self.eval_group(a, rows.clone(), &mut ba)?;
+                    let rb = self.eval_group(b, rows, &mut bb)?;
+                    // Vars bound on both branches are bound after the union.
+                    *bound = ba.intersection(&bb).copied().collect();
+                    rows = ra;
+                    rows.extend(rb);
+                }
+                PatternElement::SubSelect(q) => {
+                    let width = self.reg.names.len();
+                    let (names, sub_out) = self.eval_query(q, vec![vec![None; width]])?;
+                    // Convert projected output back into internal rows.
+                    let mut name_slots: Vec<Option<usize>> =
+                        names.iter().map(|n| self.reg.get(n)).collect();
+                    // Unnamed columns (no alias) cannot join; drop them.
+                    for slot in &mut name_slots {
+                        if let Some(s) = slot {
+                            if self.reg.names[*s].starts_with("_c") {
+                                *slot = None;
+                            }
+                        }
+                    }
+                    let sub_rows: Vec<Row> = sub_out
+                        .into_iter()
+                        .map(|out_row| {
+                            let mut r = vec![None; width];
+                            for (v, slot) in out_row.into_iter().zip(&name_slots) {
+                                if let Some(s) = slot {
+                                    r[*s] = v;
+                                }
+                            }
+                            r
+                        })
+                        .collect();
+                    let sub_vars: FxHashSet<usize> =
+                        name_slots.iter().flatten().copied().collect();
+                    let keys: Vec<usize> = sub_vars.intersection(bound).copied().collect();
+                    rows = hash_join(rows, sub_rows, &keys);
+                    bound.extend(sub_vars);
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    fn join_pattern(
+        &mut self,
+        rows: Vec<Row>,
+        pat: &TriplePatternAst,
+    ) -> Result<Vec<Row>, ExecError> {
+        // Property paths take a dedicated evaluation route.
+        match &pat.p {
+            Predicate::Simple(_) => {}
+            Predicate::ZeroOrMore(term) => {
+                return self.join_path(rows, pat, term, true);
+            }
+            Predicate::OneOrMore(term) => {
+                return self.join_path(rows, pat, term, false);
+            }
+        }
+        // Resolve constant positions once. A constant absent from the
+        // interner matches nothing.
+        let mut const_missing = false;
+        let mut resolve_const = |t: &Term| -> Option<TermId> {
+            match self.store.interner().get(t) {
+                Some(id) => Some(id),
+                None => {
+                    const_missing = true;
+                    None
+                }
+            }
+        };
+        let s_const = match &pat.s {
+            TermOrVar::Term(t) => Some(resolve_const(t)),
+            TermOrVar::Var(_) => None,
+        };
+        let p_const = match &pat.p {
+            Predicate::Simple(TermOrVar::Term(t)) => Some(resolve_const(t)),
+            _ => None,
+        };
+        let o_const = match &pat.o {
+            TermOrVar::Term(t) => Some(resolve_const(t)),
+            TermOrVar::Var(_) => None,
+        };
+        if const_missing {
+            return Ok(Vec::new());
+        }
+        let s_var = pat.s.as_var().map(|v| self.reg.intern(v));
+        let p_var = pat.p.as_var().map(|v| self.reg.intern(v));
+        let o_var = pat.o.as_var().map(|v| self.reg.intern(v));
+
+        let mut out = Vec::new();
+        for row in rows {
+            // Positions: constant, bound var (must hold a term), or free.
+            let mut ok = true;
+            let fixed = |cst: Option<Option<TermId>>, var: Option<usize>, row: &Row, ok: &mut bool| {
+                if let Some(c) = cst {
+                    return c;
+                }
+                if let Some(i) = var {
+                    match &row[i] {
+                        Some(Value::Term(id)) => return Some(*id),
+                        Some(_) => {
+                            // A computed value can never match a stored term.
+                            *ok = false;
+                            return None;
+                        }
+                        None => return None,
+                    }
+                }
+                None
+            };
+            let fs = fixed(s_const, s_var, &row, &mut ok);
+            let fp = fixed(p_const, p_var, &row, &mut ok);
+            let fo = fixed(o_const, o_var, &row, &mut ok);
+            if !ok {
+                continue;
+            }
+            for t in TriplePattern::new(fs, fp, fo).scan(self.store) {
+                let mut r = row.clone();
+                let mut consistent = true;
+                for (var, val) in [(s_var, t.s), (p_var, t.p), (o_var, t.o)] {
+                    if let Some(i) = var {
+                        match &r[i] {
+                            None => r[i] = Some(Value::Term(val)),
+                            Some(Value::Term(existing)) => {
+                                if *existing != val {
+                                    consistent = false;
+                                    break;
+                                }
+                            }
+                            Some(_) => {
+                                consistent = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if consistent {
+                    out.push(r);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a `p*` / `p+` path pattern: a BFS over the property's
+    /// edge relation, driven from whichever endpoint is bound.
+    fn join_path(
+        &mut self,
+        rows: Vec<Row>,
+        pat: &TriplePatternAst,
+        prop: &Term,
+        include_zero: bool,
+    ) -> Result<Vec<Row>, ExecError> {
+        let prop_id = self.store.interner().get(prop);
+        let s_const = match &pat.s {
+            TermOrVar::Term(t) => match self.store.interner().get(t) {
+                Some(id) => Some(Some(id)),
+                None => Some(None), // constant unknown to the store
+            },
+            TermOrVar::Var(_) => None,
+        };
+        let o_const = match &pat.o {
+            TermOrVar::Term(t) => match self.store.interner().get(t) {
+                Some(id) => Some(Some(id)),
+                None => Some(None),
+            },
+            TermOrVar::Var(_) => None,
+        };
+        let s_var = pat.s.as_var().map(|v| self.reg.intern(v));
+        let o_var = pat.o.as_var().map(|v| self.reg.intern(v));
+
+        let mut out = Vec::new();
+        for row in rows {
+            let bound_term = |cst: Option<Option<TermId>>, var: Option<usize>| -> (bool, Option<TermId>) {
+                // (is_fixed, id). A fixed-but-unknown constant yields
+                // (true, None): only zero-length self-paths can match it,
+                // and those require the term to exist — so no match.
+                if let Some(c) = cst {
+                    return (true, c);
+                }
+                if let Some(i) = var {
+                    if let Some(Value::Term(id)) = &row[i] {
+                        return (true, Some(*id));
+                    }
+                }
+                (false, None)
+            };
+            let (s_fixed, fs) = bound_term(s_const, s_var);
+            let (o_fixed, fo) = bound_term(o_const, o_var);
+
+            match (s_fixed, o_fixed) {
+                (true, _) => {
+                    let Some(start) = fs else { continue };
+                    let reachable = self.path_closure(prop_id, start, false, include_zero);
+                    for target in reachable {
+                        if o_fixed {
+                            if fo == Some(target) {
+                                out.push(row.clone());
+                            }
+                            continue;
+                        }
+                        let mut r = row.clone();
+                        if let Some(i) = o_var {
+                            r[i] = Some(Value::Term(target));
+                        }
+                        out.push(r);
+                    }
+                }
+                (false, true) => {
+                    let Some(start) = fo else { continue };
+                    let reachable = self.path_closure(prop_id, start, true, include_zero);
+                    for source in reachable {
+                        let mut r = row.clone();
+                        if let Some(i) = s_var {
+                            r[i] = Some(Value::Term(source));
+                        }
+                        out.push(r);
+                    }
+                }
+                (false, false) => {
+                    return Err(ExecError::new(
+                        "property paths with both endpoints unbound are not supported",
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// BFS closure over a property's edges, forward (`reverse = false`,
+    /// subject → objects) or backward.
+    fn path_closure(
+        &self,
+        prop: Option<TermId>,
+        start: TermId,
+        reverse: bool,
+        include_zero: bool,
+    ) -> Vec<TermId> {
+        let mut seen: FxHashSet<TermId> = FxHashSet::default();
+        let mut queue: Vec<TermId> = vec![start];
+        let mut order: Vec<TermId> = Vec::new();
+        if include_zero {
+            seen.insert(start);
+            order.push(start);
+        }
+        while let Some(node) = queue.pop() {
+            if let Some(p) = prop {
+                let next: Vec<TermId> = if reverse {
+                    self.store.subjects_with(p, node).collect()
+                } else {
+                    self.store.objects_of(node, p).collect()
+                };
+                for n in next {
+                    if seen.insert(n) {
+                        order.push(n);
+                        queue.push(n);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    // -- Aggregation --------------------------------------------------------
+
+    fn aggregate(&mut self, q: &Query, rows: Vec<Row>) -> Result<Vec<Row>, ExecError> {
+        let width = self.reg.names.len();
+        let key_slots: Vec<usize> = q
+            .group_by
+            .iter()
+            .map(|v| self.reg.intern(v))
+            .collect();
+
+        let mut groups: FxHashMap<Vec<Option<Value>>, Vec<Row>> = FxHashMap::default();
+        if rows.is_empty() && key_slots.is_empty() {
+            // Implicit grouping over zero rows yields one empty group
+            // (COUNT(*) = 0).
+            groups.insert(Vec::new(), Vec::new());
+        } else {
+            for r in rows {
+                let key: Vec<Option<Value>> =
+                    key_slots.iter().map(|&i| r[i].clone()).collect();
+                groups.entry(key).or_default().push(r);
+            }
+        }
+
+        let items = match &q.select.items {
+            SelectItems::Items(items) => items.clone(),
+            SelectItems::Star => {
+                return Err(ExecError::new("SELECT * cannot be combined with aggregation"))
+            }
+        };
+
+        let mut out = Vec::with_capacity(groups.len());
+        for (key, group_rows) in groups {
+            let mut row: Row = vec![None; width];
+            for (slot, v) in key_slots.iter().zip(key) {
+                row[*slot] = v;
+            }
+            for item in &items {
+                let value = if item.expr.has_aggregate() {
+                    self.eval_agg_expr(&item.expr, &group_rows)?
+                } else {
+                    match &item.expr {
+                        Expr::Var(v) => {
+                            let slot = self.reg.intern(v);
+                            if key_slots.contains(&slot) {
+                                continue; // already set from the key
+                            }
+                            // Non-grouped bare variable: sample the first row
+                            // (lenient, Virtuoso-style).
+                            group_rows.first().and_then(|r| r[slot].clone())
+                        }
+                        expr => group_rows
+                            .first()
+                            .map(|r| self.eval_expr(expr, r))
+                            .transpose()?
+                            .flatten(),
+                    }
+                };
+                if let Some(name) = item.output_name() {
+                    let slot = self.reg.intern(name);
+                    row[slot] = value;
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    fn eval_agg_expr(&mut self, expr: &Expr, group: &[Row]) -> Result<Option<Value>, ExecError> {
+        match expr {
+            Expr::Aggregate(func, arg, distinct) => self.eval_aggregate(*func, arg.as_deref(), *distinct, group),
+            Expr::Binary(op, a, b) => {
+                let va = self.eval_agg_expr(a, group)?;
+                let vb = self.eval_agg_expr(b, group)?;
+                self.apply_binary(*op, va, vb)
+            }
+            Expr::Not(e) => {
+                let v = self.eval_agg_expr(e, group)?;
+                Ok(v.map(|v| Value::Bool(!v.truthy(self.store))))
+            }
+            other => match group.first() {
+                Some(r) => self.eval_expr(other, r),
+                None => Ok(None),
+            },
+        }
+    }
+
+    fn eval_aggregate(
+        &mut self,
+        func: AggFunc,
+        arg: Option<&Expr>,
+        distinct: bool,
+        group: &[Row],
+    ) -> Result<Option<Value>, ExecError> {
+        // Collect the argument values (COUNT(*) counts rows directly).
+        let values: Vec<Value> = match arg {
+            None => {
+                if func != AggFunc::Count {
+                    return Err(ExecError::new("only COUNT supports '*'"));
+                }
+                if distinct {
+                    let mut seen: FxHashSet<&Row> = FxHashSet::default();
+                    let n = group.iter().filter(|r| seen.insert(r)).count();
+                    return Ok(Some(Value::Int(n as i64)));
+                }
+                return Ok(Some(Value::Int(group.len() as i64)));
+            }
+            Some(e) => {
+                let mut vals = Vec::with_capacity(group.len());
+                for r in group {
+                    if let Some(v) = self.eval_expr(e, r)? {
+                        vals.push(v);
+                    }
+                }
+                vals
+            }
+        };
+        let values: Vec<Value> = if distinct {
+            let mut seen: FxHashSet<Value> = FxHashSet::default();
+            values.into_iter().filter(|v| seen.insert(v.clone())).collect()
+        } else {
+            values
+        };
+        match func {
+            AggFunc::Count => Ok(Some(Value::Int(values.len() as i64))),
+            AggFunc::Sum => {
+                let mut int_sum: i64 = 0;
+                let mut float_sum: f64 = 0.0;
+                let mut any_float = false;
+                for v in &values {
+                    match v {
+                        Value::Int(n) => int_sum += n,
+                        _ => match v.as_number(self.store) {
+                            Some(f) => {
+                                // A term literal may still be integral.
+                                if f.fract() == 0.0 && !matches!(v, Value::Float(_)) {
+                                    int_sum += f as i64;
+                                } else {
+                                    any_float = true;
+                                    float_sum += f;
+                                }
+                            }
+                            None => return Ok(None),
+                        },
+                    }
+                }
+                if any_float {
+                    Ok(Some(Value::Float(float_sum + int_sum as f64)))
+                } else {
+                    Ok(Some(Value::Int(int_sum)))
+                }
+            }
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    return Ok(Some(Value::Int(0)));
+                }
+                let mut sum = 0.0;
+                for v in &values {
+                    match v.as_number(self.store) {
+                        Some(f) => sum += f,
+                        None => return Ok(None),
+                    }
+                }
+                Ok(Some(Value::Float(sum / values.len() as f64)))
+            }
+            AggFunc::Min => Ok(values
+                .into_iter()
+                .reduce(|a, b| if b.sparql_cmp(&a, self.store).is_lt() { b } else { a })),
+            AggFunc::Max => Ok(values
+                .into_iter()
+                .reduce(|a, b| if b.sparql_cmp(&a, self.store).is_gt() { b } else { a })),
+        }
+    }
+
+    // -- Scalar expressions -------------------------------------------------
+
+    fn eval_expr(&mut self, expr: &Expr, row: &Row) -> Result<Option<Value>, ExecError> {
+        match expr {
+            Expr::Var(v) => {
+                let slot = self.reg.intern(v);
+                Ok(row.get(slot).cloned().flatten())
+            }
+            Expr::Constant(t) => Ok(Some(self.constant_value(t))),
+            Expr::Not(e) => {
+                let v = self.eval_expr(e, row)?;
+                Ok(Some(Value::Bool(!v.map(|v| v.truthy(self.store)).unwrap_or(false))))
+            }
+            Expr::Binary(op, a, b) => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        let va = self.eval_expr(a, row)?;
+                        if !va.map(|v| v.truthy(self.store)).unwrap_or(false) {
+                            return Ok(Some(Value::Bool(false)));
+                        }
+                        let vb = self.eval_expr(b, row)?;
+                        return Ok(Some(Value::Bool(
+                            vb.map(|v| v.truthy(self.store)).unwrap_or(false),
+                        )));
+                    }
+                    BinOp::Or => {
+                        let va = self.eval_expr(a, row)?;
+                        if va.map(|v| v.truthy(self.store)).unwrap_or(false) {
+                            return Ok(Some(Value::Bool(true)));
+                        }
+                        let vb = self.eval_expr(b, row)?;
+                        return Ok(Some(Value::Bool(
+                            vb.map(|v| v.truthy(self.store)).unwrap_or(false),
+                        )));
+                    }
+                    _ => {}
+                }
+                let va = self.eval_expr(a, row)?;
+                let vb = self.eval_expr(b, row)?;
+                self.apply_binary(*op, va, vb)
+            }
+            Expr::Call(func, args) => self.eval_call(*func, args, row),
+            Expr::Aggregate(..) => {
+                Err(ExecError::new("aggregate used outside an aggregation context"))
+            }
+            Expr::In(e, list, negated) => {
+                let Some(v) = self.eval_expr(e, row)? else { return Ok(None) };
+                let mut found = false;
+                for item in list {
+                    if let Some(w) = self.eval_expr(item, row)? {
+                        if v.sparql_eq(&w, self.store) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(Some(Value::Bool(found != *negated)))
+            }
+        }
+    }
+
+    /// Convert a constant AST term to a runtime value: prefer the interned
+    /// term (identity semantics), fall back to a computed scalar when the
+    /// constant does not occur in the dataset.
+    fn constant_value(&self, t: &Term) -> Value {
+        if let Some(id) = self.store.interner().get(t) {
+            return Value::Term(id);
+        }
+        match t {
+            Term::Iri(i) => Value::Str(i.to_string()),
+            Term::Literal(lit) => {
+                if let Some(n) = lit.as_integer() {
+                    Value::Int(n)
+                } else if let Some(f) = lit.as_double() {
+                    Value::Float(f)
+                } else if lit.datatype() == elinda_rdf::vocab::xsd::BOOLEAN {
+                    Value::Bool(lit.lexical() == "true")
+                } else {
+                    Value::Str(lit.lexical().to_string())
+                }
+            }
+        }
+    }
+
+    fn apply_binary(
+        &mut self,
+        op: BinOp,
+        va: Option<Value>,
+        vb: Option<Value>,
+    ) -> Result<Option<Value>, ExecError> {
+        let (Some(a), Some(b)) = (va, vb) else { return Ok(None) };
+        let v = match op {
+            BinOp::And => Value::Bool(a.truthy(self.store) && b.truthy(self.store)),
+            BinOp::Or => Value::Bool(a.truthy(self.store) || b.truthy(self.store)),
+            BinOp::Eq => Value::Bool(a.sparql_eq(&b, self.store)),
+            BinOp::Ne => Value::Bool(!a.sparql_eq(&b, self.store)),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = a.sparql_cmp(&b, self.store);
+                Value::Bool(match op {
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    _ => ord.is_ge(),
+                })
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let (Some(x), Some(y)) =
+                    (a.as_number(self.store), b.as_number(self.store))
+                else {
+                    return Ok(None);
+                };
+                let ints = matches!(
+                    (&a, &b),
+                    (Value::Int(_), Value::Int(_))
+                );
+                match op {
+                    BinOp::Add if ints => Value::Int(x as i64 + y as i64),
+                    BinOp::Sub if ints => Value::Int(x as i64 - y as i64),
+                    BinOp::Mul if ints => Value::Int(x as i64 * y as i64),
+                    BinOp::Add => Value::Float(x + y),
+                    BinOp::Sub => Value::Float(x - y),
+                    BinOp::Mul => Value::Float(x * y),
+                    _ => {
+                        if y == 0.0 {
+                            return Ok(None);
+                        }
+                        Value::Float(x / y)
+                    }
+                }
+            }
+        };
+        Ok(Some(v))
+    }
+
+    fn eval_call(
+        &mut self,
+        func: Func,
+        args: &[Expr],
+        row: &Row,
+    ) -> Result<Option<Value>, ExecError> {
+        if func == Func::Bound {
+            let bound = match &args[0] {
+                Expr::Var(v) => {
+                    let slot = self.reg.intern(v);
+                    row.get(slot).map(|v| v.is_some()).unwrap_or(false)
+                }
+                _ => self.eval_expr(&args[0], row)?.is_some(),
+            };
+            return Ok(Some(Value::Bool(bound)));
+        }
+        let Some(v0) = self.eval_expr(&args[0], row)? else { return Ok(None) };
+        match func {
+            Func::Str => Ok(Some(Value::Str(v0.as_str_value(self.store)))),
+            Func::Lang => {
+                let lang = match &v0 {
+                    Value::Term(id) => self
+                        .store
+                        .resolve(*id)
+                        .as_literal()
+                        .and_then(|l| l.language())
+                        .unwrap_or("")
+                        .to_string(),
+                    _ => String::new(),
+                };
+                Ok(Some(Value::Str(lang)))
+            }
+            Func::Datatype => {
+                let dt = match &v0 {
+                    Value::Term(id) => self
+                        .store
+                        .resolve(*id)
+                        .as_literal()
+                        .map(|l| l.datatype().to_string()),
+                    Value::Int(_) => Some(elinda_rdf::vocab::xsd::INTEGER.to_string()),
+                    Value::Float(_) => Some(elinda_rdf::vocab::xsd::DOUBLE.to_string()),
+                    Value::Str(_) => Some(elinda_rdf::vocab::xsd::STRING.to_string()),
+                    Value::Bool(_) => Some(elinda_rdf::vocab::xsd::BOOLEAN.to_string()),
+                };
+                Ok(dt.map(Value::Str))
+            }
+            Func::IsIri => Ok(Some(Value::Bool(matches!(
+                &v0,
+                Value::Term(id) if self.store.resolve(*id).is_iri()
+            )))),
+            Func::IsLiteral => Ok(Some(Value::Bool(match &v0 {
+                Value::Term(id) => self.store.resolve(*id).is_literal(),
+                _ => true,
+            }))),
+            Func::Regex | Func::Contains | Func::StrStarts | Func::StrEnds => {
+                let Some(v1) = self.eval_expr(&args[1], row)? else { return Ok(None) };
+                let haystack = v0.as_str_value(self.store);
+                let needle = v1.as_str_value(self.store);
+                let result = match func {
+                    Func::Contains => haystack.contains(&needle),
+                    Func::StrStarts => haystack.starts_with(&needle),
+                    Func::StrEnds => haystack.ends_with(&needle),
+                    _ => regex_lite(&haystack, &needle),
+                };
+                Ok(Some(Value::Bool(result)))
+            }
+            Func::Bound => unreachable!("handled above"),
+        }
+    }
+}
+
+/// A deliberately tiny REGEX: supports optional `^` / `$` anchors around a
+/// literal pattern (covering every pattern eLinda generates). Anything
+/// fancier falls back to substring search on the unanchored text.
+fn regex_lite(haystack: &str, pattern: &str) -> bool {
+    let (pattern, anchored_start) = match pattern.strip_prefix('^') {
+        Some(rest) => (rest, true),
+        None => (pattern, false),
+    };
+    let (pattern, anchored_end) = match pattern.strip_suffix('$') {
+        Some(rest) => (rest, true),
+        None => (pattern, false),
+    };
+    match (anchored_start, anchored_end) {
+        (true, true) => haystack == pattern,
+        (true, false) => haystack.starts_with(pattern),
+        (false, true) => haystack.ends_with(pattern),
+        (false, false) => haystack.contains(pattern),
+    }
+}
+
+/// Greedy BGP join ordering: repeatedly pick the pattern with the most
+/// bound positions (constants plus variables bound so far), breaking ties
+/// toward patterns sharing variables with the bound set.
+fn plan_bgp<'p>(
+    patterns: &'p [TriplePatternAst],
+    reg: &Registry,
+    bound: &FxHashSet<usize>,
+) -> Vec<&'p TriplePatternAst> {
+    let mut bound = bound.clone();
+    let mut remaining: Vec<&TriplePatternAst> = patterns.iter().collect();
+    let mut out = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut score = 0usize;
+                for pos in [&p.s, &p.o] {
+                    match pos {
+                        TermOrVar::Term(_) => score += 2,
+                        TermOrVar::Var(v) => {
+                            if reg.get(v).is_some_and(|slot| bound.contains(&slot)) {
+                                score += 2;
+                            }
+                        }
+                    }
+                }
+                match &p.p {
+                    Predicate::Simple(TermOrVar::Term(_)) => score += 2,
+                    Predicate::Simple(TermOrVar::Var(v)) => {
+                        if reg.get(v).is_some_and(|slot| bound.contains(&slot)) {
+                            score += 2;
+                        }
+                    }
+                    // A path is constant-predicate, but demands a bound
+                    // endpoint to evaluate; rate it just below a fully
+                    // constant simple predicate so a binding pattern runs
+                    // first when available.
+                    Predicate::ZeroOrMore(_) | Predicate::OneOrMore(_) => score += 1,
+                }
+                (i, score)
+            })
+            .max_by_key(|&(_, score)| score)
+            .expect("remaining is non-empty");
+        let chosen = remaining.swap_remove(best_idx);
+        for pos in [&chosen.s, &chosen.o] {
+            if let TermOrVar::Var(v) = pos {
+                if let Some(slot) = reg.get(v) {
+                    bound.insert(slot);
+                }
+            }
+        }
+        if let Some(v) = chosen.p.as_var() {
+            if let Some(slot) = reg.get(v) {
+                bound.insert(slot);
+            }
+        }
+        out.push(chosen);
+    }
+    out
+}
+
+/// Hash join of two row sets on the given key slots. With no keys this is
+/// a cartesian product merged per-position (compatible-merge semantics).
+fn hash_join(left: Vec<Row>, right: Vec<Row>, keys: &[usize]) -> Vec<Row> {
+    if keys.is_empty() {
+        let mut out = Vec::new();
+        for l in &left {
+            for r in &right {
+                if let Some(m) = merge_rows(l, r) {
+                    out.push(m);
+                }
+            }
+        }
+        return out;
+    }
+    let mut table: FxHashMap<Vec<Option<Value>>, Vec<&Row>> = FxHashMap::default();
+    for r in &right {
+        let key: Vec<Option<Value>> = keys.iter().map(|&k| r[k].clone()).collect();
+        table.entry(key).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for l in &left {
+        let key: Vec<Option<Value>> = keys.iter().map(|&k| l[k].clone()).collect();
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                if let Some(m) = merge_rows(l, r) {
+                    out.push(m);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn merge_rows(a: &Row, b: &Row) -> Option<Row> {
+    let mut out = a.clone();
+    for (slot, v) in b.iter().enumerate() {
+        match (&out[slot], v) {
+            (_, None) => {}
+            (None, Some(v)) => out[slot] = Some(v.clone()),
+            (Some(x), Some(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            @prefix owl: <http://www.w3.org/2002/07/owl#> .
+            ex:Person rdfs:subClassOf owl:Thing .
+            ex:alice a ex:Person ; a owl:Thing ; ex:age 34 ; ex:knows ex:bob , ex:carol ; rdfs:label "Alice" .
+            ex:bob a ex:Person ; a owl:Thing ; ex:age 28 ; ex:knows ex:carol .
+            ex:carol a ex:Person ; a owl:Thing ; ex:age 41 .
+            ex:w a ex:Work ; ex:author ex:alice ; rdfs:label "Opus"@en .
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn run(store: &TripleStore, q: &str) -> Solutions {
+        Executor::new(store).run(q).unwrap_or_else(|e| panic!("{e}\nquery: {q}"))
+    }
+
+    fn ints(sol: &Solutions, col: &str) -> Vec<i64> {
+        let c = sol.column(col).unwrap();
+        sol.rows
+            .iter()
+            .map(|r| match &r[c] {
+                Some(Value::Int(n)) => *n,
+                other => panic!("not an int: {other:?}"),
+            })
+            .collect()
+    }
+
+    fn nums(sol: &Solutions, store: &TripleStore, col: &str) -> Vec<i64> {
+        let c = sol.column(col).unwrap();
+        sol.rows
+            .iter()
+            .map(|r| r[c].as_ref().unwrap().as_number(store).unwrap() as i64)
+            .collect()
+    }
+
+    #[test]
+    fn simple_bgp() {
+        let s = store();
+        let sol = run(&s, "SELECT ?s WHERE { ?s a <http://e/Person> }");
+        assert_eq!(sol.len(), 3);
+        assert_eq!(sol.vars, vec!["s"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?a ?b WHERE { ?a <http://e/knows> ?b . ?b <http://e/knows> ?c }",
+        );
+        // alice knows bob (bob knows carol): 1 result.
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let s = store();
+        let sol = run(&s, "SELECT ?s WHERE { ?s <http://e/age> ?a FILTER(?a > 30) }");
+        assert_eq!(sol.len(), 2); // alice 34, carol 41
+    }
+
+    #[test]
+    fn filter_string_functions() {
+        let s = store();
+        let sol = run(
+            &s,
+            r#"SELECT ?s WHERE { ?s a <http://e/Person> FILTER(CONTAINS(STR(?s), "ali")) }"#,
+        );
+        assert_eq!(sol.len(), 1);
+        let sol = run(
+            &s,
+            r#"SELECT ?s WHERE { ?s a <http://e/Person> FILTER(REGEX(STR(?s), "^http://e/a")) }"#,
+        );
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s ?l WHERE { ?s a <http://e/Person> OPTIONAL { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l } }",
+        );
+        assert_eq!(sol.len(), 3);
+        let labelled = sol
+            .rows
+            .iter()
+            .filter(|r| r[1].is_some())
+            .count();
+        assert_eq!(labelled, 1); // only alice has a label
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s WHERE { { ?s a <http://e/Person> } UNION { ?s a <http://e/Work> } }",
+        );
+        assert_eq!(sol.len(), 4);
+    }
+
+    #[test]
+    fn count_group_by() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s <http://e/knows> ?o } GROUP BY ?s ORDER BY DESC(?n)",
+        );
+        assert_eq!(sol.len(), 2);
+        assert_eq!(ints(&sol, "n"), vec![2, 1]); // alice 2, bob 1
+    }
+
+    #[test]
+    fn count_distinct() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s <http://e/knows> ?o }",
+        );
+        assert_eq!(ints(&sol, "n"), vec![2]); // bob, carol
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let s = store();
+        let sol = run(&s, "SELECT (SUM(?a) AS ?t) WHERE { ?s <http://e/age> ?a }");
+        assert_eq!(ints(&sol, "t"), vec![34 + 28 + 41]);
+        let sol = run(&s, "SELECT (AVG(?a) AS ?m) WHERE { ?s <http://e/age> ?a }");
+        match sol.value(0, "m") {
+            Some(Value::Float(f)) => assert!((f - 103.0 / 3.0).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?s <http://e/age> ?a }",
+        );
+        let lo = sol.value(0, "lo").unwrap().as_number(&s).unwrap();
+        let hi = sol.value(0, "hi").unwrap().as_number(&s).unwrap();
+        assert_eq!(lo, 28.0);
+        assert_eq!(hi, 41.0);
+    }
+
+    #[test]
+    fn count_star_zero_rows() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s a <http://e/Nothing> }",
+        );
+        assert_eq!(ints(&sol, "n"), vec![0]);
+    }
+
+    #[test]
+    fn order_limit_offset() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s ?a WHERE { ?s <http://e/age> ?a } ORDER BY DESC(?a) LIMIT 2 OFFSET 1",
+        );
+        assert_eq!(nums(&sol, &s, "a"), vec![34, 28]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let s = store();
+        let sol = run(&s, "SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+        // rdf:type, rdfs:subClassOf, age, knows, label, author.
+        assert_eq!(sol.len(), 6);
+    }
+
+    #[test]
+    fn select_star() {
+        let s = store();
+        let sol = run(&s, "SELECT * WHERE { ?s <http://e/knows> ?o }");
+        assert_eq!(sol.vars, vec!["s", "o"]);
+        assert_eq!(sol.len(), 3);
+    }
+
+    #[test]
+    fn subselect_joins_outer() {
+        let s = store();
+        // Inner: who each person knows; outer: attach ages.
+        let sol = run(
+            &s,
+            "SELECT ?s ?n ?a WHERE { ?s <http://e/age> ?a { SELECT ?s (COUNT(*) AS ?n) WHERE { ?s <http://e/knows> ?o } GROUP BY ?s } }",
+        );
+        assert_eq!(sol.len(), 2);
+        for row in 0..sol.len() {
+            assert!(sol.value(row, "n").is_some());
+            assert!(sol.value(row, "a").is_some());
+        }
+    }
+
+    #[test]
+    fn paper_query_executes() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+             FROM {SELECT ?s ?p count(*) AS ?sp
+             FROM {?s a owl:Thing. ?s ?p ?o.}
+             GROUP BY ?s ?p} GROUP BY ?p",
+        );
+        // owl:Thing instances: alice, bob, carol. Their properties:
+        // rdf:type (3 subjects), age (3), knows (2), label (1).
+        assert_eq!(sol.len(), 4);
+        let c = sol.column("count").unwrap();
+        let spc = sol.column("sp").unwrap();
+        let mut by_count: Vec<(i64, i64)> = sol
+            .rows
+            .iter()
+            .map(|r| {
+                let count = match &r[c] {
+                    Some(Value::Int(n)) => *n,
+                    other => panic!("{other:?}"),
+                };
+                let sp = match &r[spc] {
+                    Some(Value::Int(n)) => *n,
+                    other => panic!("{other:?}"),
+                };
+                (count, sp)
+            })
+            .collect();
+        by_count.sort_unstable();
+        // (subjects, triples): label (1,1), knows (2,3), age (3,3), type (3,6).
+        assert_eq!(by_count, vec![(1, 1), (2, 3), (3, 3), (3, 6)]);
+    }
+
+    #[test]
+    fn bound_and_isiri() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s WHERE { ?s a <http://e/Person> OPTIONAL { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l } FILTER(!BOUND(?l)) }",
+        );
+        assert_eq!(sol.len(), 2); // bob, carol have no label
+        let sol = run(
+            &s,
+            "SELECT ?o WHERE { ?s <http://e/knows> ?o FILTER(ISIRI(?o)) }",
+        );
+        assert_eq!(sol.len(), 3);
+    }
+
+    #[test]
+    fn in_filter() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s WHERE { ?s <http://e/age> ?a FILTER(?a IN (28, 41)) }",
+        );
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        let mut s = store();
+        // Add a self-loop.
+        let x = s.intern(Term::iri("http://e/selfie"));
+        let knows = s.lookup_iri("http://e/knows").unwrap();
+        s.insert(x, knows, x);
+        let sol = run(&s, "SELECT ?x WHERE { ?x <http://e/knows> ?x }");
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn constant_absent_from_store_matches_nothing() {
+        let s = store();
+        let sol = run(&s, "SELECT ?s WHERE { ?s a <http://nowhere/X> }");
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_in_filters() {
+        let s = store();
+        let sol = run(
+            &s,
+            "SELECT ?s WHERE { ?s <http://e/age> ?a FILTER(?a * 2 >= 68) }",
+        );
+        assert_eq!(sol.len(), 2); // 34*2=68, 41*2=82
+        let sol = run(
+            &s,
+            "SELECT ?s WHERE { ?s <http://e/age> ?a FILTER(?a / 0 > 1) }",
+        );
+        assert!(sol.is_empty()); // division by zero -> error -> eliminated
+    }
+
+    #[test]
+    fn lang_and_datatype() {
+        let s = store();
+        let sol = run(
+            &s,
+            r#"SELECT ?o WHERE { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?o FILTER(LANG(?o) = "en") }"#,
+        );
+        assert_eq!(sol.len(), 1); // "Opus"@en
+    }
+
+    #[test]
+    fn term_column_helper() {
+        let s = store();
+        let sol = run(&s, "SELECT ?s WHERE { ?s a <http://e/Person> }");
+        assert_eq!(sol.term_column("s").len(), 3);
+        assert!(sol.term_column("missing").is_empty());
+    }
+
+    #[test]
+    fn star_with_grouping_errors() {
+        let s = store();
+        let err = Executor::new(&s)
+            .run("SELECT * WHERE { ?s ?p ?o } GROUP BY ?s")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Exec(_)));
+    }
+
+    fn hierarchy_store() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:B rdfs:subClassOf ex:A .
+            ex:C rdfs:subClassOf ex:B .
+            ex:D rdfs:subClassOf ex:A .
+            ex:x a ex:C .
+            ex:y a ex:D .
+            ex:z a ex:A .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn path_one_or_more_forward() {
+        let s = hierarchy_store();
+        let sol = run(
+            &s,
+            "SELECT ?c WHERE { ?c <http://www.w3.org/2000/01/rdf-schema#subClassOf>+ <http://e/A> }",
+        );
+        assert_eq!(sol.len(), 3); // B, C, D
+    }
+
+    #[test]
+    fn path_zero_or_more_includes_start() {
+        let s = hierarchy_store();
+        let sol = run(
+            &s,
+            "SELECT ?c WHERE { ?c <http://www.w3.org/2000/01/rdf-schema#subClassOf>* <http://e/A> }",
+        );
+        assert_eq!(sol.len(), 4); // A itself plus B, C, D
+    }
+
+    #[test]
+    fn path_transitive_instances() {
+        // The non-materialized-types idiom: ?x a ?t . ?t subClassOf* <A>.
+        let s = hierarchy_store();
+        let sol = run(
+            &s,
+            "SELECT DISTINCT ?x WHERE { ?x a ?t . ?t <http://www.w3.org/2000/01/rdf-schema#subClassOf>* <http://e/A> }",
+        );
+        assert_eq!(sol.len(), 3); // x (via C), y (via D), z (direct)
+    }
+
+    #[test]
+    fn path_forward_from_bound_subject() {
+        let s = hierarchy_store();
+        let sol = run(
+            &s,
+            "SELECT ?super WHERE { <http://e/C> <http://www.w3.org/2000/01/rdf-schema#subClassOf>+ ?super }",
+        );
+        assert_eq!(sol.len(), 2); // B, A
+    }
+
+    #[test]
+    fn path_both_bound_checks_reachability() {
+        let s = hierarchy_store();
+        let sol = run(
+            &s,
+            "SELECT (COUNT(*) AS ?n) WHERE { <http://e/C> <http://www.w3.org/2000/01/rdf-schema#subClassOf>+ <http://e/A> }",
+        );
+        assert_eq!(ints(&sol, "n"), vec![1]);
+        let sol = run(
+            &s,
+            "SELECT (COUNT(*) AS ?n) WHERE { <http://e/D> <http://www.w3.org/2000/01/rdf-schema#subClassOf>+ <http://e/C> }",
+        );
+        assert_eq!(ints(&sol, "n"), vec![0]);
+    }
+
+    #[test]
+    fn path_survives_cycles() {
+        let mut s = hierarchy_store();
+        // Close a subclass cycle A -> C.
+        let a = s.lookup_iri("http://e/A").unwrap();
+        let c = s.lookup_iri("http://e/C").unwrap();
+        let sco = s
+            .lookup_iri("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+            .unwrap();
+        s.insert(a, sco, c);
+        let sol = run(
+            &s,
+            "SELECT ?c WHERE { ?c <http://www.w3.org/2000/01/rdf-schema#subClassOf>+ <http://e/A> }",
+        );
+        // Everything reaches A now, including A itself through the cycle.
+        assert_eq!(sol.len(), 4);
+    }
+
+    #[test]
+    fn path_with_both_endpoints_unbound_errors() {
+        let s = hierarchy_store();
+        let err = Executor::new(&s)
+            .run("SELECT ?a ?b WHERE { ?a <http://www.w3.org/2000/01/rdf-schema#subClassOf>+ ?b }")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Exec(_)));
+    }
+
+    #[test]
+    fn path_pretty_print_reparse() {
+        let q = crate::parser::parse_query(
+            "SELECT ?c WHERE { ?c <http://x/p>* <http://x/A> . ?c <http://x/q>+ <http://x/B> }",
+        )
+        .unwrap();
+        let printed = q.to_string();
+        assert!(printed.contains("<http://x/p>*"));
+        assert!(printed.contains("<http://x/q>+"));
+        let q2 = crate::parser::parse_query(&printed).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn aggregate_in_filter_eliminates_rows() {
+        // Errors inside FILTER eliminate the row per SPARQL semantics, so an
+        // aggregate there silently yields zero results rather than failing.
+        let s = store();
+        let sol = run(&s, "SELECT ?s WHERE { ?s ?p ?o FILTER(COUNT(*) > 1) }");
+        assert!(sol.is_empty());
+    }
+}

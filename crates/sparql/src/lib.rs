@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! A SPARQL subset engine for eLinda.
+//!
+//! Every exploration step in eLinda "is realized by sending one or more
+//! SPARQL queries to the endpoint" (paper Section 4), and the tool
+//! exposes the generated SPARQL for each bar and data table. This crate
+//! implements the query language those steps need, from scratch:
+//!
+//! * [`token`] — the tokenizer (IRI vs `<` disambiguation, variables,
+//!   literals, keywords);
+//! * [`ast`] — the query AST with a pretty-printer whose output re-parses
+//!   to the same AST;
+//! * [`parser`] — a recursive-descent parser. It accepts standard SPARQL
+//!   1.1 `SELECT` syntax *and* the two non-standard spellings used
+//!   verbatim in the paper: `FROM { … }` as a synonym for `WHERE { … }`
+//!   and un-parenthesized `COUNT(?p) AS ?count` projections;
+//! * [`value`] — runtime values (terms plus computed numbers/strings);
+//! * [`exec`] — the executor: greedy index-ordered BGP joins, `FILTER`,
+//!   `OPTIONAL`, `UNION`, subqueries, `GROUP BY` with `COUNT`/`SUM`/
+//!   `AVG`/`MIN`/`MAX`, `ORDER BY`, `DISTINCT`, `LIMIT`/`OFFSET`.
+//!
+//! The executor evaluates the *naive* plan faithfully — the nested
+//! aggregation of the paper's property-expansion query really does
+//! materialize the `(s, p)` group table. That cost asymmetry against the
+//! decomposer's precomputed indexes is exactly what Fig. 4 measures.
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+pub mod token;
+pub mod value;
+
+pub use ast::Query;
+pub use exec::{ExecError, Executor, Solutions};
+pub use parser::{parse_query, ParseError};
+pub use value::Value;

@@ -1,0 +1,896 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Beyond standard SPARQL 1.1 `SELECT` syntax, two spellings from the
+//! paper's Section 4 query are accepted:
+//!
+//! * `FROM { … }` as a synonym for `WHERE { … }` (the paper nests
+//!   subselects under `FROM`);
+//! * bare aggregate projections without the standard parentheses:
+//!   `SELECT ?p COUNT(?p) AS ?count …`.
+
+use crate::ast::*;
+use crate::token::{tokenize, Located, Token};
+use elinda_rdf::term::Literal;
+use elinda_rdf::{vocab, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a SPARQL `SELECT` query.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input).map_err(|e| ParseError { line: e.line, message: e.message })?;
+    let mut p = Parser { tokens, pos: 0, prefixes: default_prefixes() };
+    p.parse_prologue()?;
+    let q = p.parse_select_query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(q)
+}
+
+/// The prefixes every eLinda-generated query may rely on without
+/// declaring: the tool always knows `rdf`, `rdfs`, `owl`, `xsd`.
+fn default_prefixes() -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    m.insert("rdf".into(), vocab::rdf::NS.into());
+    m.insert("rdfs".into(), vocab::rdfs::NS.into());
+    m.insert("owl".into(), vocab::owl::NS.into());
+    m.insert("xsd".into(), vocab::xsd::NS.into());
+    m
+}
+
+struct Parser {
+    tokens: Vec<Located>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|l| &l.tok)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|l| &l.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |l| l.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: msg.into() }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|l| l.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}")))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn expand_pname(&self, pname: &str) -> Result<String, ParseError> {
+        let colon = pname.find(':').expect("pname has ':'");
+        let (prefix, local) = pname.split_at(colon);
+        let local = &local[1..];
+        self.prefixes
+            .get(prefix)
+            .map(|ns| format!("{ns}{local}"))
+            .ok_or_else(|| self.err(format!("undeclared prefix '{prefix}:'")))
+    }
+
+    fn parse_prologue(&mut self) -> Result<(), ParseError> {
+        loop {
+            if self.eat_keyword("PREFIX") {
+                let pname = match self.bump() {
+                    Some(Token::Pname(p)) => p,
+                    _ => return Err(self.err("expected prefix name after PREFIX")),
+                };
+                if !pname.ends_with(':') {
+                    return Err(self.err("prefix declaration must end in ':'"));
+                }
+                let iri = match self.bump() {
+                    Some(Token::Iri(i)) => i,
+                    _ => return Err(self.err("expected IRI in PREFIX declaration")),
+                };
+                self.prefixes.insert(pname[..pname.len() - 1].to_string(), iri);
+            } else if self.eat_keyword("BASE") {
+                match self.bump() {
+                    Some(Token::Iri(_)) => {}
+                    _ => return Err(self.err("expected IRI in BASE declaration")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_select_query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let items = self.parse_select_items()?;
+        // WHERE { … }, FROM { … } (paper spelling), or a bare group.
+        let _ = self.eat_keyword("WHERE") || self.eat_keyword("FROM");
+        let where_clause = self.parse_group()?;
+        let mut group_by = Vec::new();
+        let mut order_by = Vec::new();
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.eat_keyword("GROUP") {
+                self.expect_keyword("BY")?;
+                while matches!(self.peek(), Some(Token::Var(_))) {
+                    if let Some(Token::Var(v)) = self.bump() {
+                        group_by.push(v);
+                    }
+                }
+                if group_by.is_empty() {
+                    return Err(self.err("GROUP BY requires at least one variable"));
+                }
+            } else if self.eat_keyword("ORDER") {
+                self.expect_keyword("BY")?;
+                loop {
+                    match self.peek() {
+                        Some(Token::Keyword(k)) if k == "ASC" || k == "DESC" => {
+                            let ascending = k == "ASC";
+                            self.pos += 1;
+                            self.expect_punct('(')?;
+                            let expr = self.parse_expr()?;
+                            self.expect_punct(')')?;
+                            order_by.push(OrderKey { expr, ascending });
+                        }
+                        Some(Token::Var(_)) => {
+                            if let Some(Token::Var(v)) = self.bump() {
+                                order_by.push(OrderKey { expr: Expr::Var(v), ascending: true });
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if order_by.is_empty() {
+                    return Err(self.err("ORDER BY requires at least one key"));
+                }
+            } else if self.eat_keyword("LIMIT") {
+                match self.bump() {
+                    Some(Token::Integer(n)) if n >= 0 => limit = Some(n as usize),
+                    _ => return Err(self.err("expected non-negative integer after LIMIT")),
+                }
+            } else if self.eat_keyword("OFFSET") {
+                match self.bump() {
+                    Some(Token::Integer(n)) if n >= 0 => offset = Some(n as usize),
+                    _ => return Err(self.err("expected non-negative integer after OFFSET")),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Query {
+            select: SelectClause { distinct, items },
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_select_items(&mut self) -> Result<SelectItems, ParseError> {
+        if self.eat_punct('*') {
+            return Ok(SelectItems::Star);
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Var(_)) => {
+                    if let Some(Token::Var(v)) = self.bump() {
+                        items.push(SelectItem::var(v));
+                    }
+                }
+                Some(Token::Punct('(')) => {
+                    self.pos += 1;
+                    let expr = self.parse_expr()?;
+                    let alias = if self.eat_keyword("AS") {
+                        match self.bump() {
+                            Some(Token::Var(v)) => Some(v),
+                            _ => return Err(self.err("expected variable after AS")),
+                        }
+                    } else {
+                        None
+                    };
+                    self.expect_punct(')')?;
+                    items.push(SelectItem { expr, alias });
+                }
+                // Paper spelling: bare `COUNT(?p) AS ?count` without the
+                // surrounding parentheses.
+                Some(Token::Keyword(k))
+                    if matches!(k.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") =>
+                {
+                    let expr = self.parse_primary()?;
+                    let alias = if self.eat_keyword("AS") {
+                        match self.bump() {
+                            Some(Token::Var(v)) => Some(v),
+                            _ => return Err(self.err("expected variable after AS")),
+                        }
+                    } else {
+                        None
+                    };
+                    items.push(SelectItem { expr, alias });
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return Err(self.err("SELECT requires '*' or at least one projection"));
+        }
+        Ok(SelectItems::Items(items))
+    }
+
+    fn parse_group(&mut self) -> Result<GroupGraphPattern, ParseError> {
+        self.expect_punct('{')?;
+        let mut elements: Vec<PatternElement> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated group (missing '}')")),
+                Some(Token::Punct('}')) => {
+                    self.pos += 1;
+                    return Ok(GroupGraphPattern { elements });
+                }
+                Some(Token::Keyword(k)) if k == "FILTER" => {
+                    self.pos += 1;
+                    let expr = self.parse_primary_or_bracketted()?;
+                    elements.push(PatternElement::Filter(expr));
+                }
+                Some(Token::Keyword(k)) if k == "OPTIONAL" => {
+                    self.pos += 1;
+                    let g = self.parse_group()?;
+                    elements.push(PatternElement::Optional(g));
+                }
+                // A subselect directly inside the braces, as in the paper's
+                // `FROM {SELECT … GROUP BY ?s ?p}`.
+                Some(Token::Keyword(k)) if k == "SELECT" => {
+                    let q = self.parse_select_query()?;
+                    elements.push(PatternElement::SubSelect(Box::new(q)));
+                }
+                Some(Token::Punct('{')) => {
+                    // Subselect or nested group (possibly a UNION chain).
+                    if matches!(self.peek2(), Some(Token::Keyword(k)) if k == "SELECT") {
+                        self.pos += 1;
+                        let q = self.parse_select_query()?;
+                        self.expect_punct('}')?;
+                        elements.push(PatternElement::SubSelect(Box::new(q)));
+                    } else {
+                        let first = self.parse_group()?;
+                        if self.eat_keyword("UNION") {
+                            let mut acc = first;
+                            loop {
+                                let right = self.parse_group()?;
+                                acc = GroupGraphPattern {
+                                    elements: vec![PatternElement::Union(acc, right)],
+                                };
+                                if !self.eat_keyword("UNION") {
+                                    break;
+                                }
+                            }
+                            elements.extend(acc.elements);
+                        } else {
+                            // Plain nested group: flatten.
+                            elements.extend(first.elements);
+                        }
+                    }
+                    // An optional '.' may separate group elements.
+                    let _ = self.eat_punct('.');
+                }
+                _ => {
+                    let triple_block = self.parse_triples_block()?;
+                    match elements.last_mut() {
+                        Some(PatternElement::Triples(ts)) => ts.extend(triple_block),
+                        _ => elements.push(PatternElement::Triples(triple_block)),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_triples_block(&mut self) -> Result<Vec<TriplePatternAst>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let s = self.parse_term_or_var(false)?;
+            loop {
+                let p = self.parse_predicate_or_path()?;
+                loop {
+                    let o = self.parse_term_or_var(false)?;
+                    out.push(TriplePatternAst::with_path(s.clone(), p.clone(), o));
+                    if self.eat_punct(',') {
+                        continue;
+                    }
+                    break;
+                }
+                if self.eat_punct(';') {
+                    // Allow trailing ';' before '.' or '}'.
+                    if matches!(self.peek(), Some(Token::Punct('.')) | Some(Token::Punct('}'))) {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+            let had_dot = self.eat_punct('.');
+            // Continue the block only after a '.' and if another triple
+            // plausibly starts here.
+            let starts_term = matches!(
+                self.peek(),
+                Some(Token::Var(_)) | Some(Token::Iri(_)) | Some(Token::Pname(_))
+            );
+            if !(had_dot && starts_term) {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// A predicate, optionally suffixed with a `*` / `+` property-path
+    /// modifier (constant predicates only, e.g. `rdfs:subClassOf*`).
+    fn parse_predicate_or_path(&mut self) -> Result<Predicate, ParseError> {
+        let base = self.parse_term_or_var(true)?;
+        match self.peek() {
+            Some(Token::Punct(c @ ('*' | '+'))) => {
+                let star = *c == '*';
+                let TermOrVar::Term(term) = base else {
+                    return Err(self.err("property paths require a constant predicate"));
+                };
+                self.pos += 1;
+                Ok(if star {
+                    Predicate::ZeroOrMore(term)
+                } else {
+                    Predicate::OneOrMore(term)
+                })
+            }
+            _ => Ok(Predicate::Simple(base)),
+        }
+    }
+
+    fn parse_term_or_var(&mut self, predicate: bool) -> Result<TermOrVar, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Var(v)) => {
+                self.pos += 1;
+                Ok(TermOrVar::Var(v))
+            }
+            Some(Token::A) if predicate => {
+                self.pos += 1;
+                Ok(TermOrVar::iri(vocab::rdf::TYPE))
+            }
+            Some(Token::Iri(i)) => {
+                self.pos += 1;
+                Ok(TermOrVar::Term(Term::iri(i)))
+            }
+            Some(Token::Pname(p)) => {
+                self.pos += 1;
+                Ok(TermOrVar::Term(Term::iri(self.expand_pname(&p)?)))
+            }
+            Some(Token::Str(_)) | Some(Token::Integer(_)) | Some(Token::Decimal(_))
+            | Some(Token::Keyword(_))
+                if !predicate =>
+            {
+                let term = self.parse_literal_term()?;
+                Ok(TermOrVar::Term(term))
+            }
+            _ => Err(self.err(if predicate {
+                "expected predicate (variable, IRI, or 'a')"
+            } else {
+                "expected term (variable, IRI, or literal)"
+            })),
+        }
+    }
+
+    fn parse_literal_term(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Token::Str(s)) => match self.peek() {
+                Some(Token::LangTag(tag)) => {
+                    let tag = tag.clone();
+                    self.pos += 1;
+                    Ok(Term::Literal(Literal::lang(s, tag)))
+                }
+                Some(Token::DtSep) => {
+                    self.pos += 1;
+                    let dt = match self.bump() {
+                        Some(Token::Iri(i)) => i,
+                        Some(Token::Pname(p)) => self.expand_pname(&p)?,
+                        _ => return Err(self.err("expected datatype IRI after '^^'")),
+                    };
+                    Ok(Term::Literal(Literal::typed(s, dt)))
+                }
+                _ => Ok(Term::Literal(Literal::plain(s))),
+            },
+            Some(Token::Integer(n)) => Ok(Term::Literal(Literal::integer(n))),
+            Some(Token::Decimal(d)) => Ok(Term::Literal(Literal::double(d))),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Term::Literal(Literal::boolean(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Term::Literal(Literal::boolean(false))),
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    // -- Expressions --------------------------------------------------------
+
+    fn parse_primary_or_bracketted(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(Token::Punct('('))) {
+            self.pos += 1;
+            let e = self.parse_expr()?;
+            self.expect_punct(')')?;
+            Ok(e)
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Some(Token::Op2(['|', '|']))) {
+            self.pos += 1;
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_relational()?;
+        while matches!(self.peek(), Some(Token::Op2(['&', '&']))) {
+            self.pos += 1;
+            let right = self.parse_relational()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Punct('=')) => Some(BinOp::Eq),
+            Some(Token::Op2(['!', '='])) => Some(BinOp::Ne),
+            Some(Token::Punct('<')) => Some(BinOp::Lt),
+            Some(Token::Op2(['<', '='])) => Some(BinOp::Le),
+            Some(Token::Punct('>')) => Some(BinOp::Gt),
+            Some(Token::Op2(['>', '='])) => Some(BinOp::Ge),
+            Some(Token::Keyword(k)) if k == "IN" => {
+                self.pos += 1;
+                let list = self.parse_expr_list()?;
+                return Ok(Expr::In(Box::new(left), list, false));
+            }
+            Some(Token::Keyword(k)) if k == "NOT" => {
+                self.pos += 1;
+                self.expect_keyword("IN")?;
+                let list = self.parse_expr_list()?;
+                return Ok(Expr::In(Box::new(left), list, true));
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.parse_additive()?;
+                Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+            }
+        }
+    }
+
+    fn parse_expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct('(')?;
+        let mut out = Vec::new();
+        if !matches!(self.peek(), Some(Token::Punct(')'))) {
+            loop {
+                out.push(self.parse_expr()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        Ok(out)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct('+')) => BinOp::Add,
+                Some(Token::Punct('-')) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct('*')) => BinOp::Mul,
+                Some(Token::Punct('/')) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), Some(Token::Bang)) {
+            self.pos += 1;
+            let e = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        if matches!(self.peek(), Some(Token::Punct('-'))) {
+            self.pos += 1;
+            let e = self.parse_unary()?;
+            return Ok(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::Constant(Term::Literal(Literal::integer(0)))),
+                Box::new(e),
+            ));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Punct('(')) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Token::Var(v)) => {
+                self.pos += 1;
+                Ok(Expr::Var(v))
+            }
+            Some(Token::Iri(i)) => {
+                self.pos += 1;
+                Ok(Expr::Constant(Term::iri(i)))
+            }
+            Some(Token::Pname(p)) => {
+                self.pos += 1;
+                Ok(Expr::Constant(Term::iri(self.expand_pname(&p)?)))
+            }
+            Some(Token::Str(_)) | Some(Token::Integer(_)) | Some(Token::Decimal(_)) => {
+                let t = self.parse_literal_term()?;
+                Ok(Expr::Constant(t))
+            }
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "TRUE" | "FALSE" => {
+                    self.pos += 1;
+                    Ok(Expr::Constant(Term::Literal(Literal::boolean(k == "TRUE"))))
+                }
+                "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                    self.pos += 1;
+                    let func = match k.as_str() {
+                        "COUNT" => AggFunc::Count,
+                        "SUM" => AggFunc::Sum,
+                        "AVG" => AggFunc::Avg,
+                        "MIN" => AggFunc::Min,
+                        _ => AggFunc::Max,
+                    };
+                    self.expect_punct('(')?;
+                    let distinct = self.eat_keyword("DISTINCT");
+                    let arg = if self.eat_punct('*') {
+                        if func != AggFunc::Count {
+                            return Err(self.err("only COUNT supports '*'"));
+                        }
+                        None
+                    } else {
+                        Some(Box::new(self.parse_expr()?))
+                    };
+                    self.expect_punct(')')?;
+                    Ok(Expr::Aggregate(func, arg, distinct))
+                }
+                "STR" | "LANG" | "DATATYPE" | "BOUND" | "ISIRI" | "ISURI" | "ISLITERAL"
+                | "REGEX" | "CONTAINS" | "STRSTARTS" | "STRENDS" => {
+                    self.pos += 1;
+                    let func = match k.as_str() {
+                        "STR" => Func::Str,
+                        "LANG" => Func::Lang,
+                        "DATATYPE" => Func::Datatype,
+                        "BOUND" => Func::Bound,
+                        "ISIRI" | "ISURI" => Func::IsIri,
+                        "ISLITERAL" => Func::IsLiteral,
+                        "REGEX" => Func::Regex,
+                        "CONTAINS" => Func::Contains,
+                        "STRSTARTS" => Func::StrStarts,
+                        _ => Func::StrEnds,
+                    };
+                    let args = self.parse_expr_list()?;
+                    let arity = match func {
+                        Func::Regex | Func::Contains | Func::StrStarts | Func::StrEnds => 2,
+                        _ => 1,
+                    };
+                    if args.len() != arity {
+                        return Err(self.err(format!(
+                            "{} expects {arity} argument(s), got {}",
+                            func.name(),
+                            args.len()
+                        )));
+                    }
+                    Ok(Expr::Call(func, args))
+                }
+                other => Err(self.err(format!("unexpected keyword {other} in expression"))),
+            },
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parses(q: &str) -> Query {
+        parse_query(q).unwrap_or_else(|e| panic!("{e}: {q}"))
+    }
+
+    #[test]
+    fn minimal_select() {
+        let q = parses("SELECT ?s WHERE { ?s ?p ?o }");
+        assert!(!q.select.distinct);
+        match &q.where_clause.elements[0] {
+            PatternElement::Triples(ts) => assert_eq!(ts.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_and_distinct() {
+        let q = parses("SELECT DISTINCT * WHERE { ?s ?p ?o . }");
+        assert!(q.select.distinct);
+        assert_eq!(q.select.items, SelectItems::Star);
+    }
+
+    #[test]
+    fn prefixes_expand() {
+        let q = parses(
+            "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:C }",
+        );
+        match &q.where_clause.elements[0] {
+            PatternElement::Triples(ts) => {
+                assert_eq!(ts[0].p, Predicate::iri(vocab::rdf::TYPE));
+                assert_eq!(ts[0].o, TermOrVar::iri("http://e/C"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_prefixes_available() {
+        let q = parses("SELECT ?s WHERE { ?s a owl:Thing }");
+        match &q.where_clause.elements[0] {
+            PatternElement::Triples(ts) => {
+                assert_eq!(ts[0].o, TermOrVar::iri(vocab::owl::THING));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_prefix_errors() {
+        assert!(parse_query("SELECT ?s WHERE { ?s a nope:C }").is_err());
+    }
+
+    #[test]
+    fn predicate_object_lists() {
+        let q = parses("SELECT ?s WHERE { ?s a ?c ; <http://e/p> ?x , ?y . }");
+        match &q.where_clause.elements[0] {
+            PatternElement::Triples(ts) => assert_eq!(ts.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_and_functions() {
+        let q = parses(
+            r#"SELECT ?s WHERE { ?s ?p ?o FILTER(?o > 5 && CONTAINS(STR(?s), "x")) }"#,
+        );
+        assert!(matches!(&q.where_clause.elements[1], PatternElement::Filter(_)));
+    }
+
+    #[test]
+    fn filter_without_parens_around_builtin() {
+        let q = parses("SELECT ?s WHERE { ?s ?p ?o FILTER BOUND(?o) }");
+        assert!(matches!(&q.where_clause.elements[1], PatternElement::Filter(_)));
+    }
+
+    #[test]
+    fn optional_groups() {
+        let q = parses("SELECT ?s WHERE { ?s a ?c OPTIONAL { ?s <http://e/l> ?l } }");
+        assert!(matches!(&q.where_clause.elements[1], PatternElement::Optional(_)));
+    }
+
+    #[test]
+    fn union_chains() {
+        let q = parses(
+            "SELECT ?s WHERE { { ?s a <http://e/A> } UNION { ?s a <http://e/B> } UNION { ?s a <http://e/C> } }",
+        );
+        // Chained unions nest left.
+        match &q.where_clause.elements[0] {
+            PatternElement::Union(left, _) => {
+                assert!(matches!(&left.elements[0], PatternElement::Union(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subselect() {
+        let q = parses(
+            "SELECT ?p WHERE { { SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p } }",
+        );
+        assert!(matches!(&q.where_clause.elements[0], PatternElement::SubSelect(_)));
+    }
+
+    #[test]
+    fn modifiers() {
+        let q = parses(
+            "SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?n) ?p LIMIT 10 OFFSET 5",
+        );
+        assert_eq!(q.group_by, vec!["p"]);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = parses(
+            "SELECT (COUNT(DISTINCT ?s) AS ?n) (SUM(?x) AS ?sum) WHERE { ?s <http://e/v> ?x }",
+        );
+        match &q.select.items {
+            SelectItems::Items(items) => {
+                assert!(matches!(items[0].expr, Expr::Aggregate(AggFunc::Count, Some(_), true)));
+                assert!(matches!(items[1].expr, Expr::Aggregate(AggFunc::Sum, Some(_), false)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_parses_verbatim() {
+        // The exact query from Section 4 of the paper, non-standard
+        // spellings included.
+        let q = parses(
+            "SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+             FROM {SELECT ?s ?p count(*) AS ?sp
+             FROM {?s a owl:Thing. ?s ?p ?o.}
+             GROUP BY ?s ?p} GROUP BY ?p",
+        );
+        assert_eq!(q.group_by, vec!["p"]);
+        match &q.select.items {
+            SelectItems::Items(items) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1].alias.as_deref(), Some("count"));
+                assert_eq!(items[2].alias.as_deref(), Some("sp"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &q.where_clause.elements[0] {
+            PatternElement::SubSelect(sub) => {
+                assert_eq!(sub.group_by, vec!["s", "p"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_and_not_in() {
+        let q = parses(
+            "SELECT ?s WHERE { ?s ?p ?o FILTER(?o IN (1, 2, 3)) FILTER(?s NOT IN (<http://e/x>)) }",
+        );
+        let filters: Vec<_> = q
+            .where_clause
+            .elements
+            .iter()
+            .filter(|e| matches!(e, PatternElement::Filter(_)))
+            .collect();
+        assert_eq!(filters.len(), 2);
+    }
+
+    #[test]
+    fn pretty_print_reparse_fixpoint() {
+        let queries = [
+            "SELECT ?s WHERE { ?s ?p ?o }",
+            "SELECT DISTINCT ?s (COUNT(*) AS ?n) WHERE { ?s a owl:Thing . } GROUP BY ?s ORDER BY DESC(?n) LIMIT 3",
+            "SELECT ?s WHERE { { ?s a <http://e/A> } UNION { ?s a <http://e/B> } }",
+            "SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?s <http://e/l> ?l } FILTER(?o > 5) }",
+            "SELECT ?p WHERE { { SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p } }",
+        ];
+        for q in queries {
+            let ast1 = parses(q);
+            let printed = ast1.to_string();
+            let ast2 = parses(&printed);
+            assert_eq!(ast1, ast2, "fixpoint failed for: {q}\nprinted: {printed}");
+            // And printing again is stable.
+            assert_eq!(printed, ast2.to_string());
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        for bad in [
+            "SELECT WHERE { ?s ?p ?o }",
+            "SELECT ?s { ?s ?p ?o",
+            "SELECT ?s WHERE { ?s ?p }",
+            "SELECT ?s WHERE { ?s ?p ?o } GROUP BY",
+            "SELECT ?s WHERE { ?s ?p ?o } LIMIT -3",
+            "SELECT (SUM(*) AS ?x) WHERE { ?s ?p ?o }",
+            "SELECT (REGEX(?s) AS ?x) WHERE { ?s ?p ?o }",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn negative_unary_becomes_zero_minus() {
+        let q = parses("SELECT ?s WHERE { ?s ?p ?o FILTER(?o > -(?x)) }");
+        let _ = q;
+    }
+}

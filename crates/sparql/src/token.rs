@@ -1,0 +1,475 @@
+//! The SPARQL tokenizer.
+
+use std::fmt;
+
+/// A SPARQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `?name` or `$name`.
+    Var(String),
+    /// `<iri>`.
+    Iri(String),
+    /// `prefix:local` (possibly with empty prefix or local part).
+    Pname(String),
+    /// The `a` keyword (expands to `rdf:type`).
+    A,
+    /// A quoted string lexical form (escapes already processed).
+    Str(String),
+    /// `@lang` immediately after a string.
+    LangTag(String),
+    /// `^^`.
+    DtSep,
+    /// Integer literal.
+    Integer(i64),
+    /// Decimal / double literal.
+    Decimal(f64),
+    /// An uppercased keyword (`SELECT`, `WHERE`, `COUNT`, …).
+    Keyword(String),
+    /// Single-character punctuation: `{ } ( ) . ; , * + - / = < >`.
+    Punct(char),
+    /// Two-character operators: `<=`, `>=`, `!=`, `&&`, `||`.
+    Op2([char; 2]),
+    /// `!` (negation; `!=` is `Op2`).
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::Iri(i) => write!(f, "<{i}>"),
+            Token::Pname(p) => write!(f, "{p}"),
+            Token::A => write!(f, "a"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LangTag(t) => write!(f, "@{t}"),
+            Token::DtSep => write!(f, "^^"),
+            Token::Integer(n) => write!(f, "{n}"),
+            Token::Decimal(d) => write!(f, "{d}"),
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Punct(c) => write!(f, "{c}"),
+            Token::Op2([a, b]) => write!(f, "{a}{b}"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line (for error messages).
+#[derive(Debug, Clone)]
+pub struct Located {
+    /// The token.
+    pub tok: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A tokenizer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "UNION", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "PREFIX", "BASE", "FROM", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "REGEX", "STR", "LANG", "DATATYPE", "BOUND", "ISIRI", "ISURI",
+    "ISLITERAL", "ISBLANK", "CONTAINS", "STRSTARTS", "STRENDS", "IN", "NOT", "TRUE", "FALSE",
+];
+
+/// Tokenize a SPARQL query string.
+pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
+    let mut toks = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    let err = |line: usize, msg: &str| TokenError { line, message: msg.to_string() };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'?' | b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(line, "empty variable name"));
+                }
+                toks.push(Located { tok: Token::Var(input[start..j].to_string()), line });
+                i = j;
+            }
+            b'<' => {
+                // IRI if a '>' appears before any whitespace; else operator.
+                let mut j = i + 1;
+                let mut is_iri = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'>' => {
+                            is_iri = true;
+                            break;
+                        }
+                        b' ' | b'\t' | b'\n' | b'\r' => break,
+                        _ => j += 1,
+                    }
+                }
+                if is_iri {
+                    toks.push(Located { tok: Token::Iri(input[i + 1..j].to_string()), line });
+                    i = j + 1;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Located { tok: Token::Op2(['<', '=']), line });
+                    i += 2;
+                } else {
+                    toks.push(Located { tok: Token::Punct('<'), line });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Located { tok: Token::Op2(['>', '=']), line });
+                    i += 2;
+                } else {
+                    toks.push(Located { tok: Token::Punct('>'), line });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Located { tok: Token::Op2(['!', '=']), line });
+                    i += 2;
+                } else {
+                    toks.push(Located { tok: Token::Bang, line });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    toks.push(Located { tok: Token::Op2(['&', '&']), line });
+                    i += 2;
+                } else {
+                    return Err(err(line, "stray '&'"));
+                }
+            }
+            b'|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    toks.push(Located { tok: Token::Op2(['|', '|']), line });
+                    i += 2;
+                } else {
+                    return Err(err(line, "stray '|'"));
+                }
+            }
+            b'^' => {
+                if input[i..].starts_with("^^") {
+                    toks.push(Located { tok: Token::DtSep, line });
+                    i += 2;
+                } else {
+                    return Err(err(line, "stray '^'"));
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c as char;
+                let mut lexical = String::new();
+                let mut chars = input[i..].char_indices().skip(1).peekable();
+                let mut consumed = None;
+                while let Some((idx, ch)) = chars.next() {
+                    if ch == quote {
+                        consumed = Some(idx + 1);
+                        break;
+                    }
+                    if ch == '\\' {
+                        let (_, esc) = chars
+                            .next()
+                            .ok_or_else(|| err(line, "dangling escape"))?;
+                        match esc {
+                            '"' => lexical.push('"'),
+                            '\'' => lexical.push('\''),
+                            '\\' => lexical.push('\\'),
+                            'n' => lexical.push('\n'),
+                            'r' => lexical.push('\r'),
+                            't' => lexical.push('\t'),
+                            other => return Err(err(line, &format!("unknown escape '\\{other}'"))),
+                        }
+                    } else if ch == '\n' {
+                        return Err(err(line, "newline inside string"));
+                    } else {
+                        lexical.push(ch);
+                    }
+                }
+                let consumed = consumed.ok_or_else(|| err(line, "unterminated string"))?;
+                toks.push(Located { tok: Token::Str(lexical), line });
+                i += consumed;
+                if i < bytes.len() && bytes[i] == b'@' {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-')
+                    {
+                        j += 1;
+                    }
+                    if j == start {
+                        return Err(err(line, "empty language tag"));
+                    }
+                    toks.push(Located { tok: Token::LangTag(input[start..j].to_string()), line });
+                    i = j;
+                }
+            }
+            b'{' | b'}' | b'(' | b')' | b';' | b',' | b'*' | b'+' | b'/' | b'=' => {
+                toks.push(Located { tok: Token::Punct(c as char), line });
+                i += 1;
+            }
+            b'-' => {
+                // Negative number or minus operator.
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let (tok, next) = scan_number(input, i, line)?;
+                    toks.push(Located { tok, line });
+                    i = next;
+                } else {
+                    toks.push(Located { tok: Token::Punct('-'), line });
+                    i += 1;
+                }
+            }
+            b'.' => {
+                toks.push(Located { tok: Token::Punct('.'), line });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = scan_number(input, i, line)?;
+                toks.push(Located { tok, line });
+                i = next;
+            }
+            _ => {
+                // Bare word: keyword, 'a', or prefixed name.
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    let is_word = b.is_ascii_alphanumeric() || b == b'_' || b == b':' || b == b'-'
+                        || b >= 0x80;
+                    // A '.' inside a pname local part is allowed only when
+                    // followed by a word character (so `ex:x .` terminates).
+                    let is_inner_dot = b == b'.'
+                        && j + 1 < bytes.len()
+                        && (bytes[j + 1].is_ascii_alphanumeric() || bytes[j + 1] == b'_');
+                    if is_word || is_inner_dot {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if j == start {
+                    return Err(err(line, &format!("unexpected character '{}'", c as char)));
+                }
+                let word = &input[start..j];
+                let upper = word.to_ascii_uppercase();
+                let tok = if word == "a" {
+                    Token::A
+                } else if word.contains(':') {
+                    Token::Pname(word.to_string())
+                } else if KEYWORDS.contains(&upper.as_str()) {
+                    Token::Keyword(upper)
+                } else {
+                    return Err(err(line, &format!("unexpected token '{word}'")));
+                };
+                toks.push(Located { tok, line });
+                i = j;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn scan_number(input: &str, start: usize, line: usize) -> Result<(Token, usize), TokenError> {
+    let bytes = input.as_bytes();
+    let mut j = start;
+    if bytes[j] == b'-' {
+        j += 1;
+    }
+    let mut is_decimal = false;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'0'..=b'9' => j += 1,
+            b'.' if !is_decimal && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit() => {
+                is_decimal = true;
+                j += 1;
+            }
+            b'e' | b'E' if j + 1 < bytes.len()
+                && (bytes[j + 1].is_ascii_digit()
+                    || ((bytes[j + 1] == b'-' || bytes[j + 1] == b'+')
+                        && j + 2 < bytes.len()
+                        && bytes[j + 2].is_ascii_digit())) =>
+            {
+                is_decimal = true;
+                j += 2;
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..j];
+    let tok = if is_decimal {
+        Token::Decimal(text.parse().map_err(|_| TokenError {
+            line,
+            message: format!("bad number '{text}'"),
+        })?)
+    } else {
+        Token::Integer(text.parse().map_err(|_| TokenError {
+            line,
+            message: format!("bad integer '{text}'"),
+        })?)
+    };
+    Ok((tok, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|l| l.tok).collect()
+    }
+
+    #[test]
+    fn variables_and_keywords() {
+        assert_eq!(
+            toks("SELECT ?s $o"),
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Var("s".into()),
+                Token::Var("o".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("select"), vec![Token::Keyword("SELECT".into())]);
+        assert_eq!(toks("count"), vec![Token::Keyword("COUNT".into())]);
+    }
+
+    #[test]
+    fn iri_vs_less_than() {
+        assert_eq!(
+            toks("<http://e/x> < 5 <= ?y"),
+            vec![
+                Token::Iri("http://e/x".into()),
+                Token::Punct('<'),
+                Token::Integer(5),
+                Token::Op2(['<', '=']),
+                Token::Var("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_lang_and_datatype() {
+        assert_eq!(
+            toks(r#""hi"@en "1"^^<http://x>"#),
+            vec![
+                Token::Str("hi".into()),
+                Token::LangTag("en".into()),
+                Token::Str("1".into()),
+                Token::DtSep,
+                Token::Iri("http://x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b\n""#), vec![Token::Str("a\"b\n".into())]);
+        assert_eq!(toks("'single'"), vec![Token::Str("single".into())]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 -7 3.5 -2.5e3"),
+            vec![
+                Token::Integer(42),
+                Token::Integer(-7),
+                Token::Decimal(3.5),
+                Token::Decimal(-2500.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn pnames_and_a() {
+        assert_eq!(
+            toks("ex:x a owl:Thing ."),
+            vec![
+                Token::Pname("ex:x".into()),
+                Token::A,
+                Token::Pname("owl:Thing".into()),
+                Token::Punct('.'),
+            ]
+        );
+    }
+
+    #[test]
+    fn pname_with_inner_dot_releases_terminator() {
+        assert_eq!(
+            toks("ex:v1.2 ."),
+            vec![Token::Pname("ex:v1.2".into()), Token::Punct('.')]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("!= ! && || >= ="),
+            vec![
+                Token::Op2(['!', '=']),
+                Token::Bang,
+                Token::Op2(['&', '&']),
+                Token::Op2(['|', '|']),
+                Token::Op2(['>', '=']),
+                Token::Punct('='),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let located = tokenize("SELECT # comment\n?x").unwrap();
+        assert_eq!(located[1].line, 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("? ").is_err());
+        assert!(tokenize("bareword").is_err());
+        assert!(tokenize("&").is_err());
+    }
+
+    #[test]
+    fn paper_query_tokenizes() {
+        let q = "SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+                 FROM {SELECT ?s ?p count(*) AS ?sp
+                 FROM {?s a owl:Thing. ?s ?p ?o.}
+                 GROUP BY ?s ?p} GROUP BY ?p";
+        let t = toks(q);
+        assert!(t.contains(&Token::Keyword("FROM".into())));
+        assert!(t.contains(&Token::A));
+        assert!(t.contains(&Token::Pname("owl:Thing".into())));
+    }
+}

@@ -1,0 +1,233 @@
+//! Runtime values for the SPARQL executor.
+//!
+//! Triple-pattern matching binds variables to interned [`TermId`]s, but
+//! aggregation and expression evaluation produce computed numbers, strings,
+//! and booleans; [`Value`] covers both. Equality and hashing are exact
+//! (doubles by bit pattern), making `Value` usable as a group-by key.
+
+use elinda_rdf::{Term, TermId};
+use elinda_store::TripleStore;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// A runtime value: a term from the store, or a computed scalar.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// An interned RDF term.
+    Term(TermId),
+    /// A computed integer.
+    Int(i64),
+    /// A computed double.
+    Float(f64),
+    /// A computed string.
+    Str(String),
+    /// A computed boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The effective boolean value (SPARQL EBV, simplified): booleans as
+    /// themselves, numbers by non-zero, strings by non-empty, terms by
+    /// their literal EBV when numeric/boolean and `true` otherwise.
+    pub fn truthy(&self, store: &TripleStore) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(n) => *n != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Term(id) => match store.resolve(*id) {
+                Term::Iri(_) => true,
+                Term::Literal(lit) => {
+                    if let Some(n) = lit.as_double() {
+                        n != 0.0
+                    } else if lit.datatype() == elinda_rdf::vocab::xsd::BOOLEAN {
+                        lit.lexical() == "true"
+                    } else {
+                        !lit.lexical().is_empty()
+                    }
+                }
+            },
+        }
+    }
+
+    /// Numeric view: computed numbers directly; terms via their literal's
+    /// numeric interpretation.
+    pub fn as_number(&self, store: &TripleStore) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(_) | Value::Str(_) => None,
+            Value::Term(id) => store.resolve(*id).as_literal().and_then(|l| l.as_double()),
+        }
+    }
+
+    /// String view, following SPARQL `STR()`: IRIs give the IRI text,
+    /// literals their lexical form, computed scalars their rendering.
+    pub fn as_str_value(&self, store: &TripleStore) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Int(n) => n.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Term(id) => match store.resolve(*id) {
+                Term::Iri(i) => i.to_string(),
+                Term::Literal(l) => l.lexical().to_string(),
+            },
+        }
+    }
+
+    /// SPARQL equality: numeric values compare numerically across
+    /// representations; terms compare by identity; term-vs-scalar compares
+    /// via numeric or string view.
+    pub fn sparql_eq(&self, other: &Value, store: &TripleStore) -> bool {
+        if let (Value::Term(a), Value::Term(b)) = (self, other) {
+            if a == b {
+                return true;
+            }
+            // Distinct term ids may still be numerically equal literals
+            // ("1"^^xsd:integer vs "1.0"^^xsd:double).
+            if let (Some(x), Some(y)) = (self.as_number(store), other.as_number(store)) {
+                return x == y;
+            }
+            return false;
+        }
+        if let (Some(x), Some(y)) = (self.as_number(store), other.as_number(store)) {
+            return x == y;
+        }
+        self.as_str_value(store) == other.as_str_value(store)
+    }
+
+    /// SPARQL ordering for `ORDER BY` and range filters: numeric when both
+    /// sides are numeric, otherwise string comparison.
+    pub fn sparql_cmp(&self, other: &Value, store: &TripleStore) -> Ordering {
+        if let (Some(x), Some(y)) = (self.as_number(store), other.as_number(store)) {
+            return x.partial_cmp(&y).unwrap_or(Ordering::Equal);
+        }
+        self.as_str_value(store).cmp(&other.as_str_value(store))
+    }
+}
+
+impl PartialEq for Value {
+    /// Exact structural equality (used for grouping/DISTINCT, not for
+    /// SPARQL `=` — see [`Value::sparql_eq`]).
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Term(a), Value::Term(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Term(id) => {
+                state.write_u8(0);
+                id.hash(state);
+            }
+            Value::Int(n) => {
+                state.write_u8(1);
+                n.hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(4);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            ex:a ex:n 5 ; ex:d 5.0 ; ex:s "hello" ; ex:t true ; ex:z 0 .
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn obj(store: &TripleStore, p: &str) -> Value {
+        let a = store.lookup_iri("http://e/a").unwrap();
+        let p = store.lookup_iri(&format!("http://e/{p}")).unwrap();
+        Value::Term(store.objects_of(a, p).next().unwrap())
+    }
+
+    #[test]
+    fn truthiness() {
+        let s = store();
+        assert!(Value::Int(1).truthy(&s));
+        assert!(!Value::Int(0).truthy(&s));
+        assert!(!Value::Str(String::new()).truthy(&s));
+        assert!(obj(&s, "t").truthy(&s));
+        assert!(!obj(&s, "z").truthy(&s));
+        let a = s.lookup_iri("http://e/a").unwrap();
+        assert!(Value::Term(a).truthy(&s));
+    }
+
+    #[test]
+    fn numeric_view_spans_representations() {
+        let s = store();
+        assert_eq!(obj(&s, "n").as_number(&s), Some(5.0));
+        assert_eq!(obj(&s, "d").as_number(&s), Some(5.0));
+        assert_eq!(obj(&s, "s").as_number(&s), None);
+        assert_eq!(Value::Int(3).as_number(&s), Some(3.0));
+    }
+
+    #[test]
+    fn sparql_eq_is_numeric_across_types() {
+        let s = store();
+        assert!(obj(&s, "n").sparql_eq(&obj(&s, "d"), &s));
+        assert!(obj(&s, "n").sparql_eq(&Value::Int(5), &s));
+        assert!(!obj(&s, "n").sparql_eq(&Value::Int(6), &s));
+        assert!(Value::Str("hello".into()).sparql_eq(&obj(&s, "s"), &s));
+    }
+
+    #[test]
+    fn structural_eq_is_exact() {
+        let s = store();
+        // Same number, different term ids: structurally different.
+        assert_ne!(obj(&s, "n"), obj(&s, "d"));
+        assert_eq!(Value::Float(1.5), Value::Float(1.5));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+    }
+
+    #[test]
+    fn ordering() {
+        let s = store();
+        assert_eq!(Value::Int(2).sparql_cmp(&Value::Float(3.0), &s), Ordering::Less);
+        assert_eq!(
+            Value::Str("a".into()).sparql_cmp(&Value::Str("b".into()), &s),
+            Ordering::Less
+        );
+        assert_eq!(obj(&s, "n").sparql_cmp(&Value::Int(5), &s), Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_agrees_with_structural_eq() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Float(1.0));
+        set.insert(Value::Int(1));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based print → parse fixpoint: any AST the generator builds
+//! pretty-prints to text that re-parses to the identical AST.
+
+use elinda_rdf::term::Literal;
+use elinda_rdf::Term;
+use elinda_sparql::ast::*;
+use elinda_sparql::parse_query;
+use proptest::prelude::*;
+
+fn arb_var() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+}
+
+fn arb_iri_term() -> impl Strategy<Value = Term> {
+    "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://e/{s}")))
+}
+
+fn arb_literal_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{0,10}".prop_map(|s| Term::Literal(Literal::plain(s))),
+        (-999i64..999).prop_map(|n| Term::Literal(Literal::integer(n))),
+        ("[a-z]{1,6}", prop_oneof![Just("en"), Just("de")])
+            .prop_map(|(s, l)| Term::Literal(Literal::lang(s, l))),
+    ]
+}
+
+fn arb_term_or_var() -> impl Strategy<Value = TermOrVar> {
+    prop_oneof![
+        arb_var().prop_map(TermOrVar::Var),
+        arb_iri_term().prop_map(TermOrVar::Term),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = TermOrVar> {
+    prop_oneof![
+        arb_var().prop_map(TermOrVar::Var),
+        arb_iri_term().prop_map(TermOrVar::Term),
+        arb_literal_term().prop_map(TermOrVar::Term),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        4 => arb_term_or_var().prop_map(Predicate::Simple),
+        1 => arb_iri_term().prop_map(Predicate::ZeroOrMore),
+        1 => arb_iri_term().prop_map(Predicate::OneOrMore),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = TriplePatternAst> {
+    (arb_term_or_var(), arb_predicate(), arb_object())
+        .prop_map(|(s, p, o)| TriplePatternAst::with_path(s, p, o))
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_var().prop_map(Expr::Var),
+        arb_literal_term().prop_map(Expr::Constant),
+        arb_iri_term().prop_map(Expr::Constant),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinOp::Gt,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinOp::And,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinOp::Eq,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Call(Func::Str, vec![e])),
+            (inner.clone(), proptest::collection::vec(inner, 1..3)).prop_map(
+                |(e, list)| Expr::In(Box::new(e), list, false)
+            ),
+        ]
+    })
+}
+
+fn arb_element() -> impl Strategy<Value = PatternElement> {
+    prop_oneof![
+        4 => proptest::collection::vec(arb_pattern(), 1..4).prop_map(PatternElement::Triples),
+        2 => arb_expr().prop_map(PatternElement::Filter),
+        1 => proptest::collection::vec(arb_pattern(), 1..3).prop_map(|ps| {
+            PatternElement::Optional(GroupGraphPattern {
+                elements: vec![PatternElement::Triples(ps)],
+            })
+        }),
+        1 => (
+            proptest::collection::vec(arb_pattern(), 1..2),
+            proptest::collection::vec(arb_pattern(), 1..2)
+        )
+            .prop_map(|(a, b)| PatternElement::Union(
+                GroupGraphPattern { elements: vec![PatternElement::Triples(a)] },
+                GroupGraphPattern { elements: vec![PatternElement::Triples(b)] },
+            )),
+    ]
+}
+
+prop_compose! {
+    fn arb_query()(
+        distinct in any::<bool>(),
+        vars in proptest::collection::vec(arb_var(), 1..4),
+        elements in proptest::collection::vec(arb_element(), 1..4),
+        limit in proptest::option::of(0usize..100),
+        offset in proptest::option::of(0usize..100),
+        order_var in proptest::option::of(arb_var()),
+        order_asc in any::<bool>(),
+    ) -> Query {
+        // Dedup projection vars — duplicates print fine but are unusual.
+        let mut seen = std::collections::HashSet::new();
+        let items: Vec<SelectItem> = vars
+            .into_iter()
+            .filter(|v| seen.insert(v.clone()))
+            .map(SelectItem::var)
+            .collect();
+        Query {
+            select: SelectClause { distinct, items: SelectItems::Items(items) },
+            where_clause: normalize_group(GroupGraphPattern { elements }),
+            group_by: vec![],
+            order_by: order_var
+                .map(|v| vec![OrderKey { expr: Expr::Var(v), ascending: order_asc }])
+                .unwrap_or_default(),
+            limit,
+            offset,
+        }
+    }
+}
+
+/// The parser merges consecutive `Triples` elements into one block; apply
+/// the same normalization to generated ASTs so equality is meaningful.
+fn normalize_group(g: GroupGraphPattern) -> GroupGraphPattern {
+    let mut elements: Vec<PatternElement> = Vec::new();
+    for e in g.elements {
+        let e = match e {
+            PatternElement::Optional(inner) => PatternElement::Optional(normalize_group(inner)),
+            PatternElement::Union(a, b) => {
+                PatternElement::Union(normalize_group(a), normalize_group(b))
+            }
+            other => other,
+        };
+        match (elements.last_mut(), e) {
+            (Some(PatternElement::Triples(acc)), PatternElement::Triples(ts)) => {
+                acc.extend(ts);
+            }
+            (_, e) => elements.push(e),
+        }
+    }
+    GroupGraphPattern { elements }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_fixpoint(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("generated query failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(
+            normalize_group(q.where_clause.clone()),
+            reparsed.where_clause.clone(),
+            "where clause drifted\nprinted: {}",
+            printed
+        );
+        prop_assert_eq!(&q.select, &reparsed.select);
+        prop_assert_eq!(&q.order_by, &reparsed.order_by);
+        prop_assert_eq!(q.limit, reparsed.limit);
+        prop_assert_eq!(q.offset, reparsed.offset);
+        // Printing the reparsed query is stable.
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+}

@@ -1,0 +1,285 @@
+//! The decomposer's specialized aggregate indexes.
+//!
+//! The heaviest queries eLinda issues are the *property expansion* queries
+//! (paper Section 4):
+//!
+//! ```sparql
+//! SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+//! FROM {SELECT ?s ?p count(*) AS ?sp
+//!       FROM {?s a owl:Thing. ?s ?p ?o.}
+//!       GROUP BY ?s ?p} GROUP BY ?p
+//! ```
+//!
+//! The inner group-by materializes an `(s, p)` table with, on DBpedia,
+//! hundreds of millions of intermediate tuples. The eLinda endpoint avoids
+//! this with "specialized indexes": this module precomputes, for every
+//! class `τ` and property `p`,
+//!
+//! * `entity_count` — the number of distinct instances of `τ` featuring
+//!   `p` (`COUNT(?p)` above; the bar height / coverage numerator), and
+//! * `triple_count` — the total number of `(s, p, o)` triples over those
+//!   instances (`SUM(?sp)` above),
+//!
+//! for both outgoing properties (instances as subjects) and incoming
+//! properties (instances as objects). The decomposer in `elinda-endpoint`
+//! recognizes property-expansion queries and answers them from these maps
+//! — "the eLinda decomposer can be used for *all* property expansion
+//! queries … for subclasses of owl:Thing".
+
+use crate::schema::ClassHierarchy;
+use crate::store::TripleStore;
+use elinda_rdf::fx::FxHashMap;
+use elinda_rdf::{vocab, TermId};
+
+/// Aggregate for one `(class, property)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropAgg {
+    /// Distinct instances of the class featuring the property.
+    pub entity_count: u64,
+    /// Total triples `(s, p, o)` over those instances.
+    pub triple_count: u64,
+}
+
+/// Precomputed per-class property aggregates, outgoing and incoming.
+#[derive(Debug, Clone)]
+pub struct PropertyAggregates {
+    /// class → sorted `(property, agg)` pairs, instances as subjects.
+    outgoing: FxHashMap<TermId, Vec<(TermId, PropAgg)>>,
+    /// class → sorted `(property, agg)` pairs, instances as objects.
+    incoming: FxHashMap<TermId, Vec<(TermId, PropAgg)>>,
+    /// Store epoch at build time; stale indexes must be rebuilt.
+    epoch: u64,
+}
+
+impl PropertyAggregates {
+    /// Precompute the aggregates for every class in the store.
+    ///
+    /// Cost is `O(T · c̄)` where `T` is the triple count and `c̄` the mean
+    /// number of classes per typed entity — a single pass over the SPO
+    /// index for the outgoing side and one over POS for the incoming side.
+    pub fn build(store: &TripleStore, hierarchy: &ClassHierarchy) -> Self {
+        let rdf_type = store.lookup_iri(vocab::rdf::TYPE);
+        let mut out_flat: FxHashMap<(TermId, TermId), PropAgg> = FxHashMap::default();
+        let mut in_flat: FxHashMap<(TermId, TermId), PropAgg> = FxHashMap::default();
+
+        // Outgoing: SPO is grouped by subject then predicate; each (s, p)
+        // run contributes one entity and `run` triples to every class of s.
+        let spo = store.spo_slice();
+        let mut i = 0;
+        let mut classes_buf: Vec<TermId> = Vec::new();
+        while i < spo.len() {
+            let s = spo[i].s;
+            let subj_end = i + spo[i..].partition_point(|t| t.s == s);
+            classes_buf.clear();
+            if rdf_type.is_some() {
+                classes_buf.extend(hierarchy.classes_of(store, s));
+            }
+            let mut j = i;
+            while j < subj_end {
+                let p = spo[j].p;
+                let run_end = j + spo[j..subj_end].partition_point(|t| t.p == p);
+                let run = (run_end - j) as u64;
+                for &c in &classes_buf {
+                    let agg = out_flat.entry((c, p)).or_default();
+                    agg.entity_count += 1;
+                    agg.triple_count += run;
+                }
+                j = run_end;
+            }
+            i = subj_end;
+        }
+
+        // Incoming: POS is grouped by predicate then object; each (p, o)
+        // run contributes one entity and `run` triples to every class of o.
+        let pos = store.pos_slice();
+        let mut i = 0;
+        while i < pos.len() {
+            let p = pos[i].p;
+            let o = pos[i].o;
+            let run_end = i + pos[i..].partition_point(|t| t.p == p && t.o == o);
+            let run = (run_end - i) as u64;
+            if rdf_type.is_some() {
+                for c in hierarchy.classes_of(store, o) {
+                    let agg = in_flat.entry((c, p)).or_default();
+                    agg.entity_count += 1;
+                    agg.triple_count += run;
+                }
+            }
+            i = run_end;
+        }
+
+        PropertyAggregates {
+            outgoing: group_by_class(out_flat),
+            incoming: group_by_class(in_flat),
+            epoch: store.epoch(),
+        }
+    }
+
+    /// Outgoing `(property, aggregate)` pairs for a class, sorted by
+    /// property id. Empty if the class has no instances with properties.
+    pub fn outgoing(&self, class: TermId) -> &[(TermId, PropAgg)] {
+        self.outgoing.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming `(property, aggregate)` pairs for a class, sorted by
+    /// property id.
+    pub fn incoming(&self, class: TermId) -> &[(TermId, PropAgg)] {
+        self.incoming.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// Aggregate for one `(class, property)` pair, outgoing direction.
+    pub fn outgoing_one(&self, class: TermId, property: TermId) -> Option<PropAgg> {
+        lookup(self.outgoing(class), property)
+    }
+
+    /// Aggregate for one `(class, property)` pair, incoming direction.
+    pub fn incoming_one(&self, class: TermId, property: TermId) -> Option<PropAgg> {
+        lookup(self.incoming(class), property)
+    }
+
+    /// The store epoch this index was built against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True if the index is stale with respect to the store.
+    pub fn is_stale(&self, store: &TripleStore) -> bool {
+        self.epoch != store.epoch()
+    }
+}
+
+fn lookup(pairs: &[(TermId, PropAgg)], property: TermId) -> Option<PropAgg> {
+    pairs
+        .binary_search_by_key(&property, |(p, _)| *p)
+        .ok()
+        .map(|i| pairs[i].1)
+}
+
+fn group_by_class(
+    flat: FxHashMap<(TermId, TermId), PropAgg>,
+) -> FxHashMap<TermId, Vec<(TermId, PropAgg)>> {
+    let mut grouped: FxHashMap<TermId, Vec<(TermId, PropAgg)>> = FxHashMap::default();
+    for ((class, prop), agg) in flat {
+        grouped.entry(class).or_default().push((prop, agg));
+    }
+    for v in grouped.values_mut() {
+        v.sort_unstable_by_key(|(p, _)| *p);
+    }
+    grouped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://e/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        @prefix owl: <http://www.w3.org/2002/07/owl#> .
+        ex:Person rdfs:subClassOf owl:Thing .
+        ex:alice a ex:Person ; ex:knows ex:bob , ex:carol ; ex:age 34 .
+        ex:bob a ex:Person ; ex:knows ex:carol .
+        ex:carol a ex:Person .
+        ex:w a ex:Work ; ex:author ex:alice .
+    "#;
+
+    fn setup() -> (TripleStore, ClassHierarchy, PropertyAggregates) {
+        let store = TripleStore::from_turtle(DATA).unwrap();
+        let h = ClassHierarchy::build(&store);
+        let a = PropertyAggregates::build(&store, &h);
+        (store, h, a)
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    #[test]
+    fn outgoing_counts_distinct_subjects_and_triples() {
+        let (store, _, a) = setup();
+        let person = id(&store, "Person");
+        let knows = id(&store, "knows");
+        let agg = a.outgoing_one(person, knows).unwrap();
+        assert_eq!(agg.entity_count, 2); // alice, bob
+        assert_eq!(agg.triple_count, 3); // alice→2, bob→1
+        let age = id(&store, "age");
+        let agg = a.outgoing_one(person, age).unwrap();
+        assert_eq!(agg.entity_count, 1);
+        assert_eq!(agg.triple_count, 1);
+    }
+
+    #[test]
+    fn rdf_type_is_itself_a_property() {
+        let (store, _, a) = setup();
+        let person = id(&store, "Person");
+        let ty = store.lookup_iri(elinda_rdf::vocab::rdf::TYPE).unwrap();
+        let agg = a.outgoing_one(person, ty).unwrap();
+        assert_eq!(agg.entity_count, 3); // all three Persons have rdf:type
+    }
+
+    #[test]
+    fn incoming_counts_distinct_objects() {
+        let (store, _, a) = setup();
+        let person = id(&store, "Person");
+        let knows = id(&store, "knows");
+        let agg = a.incoming_one(person, knows).unwrap();
+        assert_eq!(agg.entity_count, 2); // bob, carol are known
+        assert_eq!(agg.triple_count, 3);
+        let author = id(&store, "author");
+        let agg = a.incoming_one(person, author).unwrap();
+        assert_eq!(agg.entity_count, 1); // alice is an author target
+    }
+
+    #[test]
+    fn class_without_instances_has_no_aggregates() {
+        let (store, _, a) = setup();
+        // owl:Thing appears as a superclass but nothing is typed owl:Thing.
+        let thing = store.lookup_iri(elinda_rdf::vocab::owl::THING).unwrap();
+        assert!(a.outgoing(thing).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixture() {
+        let (store, h, a) = setup();
+        let person = id(&store, "Person");
+        let instances = h.instances(&store, person);
+        // Brute force outgoing.
+        let mut by_prop: std::collections::BTreeMap<TermId, (u64, u64)> = Default::default();
+        for &s in &instances {
+            let mut props: std::collections::BTreeMap<TermId, u64> = Default::default();
+            for t in store.spo_range(s, None) {
+                *props.entry(t.p).or_default() += 1;
+            }
+            for (p, n) in props {
+                let e = by_prop.entry(p).or_default();
+                e.0 += 1;
+                e.1 += n;
+            }
+        }
+        for (p, (ec, tc)) in by_prop {
+            let agg = a.outgoing_one(person, p).unwrap();
+            assert_eq!(agg.entity_count, ec, "entity_count for {p}");
+            assert_eq!(agg.triple_count, tc, "triple_count for {p}");
+        }
+    }
+
+    #[test]
+    fn pairs_are_sorted_for_binary_search() {
+        let (store, _, a) = setup();
+        let person = id(&store, "Person");
+        let out = a.outgoing(person);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn staleness_tracks_epoch() {
+        let (mut store, h, a) = setup();
+        assert!(!a.is_stale(&store));
+        let x = store.intern(elinda_rdf::Term::iri("http://e/x"));
+        let p = id(&store, "knows");
+        store.insert(x, p, x);
+        assert!(a.is_stale(&store));
+        let a2 = PropertyAggregates::build(&store, &h);
+        assert!(!a2.is_stale(&store));
+    }
+}

@@ -1,0 +1,184 @@
+//! `rdfs:label` lookup and autocomplete class search.
+//!
+//! "ELINDA makes extensive use of standard rdfs:label properties, that if
+//! exist provide the user with short and meaningful textual labels"
+//! (Section 3.1), and "provides an autocomplete search box for locating
+//! class types, based on a list that is populated by collecting all
+//! subjects in the dataset of type owl:Class or rdfs:Class" (Section 3.2).
+
+use crate::schema::ClassHierarchy;
+use crate::store::TripleStore;
+use elinda_rdf::fx::FxHashMap;
+use elinda_rdf::{term::local_name, vocab, Term, TermId};
+
+/// Index from terms to display labels, plus the autocomplete search list.
+#[derive(Debug, Clone)]
+pub struct LabelIndex {
+    /// term → preferred label (first `rdfs:label`, English preferred).
+    labels: FxHashMap<TermId, String>,
+    /// `(lowercased search key, class id)`, sorted by key, for the
+    /// autocomplete box. Keys cover both the label and the IRI local name.
+    search: Vec<(String, TermId)>,
+}
+
+impl LabelIndex {
+    /// Build the label index and the class search list.
+    pub fn build(store: &TripleStore, hierarchy: &ClassHierarchy) -> Self {
+        let mut labels: FxHashMap<TermId, String> = FxHashMap::default();
+        if let Some(label_prop) = store.lookup_iri(vocab::rdfs::LABEL) {
+            for t in store.pos_range(label_prop, None) {
+                if let Term::Literal(lit) = store.resolve(t.o) {
+                    let preferred = matches!(lit.language(), None | Some("en"));
+                    match labels.entry(t.s) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(lit.lexical().to_string());
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            if preferred {
+                                e.insert(lit.lexical().to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut search: Vec<(String, TermId)> = Vec::new();
+        for &class in hierarchy.declared_classes() {
+            if let Some(label) = labels.get(&class) {
+                search.push((label.to_lowercase(), class));
+            }
+            if let Some(iri) = store.resolve(class).as_iri() {
+                let ln = local_name(iri).to_lowercase();
+                search.push((ln, class));
+            }
+        }
+        search.sort();
+        search.dedup();
+
+        LabelIndex { labels, search }
+    }
+
+    /// The `rdfs:label` of a term, if any.
+    pub fn label(&self, id: TermId) -> Option<&str> {
+        self.labels.get(&id).map(String::as_str)
+    }
+
+    /// A display name: the label if present, otherwise the IRI local name
+    /// or literal lexical form.
+    pub fn display<'a>(&'a self, store: &'a TripleStore, id: TermId) -> &'a str {
+        match self.label(id) {
+            Some(l) => l,
+            None => match store.resolve(id) {
+                Term::Iri(iri) => local_name(iri),
+                Term::Literal(lit) => lit.lexical(),
+            },
+        }
+    }
+
+    /// Autocomplete: declared classes whose label or local name starts
+    /// with `prefix` (case-insensitive), sorted by key, capped at `limit`.
+    pub fn autocomplete(&self, prefix: &str, limit: usize) -> Vec<TermId> {
+        let prefix = prefix.to_lowercase();
+        let start = self.search.partition_point(|(k, _)| k.as_str() < prefix.as_str());
+        let mut out = Vec::new();
+        for (k, id) in &self.search[start..] {
+            if !k.starts_with(&prefix) {
+                break;
+            }
+            if !out.contains(id) {
+                out.push(*id);
+                if out.len() == limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of labelled terms.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no labels were found.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TripleStore, ClassHierarchy, LabelIndex) {
+        let store = TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            @prefix owl: <http://www.w3.org/2002/07/owl#> .
+            ex:Philosopher a owl:Class ; rdfs:label "Philosoph"@de ; rdfs:label "Philosopher"@en .
+            ex:Politician a owl:Class ; rdfs:label "Politician"@en .
+            ex:Place a owl:Class .
+            ex:x a ex:Philosopher ; rdfs:label "Plato" .
+            "#,
+        )
+        .unwrap();
+        let h = ClassHierarchy::build(&store);
+        let l = LabelIndex::build(&store, &h);
+        (store, h, l)
+    }
+
+    fn id(store: &TripleStore, local: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    #[test]
+    fn english_label_preferred() {
+        let (store, _, l) = setup();
+        assert_eq!(l.label(id(&store, "Philosopher")), Some("Philosopher"));
+        assert_eq!(l.label(id(&store, "x")), Some("Plato"));
+        assert_eq!(l.label(id(&store, "Place")), None);
+    }
+
+    #[test]
+    fn display_falls_back_to_local_name() {
+        let (store, _, l) = setup();
+        assert_eq!(l.display(&store, id(&store, "Place")), "Place");
+        assert_eq!(l.display(&store, id(&store, "x")), "Plato");
+    }
+
+    #[test]
+    fn autocomplete_matches_prefix_case_insensitively() {
+        let (store, _, l) = setup();
+        let hits = l.autocomplete("phil", 10);
+        assert_eq!(hits, vec![id(&store, "Philosopher")]);
+        let hits = l.autocomplete("P", 10);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn autocomplete_only_returns_declared_classes() {
+        let (store, _, l) = setup();
+        // "Plato" matches instance x, which is not a declared class.
+        assert!(l.autocomplete("plato", 10).is_empty());
+        let _ = store;
+    }
+
+    #[test]
+    fn autocomplete_respects_limit_and_misses() {
+        let (_, _, l) = setup();
+        assert_eq!(l.autocomplete("p", 2).len(), 2);
+        assert!(l.autocomplete("zzz", 10).is_empty());
+        assert!(l.autocomplete("", 100).len() >= 3);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = TripleStore::new();
+        let h = ClassHierarchy::build(&store);
+        let l = LabelIndex::build(&store, &h);
+        assert!(l.is_empty());
+        assert!(l.autocomplete("a", 5).is_empty());
+    }
+}

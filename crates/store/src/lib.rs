@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The eLinda triple store substrate.
+//!
+//! The paper's eLinda endpoint "contains mirrors of the common knowledge
+//! bases … in a Virtuoso SPARQL database" plus "specialized indexes to
+//! accelerate heavy queries" (Section 4). This crate is that mirror:
+//!
+//! * [`TripleStore`] — an in-memory store with three sorted permutation
+//!   indexes (SPO / POS / OSP) answering any triple pattern with a binary
+//!   search plus a contiguous range scan;
+//! * [`pattern`] — triple-pattern matching over the best index;
+//! * [`schema`] — the class hierarchy (`rdfs:subClassOf`), instance sets,
+//!   root detection (including root-less datasets such as LinkedGeoData);
+//! * [`stats`] — the dataset statistics shown when eLinda first connects
+//!   to an endpoint (triple count, class count, …);
+//! * [`labels`] — `rdfs:label` lookup and the autocomplete class search;
+//! * [`aggregates`] — the specialized `(class, property)` aggregate
+//!   indexes targeted by the eLinda decomposer.
+//!
+//! Mutations bump an *epoch* counter; the HVS (in `elinda-endpoint`)
+//! invalidates itself whenever the epoch moves, reproducing "the HVS is
+//! cleared on any update to the eLinda knowledge bases".
+
+pub mod aggregates;
+pub mod labels;
+pub mod pattern;
+pub mod schema;
+pub mod stats;
+pub mod store;
+
+pub use aggregates::{PropAgg, PropertyAggregates};
+pub use labels::LabelIndex;
+pub use pattern::TriplePattern;
+pub use schema::ClassHierarchy;
+pub use stats::DatasetStats;
+pub use store::TripleStore;

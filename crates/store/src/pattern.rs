@@ -1,0 +1,180 @@
+//! Triple-pattern matching over the store's permutation indexes.
+//!
+//! A [`TriplePattern`] fixes any subset of `{s, p, o}`; [`TriplePattern::scan`]
+//! picks the index whose sort order makes the bound positions a contiguous
+//! range, then filters any residual position. This is the access-path layer
+//! the SPARQL executor builds joins from.
+
+use crate::store::TripleStore;
+use elinda_rdf::{TermId, Triple};
+
+/// A triple pattern: each position is either bound to a term or free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Bound subject, or `None` for a free position.
+    pub s: Option<TermId>,
+    /// Bound predicate, or `None`.
+    pub p: Option<TermId>,
+    /// Bound object, or `None`.
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// A pattern with all positions free (full scan).
+    pub fn any() -> Self {
+        TriplePattern { s: None, p: None, o: None }
+    }
+
+    /// Construct a pattern.
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> u8 {
+        self.s.is_some() as u8 + self.p.is_some() as u8 + self.o.is_some() as u8
+    }
+
+    /// True if the triple matches every bound position.
+    #[inline]
+    pub fn matches(&self, t: Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+
+    /// Iterate over all matching triples using the best index.
+    ///
+    /// Every pattern shape except `(free, p, free)`+`o`-residual and
+    /// `(s, free, o)` is a pure range scan; the two exceptions scan the
+    /// tightest available range and filter the residual position.
+    pub fn scan<'a>(&self, store: &'a TripleStore) -> PatternIter<'a> {
+        let (slice, residual): (&[Triple], Option<TriplePattern>) =
+            match (self.s, self.p, self.o) {
+                (Some(s), p, None) => (store.spo_range(s, p), None),
+                (Some(s), Some(p), Some(o)) => (store.spo_range(s, Some(p)), Some(TriplePattern::new(None, None, Some(o)))),
+                (Some(s), None, Some(o)) => (store.osp_range(o, Some(s)), None),
+                (None, Some(p), o) => (store.pos_range(p, o), None),
+                (None, None, Some(o)) => (store.osp_range(o, None), None),
+                (None, None, None) => (store.spo_slice(), None),
+            };
+        PatternIter { slice: slice.iter(), residual }
+    }
+
+    /// Count matching triples. Exact-range shapes answer in `O(log n)`
+    /// without iterating.
+    pub fn count(&self, store: &TripleStore) -> usize {
+        match (self.s, self.p, self.o) {
+            (Some(s), p, None) => store.spo_range(s, p).len(),
+            (Some(s), None, Some(o)) => store.osp_range(o, Some(s)).len(),
+            (None, Some(p), o) => store.pos_range(p, o).len(),
+            (None, None, Some(o)) => store.osp_range(o, None).len(),
+            (None, None, None) => store.len(),
+            (Some(_), Some(_), Some(_)) => self.scan(store).count(),
+        }
+    }
+}
+
+/// Iterator over triples matching a [`TriplePattern`].
+pub struct PatternIter<'a> {
+    slice: std::slice::Iter<'a, Triple>,
+    residual: Option<TriplePattern>,
+}
+
+impl Iterator for PatternIter<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        match self.residual {
+            None => self.slice.next().copied(),
+            Some(res) => self.slice.by_ref().copied().find(|t| res.matches(*t)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (_, upper) = self.slice.size_hint();
+        if self.residual.is_none() {
+            self.slice.size_hint()
+        } else {
+            (0, upper)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:b .
+            ex:a ex:p ex:c .
+            ex:a ex:q ex:b .
+            ex:b ex:p ex:c .
+            ex:c ex:q ex:a .
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn id(store: &TripleStore, iri: &str) -> TermId {
+        store.lookup_iri(&format!("http://e/{iri}")).unwrap()
+    }
+
+    fn collect(p: TriplePattern, s: &TripleStore) -> Vec<Triple> {
+        p.scan(s).collect()
+    }
+
+    #[test]
+    fn all_eight_shapes_agree_with_brute_force() {
+        let store = sample();
+        let a = id(&store, "a");
+        let p = id(&store, "p");
+        let b = id(&store, "b");
+        let candidates: Vec<Option<TermId>> = vec![None, Some(a), Some(p), Some(b)];
+        for s in &candidates {
+            for pp in &candidates {
+                for o in &candidates {
+                    let pat = TriplePattern::new(*s, *pp, *o);
+                    let mut via_index = collect(pat, &store);
+                    via_index.sort_unstable();
+                    let mut brute: Vec<Triple> = store
+                        .spo_slice()
+                        .iter()
+                        .copied()
+                        .filter(|t| pat.matches(*t))
+                        .collect();
+                    brute.sort_unstable();
+                    assert_eq!(via_index, brute, "pattern {pat:?}");
+                    assert_eq!(pat.count(&store), brute.len(), "count for {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let store = sample();
+        assert_eq!(collect(TriplePattern::any(), &store).len(), store.len());
+    }
+
+    #[test]
+    fn bound_count() {
+        let store = sample();
+        let a = id(&store, "a");
+        assert_eq!(TriplePattern::any().bound_count(), 0);
+        assert_eq!(TriplePattern::new(Some(a), None, Some(a)).bound_count(), 2);
+    }
+
+    #[test]
+    fn exact_triple_lookup() {
+        let store = sample();
+        let (a, p, b) = (id(&store, "a"), id(&store, "p"), id(&store, "b"));
+        let pat = TriplePattern::new(Some(a), Some(p), Some(b));
+        assert_eq!(collect(pat, &store).len(), 1);
+        let pat = TriplePattern::new(Some(b), Some(p), Some(b));
+        assert_eq!(collect(pat, &store).len(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Dataset statistics.
+//!
+//! "The very first queries present the user with general statistics about
+//! the dataset such as the total number of RDF triples, and the number of
+//! classes the dataset has." (paper Section 3.1)
+
+use crate::schema::ClassHierarchy;
+use crate::store::TripleStore;
+use elinda_rdf::fx::FxHashSet;
+
+/// Summary statistics about a loaded dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    /// Total number of RDF triples.
+    pub triple_count: usize,
+    /// Number of classes in use (declared or appearing as a type/superclass).
+    pub class_count: usize,
+    /// Number of explicitly declared classes (`owl:Class` / `rdfs:Class`).
+    pub declared_class_count: usize,
+    /// Number of distinct predicates.
+    pub property_count: usize,
+    /// Number of distinct subjects.
+    pub subject_count: usize,
+    /// Number of distinct objects (URIs and literals).
+    pub object_count: usize,
+    /// Number of distinct literal objects.
+    pub literal_count: usize,
+}
+
+impl DatasetStats {
+    /// Compute the statistics for a store.
+    pub fn compute(store: &TripleStore, hierarchy: &ClassHierarchy) -> Self {
+        let mut objects: FxHashSet<_> = FxHashSet::default();
+        let mut literals = 0usize;
+        let osp = store.osp_slice();
+        let mut last = None;
+        for t in osp {
+            if last != Some(t.o) {
+                objects.insert(t.o);
+                if store.resolve(t.o).is_literal() {
+                    literals += 1;
+                }
+                last = Some(t.o);
+            }
+        }
+        DatasetStats {
+            triple_count: store.len(),
+            class_count: hierarchy.classes().len(),
+            declared_class_count: hierarchy.declared_classes().len(),
+            property_count: store.predicates().len(),
+            subject_count: store.subjects().len(),
+            object_count: objects.len(),
+            literal_count: literals,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "triples:          {:>12}", self.triple_count)?;
+        writeln!(f, "classes:          {:>12}", self.class_count)?;
+        writeln!(f, "declared classes: {:>12}", self.declared_class_count)?;
+        writeln!(f, "properties:       {:>12}", self.property_count)?;
+        writeln!(f, "subjects:         {:>12}", self.subject_count)?;
+        writeln!(f, "objects:          {:>12}", self.object_count)?;
+        write!(f, "literal objects:  {:>12}", self.literal_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_small_fixture() {
+        let store = TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            @prefix owl: <http://www.w3.org/2002/07/owl#> .
+            ex:C a owl:Class ; rdfs:label "C" .
+            ex:a a ex:C ; ex:p ex:b ; rdfs:label "a" .
+            ex:b a ex:C .
+            "#,
+        )
+        .unwrap();
+        let h = ClassHierarchy::build(&store);
+        let s = DatasetStats::compute(&store, &h);
+        assert_eq!(s.triple_count, 6);
+        // Classes in use: owl:Class (as type object), ex:C.
+        assert_eq!(s.class_count, 2);
+        assert_eq!(s.declared_class_count, 1);
+        // Predicates: rdf:type, rdfs:label, ex:p.
+        assert_eq!(s.property_count, 3);
+        assert_eq!(s.subject_count, 3);
+        // Objects: owl:Class, ex:C, ex:b, "C", "a".
+        assert_eq!(s.object_count, 5);
+        assert_eq!(s.literal_count, 2);
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let store = TripleStore::new();
+        let h = ClassHierarchy::build(&store);
+        let s = DatasetStats::compute(&store, &h);
+        assert_eq!(s.triple_count, 0);
+        assert_eq!(s.class_count, 0);
+        assert_eq!(s.object_count, 0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let store = TripleStore::new();
+        let h = ClassHierarchy::build(&store);
+        let text = DatasetStats::compute(&store, &h).to_string();
+        for field in ["triples", "classes", "properties", "subjects", "objects"] {
+            assert!(text.contains(field), "missing {field}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Terminal rendering of eLinda's UI elements.
+//!
+//! The demo's figures are screenshots of bar charts, panes with corner
+//! statistics, breadcrumb trails, and data tables. This crate renders the
+//! same elements as text, driven by the same `elinda-core` model, so the
+//! examples reproduce Figs. 1–2 in a terminal.
+
+pub mod chart;
+pub mod pane;
+pub mod svg;
+pub mod table;
+
+pub use chart::{render_chart, ChartStyle};
+pub use pane::{render_breadcrumbs, render_pane};
+pub use svg::{render_chart_svg, SvgStyle};
+pub use table::render_table;

@@ -1,0 +1,70 @@
+//! Pane and breadcrumb rendering.
+
+use elinda_core::{Exploration, Explorer, Pane};
+
+/// Render a pane header: title and the corner statistics of Section 3.2.
+pub fn render_pane(pane: &Pane) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("┌─ Pane: {}\n", pane.title));
+    out.push_str(&format!("│  instances: {}", pane.stats.instance_count));
+    if pane.class.is_some() {
+        out.push_str(&format!(
+            " · direct subclasses: {} · total subclasses: {}",
+            pane.stats.direct_subclasses, pane.stats.total_subclasses
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render the colored breadcrumb trail of Fig. 2 (as plain text).
+pub fn render_breadcrumbs(exploration: &Exploration, explorer: &Explorer<'_>) -> String {
+    let crumbs = exploration.breadcrumbs(explorer);
+    if crumbs.is_empty() {
+        "(initial chart)".to_string()
+    } else {
+        format!("owl:Thing → {}", crumbs.join(" → "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_core::ExpansionKind;
+    use elinda_store::TripleStore;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            @prefix owl: <http://www.w3.org/2002/07/owl#> .
+            ex:Agent rdfs:subClassOf owl:Thing ; rdfs:label "Agent"@en .
+            ex:x a ex:Agent ; a owl:Thing .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pane_header_shows_stats() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let pane = ex.initial_pane().unwrap();
+        let text = render_pane(&pane);
+        assert!(text.contains("instances: 1"));
+        assert!(text.contains("direct subclasses: 1"));
+    }
+
+    #[test]
+    fn breadcrumbs_follow_the_path() {
+        let store = store();
+        let ex = Explorer::new(&store);
+        let pane = ex.initial_pane().unwrap();
+        let mut expl = Exploration::start(pane.subclass_chart(&ex));
+        assert_eq!(render_breadcrumbs(&expl, &ex), "(initial chart)");
+        let agent = store.lookup_iri("http://e/Agent").unwrap();
+        expl.apply(&ex, agent, ExpansionKind::Subclass).unwrap();
+        assert_eq!(render_breadcrumbs(&expl, &ex), "owl:Thing → Agent");
+    }
+}

@@ -1,0 +1,93 @@
+//! Data-table rendering.
+
+use elinda_core::{DataTable, Explorer};
+
+/// Render a data table: one row per instance passing the filters, one
+/// column per selected property, multiple values joined with `, `.
+pub fn render_table(table: &DataTable, explorer: &Explorer<'_>, max_rows: usize) -> String {
+    let store = explorer.store();
+    let mut out = String::new();
+    // Header.
+    out.push_str("instance");
+    for col in table.columns() {
+        out.push_str(" | ");
+        out.push_str(explorer.display(col.prop));
+    }
+    out.push('\n');
+    let mut shown = 0usize;
+    let mut total = 0usize;
+    for (instance, values) in table.rows(store) {
+        total += 1;
+        if shown >= max_rows {
+            continue;
+        }
+        shown += 1;
+        out.push_str(explorer.display(instance));
+        for cell in values {
+            out.push_str(" | ");
+            let rendered: Vec<&str> =
+                cell.iter().map(|&v| explorer.display(v)).collect();
+            out.push_str(&rendered.join(", "));
+        }
+        out.push('\n');
+    }
+    if total > shown {
+        out.push_str(&format!("… {} more rows\n", total - shown));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elinda_core::ColumnFilter;
+    use elinda_store::TripleStore;
+
+    fn setup() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:Philosopher rdfs:subClassOf ex:Person .
+            ex:plato a ex:Philosopher ; ex:birthPlace ex:athens ; rdfs:label "Plato" .
+            ex:kant a ex:Philosopher ; ex:birthPlace ex:konigsberg ; rdfs:label "Kant" .
+            ex:athens rdfs:label "Athens" .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_rows_and_columns() {
+        let store = setup();
+        let ex = Explorer::new(&store);
+        let phil = store.lookup_iri("http://e/Philosopher").unwrap();
+        let pane = ex.pane_for_class(phil);
+        let mut table = pane.data_table();
+        let bp = store.lookup_iri("http://e/birthPlace").unwrap();
+        table.add_column(&store, bp);
+        let text = render_table(&table, &ex, 10);
+        assert!(text.contains("Plato | Athens"));
+        assert!(text.contains("Kant | konigsberg"));
+    }
+
+    #[test]
+    fn respects_filters_and_row_cap() {
+        let store = setup();
+        let ex = Explorer::new(&store);
+        let phil = store.lookup_iri("http://e/Philosopher").unwrap();
+        let pane = ex.pane_for_class(phil);
+        let mut table = pane.data_table();
+        let bp = store.lookup_iri("http://e/birthPlace").unwrap();
+        table.add_column(&store, bp);
+        table.add_filter(ColumnFilter::Contains { prop: bp, text: "athens".into() });
+        let text = render_table(&table, &ex, 10);
+        assert!(text.contains("Plato"));
+        assert!(!text.contains("Kant"));
+
+        let mut table = pane.data_table();
+        table.add_column(&store, bp);
+        let text = render_table(&table, &ex, 1);
+        assert!(text.contains("… 1 more rows"));
+    }
+}

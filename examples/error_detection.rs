@@ -1,0 +1,87 @@
+//! Demo scenario S2: "detect erroneous data such as people who are
+//! indicated to be born in resources of type food".
+//!
+//! The synthetic DBpedia plants a configurable number of `birthPlace →
+//! Food` triples. The exploration that uncovers them: open the `Person`
+//! pane, select the `birthPlace` property bar, switch to the Connections
+//! tab — the object expansion groups birth places by class, and a `Food`
+//! bar appears where only `Place` bars belong. Clicking it and opening
+//! the data table lists the offending people.
+//!
+//! ```sh
+//! cargo run --release --example error_detection
+//! ```
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::model::{Direction, Explorer, UriFilter};
+use elinda::rdf::vocab;
+use elinda::viz::{render_chart, render_pane, ChartStyle};
+
+fn main() {
+    let cfg = DbpediaConfig::paper_shape().scaled(0.05);
+    let store = generate_dbpedia(&cfg);
+    let explorer = Explorer::new(&store);
+    let style = ChartStyle { max_bars: 8, ..Default::default() };
+
+    let person = store
+        .lookup_iri(&format!("{}Person", vocab::dbo::NS))
+        .expect("Person class");
+    let birth_place = store
+        .lookup_iri(&format!("{}birthPlace", vocab::dbo::NS))
+        .expect("birthPlace property");
+    let food = store
+        .lookup_iri(&format!("{}Food", vocab::dbo::NS))
+        .expect("Food class");
+
+    println!("== Connections tab: classes of birthPlace targets of Person ==");
+    let pane = explorer.pane_for_class(person);
+    print!("{}", render_pane(&pane));
+    let connections = pane
+        .connections_chart(&explorer, birth_place, Direction::Outgoing)
+        .expect("birthPlace is featured");
+    print!("{}", render_chart(&connections, &explorer, &style));
+
+    let Some(food_bar) = connections.bar(food) else {
+        println!("no erroneous data found");
+        return;
+    };
+    println!(
+        "\n⚠ {} birth places are of type Food — erroneous data!",
+        food_bar.height()
+    );
+    println!("SPARQL extracting them:\n{}\n", food_bar.spec.to_sparql(&store));
+
+    // List the people born in food: filter the Person pane to members whose
+    // birthPlace is one of the offending resources.
+    println!("== people born in food ==");
+    let offenders = pane.set.filter(|s| {
+        store
+            .objects_of(s, birth_place)
+            .any(|o| food_bar.nodes.contains(o))
+    });
+    for person in offenders.iter() {
+        let places: Vec<String> = store
+            .objects_of(person, birth_place)
+            .map(|o| explorer.display(o).to_string())
+            .collect();
+        println!(
+            "  {} — born in {}",
+            explorer.display(person),
+            places.join(", ")
+        );
+    }
+
+    // The same check expressed as a chart filter: keep only persons whose
+    // birthPlace value is a planted Food resource.
+    let filter = UriFilter::HasValue {
+        prop: birth_place,
+        value: food_bar.nodes.as_slice()[0],
+    };
+    let subclass_chart = pane.subclass_chart(&explorer);
+    let filtered = elinda::model::expansion::filter_chart(&store, &subclass_chart, &filter);
+    println!(
+        "\n(filter operation: {} subclass bars retain members born in {})",
+        filtered.len(),
+        explorer.display(food_bar.nodes.as_slice()[0]),
+    );
+}

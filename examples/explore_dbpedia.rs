@@ -1,0 +1,116 @@
+//! Figs. 1–2 and demo scenario S1 over the synthetic DBpedia.
+//!
+//! * Fig. 1 — the initial chart: subclass distribution of `owl:Thing`,
+//!   with the hover statistics for `Agent`;
+//! * Fig. 2 — the exploration path `owl:Thing → Agent → Person →
+//!   Philosopher`, then the types of people who influenced philosophers;
+//! * S1 — "analyze the twenty most significant properties of the largest
+//!   class in the dataset".
+//!
+//! ```sh
+//! cargo run --release --example explore_dbpedia
+//! ```
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::model::{Direction, ExpansionKind, Exploration, Explorer};
+use elinda::rdf::vocab;
+use elinda::viz::{render_breadcrumbs, render_chart, render_pane, ChartStyle};
+
+fn dbo(store: &elinda::store::TripleStore, local: &str) -> elinda::rdf::TermId {
+    store
+        .lookup_iri(&format!("{}{local}", vocab::dbo::NS))
+        .unwrap_or_else(|| panic!("{local} missing from the dataset"))
+}
+
+fn main() {
+    let cfg = DbpediaConfig::paper_shape().scaled(0.1);
+    let store = generate_dbpedia(&cfg);
+    let explorer = Explorer::new(&store);
+    let style = ChartStyle { max_bars: 12, ..Default::default() };
+
+    println!("== dataset statistics (shown on connect, Section 3.1) ==");
+    println!("{}\n", explorer.stats());
+
+    // ---------------------------------------------------------------- Fig. 1
+    println!("== Fig. 1: initial chart over DBpedia ==");
+    let pane = explorer.initial_pane().expect("owl:Thing is instantiated");
+    print!("{}", render_pane(&pane));
+    let initial_chart = pane.subclass_chart(&explorer);
+    print!("{}", render_chart(&initial_chart, &explorer, &style));
+
+    // The hover pop-up for Agent.
+    let agent = dbo(&store, "Agent");
+    let agent_bar = initial_chart.bar(agent).expect("Agent bar");
+    let h = explorer.hierarchy();
+    println!(
+        "\n[hover] Agent: {} instances, {} direct subclasses, {} subclasses in total\n",
+        agent_bar.height(),
+        h.direct_subclass_count(agent),
+        h.total_subclass_count(agent),
+    );
+
+    // ---------------------------------------------------------------- Fig. 2
+    println!("== Fig. 2: owl:Thing → Agent → Person → Philosopher → influencedBy ==");
+    let mut exploration = Exploration::start(initial_chart);
+    exploration
+        .apply(&explorer, agent, ExpansionKind::Subclass)
+        .expect("Agent is a chart label");
+    exploration
+        .apply(&explorer, dbo(&store, "Person"), ExpansionKind::Subclass)
+        .expect("Person under Agent");
+    print!(
+        "{}",
+        render_chart(exploration.current(), &explorer, &style)
+    );
+    exploration
+        .apply(
+            &explorer,
+            dbo(&store, "Philosopher"),
+            ExpansionKind::Property(Direction::Outgoing),
+        )
+        .expect("Philosopher under Person");
+    exploration
+        .apply(
+            &explorer,
+            dbo(&store, "influencedBy"),
+            ExpansionKind::Objects(Direction::Outgoing),
+        )
+        .expect("philosophers feature influencedBy");
+    println!("breadcrumbs: {}", render_breadcrumbs(&exploration, &explorer));
+    println!("\n-- the types of people that influenced philosophers --");
+    print!(
+        "{}",
+        render_chart(exploration.current(), &explorer, &style)
+    );
+
+    // Click the Scientist bar: a new pane focused on that narrowed set.
+    let scientist = dbo(&store, "Scientist");
+    if let Some(bar) = exploration.current().bar(scientist) {
+        let pane = explorer.pane_from_bar(bar).expect("class bar");
+        println!();
+        print!("{}", render_pane(&pane));
+        println!(
+            "SPARQL for this set:\n{}\n",
+            bar.spec.to_sparql(&store)
+        );
+    }
+
+    // -------------------------------------------------------------------- S1
+    println!("== S1: the twenty most significant properties of the largest class ==");
+    let largest = initial_chart_largest(&explorer);
+    let pane = explorer.pane_for_class(largest);
+    print!("{}", render_pane(&pane));
+    let props = pane.property_chart(&explorer, Direction::Outgoing);
+    let top_style = ChartStyle { max_bars: 20, ..Default::default() };
+    print!("{}", render_chart(&props, &explorer, &top_style));
+    println!(
+        "(properties above the default 20% coverage threshold: {})",
+        props.above_coverage(0.20).len()
+    );
+}
+
+fn initial_chart_largest(explorer: &Explorer<'_>) -> elinda::rdf::TermId {
+    let pane = explorer.initial_pane().expect("typed data");
+    let chart = pane.subclass_chart(explorer);
+    chart.bars()[0].label
+}

@@ -1,0 +1,57 @@
+//! Quickstart: load a small Turtle document and explore it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use elinda::model::{Direction, Explorer};
+use elinda::store::TripleStore;
+use elinda::viz::{render_chart, render_pane, ChartStyle};
+
+const DATA: &str = r#"
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+
+ex:Animal a owl:Class ; rdfs:subClassOf owl:Thing ; rdfs:label "Animal"@en .
+ex:Dog a owl:Class ; rdfs:subClassOf ex:Animal ; rdfs:label "Dog"@en .
+ex:Cat a owl:Class ; rdfs:subClassOf ex:Animal ; rdfs:label "Cat"@en .
+ex:Person a owl:Class ; rdfs:subClassOf owl:Thing ; rdfs:label "Person"@en .
+
+ex:rex a ex:Dog ; a ex:Animal ; a owl:Thing ; rdfs:label "Rex" ; ex:owner ex:ada .
+ex:milo a ex:Dog ; a ex:Animal ; a owl:Thing ; rdfs:label "Milo" ; ex:owner ex:ada .
+ex:tom a ex:Cat ; a ex:Animal ; a owl:Thing ; rdfs:label "Tom" .
+ex:ada a ex:Person ; a owl:Thing ; rdfs:label "Ada" .
+"#;
+
+fn main() {
+    let store = TripleStore::from_turtle(DATA).expect("valid turtle");
+    let explorer = Explorer::new(&store);
+
+    println!("== dataset statistics ==");
+    println!("{}\n", explorer.stats());
+
+    // The initial pane: everything under owl:Thing.
+    let pane = explorer.initial_pane().expect("typed data present");
+    print!("{}", render_pane(&pane));
+    let chart = pane.subclass_chart(&explorer);
+    print!("{}", render_chart(&chart, &explorer, &ChartStyle::default()));
+
+    // Click the tallest bar (Animal) to open its pane.
+    let animal_bar = &chart.bars()[0];
+    let animal = explorer.pane_from_bar(animal_bar).expect("class bar");
+    println!();
+    print!("{}", render_pane(&animal));
+    let subchart = animal.subclass_chart(&explorer);
+    print!("{}", render_chart(&subchart, &explorer, &ChartStyle::default()));
+
+    // The Property Data tab.
+    let props = animal.property_chart(&explorer, Direction::Outgoing);
+    println!();
+    print!("{}", render_chart(&props, &explorer, &ChartStyle::default()));
+
+    // Every bar can expose the SPARQL that extracts it.
+    let dog_bar = subchart.bars().first().expect("Dog bar");
+    println!("\nSPARQL for the '{}' bar:", explorer.display(dog_bar.label));
+    println!("{}", dog_bar.spec.to_sparql(&store));
+}

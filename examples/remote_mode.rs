@@ -1,0 +1,85 @@
+//! Demo scenario S3: remote compatibility mode + incremental evaluation.
+//!
+//! A remote endpoint cannot be preprocessed (no decomposer, no HVS); each
+//! request also pays network latency. Incremental evaluation restores
+//! "effective latency for user interaction": the first chart appears
+//! after one window of `N` triples instead of after the full computation.
+//!
+//! ```sh
+//! cargo run --release --example remote_mode
+//! ```
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::endpoint::incremental::{ChartDirection, IncrementalConfig, IncrementalPropertyChart};
+use elinda::endpoint::{RemoteConfig, RemoteEndpoint};
+use elinda::store::ClassHierarchy;
+use std::time::Instant;
+
+fn main() {
+    let cfg = DbpediaConfig::paper_shape().scaled(0.2);
+    let store = generate_dbpedia(&cfg);
+    let hierarchy = ClassHierarchy::build(&store);
+    let thing = hierarchy.owl_thing().expect("owl:Thing present");
+
+    println!("dataset: {} triples", store.len());
+
+    // ------------------------------------------------------------- remote
+    println!("\n== remote compatibility mode (HTTP/JSON, no preprocessing) ==");
+    let remote = RemoteEndpoint::new(&store, RemoteConfig::default());
+    let query = "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n) LIMIT 5";
+    let (wire, elapsed) = remote.execute_wire(query).expect("query runs");
+    println!("top classes via the wire format ({elapsed:?}):");
+    for row in &wire.rows {
+        let class = match &row[0] {
+            Some(elinda::endpoint::WireValue::Uri(u)) => u.clone(),
+            other => format!("{other:?}"),
+        };
+        let count = match &row[1] {
+            Some(elinda::endpoint::WireValue::Literal(n)) => n.clone(),
+            other => format!("{other:?}"),
+        };
+        println!("  {class}  {count}");
+    }
+
+    // -------------------------------------------------------- incremental
+    println!("\n== incremental evaluation of the level-zero property chart ==");
+    let n = 20_000;
+    let mut inc = IncrementalPropertyChart::for_class(
+        &store,
+        &hierarchy,
+        thing,
+        ChartDirection::Outgoing,
+        IncrementalConfig { chunk_size: n, max_steps: None },
+    );
+    let start = Instant::now();
+    let mut first_chart_at = None;
+    let mut steps = 0;
+    while let Some(snapshot) = inc.step() {
+        steps += 1;
+        if first_chart_at.is_none() && !snapshot.rows.is_empty() {
+            first_chart_at = Some(start.elapsed());
+        }
+        if steps <= 3 || snapshot.complete {
+            let top: Vec<String> = snapshot
+                .rows
+                .iter()
+                .take(3)
+                .map(|&(p, c, _)| format!("{} ({c})", store.resolve(p).short_name()))
+                .collect();
+            println!(
+                "  step {steps}: {} / {} triples — top properties: {}",
+                snapshot.triples_seen,
+                store.len(),
+                top.join(", ")
+            );
+        }
+    }
+    let total = start.elapsed();
+    println!(
+        "\nfirst usable chart after {:?}; full chart after {:?} ({} windows of {} triples)",
+        first_chart_at.unwrap_or(total),
+        total,
+        steps,
+        n,
+    );
+}

@@ -1,0 +1,151 @@
+//! An interactive eLinda session in the terminal — the closest analogue
+//! of driving the demo's web UI.
+//!
+//! ```sh
+//! cargo run --release --example repl                 # DBpedia-like
+//! cargo run --release --example repl -- lgd          # LinkedGeoData-like
+//! cargo run --release --example repl -- yago         # YAGO-like
+//! echo -e "open Person\nprops out\nquit" | cargo run --example repl
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! stats                  dataset statistics
+//! top                    the initial (Fig. 1) chart
+//! search <prefix>        autocomplete class search
+//! open <name>            open the pane of a class (label or local name)
+//! sub                    subclass chart of the current pane
+//! props [out|in]         property chart (default out)
+//! conn <property>        connections chart for a property of the pane
+//! table <p1> [p2 …]      data table with the given property columns
+//! sparql                 SPARQL defining the current pane's set
+//! back                   return to the previous pane
+//! quit
+//! ```
+
+use elinda::datagen::{
+    generate_dbpedia, generate_lgd, generate_yago, DbpediaConfig, LgdConfig, YagoConfig,
+};
+use elinda::model::{Direction, Explorer, Pane};
+use elinda::store::TripleStore;
+use elinda::viz::{render_chart, render_pane, render_table, ChartStyle};
+use std::io::BufRead;
+
+fn load_dataset() -> TripleStore {
+    match std::env::args().nth(1).as_deref() {
+        Some("lgd") => generate_lgd(&LgdConfig::tiny()),
+        Some("yago") => generate_yago(&YagoConfig::tiny()),
+        _ => generate_dbpedia(&DbpediaConfig::paper_shape().scaled(0.05)),
+    }
+}
+
+fn find_class(explorer: &Explorer<'_>, name: &str) -> Option<elinda::rdf::TermId> {
+    explorer.search_classes(name, 1).into_iter().next()
+}
+
+fn main() {
+    let store = load_dataset();
+    let explorer = Explorer::new(&store);
+    let style = ChartStyle { max_bars: 15, ..Default::default() };
+
+    let mut stack: Vec<Pane> = Vec::new();
+    match explorer.initial_pane() {
+        Some(p) => stack.push(p),
+        None => {
+            eprintln!("dataset has no typed subjects");
+            return;
+        }
+    }
+    println!("eLinda REPL — {} triples loaded. Type 'help' for commands.", store.len());
+    print!("{}", render_pane(stack.last().unwrap()));
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let pane = stack.last().expect("stack never empty");
+        match cmd {
+            "" => {}
+            "help" => println!(
+                "commands: stats top search open sub props conn table sparql back quit"
+            ),
+            "stats" => println!("{}", explorer.stats()),
+            "top" => {
+                let initial = explorer.initial_pane().expect("checked at startup");
+                let chart = initial.subclass_chart(&explorer);
+                print!("{}", render_chart(&chart, &explorer, &style));
+            }
+            "search" => {
+                let prefix = parts.next().unwrap_or("");
+                for hit in explorer.search_classes(prefix, 10) {
+                    println!("  {}", explorer.display(hit));
+                }
+            }
+            "open" => {
+                let name = parts.next().unwrap_or("");
+                match find_class(&explorer, name) {
+                    Some(class) => {
+                        let pane = explorer.pane_for_class(class);
+                        print!("{}", render_pane(&pane));
+                        stack.push(pane);
+                    }
+                    None => println!("no class matching '{name}'"),
+                }
+            }
+            "sub" => {
+                let chart = pane.subclass_chart(&explorer);
+                print!("{}", render_chart(&chart, &explorer, &style));
+            }
+            "props" => {
+                let dir = match parts.next() {
+                    Some("in") => Direction::Incoming,
+                    _ => Direction::Outgoing,
+                };
+                let chart = pane.property_chart(&explorer, dir);
+                print!("{}", render_chart(&chart, &explorer, &style));
+            }
+            "conn" => {
+                let name = parts.next().unwrap_or("");
+                let prop = store
+                    .lookup_iri(&format!("{}{name}", elinda::rdf::vocab::dbo::NS))
+                    .or_else(|| store.lookup_iri(name));
+                match prop {
+                    Some(prop) => match pane.connections_chart(&explorer, prop, Direction::Outgoing)
+                    {
+                        Ok(chart) => print!("{}", render_chart(&chart, &explorer, &style)),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("unknown property '{name}'"),
+                }
+            }
+            "table" => {
+                let mut table = pane.data_table();
+                for name in parts {
+                    if let Some(prop) = store
+                        .lookup_iri(&format!("{}{name}", elinda::rdf::vocab::dbo::NS))
+                        .or_else(|| store.lookup_iri(name))
+                    {
+                        table.add_column(&store, prop);
+                    } else {
+                        println!("unknown property '{name}' skipped");
+                    }
+                }
+                print!("{}", render_table(&table, &explorer, 10));
+                println!("\n{}", table.to_sparql(&store));
+            }
+            "sparql" => println!("{}", pane.spec.to_sparql(&store)),
+            "back" => {
+                if stack.len() > 1 {
+                    stack.pop();
+                    print!("{}", render_pane(stack.last().unwrap()));
+                } else {
+                    println!("already at the initial pane");
+                }
+            }
+            "quit" | "exit" => break,
+            other => println!("unknown command '{other}' — type 'help'"),
+        }
+    }
+}

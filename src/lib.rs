@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! eLinda — Explorer for Linked Data (EDBT 2018), full Rust reproduction.
+//!
+//! This facade crate re-exports the public API of every subsystem:
+//!
+//! * [`rdf`] — RDF terms, interning, graphs, N-Triples/Turtle I/O;
+//! * [`store`] — the indexed triple store, class hierarchy, and the
+//!   decomposer's specialized aggregate indexes;
+//! * [`sparql`] — the SPARQL subset engine and the query generator;
+//! * [`model`] — the exploration model: bars, charts, expansions, panes,
+//!   explorations, data tables (crate `elinda-core`);
+//! * [`endpoint`] — the serving architecture: router, HVS, decomposer,
+//!   incremental evaluation, remote compatibility mode;
+//! * [`datagen`] — deterministic synthetic datasets calibrated to the
+//!   paper's published DBpedia statistics;
+//! * [`viz`] — terminal rendering of charts, panes, and data tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use elinda::datagen::{DbpediaConfig, generate_dbpedia};
+//! use elinda::model::Explorer;
+//!
+//! // A small synthetic DBpedia-like dataset.
+//! let store = generate_dbpedia(&DbpediaConfig::tiny());
+//! let explorer = Explorer::new(&store);
+//!
+//! // The initial chart: subclass distribution under owl:Thing (Fig. 1).
+//! let pane = explorer.initial_pane().expect("dataset has a root class");
+//! let chart = pane.subclass_chart(&explorer);
+//! assert!(!chart.is_empty());
+//! ```
+
+pub use elinda_core as model;
+pub use elinda_datagen as datagen;
+pub use elinda_endpoint as endpoint;
+pub use elinda_rdf as rdf;
+pub use elinda_sparql as sparql;
+pub use elinda_store as store;
+pub use elinda_viz as viz;

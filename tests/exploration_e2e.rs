@@ -1,0 +1,155 @@
+//! End-to-end exploration sessions over the synthetic DBpedia: the Fig. 2
+//! path, autocomplete navigation, data tables with filter expansion, and
+//! the SPARQL-generation guarantee for every bar along the way.
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::model::{
+    ColumnFilter, Direction, ExpansionKind, Exploration, Explorer, NodeSet,
+};
+use elinda::rdf::vocab;
+use elinda::sparql::Executor;
+
+fn dbo(store: &elinda::store::TripleStore, local: &str) -> elinda::rdf::TermId {
+    store
+        .lookup_iri(&format!("{}{local}", vocab::dbo::NS))
+        .unwrap_or_else(|| panic!("missing {local}"))
+}
+
+#[test]
+fn fig2_full_path_with_sparql_verification() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let explorer = Explorer::new(&store);
+    let pane = explorer.initial_pane().unwrap();
+    let mut exploration = Exploration::start(pane.subclass_chart(&explorer));
+
+    exploration
+        .apply(&explorer, dbo(&store, "Agent"), ExpansionKind::Subclass)
+        .unwrap();
+    exploration
+        .apply(&explorer, dbo(&store, "Person"), ExpansionKind::Subclass)
+        .unwrap();
+    exploration
+        .apply(
+            &explorer,
+            dbo(&store, "Philosopher"),
+            ExpansionKind::Property(Direction::Outgoing),
+        )
+        .unwrap();
+    exploration
+        .apply(
+            &explorer,
+            dbo(&store, "influencedBy"),
+            ExpansionKind::Objects(Direction::Outgoing),
+        )
+        .unwrap();
+
+    // The final chart contains a Scientist bar (Fig. 2's finding).
+    let chart = exploration.current();
+    let scientist_bar = chart.bar(dbo(&store, "Scientist")).expect("Scientist bar");
+    assert!(scientist_bar.height() > 0);
+
+    // Every bar of every chart along the path is extractable with its
+    // generated SPARQL, and the query returns exactly the bar's set.
+    let executor = Executor::new(&store);
+    for chart in exploration.charts() {
+        for bar in chart.bars().iter().take(5) {
+            let sol = executor.execute(&bar.spec.to_query(&store)).unwrap();
+            let via_sparql = NodeSet::from_vec(sol.term_column("x"));
+            assert_eq!(via_sparql, bar.nodes, "bar {}", store.resolve(bar.label));
+        }
+    }
+}
+
+#[test]
+fn autocomplete_skips_the_drill_down() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let explorer = Explorer::new(&store);
+    // "Selecting a class that way immediately opens the associated pane
+    // without the need to drill down."
+    let hits = explorer.search_classes("philo", 10);
+    assert_eq!(hits.len(), 1);
+    let pane = explorer.pane_for_class(hits[0]);
+    assert_eq!(pane.title, "Philosopher");
+    assert_eq!(pane.stats.instance_count, DbpediaConfig::tiny().philosophers);
+}
+
+#[test]
+fn data_table_and_filter_expansion() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let explorer = Explorer::new(&store);
+    let phil = dbo(&store, "Philosopher");
+    let pane = explorer.pane_for_class(phil);
+
+    // Select birthPlace and influencedBy columns, as in Section 3.3.
+    let mut table = pane.data_table();
+    let bp = dbo(&store, "birthPlace");
+    let infl = dbo(&store, "influencedBy");
+    table.add_column(&store, bp);
+    table.add_column(&store, infl);
+    assert_eq!(table.rows(&store).count(), pane.set.len());
+
+    // Filter to philosophers born in a specific city; S is unchanged.
+    let some_city = store
+        .objects_of(pane.set.as_slice()[0], bp)
+        .next()
+        .or_else(|| {
+            pane.set
+                .iter()
+                .find_map(|s| store.objects_of(s, bp).next())
+        })
+        .expect("some philosopher has a birth place");
+    table.add_filter(ColumnFilter::Equals { prop: bp, value: some_city });
+    let filtered_rows = table.rows(&store).count();
+    assert!(filtered_rows >= 1);
+    assert!(filtered_rows < pane.set.len());
+    assert_eq!(table.instances().len(), pane.set.len(), "S unchanged");
+
+    // Filter expansion: open a new pane on S_f.
+    let sf = table.filtered_instances(&store);
+    assert_eq!(sf.len(), filtered_rows);
+    let sf_pane = explorer.pane_for_set("born there", Some(phil), sf.clone(), table.filtered_spec());
+    assert_eq!(sf_pane.stats.instance_count, sf.len());
+    // Expansions now operate on the narrowed set.
+    let chart = sf_pane.property_chart(&explorer, Direction::Outgoing);
+    assert_eq!(chart.total(), sf.len());
+
+    // The exposed table SPARQL executes.
+    let sol = Executor::new(&store).execute(&table.to_query(&store)).unwrap();
+    let mut xs = sol.term_column("x");
+    xs.sort_unstable();
+    xs.dedup();
+    assert_eq!(xs.len(), filtered_rows);
+}
+
+#[test]
+fn connections_focus_switch_narrows_future_expansions() {
+    // "Note that from now on the different expansions will operate on this
+    // narrowed set and not on all instances of type Scientist."
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let explorer = Explorer::new(&store);
+    let phil_pane = explorer.pane_for_class(dbo(&store, "Philosopher"));
+    let conn = phil_pane
+        .connections_chart(&explorer, dbo(&store, "influencedBy"), Direction::Outgoing)
+        .unwrap();
+    let scientist = dbo(&store, "Scientist");
+    let bar = conn.bar(scientist).expect("Scientist influencers");
+    let narrowed = explorer.pane_from_bar(bar).unwrap();
+    let all_scientists = explorer.pane_for_class(scientist);
+    assert!(narrowed.set.len() < all_scientists.set.len());
+    assert!(narrowed.set.is_subset_of(&all_scientists.set));
+    // Subsequent property charts use the narrowed denominator.
+    let chart = narrowed.property_chart(&explorer, Direction::Outgoing);
+    assert_eq!(chart.total(), narrowed.set.len());
+}
+
+#[test]
+fn remote_and_local_agree_on_chart_data() {
+    use elinda::endpoint::{QueryEngine, RemoteConfig, RemoteEndpoint};
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let remote = RemoteEndpoint::new(&store, RemoteConfig::instant());
+    let q = "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n) LIMIT 10";
+    let remote_out = remote.execute(q).unwrap();
+    let local = Executor::new(&store).run(q).unwrap();
+    assert_eq!(remote_out.solutions.vars, local.vars);
+    assert_eq!(remote_out.solutions.rows.len(), local.rows.len());
+}

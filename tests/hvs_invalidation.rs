@@ -1,0 +1,86 @@
+//! Experiment T4: HVS behaviour on a query trace — the 1-second heaviness
+//! rule, cache hits, and clearing on knowledge-base updates.
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::endpoint::{ElindaEndpoint, EndpointConfig, QueryEngine, ServedBy};
+use elinda::rdf::{vocab, Term};
+use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+use std::time::Duration;
+
+fn level_zero_outgoing() -> String {
+    property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Outgoing)
+}
+
+#[test]
+fn t4_trace_hits_after_first_heavy_execution() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let mut cfg = EndpointConfig::full();
+    cfg.hvs.heavy_threshold = Duration::ZERO; // everything counts as heavy
+    let ep = ElindaEndpoint::new(&store, cfg);
+
+    let q = level_zero_outgoing();
+    let first = ep.execute(&q).unwrap();
+    assert_eq!(first.served_by, ServedBy::Decomposer);
+    for _ in 0..5 {
+        let out = ep.execute(&q).unwrap();
+        assert_eq!(out.served_by, ServedBy::Hvs);
+        assert_eq!(out.solutions.len(), first.solutions.len());
+    }
+    let stats = ep.hvs_stats();
+    assert_eq!(stats.hits, 5);
+    assert_eq!(stats.insertions, 1);
+}
+
+#[test]
+fn t4_light_queries_are_never_cached() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    // The paper threshold: one second. Nothing at tiny scale is that slow.
+    let ep = ElindaEndpoint::new(&store, EndpointConfig::full());
+    let q = "SELECT ?s WHERE { ?s a owl:Thing } LIMIT 5";
+    ep.execute(q).unwrap();
+    let out = ep.execute(q).unwrap();
+    assert_ne!(out.served_by, ServedBy::Hvs);
+    assert_eq!(ep.hvs_len(), 0);
+}
+
+#[test]
+fn t4_update_clears_the_hvs() {
+    let mut store = generate_dbpedia(&DbpediaConfig::tiny());
+    let q = level_zero_outgoing();
+    let rows_before;
+    {
+        let mut cfg = EndpointConfig::full();
+        cfg.hvs.heavy_threshold = Duration::ZERO;
+        let ep = ElindaEndpoint::new(&store, cfg);
+        rows_before = ep.execute(&q).unwrap().solutions.len();
+        assert_eq!(ep.hvs_len(), 1);
+    }
+
+    // "The HVS is cleared on any update to the eLinda knowledge bases":
+    // add an owl:Thing instance with a brand-new property.
+    let s = store.intern(Term::iri("http://dbpedia.org/resource/NewThing"));
+    let ty = store.lookup_iri(vocab::rdf::TYPE).unwrap();
+    let thing = store.lookup_iri(vocab::owl::THING).unwrap();
+    let fresh_prop = store.intern(Term::iri("http://dbpedia.org/ontology/freshProp"));
+    store.insert(s, ty, thing);
+    store.insert(s, fresh_prop, s);
+
+    let mut cfg = EndpointConfig::full();
+    cfg.hvs.heavy_threshold = Duration::ZERO;
+    let ep = ElindaEndpoint::new(&store, cfg);
+    let out = ep.execute(&q).unwrap();
+    // Served fresh (not from a stale cache) and reflecting the update.
+    assert_eq!(out.served_by, ServedBy::Decomposer);
+    assert_eq!(out.solutions.len(), rows_before + 1);
+}
+
+#[test]
+fn t4_disabled_hvs_always_recomputes() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let ep = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+    let q = level_zero_outgoing();
+    for _ in 0..3 {
+        assert_eq!(ep.execute(&q).unwrap().served_by, ServedBy::Decomposer);
+    }
+    assert_eq!(ep.hvs_len(), 0);
+}

@@ -1,0 +1,87 @@
+//! Exploring a YAGO-like dataset (leaf-only, non-materialized types)
+//! with the transitive explorer: drill-downs see the deep instances, and
+//! the generated SPARQL uses `rdfs:subClassOf*` property paths that our
+//! engine evaluates to the same sets.
+
+use elinda::datagen::{generate_yago, YagoConfig};
+use elinda::model::{ExpansionKind, Exploration, Explorer, NodeSet};
+use elinda::sparql::Executor;
+
+#[test]
+fn direct_explorer_sees_nothing_above_the_leaves() {
+    let store = generate_yago(&YagoConfig::tiny());
+    let explorer = Explorer::new(&store);
+    assert!(!explorer.is_transitive());
+    // owl:Thing has no direct instances, so the initial pane falls back to
+    // "all typed subjects" — usable but limited, as the paper puts it.
+    let pane = explorer.initial_pane().unwrap();
+    assert!(pane.class.is_none());
+}
+
+#[test]
+fn transitive_explorer_supports_the_full_drill_down() {
+    let cfg = YagoConfig::tiny();
+    let store = generate_yago(&cfg);
+    let explorer = Explorer::new_transitive(&store);
+    assert!(explorer.is_transitive());
+
+    let pane = explorer.initial_pane().unwrap();
+    assert!(pane.class.is_some(), "owl:Thing pane via the closure");
+    assert_eq!(
+        pane.stats.instance_count,
+        cfg.chains * cfg.instances_per_leaf
+    );
+
+    // Walk one chain all the way to its leaf.
+    let mut exploration = Exploration::start(pane.subclass_chart(&explorer));
+    assert_eq!(exploration.current().len(), cfg.chains);
+    for _depth in 0..cfg.chain_depth {
+        let label = exploration.current().bars()[0].label;
+        exploration
+            .apply(&explorer, label, ExpansionKind::Subclass)
+            .unwrap();
+    }
+    // At the leaf there are no further subclasses.
+    assert!(exploration.current().is_empty());
+    // One level up, the leaf bar held the leaf's instances.
+    exploration.pop();
+    let leaf_chart = exploration.charts()[exploration.len()].clone();
+    assert_eq!(leaf_chart.bars()[0].height(), cfg.instances_per_leaf);
+}
+
+#[test]
+fn transitive_bars_generate_path_sparql_that_agrees() {
+    let store = generate_yago(&YagoConfig::tiny());
+    let explorer = Explorer::new_transitive(&store);
+    let pane = explorer.initial_pane().unwrap();
+    let chart = pane.subclass_chart(&explorer);
+    let executor = Executor::new(&store);
+    for bar in chart.bars().iter().take(3) {
+        let text = bar.spec.to_sparql(&store);
+        assert!(text.contains("subClassOf>*"), "path missing: {text}");
+        let sol = executor.execute(&bar.spec.to_query(&store)).unwrap();
+        let via_sparql = NodeSet::from_vec(sol.term_column("x"));
+        assert_eq!(via_sparql, bar.nodes);
+    }
+}
+
+#[test]
+fn transitive_mode_is_a_noop_on_materialized_data() {
+    use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let direct = Explorer::new(&store);
+    let transitive = Explorer::new_transitive(&store);
+    let agent = store
+        .lookup_iri("http://dbpedia.org/ontology/Agent")
+        .unwrap();
+    let a = direct.pane_for_class(agent);
+    let b = transitive.pane_for_class(agent);
+    assert_eq!(a.set, b.set, "materialized types make both views equal");
+    let ca = a.subclass_chart(&direct);
+    let cb = b.subclass_chart(&transitive);
+    assert_eq!(ca.len(), cb.len());
+    for (x, y) in ca.bars().iter().zip(cb.bars()) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.nodes, y.nodes);
+    }
+}
