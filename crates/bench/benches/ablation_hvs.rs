@@ -21,8 +21,14 @@ fn trace_queries() -> Vec<String> {
     for _ in 0..5 {
         trace.push(outgoing.clone());
         trace.push(incoming.clone());
-        trace.push(property_expansion_sparql(&philosopher, ExpansionDirection::Outgoing));
-        trace.push(property_expansion_sparql(&politician, ExpansionDirection::Incoming));
+        trace.push(property_expansion_sparql(
+            &philosopher,
+            ExpansionDirection::Outgoing,
+        ));
+        trace.push(property_expansion_sparql(
+            &politician,
+            ExpansionDirection::Incoming,
+        ));
         trace.push("SELECT ?s WHERE { ?s a owl:Thing } LIMIT 10".to_string());
     }
     trace

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elinda_bench::bench_store;
-use elinda_endpoint::incremental::{
-    ChartDirection, IncrementalConfig, IncrementalPropertyChart,
-};
+use elinda_endpoint::incremental::{ChartDirection, IncrementalConfig, IncrementalPropertyChart};
 use elinda_store::ClassHierarchy;
 
 fn incremental(c: &mut Criterion) {
@@ -21,41 +19,43 @@ fn incremental(c: &mut Criterion) {
     let mut group = c.benchmark_group("incremental");
     group.sample_size(10);
     for &chunk in &[1_000usize, 10_000, 50_000, usize::MAX] {
-        let label = if chunk == usize::MAX { "all".to_string() } else { chunk.to_string() };
+        let label = if chunk == usize::MAX {
+            "all".to_string()
+        } else {
+            chunk.to_string()
+        };
         // Time to the first rendered chart (one window).
-        group.bench_with_input(
-            BenchmarkId::new("first_chart", &label),
-            &chunk,
-            |b, &n| {
-                b.iter(|| {
-                    let mut inc = IncrementalPropertyChart::for_class(
-                        store,
-                        &hierarchy,
-                        thing,
-                        ChartDirection::Outgoing,
-                        IncrementalConfig { chunk_size: n, max_steps: Some(1) },
-                    );
-                    inc.run().rows.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("first_chart", &label), &chunk, |b, &n| {
+            b.iter(|| {
+                let mut inc = IncrementalPropertyChart::for_class(
+                    store,
+                    &hierarchy,
+                    thing,
+                    ChartDirection::Outgoing,
+                    IncrementalConfig {
+                        chunk_size: n,
+                        max_steps: Some(1),
+                    },
+                );
+                inc.run().rows.len()
+            })
+        });
         // Time to the complete chart.
-        group.bench_with_input(
-            BenchmarkId::new("full_chart", &label),
-            &chunk,
-            |b, &n| {
-                b.iter(|| {
-                    let mut inc = IncrementalPropertyChart::for_class(
-                        store,
-                        &hierarchy,
-                        thing,
-                        ChartDirection::Outgoing,
-                        IncrementalConfig { chunk_size: n, max_steps: None },
-                    );
-                    inc.run().rows.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_chart", &label), &chunk, |b, &n| {
+            b.iter(|| {
+                let mut inc = IncrementalPropertyChart::for_class(
+                    store,
+                    &hierarchy,
+                    thing,
+                    ChartDirection::Outgoing,
+                    IncrementalConfig {
+                        chunk_size: n,
+                        max_steps: None,
+                    },
+                );
+                inc.run().rows.len()
+            })
+        });
     }
     group.finish();
 }

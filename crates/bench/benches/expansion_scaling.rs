@@ -31,45 +31,31 @@ fn expansions(c: &mut Criterion) {
                     .len()
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("property_out", &label),
-            &bar,
-            |b, bar| {
-                b.iter(|| {
-                    expansion::property_expansion(&store, bar, Direction::Outgoing)
-                        .unwrap()
-                        .len()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("property_in", &label),
-            &bar,
-            |b, bar| {
-                b.iter(|| {
-                    expansion::property_expansion(&store, bar, Direction::Incoming)
-                        .unwrap()
-                        .len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("property_out", &label), &bar, |b, bar| {
+            b.iter(|| {
+                expansion::property_expansion(&store, bar, Direction::Outgoing)
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("property_in", &label), &bar, |b, bar| {
+            b.iter(|| {
+                expansion::property_expansion(&store, bar, Direction::Incoming)
+                    .unwrap()
+                    .len()
+            })
+        });
         // Object expansion over the birthPlace bar.
         let birth_place = store
             .lookup_iri(&format!("{}birthPlace", vocab::dbo::NS))
             .expect("birthPlace");
-        let prop_chart =
-            expansion::property_expansion(&store, &bar, Direction::Outgoing).unwrap();
+        let prop_chart = expansion::property_expansion(&store, &bar, Direction::Outgoing).unwrap();
         let bp_bar = prop_chart.bar(birth_place).expect("birthPlace bar").clone();
         group.bench_with_input(BenchmarkId::new("objects", &label), &bp_bar, |b, bar| {
             b.iter(|| {
-                expansion::object_expansion(
-                    &store,
-                    explorer.hierarchy(),
-                    bar,
-                    Direction::Outgoing,
-                )
-                .unwrap()
-                .len()
+                expansion::object_expansion(&store, explorer.hierarchy(), bar, Direction::Outgoing)
+                    .unwrap()
+                    .len()
             })
         });
     }

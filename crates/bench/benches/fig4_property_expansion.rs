@@ -29,16 +29,12 @@ fn fig4(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     for (dir, query) in [("outgoing", &outgoing), ("incoming", &incoming)] {
-        group.bench_with_input(
-            BenchmarkId::new("virtuoso_sparql", dir),
-            query,
-            |b, q| b.iter(|| baseline.execute(q).unwrap().solutions.len()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("elinda_decomposer", dir),
-            query,
-            |b, q| b.iter(|| decomposer.execute(q).unwrap().solutions.len()),
-        );
+        group.bench_with_input(BenchmarkId::new("virtuoso_sparql", dir), query, |b, q| {
+            b.iter(|| baseline.execute(q).unwrap().solutions.len())
+        });
+        group.bench_with_input(BenchmarkId::new("elinda_decomposer", dir), query, |b, q| {
+            b.iter(|| decomposer.execute(q).unwrap().solutions.len())
+        });
         group.bench_with_input(BenchmarkId::new("elinda_hvs", dir), query, |b, q| {
             b.iter(|| hvs.execute(q).unwrap().solutions.len())
         });

@@ -1,0 +1,292 @@
+//! Closed-loop load generator for the eLinda serving subsystem.
+//!
+//! ```text
+//! cargo run --release --bin loadgen -- [--clients 8] [--duration 5]
+//!     [--scale 0.05] [--workers 4] [--queue-depth 64] [--addr HOST:PORT]
+//! ```
+//!
+//! Without `--addr` it spins up an in-process `elinda-server` over a
+//! paper-shape synthetic store and drives that. Each client thread runs
+//! a closed loop — connect, send one `GET /sparql` request, read the
+//! full response, repeat — so offered load tracks service capacity.
+//! Responses are attributed to serving components via the
+//! `X-Elinda-Served-By` header, and the report shows throughput plus
+//! p50/p95/p99 latency per component (the Fig. 4 comparison, measured
+//! through the protocol layer instead of in process).
+
+use elinda_bench::{bench_store, fig4_queries};
+use elinda_endpoint::EndpointConfig;
+use elinda_server::{percent_encode, serve, ServerConfig, ServerState};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    duration: Duration,
+    scale: f64,
+    workers: usize,
+    queue_depth: usize,
+    addr: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 8,
+        duration: Duration::from_secs(5),
+        scale: 0.05,
+        workers: 4,
+        queue_depth: 64,
+        addr: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration" => {
+                args.duration = Duration::from_secs_f64(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadgen [--clients N] [--duration SECS] [--scale F] \
+                     [--workers N] [--queue-depth N] [--addr HOST:PORT]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One completed request, attributed to a serving component.
+struct Sample {
+    component: String,
+    latency: Duration,
+}
+
+/// Per-thread tallies, merged after the run.
+#[derive(Default)]
+struct ClientTally {
+    samples: Vec<Sample>,
+    shed: u64,
+    errors: u64,
+}
+
+fn request(addr: SocketAddr, target: &str) -> Result<(u16, Option<String>, Duration), ()> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|_| ())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|_| ())?;
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes())
+        .map_err(|_| ())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|_| ())?;
+    let latency = started.elapsed();
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").ok_or(())?;
+    let head = std::str::from_utf8(&raw[..header_end]).map_err(|_| ())?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or(())?;
+    let component = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("x-elinda-served-by"))
+        .map(|(_, value)| value.trim().to_string());
+    Ok((status, component, latency))
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    targets: &[String],
+    deadline: Instant,
+    offset: usize,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut i = offset;
+    while Instant::now() < deadline {
+        let target = &targets[i % targets.len()];
+        i += 1;
+        match request(addr, target) {
+            Ok((200, component, latency)) => tally.samples.push(Sample {
+                component: component.unwrap_or_else(|| "unknown".into()),
+                latency,
+            }),
+            Ok((503, _, _)) => tally.shed += 1,
+            Ok(_) | Err(()) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn fmt_latency(d: Duration) -> String {
+    if d >= Duration::from_millis(10) {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{}us", d.as_micros())
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // The request mix: both Fig. 4 property expansions (heavy: served
+    // by the decomposer, or by the HVS once cached) and a simple
+    // instance listing (light: served direct).
+    let (outgoing, incoming) = fig4_queries();
+    let simple = "SELECT ?klass WHERE { ?klass <http://www.w3.org/2000/01/rdf-schema#subClassOf> \
+                  <http://www.w3.org/2002/07/owl#Thing> }";
+    let targets: Vec<String> = [outgoing.as_str(), incoming.as_str(), simple]
+        .iter()
+        .map(|q| format!("/sparql?query={}", percent_encode(q)))
+        .collect();
+
+    // Either drive an external server or host one in process.
+    let (addr, server) = match &args.addr {
+        Some(addr) => {
+            let addr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .unwrap_or_else(|| {
+                    eprintln!("cannot resolve --addr {addr}");
+                    std::process::exit(2);
+                });
+            eprintln!("driving external server at http://{addr}");
+            (addr, None)
+        }
+        None => {
+            eprintln!("building paper-shape store (scale {})...", args.scale);
+            let data = bench_store(args.scale);
+            eprintln!("store ready: {} triples", data.store.len());
+            let state = Arc::new(ServerState::new(
+                Arc::new(data.store),
+                EndpointConfig::full(),
+            ));
+            let config = ServerConfig {
+                workers: args.workers,
+                queue_depth: args.queue_depth,
+                ..ServerConfig::default()
+            };
+            let handle = serve(state, "127.0.0.1:0", config).expect("bind in-process server");
+            let addr = handle.local_addr();
+            eprintln!(
+                "in-process server on http://{addr} ({} workers, queue depth {})",
+                args.workers, args.queue_depth
+            );
+            (addr, Some(handle))
+        }
+    };
+
+    eprintln!(
+        "running {} closed-loop clients for {:.1}s...",
+        args.clients,
+        args.duration.as_secs_f64()
+    );
+    let started = Instant::now();
+    let deadline = started + args.duration;
+    let clients: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let targets = targets.clone();
+            std::thread::spawn(move || client_loop(addr, &targets, deadline, i))
+        })
+        .collect();
+    let tallies: Vec<ClientTally> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let elapsed = started.elapsed();
+
+    let mut by_component: Vec<(String, Vec<Duration>)> = Vec::new();
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    for tally in tallies {
+        shed += tally.shed;
+        errors += tally.errors;
+        for sample in tally.samples {
+            ok += 1;
+            match by_component
+                .iter_mut()
+                .find(|(name, _)| *name == sample.component)
+            {
+                Some((_, samples)) => samples.push(sample.latency),
+                None => by_component.push((sample.component, vec![sample.latency])),
+            }
+        }
+    }
+    by_component.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+    println!(
+        "\ntotal: {ok} ok, {shed} shed (503), {errors} errors | {:.1} req/s over {:.2}s",
+        ok as f64 / elapsed.as_secs_f64(),
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "component", "count", "p50", "p95", "p99", "mean"
+    );
+    for (component, mut samples) in by_component {
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{component:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            samples.len(),
+            fmt_latency(percentile(&samples, 50.0)),
+            fmt_latency(percentile(&samples, 95.0)),
+            fmt_latency(percentile(&samples, 99.0)),
+            fmt_latency(mean),
+        );
+    }
+
+    if let Some(handle) = server {
+        let counters = handle.counters();
+        println!(
+            "server: accepted {} served {} shed {}",
+            counters.accepted, counters.served, counters.shed
+        );
+        handle.shutdown();
+    }
+}

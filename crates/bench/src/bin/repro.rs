@@ -11,10 +11,10 @@
 use elinda_bench::fig4_queries;
 use elinda_core::{Direction, ExpansionKind, Exploration, Explorer};
 use elinda_datagen::{generate_dbpedia, DbpediaConfig};
-use elinda_endpoint::incremental::{
-    ChartDirection, IncrementalConfig, IncrementalPropertyChart,
+use elinda_endpoint::incremental::{ChartDirection, IncrementalConfig, IncrementalPropertyChart};
+use elinda_endpoint::{
+    ElindaEndpoint, EndpointConfig, QueryEngine, RemoteConfig, RemoteEndpoint, ServedBy,
 };
-use elinda_endpoint::{ElindaEndpoint, EndpointConfig, QueryEngine, RemoteConfig, RemoteEndpoint, ServedBy};
 use elinda_rdf::{vocab, TermId};
 use elinda_store::TripleStore;
 use elinda_viz::{render_chart, ChartStyle};
@@ -116,7 +116,14 @@ fn f1(store: &TripleStore, explorer: &Explorer<'_>) {
     let chart = pane.subclass_chart(explorer);
     print!(
         "{}",
-        render_chart(&chart, explorer, &ChartStyle { max_bars: 8, ..Default::default() })
+        render_chart(
+            &chart,
+            explorer,
+            &ChartStyle {
+                max_bars: 8,
+                ..Default::default()
+            }
+        )
     );
     let agent = dbo(store, "Agent");
     let h = explorer.hierarchy();
@@ -132,7 +139,10 @@ fn f1(store: &TripleStore, explorer: &Explorer<'_>) {
 }
 
 fn f2(store: &TripleStore, explorer: &Explorer<'_>) {
-    header("F2", "Fig. 2: Thing → Agent → Person → Philosopher → influencedBy");
+    header(
+        "F2",
+        "Fig. 2: Thing → Agent → Person → Philosopher → influencedBy",
+    );
     let pane = explorer.initial_pane().unwrap();
     let mut expl = Exploration::start(pane.subclass_chart(explorer));
     for class in ["Agent", "Person"] {
@@ -166,7 +176,10 @@ fn f2(store: &TripleStore, explorer: &Explorer<'_>) {
 }
 
 fn f4(store: &TripleStore) {
-    header("F4", "Fig. 4: level-zero property expansions by store configuration");
+    header(
+        "F4",
+        "Fig. 4: level-zero property expansions by store configuration",
+    );
     let (outgoing, incoming) = fig4_queries();
     let baseline = ElindaEndpoint::new(store, EndpointConfig::baseline());
     let decomposer = ElindaEndpoint::new(store, EndpointConfig::decomposer_only());
@@ -176,7 +189,7 @@ fn f4(store: &TripleStore) {
     hvs.execute(&outgoing).unwrap();
     hvs.execute(&incoming).unwrap();
 
-    let median = |ep: &ElindaEndpoint<'_>, q: &str, expect: ServedBy| -> Duration {
+    let median = |ep: &ElindaEndpoint<&TripleStore>, q: &str, expect: ServedBy| -> Duration {
         let mut times: Vec<Duration> = (0..5)
             .map(|_| {
                 let out = ep.execute(q).unwrap();
@@ -189,8 +202,20 @@ fn f4(store: &TripleStore) {
     };
 
     let rows = [
-        ("virtuoso_sparql", &baseline, ServedBy::Direct, "454 s", "124 s"),
-        ("elinda_decomposer", &decomposer, ServedBy::Decomposer, "1.5 s", "1.2 s"),
+        (
+            "virtuoso_sparql",
+            &baseline,
+            ServedBy::Direct,
+            "454 s",
+            "124 s",
+        ),
+        (
+            "elinda_decomposer",
+            &decomposer,
+            ServedBy::Decomposer,
+            "1.5 s",
+            "1.2 s",
+        ),
         ("elinda_hvs", &hvs, ServedBy::Hvs, "~0.08 s", "~0.08 s"),
     ];
     println!(
@@ -238,10 +263,16 @@ fn t1(store: &TripleStore, explorer: &Explorer<'_>) {
         .iter()
         .filter(|&&c| {
             h.instance_count(store, c) == 0
-                && h.all_subclasses(c).iter().all(|&s| h.instance_count(store, s) == 0)
+                && h.all_subclasses(c)
+                    .iter()
+                    .all(|&s| h.instance_count(store, s) == 0)
         })
         .count();
-    println!("measured: {} top-level, {} empty | paper: 49, 22\n", tops.len(), empty);
+    println!(
+        "measured: {} top-level, {} empty | paper: 49, 22\n",
+        tops.len(),
+        empty
+    );
 }
 
 fn t2(store: &TripleStore, explorer: &Explorer<'_>, cfg: &DbpediaConfig) {
@@ -299,7 +330,9 @@ fn t5(store: &TripleStore) {
     let rec = elinda_endpoint::recognize_property_expansion(&parsed).expect("recognized");
     let h = elinda_store::ClassHierarchy::build(store);
     let decomposed = elinda_endpoint::decomposer::execute_decomposed(store, &h, &rec);
-    let naive = elinda_sparql::Executor::new(store).execute(&parsed).unwrap();
+    let naive = elinda_sparql::Executor::new(store)
+        .execute(&parsed)
+        .unwrap();
     println!(
         "parsed: yes | recognized: yes | rows naive={} decomposed={} equal-count={}\n",
         naive.len(),
@@ -309,7 +342,10 @@ fn t5(store: &TripleStore) {
 }
 
 fn s1(store: &TripleStore, explorer: &Explorer<'_>) {
-    header("S1", "twenty most significant properties of the largest class");
+    header(
+        "S1",
+        "twenty most significant properties of the largest class",
+    );
     let pane = explorer.initial_pane().unwrap();
     let chart = pane.subclass_chart(explorer);
     let largest = chart.bars()[0].label;
@@ -318,7 +354,13 @@ fn s1(store: &TripleStore, explorer: &Explorer<'_>) {
     let top: Vec<String> = props
         .window(0, 20)
         .iter()
-        .map(|b| format!("{}({:.0}%)", explorer.display(b.label), props.coverage(b) * 100.0))
+        .map(|b| {
+            format!(
+                "{}({:.0}%)",
+                explorer.display(b.label),
+                props.coverage(b) * 100.0
+            )
+        })
         .collect();
     println!("largest class: {}", explorer.display(largest));
     println!("top-20 properties: {}\n", top.join(", "));
@@ -326,7 +368,10 @@ fn s1(store: &TripleStore, explorer: &Explorer<'_>) {
 }
 
 fn s2(store: &TripleStore, explorer: &Explorer<'_>, cfg: &DbpediaConfig) {
-    header("S2", "erroneous data: people born in resources of type Food");
+    header(
+        "S2",
+        "erroneous data: people born in resources of type Food",
+    );
     let pane = explorer.pane_for_class(dbo(store, "Person"));
     let conn = pane
         .connections_chart(explorer, dbo(store, "birthPlace"), Direction::Outgoing)
@@ -358,7 +403,10 @@ fn s3(store: &TripleStore, explorer: &Explorer<'_>) {
         h,
         thing,
         ChartDirection::Outgoing,
-        IncrementalConfig { chunk_size: chunk, max_steps: Some(1) },
+        IncrementalConfig {
+            chunk_size: chunk,
+            max_steps: Some(1),
+        },
     );
     let first = inc.run();
     let first_time = t0.elapsed();
@@ -368,7 +416,10 @@ fn s3(store: &TripleStore, explorer: &Explorer<'_>) {
         h,
         thing,
         ChartDirection::Outgoing,
-        IncrementalConfig { chunk_size: chunk, max_steps: None },
+        IncrementalConfig {
+            chunk_size: chunk,
+            max_steps: None,
+        },
     );
     let complete = full.run();
     let full_time = t1.elapsed();

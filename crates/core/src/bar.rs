@@ -31,7 +31,12 @@ pub struct Bar {
 impl Bar {
     /// Construct a bar.
     pub fn new(nodes: NodeSet, label: TermId, kind: BarKind, spec: SetSpec) -> Self {
-        Bar { nodes, label, kind, spec }
+        Bar {
+            nodes,
+            label,
+            kind,
+            spec,
+        }
     }
 
     /// The bar height `|S|`.

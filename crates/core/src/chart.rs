@@ -44,7 +44,12 @@ impl BarChart {
     pub fn new(mut bars: Vec<Bar>, total: usize, kind: ChartKind) -> Self {
         bars.retain(|b| b.height() > 0);
         bars.sort_by(|a, b| b.height().cmp(&a.height()).then(a.label.cmp(&b.label)));
-        BarChart { bars, total, kind, unclassified: 0 }
+        BarChart {
+            bars,
+            total,
+            kind,
+            unclassified: 0,
+        }
     }
 
     /// Build a chart that also records how many nodes matched no label.
@@ -140,19 +145,32 @@ mod tests {
 
     fn bar(label: u32, size: u32) -> Bar {
         let nodes: NodeSet = (100 * label..100 * label + size).map(id).collect();
-        Bar::new(nodes, id(label), BarKind::Class, SetSpec::AllOfType(id(label)))
+        Bar::new(
+            nodes,
+            id(label),
+            BarKind::Class,
+            SetSpec::AllOfType(id(label)),
+        )
     }
 
     #[test]
     fn bars_sorted_by_decreasing_height() {
-        let chart = BarChart::new(vec![bar(1, 2), bar(2, 5), bar(3, 3)], 10, ChartKind::Subclass);
+        let chart = BarChart::new(
+            vec![bar(1, 2), bar(2, 5), bar(3, 3)],
+            10,
+            ChartKind::Subclass,
+        );
         let heights: Vec<usize> = chart.bars().iter().map(Bar::height).collect();
         assert_eq!(heights, vec![5, 3, 2]);
     }
 
     #[test]
     fn ties_break_by_label() {
-        let chart = BarChart::new(vec![bar(3, 4), bar(1, 4), bar(2, 4)], 10, ChartKind::Subclass);
+        let chart = BarChart::new(
+            vec![bar(3, 4), bar(1, 4), bar(2, 4)],
+            10,
+            ChartKind::Subclass,
+        );
         let labels: Vec<TermId> = chart.labels().collect();
         assert_eq!(labels, vec![id(1), id(2), id(3)]);
     }
@@ -185,7 +203,11 @@ mod tests {
 
     #[test]
     fn window_clamps() {
-        let chart = BarChart::new(vec![bar(1, 3), bar(2, 2), bar(3, 1)], 6, ChartKind::Subclass);
+        let chart = BarChart::new(
+            vec![bar(1, 3), bar(2, 2), bar(3, 1)],
+            6,
+            ChartKind::Subclass,
+        );
         assert_eq!(chart.window(0, 2).len(), 2);
         assert_eq!(chart.window(2, 5).len(), 1);
         assert_eq!(chart.window(9, 5).len(), 0);
@@ -200,8 +222,7 @@ mod tests {
 
     #[test]
     fn unclassified_recorded() {
-        let chart =
-            BarChart::with_unclassified(vec![bar(1, 3)], 5, ChartKind::ObjectsOutgoing, 2);
+        let chart = BarChart::with_unclassified(vec![bar(1, 3)], 5, ChartKind::ObjectsOutgoing, 2);
         assert_eq!(chart.unclassified(), 2);
     }
 }

@@ -82,9 +82,7 @@ impl UriFilter {
                 Direction::Outgoing => !store.spo_range(id, Some(*prop)).is_empty(),
                 Direction::Incoming => !store.pos_range(*prop, Some(id)).is_empty(),
             },
-            UriFilter::HasValue { prop, value } => {
-                store.contains(Triple::new(id, *prop, *value))
-            }
+            UriFilter::HasValue { prop, value } => store.contains(Triple::new(id, *prop, *value)),
             UriFilter::InSet(set) => set.contains(id),
         }
     }
@@ -133,7 +131,10 @@ fn require_kind(bar: &Bar, expected: BarKind) -> Result<(), ExpandError> {
     if bar.kind == expected {
         Ok(())
     } else {
-        Err(ExpandError { expected, actual: bar.kind })
+        Err(ExpandError {
+            expected,
+            actual: bar.kind,
+        })
     }
 }
 
@@ -201,12 +202,18 @@ fn subclass_expansion_impl(
         let (instances, spec) = if transitive {
             (
                 NodeSet::from_sorted_vec(hierarchy.instances_transitive(store, sub)),
-                SetSpec::NarrowTransitive { parent: Box::new(bar.spec.clone()), class: sub },
+                SetSpec::NarrowTransitive {
+                    parent: Box::new(bar.spec.clone()),
+                    class: sub,
+                },
             )
         } else {
             (
                 NodeSet::from_sorted_vec(hierarchy.instances(store, sub)),
-                SetSpec::Narrow { parent: Box::new(bar.spec.clone()), class: sub },
+                SetSpec::Narrow {
+                    parent: Box::new(bar.spec.clone()),
+                    class: sub,
+                },
             )
         };
         let nodes = bar.nodes.intersect(&instances);
@@ -438,7 +445,7 @@ mod tests {
         assert!((chart.coverage(infl) - 2.0 / 3.0).abs() < 1e-12);
         let born = chart.bar(id(&store, "born")).unwrap();
         assert_eq!(born.height(), 2); // plato, socrates
-        // kant has two influencedBy triples but appears once in the bar.
+                                      // kant has two influencedBy triples but appears once in the bar.
         assert!(infl.nodes.contains(id(&store, "kant")));
     }
 
@@ -462,7 +469,9 @@ mod tests {
         for direction in [Direction::Outgoing, Direction::Incoming] {
             let chart = property_expansion(&store, &phil, direction).unwrap();
             for b in chart.bars() {
-                let sol = Executor::new(&store).execute(&b.spec.to_query(&store)).unwrap();
+                let sol = Executor::new(&store)
+                    .execute(&b.spec.to_query(&store))
+                    .unwrap();
                 let via_sparql = NodeSet::from_vec(sol.term_column("x"));
                 assert_eq!(b.nodes, via_sparql, "bar {:?} {:?}", b.label, direction);
             }
@@ -517,7 +526,9 @@ mod tests {
         let infl_bar = chart.bar(id(&store, "influencedBy")).unwrap();
         let conn = object_expansion(&store, &h, infl_bar, Direction::Outgoing).unwrap();
         for b in conn.bars() {
-            let sol = Executor::new(&store).execute(&b.spec.to_query(&store)).unwrap();
+            let sol = Executor::new(&store)
+                .execute(&b.spec.to_query(&store))
+                .unwrap();
             let via_sparql = NodeSet::from_vec(sol.term_column("x"));
             assert_eq!(b.nodes, via_sparql, "object bar {:?}", b.label);
         }
@@ -548,7 +559,9 @@ mod tests {
         // The denominator |S| is unchanged by filtering.
         assert_eq!(filtered.total(), chart.total());
         // The refined spec still matches SPARQL.
-        let sol = Executor::new(&store).execute(&phil.spec.to_query(&store)).unwrap();
+        let sol = Executor::new(&store)
+            .execute(&phil.spec.to_query(&store))
+            .unwrap();
         assert_eq!(NodeSet::from_vec(sol.term_column("x")), phil.nodes);
     }
 
@@ -580,8 +593,20 @@ mod tests {
         let (store, h) = setup();
         let person = class_bar(&store, &h, "Person");
         assert!(expand(&store, &h, &person, ExpansionKind::Subclass).is_ok());
-        assert!(expand(&store, &h, &person, ExpansionKind::Property(Direction::Outgoing)).is_ok());
-        assert!(expand(&store, &h, &person, ExpansionKind::Objects(Direction::Outgoing)).is_err());
+        assert!(expand(
+            &store,
+            &h,
+            &person,
+            ExpansionKind::Property(Direction::Outgoing)
+        )
+        .is_ok());
+        assert!(expand(
+            &store,
+            &h,
+            &person,
+            ExpansionKind::Objects(Direction::Outgoing)
+        )
+        .is_err());
         assert_eq!(ExpansionKind::Subclass.applicable_to(), BarKind::Class);
         assert_eq!(
             ExpansionKind::Objects(Direction::Incoming).applicable_to(),

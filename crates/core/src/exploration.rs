@@ -43,7 +43,10 @@ impl fmt::Display for ExplorationError {
             ExplorationError::UnknownLabel(l) => {
                 write!(f, "label {l} is not in the current chart")
             }
-            ExplorationError::Inapplicable { expansion, bar_kind } => write!(
+            ExplorationError::Inapplicable {
+                expansion,
+                bar_kind,
+            } => write!(
                 f,
                 "expansion {expansion:?} is not applicable to a {bar_kind:?} bar"
             ),
@@ -65,12 +68,17 @@ impl Exploration {
     /// Start from an initial chart `B₀` (in eLinda, the subclass expansion
     /// of the root class — see `Explorer::initial_pane`).
     pub fn start(initial: BarChart) -> Self {
-        Exploration { charts: vec![initial], steps: Vec::new() }
+        Exploration {
+            charts: vec![initial],
+            steps: Vec::new(),
+        }
     }
 
     /// The current chart `Bₘ`.
     pub fn current(&self) -> &BarChart {
-        self.charts.last().expect("always at least the initial chart")
+        self.charts
+            .last()
+            .expect("always at least the initial chart")
     }
 
     /// All charts, `B₀ … Bₘ`.
@@ -106,7 +114,10 @@ impl Exploration {
             .bar(label)
             .ok_or(ExplorationError::UnknownLabel(label))?;
         if bar.kind != kind.applicable_to() {
-            return Err(ExplorationError::Inapplicable { expansion: kind, bar_kind: bar.kind });
+            return Err(ExplorationError::Inapplicable {
+                expansion: kind,
+                bar_kind: bar.kind,
+            });
         }
         let chart = expansion::expand_opts(
             explorer.store(),
@@ -117,7 +128,10 @@ impl Exploration {
         )
         .expect("kind checked against bar kind");
         self.charts.push(chart);
-        self.steps.push(ExplorationStep { label, expansion: kind });
+        self.steps.push(ExplorationStep {
+            label,
+            expansion: kind,
+        });
         Ok(self.current())
     }
 
@@ -179,8 +193,10 @@ mod tests {
         let (ex, mut expl) = setup(&store);
 
         // owl:Thing -> Agent -> Person -> Philosopher (subclass steps).
-        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
-        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass)
+            .unwrap();
+        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass)
+            .unwrap();
         // Person chart: Philosopher (3), Scientist (1).
         assert_eq!(expl.current().len(), 2);
         // Philosopher -> property chart.
@@ -222,12 +238,18 @@ mod tests {
         let (ex, mut expl) = setup(&store);
         // Objects expansion on a class bar is inapplicable.
         let err = expl
-            .apply(&ex, id(&store, "Agent"), ExpansionKind::Objects(Direction::Outgoing))
+            .apply(
+                &ex,
+                id(&store, "Agent"),
+                ExpansionKind::Objects(Direction::Outgoing),
+            )
             .unwrap_err();
         assert!(matches!(err, ExplorationError::Inapplicable { .. }));
         // And subclass expansion on a property bar.
-        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
-        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass)
+            .unwrap();
+        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass)
+            .unwrap();
         expl.apply(
             &ex,
             id(&store, "Philosopher"),
@@ -254,7 +276,8 @@ mod tests {
     fn pop_undoes_steps() {
         let store = TripleStore::from_turtle(DATA).unwrap();
         let (ex, mut expl) = setup(&store);
-        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass)
+            .unwrap();
         assert_eq!(expl.len(), 1);
         let step = expl.pop().unwrap();
         assert_eq!(step.label, id(&store, "Agent"));
@@ -267,8 +290,10 @@ mod tests {
     fn every_bar_along_the_path_generates_sparql() {
         let store = TripleStore::from_turtle(DATA).unwrap();
         let (ex, mut expl) = setup(&store);
-        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass).unwrap();
-        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass).unwrap();
+        expl.apply(&ex, id(&store, "Agent"), ExpansionKind::Subclass)
+            .unwrap();
+        expl.apply(&ex, id(&store, "Person"), ExpansionKind::Subclass)
+            .unwrap();
         for chart in expl.charts() {
             for bar in chart.bars() {
                 let text = bar.spec.to_sparql(&store);

@@ -39,7 +39,13 @@ impl<'a> Explorer<'a> {
     fn with_transitive(store: &'a TripleStore, transitive: bool) -> Self {
         let hierarchy = ClassHierarchy::build(store);
         let labels = LabelIndex::build(store, &hierarchy);
-        Explorer { store, hierarchy, labels, epoch: store.epoch(), transitive }
+        Explorer {
+            store,
+            hierarchy,
+            labels,
+            epoch: store.epoch(),
+            transitive,
+        }
     }
 
     /// True when class membership is resolved transitively.
@@ -96,27 +102,27 @@ impl<'a> Explorer<'a> {
             }
         };
         match self.hierarchy.owl_thing() {
-            Some(thing) if thing_instances(thing) > 0 => {
-                Some(self.pane_for_class(thing))
-            }
+            Some(thing) if thing_instances(thing) > 0 => Some(self.pane_for_class(thing)),
             _ => {
                 let spec = SetSpec::AllTyped;
                 let set = spec.eval(self.store, &self.hierarchy);
                 if set.is_empty() {
                     return None;
                 }
-                Some(Pane {
-                    title: "(all typed subjects)".to_string(),
-                    class: None,
-                    set,
-                    spec,
-                    stats: PaneStats {
-                        instance_count: 0,
-                        direct_subclasses: self.hierarchy.top_level_classes().len(),
-                        total_subclasses: self.hierarchy.classes().len(),
-                    },
-                }
-                .with_recounted_instances())
+                Some(
+                    Pane {
+                        title: "(all typed subjects)".to_string(),
+                        class: None,
+                        set,
+                        spec,
+                        stats: PaneStats {
+                            instance_count: 0,
+                            direct_subclasses: self.hierarchy.top_level_classes().len(),
+                            total_subclasses: self.hierarchy.classes().len(),
+                        },
+                    }
+                    .with_recounted_instances(),
+                )
             }
         }
     }
@@ -176,7 +182,13 @@ impl<'a> Explorer<'a> {
                 total_subclasses: 0,
             },
         };
-        Pane { title: title.into(), class, set, spec, stats }
+        Pane {
+            title: title.into(),
+            class,
+            set,
+            spec,
+            stats,
+        }
     }
 
     fn stats_for(&self, class: TermId, set: Option<&NodeSet>) -> PaneStats {
@@ -234,10 +246,7 @@ mod tests {
 
     #[test]
     fn initial_pane_none_for_untyped_dataset() {
-        let store = TripleStore::from_turtle(
-            "@prefix ex: <http://e/> . ex:x ex:p ex:y .",
-        )
-        .unwrap();
+        let store = TripleStore::from_turtle("@prefix ex: <http://e/> . ex:x ex:p ex:y .").unwrap();
         let ex = Explorer::new(&store);
         assert!(ex.initial_pane().is_none());
     }

@@ -16,22 +16,31 @@ pub struct NodeSet {
 impl NodeSet {
     /// The empty set.
     pub fn empty() -> Self {
-        NodeSet { items: Arc::from(Vec::new()) }
+        NodeSet {
+            items: Arc::from(Vec::new()),
+        }
     }
 
     /// Build from an arbitrary vector (sorted and deduplicated here).
     pub fn from_vec(mut items: Vec<TermId>) -> Self {
         items.sort_unstable();
         items.dedup();
-        NodeSet { items: items.into() }
+        NodeSet {
+            items: items.into(),
+        }
     }
 
     /// Build from a vector already sorted and deduplicated.
     ///
     /// Debug builds assert the invariant.
     pub fn from_sorted_vec(items: Vec<TermId>) -> Self {
-        debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "input not sorted/unique");
-        NodeSet { items: items.into() }
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "input not sorted/unique"
+        );
+        NodeSet {
+            items: items.into(),
+        }
     }
 
     /// Number of nodes (`|S|`).

@@ -16,8 +16,8 @@ use crate::expansion::Direction;
 use crate::nodeset::NodeSet;
 use elinda_rdf::{Term, TermId, Triple};
 use elinda_sparql::ast::{
-    GroupGraphPattern, PatternElement, Predicate, Query, SelectClause, SelectItem,
-    SelectItems, TermOrVar, TriplePatternAst,
+    GroupGraphPattern, PatternElement, Predicate, Query, SelectClause, SelectItem, SelectItems,
+    TermOrVar, TriplePatternAst,
 };
 use elinda_store::{ClassHierarchy, TripleStore};
 
@@ -115,7 +115,11 @@ impl SetSpec {
                     NodeSet::from_sorted_vec(hierarchy.instances_transitive(store, *class));
                 parent_set.intersect(&class_set)
             }
-            SetSpec::WithProperty { parent, prop, direction } => {
+            SetSpec::WithProperty {
+                parent,
+                prop,
+                direction,
+            } => {
                 let parent_set = parent.eval(store, hierarchy);
                 match direction {
                     Direction::Outgoing => {
@@ -126,7 +130,12 @@ impl SetSpec {
                     }
                 }
             }
-            SetSpec::ObjectsVia { source, prop, direction, class } => {
+            SetSpec::ObjectsVia {
+                source,
+                prop,
+                direction,
+                class,
+            } => {
                 let source_set = source.eval(store, hierarchy);
                 let mut connected: Vec<TermId> = Vec::new();
                 for y in &source_set {
@@ -145,7 +154,11 @@ impl SetSpec {
                 let class_set = NodeSet::from_sorted_vec(hierarchy.instances(store, *class));
                 connected.intersect(&class_set)
             }
-            SetSpec::WithValue { parent, prop, value } => {
+            SetSpec::WithValue {
+                parent,
+                prop,
+                value,
+            } => {
                 let parent_set = parent.eval(store, hierarchy);
                 parent_set.filter(|s| store.contains(Triple::new(s, *prop, *value)))
             }
@@ -154,7 +167,11 @@ impl SetSpec {
 
     /// Compile the spec to a `SELECT DISTINCT ?x` SPARQL query.
     pub fn to_query(&self, store: &TripleStore) -> Query {
-        let mut gen = SparqlGen { store, counter: 0, patterns: Vec::new() };
+        let mut gen = SparqlGen {
+            store,
+            counter: 0,
+            patterns: Vec::new(),
+        };
         let x = gen.fresh("x");
         gen.emit(self, &x);
         Query {
@@ -264,30 +281,45 @@ impl SparqlGen<'_> {
                 self.emit(parent, var);
                 self.emit_transitive_type(var, *class);
             }
-            SetSpec::WithProperty { parent, prop, direction } => {
+            SetSpec::WithProperty {
+                parent,
+                prop,
+                direction,
+            } => {
                 self.emit(parent, var);
                 let other = self.fresh("v");
                 let (s, o) = match direction {
                     Direction::Outgoing => (TermOrVar::var(var), TermOrVar::var(other)),
                     Direction::Incoming => (TermOrVar::var(other), TermOrVar::var(var)),
                 };
-                self.patterns.push(TriplePatternAst::new(s, self.term(*prop), o));
+                self.patterns
+                    .push(TriplePatternAst::new(s, self.term(*prop), o));
             }
-            SetSpec::ObjectsVia { source, prop, direction, class } => {
+            SetSpec::ObjectsVia {
+                source,
+                prop,
+                direction,
+                class,
+            } => {
                 let y = self.fresh("y");
                 self.emit(source, &y);
                 let (s, o) = match direction {
                     Direction::Outgoing => (TermOrVar::var(&y), TermOrVar::var(var)),
                     Direction::Incoming => (TermOrVar::var(var), TermOrVar::var(&y)),
                 };
-                self.patterns.push(TriplePatternAst::new(s, self.term(*prop), o));
+                self.patterns
+                    .push(TriplePatternAst::new(s, self.term(*prop), o));
                 self.patterns.push(TriplePatternAst::new(
                     TermOrVar::var(var),
                     self.type_pred(),
                     self.term(*class),
                 ));
             }
-            SetSpec::WithValue { parent, prop, value } => {
+            SetSpec::WithValue {
+                parent,
+                prop,
+                value,
+            } => {
                 self.emit(parent, var);
                 self.patterns.push(TriplePatternAst::new(
                     TermOrVar::var(var),

@@ -14,8 +14,8 @@ use crate::nodeset::NodeSet;
 use crate::spec::SetSpec;
 use elinda_rdf::{Term, TermId};
 use elinda_sparql::ast::{
-    Expr, Func, GroupGraphPattern, PatternElement, Query, SelectClause, SelectItem,
-    SelectItems, TermOrVar, TriplePatternAst,
+    Expr, Func, GroupGraphPattern, PatternElement, Query, SelectClause, SelectItem, SelectItems,
+    TermOrVar, TriplePatternAst,
 };
 use elinda_store::TripleStore;
 
@@ -52,15 +52,13 @@ impl ColumnFilter {
             ColumnFilter::Equals { prop, value } => {
                 store.contains(elinda_rdf::Triple::new(instance, *prop, *value))
             }
-            ColumnFilter::Contains { prop, text } => {
-                store.objects_of(instance, *prop).any(|o| {
-                    let term = store.resolve(o);
-                    match term {
-                        Term::Iri(i) => i.contains(text.as_str()),
-                        Term::Literal(l) => l.lexical().contains(text.as_str()),
-                    }
-                })
-            }
+            ColumnFilter::Contains { prop, text } => store.objects_of(instance, *prop).any(|o| {
+                let term = store.resolve(o);
+                match term {
+                    Term::Iri(i) => i.contains(text.as_str()),
+                    Term::Literal(l) => l.lexical().contains(text.as_str()),
+                }
+            }),
         }
     }
 }
@@ -86,7 +84,12 @@ pub struct DataTable {
 impl DataTable {
     /// An empty table over the pane's set.
     pub fn new(instances: NodeSet, spec: SetSpec) -> Self {
-        DataTable { instances, spec, columns: Vec::new(), filters: Vec::new() }
+        DataTable {
+            instances,
+            spec,
+            columns: Vec::new(),
+            filters: Vec::new(),
+        }
     }
 
     /// The pane set `S` (never changed by filters).
@@ -184,11 +187,8 @@ impl DataTable {
             let var = format!("col{i}");
             items.push(SelectItem::var(var.clone()));
             let prop_term = TermOrVar::Term(store.resolve(col.prop).clone());
-            let pattern = TriplePatternAst::new(
-                TermOrVar::var("x"),
-                prop_term,
-                TermOrVar::var(var.clone()),
-            );
+            let pattern =
+                TriplePatternAst::new(TermOrVar::var("x"), prop_term, TermOrVar::var(var.clone()));
             // A filtered column binds a required pattern; an unfiltered one
             // is OPTIONAL so that value-less instances still show a row.
             let col_filters: Vec<&ColumnFilter> = self
@@ -227,7 +227,10 @@ impl DataTable {
             }
         }
         Query {
-            select: SelectClause { distinct: false, items: SelectItems::Items(items) },
+            select: SelectClause {
+                distinct: false,
+                items: SelectItems::Items(items),
+            },
             where_clause: GroupGraphPattern { elements },
             group_by: vec![],
             order_by: vec![],
@@ -352,7 +355,10 @@ mod tests {
         let mut table = DataTable::new(set, spec);
         let bp = id(&store, "birthPlace");
         table.add_column(&store, bp);
-        table.add_filter(ColumnFilter::Equals { prop: bp, value: id(&store, "athens") });
+        table.add_filter(ColumnFilter::Equals {
+            prop: bp,
+            value: id(&store, "athens"),
+        });
         table.remove_column(bp);
         assert!(table.columns().is_empty());
         assert!(table.filters().is_empty());
@@ -380,8 +386,13 @@ mod tests {
         let mut table = DataTable::new(set, spec);
         let bp = id(&store, "birthPlace");
         table.add_column(&store, bp);
-        table.add_filter(ColumnFilter::Equals { prop: bp, value: id(&store, "athens") });
-        let sol = Executor::new(&store).execute(&table.to_query(&store)).unwrap();
+        table.add_filter(ColumnFilter::Equals {
+            prop: bp,
+            value: id(&store, "athens"),
+        });
+        let sol = Executor::new(&store)
+            .execute(&table.to_query(&store))
+            .unwrap();
         let mut xs = sol.term_column("x");
         xs.sort_unstable();
         xs.dedup();

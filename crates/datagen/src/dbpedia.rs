@@ -154,20 +154,40 @@ const INSTANTIATED_TOP_LEVEL: &[&str] = &[
 
 // Named empty top-level classes; the remainder of the 22 are filler.
 const NAMED_EMPTY_TOP_LEVEL: &[&str] = &[
-    "Colour", "Name", "PersonFunction", "TimePeriod", "Holiday", "Currency",
+    "Colour",
+    "Name",
+    "PersonFunction",
+    "TimePeriod",
+    "Holiday",
+    "Currency",
 ];
 
 // Named Person subclasses (beyond the calibrated four).
 const NAMED_PERSON_SUBCLASSES: &[&str] = &[
-    "Artist", "Athlete", "Cleric", "Engineer", "Journalist", "Judge",
-    "MilitaryPerson", "Monarch", "Musician", "Painter",
+    "Artist",
+    "Athlete",
+    "Cleric",
+    "Engineer",
+    "Journalist",
+    "Judge",
+    "MilitaryPerson",
+    "Monarch",
+    "Musician",
+    "Painter",
 ];
 
 // The nine above-threshold ingoing Philosopher properties (the paper names
 // `author`; the rest are plausible DBpedia relations).
 const PHILOSOPHER_INGOING: &[&str] = &[
-    "author", "influencedBy", "spouse", "child", "parent",
-    "doctoralAdvisor", "doctoralStudent", "successor", "predecessor",
+    "author",
+    "influencedBy",
+    "spouse",
+    "child",
+    "parent",
+    "doctoralAdvisor",
+    "doctoralStudent",
+    "successor",
+    "predecessor",
 ];
 
 struct Builder<'c> {
@@ -293,7 +313,11 @@ impl<'c> Builder<'c> {
         let instantiated_filler = shape::TOP_LEVEL_CLASSES
             - shape::EMPTY_TOP_LEVEL_CLASSES
             - INSTANTIATED_TOP_LEVEL.len();
-        for (i, &c) in filler_top_levels.iter().take(instantiated_filler).enumerate() {
+        for (i, &c) in filler_top_levels
+            .iter()
+            .take(instantiated_filler)
+            .enumerate()
+        {
             for j in 0..2 {
                 self.instance(&format!("TopFiller_{i}_{j}"), &[c]);
             }
@@ -434,8 +458,7 @@ impl<'c> Builder<'c> {
             let is_generic_pool = pool_no == pools.len() - 1;
             for idx in Self::block(n, k, 13 + pool_no) {
                 let s = pool[idx];
-                let target = if is_generic_pool && erroneous_left > 0 && !self.foods.is_empty()
-                {
+                let target = if is_generic_pool && erroneous_left > 0 && !self.foods.is_empty() {
                     erroneous_left -= 1;
                     self.foods[idx % self.foods.len()]
                 } else {
@@ -464,7 +487,9 @@ impl<'c> Builder<'c> {
             return;
         }
         const UNIVERSAL: usize = 3; // rdf:type, rdfs:label, birthPlace
-        let above = cfg.politician_props_above_threshold.saturating_sub(UNIVERSAL);
+        let above = cfg
+            .politician_props_above_threshold
+            .saturating_sub(UNIVERSAL);
         let below = cfg
             .politician_total_properties
             .saturating_sub(cfg.politician_props_above_threshold);
@@ -473,7 +498,11 @@ impl<'c> Builder<'c> {
         for i in 0..above {
             let prop = self.property(&format!("polAbove{i}"));
             // Coverage descending from ~0.95 to the threshold.
-            let frac = if above > 1 { i as f64 / (above - 1) as f64 } else { 0.0 };
+            let frac = if above > 1 {
+                i as f64 / (above - 1) as f64
+            } else {
+                0.0
+            };
             let coverage = t + (0.95 - t) * (1.0 - frac) * (1.0 - frac);
             let k = self.block_size(n, coverage, true);
             for idx in Self::block(n, k, 1000 + i) {
@@ -566,7 +595,8 @@ impl<'c> Builder<'c> {
             let k = self.block_size(n, coverage, false);
             for idx in Self::block(n, k, 12000 + i) {
                 let target = self.philosophers[idx];
-                let source = self.generic_persons[(idx * 3 + i) % self.generic_persons.len().max(1)];
+                let source =
+                    self.generic_persons[(idx * 3 + i) % self.generic_persons.len().max(1)];
                 self.g.insert_ids(source, prop, target);
             }
         }
@@ -686,8 +716,7 @@ mod tests {
             }
         }
         assert_eq!(coverage.len(), cfg.politician_total_properties);
-        let thresh =
-            (cfg.coverage_threshold * instances.len() as f64).ceil() as usize;
+        let thresh = (cfg.coverage_threshold * instances.len() as f64).ceil() as usize;
         let above = coverage.values().filter(|&&k| k >= thresh).count();
         assert_eq!(above, cfg.politician_props_above_threshold);
     }
@@ -701,16 +730,14 @@ mod tests {
         let instances = h.instances(&store, philosopher);
         let mut coverage: std::collections::HashMap<TermId, usize> = Default::default();
         for &s in &instances {
-            let mut props: Vec<TermId> =
-                store.osp_range(s, None).iter().map(|t| t.p).collect();
+            let mut props: Vec<TermId> = store.osp_range(s, None).iter().map(|t| t.p).collect();
             props.sort_unstable();
             props.dedup();
             for p in props {
                 *coverage.entry(p).or_default() += 1;
             }
         }
-        let thresh =
-            (cfg.coverage_threshold * instances.len() as f64).ceil() as usize;
+        let thresh = (cfg.coverage_threshold * instances.len() as f64).ceil() as usize;
         let above: Vec<_> = coverage
             .iter()
             .filter(|(_, &k)| k >= thresh)

@@ -18,7 +18,10 @@ pub struct LgdConfig {
 impl LgdConfig {
     /// A tiny dataset for tests.
     pub fn tiny() -> Self {
-        LgdConfig { seed: 42, instances_per_leaf: 8 }
+        LgdConfig {
+            seed: 42,
+            instances_per_leaf: 8,
+        }
     }
 }
 

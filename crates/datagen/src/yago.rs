@@ -27,7 +27,12 @@ pub struct YagoConfig {
 impl YagoConfig {
     /// A tiny dataset for tests.
     pub fn tiny() -> Self {
-        YagoConfig { seed: 11, chain_depth: 6, chains: 8, instances_per_leaf: 6 }
+        YagoConfig {
+            seed: 11,
+            chain_depth: 6,
+            chains: 8,
+            instances_per_leaf: 6,
+        }
     }
 }
 
@@ -116,10 +121,7 @@ mod tests {
         let h = ClassHierarchy::build(&store);
         let thing = h.owl_thing().expect("rooted");
         assert_eq!(h.direct_subclass_count(thing), cfg.chains);
-        assert_eq!(
-            h.total_subclass_count(thing),
-            cfg.chains * cfg.chain_depth
-        );
+        assert_eq!(h.total_subclass_count(thing), cfg.chains * cfg.chain_depth);
     }
 
     #[test]

@@ -24,9 +24,7 @@
 
 use elinda_rdf::fx::FxHashMap;
 use elinda_rdf::{vocab, Term, TermId};
-use elinda_sparql::ast::{
-    Expr, PatternElement, Predicate, Query, SelectItems, TermOrVar,
-};
+use elinda_sparql::ast::{Expr, PatternElement, Predicate, Query, SelectItems, TermOrVar};
 use elinda_sparql::{Solutions, Value};
 use elinda_store::{ClassHierarchy, TripleStore};
 
@@ -60,11 +58,15 @@ pub fn recognize_property_expansion(query: &Query) -> Option<PropertyExpansionQu
         return None;
     }
     let p_var = query.group_by[0].clone();
-    let SelectItems::Items(items) = &query.select.items else { return None };
+    let SelectItems::Items(items) = &query.select.items else {
+        return None;
+    };
     if items.len() != 3 {
         return None;
     }
-    let Expr::Var(v0) = &items[0].expr else { return None };
+    let Expr::Var(v0) = &items[0].expr else {
+        return None;
+    };
     if *v0 != p_var {
         return None;
     }
@@ -76,7 +78,9 @@ pub fn recognize_property_expansion(query: &Query) -> Option<PropertyExpansionQu
     };
     let (sum_col, sum_var) = match &items[2].expr {
         Expr::Aggregate(elinda_sparql::ast::AggFunc::Sum, Some(arg), false) => {
-            let Expr::Var(sv) = arg.as_ref() else { return None };
+            let Expr::Var(sv) = arg.as_ref() else {
+                return None;
+            };
             (items[2].output_name()?.to_string(), sv.clone())
         }
         _ => return None,
@@ -91,15 +95,15 @@ pub fn recognize_property_expansion(query: &Query) -> Option<PropertyExpansionQu
     if inner.group_by.len() != 2 || !inner.group_by.contains(&p_var) {
         return None;
     }
-    let entity_var = inner
-        .group_by
-        .iter()
-        .find(|v| **v != p_var)?
-        .clone();
-    let SelectItems::Items(inner_items) = &inner.select.items else { return None };
+    let entity_var = inner.group_by.iter().find(|v| **v != p_var)?.clone();
+    let SelectItems::Items(inner_items) = &inner.select.items else {
+        return None;
+    };
     let counts_star = inner_items.iter().any(|i| {
-        matches!(&i.expr, Expr::Aggregate(elinda_sparql::ast::AggFunc::Count, None, false))
-            && i.output_name() == Some(sum_var.as_str())
+        matches!(
+            &i.expr,
+            Expr::Aggregate(elinda_sparql::ast::AggFunc::Count, None, false)
+        ) && i.output_name() == Some(sum_var.as_str())
     });
     if !counts_star {
         return None;
@@ -125,11 +129,9 @@ pub fn recognize_property_expansion(query: &Query) -> Option<PropertyExpansionQu
                 class = Some(c.clone());
                 typed_var = Some(sv.clone());
             }
-            (
-                TermOrVar::Var(sv),
-                Predicate::Simple(TermOrVar::Var(pv)),
-                TermOrVar::Var(ov),
-            ) if *pv == p_var => {
+            (TermOrVar::Var(sv), Predicate::Simple(TermOrVar::Var(pv)), TermOrVar::Var(ov))
+                if *pv == p_var =>
+            {
                 spo = Some((sv.clone(), ov.clone()));
             }
             _ => return None,
@@ -178,7 +180,10 @@ pub fn execute_precomputed(
             ]);
         }
     }
-    Solutions { vars: q.columns.to_vec(), rows }
+    Solutions {
+        vars: q.columns.to_vec(),
+        rows,
+    }
 }
 
 /// Answer a recognized property-expansion query from the indexes.
@@ -238,7 +243,10 @@ pub fn execute_decomposed(
             ]
         })
         .collect();
-    Solutions { vars: q.columns.to_vec(), rows }
+    Solutions {
+        vars: q.columns.to_vec(),
+        rows,
+    }
 }
 
 /// The canonical SPARQL text of a property-expansion query for a class —
@@ -346,7 +354,10 @@ mod tests {
         let rec = recognize_property_expansion(&q).unwrap();
         let decomposed = execute_decomposed(&store, &h, &rec);
         let naive = Executor::new(&store).execute(&q).unwrap();
-        assert_eq!(sorted_rows(&decomposed, &store), sorted_rows(&naive, &store));
+        assert_eq!(
+            sorted_rows(&decomposed, &store),
+            sorted_rows(&naive, &store)
+        );
     }
 
     #[test]
@@ -358,7 +369,10 @@ mod tests {
         let rec = recognize_property_expansion(&q).unwrap();
         let decomposed = execute_decomposed(&store, &h, &rec);
         let naive = Executor::new(&store).execute(&q).unwrap();
-        assert_eq!(sorted_rows(&decomposed, &store), sorted_rows(&naive, &store));
+        assert_eq!(
+            sorted_rows(&decomposed, &store),
+            sorted_rows(&naive, &store)
+        );
     }
 
     #[test]
@@ -417,6 +431,9 @@ mod tests {
         let rec = recognize_property_expansion(&q).unwrap();
         let decomposed = execute_decomposed(&store, &h, &rec);
         let naive = Executor::new(&store).execute(&q).unwrap();
-        assert_eq!(sorted_rows(&decomposed, &store), sorted_rows(&naive, &store));
+        assert_eq!(
+            sorted_rows(&decomposed, &store),
+            sorted_rows(&naive, &store)
+        );
     }
 }

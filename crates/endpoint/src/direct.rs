@@ -46,10 +46,9 @@ mod tests {
 
     #[test]
     fn executes_and_measures() {
-        let store = TripleStore::from_turtle(
-            "@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .",
-        )
-        .unwrap();
+        let store =
+            TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .")
+                .unwrap();
         let ep = DirectEndpoint::new(&store);
         let out = ep.execute("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
         assert_eq!(out.solutions.len(), 2);

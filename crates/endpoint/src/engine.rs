@@ -30,7 +30,12 @@ pub struct QueryOutcome {
 }
 
 /// An engine that answers SPARQL text queries.
-pub trait QueryEngine {
+///
+/// Engines are shared across server worker threads behind an `Arc`, so
+/// the trait requires `Send + Sync`: implementations take `&self` and
+/// use interior mutability (see the HVS and the metering wrapper) for
+/// any state they update per query.
+pub trait QueryEngine: Send + Sync {
     /// Execute a query, measuring its runtime.
     fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError>;
 

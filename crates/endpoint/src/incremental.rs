@@ -16,7 +16,7 @@
 //! progressively completing chart with bounded latency per step.
 
 use elinda_rdf::fx::{FxHashMap, FxHashSet};
-use elinda_rdf::{Triple, TermId};
+use elinda_rdf::{TermId, Triple};
 use elinda_sparql::{Solutions, Value};
 use elinda_store::{ClassHierarchy, TripleStore};
 
@@ -32,7 +32,10 @@ pub struct IncrementalConfig {
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        IncrementalConfig { chunk_size: 50_000, max_steps: None }
+        IncrementalConfig {
+            chunk_size: 50_000,
+            max_steps: None,
+        }
     }
 }
 
@@ -102,8 +105,7 @@ impl<'a> IncrementalPropertyChart<'a> {
         direction: ChartDirection,
         config: IncrementalConfig,
     ) -> Self {
-        let members: FxHashSet<TermId> =
-            hierarchy.instances(store, class).into_iter().collect();
+        let members: FxHashSet<TermId> = hierarchy.instances(store, class).into_iter().collect();
         Self::for_members(store, members, direction, config)
     }
 
@@ -144,8 +146,7 @@ impl<'a> IncrementalPropertyChart<'a> {
     /// True if the evaluation has consumed the whole stream or exhausted
     /// its step budget.
     pub fn is_finished(&self) -> bool {
-        self.pos >= self.stream().len()
-            || self.config.max_steps.is_some_and(|k| self.steps >= k)
+        self.pos >= self.stream().len() || self.config.max_steps.is_some_and(|k| self.steps >= k)
     }
 
     /// Evaluate one window of `N` triples and return the refreshed
@@ -155,7 +156,10 @@ impl<'a> IncrementalPropertyChart<'a> {
             return None;
         }
         let stream = self.stream();
-        let end = self.pos.saturating_add(self.config.chunk_size).min(stream.len());
+        let end = self
+            .pos
+            .saturating_add(self.config.chunk_size)
+            .min(stream.len());
         for &t in &stream[self.pos..end] {
             let (entity, prop) = self.key(t);
             if !self.members.contains(&entity) {
@@ -235,7 +239,10 @@ mod tests {
             &h,
             thing,
             direction,
-            IncrementalConfig { chunk_size: chunk, max_steps: k },
+            IncrementalConfig {
+                chunk_size: chunk,
+                max_steps: k,
+            },
         );
         inc.run()
     }
@@ -311,7 +318,10 @@ mod tests {
             &h,
             thing,
             ChartDirection::Outgoing,
-            IncrementalConfig { chunk_size: 2, max_steps: None },
+            IncrementalConfig {
+                chunk_size: 2,
+                max_steps: None,
+            },
         );
         let mut last_total = 0u64;
         let mut snapshots = 0;
@@ -340,7 +350,10 @@ mod tests {
             &store,
             Default::default(),
             ChartDirection::Outgoing,
-            IncrementalConfig { chunk_size: 4, max_steps: None },
+            IncrementalConfig {
+                chunk_size: 4,
+                max_steps: None,
+            },
         );
         let final_chart = inc.run();
         assert!(final_chart.complete);

@@ -190,7 +190,10 @@ impl Json {
 
 /// Parse a JSON document.
 pub fn parse_json(input: &str) -> Result<Json, JsonError> {
-    let mut p = JsonParser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = JsonParser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -207,7 +210,10 @@ struct JsonParser<'a> {
 
 impl JsonParser<'_> {
     fn err(&self, msg: impl Into<String>) -> JsonError {
-        JsonError { offset: self.pos, message: msg.into() }
+        JsonError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -277,9 +283,11 @@ impl JsonParser<'_> {
                 }
                 Some((_, '\\')) => {
                     self.pos += 1;
-                    let esc = self.bytes.get(self.pos).copied().ok_or_else(|| {
-                        self.err("dangling escape")
-                    })?;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.err("dangling escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -292,9 +300,9 @@ impl JsonParser<'_> {
                         b'f' => out.push('\u{c}'),
                         b'u' => {
                             let hex = std::str::from_utf8(
-                                self.bytes.get(self.pos..self.pos + 4).ok_or_else(|| {
-                                    self.err("truncated \\u escape")
-                                })?,
+                                self.bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
                             let cp = u32::from_str_radix(hex, 16)
@@ -307,16 +315,15 @@ impl JsonParser<'_> {
                                 }
                                 self.pos += 2;
                                 let hex2 = std::str::from_utf8(
-                                    self.bytes.get(self.pos..self.pos + 4).ok_or_else(
-                                        || self.err("truncated surrogate"),
-                                    )?,
+                                    self.bytes
+                                        .get(self.pos..self.pos + 4)
+                                        .ok_or_else(|| self.err("truncated surrogate"))?,
                                 )
                                 .map_err(|_| self.err("bad surrogate"))?;
                                 let low = u32::from_str_radix(hex2, 16)
                                     .map_err(|_| self.err("bad surrogate"))?;
                                 self.pos += 4;
-                                let combined =
-                                    0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.err("bad surrogate pair"))?
                             } else {
@@ -325,9 +332,7 @@ impl JsonParser<'_> {
                             out.push(c);
                         }
                         other => {
-                            return Err(
-                                self.err(format!("unknown escape '\\{}'", other as char))
-                            )
+                            return Err(self.err(format!("unknown escape '\\{}'", other as char)))
                         }
                     }
                 }
@@ -486,10 +491,7 @@ mod tests {
             parse_json(r#""a\nbA""#).unwrap(),
             Json::String("a\nbA".into())
         );
-        assert_eq!(
-            parse_json(r#""😀""#).unwrap(),
-            Json::String("😀".into())
-        );
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Json::String("😀".into()));
     }
 
     #[test]

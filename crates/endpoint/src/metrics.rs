@@ -10,6 +10,11 @@ use elinda_sparql::exec::QueryError;
 use parking_lot::Mutex;
 use std::time::Duration;
 
+/// Cap on retained raw samples per component: percentiles are computed
+/// over a sliding window of the most recent samples so a long-running
+/// server's metrics stay bounded in memory.
+const MAX_SAMPLES: usize = 65_536;
+
 /// Latency summary for one serving component.
 #[derive(Debug, Clone, Default)]
 pub struct LatencySummary {
@@ -21,6 +26,10 @@ pub struct LatencySummary {
     pub min: Option<Duration>,
     /// Slowest query.
     pub max: Option<Duration>,
+    /// Raw samples (ring buffer of the most recent [`MAX_SAMPLES`]).
+    samples: Vec<Duration>,
+    /// Next ring slot once `samples` is full.
+    cursor: usize,
 }
 
 impl LatencySummary {
@@ -29,6 +38,12 @@ impl LatencySummary {
         self.total += d;
         self.min = Some(self.min.map_or(d, |m| m.min(d)));
         self.max = Some(self.max.map_or(d, |m| m.max(d)));
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(d);
+        } else {
+            self.samples[self.cursor] = d;
+            self.cursor = (self.cursor + 1) % MAX_SAMPLES;
+        }
     }
 
     /// Mean latency; zero when nothing was recorded.
@@ -36,20 +51,53 @@ impl LatencySummary {
         if self.count == 0 {
             Duration::ZERO
         } else {
-            self.total / self.count as u32
+            // Divide in nanosecond space: `Duration / u32` would silently
+            // truncate a u64 count.
+            Duration::from_nanos((self.total.as_nanos() / u128::from(self.count)) as u64)
         }
+    }
+
+    /// Latency at percentile `p` (0–100) over the retained sample
+    /// window; `None` when nothing was recorded.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Option<Duration> {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(99.0)
+    }
+
+    /// The retained raw samples (unsorted, most recent window).
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
     }
 }
 
-/// Collected metrics: one summary per serving component, plus raw
-/// samples for percentile queries.
+/// Collected metrics: one summary (with its raw sample window) per
+/// serving component.
 #[derive(Debug, Default)]
 struct MetricsInner {
     direct: LatencySummary,
     hvs: LatencySummary,
     decomposer: LatencySummary,
     remote: LatencySummary,
-    samples: Vec<(ServedBy, Duration)>,
 }
 
 /// A [`QueryEngine`] wrapper that meters every query.
@@ -61,7 +109,10 @@ pub struct MeteredEndpoint<E> {
 impl<E: QueryEngine> MeteredEndpoint<E> {
     /// Wrap an engine.
     pub fn new(inner: E) -> Self {
-        MeteredEndpoint { inner, metrics: Mutex::new(MetricsInner::default()) }
+        MeteredEndpoint {
+            inner,
+            metrics: Mutex::new(MetricsInner::default()),
+        }
     }
 
     /// The wrapped engine.
@@ -80,22 +131,17 @@ impl<E: QueryEngine> MeteredEndpoint<E> {
         }
     }
 
-    /// Latency at percentile `p` (0–100) over all recorded queries of a
-    /// component; `None` when nothing was recorded.
+    /// Latency at percentile `p` (0–100) over the component's retained
+    /// sample window; `None` when nothing was recorded.
     pub fn percentile(&self, component: ServedBy, p: f64) -> Option<Duration> {
         let m = self.metrics.lock();
-        let mut samples: Vec<Duration> = m
-            .samples
-            .iter()
-            .filter(|(c, _)| *c == component)
-            .map(|(_, d)| *d)
-            .collect();
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_unstable();
-        let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
-        Some(samples[rank.min(samples.len() - 1)])
+        let slot = match component {
+            ServedBy::Direct => &m.direct,
+            ServedBy::Hvs => &m.hvs,
+            ServedBy::Decomposer => &m.decomposer,
+            ServedBy::Remote => &m.remote,
+        };
+        slot.percentile(p)
     }
 
     /// Total queries recorded.
@@ -121,7 +167,6 @@ impl<E: QueryEngine> QueryEngine for MeteredEndpoint<E> {
             ServedBy::Remote => &mut m.remote,
         };
         slot.record(out.elapsed);
-        m.samples.push((out.served_by, out.elapsed));
         Ok(out)
     }
 
@@ -137,10 +182,7 @@ mod tests {
     use elinda_store::TripleStore;
 
     fn store() -> TripleStore {
-        TripleStore::from_turtle(
-            "@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .",
-        )
-        .unwrap()
+        TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .").unwrap()
     }
 
     #[test]
@@ -169,6 +211,47 @@ mod tests {
         let p100 = ep.percentile(ServedBy::Direct, 100.0).unwrap();
         assert!(p50 <= p100);
         assert!(ep.percentile(ServedBy::Hvs, 50.0).is_none());
+    }
+
+    #[test]
+    fn mean_divides_safely_beyond_u32_counts() {
+        // The old `total / count as u32` truncated the count; a count of
+        // exactly 2^32 truncated to zero and panicked (division by zero),
+        // and 2^32 + k divided by k. Synthesize the summary directly.
+        let mut s = LatencySummary::default();
+        s.record(Duration::from_nanos(100));
+        s.count = (1u64 << 32) + 2;
+        s.total = Duration::from_nanos(((1u64 << 32) + 2) * 100);
+        assert_eq!(s.mean(), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let mut s = LatencySummary::default();
+        for ms in 1..=100 {
+            s.record(Duration::from_millis(ms));
+        }
+        let p50 = s.p50().unwrap();
+        let p95 = s.p95().unwrap();
+        let p99 = s.p99().unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // Nearest-rank on 100 samples: round(0.5 * 99) = 50 → the 51st
+        // value.
+        assert_eq!(p50, Duration::from_millis(51));
+        assert_eq!(p99, Duration::from_millis(99));
+        assert!(LatencySummary::default().p50().is_none());
+    }
+
+    #[test]
+    fn sample_window_is_bounded() {
+        let mut s = LatencySummary::default();
+        for i in 0..(super::MAX_SAMPLES + 10) {
+            s.record(Duration::from_nanos(i as u64));
+        }
+        assert_eq!(s.samples().len(), super::MAX_SAMPLES);
+        assert_eq!(s.count, (super::MAX_SAMPLES + 10) as u64);
+        // Oldest samples were overwritten by the ring.
+        assert!(s.samples().iter().all(|d| d.as_nanos() >= 10));
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl RemoteConfig {
     /// A zero-latency remote (for tests that only exercise the wire
     /// format).
     pub fn instant() -> Self {
-        RemoteConfig { round_trip: Duration::ZERO, per_row: Duration::ZERO }
+        RemoteConfig {
+            round_trip: Duration::ZERO,
+            per_row: Duration::ZERO,
+        }
     }
 }
 
@@ -81,8 +84,7 @@ impl<'a> RemoteEndpoint<'a> {
     pub fn request(&self, query: &str) -> Result<String, QueryError> {
         let solutions = Executor::new(self.store).run(query)?;
         let body = json::encode_solutions(&solutions, self.store);
-        let cost = self.config.round_trip
-            + self.config.per_row * (solutions.rows.len() as u32);
+        let cost = self.config.round_trip + self.config.per_row * (solutions.rows.len() as u32);
         if !cost.is_zero() {
             std::thread::sleep(cost);
         }
@@ -95,7 +97,9 @@ impl<'a> RemoteEndpoint<'a> {
         let start = Instant::now();
         let body = self.request(query)?;
         let decoded = decode_wire(&body).map_err(|e| {
-            QueryError::Exec(elinda_sparql::ExecError { message: e.to_string() })
+            QueryError::Exec(elinda_sparql::ExecError {
+                message: e.to_string(),
+            })
         })?;
         Ok((decoded, start.elapsed()))
     }
@@ -106,7 +110,9 @@ impl QueryEngine for RemoteEndpoint<'_> {
         let start = Instant::now();
         let body = self.request(query)?;
         let solutions: Solutions = json::decode_solutions(&body, self.store).map_err(|e| {
-            QueryError::Exec(elinda_sparql::ExecError { message: e.to_string() })
+            QueryError::Exec(elinda_sparql::ExecError {
+                message: e.to_string(),
+            })
         })?;
         Ok(QueryOutcome {
             solutions,
@@ -143,7 +149,10 @@ pub fn decode_wire(body: &str) -> Result<WireSolutions, json::JsonError> {
         let mut row: Vec<Option<WireValue>> = vec![None; vars.len()];
         for (i, v) in vars.iter().enumerate() {
             if let Some(cell) = b.get(v) {
-                let ty = cell.get("type").and_then(json::Json::as_str).unwrap_or("literal");
+                let ty = cell
+                    .get("type")
+                    .and_then(json::Json::as_str)
+                    .unwrap_or("literal");
                 let value = cell
                     .get("value")
                     .and_then(json::Json::as_str)
@@ -215,8 +224,7 @@ mod tests {
             .iter()
             .map(|r| value_to_wire(r[0].as_ref().unwrap(), &s))
             .collect();
-        let remote_wire: Vec<WireValue> =
-            wire.rows.iter().map(|r| r[0].clone().unwrap()).collect();
+        let remote_wire: Vec<WireValue> = wire.rows.iter().map(|r| r[0].clone().unwrap()).collect();
         assert_eq!(local_wire, remote_wire);
     }
 

@@ -6,14 +6,13 @@
 //! at or above the heavy threshold are recorded in the HVS, and the HVS
 //! is cleared whenever the knowledge base's epoch moves.
 
-use crate::decomposer::{
-    execute_decomposed, execute_precomputed, recognize_property_expansion,
-};
+use crate::decomposer::{execute_decomposed, execute_precomputed, recognize_property_expansion};
 use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
 use crate::hvs::{HeavyQueryStore, HvsConfig, HvsStats};
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::{parse_query, Executor};
 use elinda_store::{ClassHierarchy, PropertyAggregates, TripleStore};
+use std::borrow::Borrow;
 use std::time::Instant;
 
 /// How the decomposer answers recognized queries.
@@ -77,8 +76,14 @@ impl EndpointConfig {
 }
 
 /// The eLinda endpoint: HVS + decomposer + direct executor.
-pub struct ElindaEndpoint<'a> {
-    store: &'a TripleStore,
+///
+/// Generic over how the store is owned: `ElindaEndpoint<&TripleStore>`
+/// borrows (the in-process library mode), while
+/// `ElindaEndpoint<Arc<TripleStore>>` shares ownership so the endpoint
+/// can be handed to server worker threads as `Arc<ElindaEndpoint<_>>`
+/// with no lifetime tie to the caller's stack.
+pub struct ElindaEndpoint<S: Borrow<TripleStore>> {
+    store: S,
     hierarchy: ClassHierarchy,
     hvs: HeavyQueryStore,
     /// Materialized only in [`DecomposerMode::Precomputed`].
@@ -86,23 +91,30 @@ pub struct ElindaEndpoint<'a> {
     config: EndpointConfig,
 }
 
-impl<'a> ElindaEndpoint<'a> {
+impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     /// Build the endpoint (computes the class hierarchy "mirror" once, as
     /// the paper's endpoint preprocesses its knowledge-base mirrors; in
     /// precomputed mode this also materializes every `(class, property)`
     /// aggregate).
-    pub fn new(store: &'a TripleStore, config: EndpointConfig) -> Self {
-        let hierarchy = ClassHierarchy::build(store);
-        let hvs = HeavyQueryStore::new(config.hvs.clone(), store.epoch());
+    pub fn new(store: S, config: EndpointConfig) -> Self {
+        let s = store.borrow();
+        let hierarchy = ClassHierarchy::build(s);
+        let hvs = HeavyQueryStore::new(config.hvs.clone(), s.epoch());
         let aggregates = (config.enable_decomposer
             && config.decomposer_mode == DecomposerMode::Precomputed)
-            .then(|| PropertyAggregates::build(store, &hierarchy));
-        ElindaEndpoint { store, hierarchy, hvs, aggregates, config }
+            .then(|| PropertyAggregates::build(s, &hierarchy));
+        ElindaEndpoint {
+            store,
+            hierarchy,
+            hvs,
+            aggregates,
+            config,
+        }
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &'a TripleStore {
-        self.store
+    pub fn store(&self) -> &TripleStore {
+        self.store.borrow()
     }
 
     /// The class hierarchy mirror.
@@ -121,10 +133,11 @@ impl<'a> ElindaEndpoint<'a> {
     }
 }
 
-impl QueryEngine for ElindaEndpoint<'_> {
+impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
     fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
         // "The HVS is cleared on any update to the eLinda knowledge bases."
-        self.hvs.sync_epoch(self.store.epoch());
+        let store = self.store.borrow();
+        self.hvs.sync_epoch(store.epoch());
 
         let start = Instant::now();
         if self.config.enable_hvs {
@@ -147,15 +160,13 @@ impl QueryEngine for ElindaEndpoint<'_> {
                     let solutions = match &self.aggregates {
                         // A stale precomputed index falls back to the
                         // on-demand path rather than serving old counts.
-                        Some(agg) if !agg.is_stale(self.store) => {
-                            execute_precomputed(self.store, agg, &rec)
-                        }
-                        _ => execute_decomposed(self.store, &self.hierarchy, &rec),
+                        Some(agg) if !agg.is_stale(store) => execute_precomputed(store, agg, &rec),
+                        _ => execute_decomposed(store, &self.hierarchy, &rec),
                     };
                     (solutions, ServedBy::Decomposer)
                 }
                 None => (
-                    Executor::new(self.store)
+                    Executor::new(store)
                         .execute(&parsed)
                         .map_err(QueryError::Exec)?,
                     ServedBy::Direct,
@@ -163,7 +174,7 @@ impl QueryEngine for ElindaEndpoint<'_> {
             }
         } else {
             (
-                Executor::new(self.store)
+                Executor::new(store)
                     .execute(&parsed)
                     .map_err(QueryError::Exec)?,
                 ServedBy::Direct,
@@ -173,11 +184,15 @@ impl QueryEngine for ElindaEndpoint<'_> {
         if self.config.enable_hvs {
             self.hvs.record(query, &solutions, elapsed);
         }
-        Ok(QueryOutcome { solutions, elapsed, served_by })
+        Ok(QueryOutcome {
+            solutions,
+            elapsed,
+            served_by,
+        })
     }
 
     fn data_epoch(&self) -> u64 {
-        self.store.epoch()
+        self.store.borrow().epoch()
     }
 }
 
@@ -209,10 +224,8 @@ mod tests {
     fn baseline_serves_direct() {
         let s = store();
         let ep = ElindaEndpoint::new(&s, EndpointConfig::baseline());
-        let q = property_expansion_sparql(
-            elinda_rdf::vocab::owl::THING,
-            ExpansionDirection::Outgoing,
-        );
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
         let out = ep.execute(&q).unwrap();
         assert_eq!(out.served_by, ServedBy::Direct);
     }
@@ -221,10 +234,8 @@ mod tests {
     fn decomposer_intercepts_property_expansion() {
         let s = store();
         let ep = ElindaEndpoint::new(&s, EndpointConfig::decomposer_only());
-        let q = property_expansion_sparql(
-            elinda_rdf::vocab::owl::THING,
-            ExpansionDirection::Outgoing,
-        );
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
         let out = ep.execute(&q).unwrap();
         assert_eq!(out.served_by, ServedBy::Decomposer);
         // Other queries still go direct.
@@ -253,10 +264,8 @@ mod tests {
         let s = store();
         let base = ElindaEndpoint::new(&s, EndpointConfig::baseline());
         let fast = ElindaEndpoint::new(&s, EndpointConfig::decomposer_only());
-        let q = property_expansion_sparql(
-            elinda_rdf::vocab::owl::THING,
-            ExpansionDirection::Outgoing,
-        );
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
         let a = base.execute(&q).unwrap().solutions;
         let b = fast.execute(&q).unwrap().solutions;
         assert_eq!(a.len(), b.len());
@@ -267,10 +276,8 @@ mod tests {
     fn hvs_caches_second_call() {
         let s = store();
         let ep = ElindaEndpoint::new(&s, zero_threshold(EndpointConfig::full()));
-        let q = property_expansion_sparql(
-            elinda_rdf::vocab::owl::THING,
-            ExpansionDirection::Outgoing,
-        );
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
         let first = ep.execute(&q).unwrap();
         assert_eq!(first.served_by, ServedBy::Decomposer);
         let second = ep.execute(&q).unwrap();
@@ -282,10 +289,8 @@ mod tests {
     #[test]
     fn update_invalidates_hvs() {
         let mut s = store();
-        let q = property_expansion_sparql(
-            elinda_rdf::vocab::owl::THING,
-            ExpansionDirection::Outgoing,
-        );
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
         // Scope the endpoint so we can mutate the store between runs.
         {
             let ep = ElindaEndpoint::new(&s, zero_threshold(EndpointConfig::full()));

@@ -14,7 +14,10 @@ pub struct RdfError {
 impl RdfError {
     /// Create an error at the given 1-based line.
     pub fn new(line: usize, message: impl Into<String>) -> Self {
-        RdfError { line, message: message.into() }
+        RdfError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -4,10 +4,10 @@
 //! — in interned form, and the unit of data flowing from parsers and
 //! generators into the store.
 
+use crate::fx::FxHashSet;
 use crate::interner::{Interner, TermId};
 use crate::term::Term;
 use crate::triple::Triple;
-use crate::fx::FxHashSet;
 
 /// An in-memory RDF graph: terms interned, triples deduplicated.
 #[derive(Debug, Default, Clone)]

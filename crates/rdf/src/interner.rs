@@ -118,9 +118,10 @@ impl Interner {
 
     /// Iterate over all `(id, term)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.terms.iter().enumerate().map(|(i, t)| {
-            (TermId::from_raw(i as u32 + 1).expect("nonzero"), t.as_ref())
-        })
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId::from_raw(i as u32 + 1).expect("nonzero"), t.as_ref()))
     }
 }
 
@@ -185,7 +186,9 @@ mod tests {
     #[test]
     fn ids_are_dense_and_ordered_by_first_interning() {
         let mut i = Interner::new();
-        let ids: Vec<_> = (0..100).map(|n| i.intern_iri(format!("http://e.org/{n}"))).collect();
+        let ids: Vec<_> = (0..100)
+            .map(|n| i.intern_iri(format!("http://e.org/{n}")))
+            .collect();
         for (n, id) in ids.iter().enumerate() {
             assert_eq!(id.index(), n);
         }

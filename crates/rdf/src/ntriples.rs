@@ -29,7 +29,11 @@ pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), RdfError> {
 /// Parse a single N-Triples line. Returns `None` for blank lines and
 /// comments.
 pub fn parse_line(line: &str, lineno: usize) -> Result<Option<(Term, Term, Term)>, RdfError> {
-    let mut cur = Cursor { bytes: line.as_bytes(), pos: 0, line: lineno };
+    let mut cur = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: lineno,
+    };
     cur.skip_ws();
     if cur.at_end() || cur.peek() == Some(b'#') {
         return Ok(None);
@@ -118,8 +122,7 @@ impl<'a> Cursor<'a> {
             if c == b'>' {
                 let iri = &self.bytes[start..self.pos];
                 self.pos += 1;
-                let iri = std::str::from_utf8(iri)
-                    .map_err(|_| self.err("invalid UTF-8 in IRI"))?;
+                let iri = std::str::from_utf8(iri).map_err(|_| self.err("invalid UTF-8 in IRI"))?;
                 if iri.is_empty() {
                     return Err(self.err("empty IRI"));
                 }
@@ -293,10 +296,9 @@ mod tests {
 
     #[test]
     fn skips_comments_and_blank_lines() {
-        let g = parse_document(
-            "# a comment\n\n<http://e/a> <http://e/p> <http://e/b> . # trailing\n",
-        )
-        .unwrap();
+        let g =
+            parse_document("# a comment\n\n<http://e/a> <http://e/p> <http://e/b> . # trailing\n")
+                .unwrap();
         assert_eq!(g.len(), 1);
     }
 
@@ -310,11 +312,11 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "<http://e/a> <http://e/p> <http://e/b>", // missing dot
-            "<http://e/a> <http://e/p> .",            // missing object
+            "<http://e/a> <http://e/p> <http://e/b>",  // missing dot
+            "<http://e/a> <http://e/p> .",             // missing object
             "<http://e/a <http://e/p> <http://e/b> .", // unterminated IRI
-            r#"<http://e/a> <http://e/p> "x ."#,      // unterminated literal
-            r#"<http://e/a> <http://e/p> "x"@ ."#,    // empty lang tag
+            r#"<http://e/a> <http://e/p> "x ."#,       // unterminated literal
+            r#"<http://e/a> <http://e/p> "x"@ ."#,     // empty lang tag
             "<http://e/a> <http://e/p> <http://e/b> . junk",
             "<> <http://e/p> <http://e/b> .", // empty IRI
         ] {

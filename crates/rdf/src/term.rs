@@ -31,17 +31,26 @@ pub struct Literal {
 impl Literal {
     /// A plain (string) literal.
     pub fn plain(lexical: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Plain,
+        }
     }
 
     /// A language-tagged literal.
     pub fn lang(lexical: impl Into<Box<str>>, tag: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Lang(tag.into()) }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Lang(tag.into()),
+        }
     }
 
     /// A datatyped literal.
     pub fn typed(lexical: impl Into<Box<str>>, datatype: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
     }
 
     /// An `xsd:integer` literal.
@@ -56,7 +65,10 @@ impl Literal {
 
     /// An `xsd:boolean` literal.
     pub fn boolean(value: bool) -> Self {
-        Literal::typed(if value { "true" } else { "false" }, crate::vocab::xsd::BOOLEAN)
+        Literal::typed(
+            if value { "true" } else { "false" },
+            crate::vocab::xsd::BOOLEAN,
+        )
     }
 
     /// The lexical form.
@@ -258,7 +270,10 @@ mod tests {
         assert_eq!(Literal::double(2.5).as_double(), Some(2.5));
         assert_eq!(Literal::double(2.5).as_integer(), None);
         assert_eq!(Literal::plain("42").as_integer(), None);
-        assert_eq!(Literal::typed("nan?", vocab::xsd::INTEGER).as_integer(), None);
+        assert_eq!(
+            Literal::typed("nan?", vocab::xsd::INTEGER).as_integer(),
+            None
+        );
     }
 
     #[test]
@@ -291,7 +306,10 @@ mod tests {
         assert_eq!(Term::iri("http://e.org/A").to_string(), "<http://e.org/A>");
         assert_eq!(Term::blank("b1").to_string(), "_:b1");
         assert_eq!(Term::Literal(Literal::plain("hi")).to_string(), "\"hi\"");
-        assert_eq!(Term::Literal(Literal::lang("hi", "en")).to_string(), "\"hi\"@en");
+        assert_eq!(
+            Term::Literal(Literal::lang("hi", "en")).to_string(),
+            "\"hi\"@en"
+        );
         assert_eq!(
             Term::Literal(Literal::typed("1", vocab::xsd::INTEGER)).to_string(),
             format!("\"1\"^^<{}>", vocab::xsd::INTEGER)

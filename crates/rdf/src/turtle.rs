@@ -33,13 +33,13 @@ pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), RdfError> {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Iri(String),          // <...>
-    Pname(String),        // prefix:local or prefix:
-    Blank(String),        // _:label
-    A,                    // the keyword 'a'
-    String(String),       // "..."
-    LangTag(String),      // @tag (immediately after a string)
-    DtSep,                // ^^
+    Iri(String),     // <...>
+    Pname(String),   // prefix:local or prefix:
+    Blank(String),   // _:label
+    A,               // the keyword 'a'
+    String(String),  // "..."
+    LangTag(String), // @tag (immediately after a string)
+    DtSep,           // ^^
     Integer(String),
     Decimal(String),
     Boolean(bool),
@@ -77,56 +77,82 @@ fn tokenize(input: &str) -> Result<Vec<Located>, RdfError> {
                 let end = input[i + 1..]
                     .find('>')
                     .ok_or_else(|| RdfError::new(line, "unterminated IRI"))?;
-                toks.push(Located { tok: Tok::Iri(input[i + 1..i + 1 + end].to_string()), line });
+                toks.push(Located {
+                    tok: Tok::Iri(input[i + 1..i + 1 + end].to_string()),
+                    line,
+                });
                 i += end + 2;
             }
             b'"' => {
                 let (lexical, consumed) = scan_string(&input[i..], line)?;
-                toks.push(Located { tok: Tok::String(lexical), line });
+                toks.push(Located {
+                    tok: Tok::String(lexical),
+                    line,
+                });
                 i += consumed;
                 // Language tag directly attached?
                 if i < bytes.len() && bytes[i] == b'@' {
                     let start = i + 1;
                     let mut j = start;
-                    while j < bytes.len()
-                        && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-')
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-')
                     {
                         j += 1;
                     }
                     if j == start {
                         return Err(RdfError::new(line, "empty language tag"));
                     }
-                    toks.push(Located { tok: Tok::LangTag(input[start..j].to_string()), line });
+                    toks.push(Located {
+                        tok: Tok::LangTag(input[start..j].to_string()),
+                        line,
+                    });
                     i = j;
                 }
             }
             b'^' => {
                 if input[i..].starts_with("^^") {
-                    toks.push(Located { tok: Tok::DtSep, line });
+                    toks.push(Located {
+                        tok: Tok::DtSep,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(RdfError::new(line, "stray '^'"));
                 }
             }
             b'.' => {
-                toks.push(Located { tok: Tok::Dot, line });
+                toks.push(Located {
+                    tok: Tok::Dot,
+                    line,
+                });
                 i += 1;
             }
             b';' => {
-                toks.push(Located { tok: Tok::Semi, line });
+                toks.push(Located {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             b',' => {
-                toks.push(Located { tok: Tok::Comma, line });
+                toks.push(Located {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             b'@' => {
                 let rest = &input[i + 1..];
                 if rest.starts_with("prefix") {
-                    toks.push(Located { tok: Tok::PrefixDecl, line });
+                    toks.push(Located {
+                        tok: Tok::PrefixDecl,
+                        line,
+                    });
                     i += 7;
                 } else if rest.starts_with("base") {
-                    toks.push(Located { tok: Tok::BaseDecl, line });
+                    toks.push(Located {
+                        tok: Tok::BaseDecl,
+                        line,
+                    });
                     i += 5;
                 } else {
                     return Err(RdfError::new(line, "unknown directive"));
@@ -143,7 +169,10 @@ fn tokenize(input: &str) -> Result<Vec<Located>, RdfError> {
                 if j == start {
                     return Err(RdfError::new(line, "empty blank node label"));
                 }
-                toks.push(Located { tok: Tok::Blank(input[start..j].to_string()), line });
+                toks.push(Located {
+                    tok: Tok::Blank(input[start..j].to_string()),
+                    line,
+                });
                 i = j;
             }
             c if c == b'-' || c == b'+' || c.is_ascii_digit() => {
@@ -151,7 +180,11 @@ fn tokenize(input: &str) -> Result<Vec<Located>, RdfError> {
                 let mut j = i + 1;
                 let mut is_decimal = false;
                 while j < bytes.len()
-                    && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !is_decimal && j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit()))
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && !is_decimal
+                            && j + 1 < bytes.len()
+                            && bytes[j + 1].is_ascii_digit()))
                 {
                     if bytes[j] == b'.' {
                         is_decimal = true;
@@ -159,7 +192,11 @@ fn tokenize(input: &str) -> Result<Vec<Located>, RdfError> {
                     j += 1;
                 }
                 let text = input[start..j].to_string();
-                let tok = if is_decimal { Tok::Decimal(text) } else { Tok::Integer(text) };
+                let tok = if is_decimal {
+                    Tok::Decimal(text)
+                } else {
+                    Tok::Integer(text)
+                };
                 toks.push(Located { tok, line });
                 i = j;
             }
@@ -169,7 +206,9 @@ fn tokenize(input: &str) -> Result<Vec<Located>, RdfError> {
                 let mut j = i;
                 while j < bytes.len()
                     && !matches!(bytes[j], b' ' | b'\t' | b'\r' | b'\n' | b';' | b',' | b'#')
-                    && !(bytes[j] == b'.' && (j + 1 >= bytes.len() || matches!(bytes[j + 1], b' ' | b'\t' | b'\r' | b'\n') ))
+                    && !(bytes[j] == b'.'
+                        && (j + 1 >= bytes.len()
+                            || matches!(bytes[j + 1], b' ' | b'\t' | b'\r' | b'\n')))
                 {
                     j += 1;
                 }
@@ -301,10 +340,14 @@ impl Parser {
                     let prefix = match self.next() {
                         Some(Tok::Pname(p)) => {
                             let p = p.clone();
-                            let colon =
-                                p.find(':').ok_or_else(|| RdfError::new(line, "bad prefix"))?;
+                            let colon = p
+                                .find(':')
+                                .ok_or_else(|| RdfError::new(line, "bad prefix"))?;
                             if colon + 1 != p.len() {
-                                return Err(RdfError::new(line, "prefix declaration must end in ':'"));
+                                return Err(RdfError::new(
+                                    line,
+                                    "prefix declaration must end in ':'",
+                                ));
                             }
                             p[..colon].to_string()
                         }
@@ -495,10 +538,8 @@ ex:bob a ex:Person .
 
     #[test]
     fn object_lists_and_predicate_lists() {
-        let g = parse_document(
-            "@prefix ex: <http://e/> . ex:x ex:p ex:a , ex:b ; ex:q ex:c .",
-        )
-        .unwrap();
+        let g = parse_document("@prefix ex: <http://e/> . ex:x ex:p ex:a , ex:b ; ex:q ex:c .")
+            .unwrap();
         assert_eq!(g.len(), 3);
     }
 
@@ -561,10 +602,9 @@ ex:bob a ex:Person .
 
     #[test]
     fn comments_are_skipped() {
-        let g = parse_document(
-            "# header\n@prefix ex: <http://e/> . # ns\nex:x ex:p ex:y . # done\n",
-        )
-        .unwrap();
+        let g =
+            parse_document("# header\n@prefix ex: <http://e/> . # ns\nex:x ex:p ex:y . # done\n")
+                .unwrap();
         assert_eq!(g.len(), 1);
     }
 

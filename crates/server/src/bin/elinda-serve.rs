@@ -1,0 +1,118 @@
+//! Serve a synthetic DBpedia-shaped store over the SPARQL protocol.
+//!
+//! ```text
+//! cargo run --bin elinda-serve -- [--addr 127.0.0.1:7878] [--workers 4]
+//!                                 [--queue-depth 64] [--scale 1.0]
+//! ```
+//!
+//! Runs until stdin is closed or a line reading `quit` arrives (there is
+//! no dependency-free portable signal handling), then drains in-flight
+//! requests and exits.
+
+use elinda_datagen::{generate_dbpedia, DbpediaConfig};
+use elinda_endpoint::EndpointConfig;
+use elinda_server::{serve, ServerConfig, ServerState};
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        workers: 4,
+        queue_depth: 64,
+        scale: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
+                     [--queue-depth N] [--scale F]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "generating synthetic DBpedia store (scale {})...",
+        args.scale
+    );
+    let store = Arc::new(generate_dbpedia(&DbpediaConfig::tiny().scaled(args.scale)));
+    eprintln!("store ready: {} triples", store.len());
+
+    let state = Arc::new(ServerState::new(store, EndpointConfig::full()));
+    let config = ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        read_timeout: Duration::from_secs(5),
+        handler_delay: Duration::ZERO,
+    };
+    let handle = match serve(state, args.addr.as_str(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "listening on http://{} ({} workers, queue depth {})",
+        handle.local_addr(),
+        args.workers,
+        args.queue_depth
+    );
+    eprintln!("routes: /sparql /health /metrics — type `quit` (or close stdin) to stop");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+
+    eprintln!("shutting down (draining in-flight requests)...");
+    let counters = handle.counters();
+    handle.shutdown();
+    eprintln!(
+        "served {} requests ({} shed by admission control)",
+        counters.served, counters.shed
+    );
+}

@@ -1,0 +1,328 @@
+//! Minimal HTTP/1.1 framing for the SPARQL protocol endpoint.
+//!
+//! Supports exactly what the serving subsystem needs: one request per
+//! connection (`Connection: close` on every response), request-line and
+//! header parsing, `Content-Length` bodies, percent-decoding, and
+//! `application/x-www-form-urlencoded` query-pair parsing.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body: queries are text, not bulk uploads.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/sparql`.
+    pub path: String,
+    /// Decoded query-string pairs in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query-string parameter with the given name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse one request from a buffered stream.
+    pub fn parse<R: BufRead>(reader: &mut R) -> io::Result<Request> {
+        let line = read_crlf_line(reader)?;
+        let mut parts = line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() => (m, t, v),
+            _ => return Err(bad("malformed request line")),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(bad("unsupported HTTP version"));
+        }
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+
+        let mut headers = Vec::new();
+        loop {
+            let line = read_crlf_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header line"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let mut body = Vec::new();
+        let length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
+            .transpose()?
+            .unwrap_or(0);
+        if length > MAX_BODY {
+            return Err(bad("request body too large"));
+        }
+        if length > 0 {
+            body.resize(length, 0);
+            reader.read_exact(&mut body)?;
+        }
+
+        Ok(Request {
+            method: method.to_ascii_uppercase(),
+            path: percent_decode(raw_path),
+            query: parse_query_pairs(raw_query),
+            headers,
+            body,
+        })
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are added on
+    /// write).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A SPARQL-JSON results response.
+    pub fn sparql_json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![(
+                "Content-Type".into(),
+                "application/sparql-results+json".into(),
+            )],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Add a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serialize onto a stream. Every response closes the connection.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(
+            w,
+            "Content-Length: {}\r\nConnection: close\r\n\r\n",
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read one `\r\n`-terminated line, returned without the terminator.
+fn read_crlf_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Decode `%XX` escapes and `+`-as-space.
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode everything outside the URL-unreserved set (for
+/// building `?query=` targets in clients and the load generator).
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for b in input.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Split `a=1&b=2` into decoded pairs. Keys without `=` get empty
+/// values.
+pub fn parse_query_pairs(input: &str) -> Vec<(String, String)> {
+    input
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = "GET /sparql?query=SELECT%20%3Fs&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sparql");
+        assert_eq!(req.param("query"), Some("SELECT ?s"));
+        assert_eq!(req.param("limit"), Some("5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let raw = "POST /sparql HTTP/1.1\r\nContent-Length: 9\r\n\r\nquery=abctrailing-junk";
+        let req = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(req.body, b"query=abc");
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let raw = "NONSENSE\r\n\r\n";
+        assert!(Request::parse(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(Request::parse(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        let q = "SELECT ?s WHERE { ?s a <http://e/C> . FILTER(?s != \"x y\") }";
+        assert_eq!(percent_decode(&percent_encode(q)), q);
+    }
+
+    #[test]
+    fn decode_handles_plus_and_bad_escapes() {
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("50%"), "50%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut buf = Vec::new();
+        Response::text(200, "ok")
+            .header("X-Test", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("X-Test: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn query_pairs_tolerate_missing_values() {
+        let pairs = parse_query_pairs("a&b=2&&c=");
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".into(), String::new()),
+                ("b".into(), "2".into()),
+                ("c".into(), String::new())
+            ]
+        );
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! A concurrent SPARQL-protocol serving subsystem for eLinda.
+//!
+//! The paper's deployment puts the eLinda backend between web frontends
+//! and a SPARQL endpoint; this crate reproduces that tier as a
+//! self-contained multi-threaded HTTP/1.1 server with no dependencies
+//! beyond the standard library:
+//!
+//! * [`state::ServerState`] — an `Arc`-shared [`elinda_store::TripleStore`]
+//!   plus a metered [`elinda_endpoint::ElindaEndpoint`] queried
+//!   concurrently by every worker (the endpoint layer is `Send + Sync`
+//!   with interior mutability for the HVS cache and metrics);
+//! * [`server::serve`] — a non-blocking acceptor feeding a bounded
+//!   queue drained by a fixed worker pool, with `503` load shedding
+//!   when the queue is full and graceful drain on shutdown;
+//! * [`http`] — minimal HTTP/1.1 framing and percent-coding.
+//!
+//! Routes: `GET/POST /sparql` (SPARQL-JSON results, with the serving
+//! component in the `X-Elinda-Served-By` header), `GET /health`, and
+//! `GET /metrics` (per-component count/mean/p50/p95/p99 plus server
+//! counters).
+//!
+//! ```no_run
+//! use elinda_datagen::{generate_dbpedia, DbpediaConfig};
+//! use elinda_endpoint::EndpointConfig;
+//! use elinda_server::{serve, ServerConfig, ServerState};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(generate_dbpedia(&DbpediaConfig::tiny()));
+//! let state = Arc::new(ServerState::new(store, EndpointConfig::full()));
+//! let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", handle.local_addr());
+//! handle.shutdown();
+//! ```
+
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use http::{parse_query_pairs, percent_decode, percent_encode, Request, Response};
+pub use server::{serve, ServerConfig, ServerCounters, ServerHandle};
+pub use state::{served_by_name, ServerState, COMPONENTS};

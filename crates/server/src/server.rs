@@ -1,0 +1,325 @@
+//! The serving loop: a non-blocking acceptor feeding a bounded request
+//! queue drained by a fixed pool of worker threads.
+//!
+//! Admission control is explicit: when the queue is full the acceptor
+//! answers `503 Service Unavailable` itself instead of letting latency
+//! grow without bound. Shutdown is graceful: the acceptor stops
+//! admitting, workers drain every queued connection, and
+//! [`ServerHandle::shutdown`] returns only once all of them exited.
+
+use crate::http::{parse_query_pairs, Request, Response};
+use crate::state::{served_by_name, ServerState};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads answering queries concurrently.
+    pub workers: usize,
+    /// Maximum queued connections awaiting a worker; beyond this the
+    /// acceptor sheds load with `503`.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout, so a stalled client cannot
+    /// pin a worker forever.
+    pub read_timeout: Duration,
+    /// Artificial delay added before handling each request. Zero in
+    /// production; tests and saturation benchmarks raise it to make
+    /// queue overflow and shutdown draining deterministic.
+    pub handler_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            handler_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Monotonic serving counters, exposed on `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections handed to the worker pool.
+    pub accepted: u64,
+    /// Responses written by workers (including error responses).
+    pub served: u64,
+    /// Connections answered `503` by admission control.
+    pub shed: u64,
+}
+
+struct Shared {
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Shared {
+    fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (use with port `0` in tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters.
+    pub fn counters(&self) -> ServerCounters {
+        self.shared.counters()
+    }
+
+    /// Stop accepting, drain every queued connection, and wait for all
+    /// threads to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` and start serving `state` with `config`.
+pub fn serve(
+    state: Arc<ServerState>,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        state,
+        config: config.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+    });
+
+    let workers: Vec<_> = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("elinda-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("elinda-acceptor".into())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr: local,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The listener is non-blocking so the loop can observe
+                // shutdown; handled connections must block normally.
+                let _ = stream.set_nonblocking(false);
+                let enqueued = {
+                    let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    if queue.len() < shared.config.queue_depth {
+                        queue.push_back(stream);
+                        true
+                    } else {
+                        drop(queue);
+                        shed(stream, shared);
+                        false
+                    }
+                };
+                if enqueued {
+                    shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Dropping the listener here closes the accept socket, so clients
+    // connecting after shutdown are refused rather than left hanging.
+}
+
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.shed.fetch_add(1, Ordering::Relaxed);
+    // Drain the request before answering: closing a socket with unread
+    // received data makes the kernel send RST, which can destroy the
+    // 503 before the client reads it. The timeout bounds how long a
+    // slow-writing client can occupy the acceptor.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader = BufReader::new(stream);
+    let _ = Request::parse(&mut reader);
+    let mut stream = reader.into_inner();
+    let response =
+        Response::text(503, "server overloaded, retry later\n").header("Retry-After", "1");
+    let _ = response.write_to(&mut stream);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => {
+                handle_connection(stream, shared);
+                shared.served.fetch_add(1, Ordering::Relaxed);
+            }
+            // Shutdown requested and the queue is fully drained.
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    if !shared.config.handler_delay.is_zero() {
+        thread::sleep(shared.config.handler_delay);
+    }
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let mut reader = BufReader::new(stream);
+    let response = match Request::parse(&mut reader) {
+        Ok(request) => route(&request, shared),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            Response::text(400, format!("bad request: {e}\n"))
+        }
+        // Client vanished before sending a full request.
+        Err(_) => return,
+    };
+    let mut stream = reader.into_inner();
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => metrics(shared),
+        ("GET", "/sparql") | ("POST", "/sparql") => sparql(request, shared),
+        (_, "/health" | "/metrics" | "/sparql") => Response::text(405, "method not allowed\n"),
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let counters = shared.counters();
+    let depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let mut body = shared.state.metrics_text();
+    body.push_str(&format!(
+        "elinda_server_accepted_total {}\n",
+        counters.accepted
+    ));
+    body.push_str(&format!("elinda_server_served_total {}\n", counters.served));
+    body.push_str(&format!("elinda_server_shed_total {}\n", counters.shed));
+    body.push_str(&format!("elinda_server_queue_depth {depth}\n"));
+    body.push_str(&format!(
+        "elinda_server_workers {}\n",
+        shared.config.workers
+    ));
+    Response::text(200, body)
+}
+
+/// Extract the query text per the SPARQL protocol: `?query=` on GET,
+/// and on POST either a raw `application/sparql-query` body or a
+/// `query=` pair in a form-encoded body.
+fn query_text(request: &Request) -> Option<String> {
+    if request.method == "GET" {
+        return request.param("query").map(str::to_string);
+    }
+    let content_type = request.header("content-type").unwrap_or("");
+    let body = String::from_utf8_lossy(&request.body);
+    if content_type.starts_with("application/sparql-query") {
+        return Some(body.into_owned());
+    }
+    parse_query_pairs(&body)
+        .into_iter()
+        .find(|(name, _)| name == "query")
+        .map(|(_, value)| value)
+        .or_else(|| request.param("query").map(str::to_string))
+}
+
+fn sparql(request: &Request, shared: &Shared) -> Response {
+    let Some(query) = query_text(request) else {
+        return Response::text(400, "missing required `query` parameter\n");
+    };
+    match shared.state.execute_json(&query) {
+        Ok((body, served_by)) => {
+            Response::sparql_json(200, body).header("X-Elinda-Served-By", served_by_name(served_by))
+        }
+        Err(e) => Response::text(400, format!("query error: {e}\n")),
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared serving state: one [`TripleStore`] and one metered eLinda
+//! endpoint, owned behind `Arc`s and queried concurrently by every
+//! worker thread.
+
+use elinda_endpoint::json::encode_solutions;
+use elinda_endpoint::{ElindaEndpoint, EndpointConfig, MeteredEndpoint, QueryEngine, ServedBy};
+use elinda_sparql::exec::QueryError;
+use elinda_store::TripleStore;
+use std::sync::Arc;
+
+/// The four serving components, in /metrics and report order.
+pub const COMPONENTS: [ServedBy; 4] = [
+    ServedBy::Direct,
+    ServedBy::Hvs,
+    ServedBy::Decomposer,
+    ServedBy::Remote,
+];
+
+/// Stable lowercase name for a serving component, used in the
+/// `X-Elinda-Served-By` response header and `/metrics` labels.
+pub fn served_by_name(component: ServedBy) -> &'static str {
+    match component {
+        ServedBy::Direct => "direct",
+        ServedBy::Hvs => "hvs",
+        ServedBy::Decomposer => "decomposer",
+        ServedBy::Remote => "remote",
+    }
+}
+
+/// Everything a worker needs to answer a request.
+///
+/// The store is held in an `Arc` shared with the endpoint (which owns
+/// its own clone), so the whole state is a cheap-to-share, `Send + Sync`
+/// value: workers execute queries through `&self` and the endpoint's
+/// interior mutability (HVS cache, metrics) handles concurrent updates.
+pub struct ServerState {
+    store: Arc<TripleStore>,
+    endpoint: MeteredEndpoint<ElindaEndpoint<Arc<TripleStore>>>,
+}
+
+impl ServerState {
+    /// Build serving state over a store with the given endpoint
+    /// configuration.
+    pub fn new(store: Arc<TripleStore>, config: EndpointConfig) -> ServerState {
+        let endpoint = MeteredEndpoint::new(ElindaEndpoint::new(Arc::clone(&store), config));
+        ServerState { store, endpoint }
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The metered endpoint.
+    pub fn endpoint(&self) -> &MeteredEndpoint<ElindaEndpoint<Arc<TripleStore>>> {
+        &self.endpoint
+    }
+
+    /// Execute a query and encode the result in the SPARQL-JSON wire
+    /// format, reporting which component served it.
+    pub fn execute_json(&self, query: &str) -> Result<(String, ServedBy), QueryError> {
+        let outcome = self.endpoint.execute(query)?;
+        let body = encode_solutions(&outcome.solutions, &self.store);
+        Ok((body, outcome.served_by))
+    }
+
+    /// Per-component latency metrics in a line-oriented text format
+    /// (count, mean and tail percentiles in microseconds).
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "elinda_queries_total {}\n",
+            self.endpoint.total_queries()
+        ));
+        for component in COMPONENTS {
+            let name = served_by_name(component);
+            let summary = self.endpoint.summary(component);
+            out.push_str(&format!(
+                "elinda_component_queries_total{{component=\"{name}\"}} {}\n",
+                summary.count
+            ));
+            out.push_str(&format!(
+                "elinda_component_latency_mean_us{{component=\"{name}\"}} {}\n",
+                summary.mean().as_micros()
+            ));
+            for (label, value) in [
+                ("p50", summary.p50()),
+                ("p95", summary.p95()),
+                ("p99", summary.p99()),
+            ] {
+                out.push_str(&format!(
+                    "elinda_component_latency_{label}_us{{component=\"{name}\"}} {}\n",
+                    value.unwrap_or_default().as_micros()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServerState {
+        let store =
+            TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .")
+                .unwrap();
+        ServerState::new(Arc::new(store), EndpointConfig::full())
+    }
+
+    #[test]
+    fn execute_json_matches_in_process_encoding() {
+        let s = state();
+        let q = "SELECT ?s WHERE { ?s a <http://e/C> }";
+        let (body, served_by) = s.execute_json(q).unwrap();
+        let direct = s.endpoint().inner().execute(q).unwrap();
+        assert_eq!(body, encode_solutions(&direct.solutions, s.store()));
+        assert_eq!(served_by, ServedBy::Direct);
+    }
+
+    #[test]
+    fn execute_json_surfaces_query_errors() {
+        assert!(state().execute_json("SELECT nonsense").is_err());
+    }
+
+    #[test]
+    fn metrics_text_reports_each_component() {
+        let s = state();
+        s.execute_json("SELECT ?s WHERE { ?s a <http://e/C> }")
+            .unwrap();
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_queries_total 1"));
+        for component in COMPONENTS {
+            let name = served_by_name(component);
+            assert!(text.contains(&format!(
+                "elinda_component_queries_total{{component=\"{name}\"}}"
+            )));
+            assert!(text.contains(&format!(
+                "elinda_component_latency_p99_us{{component=\"{name}\"}}"
+            )));
+        }
+    }
+}

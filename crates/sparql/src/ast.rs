@@ -56,7 +56,10 @@ pub struct SelectItem {
 impl SelectItem {
     /// A bare variable projection.
     pub fn var(name: impl Into<String>) -> Self {
-        SelectItem { expr: Expr::Var(name.into()), alias: None }
+        SelectItem {
+            expr: Expr::Var(name.into()),
+            alias: None,
+        }
     }
 
     /// The output column name: the alias, or the variable name for bare
@@ -178,7 +181,11 @@ pub struct TriplePatternAst {
 impl TriplePatternAst {
     /// Construct a triple pattern with a simple predicate.
     pub fn new(s: TermOrVar, p: TermOrVar, o: TermOrVar) -> Self {
-        TriplePatternAst { s, p: Predicate::Simple(p), o }
+        TriplePatternAst {
+            s,
+            p: Predicate::Simple(p),
+            o,
+        }
     }
 
     /// Construct a triple pattern with an arbitrary predicate/path.

@@ -25,7 +25,9 @@ pub struct ExecError {
 
 impl ExecError {
     fn new(message: impl Into<String>) -> Self {
-        ExecError { message: message.into() }
+        ExecError {
+            message: message.into(),
+        }
     }
 }
 
@@ -90,7 +92,9 @@ impl Solutions {
 
     /// Extract a column of term ids, skipping unbound and non-term values.
     pub fn term_column(&self, name: &str) -> Vec<TermId> {
-        let Some(col) = self.column(name) else { return Vec::new() };
+        let Some(col) = self.column(name) else {
+            return Vec::new();
+        };
         self.rows
             .iter()
             .filter_map(|r| match r.get(col) {
@@ -122,7 +126,10 @@ impl<'a> Executor<'a> {
     pub fn execute(&self, q: &Query) -> Result<Solutions, ExecError> {
         let mut reg = Registry::default();
         collect_query_vars(q, &mut reg);
-        let mut ev = Eval { store: self.store, reg };
+        let mut ev = Eval {
+            store: self.store,
+            reg,
+        };
         let width = ev.reg.names.len();
         let (vars, rows) = ev.eval_query(q, vec![vec![None; width]])?;
         Ok(Solutions { vars, rows })
@@ -278,7 +285,11 @@ struct Eval<'a> {
 impl Eval<'_> {
     /// Evaluate a query seeded with `seed` rows. Returns `(column names,
     /// output rows)` in projection order.
-    fn eval_query(&mut self, q: &Query, seed: Vec<Row>) -> Result<(Vec<String>, Vec<Row>), ExecError> {
+    fn eval_query(
+        &mut self,
+        q: &Query,
+        seed: Vec<Row>,
+    ) -> Result<(Vec<String>, Vec<Row>), ExecError> {
         let mut bound: FxHashSet<usize> = FxHashSet::default();
         let mut rows = self.eval_group(&q.where_clause, seed, &mut bound)?;
 
@@ -341,7 +352,8 @@ impl Eval<'_> {
                     .iter()
                     .enumerate()
                     .map(|(i, item)| {
-                        item.output_name().map_or_else(|| format!("_c{i}"), str::to_string)
+                        item.output_name()
+                            .map_or_else(|| format!("_c{i}"), str::to_string)
                     })
                     .collect();
                 let mut out = Vec::with_capacity(rows.len());
@@ -471,8 +483,7 @@ impl Eval<'_> {
                             r
                         })
                         .collect();
-                    let sub_vars: FxHashSet<usize> =
-                        name_slots.iter().flatten().copied().collect();
+                    let sub_vars: FxHashSet<usize> = name_slots.iter().flatten().copied().collect();
                     let keys: Vec<usize> = sub_vars.intersection(bound).copied().collect();
                     rows = hash_join(rows, sub_rows, &keys);
                     bound.extend(sub_vars);
@@ -532,23 +543,24 @@ impl Eval<'_> {
         for row in rows {
             // Positions: constant, bound var (must hold a term), or free.
             let mut ok = true;
-            let fixed = |cst: Option<Option<TermId>>, var: Option<usize>, row: &Row, ok: &mut bool| {
-                if let Some(c) = cst {
-                    return c;
-                }
-                if let Some(i) = var {
-                    match &row[i] {
-                        Some(Value::Term(id)) => return Some(*id),
-                        Some(_) => {
-                            // A computed value can never match a stored term.
-                            *ok = false;
-                            return None;
-                        }
-                        None => return None,
+            let fixed =
+                |cst: Option<Option<TermId>>, var: Option<usize>, row: &Row, ok: &mut bool| {
+                    if let Some(c) = cst {
+                        return c;
                     }
-                }
-                None
-            };
+                    if let Some(i) = var {
+                        match &row[i] {
+                            Some(Value::Term(id)) => return Some(*id),
+                            Some(_) => {
+                                // A computed value can never match a stored term.
+                                *ok = false;
+                                return None;
+                            }
+                            None => return None,
+                        }
+                    }
+                    None
+                };
             let fs = fixed(s_const, s_var, &row, &mut ok);
             let fp = fixed(p_const, p_var, &row, &mut ok);
             let fo = fixed(o_const, o_var, &row, &mut ok);
@@ -612,20 +624,21 @@ impl Eval<'_> {
 
         let mut out = Vec::new();
         for row in rows {
-            let bound_term = |cst: Option<Option<TermId>>, var: Option<usize>| -> (bool, Option<TermId>) {
-                // (is_fixed, id). A fixed-but-unknown constant yields
-                // (true, None): only zero-length self-paths can match it,
-                // and those require the term to exist — so no match.
-                if let Some(c) = cst {
-                    return (true, c);
-                }
-                if let Some(i) = var {
-                    if let Some(Value::Term(id)) = &row[i] {
-                        return (true, Some(*id));
+            let bound_term =
+                |cst: Option<Option<TermId>>, var: Option<usize>| -> (bool, Option<TermId>) {
+                    // (is_fixed, id). A fixed-but-unknown constant yields
+                    // (true, None): only zero-length self-paths can match it,
+                    // and those require the term to exist — so no match.
+                    if let Some(c) = cst {
+                        return (true, c);
                     }
-                }
-                (false, None)
-            };
+                    if let Some(i) = var {
+                        if let Some(Value::Term(id)) = &row[i] {
+                            return (true, Some(*id));
+                        }
+                    }
+                    (false, None)
+                };
             let (s_fixed, fs) = bound_term(s_const, s_var);
             let (o_fixed, fo) = bound_term(o_const, o_var);
 
@@ -706,11 +719,7 @@ impl Eval<'_> {
 
     fn aggregate(&mut self, q: &Query, rows: Vec<Row>) -> Result<Vec<Row>, ExecError> {
         let width = self.reg.names.len();
-        let key_slots: Vec<usize> = q
-            .group_by
-            .iter()
-            .map(|v| self.reg.intern(v))
-            .collect();
+        let key_slots: Vec<usize> = q.group_by.iter().map(|v| self.reg.intern(v)).collect();
 
         let mut groups: FxHashMap<Vec<Option<Value>>, Vec<Row>> = FxHashMap::default();
         if rows.is_empty() && key_slots.is_empty() {
@@ -719,8 +728,7 @@ impl Eval<'_> {
             groups.insert(Vec::new(), Vec::new());
         } else {
             for r in rows {
-                let key: Vec<Option<Value>> =
-                    key_slots.iter().map(|&i| r[i].clone()).collect();
+                let key: Vec<Option<Value>> = key_slots.iter().map(|&i| r[i].clone()).collect();
                 groups.entry(key).or_default().push(r);
             }
         }
@@ -728,7 +736,9 @@ impl Eval<'_> {
         let items = match &q.select.items {
             SelectItems::Items(items) => items.clone(),
             SelectItems::Star => {
-                return Err(ExecError::new("SELECT * cannot be combined with aggregation"))
+                return Err(ExecError::new(
+                    "SELECT * cannot be combined with aggregation",
+                ))
             }
         };
 
@@ -771,7 +781,9 @@ impl Eval<'_> {
 
     fn eval_agg_expr(&mut self, expr: &Expr, group: &[Row]) -> Result<Option<Value>, ExecError> {
         match expr {
-            Expr::Aggregate(func, arg, distinct) => self.eval_aggregate(*func, arg.as_deref(), *distinct, group),
+            Expr::Aggregate(func, arg, distinct) => {
+                self.eval_aggregate(*func, arg.as_deref(), *distinct, group)
+            }
             Expr::Binary(op, a, b) => {
                 let va = self.eval_agg_expr(a, group)?;
                 let vb = self.eval_agg_expr(b, group)?;
@@ -820,7 +832,10 @@ impl Eval<'_> {
         };
         let values: Vec<Value> = if distinct {
             let mut seen: FxHashSet<Value> = FxHashSet::default();
-            values.into_iter().filter(|v| seen.insert(v.clone())).collect()
+            values
+                .into_iter()
+                .filter(|v| seen.insert(v.clone()))
+                .collect()
         } else {
             values
         };
@@ -866,12 +881,20 @@ impl Eval<'_> {
                 }
                 Ok(Some(Value::Float(sum / values.len() as f64)))
             }
-            AggFunc::Min => Ok(values
-                .into_iter()
-                .reduce(|a, b| if b.sparql_cmp(&a, self.store).is_lt() { b } else { a })),
-            AggFunc::Max => Ok(values
-                .into_iter()
-                .reduce(|a, b| if b.sparql_cmp(&a, self.store).is_gt() { b } else { a })),
+            AggFunc::Min => Ok(values.into_iter().reduce(|a, b| {
+                if b.sparql_cmp(&a, self.store).is_lt() {
+                    b
+                } else {
+                    a
+                }
+            })),
+            AggFunc::Max => Ok(values.into_iter().reduce(|a, b| {
+                if b.sparql_cmp(&a, self.store).is_gt() {
+                    b
+                } else {
+                    a
+                }
+            })),
         }
     }
 
@@ -886,7 +909,9 @@ impl Eval<'_> {
             Expr::Constant(t) => Ok(Some(self.constant_value(t))),
             Expr::Not(e) => {
                 let v = self.eval_expr(e, row)?;
-                Ok(Some(Value::Bool(!v.map(|v| v.truthy(self.store)).unwrap_or(false))))
+                Ok(Some(Value::Bool(
+                    !v.map(|v| v.truthy(self.store)).unwrap_or(false),
+                )))
             }
             Expr::Binary(op, a, b) => {
                 // Short-circuit logical operators.
@@ -918,11 +943,13 @@ impl Eval<'_> {
                 self.apply_binary(*op, va, vb)
             }
             Expr::Call(func, args) => self.eval_call(*func, args, row),
-            Expr::Aggregate(..) => {
-                Err(ExecError::new("aggregate used outside an aggregation context"))
-            }
+            Expr::Aggregate(..) => Err(ExecError::new(
+                "aggregate used outside an aggregation context",
+            )),
             Expr::In(e, list, negated) => {
-                let Some(v) = self.eval_expr(e, row)? else { return Ok(None) };
+                let Some(v) = self.eval_expr(e, row)? else {
+                    return Ok(None);
+                };
                 let mut found = false;
                 for item in list {
                     if let Some(w) = self.eval_expr(item, row)? {
@@ -966,7 +993,9 @@ impl Eval<'_> {
         va: Option<Value>,
         vb: Option<Value>,
     ) -> Result<Option<Value>, ExecError> {
-        let (Some(a), Some(b)) = (va, vb) else { return Ok(None) };
+        let (Some(a), Some(b)) = (va, vb) else {
+            return Ok(None);
+        };
         let v = match op {
             BinOp::And => Value::Bool(a.truthy(self.store) && b.truthy(self.store)),
             BinOp::Or => Value::Bool(a.truthy(self.store) || b.truthy(self.store)),
@@ -982,15 +1011,10 @@ impl Eval<'_> {
                 })
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                let (Some(x), Some(y)) =
-                    (a.as_number(self.store), b.as_number(self.store))
-                else {
+                let (Some(x), Some(y)) = (a.as_number(self.store), b.as_number(self.store)) else {
                     return Ok(None);
                 };
-                let ints = matches!(
-                    (&a, &b),
-                    (Value::Int(_), Value::Int(_))
-                );
+                let ints = matches!((&a, &b), (Value::Int(_), Value::Int(_)));
                 match op {
                     BinOp::Add if ints => Value::Int(x as i64 + y as i64),
                     BinOp::Sub if ints => Value::Int(x as i64 - y as i64),
@@ -1026,7 +1050,9 @@ impl Eval<'_> {
             };
             return Ok(Some(Value::Bool(bound)));
         }
-        let Some(v0) = self.eval_expr(&args[0], row)? else { return Ok(None) };
+        let Some(v0) = self.eval_expr(&args[0], row)? else {
+            return Ok(None);
+        };
         match func {
             Func::Str => Ok(Some(Value::Str(v0.as_str_value(self.store)))),
             Func::Lang => {
@@ -1065,7 +1091,9 @@ impl Eval<'_> {
                 _ => true,
             }))),
             Func::Regex | Func::Contains | Func::StrStarts | Func::StrEnds => {
-                let Some(v1) = self.eval_expr(&args[1], row)? else { return Ok(None) };
+                let Some(v1) = self.eval_expr(&args[1], row)? else {
+                    return Ok(None);
+                };
                 let haystack = v0.as_str_value(self.store);
                 let needle = v1.as_str_value(self.store);
                 let result = match func {
@@ -1233,7 +1261,9 @@ mod tests {
     }
 
     fn run(store: &TripleStore, q: &str) -> Solutions {
-        Executor::new(store).run(q).unwrap_or_else(|e| panic!("{e}\nquery: {q}"))
+        Executor::new(store)
+            .run(q)
+            .unwrap_or_else(|e| panic!("{e}\nquery: {q}"))
     }
 
     fn ints(sol: &Solutions, col: &str) -> Vec<i64> {
@@ -1277,7 +1307,10 @@ mod tests {
     #[test]
     fn filter_numeric() {
         let s = store();
-        let sol = run(&s, "SELECT ?s WHERE { ?s <http://e/age> ?a FILTER(?a > 30) }");
+        let sol = run(
+            &s,
+            "SELECT ?s WHERE { ?s <http://e/age> ?a FILTER(?a > 30) }",
+        );
         assert_eq!(sol.len(), 2); // alice 34, carol 41
     }
 
@@ -1304,11 +1337,7 @@ mod tests {
             "SELECT ?s ?l WHERE { ?s a <http://e/Person> OPTIONAL { ?s <http://www.w3.org/2000/01/rdf-schema#label> ?l } }",
         );
         assert_eq!(sol.len(), 3);
-        let labelled = sol
-            .rows
-            .iter()
-            .filter(|r| r[1].is_some())
-            .count();
+        let labelled = sol.rows.iter().filter(|r| r[1].is_some()).count();
         assert_eq!(labelled, 1); // only alice has a label
     }
 

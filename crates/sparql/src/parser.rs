@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPARQL parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "SPARQL parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -34,8 +38,15 @@ impl std::error::Error for ParseError {}
 
 /// Parse a SPARQL `SELECT` query.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(input).map_err(|e| ParseError { line: e.line, message: e.message })?;
-    let mut p = Parser { tokens, pos: 0, prefixes: default_prefixes() };
+    let tokens = tokenize(input).map_err(|e| ParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: default_prefixes(),
+    };
     p.parse_prologue()?;
     let q = p.parse_select_query()?;
     if p.pos != p.tokens.len() {
@@ -77,7 +88,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: msg.into() }
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -146,7 +160,8 @@ impl Parser {
                     Some(Token::Iri(i)) => i,
                     _ => return Err(self.err("expected IRI in PREFIX declaration")),
                 };
-                self.prefixes.insert(pname[..pname.len() - 1].to_string(), iri);
+                self.prefixes
+                    .insert(pname[..pname.len() - 1].to_string(), iri);
             } else if self.eat_keyword("BASE") {
                 match self.bump() {
                     Some(Token::Iri(_)) => {}
@@ -194,7 +209,10 @@ impl Parser {
                         }
                         Some(Token::Var(_)) => {
                             if let Some(Token::Var(v)) = self.bump() {
-                                order_by.push(OrderKey { expr: Expr::Var(v), ascending: true });
+                                order_by.push(OrderKey {
+                                    expr: Expr::Var(v),
+                                    ascending: true,
+                                });
                             }
                         }
                         _ => break,
@@ -360,7 +378,10 @@ impl Parser {
                 }
                 if self.eat_punct(';') {
                     // Allow trailing ';' before '.' or '}'.
-                    if matches!(self.peek(), Some(Token::Punct('.')) | Some(Token::Punct('}'))) {
+                    if matches!(
+                        self.peek(),
+                        Some(Token::Punct('.')) | Some(Token::Punct('}'))
+                    ) {
                         break;
                     }
                     continue;
@@ -419,7 +440,9 @@ impl Parser {
                 self.pos += 1;
                 Ok(TermOrVar::Term(Term::iri(self.expand_pname(&p)?)))
             }
-            Some(Token::Str(_)) | Some(Token::Integer(_)) | Some(Token::Decimal(_))
+            Some(Token::Str(_))
+            | Some(Token::Integer(_))
+            | Some(Token::Decimal(_))
             | Some(Token::Keyword(_))
                 if !predicate =>
             {
@@ -707,9 +730,7 @@ mod tests {
 
     #[test]
     fn prefixes_expand() {
-        let q = parses(
-            "PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:C }",
-        );
+        let q = parses("PREFIX ex: <http://e/> SELECT ?s WHERE { ?s a ex:C }");
         match &q.where_clause.elements[0] {
             PatternElement::Triples(ts) => {
                 assert_eq!(ts[0].p, Predicate::iri(vocab::rdf::TYPE));
@@ -746,22 +767,29 @@ mod tests {
 
     #[test]
     fn filters_and_functions() {
-        let q = parses(
-            r#"SELECT ?s WHERE { ?s ?p ?o FILTER(?o > 5 && CONTAINS(STR(?s), "x")) }"#,
-        );
-        assert!(matches!(&q.where_clause.elements[1], PatternElement::Filter(_)));
+        let q = parses(r#"SELECT ?s WHERE { ?s ?p ?o FILTER(?o > 5 && CONTAINS(STR(?s), "x")) }"#);
+        assert!(matches!(
+            &q.where_clause.elements[1],
+            PatternElement::Filter(_)
+        ));
     }
 
     #[test]
     fn filter_without_parens_around_builtin() {
         let q = parses("SELECT ?s WHERE { ?s ?p ?o FILTER BOUND(?o) }");
-        assert!(matches!(&q.where_clause.elements[1], PatternElement::Filter(_)));
+        assert!(matches!(
+            &q.where_clause.elements[1],
+            PatternElement::Filter(_)
+        ));
     }
 
     #[test]
     fn optional_groups() {
         let q = parses("SELECT ?s WHERE { ?s a ?c OPTIONAL { ?s <http://e/l> ?l } }");
-        assert!(matches!(&q.where_clause.elements[1], PatternElement::Optional(_)));
+        assert!(matches!(
+            &q.where_clause.elements[1],
+            PatternElement::Optional(_)
+        ));
     }
 
     #[test]
@@ -783,7 +811,10 @@ mod tests {
         let q = parses(
             "SELECT ?p WHERE { { SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p } }",
         );
-        assert!(matches!(&q.where_clause.elements[0], PatternElement::SubSelect(_)));
+        assert!(matches!(
+            &q.where_clause.elements[0],
+            PatternElement::SubSelect(_)
+        ));
     }
 
     #[test]
@@ -806,8 +837,14 @@ mod tests {
         );
         match &q.select.items {
             SelectItems::Items(items) => {
-                assert!(matches!(items[0].expr, Expr::Aggregate(AggFunc::Count, Some(_), true)));
-                assert!(matches!(items[1].expr, Expr::Aggregate(AggFunc::Sum, Some(_), false)));
+                assert!(matches!(
+                    items[0].expr,
+                    Expr::Aggregate(AggFunc::Count, Some(_), true)
+                ));
+                assert!(matches!(
+                    items[1].expr,
+                    Expr::Aggregate(AggFunc::Sum, Some(_), false)
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -73,17 +73,56 @@ pub struct TokenError {
 
 impl fmt::Display for TokenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPARQL lex error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "SPARQL lex error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
 impl std::error::Error for TokenError {}
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "WHERE", "FILTER", "OPTIONAL", "UNION", "GROUP", "BY", "HAVING",
-    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "PREFIX", "BASE", "FROM", "COUNT", "SUM",
-    "AVG", "MIN", "MAX", "REGEX", "STR", "LANG", "DATATYPE", "BOUND", "ISIRI", "ISURI",
-    "ISLITERAL", "ISBLANK", "CONTAINS", "STRSTARTS", "STRENDS", "IN", "NOT", "TRUE", "FALSE",
+    "SELECT",
+    "DISTINCT",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "PREFIX",
+    "BASE",
+    "FROM",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "REGEX",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "BOUND",
+    "ISIRI",
+    "ISURI",
+    "ISLITERAL",
+    "ISBLANK",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "IN",
+    "NOT",
+    "TRUE",
+    "FALSE",
 ];
 
 /// Tokenize a SPARQL query string.
@@ -92,7 +131,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
     let bytes = input.as_bytes();
     let mut i = 0;
     let mut line = 1;
-    let err = |line: usize, msg: &str| TokenError { line, message: msg.to_string() };
+    let err = |line: usize, msg: &str| TokenError {
+        line,
+        message: msg.to_string(),
+    };
 
     while i < bytes.len() {
         let c = bytes[i];
@@ -116,7 +158,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                 if j == start {
                     return Err(err(line, "empty variable name"));
                 }
-                toks.push(Located { tok: Token::Var(input[start..j].to_string()), line });
+                toks.push(Located {
+                    tok: Token::Var(input[start..j].to_string()),
+                    line,
+                });
                 i = j;
             }
             b'<' => {
@@ -134,37 +179,61 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                     }
                 }
                 if is_iri {
-                    toks.push(Located { tok: Token::Iri(input[i + 1..j].to_string()), line });
+                    toks.push(Located {
+                        tok: Token::Iri(input[i + 1..j].to_string()),
+                        line,
+                    });
                     i = j + 1;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    toks.push(Located { tok: Token::Op2(['<', '=']), line });
+                    toks.push(Located {
+                        tok: Token::Op2(['<', '=']),
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(Located { tok: Token::Punct('<'), line });
+                    toks.push(Located {
+                        tok: Token::Punct('<'),
+                        line,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    toks.push(Located { tok: Token::Op2(['>', '=']), line });
+                    toks.push(Located {
+                        tok: Token::Op2(['>', '=']),
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(Located { tok: Token::Punct('>'), line });
+                    toks.push(Located {
+                        tok: Token::Punct('>'),
+                        line,
+                    });
                     i += 1;
                 }
             }
             b'!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    toks.push(Located { tok: Token::Op2(['!', '=']), line });
+                    toks.push(Located {
+                        tok: Token::Op2(['!', '=']),
+                        line,
+                    });
                     i += 2;
                 } else {
-                    toks.push(Located { tok: Token::Bang, line });
+                    toks.push(Located {
+                        tok: Token::Bang,
+                        line,
+                    });
                     i += 1;
                 }
             }
             b'&' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
-                    toks.push(Located { tok: Token::Op2(['&', '&']), line });
+                    toks.push(Located {
+                        tok: Token::Op2(['&', '&']),
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(err(line, "stray '&'"));
@@ -172,7 +241,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
             }
             b'|' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
-                    toks.push(Located { tok: Token::Op2(['|', '|']), line });
+                    toks.push(Located {
+                        tok: Token::Op2(['|', '|']),
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(err(line, "stray '|'"));
@@ -180,7 +252,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
             }
             b'^' => {
                 if input[i..].starts_with("^^") {
-                    toks.push(Located { tok: Token::DtSep, line });
+                    toks.push(Located {
+                        tok: Token::DtSep,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(err(line, "stray '^'"));
@@ -197,9 +272,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                         break;
                     }
                     if ch == '\\' {
-                        let (_, esc) = chars
-                            .next()
-                            .ok_or_else(|| err(line, "dangling escape"))?;
+                        let (_, esc) = chars.next().ok_or_else(|| err(line, "dangling escape"))?;
                         match esc {
                             '"' => lexical.push('"'),
                             '\'' => lexical.push('\''),
@@ -216,7 +289,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                     }
                 }
                 let consumed = consumed.ok_or_else(|| err(line, "unterminated string"))?;
-                toks.push(Located { tok: Token::Str(lexical), line });
+                toks.push(Located {
+                    tok: Token::Str(lexical),
+                    line,
+                });
                 i += consumed;
                 if i < bytes.len() && bytes[i] == b'@' {
                     let start = i + 1;
@@ -228,12 +304,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                     if j == start {
                         return Err(err(line, "empty language tag"));
                     }
-                    toks.push(Located { tok: Token::LangTag(input[start..j].to_string()), line });
+                    toks.push(Located {
+                        tok: Token::LangTag(input[start..j].to_string()),
+                        line,
+                    });
                     i = j;
                 }
             }
             b'{' | b'}' | b'(' | b')' | b';' | b',' | b'*' | b'+' | b'/' | b'=' => {
-                toks.push(Located { tok: Token::Punct(c as char), line });
+                toks.push(Located {
+                    tok: Token::Punct(c as char),
+                    line,
+                });
                 i += 1;
             }
             b'-' => {
@@ -243,12 +325,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                     toks.push(Located { tok, line });
                     i = next;
                 } else {
-                    toks.push(Located { tok: Token::Punct('-'), line });
+                    toks.push(Located {
+                        tok: Token::Punct('-'),
+                        line,
+                    });
                     i += 1;
                 }
             }
             b'.' => {
-                toks.push(Located { tok: Token::Punct('.'), line });
+                toks.push(Located {
+                    tok: Token::Punct('.'),
+                    line,
+                });
                 i += 1;
             }
             c if c.is_ascii_digit() => {
@@ -262,7 +350,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Located>, TokenError> {
                 let mut j = i;
                 while j < bytes.len() {
                     let b = bytes[j];
-                    let is_word = b.is_ascii_alphanumeric() || b == b'_' || b == b':' || b == b'-'
+                    let is_word = b.is_ascii_alphanumeric()
+                        || b == b'_'
+                        || b == b':'
+                        || b == b'-'
                         || b >= 0x80;
                     // A '.' inside a pname local part is allowed only when
                     // followed by a word character (so `ex:x .` terminates).
@@ -311,11 +402,12 @@ fn scan_number(input: &str, start: usize, line: usize) -> Result<(Token, usize),
                 is_decimal = true;
                 j += 1;
             }
-            b'e' | b'E' if j + 1 < bytes.len()
-                && (bytes[j + 1].is_ascii_digit()
-                    || ((bytes[j + 1] == b'-' || bytes[j + 1] == b'+')
-                        && j + 2 < bytes.len()
-                        && bytes[j + 2].is_ascii_digit())) =>
+            b'e' | b'E'
+                if j + 1 < bytes.len()
+                    && (bytes[j + 1].is_ascii_digit()
+                        || ((bytes[j + 1] == b'-' || bytes[j + 1] == b'+')
+                            && j + 2 < bytes.len()
+                            && bytes[j + 2].is_ascii_digit())) =>
             {
                 is_decimal = true;
                 j += 2;
@@ -343,7 +435,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|l| l.tok).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|l| l.tok)
+            .collect()
     }
 
     #[test]

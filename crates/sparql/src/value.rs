@@ -213,7 +213,10 @@ mod tests {
     #[test]
     fn ordering() {
         let s = store();
-        assert_eq!(Value::Int(2).sparql_cmp(&Value::Float(3.0), &s), Ordering::Less);
+        assert_eq!(
+            Value::Int(2).sparql_cmp(&Value::Float(3.0), &s),
+            Ordering::Less
+        );
         assert_eq!(
             Value::Str("a".into()).sparql_cmp(&Value::Str("b".into()), &s),
             Ordering::Less

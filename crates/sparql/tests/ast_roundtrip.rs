@@ -76,12 +76,12 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(b)
             )),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Call(Func::Str, vec![e])),
-            (inner.clone(), proptest::collection::vec(inner, 1..3)).prop_map(
-                |(e, list)| Expr::In(Box::new(e), list, false)
-            ),
+            inner.clone().prop_map(|e| Expr::Call(Func::Str, vec![e])),
+            (inner.clone(), proptest::collection::vec(inner, 1..3)).prop_map(|(e, list)| Expr::In(
+                Box::new(e),
+                list,
+                false
+            )),
         ]
     })
 }

@@ -80,7 +80,9 @@ impl LabelIndex {
     /// with `prefix` (case-insensitive), sorted by key, capped at `limit`.
     pub fn autocomplete(&self, prefix: &str, limit: usize) -> Vec<TermId> {
         let prefix = prefix.to_lowercase();
-        let start = self.search.partition_point(|(k, _)| k.as_str() < prefix.as_str());
+        let start = self
+            .search
+            .partition_point(|(k, _)| k.as_str() < prefix.as_str());
         let mut out = Vec::new();
         for (k, id) in &self.search[start..] {
             if !k.starts_with(&prefix) {

@@ -22,7 +22,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// A pattern with all positions free (full scan).
     pub fn any() -> Self {
-        TriplePattern { s: None, p: None, o: None }
+        TriplePattern {
+            s: None,
+            p: None,
+            o: None,
+        }
     }
 
     /// Construct a pattern.
@@ -49,16 +53,21 @@ impl TriplePattern {
     /// `(s, free, o)` is a pure range scan; the two exceptions scan the
     /// tightest available range and filter the residual position.
     pub fn scan<'a>(&self, store: &'a TripleStore) -> PatternIter<'a> {
-        let (slice, residual): (&[Triple], Option<TriplePattern>) =
-            match (self.s, self.p, self.o) {
-                (Some(s), p, None) => (store.spo_range(s, p), None),
-                (Some(s), Some(p), Some(o)) => (store.spo_range(s, Some(p)), Some(TriplePattern::new(None, None, Some(o)))),
-                (Some(s), None, Some(o)) => (store.osp_range(o, Some(s)), None),
-                (None, Some(p), o) => (store.pos_range(p, o), None),
-                (None, None, Some(o)) => (store.osp_range(o, None), None),
-                (None, None, None) => (store.spo_slice(), None),
-            };
-        PatternIter { slice: slice.iter(), residual }
+        let (slice, residual): (&[Triple], Option<TriplePattern>) = match (self.s, self.p, self.o) {
+            (Some(s), p, None) => (store.spo_range(s, p), None),
+            (Some(s), Some(p), Some(o)) => (
+                store.spo_range(s, Some(p)),
+                Some(TriplePattern::new(None, None, Some(o))),
+            ),
+            (Some(s), None, Some(o)) => (store.osp_range(o, Some(s)), None),
+            (None, Some(p), o) => (store.pos_range(p, o), None),
+            (None, None, Some(o)) => (store.osp_range(o, None), None),
+            (None, None, None) => (store.spo_slice(), None),
+        };
+        PatternIter {
+            slice: slice.iter(),
+            residual,
+        }
     }
 
     /// Count matching triples. Exact-range shapes answer in `O(log n)`

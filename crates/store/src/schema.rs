@@ -92,10 +92,14 @@ impl ClassHierarchy {
         // The schema meta-classes are classes *of classes*; they would
         // otherwise always surface as roots in datasets that declare their
         // classes (every `c a owl:Class` makes owl:Class a type object).
-        let meta: Vec<TermId> = [owl_class, rdfs_class, store.lookup_iri(vocab::rdf::PROPERTY)]
-            .into_iter()
-            .flatten()
-            .collect();
+        let meta: Vec<TermId> = [
+            owl_class,
+            rdfs_class,
+            store.lookup_iri(vocab::rdf::PROPERTY),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
         let mut roots: Vec<TermId> = classes
             .iter()
             .copied()
@@ -168,7 +172,9 @@ impl ClassHierarchy {
     /// Direct instances of `class`: subjects with `(s, rdf:type, class)`,
     /// sorted and unique.
     pub fn instances(&self, store: &TripleStore, class: TermId) -> Vec<TermId> {
-        let Some(ty) = self.rdf_type else { return Vec::new() };
+        let Some(ty) = self.rdf_type else {
+            return Vec::new();
+        };
         let mut out: Vec<TermId> = store.subjects_with(ty, class).collect();
         out.dedup(); // pos range is sorted by s for fixed (p, o)
         out
@@ -197,7 +203,9 @@ impl ClassHierarchy {
 
     /// Classes of an instance: objects of `(s, rdf:type, ·)`, sorted.
     pub fn classes_of(&self, store: &TripleStore, instance: TermId) -> Vec<TermId> {
-        let Some(ty) = self.rdf_type else { return Vec::new() };
+        let Some(ty) = self.rdf_type else {
+            return Vec::new();
+        };
         let mut out: Vec<TermId> = store.objects_of(instance, ty).collect();
         out.sort_unstable();
         out.dedup();

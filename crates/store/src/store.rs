@@ -45,12 +45,20 @@ impl TripleStore {
         spo.sort_unstable_by_key(Triple::spo);
         pos.sort_unstable_by_key(Triple::pos);
         osp.sort_unstable_by_key(Triple::osp);
-        TripleStore { interner, spo, pos, osp, epoch: 0 }
+        TripleStore {
+            interner,
+            spo,
+            pos,
+            osp,
+            epoch: 0,
+        }
     }
 
     /// Parse and load an N-Triples document.
     pub fn from_ntriples(input: &str) -> Result<Self, elinda_rdf::RdfError> {
-        Ok(Self::from_graph(elinda_rdf::ntriples::parse_document(input)?))
+        Ok(Self::from_graph(elinda_rdf::ntriples::parse_document(
+            input,
+        )?))
     }
 
     /// Parse and load a Turtle document.
@@ -243,8 +251,7 @@ impl Default for TripleStore {
 /// assuming `sorted` is ordered consistently with `cmp`.
 fn range_by(sorted: &[Triple], cmp: impl Fn(&Triple) -> std::cmp::Ordering) -> &[Triple] {
     let start = sorted.partition_point(|t| cmp(t) == std::cmp::Ordering::Less);
-    let end = start
-        + sorted[start..].partition_point(|t| cmp(t) == std::cmp::Ordering::Equal);
+    let end = start + sorted[start..].partition_point(|t| cmp(t) == std::cmp::Ordering::Equal);
     &sorted[start..end]
 }
 
@@ -267,7 +274,9 @@ mod tests {
     }
 
     fn iri(store: &TripleStore, s: &str) -> TermId {
-        store.lookup_iri(s).unwrap_or_else(|| panic!("{s} not interned"))
+        store
+            .lookup_iri(s)
+            .unwrap_or_else(|| panic!("{s} not interned"))
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub struct ChartStyle {
 
 impl Default for ChartStyle {
     fn default() -> Self {
-        ChartStyle { width: 40, max_bars: 20, show_coverage: None, glyph: '█' }
+        ChartStyle {
+            width: 40,
+            max_bars: 20,
+            show_coverage: None,
+            glyph: '█',
+        }
     }
 }
 
@@ -133,7 +138,10 @@ mod tests {
         let ex = Explorer::new(&store);
         let pane = ex.initial_pane().unwrap();
         let chart = pane.subclass_chart(&ex);
-        let style = ChartStyle { max_bars: 1, ..Default::default() };
+        let style = ChartStyle {
+            max_bars: 1,
+            ..Default::default()
+        };
         let text = render_chart(&chart, &ex, &style);
         assert!(text.contains("… 1 more bars"));
     }

@@ -22,7 +22,12 @@ pub struct SvgStyle {
 
 impl Default for SvgStyle {
     fn default() -> Self {
-        SvgStyle { width: 640, height: 320, max_bars: 16, fill: "#4878a8".to_string() }
+        SvgStyle {
+            width: 640,
+            height: 320,
+            max_bars: 16,
+            fill: "#4878a8".to_string(),
+        }
     }
 }
 
@@ -91,10 +96,7 @@ pub fn render_chart_svg(chart: &BarChart, explorer: &Explorer<'_>, style: &SvgSt
                 chart.kind(),
                 ChartKind::PropertyOutgoing | ChartKind::PropertyIncoming
             ) {
-                t.push_str(&format!(
-                    ", coverage {:.0}%",
-                    chart.coverage(bar) * 100.0
-                ));
+                t.push_str(&format!(", coverage {:.0}%", chart.coverage(bar) * 100.0));
             }
             t
         };
@@ -192,7 +194,10 @@ mod tests {
         let ex = Explorer::new(&store);
         let pane = ex.initial_pane().unwrap();
         let chart = pane.subclass_chart(&ex);
-        let style = SvgStyle { max_bars: 1, ..Default::default() };
+        let style = SvgStyle {
+            max_bars: 1,
+            ..Default::default()
+        };
         let svg = render_chart_svg(&chart, &ex, &style);
         assert_eq!(svg.matches("<rect").count(), 1);
         assert!(svg.contains("1 more bars"));

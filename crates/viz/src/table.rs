@@ -25,8 +25,7 @@ pub fn render_table(table: &DataTable, explorer: &Explorer<'_>, max_rows: usize)
         out.push_str(explorer.display(instance));
         for cell in values {
             out.push_str(" | ");
-            let rendered: Vec<&str> =
-                cell.iter().map(|&v| explorer.display(v)).collect();
+            let rendered: Vec<&str> = cell.iter().map(|&v| explorer.display(v)).collect();
             out.push_str(&rendered.join(", "));
         }
         out.push('\n');
@@ -80,7 +79,10 @@ mod tests {
         let mut table = pane.data_table();
         let bp = store.lookup_iri("http://e/birthPlace").unwrap();
         table.add_column(&store, bp);
-        table.add_filter(ColumnFilter::Contains { prop: bp, text: "athens".into() });
+        table.add_filter(ColumnFilter::Contains {
+            prop: bp,
+            text: "athens".into(),
+        });
         let text = render_table(&table, &ex, 10);
         assert!(text.contains("Plato"));
         assert!(!text.contains("Kant"));

@@ -21,7 +21,10 @@ fn main() {
     let cfg = DbpediaConfig::paper_shape().scaled(0.05);
     let store = generate_dbpedia(&cfg);
     let explorer = Explorer::new(&store);
-    let style = ChartStyle { max_bars: 8, ..Default::default() };
+    let style = ChartStyle {
+        max_bars: 8,
+        ..Default::default()
+    };
 
     let person = store
         .lookup_iri(&format!("{}Person", vocab::dbo::NS))
@@ -49,7 +52,10 @@ fn main() {
         "\n⚠ {} birth places are of type Food — erroneous data!",
         food_bar.height()
     );
-    println!("SPARQL extracting them:\n{}\n", food_bar.spec.to_sparql(&store));
+    println!(
+        "SPARQL extracting them:\n{}\n",
+        food_bar.spec.to_sparql(&store)
+    );
 
     // List the people born in food: filter the Person pane to members whose
     // birthPlace is one of the offending resources.

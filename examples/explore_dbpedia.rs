@@ -26,7 +26,10 @@ fn main() {
     let cfg = DbpediaConfig::paper_shape().scaled(0.1);
     let store = generate_dbpedia(&cfg);
     let explorer = Explorer::new(&store);
-    let style = ChartStyle { max_bars: 12, ..Default::default() };
+    let style = ChartStyle {
+        max_bars: 12,
+        ..Default::default()
+    };
 
     println!("== dataset statistics (shown on connect, Section 3.1) ==");
     println!("{}\n", explorer.stats());
@@ -58,10 +61,7 @@ fn main() {
     exploration
         .apply(&explorer, dbo(&store, "Person"), ExpansionKind::Subclass)
         .expect("Person under Agent");
-    print!(
-        "{}",
-        render_chart(exploration.current(), &explorer, &style)
-    );
+    print!("{}", render_chart(exploration.current(), &explorer, &style));
     exploration
         .apply(
             &explorer,
@@ -76,12 +76,12 @@ fn main() {
             ExpansionKind::Objects(Direction::Outgoing),
         )
         .expect("philosophers feature influencedBy");
-    println!("breadcrumbs: {}", render_breadcrumbs(&exploration, &explorer));
-    println!("\n-- the types of people that influenced philosophers --");
-    print!(
-        "{}",
-        render_chart(exploration.current(), &explorer, &style)
+    println!(
+        "breadcrumbs: {}",
+        render_breadcrumbs(&exploration, &explorer)
     );
+    println!("\n-- the types of people that influenced philosophers --");
+    print!("{}", render_chart(exploration.current(), &explorer, &style));
 
     // Click the Scientist bar: a new pane focused on that narrowed set.
     let scientist = dbo(&store, "Scientist");
@@ -89,10 +89,7 @@ fn main() {
         let pane = explorer.pane_from_bar(bar).expect("class bar");
         println!();
         print!("{}", render_pane(&pane));
-        println!(
-            "SPARQL for this set:\n{}\n",
-            bar.spec.to_sparql(&store)
-        );
+        println!("SPARQL for this set:\n{}\n", bar.spec.to_sparql(&store));
     }
 
     // -------------------------------------------------------------------- S1
@@ -101,7 +98,10 @@ fn main() {
     let pane = explorer.pane_for_class(largest);
     print!("{}", render_pane(&pane));
     let props = pane.property_chart(&explorer, Direction::Outgoing);
-    let top_style = ChartStyle { max_bars: 20, ..Default::default() };
+    let top_style = ChartStyle {
+        max_bars: 20,
+        ..Default::default()
+    };
     print!("{}", render_chart(&props, &explorer, &top_style));
     println!(
         "(properties above the default 20% coverage threshold: {})",

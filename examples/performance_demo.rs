@@ -22,10 +22,8 @@ fn main() {
     let store = generate_dbpedia(&cfg);
     println!("dataset: {} triples\n", store.len());
 
-    let outgoing =
-        property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Outgoing);
-    let incoming =
-        property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Incoming);
+    let outgoing = property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Outgoing);
+    let incoming = property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Incoming);
 
     let baseline = ElindaEndpoint::new(&store, EndpointConfig::baseline());
     let decomposer = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
@@ -64,8 +62,6 @@ fn main() {
         format!("{:?}", inc.elapsed)
     );
 
-    println!(
-        "\npaper (≈400M triples): 454s / 124s → 1.5s / 1.2s → ~0.08s / ~0.08s"
-    );
+    println!("\npaper (≈400M triples): 454s / 124s → 1.5s / 1.2s → ~0.08s / ~0.08s");
     println!("the ordering and rough factors are what Fig. 4 demonstrates");
 }

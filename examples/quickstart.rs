@@ -35,7 +35,10 @@ fn main() {
     let pane = explorer.initial_pane().expect("typed data present");
     print!("{}", render_pane(&pane));
     let chart = pane.subclass_chart(&explorer);
-    print!("{}", render_chart(&chart, &explorer, &ChartStyle::default()));
+    print!(
+        "{}",
+        render_chart(&chart, &explorer, &ChartStyle::default())
+    );
 
     // Click the tallest bar (Animal) to open its pane.
     let animal_bar = &chart.bars()[0];
@@ -43,15 +46,24 @@ fn main() {
     println!();
     print!("{}", render_pane(&animal));
     let subchart = animal.subclass_chart(&explorer);
-    print!("{}", render_chart(&subchart, &explorer, &ChartStyle::default()));
+    print!(
+        "{}",
+        render_chart(&subchart, &explorer, &ChartStyle::default())
+    );
 
     // The Property Data tab.
     let props = animal.property_chart(&explorer, Direction::Outgoing);
     println!();
-    print!("{}", render_chart(&props, &explorer, &ChartStyle::default()));
+    print!(
+        "{}",
+        render_chart(&props, &explorer, &ChartStyle::default())
+    );
 
     // Every bar can expose the SPARQL that extracts it.
     let dog_bar = subchart.bars().first().expect("Dog bar");
-    println!("\nSPARQL for the '{}' bar:", explorer.display(dog_bar.label));
+    println!(
+        "\nSPARQL for the '{}' bar:",
+        explorer.display(dog_bar.label)
+    );
     println!("{}", dog_bar.spec.to_sparql(&store));
 }

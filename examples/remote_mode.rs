@@ -26,7 +26,8 @@ fn main() {
     // ------------------------------------------------------------- remote
     println!("\n== remote compatibility mode (HTTP/JSON, no preprocessing) ==");
     let remote = RemoteEndpoint::new(&store, RemoteConfig::default());
-    let query = "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n) LIMIT 5";
+    let query =
+        "SELECT ?c (COUNT(?s) AS ?n) WHERE { ?s a ?c } GROUP BY ?c ORDER BY DESC(?n) LIMIT 5";
     let (wire, elapsed) = remote.execute_wire(query).expect("query runs");
     println!("top classes via the wire format ({elapsed:?}):");
     for row in &wire.rows {
@@ -49,7 +50,10 @@ fn main() {
         &hierarchy,
         thing,
         ChartDirection::Outgoing,
-        IncrementalConfig { chunk_size: n, max_steps: None },
+        IncrementalConfig {
+            chunk_size: n,
+            max_steps: None,
+        },
     );
     let start = Instant::now();
     let mut first_chart_at = None;

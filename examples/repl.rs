@@ -47,7 +47,10 @@ fn find_class(explorer: &Explorer<'_>, name: &str) -> Option<elinda::rdf::TermId
 fn main() {
     let store = load_dataset();
     let explorer = Explorer::new(&store);
-    let style = ChartStyle { max_bars: 15, ..Default::default() };
+    let style = ChartStyle {
+        max_bars: 15,
+        ..Default::default()
+    };
 
     let mut stack: Vec<Pane> = Vec::new();
     match explorer.initial_pane() {
@@ -57,7 +60,10 @@ fn main() {
             return;
         }
     }
-    println!("eLinda REPL — {} triples loaded. Type 'help' for commands.", store.len());
+    println!(
+        "eLinda REPL — {} triples loaded. Type 'help' for commands.",
+        store.len()
+    );
     print!("{}", render_pane(stack.last().unwrap()));
 
     let stdin = std::io::stdin();
@@ -68,9 +74,9 @@ fn main() {
         let pane = stack.last().expect("stack never empty");
         match cmd {
             "" => {}
-            "help" => println!(
-                "commands: stats top search open sub props conn table sparql back quit"
-            ),
+            "help" => {
+                println!("commands: stats top search open sub props conn table sparql back quit")
+            }
             "stats" => println!("{}", explorer.stats()),
             "top" => {
                 let initial = explorer.initial_pane().expect("checked at startup");
@@ -112,11 +118,12 @@ fn main() {
                     .lookup_iri(&format!("{}{name}", elinda::rdf::vocab::dbo::NS))
                     .or_else(|| store.lookup_iri(name));
                 match prop {
-                    Some(prop) => match pane.connections_chart(&explorer, prop, Direction::Outgoing)
-                    {
-                        Ok(chart) => print!("{}", render_chart(&chart, &explorer, &style)),
-                        Err(e) => println!("error: {e}"),
-                    },
+                    Some(prop) => {
+                        match pane.connections_chart(&explorer, prop, Direction::Outgoing) {
+                            Ok(chart) => print!("{}", render_chart(&chart, &explorer, &style)),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
                     None => println!("unknown property '{name}'"),
                 }
             }

@@ -1,0 +1,291 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `sample_size` —
+//! with a simple wall-clock measurement loop: a short warm-up, then
+//! `sample_size` timed samples of an adaptively chosen iteration batch.
+//! Results (mean and min/max of the per-iteration time) are printed to
+//! stdout. There is no statistical analysis, HTML report, or saved
+//! baseline; the point is that `cargo bench` runs and prints comparable
+//! relative numbers without network access.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped benches).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs the
+/// measurement loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, recording per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: grow the batch until one batch costs
+        // ≥ ~1 ms (or a single iteration is already slower than that).
+        let mut batch = 1u64;
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let cost = t.elapsed();
+            if cost >= Duration::from_millis(1)
+                || warmup_start.elapsed() >= warmup_budget
+                || batch >= 1 << 20
+            {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed() / batch as u32);
+        }
+        let total: Duration = per_iter.iter().sum();
+        *self.result = Some(Measurement {
+            mean: total / per_iter.len() as u32,
+            min: per_iter.iter().copied().min().unwrap(),
+            max: per_iter.iter().copied().max().unwrap(),
+        });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's warm-up is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut result = None;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b);
+        report(&self.name, &id, result);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut result = None;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b, input);
+        report(&self.name, &id, result);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, result: Option<Measurement>) {
+    match result {
+        Some(m) => println!("{group}/{id}  time: [{:?} {:?} {:?}]", m.min, m.mean, m.max),
+        None => println!("{group}/{id}  (no measurement recorded)"),
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    benchmarks_run: usize,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            benchmarks_run: 0,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-runner function over `fn(&mut Criterion)` benches.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,826 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace ships
+//! a small, deterministic property-testing harness that implements the
+//! API subset its test suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, and
+//!   `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`], string
+//!   literals interpreted as a regex subset (character classes with
+//!   `{m,n}` quantifiers), [`collection::vec`], [`option::of`], and
+//!   [`arbitrary::any`];
+//! * the [`proptest!`], [`prop_compose!`], [`prop_oneof!`],
+//!   [`prop_assert!`], and [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted: inputs are
+//! drawn from a fixed deterministic seed schedule (per test name and
+//! case index) rather than an entropy source, and failing cases are
+//! reported but **not shrunk**. Every case is reproducible by
+//! construction, which is what the workspace's CI needs.
+
+/// Deterministic RNG, configuration, and failure types for test runs.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Splitmix64 — a tiny, high-quality deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// A generator for the given seed.
+        pub fn seed(seed: u64) -> Self {
+            Rng {
+                state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6a09_e667_f3bc_c909,
+            }
+        }
+
+        /// The next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform draw from `[lo, hi)` over the full integer span.
+        pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo < hi);
+            let width = (hi - lo) as u128;
+            lo + ((self.next_u64() as u128) % width) as i128
+        }
+    }
+
+    /// FNV-1a over a string — stable per-test seeds.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed test case (no shrinking: the message carries the facts).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// What a generated test-case body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::string::StringPattern;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a deterministic function of the RNG state.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive structures: `f` receives the strategy built so far
+        /// and wraps it one level deeper; applied `depth` times starting
+        /// from `self` (the leaf). `size` and `items` are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _items: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = BoxedStrategy::new(self);
+            for _ in 0..depth {
+                cur = BoxedStrategy::new(f(cur));
+            }
+            cur
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(self)
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> BoxedStrategy<T> {
+        /// Erase `strategy`.
+        pub fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> Self {
+            BoxedStrategy(Arc::new(strategy))
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A strategy defined by a generation closure — the building block
+    /// of [`prop_compose!`](crate::prop_compose).
+    #[derive(Clone)]
+    pub struct FnStrategy<F>(pub F);
+
+    impl<T, F: Fn(&mut Rng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Weighted choice among strategies producing one type
+    /// ([`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// A union of weighted arms (weights must not all be zero).
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                arms.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! needs at least one positive weight"
+            );
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum checked in Union::new")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    rng.range_i128(self.start as i128, self.end as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($idx:tt : $T:ident),+) => {
+            impl<$($T: Strategy),+> Strategy for ($($T,)+) {
+                type Value = ($($T::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(0: A);
+    impl_tuple_strategy!(0: A, 1: B);
+    impl_tuple_strategy!(0: A, 1: B, 2: C);
+    impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D);
+    impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E);
+    impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F);
+    impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F, 6: G);
+    impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F, 6: G, 7: H);
+
+    /// String literals act as regex-subset strategies
+    /// (e.g. `"[a-z][a-z0-9]{0,5}"`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng) -> String {
+            StringPattern::parse(self).generate(rng)
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of values from `elem`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = rng.range_i128(self.len.start as i128, self.len.end as i128) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for `Option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// See [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` of the inner strategy three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// The [`Arbitrary`](arbitrary::Arbitrary) trait and [`any`](arbitrary::any).
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical unconstrained strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// See [`any`].
+    #[derive(Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (`any::<bool>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The regex subset backing string-literal strategies.
+pub mod string {
+    use crate::test_runner::Rng;
+
+    enum Piece {
+        /// Inclusive character ranges, e.g. `[a-zA-Z0-9 ]`.
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    struct Quantified {
+        piece: Piece,
+        min: u32,
+        max: u32,
+    }
+
+    /// A parsed pattern: a sequence of (character class | literal) pieces
+    /// with `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+    pub struct StringPattern {
+        pieces: Vec<Quantified>,
+    }
+
+    impl StringPattern {
+        /// Parse `pattern`; panics on syntax outside the subset (a test
+        /// authoring error, not a runtime condition).
+        pub fn parse(pattern: &str) -> StringPattern {
+            let mut chars = pattern.chars().peekable();
+            let mut pieces = Vec::new();
+            while let Some(c) = chars.next() {
+                let piece = match c {
+                    '[' => {
+                        let mut ranges: Vec<(char, char)> = Vec::new();
+                        let mut pending: Option<char> = None;
+                        loop {
+                            let c = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                            match c {
+                                ']' => break,
+                                '\\' => {
+                                    let e = chars.next().unwrap_or_else(|| {
+                                        panic!("dangling escape in {pattern:?}")
+                                    });
+                                    let lit = match e {
+                                        'n' => '\n',
+                                        't' => '\t',
+                                        'r' => '\r',
+                                        other => other,
+                                    };
+                                    if let Some(p) = pending.replace(lit) {
+                                        ranges.push((p, p));
+                                    }
+                                }
+                                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                                    let lo = pending.take().unwrap();
+                                    let hi = chars.next().unwrap();
+                                    assert!(lo <= hi, "reversed range in {pattern:?}");
+                                    ranges.push((lo, hi));
+                                }
+                                other => {
+                                    if let Some(p) = pending.replace(other) {
+                                        ranges.push((p, p));
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(p) = pending {
+                            ranges.push((p, p));
+                        }
+                        assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                        Piece::Class(ranges)
+                    }
+                    '\\' => {
+                        let e = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                        Piece::Literal(match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        })
+                    }
+                    other => Piece::Literal(other),
+                };
+                let (min, max) = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let mut digits = String::new();
+                        let mut min = None;
+                        loop {
+                            match chars.next() {
+                                Some('}') => break,
+                                Some(',') => {
+                                    min = Some(digits.parse::<u32>().unwrap());
+                                    digits.clear();
+                                }
+                                Some(d) if d.is_ascii_digit() => digits.push(d),
+                                _ => panic!("bad quantifier in {pattern:?}"),
+                            }
+                        }
+                        let last = digits.parse::<u32>().unwrap();
+                        (min.unwrap_or(last), last)
+                    }
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                };
+                assert!(min <= max, "reversed quantifier in {pattern:?}");
+                pieces.push(Quantified { piece, min, max });
+            }
+            StringPattern { pieces }
+        }
+
+        /// Generate one string matching the pattern.
+        pub fn generate(&self, rng: &mut Rng) -> String {
+            let mut out = String::new();
+            for q in &self.pieces {
+                let n = q.min as u64 + rng.below((q.max - q.min + 1) as u64);
+                for _ in 0..n {
+                    match &q.piece {
+                        Piece::Literal(c) => out.push(*c),
+                        Piece::Class(ranges) => {
+                            let total: u64 = ranges
+                                .iter()
+                                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                                .sum();
+                            let mut pick = rng.below(total);
+                            for (lo, hi) in ranges {
+                                let span = (*hi as u64) - (*lo as u64) + 1;
+                                if pick < span {
+                                    out.push(
+                                        char::from_u32(*lo as u32 + pick as u32)
+                                            .expect("ranges stay in valid char space"),
+                                    );
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Define `#[test]` functions over generated inputs.
+///
+/// Supported form (the real crate's common core):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..10, s in "[a-z]{1,3}") { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($var:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::Rng::seed(
+                        __seed ^ (__case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $( let $var = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    let __outcome = (move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Define a named strategy from component strategies:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb_point()(x in 0i64..10, y in 0i64..10) -> (i64, i64) { (x, y) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $v:vis fn $name:ident ( $($param:tt)* )
+      ( $($var:ident in $strat:expr),+ $(,)? ) -> $ret:ty $body:block ) => {
+        $(#[$meta])*
+        $v fn $name($($param)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy(move |__rng: &mut $crate::test_runner::Rng| {
+                $( let $var = $crate::strategy::Strategy::generate(&($strat), __rng); )+
+                $body
+            })
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:literal => $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (($w) as u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure aborts only the current case's
+/// closure via `return Err(...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa == *__pb,
+            "assertion failed: {} == {}",
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        if !(*__pa == *__pb) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}: {}",
+                    stringify!($a),
+                    stringify!($b),
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pa, __pb) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__pa != *__pb,
+            "assertion failed: {} != {}",
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::Rng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = Rng::seed(1);
+        for _ in 0..200 {
+            let s = crate::string::StringPattern::parse("[a-z][a-z0-9]{0,5}").generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 6);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn escaped_classes_parse() {
+        let mut rng = Rng::seed(2);
+        let pat = crate::string::StringPattern::parse("[a-zA-Z0-9 \\\\\"\n\t]{0,12}");
+        for _ in 0..100 {
+            let s = pat.generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " \\\"\n\t".contains(c)));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms() {
+        let mut rng = Rng::seed(3);
+        let u = prop_oneof![1 => Just(1u8), 0 => Just(2u8)];
+        for _ in 0..50 {
+            assert_eq!(u.generate(&mut rng), 1);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0i64..100, b in 0i64..100) -> (i64, i64) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..50, o in crate::option::of(0usize..3)) {
+            prop_assert!((5..50).contains(&x));
+            if let Some(v) = o {
+                prop_assert!(v < 3);
+            }
+        }
+
+        #[test]
+        fn composed_pairs_in_bounds(p in arb_pair()) {
+            prop_assert!(p.0 < 100 && p.1 < 100, "got {:?}", p);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 10).count(), 0);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(
+            n in prop_oneof![Just(0u64), 1u64..4]
+                .prop_recursive(3, 16, 2, |inner| {
+                    (inner.clone(), inner).prop_map(|(a, b)| a + b)
+                })
+        ) {
+            prop_assert!(n < 64);
+        }
+    }
+}

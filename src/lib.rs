@@ -36,6 +36,7 @@ pub use elinda_core as model;
 pub use elinda_datagen as datagen;
 pub use elinda_endpoint as endpoint;
 pub use elinda_rdf as rdf;
+pub use elinda_server as server;
 pub use elinda_sparql as sparql;
 pub use elinda_store as store;
 pub use elinda_viz as viz;

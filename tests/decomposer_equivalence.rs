@@ -5,12 +5,9 @@
 
 use elinda::datagen::{generate_dbpedia, DbpediaConfig};
 use elinda::endpoint::decomposer::{
-    execute_decomposed, property_expansion_sparql, recognize_property_expansion,
-    ExpansionDirection,
+    execute_decomposed, property_expansion_sparql, recognize_property_expansion, ExpansionDirection,
 };
-use elinda::endpoint::incremental::{
-    ChartDirection, IncrementalConfig, IncrementalPropertyChart,
-};
+use elinda::endpoint::incremental::{ChartDirection, IncrementalConfig, IncrementalPropertyChart};
 use elinda::rdf::{vocab, TermId};
 use elinda::sparql::{parse_query, Executor, Solutions, Value};
 use elinda::store::{ClassHierarchy, TripleStore};
@@ -59,7 +56,10 @@ fn paper_query_three_ways() {
         &h,
         thing,
         ChartDirection::Outgoing,
-        IncrementalConfig { chunk_size: 997, max_steps: None },
+        IncrementalConfig {
+            chunk_size: 997,
+            max_steps: None,
+        },
     );
     let incremental = inc.run().to_solutions();
 

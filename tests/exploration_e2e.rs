@@ -3,9 +3,7 @@
 //! the SPARQL-generation guarantee for every bar along the way.
 
 use elinda::datagen::{generate_dbpedia, DbpediaConfig};
-use elinda::model::{
-    ColumnFilter, Direction, ExpansionKind, Exploration, Explorer, NodeSet,
-};
+use elinda::model::{ColumnFilter, Direction, ExpansionKind, Exploration, Explorer, NodeSet};
 use elinda::rdf::vocab;
 use elinda::sparql::Executor;
 
@@ -70,7 +68,10 @@ fn autocomplete_skips_the_drill_down() {
     assert_eq!(hits.len(), 1);
     let pane = explorer.pane_for_class(hits[0]);
     assert_eq!(pane.title, "Philosopher");
-    assert_eq!(pane.stats.instance_count, DbpediaConfig::tiny().philosophers);
+    assert_eq!(
+        pane.stats.instance_count,
+        DbpediaConfig::tiny().philosophers
+    );
 }
 
 #[test]
@@ -92,13 +93,12 @@ fn data_table_and_filter_expansion() {
     let some_city = store
         .objects_of(pane.set.as_slice()[0], bp)
         .next()
-        .or_else(|| {
-            pane.set
-                .iter()
-                .find_map(|s| store.objects_of(s, bp).next())
-        })
+        .or_else(|| pane.set.iter().find_map(|s| store.objects_of(s, bp).next()))
         .expect("some philosopher has a birth place");
-    table.add_filter(ColumnFilter::Equals { prop: bp, value: some_city });
+    table.add_filter(ColumnFilter::Equals {
+        prop: bp,
+        value: some_city,
+    });
     let filtered_rows = table.rows(&store).count();
     assert!(filtered_rows >= 1);
     assert!(filtered_rows < pane.set.len());
@@ -107,14 +107,17 @@ fn data_table_and_filter_expansion() {
     // Filter expansion: open a new pane on S_f.
     let sf = table.filtered_instances(&store);
     assert_eq!(sf.len(), filtered_rows);
-    let sf_pane = explorer.pane_for_set("born there", Some(phil), sf.clone(), table.filtered_spec());
+    let sf_pane =
+        explorer.pane_for_set("born there", Some(phil), sf.clone(), table.filtered_spec());
     assert_eq!(sf_pane.stats.instance_count, sf.len());
     // Expansions now operate on the narrowed set.
     let chart = sf_pane.property_chart(&explorer, Direction::Outgoing);
     assert_eq!(chart.total(), sf.len());
 
     // The exposed table SPARQL executes.
-    let sol = Executor::new(&store).execute(&table.to_query(&store)).unwrap();
+    let sol = Executor::new(&store)
+        .execute(&table.to_query(&store))
+        .unwrap();
     let mut xs = sol.term_column("x");
     xs.sort_unstable();
     xs.dedup();
