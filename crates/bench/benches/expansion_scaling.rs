@@ -5,15 +5,24 @@
 //! architecture (the property expansions) and which are cheap enough
 //! as-is (subclass, object).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use elinda_bench::bench_store;
 use elinda_core::{expansion, Direction, Explorer};
+use elinda_endpoint::decomposer::{
+    execute_decomposed, property_expansion_sparql, recognize_property_expansion, ExpansionDirection,
+};
+use elinda_endpoint::parallel::{execute_decomposed_sharded, Parallelism};
 use elinda_rdf::vocab;
+use elinda_store::{ClassHierarchy, ShardedTripleStore};
+
+const SCALES: [f64; 3] = [0.05, 0.1, 0.2];
+const SHARDS: usize = 8;
 
 fn expansions(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut group = c.benchmark_group("expansion_scaling");
     group.sample_size(10);
-    for &scale in &[0.05f64, 0.1, 0.2] {
+    for &scale in &SCALES {
         let data = bench_store(scale);
         let store = data.store;
         let explorer = Explorer::new(&store);
@@ -58,6 +67,66 @@ fn expansions(c: &mut Criterion) {
                     .len()
             })
         });
+
+        // Sequential vs. sharded-parallel decomposed evaluation of the
+        // same heavy aggregation, on the level-zero owl:Thing expansion
+        // (the Fig. 4 hot path).
+        let hierarchy = ClassHierarchy::build(&store);
+        let sharded = ShardedTripleStore::build(&store, SHARDS);
+        let par = Parallelism::fixed(cores, SHARDS);
+        let query = property_expansion_sparql(vocab::owl::THING, ExpansionDirection::Outgoing);
+        let rec = recognize_property_expansion(&elinda_sparql::parse_query(&query).unwrap())
+            .expect("canonical expansion recognized");
+        group.bench_with_input(
+            BenchmarkId::new("decomposed_seq", &label),
+            &rec,
+            |b, rec| b.iter(|| black_box(execute_decomposed(&store, &hierarchy, rec).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decomposed_par", &label),
+            &rec,
+            |b, rec| {
+                b.iter(|| {
+                    black_box(
+                        execute_decomposed_sharded(&store, &sharded, &hierarchy, rec, &par)
+                            .0
+                            .len(),
+                    )
+                })
+            },
+        );
+
+        // At the largest scale, measure the two paths head-to-head and —
+        // on a multi-core box — require the parallel one to win.
+        if scale == SCALES[SCALES.len() - 1] {
+            let reps = 5;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                black_box(execute_decomposed(&store, &hierarchy, &rec).len());
+            }
+            let seq = t0.elapsed();
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                black_box(
+                    execute_decomposed_sharded(&store, &sharded, &hierarchy, &rec, &par)
+                        .0
+                        .len(),
+                );
+            }
+            let parallel = t0.elapsed();
+            eprintln!(
+                "expansion_scaling: scale {scale}, {cores} cores, {SHARDS} shards — \
+                 sequential {seq:?} vs parallel {parallel:?} ({:.2}x)",
+                seq.as_secs_f64() / parallel.as_secs_f64().max(1e-12)
+            );
+            if cores >= 2 {
+                assert!(
+                    parallel < seq,
+                    "parallel evaluation must beat sequential at the largest scale \
+                     on a multi-core machine ({parallel:?} vs {seq:?})"
+                );
+            }
+        }
     }
     group.finish();
 }

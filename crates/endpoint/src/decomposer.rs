@@ -180,10 +180,12 @@ pub fn execute_precomputed(
             ]);
         }
     }
-    Solutions {
+    let mut solutions = Solutions {
         vars: q.columns.to_vec(),
         rows,
-    }
+    };
+    crate::parallel::canonicalize_rows(&mut solutions, store);
+    solutions
 }
 
 /// Answer a recognized property-expansion query from the indexes.
@@ -191,6 +193,10 @@ pub fn execute_precomputed(
 /// Outgoing: one SPO range scan per instance; each `(s, p)` run is
 /// contiguous, so the aggregation needs no intermediate table. Incoming:
 /// one OSP range scan per instance with a small per-instance sort.
+///
+/// Rows come back in the canonical order (sorted by property IRI text),
+/// the same finisher the sharded parallel path uses, so the two are
+/// byte-identical on the SPARQL-JSON wire format.
 pub fn execute_decomposed(
     store: &TripleStore,
     hierarchy: &ClassHierarchy,
@@ -233,20 +239,7 @@ pub fn execute_decomposed(
             }
         }
     }
-    let rows = agg
-        .into_iter()
-        .map(|(p, (count, sum))| {
-            vec![
-                Some(Value::Term(p)),
-                Some(Value::Int(count)),
-                Some(Value::Int(sum)),
-            ]
-        })
-        .collect();
-    Solutions {
-        vars: q.columns.to_vec(),
-        rows,
-    }
+    crate::parallel::property_agg_solutions(agg, &q.columns, store)
 }
 
 /// The canonical SPARQL text of a property-expansion query for a class —

@@ -32,6 +32,7 @@ impl QueryEngine for DirectEndpoint<'_> {
             solutions,
             elapsed: start.elapsed(),
             served_by: ServedBy::Direct,
+            shards_used: 1,
         })
     }
 

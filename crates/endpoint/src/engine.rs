@@ -27,6 +27,11 @@ pub struct QueryOutcome {
     pub elapsed: Duration,
     /// Which component answered.
     pub served_by: ServedBy,
+    /// Number of store shards the evaluation fanned across — 1 on every
+    /// sequential path, the shard count of the endpoint's
+    /// [`crate::parallel::Parallelism`] budget when the sharded parallel
+    /// evaluator answered.
+    pub shards_used: usize,
 }
 
 /// An engine that answers SPARQL text queries.

@@ -13,6 +13,7 @@ use elinda_sparql::Solutions;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// HVS configuration.
@@ -51,7 +52,10 @@ pub struct HvsStats {
 }
 
 struct Inner {
-    map: FxHashMap<String, Solutions>,
+    /// Results are held behind `Arc` so a hit only bumps a refcount
+    /// under the mutex; the deep clone handed to the caller happens
+    /// outside the critical section (see [`HeavyQueryStore::get`]).
+    map: FxHashMap<String, Arc<Solutions>>,
     order: VecDeque<String>,
     stats: HvsStats,
 }
@@ -112,18 +116,25 @@ impl HeavyQueryStore {
     }
 
     /// Look up a query previously determined to be heavy.
+    ///
+    /// Only an `Arc` refcount bump happens under the lock; the deep
+    /// clone of a (potentially large) cached result is done after
+    /// releasing it, so concurrent lookups never serialize on copying.
     pub fn get(&self, query: &str) -> Option<Solutions> {
-        let mut inner = self.inner.lock();
-        match inner.map.get(query).cloned() {
-            Some(sol) => {
-                inner.stats.hits += 1;
-                Some(sol)
+        let cached = {
+            let mut inner = self.inner.lock();
+            match inner.map.get(query).cloned() {
+                Some(sol) => {
+                    inner.stats.hits += 1;
+                    Some(sol)
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    None
+                }
             }
-            None => {
-                inner.stats.misses += 1;
-                None
-            }
-        }
+        };
+        cached.map(|sol| (*sol).clone())
     }
 
     /// Record a measured query. Stored only if its runtime met the heavy
@@ -132,6 +143,9 @@ impl HeavyQueryStore {
         if elapsed < self.config.heavy_threshold {
             return false;
         }
+        // Deep-copy the result before taking the lock for the same
+        // reason `get` clones after releasing it.
+        let solutions = Arc::new(solutions.clone());
         let mut inner = self.inner.lock();
         if inner.map.contains_key(query) {
             return false;
@@ -142,7 +156,7 @@ impl HeavyQueryStore {
                 inner.stats.evictions += 1;
             }
         }
-        inner.map.insert(query.to_string(), solutions.clone());
+        inner.map.insert(query.to_string(), solutions);
         inner.order.push_back(query.to_string());
         inner.stats.insertions += 1;
         true

@@ -34,6 +34,7 @@ pub mod hvs;
 pub mod incremental;
 pub mod json;
 pub mod metrics;
+pub mod parallel;
 pub mod remote;
 pub mod router;
 
@@ -43,5 +44,6 @@ pub use engine::{QueryEngine, QueryOutcome, ServedBy};
 pub use hvs::{HeavyQueryStore, HvsConfig, HvsStats};
 pub use incremental::{IncrementalConfig, IncrementalPropertyChart, PartialChart};
 pub use metrics::{LatencySummary, MeteredEndpoint};
+pub use parallel::{ParallelReport, ParallelStats, Parallelism};
 pub use remote::{RemoteConfig, RemoteEndpoint, WireSolutions, WireValue};
 pub use router::{DecomposerMode, ElindaEndpoint, EndpointConfig};

@@ -57,10 +57,12 @@ impl LatencySummary {
         }
     }
 
-    /// Latency at percentile `p` (0–100) over the retained sample
-    /// window; `None` when nothing was recorded.
+    /// Latency at percentile `p` (0–100, clamped) over the retained
+    /// sample window; `None` when nothing was recorded or `p` is NaN.
     pub fn percentile(&self, p: f64) -> Option<Duration> {
-        if self.samples.is_empty() {
+        // A NaN `p` would pass through `clamp` unchanged and cast to
+        // rank 0, silently reporting the minimum as any percentile.
+        if self.samples.is_empty() || p.is_nan() {
             return None;
         }
         let mut sorted = self.samples.clone();
@@ -240,6 +242,40 @@ mod tests {
         assert_eq!(p50, Duration::from_millis(51));
         assert_eq!(p99, Duration::from_millis(99));
         assert!(LatencySummary::default().p50().is_none());
+    }
+
+    #[test]
+    fn percentiles_on_empty_ring_are_none() {
+        let s = LatencySummary::default();
+        assert!(s.p50().is_none());
+        assert!(s.p95().is_none());
+        assert!(s.p99().is_none());
+        for p in [-10.0, 0.0, 50.0, 100.0, 1e9, f64::INFINITY] {
+            assert!(s.percentile(p).is_none());
+        }
+    }
+
+    #[test]
+    fn percentiles_on_single_sample_return_that_sample() {
+        let mut s = LatencySummary::default();
+        s.record(Duration::from_millis(7));
+        let sample = Duration::from_millis(7);
+        assert_eq!(s.p50(), Some(sample));
+        assert_eq!(s.p95(), Some(sample));
+        assert_eq!(s.p99(), Some(sample));
+        // Out-of-range percentiles clamp instead of indexing out of
+        // bounds or wrapping.
+        for p in [-10.0, 0.0, 100.0, 1e9, f64::NEG_INFINITY, f64::INFINITY] {
+            assert_eq!(s.percentile(p), Some(sample), "p={p}");
+        }
+    }
+
+    #[test]
+    fn nan_percentile_is_rejected_not_garbage() {
+        let mut s = LatencySummary::default();
+        s.record(Duration::from_millis(1));
+        s.record(Duration::from_millis(100));
+        assert!(s.percentile(f64::NAN).is_none());
     }
 
     #[test]

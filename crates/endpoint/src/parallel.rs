@@ -1,0 +1,900 @@
+//! Intra-query parallel evaluation of the heavy charting aggregations.
+//!
+//! The Fig. 4 hot path — property expansions, subclass rollups, threshold
+//! filters — is embarrassingly data-parallel over triple partitions:
+//! every aggregation here decomposes into *map per shard* (a partial
+//! aggregate over one [`Shard`] of a [`ShardedTripleStore`]) followed by
+//! *merge partials* (keyed summation). This module provides:
+//!
+//! * [`Parallelism`] — the per-request core budget plumbed through
+//!   `ElindaEndpoint` and `elinda-serve`, chosen so the server's worker
+//!   pool and the intra-query pool compose without oversubscription;
+//! * the sharded evaluators ([`execute_decomposed_sharded`],
+//!   [`subclass_rollup_sharded`], [`object_rollup_sharded`]) and their
+//!   independent sequential twins, which the differential test suite
+//!   proves byte-identical on the SPARQL-JSON wire format;
+//! * the partial/merge primitives themselves, public so the property
+//!   tests can drive them with shuffled shard completion orders.
+//!
+//! **Merge determinism.** Partials are merged by keyed integer summation
+//! (commutative and associative), and every result is finished by a
+//! canonical sort with stable tie-breaking on IRI order
+//! ([`canonicalize_rows`]). Parallel results are therefore byte-identical
+//! to sequential ones on the wire, regardless of shard count, worker
+//! count, or the order in which shards complete.
+
+use crate::decomposer::{ExpansionDirection, PropertyExpansionQuery};
+use elinda_rdf::fx::FxHashMap;
+use elinda_rdf::TermId;
+use elinda_sparql::{Solutions, Value};
+use elinda_store::{ClassHierarchy, Shard, ShardedTripleStore, TripleStore};
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Parallelism config
+// ---------------------------------------------------------------------------
+
+/// The intra-query parallelism budget.
+///
+/// `threads` is a *per-request core budget*: each heavy aggregation fans
+/// its shard maps across at most this many workers. A server running `W`
+/// worker threads on `C` cores should hand each request a budget of
+/// `max(1, C / W)` (see [`Parallelism::budgeted`]) so that `W` concurrent
+/// heavy queries saturate — but do not oversubscribe — the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum worker threads per query (1 = sequential evaluation).
+    pub threads: usize,
+    /// Number of shards the store is partitioned into. More shards than
+    /// threads gives the work-stealing loop slack to balance skewed
+    /// partitions; shards = 1 disables sharding entirely.
+    pub shards: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
+impl Parallelism {
+    /// Sequential evaluation: one thread, one shard.
+    pub fn sequential() -> Self {
+        Parallelism {
+            threads: 1,
+            shards: 1,
+        }
+    }
+
+    /// A fixed budget of `threads` workers over `shards` shards (both
+    /// clamped to at least 1).
+    pub fn fixed(threads: usize, shards: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+            shards: shards.max(1),
+        }
+    }
+
+    /// The budget for one of `server_workers` concurrently-serving
+    /// threads on this machine: `max(1, cores / server_workers)` workers
+    /// over `shards` shards. With this split the server pool and the
+    /// intra-query pools compose to at most `cores` runnable threads.
+    pub fn budgeted(server_workers: usize, shards: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Parallelism::fixed(cores / server_workers.max(1), shards)
+    }
+
+    /// True when this budget actually fans out (more than one thread and
+    /// more than one shard).
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1 && self.shards > 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The map-per-shard runner
+// ---------------------------------------------------------------------------
+
+/// Per-query parallel execution measurements, fed into the endpoint's
+/// parallel metrics (`/metrics` per-shard timing and speedup gauge).
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Busy time spent mapping each shard, by shard index.
+    pub shard_busy: Vec<Duration>,
+    /// Wall-clock time of the whole fan-out (map + merge).
+    pub wall: Duration,
+    /// Workers actually used.
+    pub threads: usize,
+}
+
+impl ParallelReport {
+    /// Total busy time across shards — what a sequential evaluation of
+    /// the same maps would have cost.
+    pub fn busy_total(&self) -> Duration {
+        self.shard_busy.iter().sum()
+    }
+
+    /// Effective speedup: busy time over wall time. ~1.0 when sequential,
+    /// approaching `threads` under perfect balance.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.busy_total().as_secs_f64() / wall
+        }
+    }
+}
+
+/// Cumulative parallel-execution statistics across the lifetime of an
+/// endpoint — the source of the `/metrics` per-shard timing lines and
+/// the parallel-speedup gauge.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelStats {
+    /// Queries answered by the sharded parallel path.
+    pub queries: u64,
+    /// Cumulative busy time per shard index.
+    pub shard_busy: Vec<Duration>,
+    /// Cumulative wall time of the parallel fan-outs.
+    pub wall: Duration,
+}
+
+impl ParallelStats {
+    /// Fold one query's report into the running totals.
+    pub fn record(&mut self, report: &ParallelReport) {
+        self.queries += 1;
+        if self.shard_busy.len() < report.shard_busy.len() {
+            self.shard_busy
+                .resize(report.shard_busy.len(), Duration::ZERO);
+        }
+        for (slot, busy) in self.shard_busy.iter_mut().zip(&report.shard_busy) {
+            *slot += *busy;
+        }
+        self.wall += report.wall;
+    }
+
+    /// Total busy time across shards — the sequential-equivalent cost.
+    pub fn busy_total(&self) -> Duration {
+        self.shard_busy.iter().sum()
+    }
+
+    /// Cumulative effective speedup: busy time over wall time (1.0 when
+    /// nothing has run).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            1.0
+        } else {
+            self.busy_total().as_secs_f64() / wall
+        }
+    }
+}
+
+/// Map every shard through `map` using at most `threads` workers, and
+/// return the partials **in shard-index order** (independent of
+/// completion order) together with per-shard timings.
+///
+/// Work distribution is a shared atomic cursor: each worker claims the
+/// next unmapped shard, so skewed shards self-balance as long as
+/// `shards > threads`.
+pub fn map_shards<P, F>(
+    sharded: &ShardedTripleStore,
+    threads: usize,
+    map: F,
+) -> (Vec<P>, ParallelReport)
+where
+    P: Send,
+    F: Fn(usize, &Shard) -> P + Sync,
+{
+    let n = sharded.num_shards();
+    let workers = threads.clamp(1, n);
+    let start = Instant::now();
+    let mut busy = vec![Duration::ZERO; n];
+    let partials: Vec<P> = if workers <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in busy.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            out.push(map(i, sharded.shard(i)));
+            *slot = t0.elapsed();
+        }
+        out
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(P, Duration)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let partial = map(i, sharded.shard(i));
+                    *slots[i].lock() = Some((partial, t0.elapsed()));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let (partial, elapsed) = slot
+                    .into_inner()
+                    .expect("every shard index below the cursor limit was mapped");
+                busy[i] = elapsed;
+                partial
+            })
+            .collect()
+    };
+    let report = ParallelReport {
+        shard_busy: busy,
+        wall: start.elapsed(),
+        threads: workers,
+    };
+    (partials, report)
+}
+
+// ---------------------------------------------------------------------------
+// Canonical result ordering
+// ---------------------------------------------------------------------------
+
+/// Sort solution rows canonically: by the resolved text of the first
+/// column's term (IRI order), the stable tie-break that makes parallel
+/// and sequential evaluations byte-identical on the wire. Rows whose
+/// first column is not a term (there are none in the charting
+/// aggregations) sort after all terms, by row debug order.
+pub fn canonicalize_rows(solutions: &mut Solutions, store: &TripleStore) {
+    solutions.rows.sort_by(|a, b| {
+        let key = |row: &Vec<Option<Value>>| match row.first() {
+            Some(Some(Value::Term(id))) => Some(store.resolve(*id).to_string()),
+            _ => None,
+        };
+        match (key(a), key(b)) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => format!("{a:?}").cmp(&format!("{b:?}")),
+        }
+    });
+}
+
+/// Finish a `property → (entity count, triple count)` aggregate into a
+/// canonically ordered [`Solutions`].
+pub fn property_agg_solutions(
+    agg: FxHashMap<TermId, (i64, i64)>,
+    columns: &[String; 3],
+    store: &TripleStore,
+) -> Solutions {
+    let rows = agg
+        .into_iter()
+        .map(|(p, (count, sum))| {
+            vec![
+                Some(Value::Term(p)),
+                Some(Value::Int(count)),
+                Some(Value::Int(sum)),
+            ]
+        })
+        .collect();
+    let mut solutions = Solutions {
+        vars: columns.to_vec(),
+        rows,
+    };
+    canonicalize_rows(&mut solutions, store);
+    solutions
+}
+
+// ---------------------------------------------------------------------------
+// Property expansion: partials and merges
+// ---------------------------------------------------------------------------
+
+/// Outgoing partial for one shard: `property → (entity count, triple
+/// count)` over the instances whose subject hashes into this shard.
+///
+/// Subjects are colocated, so each per-shard count is already the final
+/// count for its subjects; the merge is a plain keyed sum.
+pub fn property_partial_outgoing(
+    shard: &Shard,
+    shard_index: usize,
+    num_shards: usize,
+    instances: &[TermId],
+) -> FxHashMap<TermId, (i64, i64)> {
+    let mut agg: FxHashMap<TermId, (i64, i64)> = FxHashMap::default();
+    for &s in instances {
+        if elinda_store::shard_of(s, num_shards) != shard_index {
+            continue;
+        }
+        let range = shard.spo_range(s, None);
+        let mut i = 0;
+        while i < range.len() {
+            let p = range[i].p;
+            let run = range[i..].partition_point(|t| t.p == p);
+            let e = agg.entry(p).or_default();
+            e.0 += 1;
+            e.1 += run as i64;
+            i += run;
+        }
+    }
+    agg
+}
+
+/// Merge outgoing partials (any order) by keyed summation.
+pub fn merge_outgoing_partials(
+    partials: impl IntoIterator<Item = FxHashMap<TermId, (i64, i64)>>,
+) -> FxHashMap<TermId, (i64, i64)> {
+    let mut merged: FxHashMap<TermId, (i64, i64)> = FxHashMap::default();
+    for partial in partials {
+        for (p, (count, sum)) in partial {
+            let e = merged.entry(p).or_default();
+            e.0 += count;
+            e.1 += sum;
+        }
+    }
+    merged
+}
+
+/// Incoming partial for one shard: `(object instance, property) → triple
+/// count` over this shard's triples.
+///
+/// Incoming triples of an object are spread across shards (sharding is
+/// by subject), so the per-shard partial must stay keyed by the
+/// `(object, property)` pair; collapsing to per-property counts happens
+/// only after the merge, in [`merge_incoming_partials`].
+pub fn property_partial_incoming(
+    shard: &Shard,
+    instances: &[TermId],
+) -> FxHashMap<(TermId, TermId), i64> {
+    let mut agg: FxHashMap<(TermId, TermId), i64> = FxHashMap::default();
+    let mut props: Vec<TermId> = Vec::new();
+    for &o in instances {
+        props.clear();
+        props.extend(shard.osp_range(o, None).iter().map(|t| t.p));
+        if props.is_empty() {
+            continue;
+        }
+        props.sort_unstable();
+        let mut i = 0;
+        while i < props.len() {
+            let p = props[i];
+            let run = props[i..].partition_point(|&x| x == p);
+            *agg.entry((o, p)).or_default() += run as i64;
+            i += run;
+        }
+    }
+    agg
+}
+
+/// Merge incoming partials (any order): sum triple counts per
+/// `(object, property)` pair, then collapse to `property → (entity
+/// count, triple count)` — each object counts once per property it
+/// features, no matter how many shards its incoming triples landed in.
+pub fn merge_incoming_partials(
+    partials: impl IntoIterator<Item = FxHashMap<(TermId, TermId), i64>>,
+) -> FxHashMap<TermId, (i64, i64)> {
+    let mut pairs: FxHashMap<(TermId, TermId), i64> = FxHashMap::default();
+    for partial in partials {
+        for (key, count) in partial {
+            *pairs.entry(key).or_default() += count;
+        }
+    }
+    let mut merged: FxHashMap<TermId, (i64, i64)> = FxHashMap::default();
+    for ((_, p), count) in pairs {
+        let e = merged.entry(p).or_default();
+        e.0 += 1;
+        e.1 += count;
+    }
+    merged
+}
+
+/// Answer a recognized property-expansion query by fanning the shard maps
+/// across the [`Parallelism`] budget and merging partials.
+///
+/// Byte-identical on the SPARQL-JSON wire format to
+/// [`crate::decomposer::execute_decomposed`] for every shard and thread
+/// count (the differential suite in `tests/parallel_equivalence.rs`
+/// asserts exactly this).
+pub fn execute_decomposed_sharded(
+    store: &TripleStore,
+    sharded: &ShardedTripleStore,
+    hierarchy: &ClassHierarchy,
+    q: &PropertyExpansionQuery,
+    par: &Parallelism,
+) -> (Solutions, ParallelReport) {
+    let Some(class_id) = store.interner().get(&q.class) else {
+        let empty = Solutions {
+            vars: q.columns.to_vec(),
+            rows: Vec::new(),
+        };
+        let report = ParallelReport {
+            shard_busy: vec![Duration::ZERO; sharded.num_shards()],
+            wall: Duration::ZERO,
+            threads: 1,
+        };
+        return (empty, report);
+    };
+    let instances = hierarchy.instances(store, class_id);
+    let n = sharded.num_shards();
+    let (agg, report) = match q.direction {
+        ExpansionDirection::Outgoing => {
+            let (partials, report) = map_shards(sharded, par.threads, |i, shard| {
+                property_partial_outgoing(shard, i, n, &instances)
+            });
+            (merge_outgoing_partials(partials), report)
+        }
+        ExpansionDirection::Incoming => {
+            let (partials, report) = map_shards(sharded, par.threads, |_, shard| {
+                property_partial_incoming(shard, &instances)
+            });
+            (merge_incoming_partials(partials), report)
+        }
+    };
+    (property_agg_solutions(agg, &q.columns, store), report)
+}
+
+// ---------------------------------------------------------------------------
+// Subclass rollup
+// ---------------------------------------------------------------------------
+
+/// Column names of the subclass-rollup result.
+pub const SUBCLASS_ROLLUP_VARS: [&str; 2] = ["class", "count"];
+
+fn subclass_rollup_solutions(counts: Vec<(TermId, i64)>, store: &TripleStore) -> Solutions {
+    let rows = counts
+        .into_iter()
+        .map(|(c, n)| vec![Some(Value::Term(c)), Some(Value::Int(n))])
+        .collect();
+    let mut solutions = Solutions {
+        vars: SUBCLASS_ROLLUP_VARS.iter().map(|v| v.to_string()).collect(),
+        rows,
+    };
+    canonicalize_rows(&mut solutions, store);
+    solutions
+}
+
+/// Sequential subclass rollup: for each direct subclass `τ` of `class`,
+/// the number of instances of `class` that are also instances of `τ` —
+/// the bar heights of the paper's subclass expansion, as a chart result.
+pub fn subclass_rollup(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    class: TermId,
+) -> Solutions {
+    let members = hierarchy.instances(store, class);
+    let counts = hierarchy
+        .direct_subclasses(class)
+        .iter()
+        .map(|&sub| {
+            let sub_instances = hierarchy.instances(store, sub);
+            (
+                sub,
+                sorted_intersection_len(&members, &sub_instances) as i64,
+            )
+        })
+        .collect();
+    subclass_rollup_solutions(counts, store)
+}
+
+/// Per-shard subclass-rollup partial: for each direct subclass, the size
+/// of the member∩subclass-instance intersection restricted to subjects
+/// living in this shard. Subjects are colocated, so per-shard counts sum
+/// to the global counts.
+pub fn subclass_rollup_partial(
+    shard: &Shard,
+    rdf_type: TermId,
+    class: TermId,
+    subclasses: &[TermId],
+) -> Vec<i64> {
+    let members: Vec<TermId> = dedup_subjects(shard.pos_range(rdf_type, Some(class)));
+    subclasses
+        .iter()
+        .map(|&sub| {
+            let subs = dedup_subjects(shard.pos_range(rdf_type, Some(sub)));
+            sorted_intersection_len(&members, &subs) as i64
+        })
+        .collect()
+}
+
+/// Sharded subclass rollup; merges per-shard partials by index-wise sum.
+pub fn subclass_rollup_sharded(
+    store: &TripleStore,
+    sharded: &ShardedTripleStore,
+    hierarchy: &ClassHierarchy,
+    class: TermId,
+    par: &Parallelism,
+) -> (Solutions, ParallelReport) {
+    let subclasses: Vec<TermId> = hierarchy.direct_subclasses(class).to_vec();
+    let Some(rdf_type) = store.lookup_iri(elinda_rdf::vocab::rdf::TYPE) else {
+        let report = ParallelReport {
+            shard_busy: vec![Duration::ZERO; sharded.num_shards()],
+            wall: Duration::ZERO,
+            threads: 1,
+        };
+        return (subclass_rollup_solutions(Vec::new(), store), report);
+    };
+    let (partials, report) = map_shards(sharded, par.threads, |_, shard| {
+        subclass_rollup_partial(shard, rdf_type, class, &subclasses)
+    });
+    let mut totals = vec![0i64; subclasses.len()];
+    for partial in partials {
+        for (slot, v) in totals.iter_mut().zip(partial) {
+            *slot += v;
+        }
+    }
+    let counts = subclasses.into_iter().zip(totals).collect();
+    (subclass_rollup_solutions(counts, store), report)
+}
+
+/// Length of the intersection of two sorted, deduplicated id slices.
+fn sorted_intersection_len(a: &[TermId], b: &[TermId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Distinct subjects of a POS range with fixed `(p, o)` — the range is
+/// sorted by subject, so a linear dedup suffices.
+fn dedup_subjects(range: &[elinda_rdf::Triple]) -> Vec<TermId> {
+    let mut out: Vec<TermId> = range.iter().map(|t| t.s).collect();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Object rollup
+// ---------------------------------------------------------------------------
+
+/// Column names of the object-rollup result.
+pub const OBJECT_ROLLUP_VARS: [&str; 2] = ["class", "count"];
+
+fn object_rollup_solutions(agg: FxHashMap<TermId, i64>, store: &TripleStore) -> Solutions {
+    let rows = agg
+        .into_iter()
+        .map(|(c, n)| vec![Some(Value::Term(c)), Some(Value::Int(n))])
+        .collect();
+    let mut solutions = Solutions {
+        vars: OBJECT_ROLLUP_VARS.iter().map(|v| v.to_string()).collect(),
+        rows,
+    };
+    canonicalize_rows(&mut solutions, store);
+    solutions
+}
+
+/// Sequential object rollup: the nodes connected to instances of `class`
+/// via `prop` (objects for [`ExpansionDirection::Outgoing`], subjects for
+/// [`ExpansionDirection::Incoming`]), grouped by their classes, counting
+/// distinct connected nodes per class — the paper's object expansion as
+/// a chart result.
+pub fn object_rollup(
+    store: &TripleStore,
+    hierarchy: &ClassHierarchy,
+    class: TermId,
+    prop: TermId,
+    direction: ExpansionDirection,
+) -> Solutions {
+    let instances = hierarchy.instances(store, class);
+    let mut connected: Vec<TermId> = Vec::new();
+    for &s in &instances {
+        match direction {
+            ExpansionDirection::Outgoing => connected.extend(store.objects_of(s, prop)),
+            ExpansionDirection::Incoming => connected.extend(store.subjects_with(prop, s)),
+        }
+    }
+    connected.sort_unstable();
+    connected.dedup();
+    let mut agg: FxHashMap<TermId, i64> = FxHashMap::default();
+    for &o in &connected {
+        for c in hierarchy.classes_of(store, o) {
+            *agg.entry(c).or_default() += 1;
+        }
+    }
+    object_rollup_solutions(agg, store)
+}
+
+/// Gather phase partial: the connected nodes contributed by one shard
+/// (outgoing: objects of this shard's instance subjects; incoming:
+/// subjects of this shard pointing at any instance).
+pub fn object_gather_partial(
+    shard: &Shard,
+    shard_index: usize,
+    num_shards: usize,
+    instances: &[TermId],
+    prop: TermId,
+    direction: ExpansionDirection,
+) -> Vec<TermId> {
+    let mut out = Vec::new();
+    match direction {
+        ExpansionDirection::Outgoing => {
+            for &s in instances {
+                if elinda_store::shard_of(s, num_shards) != shard_index {
+                    continue;
+                }
+                out.extend(shard.spo_range(s, Some(prop)).iter().map(|t| t.o));
+            }
+        }
+        ExpansionDirection::Incoming => {
+            for &o in instances {
+                out.extend(shard.pos_range(prop, Some(o)).iter().map(|t| t.s));
+            }
+        }
+    }
+    out
+}
+
+/// Classify phase partial: per-class distinct-node counts for the
+/// connected nodes whose subject hash lands in this shard (a node's
+/// `rdf:type` triples are colocated with its other outgoing triples).
+pub fn object_classify_partial(
+    shard: &Shard,
+    shard_index: usize,
+    num_shards: usize,
+    connected: &[TermId],
+    rdf_type: Option<TermId>,
+) -> FxHashMap<TermId, i64> {
+    let mut agg: FxHashMap<TermId, i64> = FxHashMap::default();
+    let Some(ty) = rdf_type else {
+        return agg;
+    };
+    let mut classes: Vec<TermId> = Vec::new();
+    for &o in connected {
+        if elinda_store::shard_of(o, num_shards) != shard_index {
+            continue;
+        }
+        classes.clear();
+        classes.extend(shard.spo_range(o, Some(ty)).iter().map(|t| t.o));
+        classes.sort_unstable();
+        classes.dedup();
+        for &c in &classes {
+            *agg.entry(c).or_default() += 1;
+        }
+    }
+    agg
+}
+
+/// Sharded object rollup: gather connected nodes per shard, merge to a
+/// distinct set, then classify per shard and merge by keyed sum.
+pub fn object_rollup_sharded(
+    store: &TripleStore,
+    sharded: &ShardedTripleStore,
+    hierarchy: &ClassHierarchy,
+    class: TermId,
+    prop: TermId,
+    direction: ExpansionDirection,
+    par: &Parallelism,
+) -> (Solutions, ParallelReport) {
+    let instances = hierarchy.instances(store, class);
+    let n = sharded.num_shards();
+    let (gathered, mut report) = map_shards(sharded, par.threads, |i, shard| {
+        object_gather_partial(shard, i, n, &instances, prop, direction)
+    });
+    let mut connected: Vec<TermId> = gathered.into_iter().flatten().collect();
+    connected.sort_unstable();
+    connected.dedup();
+    let rdf_type = store.lookup_iri(elinda_rdf::vocab::rdf::TYPE);
+    let (partials, classify_report) = map_shards(sharded, par.threads, |i, shard| {
+        object_classify_partial(shard, i, n, &connected, rdf_type)
+    });
+    let mut agg: FxHashMap<TermId, i64> = FxHashMap::default();
+    for partial in partials {
+        for (c, count) in partial {
+            *agg.entry(c).or_default() += count;
+        }
+    }
+    for (slot, extra) in report.shard_busy.iter_mut().zip(classify_report.shard_busy) {
+        *slot += extra;
+    }
+    report.wall += classify_report.wall;
+    (object_rollup_solutions(agg, store), report)
+}
+
+// ---------------------------------------------------------------------------
+// Threshold filter
+// ---------------------------------------------------------------------------
+
+/// The threshold filter of the eLinda frontend: keep only the properties
+/// whose entity count covers at least `threshold` (a fraction in
+/// `[0, 1]`) of the `total` expanded instances. Applied to a merged
+/// (canonically ordered) property-expansion result, so it preserves
+/// byte-identity between sequential and parallel evaluations.
+pub fn filter_by_coverage(solutions: &Solutions, total: usize, threshold: f64) -> Solutions {
+    let rows = solutions
+        .rows
+        .iter()
+        .filter(|row| match row.get(1) {
+            Some(Some(Value::Int(count))) => (*count as f64) >= threshold * (total as f64),
+            _ => false,
+        })
+        .cloned()
+        .collect();
+    Solutions {
+        vars: solutions.vars.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposer::{
+        execute_decomposed, property_expansion_sparql, recognize_property_expansion,
+    };
+    use elinda_sparql::parse_query;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            @prefix owl: <http://www.w3.org/2002/07/owl#> .
+            ex:B rdfs:subClassOf ex:A . ex:C rdfs:subClassOf ex:A .
+            ex:x a ex:A ; a ex:B ; ex:p ex:y ; ex:p ex:z ; ex:q ex:y .
+            ex:y a ex:A ; a ex:C ; ex:p ex:z .
+            ex:z a ex:A ; ex:r ex:x .
+            ex:w ex:p ex:x ; ex:p ex:y .
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn id(s: &TripleStore, local: &str) -> TermId {
+        s.lookup_iri(&format!("http://e/{local}")).unwrap()
+    }
+
+    fn recognized(class: &str, dir: ExpansionDirection) -> PropertyExpansionQuery {
+        let text = property_expansion_sparql(class, dir);
+        recognize_property_expansion(&parse_query(&text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parallelism_defaults_and_budget() {
+        assert_eq!(Parallelism::default(), Parallelism::sequential());
+        assert!(!Parallelism::sequential().is_parallel());
+        assert!(Parallelism::fixed(4, 8).is_parallel());
+        assert!(!Parallelism::fixed(4, 1).is_parallel());
+        assert_eq!(Parallelism::fixed(0, 0), Parallelism::sequential());
+        let b = Parallelism::budgeted(1_000_000, 8);
+        assert_eq!(b.threads, 1); // budget floor is one thread
+        assert_eq!(b.shards, 8);
+    }
+
+    #[test]
+    fn map_shards_returns_partials_in_index_order() {
+        let s = store();
+        for threads in [1, 2, 4] {
+            let sharded = ShardedTripleStore::build(&s, 7);
+            let (partials, report) = map_shards(&sharded, threads, |i, shard| (i, shard.len()));
+            assert_eq!(partials.len(), 7);
+            for (i, (idx, len)) in partials.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*len, sharded.shard(i).len());
+            }
+            assert_eq!(report.shard_busy.len(), 7);
+            assert!(report.threads >= 1);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_both_directions() {
+        let s = store();
+        let h = ClassHierarchy::build(&s);
+        for dir in [ExpansionDirection::Outgoing, ExpansionDirection::Incoming] {
+            let q = recognized("http://e/A", dir);
+            let sequential = execute_decomposed(&s, &h, &q);
+            for shards in [1, 2, 7, 16] {
+                for threads in [1, 2, 4] {
+                    let sharded = ShardedTripleStore::build(&s, shards);
+                    let (parallel, _) = execute_decomposed_sharded(
+                        &s,
+                        &sharded,
+                        &h,
+                        &q,
+                        &Parallelism::fixed(threads, shards),
+                    );
+                    assert_eq!(parallel.vars, sequential.vars);
+                    assert_eq!(parallel.rows, sequential.rows, "{dir:?} {shards} {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_class_is_empty_with_clean_report() {
+        let s = store();
+        let h = ClassHierarchy::build(&s);
+        let sharded = ShardedTripleStore::build(&s, 4);
+        let q = recognized("http://e/Nothing", ExpansionDirection::Outgoing);
+        let (sol, report) =
+            execute_decomposed_sharded(&s, &sharded, &h, &q, &Parallelism::fixed(2, 4));
+        assert!(sol.is_empty());
+        assert_eq!(report.shard_busy.len(), 4);
+    }
+
+    #[test]
+    fn subclass_rollup_sharded_matches_sequential() {
+        let s = store();
+        let h = ClassHierarchy::build(&s);
+        let a = id(&s, "A");
+        let sequential = subclass_rollup(&s, &h, a);
+        assert_eq!(sequential.rows.len(), 2); // B and C
+        for shards in [1, 2, 7, 16] {
+            let sharded = ShardedTripleStore::build(&s, shards);
+            let (parallel, _) =
+                subclass_rollup_sharded(&s, &sharded, &h, a, &Parallelism::fixed(2, shards));
+            assert_eq!(parallel.rows, sequential.rows, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn object_rollup_sharded_matches_sequential() {
+        let s = store();
+        let h = ClassHierarchy::build(&s);
+        let a = id(&s, "A");
+        let p = id(&s, "p");
+        for dir in [ExpansionDirection::Outgoing, ExpansionDirection::Incoming] {
+            let sequential = object_rollup(&s, &h, a, p, dir);
+            for shards in [1, 2, 7, 16] {
+                let sharded = ShardedTripleStore::build(&s, shards);
+                let (parallel, _) = object_rollup_sharded(
+                    &s,
+                    &sharded,
+                    &h,
+                    a,
+                    p,
+                    dir,
+                    &Parallelism::fixed(2, shards),
+                );
+                assert_eq!(parallel.rows, sequential.rows, "{dir:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_filter_keeps_rows_at_or_above_threshold() {
+        let s = store();
+        let h = ClassHierarchy::build(&s);
+        let q = recognized("http://e/A", ExpansionDirection::Outgoing);
+        let full = execute_decomposed(&s, &h, &q);
+        // 3 instances of A; ex:p covers 2 of them (x, y), ex:q and ex:r 1.
+        let filtered = filter_by_coverage(&full, 3, 0.5);
+        assert!(filtered.rows.len() < full.rows.len());
+        assert!(filtered
+            .rows
+            .iter()
+            .all(|r| matches!(r[1], Some(Value::Int(n)) if n >= 2)));
+        // Zero threshold keeps everything.
+        assert_eq!(
+            filter_by_coverage(&full, 3, 0.0).rows.len(),
+            full.rows.len()
+        );
+    }
+
+    #[test]
+    fn speedup_gauge_is_sane() {
+        let report = ParallelReport {
+            shard_busy: vec![Duration::from_millis(10); 4],
+            wall: Duration::from_millis(20),
+            threads: 2,
+        };
+        assert!((report.speedup() - 2.0).abs() < 1e-9);
+        assert_eq!(report.busy_total(), Duration::from_millis(40));
+        let degenerate = ParallelReport {
+            shard_busy: vec![],
+            wall: Duration::ZERO,
+            threads: 1,
+        };
+        assert_eq!(degenerate.speedup(), 1.0);
+    }
+}

@@ -118,6 +118,7 @@ impl QueryEngine for RemoteEndpoint<'_> {
             solutions,
             elapsed: start.elapsed(),
             served_by: ServedBy::Remote,
+            shards_used: 1,
         })
     }
 

@@ -9,9 +9,11 @@
 use crate::decomposer::{execute_decomposed, execute_precomputed, recognize_property_expansion};
 use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
 use crate::hvs::{HeavyQueryStore, HvsConfig, HvsStats};
+use crate::parallel::{execute_decomposed_sharded, ParallelStats, Parallelism};
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::{parse_query, Executor};
-use elinda_store::{ClassHierarchy, PropertyAggregates, TripleStore};
+use elinda_store::{ClassHierarchy, PropertyAggregates, ShardedTripleStore, TripleStore};
+use parking_lot::Mutex;
 use std::borrow::Borrow;
 use std::time::Instant;
 
@@ -40,6 +42,12 @@ pub struct EndpointConfig {
     pub decomposer_mode: DecomposerMode,
     /// HVS settings.
     pub hvs: HvsConfig,
+    /// Intra-query parallelism budget for decomposed aggregations
+    /// (default sequential). When it fans out, the endpoint builds a
+    /// [`ShardedTripleStore`] snapshot at construction and answers
+    /// recognized expansions with the map-per-shard / merge-partials
+    /// evaluator — byte-identical to the sequential path on the wire.
+    pub parallelism: Parallelism,
 }
 
 impl EndpointConfig {
@@ -50,6 +58,7 @@ impl EndpointConfig {
             enable_decomposer: true,
             decomposer_mode: DecomposerMode::OnDemand,
             hvs: HvsConfig::default(),
+            parallelism: Parallelism::sequential(),
         }
     }
 
@@ -60,6 +69,7 @@ impl EndpointConfig {
             enable_decomposer: false,
             decomposer_mode: DecomposerMode::OnDemand,
             hvs: HvsConfig::default(),
+            parallelism: Parallelism::sequential(),
         }
     }
 
@@ -71,6 +81,15 @@ impl EndpointConfig {
             enable_decomposer: true,
             decomposer_mode: DecomposerMode::OnDemand,
             hvs: HvsConfig::default(),
+            parallelism: Parallelism::sequential(),
+        }
+    }
+
+    /// [`EndpointConfig::full`] with an intra-query parallelism budget.
+    pub fn parallel(parallelism: Parallelism) -> Self {
+        EndpointConfig {
+            parallelism,
+            ..EndpointConfig::full()
         }
     }
 }
@@ -88,6 +107,11 @@ pub struct ElindaEndpoint<S: Borrow<TripleStore>> {
     hvs: HeavyQueryStore,
     /// Materialized only in [`DecomposerMode::Precomputed`].
     aggregates: Option<PropertyAggregates>,
+    /// Sharded snapshot for intra-query parallelism; built only when the
+    /// configured [`Parallelism`] actually fans out.
+    sharded: Option<ShardedTripleStore>,
+    /// Cumulative per-shard timings and speedup, fed by the parallel path.
+    parallel_stats: Mutex<ParallelStats>,
     config: EndpointConfig,
 }
 
@@ -103,11 +127,15 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
         let aggregates = (config.enable_decomposer
             && config.decomposer_mode == DecomposerMode::Precomputed)
             .then(|| PropertyAggregates::build(s, &hierarchy));
+        let sharded = (config.enable_decomposer && config.parallelism.is_parallel())
+            .then(|| ShardedTripleStore::build(s, config.parallelism.shards));
         ElindaEndpoint {
             store,
             hierarchy,
             hvs,
             aggregates,
+            sharded,
+            parallel_stats: Mutex::new(ParallelStats::default()),
             config,
         }
     }
@@ -131,6 +159,19 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     pub fn hvs_len(&self) -> usize {
         self.hvs.len()
     }
+
+    /// The intra-query parallelism budget this endpoint runs with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.config.parallelism
+    }
+
+    /// Snapshot of the cumulative parallel-execution statistics, or
+    /// `None` when intra-query parallelism is off.
+    pub fn parallel_stats(&self) -> Option<ParallelStats> {
+        self.sharded
+            .as_ref()
+            .map(|_| self.parallel_stats.lock().clone())
+    }
 }
 
 impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
@@ -149,27 +190,47 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                     solutions,
                     elapsed: start.elapsed(),
                     served_by: ServedBy::Hvs,
+                    shards_used: 1,
                 });
             }
         }
 
         let parsed = parse_query(query).map_err(QueryError::Parse)?;
-        let (solutions, served_by) = if self.config.enable_decomposer {
+        let (solutions, served_by, shards_used) = if self.config.enable_decomposer {
             match recognize_property_expansion(&parsed) {
                 Some(rec) => {
-                    let solutions = match &self.aggregates {
+                    let (solutions, shards_used) = match &self.aggregates {
                         // A stale precomputed index falls back to the
                         // on-demand path rather than serving old counts.
-                        Some(agg) if !agg.is_stale(store) => execute_precomputed(store, agg, &rec),
-                        _ => execute_decomposed(store, &self.hierarchy, &rec),
+                        Some(agg) if !agg.is_stale(store) => {
+                            (execute_precomputed(store, agg, &rec), 1)
+                        }
+                        _ => match &self.sharded {
+                            // Likewise: a stale sharded snapshot falls
+                            // back to sequential evaluation rather than
+                            // serving pre-update counts.
+                            Some(sharded) if !sharded.is_stale(store) => {
+                                let (solutions, report) = execute_decomposed_sharded(
+                                    store,
+                                    sharded,
+                                    &self.hierarchy,
+                                    &rec,
+                                    &self.config.parallelism,
+                                );
+                                self.parallel_stats.lock().record(&report);
+                                (solutions, sharded.num_shards())
+                            }
+                            _ => (execute_decomposed(store, &self.hierarchy, &rec), 1),
+                        },
                     };
-                    (solutions, ServedBy::Decomposer)
+                    (solutions, ServedBy::Decomposer, shards_used)
                 }
                 None => (
                     Executor::new(store)
                         .execute(&parsed)
                         .map_err(QueryError::Exec)?,
                     ServedBy::Direct,
+                    1,
                 ),
             }
         } else {
@@ -178,6 +239,7 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                     .execute(&parsed)
                     .map_err(QueryError::Exec)?,
                 ServedBy::Direct,
+                1,
             )
         };
         let elapsed = start.elapsed();
@@ -188,6 +250,7 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
             solutions,
             elapsed,
             served_by,
+            shards_used,
         })
     }
 
@@ -311,6 +374,56 @@ mod tests {
             let type_rows = out.solutions.len();
             assert!(type_rows >= 1);
         }
+    }
+
+    #[test]
+    fn parallel_config_is_byte_identical_and_reports_shards() {
+        let s = store();
+        let sequential = ElindaEndpoint::new(&s, EndpointConfig::decomposer_only());
+        let mut cfg = EndpointConfig::decomposer_only();
+        cfg.parallelism = Parallelism::fixed(2, 7);
+        let parallel = ElindaEndpoint::new(&s, cfg);
+        for dir in [ExpansionDirection::Outgoing, ExpansionDirection::Incoming] {
+            let q = property_expansion_sparql(elinda_rdf::vocab::owl::THING, dir);
+            let a = sequential.execute(&q).unwrap();
+            let b = parallel.execute(&q).unwrap();
+            assert_eq!(a.served_by, ServedBy::Decomposer);
+            assert_eq!(b.served_by, ServedBy::Decomposer);
+            assert_eq!(a.shards_used, 1);
+            assert_eq!(b.shards_used, 7);
+            assert_eq!(
+                crate::json::encode_solutions(&a.solutions, &s),
+                crate::json::encode_solutions(&b.solutions, &s),
+                "{dir:?}"
+            );
+        }
+        assert!(sequential.parallel_stats().is_none());
+        let stats = parallel.parallel_stats().unwrap();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.shard_busy.len(), 7);
+    }
+
+    #[test]
+    fn rebuilt_endpoint_after_update_serves_parallel_fresh() {
+        let mut s = store();
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
+        let mut cfg = EndpointConfig::decomposer_only();
+        cfg.parallelism = Parallelism::fixed(2, 4);
+        let before = {
+            let ep = ElindaEndpoint::new(&s, cfg.clone());
+            ep.execute(&q).unwrap().solutions.len()
+        };
+        // Give ex:c an outgoing edge with a brand-new property; the
+        // rebuilt endpoint's shard snapshot must reflect it.
+        let c = s.lookup_iri("http://e/c").unwrap();
+        let r = s.intern(elinda_rdf::Term::iri("http://e/r"));
+        s.insert(c, r, c);
+        let ep = ElindaEndpoint::new(&s, cfg);
+        let out = ep.execute(&q).unwrap();
+        assert_eq!(out.shards_used, 4);
+        assert_eq!(out.solutions.len(), before + 1);
+        assert_eq!(ep.parallel_stats().unwrap().queries, 1);
     }
 
     #[test]

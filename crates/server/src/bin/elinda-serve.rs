@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --bin elinda-serve -- [--addr 127.0.0.1:7878] [--workers 4]
 //!                                 [--queue-depth 64] [--scale 1.0]
+//!                                 [--shards 8] [--intra-query-threads 0]
 //! ```
 //!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
@@ -10,7 +11,7 @@
 //! requests and exits.
 
 use elinda_datagen::{generate_dbpedia, DbpediaConfig};
-use elinda_endpoint::EndpointConfig;
+use elinda_endpoint::{EndpointConfig, Parallelism};
 use elinda_server::{serve, ServerConfig, ServerState};
 use std::io::BufRead;
 use std::sync::Arc;
@@ -21,6 +22,11 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     scale: f64,
+    shards: usize,
+    /// Worker threads per query; 0 means derive the budget from the
+    /// core count and `--workers` so the pools compose without
+    /// oversubscription.
+    intra_query_threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +35,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 64,
         scale: 1.0,
+        shards: 8,
+        intra_query_threads: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,9 +58,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--scale: {e}"))?
             }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--intra-query-threads" => {
+                args.intra_query_threads = value("--intra-query-threads")?
+                    .parse()
+                    .map_err(|e| format!("--intra-query-threads: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
-                     [--queue-depth N] [--scale F]"
+                     [--queue-depth N] [--scale F] [--shards N] \
+                     [--intra-query-threads N (0 = auto core budget)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -77,7 +96,18 @@ fn main() {
     let store = Arc::new(generate_dbpedia(&DbpediaConfig::tiny().scaled(args.scale)));
     eprintln!("store ready: {} triples", store.len());
 
-    let state = Arc::new(ServerState::new(store, EndpointConfig::full()));
+    // Per-request core budget: with W server workers on C cores, each
+    // request gets max(1, C / W) threads so concurrent heavy queries
+    // saturate the machine without oversubscribing it.
+    let parallelism = if args.intra_query_threads == 0 {
+        Parallelism::budgeted(args.workers, args.shards)
+    } else {
+        Parallelism::fixed(args.intra_query_threads, args.shards)
+    };
+    let state = Arc::new(ServerState::new(
+        store,
+        EndpointConfig::parallel(parallelism),
+    ));
     let config = ServerConfig {
         workers: args.workers,
         queue_depth: args.queue_depth,
@@ -92,10 +122,12 @@ fn main() {
         }
     };
     eprintln!(
-        "listening on http://{} ({} workers, queue depth {})",
+        "listening on http://{} ({} workers, queue depth {}, {} shards × {} threads/query)",
         handle.local_addr(),
         args.workers,
-        args.queue_depth
+        args.queue_depth,
+        parallelism.shards,
+        parallelism.threads
     );
     eprintln!("routes: /sparql /health /metrics — type `quit` (or close stdin) to stop");
 

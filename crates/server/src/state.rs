@@ -94,6 +94,23 @@ impl ServerState {
                 ));
             }
         }
+        if let Some(stats) = self.endpoint.inner().parallel_stats() {
+            out.push_str(&format!(
+                "elinda_parallel_queries_total {}\n",
+                stats.queries
+            ));
+            for (i, busy) in stats.shard_busy.iter().enumerate() {
+                out.push_str(&format!(
+                    "elinda_parallel_shard_busy_us{{shard=\"{i}\"}} {}\n",
+                    busy.as_micros()
+                ));
+            }
+            out.push_str(&format!(
+                "elinda_parallel_wall_us {}\n",
+                stats.wall.as_micros()
+            ));
+            out.push_str(&format!("elinda_parallel_speedup {:.3}\n", stats.speedup()));
+        }
         out
     }
 }
@@ -122,6 +139,30 @@ mod tests {
     #[test]
     fn execute_json_surfaces_query_errors() {
         assert!(state().execute_json("SELECT nonsense").is_err());
+    }
+
+    #[test]
+    fn metrics_text_reports_parallel_gauges_when_enabled() {
+        use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+        use elinda_endpoint::Parallelism;
+
+        let store = TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C ; ex:p ex:b .")
+            .unwrap();
+        let mut config = EndpointConfig::full();
+        config.parallelism = Parallelism::fixed(2, 4);
+        let s = ServerState::new(Arc::new(store), config);
+        // No parallel queries yet: the gauges are present but zeroed.
+        assert!(s.metrics_text().contains("elinda_parallel_queries_total 0"));
+        let q = property_expansion_sparql("http://e/C", ExpansionDirection::Outgoing);
+        s.execute_json(&q).unwrap();
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_parallel_queries_total 1"));
+        assert!(text.contains("elinda_parallel_shard_busy_us{shard=\"0\"}"));
+        assert!(text.contains("elinda_parallel_shard_busy_us{shard=\"3\"}"));
+        assert!(text.contains("elinda_parallel_wall_us"));
+        assert!(text.contains("elinda_parallel_speedup"));
+        // A sequential endpoint emits no parallel section at all.
+        assert!(!state().metrics_text().contains("elinda_parallel"));
     }
 
     #[test]

@@ -120,6 +120,97 @@ fn concurrent_clients_get_byte_identical_sparql_json() {
     handle.shutdown();
 }
 
+/// Extends `concurrent_clients_get_byte_identical_sparql_json`: the same
+/// hammer pattern, but the served queries are heavy property expansions
+/// and the endpoint fans each one across an intra-query worker pool.
+/// With 4 server workers × 2 threads/query the pools compose; the test
+/// asserts no deadlock or panic (every request completes with 200) and
+/// that every response is byte-identical to the sequential baseline.
+#[test]
+fn concurrent_clients_with_parallel_evaluation_match_sequential_baseline() {
+    use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+    use elinda_endpoint::Parallelism;
+
+    let store = Arc::new(
+        TripleStore::from_turtle(
+            "@prefix ex: <http://e/> .
+             ex:a a ex:C ; ex:knows ex:b ; ex:likes ex:c .
+             ex:b a ex:C ; ex:knows ex:c .
+             ex:c a ex:C .
+             ex:d a ex:D ; ex:knows ex:a .",
+        )
+        .unwrap(),
+    );
+    let queries: Vec<String> = [ExpansionDirection::Outgoing, ExpansionDirection::Incoming]
+        .into_iter()
+        .flat_map(|dir| {
+            ["http://e/C", "http://e/D"]
+                .into_iter()
+                .map(move |class| property_expansion_sparql(class, dir))
+        })
+        .collect();
+    // Baseline: the sequential decomposer, in-process.
+    let sequential = ServerState::new(Arc::clone(&store), EndpointConfig::decomposer_only());
+    let expected: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| sequential.execute_json(q).unwrap().0.into_bytes())
+        .collect();
+
+    let mut config = EndpointConfig::decomposer_only();
+    config.parallelism = Parallelism::fixed(2, 7);
+    let state = Arc::new(ServerState::new(store, config));
+    let handle = serve(
+        state,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let queries = queries.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                for round in 0..5 {
+                    let pick = (i + round) % queries.len();
+                    let (status, headers, body) = get(
+                        addr,
+                        &format!("/sparql?query={}", percent_encode(&queries[pick])),
+                    );
+                    assert_eq!(status, 200);
+                    assert_eq!(header(&headers, "x-elinda-served-by"), Some("decomposer"));
+                    assert_eq!(
+                        body, expected[pick],
+                        "client {i} round {round} query {pick}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+
+    let counters = handle.counters();
+    assert_eq!(counters.accepted, 40);
+    assert_eq!(counters.shed, 0);
+
+    // Every request went through the parallel path; /metrics exposes the
+    // per-shard timings and the speedup gauge.
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("elinda_parallel_queries_total 40"), "{text}");
+    assert!(text.contains("elinda_parallel_shard_busy_us{shard=\"6\"}"));
+    assert!(text.contains("elinda_parallel_speedup"));
+
+    handle.shutdown();
+}
+
 #[test]
 fn raw_sparql_query_post_body_is_accepted() {
     let state = test_state();
@@ -203,10 +294,7 @@ fn queue_overflow_sheds_with_503() {
         .collect();
     let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
 
-    assert!(
-        statuses.contains(&503),
-        "no request was shed: {statuses:?}"
-    );
+    assert!(statuses.contains(&503), "no request was shed: {statuses:?}");
     assert!(
         statuses.contains(&200),
         "no request succeeded: {statuses:?}"

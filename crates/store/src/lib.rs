@@ -16,7 +16,10 @@
 //!   to an endpoint (triple count, class count, …);
 //! * [`labels`] — `rdfs:label` lookup and the autocomplete class search;
 //! * [`aggregates`] — the specialized `(class, property)` aggregate
-//!   indexes targeted by the eLinda decomposer.
+//!   indexes targeted by the eLinda decomposer;
+//! * [`shard`] — a subject-hash-partitioned snapshot of the store whose
+//!   per-shard permutation indexes power intra-query parallel
+//!   aggregation (map per shard, merge partials).
 //!
 //! Mutations bump an *epoch* counter; the HVS (in `elinda-endpoint`)
 //! invalidates itself whenever the epoch moves, reproducing "the HVS is
@@ -26,6 +29,7 @@ pub mod aggregates;
 pub mod labels;
 pub mod pattern;
 pub mod schema;
+pub mod shard;
 pub mod stats;
 pub mod store;
 
@@ -33,5 +37,6 @@ pub use aggregates::{PropAgg, PropertyAggregates};
 pub use labels::LabelIndex;
 pub use pattern::TriplePattern;
 pub use schema::ClassHierarchy;
+pub use shard::{shard_of, Shard, ShardedTripleStore};
 pub use stats::DatasetStats;
 pub use store::TripleStore;

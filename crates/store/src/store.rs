@@ -248,8 +248,12 @@ impl Default for TripleStore {
 }
 
 /// Binary-search the maximal contiguous run where `cmp` returns `Equal`,
-/// assuming `sorted` is ordered consistently with `cmp`.
-fn range_by(sorted: &[Triple], cmp: impl Fn(&Triple) -> std::cmp::Ordering) -> &[Triple] {
+/// assuming `sorted` is ordered consistently with `cmp`. Shared with the
+/// sharded view, whose per-shard permutations obey the same orderings.
+pub(crate) fn range_by(
+    sorted: &[Triple],
+    cmp: impl Fn(&Triple) -> std::cmp::Ordering,
+) -> &[Triple] {
     let start = sorted.partition_point(|t| cmp(t) == std::cmp::Ordering::Less);
     let end = start + sorted[start..].partition_point(|t| cmp(t) == std::cmp::Ordering::Equal);
     &sorted[start..end]

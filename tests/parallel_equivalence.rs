@@ -1,0 +1,230 @@
+//! Differential suite: sharded parallel expansion evaluation is
+//! query-equivalent to sequential evaluation — byte-identical on the
+//! SPARQL-JSON wire format — for seeded datagen datasets at three
+//! scales, every expansion variant (subclass / property / object ×
+//! incoming / outgoing, plus threshold filters), across shard counts
+//! {1, 2, 7, 16} and several worker budgets.
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::endpoint::decomposer::{
+    execute_decomposed, property_expansion_sparql, recognize_property_expansion, ExpansionDirection,
+};
+use elinda::endpoint::json::encode_solutions;
+use elinda::endpoint::parallel::{
+    execute_decomposed_sharded, filter_by_coverage, object_rollup, object_rollup_sharded,
+    subclass_rollup, subclass_rollup_sharded, Parallelism,
+};
+use elinda::endpoint::{ElindaEndpoint, EndpointConfig, QueryEngine};
+use elinda::rdf::TermId;
+use elinda::sparql::parse_query;
+use elinda::store::{ClassHierarchy, ShardedTripleStore, TripleStore};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+const THREAD_BUDGETS: [usize; 2] = [2, 4];
+const DIRECTIONS: [ExpansionDirection; 2] =
+    [ExpansionDirection::Outgoing, ExpansionDirection::Incoming];
+
+/// Three dataset scales, each with its own seed so the shard-balance
+/// characteristics differ between them.
+fn stores() -> Vec<TripleStore> {
+    [(0.3, 11u64), (0.6, 23), (1.2, 47)]
+        .into_iter()
+        .map(|(scale, seed)| {
+            let mut cfg = DbpediaConfig::tiny().scaled(scale);
+            cfg.seed = seed;
+            generate_dbpedia(&cfg)
+        })
+        .collect()
+}
+
+/// A handful of classes per store: the hierarchy roots plus the most
+/// populous classes, giving both broad and narrow expansions.
+fn sample_classes(store: &TripleStore, hierarchy: &ClassHierarchy) -> Vec<TermId> {
+    let mut classes: Vec<TermId> = hierarchy.classes().to_vec();
+    classes.sort_by_key(|&c| std::cmp::Reverse(hierarchy.instance_count(store, c)));
+    classes.truncate(4);
+    classes
+}
+
+fn class_iri(store: &TripleStore, class: TermId) -> String {
+    store
+        .resolve(class)
+        .as_iri()
+        .expect("classes are IRIs")
+        .to_string()
+}
+
+#[test]
+fn property_expansions_are_byte_identical_across_shard_counts() {
+    for store in stores() {
+        let hierarchy = ClassHierarchy::build(&store);
+        for class in sample_classes(&store, &hierarchy) {
+            for dir in DIRECTIONS {
+                let text = property_expansion_sparql(&class_iri(&store, class), dir);
+                let rec = recognize_property_expansion(&parse_query(&text).unwrap()).unwrap();
+                let sequential = execute_decomposed(&store, &hierarchy, &rec);
+                let expected = encode_solutions(&sequential, &store);
+                for shards in SHARD_COUNTS {
+                    let sharded = ShardedTripleStore::build(&store, shards);
+                    for threads in THREAD_BUDGETS {
+                        let (parallel, report) = execute_decomposed_sharded(
+                            &store,
+                            &sharded,
+                            &hierarchy,
+                            &rec,
+                            &Parallelism::fixed(threads, shards),
+                        );
+                        assert_eq!(
+                            encode_solutions(&parallel, &store),
+                            expected,
+                            "store of {} triples, {dir:?}, {shards} shards, {threads} threads",
+                            store.len()
+                        );
+                        assert_eq!(report.shard_busy.len(), shards);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn subclass_rollups_are_byte_identical_across_shard_counts() {
+    for store in stores() {
+        let hierarchy = ClassHierarchy::build(&store);
+        for class in sample_classes(&store, &hierarchy) {
+            let expected = encode_solutions(&subclass_rollup(&store, &hierarchy, class), &store);
+            for shards in SHARD_COUNTS {
+                let sharded = ShardedTripleStore::build(&store, shards);
+                for threads in THREAD_BUDGETS {
+                    let (parallel, _) = subclass_rollup_sharded(
+                        &store,
+                        &sharded,
+                        &hierarchy,
+                        class,
+                        &Parallelism::fixed(threads, shards),
+                    );
+                    assert_eq!(
+                        encode_solutions(&parallel, &store),
+                        expected,
+                        "store of {} triples, {shards} shards, {threads} threads",
+                        store.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn object_rollups_are_byte_identical_across_shard_counts() {
+    for store in stores() {
+        let hierarchy = ClassHierarchy::build(&store);
+        for class in sample_classes(&store, &hierarchy) {
+            // Expand the class's properties first and roll up the objects
+            // of each of its top properties — the drill-down sequence the
+            // eLinda frontend performs.
+            let text =
+                property_expansion_sparql(&class_iri(&store, class), ExpansionDirection::Outgoing);
+            let rec = recognize_property_expansion(&parse_query(&text).unwrap()).unwrap();
+            let expansion = execute_decomposed(&store, &hierarchy, &rec);
+            let props: Vec<TermId> = expansion
+                .rows
+                .iter()
+                .take(3)
+                .filter_map(|row| match row.first() {
+                    Some(Some(elinda::sparql::Value::Term(p))) => Some(*p),
+                    _ => None,
+                })
+                .collect();
+            for prop in props {
+                for dir in DIRECTIONS {
+                    let expected = encode_solutions(
+                        &object_rollup(&store, &hierarchy, class, prop, dir),
+                        &store,
+                    );
+                    for shards in SHARD_COUNTS {
+                        let sharded = ShardedTripleStore::build(&store, shards);
+                        let (parallel, _) = object_rollup_sharded(
+                            &store,
+                            &sharded,
+                            &hierarchy,
+                            class,
+                            prop,
+                            dir,
+                            &Parallelism::fixed(2, shards),
+                        );
+                        assert_eq!(
+                            encode_solutions(&parallel, &store),
+                            expected,
+                            "store of {} triples, {dir:?}, {shards} shards",
+                            store.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threshold_filters_preserve_byte_identity() {
+    for store in stores() {
+        let hierarchy = ClassHierarchy::build(&store);
+        for class in sample_classes(&store, &hierarchy) {
+            let total = hierarchy.instance_count(&store, class);
+            for dir in DIRECTIONS {
+                let text = property_expansion_sparql(&class_iri(&store, class), dir);
+                let rec = recognize_property_expansion(&parse_query(&text).unwrap()).unwrap();
+                let sequential = execute_decomposed(&store, &hierarchy, &rec);
+                for shards in SHARD_COUNTS {
+                    let sharded = ShardedTripleStore::build(&store, shards);
+                    let (parallel, _) = execute_decomposed_sharded(
+                        &store,
+                        &sharded,
+                        &hierarchy,
+                        &rec,
+                        &Parallelism::fixed(2, shards),
+                    );
+                    for threshold in [0.0, 0.25, 0.75, 1.0] {
+                        let a = filter_by_coverage(&sequential, total, threshold);
+                        let b = filter_by_coverage(&parallel, total, threshold);
+                        assert_eq!(
+                            encode_solutions(&a, &store),
+                            encode_solutions(&b, &store),
+                            "{dir:?}, {shards} shards, threshold {threshold}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end through the router: a parallel-configured `ElindaEndpoint`
+/// serves recognized expansions byte-identically to a sequential one.
+#[test]
+fn endpoint_with_parallelism_is_byte_identical_end_to_end() {
+    for store in stores() {
+        let hierarchy = ClassHierarchy::build(&store);
+        let classes = sample_classes(&store, &hierarchy);
+        let sequential = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+        for shards in SHARD_COUNTS {
+            let mut cfg = EndpointConfig::decomposer_only();
+            cfg.parallelism = Parallelism::fixed(2, shards);
+            let parallel = ElindaEndpoint::new(&store, cfg);
+            for &class in &classes {
+                for dir in DIRECTIONS {
+                    let q = property_expansion_sparql(&class_iri(&store, class), dir);
+                    let a = sequential.execute(&q).unwrap();
+                    let b = parallel.execute(&q).unwrap();
+                    assert_eq!(
+                        encode_solutions(&a.solutions, &store),
+                        encode_solutions(&b.solutions, &store),
+                        "{dir:?}, {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+}

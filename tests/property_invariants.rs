@@ -293,3 +293,136 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shard-partition invariants
+// ---------------------------------------------------------------------------
+
+/// A deterministic Fisher–Yates permutation of `0..n` from a seed (the
+/// xorshift keeps the test independent of any RNG shim).
+fn seeded_permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        order.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_triple_lands_in_exactly_one_shard(g in arb_graph(), n in 1usize..20) {
+        use elinda::store::{shard_of, ShardedTripleStore};
+        let store = TripleStore::from_graph(g);
+        let sharded = ShardedTripleStore::build(&store, n);
+        prop_assert_eq!(sharded.len(), store.len());
+        // Union of the shards is exactly the store (no loss, no
+        // duplication), and each triple sits in its subject's shard.
+        let mut all: Vec<_> = sharded
+            .shards()
+            .flat_map(|s| s.spo_slice().iter().copied())
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, store.spo_slice().to_vec());
+        for (i, shard) in sharded.shards().enumerate() {
+            for t in shard.spo_slice() {
+                prop_assert_eq!(shard_of(t.s, n), i);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_group_by_counts_equal_whole_store_counts(
+        g in arb_typed_graph(),
+        shards in 1usize..20,
+    ) {
+        use elinda::endpoint::decomposer::{
+            execute_decomposed, property_expansion_sparql, recognize_property_expansion,
+            ExpansionDirection,
+        };
+        use elinda::endpoint::parallel::{execute_decomposed_sharded, Parallelism};
+        use elinda::store::ShardedTripleStore;
+
+        let store = TripleStore::from_graph(g);
+        let h = ClassHierarchy::build(&store);
+        let sharded = ShardedTripleStore::build(&store, shards);
+        for &class in h.classes().iter().take(3) {
+            let Some(class_iri) = store.resolve(class).as_iri().map(str::to_string) else {
+                continue;
+            };
+            for dir in [ExpansionDirection::Outgoing, ExpansionDirection::Incoming] {
+                let q = elinda::sparql::parse_query(&property_expansion_sparql(&class_iri, dir))
+                    .unwrap();
+                let rec = recognize_property_expansion(&q).unwrap();
+                let whole = execute_decomposed(&store, &h, &rec);
+                let (merged, _) = execute_decomposed_sharded(
+                    &store,
+                    &sharded,
+                    &h,
+                    &rec,
+                    &Parallelism::fixed(2, shards),
+                );
+                prop_assert_eq!(&merged.vars, &whole.vars);
+                prop_assert_eq!(&merged.rows, &whole.rows, "{:?} {} shards", dir, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_deterministic_under_shuffled_completion_order(
+        g in arb_typed_graph(),
+        shards in 2usize..17,
+        seed in any::<u64>(),
+    ) {
+        use elinda::endpoint::parallel::{
+            merge_incoming_partials, merge_outgoing_partials, property_agg_solutions,
+            property_partial_incoming, property_partial_outgoing,
+        };
+        use elinda::store::ShardedTripleStore;
+
+        let store = TripleStore::from_graph(g);
+        let h = ClassHierarchy::build(&store);
+        let sharded = ShardedTripleStore::build(&store, shards);
+        let Some(&class) = h.classes().first() else { return Ok(()) };
+        let instances = h.instances(&store, class);
+        let columns = ["p".to_string(), "count".to_string(), "sp".to_string()];
+        let order = seeded_permutation(shards, seed);
+
+        // Outgoing: partials merged in shard order vs. a shuffled
+        // completion order must produce identical Solutions.
+        let partials: Vec<_> = (0..shards)
+            .map(|i| property_partial_outgoing(sharded.shard(i), i, shards, &instances))
+            .collect();
+        let in_order = property_agg_solutions(
+            merge_outgoing_partials(partials.clone()),
+            &columns,
+            &store,
+        );
+        let shuffled = property_agg_solutions(
+            merge_outgoing_partials(order.iter().map(|&i| partials[i].clone())),
+            &columns,
+            &store,
+        );
+        prop_assert_eq!(in_order.rows, shuffled.rows);
+
+        // Incoming: the keyed (object, property) partials likewise.
+        let partials: Vec<_> = (0..shards)
+            .map(|i| property_partial_incoming(sharded.shard(i), &instances))
+            .collect();
+        let in_order = property_agg_solutions(
+            merge_incoming_partials(partials.clone()),
+            &columns,
+            &store,
+        );
+        let shuffled = property_agg_solutions(
+            merge_incoming_partials(order.iter().map(|&i| partials[i].clone())),
+            &columns,
+            &store,
+        );
+        prop_assert_eq!(in_order.rows, shuffled.rows);
+    }
+}
