@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--duration 5]
 //!     [--scale 0.05] [--workers 4] [--queue-depth 64] [--addr HOST:PORT]
+//!     [--fault-profile RATE] [--fault-seed N]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process `elinda-server` over a
@@ -13,9 +14,17 @@
 //! `X-Elinda-Served-By` header, and the report shows throughput plus
 //! p50/p95/p99 latency per component (the Fig. 4 comparison, measured
 //! through the protocol layer instead of in process).
+//!
+//! `--fault-profile RATE` reroutes the in-process server through a
+//! simulated remote backend injecting `RATE` transient faults (seeded,
+//! reproducible via `--fault-seed`), with retries and the local router
+//! as the degradation fallback. The report then also shows the
+//! degraded-serve and retry rates alongside the latency percentiles.
 
 use elinda_bench::{bench_store, fig4_queries};
-use elinda_endpoint::EndpointConfig;
+use elinda_endpoint::{
+    EndpointConfig, FaultPlan, RemoteConfig, RemoteEndpoint, ResilienceConfig, RetryPolicy,
+};
 use elinda_server::{percent_encode, serve, ServerConfig, ServerState};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -29,6 +38,10 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     addr: Option<String>,
+    /// Transient-fault rate injected into a simulated remote primary;
+    /// `None` serves the local endpoint directly.
+    fault_profile: Option<f64>,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 64,
         addr: None,
+        fault_profile: None,
+        fault_seed: 0x00e1_1da0_c4a0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,10 +87,24 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--queue-depth: {e}"))?
             }
             "--addr" => args.addr = Some(value("--addr")?),
+            "--fault-profile" => {
+                args.fault_profile = Some(
+                    value("--fault-profile")?
+                        .parse()
+                        .map_err(|e| format!("--fault-profile: {e}"))?,
+                )
+            }
+            "--fault-seed" => {
+                args.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--clients N] [--duration SECS] [--scale F] \
-                     [--workers N] [--queue-depth N] [--addr HOST:PORT]"
+                     [--workers N] [--queue-depth N] [--addr HOST:PORT] \
+                     [--fault-profile RATE (inject transient faults in-process)] \
+                     [--fault-seed N]"
                         .into(),
                 )
             }
@@ -96,6 +125,10 @@ struct Sample {
 struct ClientTally {
     samples: Vec<Sample>,
     shed: u64,
+    /// 504s: the request's deadline expired inside the stack.
+    timeouts: u64,
+    /// 502s: upstream transient failures that exhausted their retries.
+    upstream: u64,
     errors: u64,
 }
 
@@ -143,6 +176,8 @@ fn client_loop(
                 latency,
             }),
             Ok((503, _, _)) => tally.shed += 1,
+            Ok((504, _, _)) => tally.timeouts += 1,
+            Ok((502, _, _)) => tally.upstream += 1,
             Ok(_) | Err(()) => tally.errors += 1,
         }
     }
@@ -176,18 +211,36 @@ fn main() {
 
     // The request mix: both Fig. 4 property expansions (heavy: served
     // by the decomposer, or by the HVS once cached) and a simple
-    // instance listing (light: served direct).
+    // instance listing (light: served direct). Under a fault profile the
+    // primary is a simulated remote with no decomposer, where the heavy
+    // queries cost seconds each — there the mix is the light exploration
+    // queries, since the run measures fault behavior, not Fig. 4.
     let (outgoing, incoming) = fig4_queries();
     let simple = "SELECT ?klass WHERE { ?klass <http://www.w3.org/2000/01/rdf-schema#subClassOf> \
                   <http://www.w3.org/2002/07/owl#Thing> }";
-    let targets: Vec<String> = [outgoing.as_str(), incoming.as_str(), simple]
+    let queries: Vec<String> = if args.fault_profile.is_some() {
+        ["Agent", "Person", "Place", "Work"]
+            .iter()
+            .map(|class| {
+                format!("SELECT ?s WHERE {{ ?s a <http://dbpedia.org/ontology/{class}> }}")
+            })
+            .chain([simple.to_string()])
+            .collect()
+    } else {
+        vec![outgoing, incoming, simple.to_string()]
+    };
+    let targets: Vec<String> = queries
         .iter()
         .map(|q| format!("/sparql?query={}", percent_encode(q)))
         .collect();
 
     // Either drive an external server or host one in process.
-    let (addr, server) = match &args.addr {
+    let (addr, server, state) = match &args.addr {
         Some(addr) => {
+            if args.fault_profile.is_some() {
+                eprintln!("--fault-profile requires the in-process server (drop --addr)");
+                std::process::exit(2);
+            }
             let addr = addr
                 .to_socket_addrs()
                 .ok()
@@ -197,28 +250,53 @@ fn main() {
                     std::process::exit(2);
                 });
             eprintln!("driving external server at http://{addr}");
-            (addr, None)
+            (addr, None, None)
         }
         None => {
             eprintln!("building paper-shape store (scale {})...", args.scale);
             let data = bench_store(args.scale);
             eprintln!("store ready: {} triples", data.store.len());
-            let state = Arc::new(ServerState::new(
-                Arc::new(data.store),
-                EndpointConfig::full(),
-            ));
+            let store = Arc::new(data.store);
+            let state = match args.fault_profile {
+                Some(rate) => {
+                    eprintln!(
+                        "fault profile: {:.1}% transient faults (seed {:#x}), retry ×3, \
+                         local degradation fallback",
+                        rate * 100.0,
+                        args.fault_seed
+                    );
+                    let primary = RemoteEndpoint::new(Arc::clone(&store), RemoteConfig::instant())
+                        .with_faults(FaultPlan::transient(args.fault_seed, rate));
+                    let resilience = ResilienceConfig {
+                        retry: RetryPolicy::new(
+                            3,
+                            Duration::from_micros(200),
+                            Duration::from_millis(5),
+                        ),
+                        ..ResilienceConfig::default()
+                    };
+                    Arc::new(ServerState::with_engine(
+                        store,
+                        Box::new(primary),
+                        resilience,
+                        true,
+                    ))
+                }
+                None => Arc::new(ServerState::new(store, EndpointConfig::full())),
+            };
             let config = ServerConfig {
                 workers: args.workers,
                 queue_depth: args.queue_depth,
                 ..ServerConfig::default()
             };
-            let handle = serve(state, "127.0.0.1:0", config).expect("bind in-process server");
+            let handle =
+                serve(Arc::clone(&state), "127.0.0.1:0", config).expect("bind in-process server");
             let addr = handle.local_addr();
             eprintln!(
                 "in-process server on http://{addr} ({} workers, queue depth {})",
                 args.workers, args.queue_depth
             );
-            (addr, Some(handle))
+            (addr, Some(handle), Some(state))
         }
     };
 
@@ -242,11 +320,17 @@ fn main() {
     let elapsed = started.elapsed();
 
     let mut by_component: Vec<(String, Vec<Duration>)> = Vec::new();
-    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let (mut ok, mut shed, mut timeouts, mut upstream, mut errors) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut degraded = 0u64;
     for tally in tallies {
         shed += tally.shed;
+        timeouts += tally.timeouts;
+        upstream += tally.upstream;
         errors += tally.errors;
         for sample in tally.samples {
+            if sample.component.starts_with("degraded") {
+                degraded += 1;
+            }
             ok += 1;
             match by_component
                 .iter_mut()
@@ -260,7 +344,8 @@ fn main() {
     by_component.sort_by(|(a, _), (b, _)| a.cmp(b));
 
     println!(
-        "\ntotal: {ok} ok, {shed} shed (503), {errors} errors | {:.1} req/s over {:.2}s",
+        "\ntotal: {ok} ok, {shed} shed (503), {timeouts} deadline (504), \
+         {upstream} upstream (502), {errors} errors | {:.1} req/s over {:.2}s",
         ok as f64 / elapsed.as_secs_f64(),
         elapsed.as_secs_f64()
     );
@@ -279,6 +364,37 @@ fn main() {
             fmt_latency(percentile(&samples, 99.0)),
             fmt_latency(mean),
         );
+    }
+
+    if args.fault_profile.is_some() {
+        let total = ok + timeouts + upstream;
+        println!(
+            "degraded serves: {degraded}/{ok} ok responses ({:.2}%)",
+            if ok == 0 {
+                0.0
+            } else {
+                degraded as f64 / ok as f64 * 100.0
+            }
+        );
+        if let Some(state) = &state {
+            let stats = state.resilience_stats();
+            println!(
+                "resilience: {} retries ({:.3}/req), {} deadline expiries, \
+                 {} unavailable, breaker opened {} / half-opened {} / closed {} / rejected {}",
+                stats.retries,
+                if total == 0 {
+                    0.0
+                } else {
+                    stats.retries as f64 / total as f64
+                },
+                stats.deadline_expiries,
+                stats.unavailable,
+                stats.breaker.opened,
+                stats.breaker.half_opened,
+                stats.breaker.closed,
+                stats.breaker.rejected,
+            );
+        }
     }
 
     if let Some(handle) = server {

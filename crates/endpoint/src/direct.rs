@@ -1,8 +1,7 @@
 //! [`DirectEndpoint`]: the plain SPARQL path — the stand-in for the
 //! Virtuoso endpoint the paper routes non-heavy queries to.
 
-use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
-use elinda_sparql::exec::QueryError;
+use crate::engine::{QueryEngine, QueryOutcome, ServeError, ServedBy};
 use elinda_sparql::Executor;
 use elinda_store::TripleStore;
 use std::time::Instant;
@@ -25,7 +24,7 @@ impl<'a> DirectEndpoint<'a> {
 }
 
 impl QueryEngine for DirectEndpoint<'_> {
-    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, ServeError> {
         let start = Instant::now();
         let solutions = Executor::new(self.store).run(query)?;
         Ok(QueryOutcome {
@@ -33,6 +32,7 @@ impl QueryEngine for DirectEndpoint<'_> {
             elapsed: start.elapsed(),
             served_by: ServedBy::Direct,
             shards_used: 1,
+            data_epoch: self.store.epoch(),
         })
     }
 

@@ -1,0 +1,270 @@
+//! Deterministic fault injection for the remote compatibility mode.
+//!
+//! A misbehaving SPARQL backend fails in characteristic ways: latency
+//! spikes, stalls that end in a timeout, transient connection errors,
+//! malformed response bodies, and bursts where several consecutive
+//! requests fail together. [`FaultPlan`] models all of them behind a
+//! single seed, so a chaos test or a `loadgen --fault-profile` run is
+//! **reproducible**: the fault assigned to the `n`-th request is a pure
+//! function of `(seed, n)`, with burst state layered deterministically
+//! on top.
+
+use crate::resilience::splitmix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The failure modes a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Answer normally, but `spike_latency` slower than the latency
+    /// model alone.
+    LatencySpike,
+    /// Stall for `stall` (bounded by the caller's deadline) and then
+    /// fail like a client-side timeout.
+    Timeout,
+    /// Fail immediately with a transient connection error.
+    ConnectionError,
+    /// Answer with a truncated SPARQL-JSON body that fails to decode.
+    MalformedJson,
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// Rates are independent probabilities in `[0, 1]`, checked in the fixed
+/// order connection → timeout → malformed → latency spike (at most one
+/// fault per request). `burst_len > 1` makes every triggered fault
+/// repeat for the following `burst_len - 1` requests as well — the
+/// "error burst" shape real backends produce when a replica goes down.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the per-request draws.
+    pub seed: u64,
+    /// Probability of a transient connection error.
+    pub connection_rate: f64,
+    /// Probability of a stall-then-timeout.
+    pub timeout_rate: f64,
+    /// Probability of a malformed response body.
+    pub malformed_rate: f64,
+    /// Probability of a latency spike.
+    pub spike_rate: f64,
+    /// Extra latency charged on a spike.
+    pub spike_latency: Duration,
+    /// How long a timing-out request stalls before failing (clamped to
+    /// the request deadline when one is set).
+    pub stall: Duration,
+    /// Number of consecutive requests a triggered fault repeats for.
+    pub burst_len: u32,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            connection_rate: 0.0,
+            timeout_rate: 0.0,
+            malformed_rate: 0.0,
+            spike_rate: 0.0,
+            spike_latency: Duration::ZERO,
+            stall: Duration::ZERO,
+            burst_len: 1,
+        }
+    }
+
+    /// A mixed plan with `rate` total transient-fault probability,
+    /// split evenly across connection errors, timeouts, and malformed
+    /// bodies — the shape the chaos suite runs at `rate = 0.1`.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            connection_rate: rate / 3.0,
+            timeout_rate: rate / 3.0,
+            malformed_rate: rate / 3.0,
+            spike_rate: 0.0,
+            spike_latency: Duration::ZERO,
+            stall: Duration::from_millis(5),
+            burst_len: 1,
+        }
+    }
+
+    /// The fault (if any) scheduled for request number `n`, ignoring
+    /// burst carry-over — a pure function of `(seed, n)`.
+    pub fn fault_at(&self, n: u64) -> Option<FaultKind> {
+        // One uniform draw in [0, 1); the rates partition the interval.
+        let draw = (splitmix64(self.seed ^ n.wrapping_mul(0x9e37_79b9)) >> 11) as f64
+            / (1u64 << 53) as f64;
+        let mut edge = self.connection_rate;
+        if draw < edge {
+            return Some(FaultKind::ConnectionError);
+        }
+        edge += self.timeout_rate;
+        if draw < edge {
+            return Some(FaultKind::Timeout);
+        }
+        edge += self.malformed_rate;
+        if draw < edge {
+            return Some(FaultKind::MalformedJson);
+        }
+        edge += self.spike_rate;
+        if draw < edge {
+            return Some(FaultKind::LatencySpike);
+        }
+        None
+    }
+}
+
+/// Shared, thread-safe fault scheduler: assigns each request the next
+/// sequence number and resolves the plan (including burst carry-over)
+/// into the fault to inject.
+pub struct FaultInjector {
+    plan: FaultPlan,
+    next: AtomicU64,
+    /// Burst carry-over: `(kind, remaining)` packed under a lock.
+    burst: parking_lot::Mutex<Option<(FaultKind, u32)>>,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector for the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            next: AtomicU64::new(0),
+            burst: parking_lot::Mutex::new(None),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests scheduled so far.
+    pub fn requests(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Decide the fault for the next request.
+    pub fn next_fault(&self) -> Option<FaultKind> {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let fault = {
+            let mut burst = self.burst.lock();
+            match burst.take() {
+                Some((kind, remaining)) => {
+                    if remaining > 1 {
+                        *burst = Some((kind, remaining - 1));
+                    }
+                    Some(kind)
+                }
+                None => {
+                    let fresh = self.plan.fault_at(n);
+                    if let Some(kind) = fresh {
+                        if self.plan.burst_len > 1 {
+                            *burst = Some((kind, self.plan.burst_len - 1));
+                        }
+                    }
+                    fresh
+                }
+            }
+        };
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            connection_rate: 0.1,
+            timeout_rate: 0.1,
+            malformed_rate: 0.1,
+            spike_rate: 0.1,
+            spike_latency: Duration::from_millis(1),
+            stall: Duration::from_millis(1),
+            burst_len: 1,
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a: Vec<_> = (0..500).map(|n| mixed(42).fault_at(n)).collect();
+        let b: Vec<_> = (0..500).map(|n| mixed(42).fault_at(n)).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = (0..500).map(|n| mixed(43).fault_at(n)).collect();
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let plan = FaultPlan::transient(7, 0.3);
+        let n = 20_000u64;
+        let faults = (0..n).filter(|&i| plan.fault_at(i).is_some()).count();
+        let rate = faults as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn none_plan_never_faults() {
+        let plan = FaultPlan::none(1);
+        assert!((0..1000).all(|n| plan.fault_at(n).is_none()));
+    }
+
+    #[test]
+    fn all_kinds_appear_in_a_mixed_plan() {
+        let plan = mixed(3);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..2000 {
+            if let Some(kind) = plan.fault_at(n) {
+                seen.insert(format!("{kind:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 4, "{seen:?}");
+    }
+
+    #[test]
+    fn injector_bursts_repeat_the_triggering_fault() {
+        let mut plan = FaultPlan::none(0);
+        plan.connection_rate = 0.2;
+        plan.burst_len = 3;
+        let injector = FaultInjector::new(plan.clone());
+        let schedule: Vec<_> = (0..300).map(|_| injector.next_fault()).collect();
+        // Wherever the underlying plan fires, the injected schedule must
+        // show at least burst_len consecutive faults.
+        let mut i = 0;
+        let mut verified = 0;
+        while i < schedule.len() {
+            if schedule[i].is_some() {
+                let run = schedule[i..].iter().take_while(|f| f.is_some()).count();
+                assert!(run >= 3 || i + run == schedule.len(), "run {run} at {i}");
+                i += run;
+                verified += 1;
+            } else {
+                i += 1;
+            }
+        }
+        assert!(verified > 0, "plan never fired in 300 requests");
+        assert_eq!(injector.requests(), 300);
+        assert!(injector.injected() > 0);
+    }
+
+    #[test]
+    fn injector_sequence_is_replayable() {
+        let a = FaultInjector::new(FaultPlan::transient(11, 0.5));
+        let b = FaultInjector::new(FaultPlan::transient(11, 0.5));
+        let sa: Vec<_> = (0..200).map(|_| a.next_fault()).collect();
+        let sb: Vec<_> = (0..200).map(|_| b.next_fault()).collect();
+        assert_eq!(sa, sb);
+    }
+}

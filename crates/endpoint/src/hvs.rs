@@ -51,12 +51,32 @@ pub struct HvsStats {
     pub invalidations: u64,
 }
 
+/// A last-known-good result surviving knowledge-base updates, tagged
+/// with the data epoch it was computed against.
+///
+/// The fresh map answers "is this query heavy and cached?" and is
+/// cleared on every update, exactly as the paper specifies. The stale
+/// side exists for the degradation ladder: when the backend is down or
+/// the budget spent, an answer from a previous epoch — explicitly marked
+/// as such — beats no answer at all.
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// The cached result.
+    pub solutions: Solutions,
+    /// The data epoch the result was computed at.
+    pub epoch: u64,
+}
+
 struct Inner {
     /// Results are held behind `Arc` so a hit only bumps a refcount
     /// under the mutex; the deep clone handed to the caller happens
     /// outside the critical section (see [`HeavyQueryStore::get`]).
     map: FxHashMap<String, Arc<Solutions>>,
     order: VecDeque<String>,
+    /// Last-known-good entries, epoch-tagged. NOT cleared by
+    /// `sync_epoch` — invalidated fresh entries migrate here instead.
+    stale: FxHashMap<String, (Arc<Solutions>, u64)>,
+    stale_order: VecDeque<String>,
     stats: HvsStats,
 }
 
@@ -82,6 +102,8 @@ impl HeavyQueryStore {
             inner: Mutex::new(Inner {
                 map: FxHashMap::default(),
                 order: VecDeque::new(),
+                stale: FxHashMap::default(),
+                stale_order: VecDeque::new(),
                 stats: HvsStats::default(),
             }),
         }
@@ -108,11 +130,45 @@ impl HeavyQueryStore {
         if self.epoch.load(Ordering::Acquire) == epoch {
             return false;
         }
-        inner.map.clear();
+        // Migrate cleared fresh entries to the stale side, tagged with
+        // the epoch they were valid for, before dropping the fresh map:
+        // "cleared on any update" still holds for lookups via `get`,
+        // while the degradation ladder keeps a last-known-good answer.
+        let old_epoch = self.epoch.load(Ordering::Acquire);
+        let migrate: Vec<(String, Arc<Solutions>)> = inner.map.drain().collect();
+        for (query, sol) in migrate {
+            Self::upsert_stale(&mut inner, self.config.capacity, query, sol, old_epoch);
+        }
         inner.order.clear();
         inner.stats.invalidations += 1;
         self.epoch.store(epoch, Ordering::Release);
         true
+    }
+
+    /// Insert or refresh a stale entry, never letting an older epoch
+    /// overwrite a newer one, with FIFO eviction at `capacity`.
+    fn upsert_stale(
+        inner: &mut Inner,
+        capacity: usize,
+        query: String,
+        solutions: Arc<Solutions>,
+        epoch: u64,
+    ) {
+        match inner.stale.get(&query) {
+            Some((_, have)) if *have > epoch => {}
+            Some(_) => {
+                inner.stale.insert(query, (solutions, epoch));
+            }
+            None => {
+                while inner.stale_order.len() >= capacity {
+                    if let Some(oldest) = inner.stale_order.pop_front() {
+                        inner.stale.remove(&oldest);
+                    }
+                }
+                inner.stale_order.push_back(query.clone());
+                inner.stale.insert(query, (solutions, epoch));
+            }
+        }
     }
 
     /// Look up a query previously determined to be heavy.
@@ -160,6 +216,37 @@ impl HeavyQueryStore {
         inner.order.push_back(query.to_string());
         inner.stats.insertions += 1;
         true
+    }
+
+    /// Record a result as the last-known-good answer for `query` at the
+    /// given data epoch, regardless of runtime (the degradation ladder
+    /// wants cheap answers remembered too). Independent of the fresh
+    /// heavy-query map; survives [`HeavyQueryStore::sync_epoch`].
+    pub fn record_at_epoch(&self, query: &str, solutions: &Solutions, epoch: u64) {
+        let solutions = Arc::new(solutions.clone());
+        let mut inner = self.inner.lock();
+        Self::upsert_stale(
+            &mut inner,
+            self.config.capacity,
+            query.to_string(),
+            solutions,
+            epoch,
+        );
+    }
+
+    /// The last-known-good answer for `query`, possibly from an earlier
+    /// data epoch (the entry says which).
+    pub fn get_stale(&self, query: &str) -> Option<StaleEntry> {
+        let cached = self.inner.lock().stale.get(query).cloned();
+        cached.map(|(sol, epoch)| StaleEntry {
+            solutions: (*sol).clone(),
+            epoch,
+        })
+    }
+
+    /// Number of stale (last-known-good) entries.
+    pub fn stale_len(&self) -> usize {
+        self.inner.lock().stale.len()
     }
 
     /// Number of cached queries.
@@ -281,6 +368,42 @@ mod tests {
         // first observed bump must clear.
         assert!(s.invalidations >= 1);
         assert!(h.len() <= 64);
+    }
+
+    #[test]
+    fn epoch_sync_migrates_entries_to_stale() {
+        let h = hvs(0, 10);
+        h.record("q", &sol(3), Duration::from_millis(1));
+        h.sync_epoch(1);
+        assert!(h.is_empty(), "fresh side cleared on update");
+        let stale = h.get_stale("q").unwrap();
+        assert_eq!(stale.solutions.len(), 3);
+        assert_eq!(stale.epoch, 0, "tagged with the epoch it was valid for");
+    }
+
+    #[test]
+    fn record_at_epoch_upserts_and_keeps_newest() {
+        let h = hvs(0, 10);
+        h.record_at_epoch("q", &sol(1), 5);
+        h.record_at_epoch("q", &sol(2), 6);
+        assert_eq!(h.get_stale("q").unwrap().epoch, 6);
+        assert_eq!(h.get_stale("q").unwrap().solutions.len(), 2);
+        // An older epoch never overwrites a newer entry.
+        h.record_at_epoch("q", &sol(9), 4);
+        assert_eq!(h.get_stale("q").unwrap().epoch, 6);
+        assert_eq!(h.stale_len(), 1);
+        assert!(h.get_stale("other").is_none());
+    }
+
+    #[test]
+    fn stale_side_is_capacity_bounded() {
+        let h = hvs(0, 2);
+        h.record_at_epoch("a", &sol(1), 0);
+        h.record_at_epoch("b", &sol(1), 0);
+        h.record_at_epoch("c", &sol(1), 0);
+        assert_eq!(h.stale_len(), 2);
+        assert!(h.get_stale("a").is_none(), "FIFO eviction");
+        assert!(h.get_stale("c").is_some());
     }
 
     #[test]

@@ -30,20 +30,27 @@
 pub mod decomposer;
 pub mod direct;
 pub mod engine;
+pub mod fault;
 pub mod hvs;
 pub mod incremental;
 pub mod json;
 pub mod metrics;
 pub mod parallel;
 pub mod remote;
+pub mod resilience;
 pub mod router;
 
 pub use decomposer::{recognize_property_expansion, PropertyExpansionQuery};
 pub use direct::DirectEndpoint;
-pub use engine::{QueryEngine, QueryOutcome, ServedBy};
-pub use hvs::{HeavyQueryStore, HvsConfig, HvsStats};
+pub use engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use hvs::{HeavyQueryStore, HvsConfig, HvsStats, StaleEntry};
 pub use incremental::{IncrementalConfig, IncrementalPropertyChart, PartialChart};
 pub use metrics::{LatencySummary, MeteredEndpoint};
 pub use parallel::{ParallelReport, ParallelStats, Parallelism};
 pub use remote::{RemoteConfig, RemoteEndpoint, WireSolutions, WireValue};
+pub use resilience::{
+    Admission, BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, Deadline,
+    ResilienceConfig, ResilienceStats, ResilientEndpoint, RetryPolicy,
+};
 pub use router::{DecomposerMode, ElindaEndpoint, EndpointConfig};

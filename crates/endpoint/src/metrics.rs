@@ -5,8 +5,7 @@
 //! [`QueryEngine`] and records, per serving component, how many queries
 //! it answered and at what latency — the data behind the Fig. 4 bars.
 
-use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
-use elinda_sparql::exec::QueryError;
+use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
 use parking_lot::Mutex;
 use std::time::Duration;
 
@@ -100,6 +99,21 @@ struct MetricsInner {
     hvs: LatencySummary,
     decomposer: LatencySummary,
     remote: LatencySummary,
+    degraded_stale: LatencySummary,
+    degraded_local: LatencySummary,
+}
+
+impl MetricsInner {
+    fn slot(&mut self, component: ServedBy) -> &mut LatencySummary {
+        match component {
+            ServedBy::Direct => &mut self.direct,
+            ServedBy::Hvs => &mut self.hvs,
+            ServedBy::Decomposer => &mut self.decomposer,
+            ServedBy::Remote => &mut self.remote,
+            ServedBy::DegradedStale => &mut self.degraded_stale,
+            ServedBy::DegradedLocal => &mut self.degraded_local,
+        }
+    }
 }
 
 /// A [`QueryEngine`] wrapper that meters every query.
@@ -124,32 +138,29 @@ impl<E: QueryEngine> MeteredEndpoint<E> {
 
     /// The summary for one component.
     pub fn summary(&self, component: ServedBy) -> LatencySummary {
-        let m = self.metrics.lock();
-        match component {
-            ServedBy::Direct => m.direct.clone(),
-            ServedBy::Hvs => m.hvs.clone(),
-            ServedBy::Decomposer => m.decomposer.clone(),
-            ServedBy::Remote => m.remote.clone(),
-        }
+        self.metrics.lock().slot(component).clone()
     }
 
     /// Latency at percentile `p` (0–100) over the component's retained
     /// sample window; `None` when nothing was recorded.
     pub fn percentile(&self, component: ServedBy, p: f64) -> Option<Duration> {
-        let m = self.metrics.lock();
-        let slot = match component {
-            ServedBy::Direct => &m.direct,
-            ServedBy::Hvs => &m.hvs,
-            ServedBy::Decomposer => &m.decomposer,
-            ServedBy::Remote => &m.remote,
-        };
-        slot.percentile(p)
+        self.metrics.lock().slot(component).percentile(p)
     }
 
     /// Total queries recorded.
     pub fn total_queries(&self) -> u64 {
-        let m = self.metrics.lock();
-        m.direct.count + m.hvs.count + m.decomposer.count + m.remote.count
+        let mut m = self.metrics.lock();
+        [
+            ServedBy::Direct,
+            ServedBy::Hvs,
+            ServedBy::Decomposer,
+            ServedBy::Remote,
+            ServedBy::DegradedStale,
+            ServedBy::DegradedLocal,
+        ]
+        .into_iter()
+        .map(|c| m.slot(c).count)
+        .sum()
     }
 
     /// Reset all metrics.
@@ -159,16 +170,15 @@ impl<E: QueryEngine> MeteredEndpoint<E> {
 }
 
 impl<E: QueryEngine> QueryEngine for MeteredEndpoint<E> {
-    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, ServeError> {
         let out = self.inner.execute(query)?;
-        let mut m = self.metrics.lock();
-        let slot = match out.served_by {
-            ServedBy::Direct => &mut m.direct,
-            ServedBy::Hvs => &mut m.hvs,
-            ServedBy::Decomposer => &mut m.decomposer,
-            ServedBy::Remote => &mut m.remote,
-        };
-        slot.record(out.elapsed);
+        self.metrics.lock().slot(out.served_by).record(out.elapsed);
+        Ok(out)
+    }
+
+    fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
+        let out = self.inner.execute_with(query, ctx)?;
+        self.metrics.lock().slot(out.served_by).record(out.elapsed);
         Ok(out)
     }
 

@@ -24,13 +24,15 @@
 //! count, or the order in which shards complete.
 
 use crate::decomposer::{ExpansionDirection, PropertyExpansionQuery};
+use crate::engine::ServeError;
+use crate::resilience::Deadline;
 use elinda_rdf::fx::FxHashMap;
 use elinda_rdf::TermId;
 use elinda_sparql::{Solutions, Value};
 use elinda_store::{ClassHierarchy, Shard, ShardedTripleStore, TripleStore};
 use parking_lot::Mutex;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -191,17 +193,43 @@ where
     P: Send,
     F: Fn(usize, &Shard) -> P + Sync,
 {
+    try_map_shards(sharded, threads, Deadline::unbounded(), map)
+        .expect("an unbounded deadline never expires")
+}
+
+/// [`map_shards`] under a [`Deadline`]: cooperative cancellation for the
+/// parallel fan-out. Every worker re-checks the budget **before claiming
+/// each shard** and stops claiming once it is spent, so an expiring
+/// request returns (with [`ServeError::DeadlineExceeded`]) as soon as
+/// the in-flight shard maps finish — bounded by one shard's map time,
+/// not by the whole remaining fan-out.
+pub fn try_map_shards<P, F>(
+    sharded: &ShardedTripleStore,
+    threads: usize,
+    deadline: Deadline,
+    map: F,
+) -> Result<(Vec<P>, ParallelReport), ServeError>
+where
+    P: Send,
+    F: Fn(usize, &Shard) -> P + Sync,
+{
     let n = sharded.num_shards();
     let workers = threads.clamp(1, n);
     let start = Instant::now();
     let mut busy = vec![Duration::ZERO; n];
-    let partials: Vec<P> = if workers <= 1 {
+    let expired = AtomicBool::new(false);
+    let partials: Vec<Option<P>> = if workers <= 1 {
         let mut out = Vec::with_capacity(n);
         for (i, slot) in busy.iter_mut().enumerate() {
+            if deadline.is_expired() {
+                expired.store(true, Ordering::Relaxed);
+                break;
+            }
             let t0 = Instant::now();
-            out.push(map(i, sharded.shard(i)));
+            out.push(Some(map(i, sharded.shard(i))));
             *slot = t0.elapsed();
         }
+        out.resize_with(n, || None);
         out
     } else {
         let cursor = AtomicUsize::new(0);
@@ -209,6 +237,10 @@ where
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if deadline.is_expired() {
+                        expired.store(true, Ordering::Relaxed);
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -223,20 +255,22 @@ where
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
-                let (partial, elapsed) = slot
-                    .into_inner()
-                    .expect("every shard index below the cursor limit was mapped");
-                busy[i] = elapsed;
-                partial
+                slot.into_inner().map(|(partial, elapsed)| {
+                    busy[i] = elapsed;
+                    partial
+                })
             })
             .collect()
     };
+    if expired.load(Ordering::Relaxed) || partials.iter().any(Option::is_none) {
+        return Err(ServeError::DeadlineExceeded);
+    }
     let report = ParallelReport {
         shard_busy: busy,
         wall: start.elapsed(),
         threads: workers,
     };
-    (partials, report)
+    Ok((partials.into_iter().flatten().collect(), report))
 }
 
 // ---------------------------------------------------------------------------
@@ -404,6 +438,20 @@ pub fn execute_decomposed_sharded(
     q: &PropertyExpansionQuery,
     par: &Parallelism,
 ) -> (Solutions, ParallelReport) {
+    try_execute_decomposed_sharded(store, sharded, hierarchy, q, par, Deadline::unbounded())
+        .expect("an unbounded deadline never expires")
+}
+
+/// [`execute_decomposed_sharded`] under a [`Deadline`] (cooperative
+/// cancellation between shard maps).
+pub fn try_execute_decomposed_sharded(
+    store: &TripleStore,
+    sharded: &ShardedTripleStore,
+    hierarchy: &ClassHierarchy,
+    q: &PropertyExpansionQuery,
+    par: &Parallelism,
+    deadline: Deadline,
+) -> Result<(Solutions, ParallelReport), ServeError> {
     let Some(class_id) = store.interner().get(&q.class) else {
         let empty = Solutions {
             vars: q.columns.to_vec(),
@@ -414,25 +462,25 @@ pub fn execute_decomposed_sharded(
             wall: Duration::ZERO,
             threads: 1,
         };
-        return (empty, report);
+        return Ok((empty, report));
     };
     let instances = hierarchy.instances(store, class_id);
     let n = sharded.num_shards();
     let (agg, report) = match q.direction {
         ExpansionDirection::Outgoing => {
-            let (partials, report) = map_shards(sharded, par.threads, |i, shard| {
+            let (partials, report) = try_map_shards(sharded, par.threads, deadline, |i, shard| {
                 property_partial_outgoing(shard, i, n, &instances)
-            });
+            })?;
             (merge_outgoing_partials(partials), report)
         }
         ExpansionDirection::Incoming => {
-            let (partials, report) = map_shards(sharded, par.threads, |_, shard| {
+            let (partials, report) = try_map_shards(sharded, par.threads, deadline, |_, shard| {
                 property_partial_incoming(shard, &instances)
-            });
+            })?;
             (merge_incoming_partials(partials), report)
         }
     };
-    (property_agg_solutions(agg, &q.columns, store), report)
+    Ok((property_agg_solutions(agg, &q.columns, store), report))
 }
 
 // ---------------------------------------------------------------------------

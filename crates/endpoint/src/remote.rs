@@ -12,12 +12,23 @@
 //! "client"), and **no preprocessing is available** — no decomposer, no
 //! HVS, exactly as the paper's design states for endpoints it cannot
 //! preprocess.
+//!
+//! Because a remote backend is the one dependency eLinda cannot control,
+//! this is also where faults live: [`RemoteEndpoint::with_faults`]
+//! attaches a seeded [`FaultPlan`](crate::fault::FaultPlan) injecting
+//! latency spikes, stalls, connection errors, and malformed bodies —
+//! deterministically, so the chaos suite and `loadgen --fault-profile`
+//! replay byte-identically. All simulated waiting respects the caller's
+//! [`Deadline`](crate::resilience::Deadline): a stalled backend turns
+//! into an explicit timeout, never an unbounded hang.
 
-use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
+use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::json;
-use elinda_sparql::exec::QueryError;
+use crate::resilience::Deadline;
 use elinda_sparql::{Executor, Solutions, Value};
 use elinda_store::TripleStore;
+use std::borrow::Borrow;
 use std::time::{Duration, Instant};
 
 /// Latency model of the simulated remote endpoint.
@@ -68,62 +79,136 @@ pub struct WireSolutions {
 }
 
 /// The simulated remote endpoint.
-pub struct RemoteEndpoint<'a> {
-    store: &'a TripleStore,
+///
+/// Generic over store ownership like the router: borrow for the
+/// in-process library mode, `Arc` to hand it to server worker threads.
+pub struct RemoteEndpoint<S: Borrow<TripleStore>> {
+    store: S,
     config: RemoteConfig,
+    faults: Option<FaultInjector>,
 }
 
-impl<'a> RemoteEndpoint<'a> {
+impl<S: Borrow<TripleStore>> RemoteEndpoint<S> {
     /// A remote endpoint over a (remote) store.
-    pub fn new(store: &'a TripleStore, config: RemoteConfig) -> Self {
-        RemoteEndpoint { store, config }
+    pub fn new(store: S, config: RemoteConfig) -> Self {
+        RemoteEndpoint {
+            store,
+            config,
+            faults: None,
+        }
     }
 
-    /// The "HTTP" request: execute the query remotely and return the raw
-    /// SPARQL-JSON response body, charging the latency model.
-    pub fn request(&self, query: &str) -> Result<String, QueryError> {
-        let solutions = Executor::new(self.store).run(query)?;
-        let body = json::encode_solutions(&solutions, self.store);
-        let cost = self.config.round_trip + self.config.per_row * (solutions.rows.len() as u32);
-        if !cost.is_zero() {
-            std::thread::sleep(cost);
+    /// Attach a seeded fault plan: the simulated backend now misbehaves
+    /// deterministically per the plan's schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// The fault injector, when one is attached.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Sleep for `cost`, clamped to the deadline. Returns an error if
+    /// the deadline expires during (or before) the wait.
+    fn charge(&self, cost: Duration, deadline: Deadline) -> Result<(), ServeError> {
+        let capped = deadline.clamp(cost);
+        if !capped.is_zero() {
+            std::thread::sleep(capped);
+        }
+        if capped < cost {
+            // The budget ran out before the simulated transfer finished.
+            return Err(ServeError::DeadlineExceeded);
+        }
+        deadline.check()
+    }
+
+    /// The "HTTP" request under a deadline: execute the query remotely
+    /// and return the raw SPARQL-JSON response body, charging the
+    /// latency model and injecting any scheduled fault.
+    pub fn try_request(&self, query: &str, deadline: Deadline) -> Result<String, ServeError> {
+        deadline.check()?;
+        let fault = self.faults.as_ref().and_then(|f| f.next_fault());
+        match fault {
+            Some(FaultKind::ConnectionError) => {
+                return Err(ServeError::Transient(
+                    "connection refused (injected)".into(),
+                ));
+            }
+            Some(FaultKind::Timeout) => {
+                let stall = self
+                    .faults
+                    .as_ref()
+                    .map(|f| f.plan().stall)
+                    .unwrap_or_default();
+                // The backend stalls; the client observes either its own
+                // deadline expiring or a read timeout after the stall.
+                return match self.charge(stall, deadline) {
+                    Err(e) => Err(e),
+                    Ok(()) => Err(ServeError::Transient("read timed out (injected)".into())),
+                };
+            }
+            _ => {}
+        }
+        let store = self.store.borrow();
+        let solutions = Executor::new(store).run(query)?;
+        let body = json::encode_solutions(&solutions, store);
+        let mut cost = self.config.round_trip + self.config.per_row * (solutions.rows.len() as u32);
+        if fault == Some(FaultKind::LatencySpike) {
+            cost += self
+                .faults
+                .as_ref()
+                .map(|f| f.plan().spike_latency)
+                .unwrap_or_default();
+        }
+        self.charge(cost, deadline)?;
+        if fault == Some(FaultKind::MalformedJson) {
+            // Truncate mid-body: syntactically broken JSON, as if the
+            // connection died during transfer.
+            return Ok(body[..body.len() / 2].to_string());
         }
         Ok(body)
     }
 
+    /// The "HTTP" request with no deadline (compatibility path).
+    pub fn request(&self, query: &str) -> Result<String, ServeError> {
+        self.try_request(query, Deadline::unbounded())
+    }
+
     /// Execute a query and decode the response the way the browser
     /// frontend does: into [`WireSolutions`] with no interned ids.
-    pub fn execute_wire(&self, query: &str) -> Result<(WireSolutions, Duration), QueryError> {
+    pub fn execute_wire(&self, query: &str) -> Result<(WireSolutions, Duration), ServeError> {
         let start = Instant::now();
         let body = self.request(query)?;
-        let decoded = decode_wire(&body).map_err(|e| {
-            QueryError::Exec(elinda_sparql::ExecError {
-                message: e.to_string(),
-            })
-        })?;
+        let decoded = decode_wire(&body)
+            .map_err(|e| ServeError::Transient(format!("malformed response body: {e}")))?;
         Ok((decoded, start.elapsed()))
     }
 }
 
-impl QueryEngine for RemoteEndpoint<'_> {
-    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
+impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for RemoteEndpoint<S> {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, ServeError> {
+        self.execute_with(query, &QueryContext::default())
+    }
+
+    fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         let start = Instant::now();
-        let body = self.request(query)?;
-        let solutions: Solutions = json::decode_solutions(&body, self.store).map_err(|e| {
-            QueryError::Exec(elinda_sparql::ExecError {
-                message: e.to_string(),
-            })
-        })?;
+        let body = self.try_request(query, ctx.deadline)?;
+        let store = self.store.borrow();
+        let solutions: Solutions = json::decode_solutions(&body, store)
+            .map_err(|e| ServeError::Transient(format!("malformed response body: {e}")))?;
         Ok(QueryOutcome {
             solutions,
             elapsed: start.elapsed(),
             served_by: ServedBy::Remote,
             shards_used: 1,
+            data_epoch: store.epoch(),
         })
     }
 
     fn data_epoch(&self) -> u64 {
-        self.store.epoch()
+        self.store.borrow().epoch()
     }
 }
 
@@ -265,5 +350,89 @@ mod tests {
         let s = store();
         let remote = RemoteEndpoint::new(&s, RemoteConfig::instant());
         assert!(remote.execute_wire("SELECT").is_err());
+    }
+
+    #[test]
+    fn deadline_caps_the_simulated_round_trip() {
+        let s = store();
+        let cfg = RemoteConfig {
+            round_trip: Duration::from_secs(10),
+            per_row: Duration::ZERO,
+        };
+        let remote = RemoteEndpoint::new(&s, cfg);
+        let started = Instant::now();
+        let err = remote
+            .try_request(
+                "SELECT ?x WHERE { ?x a <http://e/C> }",
+                Deadline::within(Duration::from_millis(30)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded));
+        assert!(started.elapsed() < Duration::from_millis(500), "no hang");
+    }
+
+    #[test]
+    fn injected_connection_errors_are_transient() {
+        let s = store();
+        let mut plan = FaultPlan::none(5);
+        plan.connection_rate = 1.0;
+        let remote = RemoteEndpoint::new(&s, RemoteConfig::instant()).with_faults(plan);
+        let err = remote
+            .execute("SELECT ?x WHERE { ?x a <http://e/C> }")
+            .unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        assert_eq!(remote.fault_injector().unwrap().injected(), 1);
+    }
+
+    #[test]
+    fn injected_malformed_body_fails_decode_as_transient() {
+        let s = store();
+        let mut plan = FaultPlan::none(5);
+        plan.malformed_rate = 1.0;
+        let remote = RemoteEndpoint::new(&s, RemoteConfig::instant()).with_faults(plan);
+        let err = remote
+            .execute("SELECT ?x WHERE { ?x a <http://e/C> }")
+            .unwrap_err();
+        assert!(matches!(&err, ServeError::Transient(m) if m.contains("malformed")));
+    }
+
+    #[test]
+    fn injected_timeout_respects_deadline() {
+        let s = store();
+        let mut plan = FaultPlan::none(5);
+        plan.timeout_rate = 1.0;
+        plan.stall = Duration::from_secs(10);
+        let remote = RemoteEndpoint::new(&s, RemoteConfig::instant()).with_faults(plan);
+        let started = Instant::now();
+        let err = remote
+            .try_request(
+                "SELECT ?x WHERE { ?x a <http://e/C> }",
+                Deadline::within(Duration::from_millis(25)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded));
+        assert!(started.elapsed() < Duration::from_millis(500), "no hang");
+    }
+
+    #[test]
+    fn arc_owned_remote_is_shareable() {
+        use std::sync::Arc;
+        let s = Arc::new(store());
+        let remote = Arc::new(RemoteEndpoint::new(Arc::clone(&s), RemoteConfig::instant()));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let remote = Arc::clone(&remote);
+                std::thread::spawn(move || {
+                    remote
+                        .execute("SELECT ?x WHERE { ?x a <http://e/C> }")
+                        .unwrap()
+                        .solutions
+                        .len()
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 2);
+        }
     }
 }

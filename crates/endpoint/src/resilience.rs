@@ -1,0 +1,880 @@
+//! Deadline-aware fault tolerance for the query path.
+//!
+//! The paper's central requirement is *responsiveness*: every exploration
+//! step should answer "in tens to hundreds of milliseconds", and the
+//! remote compatibility mode explicitly accepts a backend eLinda cannot
+//! control. This module gives the serving stack a failure story:
+//!
+//! * [`Deadline`] — a per-request time budget created at admission,
+//!   propagated through the router into the parallel executor (shard
+//!   workers check it cooperatively between partials) and the remote
+//!   client;
+//! * [`RetryPolicy`] — exponential backoff with decorrelated jitter,
+//!   applied only to transient failures of idempotent reads, and always
+//!   capped by the remaining deadline;
+//! * [`CircuitBreaker`] — a per-backend closed → open → half-open state
+//!   machine that sheds fast when the backend is down and probes with a
+//!   single request before closing again;
+//! * [`ResilientEndpoint`] — the wrapper composing all of the above
+//!   around any [`QueryEngine`], with a graceful-degradation ladder: on
+//!   an open breaker or an exhausted budget it serves the last known
+//!   result from an epoch-tagged stale cache, or a (sequential, local)
+//!   fallback engine, before giving up with an explicit timeout status.
+
+use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
+use crate::hvs::{HeavyQueryStore, HvsConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+/// A per-request time budget.
+///
+/// Created once at request admission and handed down the stack by value;
+/// every layer that can take meaningful time checks it cooperatively.
+/// [`Deadline::unbounded`] disables the budget (the pre-existing
+/// behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    expires: Option<Instant>,
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::unbounded()
+    }
+}
+
+impl Deadline {
+    /// No budget: checks never fire.
+    pub fn unbounded() -> Self {
+        Deadline { expires: None }
+    }
+
+    /// A budget of `limit` starting now.
+    pub fn within(limit: Duration) -> Self {
+        Deadline {
+            expires: Some(Instant::now() + limit),
+        }
+    }
+
+    /// A budget expiring at `at`.
+    pub fn at(at: Instant) -> Self {
+        Deadline { expires: Some(at) }
+    }
+
+    /// True when a budget is set at all.
+    pub fn is_bounded(&self) -> bool {
+        self.expires.is_some()
+    }
+
+    /// Time left, saturating at zero. `None` when unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// True when the budget is spent.
+    pub fn is_expired(&self) -> bool {
+        matches!(self.remaining(), Some(d) if d.is_zero())
+    }
+
+    /// Guard: `Err(ServeError::DeadlineExceeded)` once the budget is
+    /// spent.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.is_expired() {
+            Err(ServeError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Clamp a planned sleep (backoff, simulated latency) to the
+    /// remaining budget.
+    pub fn clamp(&self, d: Duration) -> Duration {
+        match self.remaining() {
+            Some(left) => d.min(left),
+            None => d,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Exponential backoff with decorrelated jitter, for transient failures
+/// of idempotent reads (every SPARQL query in this system is a read).
+///
+/// The sleep for attempt `k` is drawn uniformly from
+/// `[base, min(cap, 3 * previous_sleep))` — the "decorrelated jitter"
+/// scheme — from a deterministic per-policy seed, so a seeded test run
+/// replays byte-identically. Backoff is additionally capped by the
+/// remaining [`Deadline`]: a retry never sleeps past the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial try (0 disables retry).
+    pub max_retries: u32,
+    /// Minimum backoff sleep.
+    pub base: Duration,
+    /// Maximum backoff sleep.
+    pub cap: Duration,
+    /// Seed for the jitter draws (deterministic replay).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::disabled()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// `max_retries` attempts with the given backoff window.
+    pub fn new(max_retries: u32, base: Duration, cap: Duration) -> Self {
+        RetryPolicy {
+            max_retries,
+            base,
+            cap: cap.max(base),
+            seed: 0x000e_11da_f0e1,
+        }
+    }
+
+    /// Same policy, different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The decorrelated-jitter sleep before retry `attempt` (1-based),
+    /// given the previous sleep (use `base` for the first retry).
+    pub fn backoff(&self, attempt: u32, previous: Duration) -> Duration {
+        let lo = self.base;
+        let hi = (previous * 3).clamp(lo, self.cap).max(lo);
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo).as_nanos() as u64;
+        let draw = splitmix64(self.seed ^ u64::from(attempt).rotate_left(17));
+        lo + Duration::from_nanos(if span == 0 { 0 } else { draw % span })
+    }
+}
+
+/// Splitmix64 — the deterministic bit mixer behind jitter and fault
+/// draws.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting one probe.
+    pub open_cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    Closed,
+    /// Requests are rejected without touching the backend.
+    Open,
+    /// One probe request is in flight; its outcome decides.
+    HalfOpen,
+}
+
+/// Monotone transition counters (each only ever increases).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Closed/HalfOpen → Open transitions.
+    pub opened: u64,
+    /// Open → HalfOpen transitions (probe admitted).
+    pub half_opened: u64,
+    /// HalfOpen → Closed transitions (probe succeeded).
+    pub closed: u64,
+    /// Requests rejected while open.
+    pub rejected: u64,
+}
+
+/// What the breaker decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: proceed normally.
+    Allowed,
+    /// Half-open: proceed as the single probe.
+    Probe,
+    /// Open: shed without calling the backend.
+    Rejected,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+    stats: BreakerStats,
+}
+
+/// A per-backend circuit breaker (closed → open → half-open with a
+/// single probe), safe to share across worker threads.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: parking_lot::Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: parking_lot::Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+                stats: BreakerStats::default(),
+            }),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Current state (the open → half-open move happens lazily inside
+    /// [`CircuitBreaker::admit`], so this is the last decided state).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+
+    /// Transition counters.
+    pub fn stats(&self) -> BreakerStats {
+        self.inner.lock().stats
+    }
+
+    /// Decide admission for one request.
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Allowed,
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.config.open_cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    inner.stats.half_opened += 1;
+                    Admission::Probe
+                } else {
+                    inner.stats.rejected += 1;
+                    Admission::Rejected
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    // Exactly one probe at a time; everyone else sheds.
+                    inner.stats.rejected += 1;
+                    Admission::Rejected
+                } else {
+                    inner.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Report a successful backend call.
+    pub fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Closed;
+                inner.consecutive_failures = 0;
+                inner.probe_in_flight = false;
+                inner.opened_at = None;
+                inner.stats.closed += 1;
+            }
+            // A success racing an open breaker (admitted before the trip)
+            // does not close it: only a probe may.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Report a transient backend failure.
+    pub fn on_failure(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    inner.stats.opened += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Failed probe: back to open, restart the cooldown.
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probe_in_flight = false;
+                inner.stats.opened += 1;
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience counters
+// ---------------------------------------------------------------------------
+
+/// Cumulative fault-tolerance counters, exported on `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Retry attempts performed (beyond first tries).
+    pub retries: u64,
+    /// Requests whose deadline expired inside the stack.
+    pub deadline_expiries: u64,
+    /// Responses served from the degradation ladder (stale cache or
+    /// local fallback).
+    pub degraded_serves: u64,
+    /// Requests shed by an open breaker with no degraded answer
+    /// available.
+    pub unavailable: u64,
+    /// Breaker transition counters.
+    pub breaker: BreakerStats,
+}
+
+#[derive(Default)]
+struct StatCells {
+    retries: AtomicU64,
+    deadline_expiries: AtomicU64,
+    degraded_serves: AtomicU64,
+    unavailable: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// The resilient endpoint
+// ---------------------------------------------------------------------------
+
+/// Configuration of the fault-tolerant wrapper.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Default per-request budget applied when the caller's
+    /// [`QueryContext`] carries an unbounded deadline.
+    pub default_deadline: Option<Duration>,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Capacity of the stale last-known-good cache backing the
+    /// degradation ladder.
+    pub stale_cache_capacity: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            default_deadline: None,
+            retry: RetryPolicy::disabled(),
+            breaker: BreakerConfig::default(),
+            stale_cache_capacity: 1024,
+        }
+    }
+}
+
+/// A [`QueryEngine`] wrapper adding deadlines, retry, a circuit breaker,
+/// and graceful degradation.
+///
+/// The degradation ladder, in order:
+///
+/// 1. **primary** — the wrapped engine, with retry/backoff on transient
+///    failures while budget remains;
+/// 2. **stale cache** — every successful answer is remembered (epoch
+///    tagged); on an open breaker or an exhausted deadline the last
+///    known result is served as [`ServedBy::DegradedStale`], even if its
+///    epoch is behind the live store;
+/// 3. **fallback engine** — an optional local engine (sequential
+///    evaluation over the mirror) consulted when the breaker is open
+///    and there is still budget, served as [`ServedBy::DegradedLocal`];
+/// 4. an explicit [`ServeError::DeadlineExceeded`] or
+///    [`ServeError::Unavailable`] — never a hang.
+pub struct ResilientEndpoint {
+    primary: Box<dyn QueryEngine>,
+    fallback: Option<Box<dyn QueryEngine>>,
+    breaker: CircuitBreaker,
+    cache: HeavyQueryStore,
+    stats: StatCells,
+    config: ResilienceConfig,
+}
+
+impl ResilientEndpoint {
+    /// Wrap `primary` with the given policies (no local fallback).
+    pub fn new(primary: Box<dyn QueryEngine>, config: ResilienceConfig) -> Self {
+        let epoch = primary.data_epoch();
+        ResilientEndpoint {
+            primary,
+            fallback: None,
+            breaker: CircuitBreaker::new(config.breaker),
+            cache: HeavyQueryStore::new(
+                HvsConfig {
+                    // Threshold zero: remember every successful answer,
+                    // not only heavy ones — the ladder serves last-known
+                    // results, and cheap queries deserve one too.
+                    heavy_threshold: Duration::ZERO,
+                    capacity: config.stale_cache_capacity,
+                },
+                epoch,
+            ),
+            stats: StatCells::default(),
+            config,
+        }
+    }
+
+    /// Add a local fallback engine consulted when the breaker is open.
+    pub fn with_fallback(mut self, fallback: Box<dyn QueryEngine>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The wrapped primary engine.
+    pub fn primary(&self) -> &dyn QueryEngine {
+        self.primary.as_ref()
+    }
+
+    /// The breaker guarding the primary.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Snapshot of the fault-tolerance counters.
+    pub fn stats(&self) -> ResilienceStats {
+        ResilienceStats {
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            deadline_expiries: self.stats.deadline_expiries.load(Ordering::Relaxed),
+            degraded_serves: self.stats.degraded_serves.load(Ordering::Relaxed),
+            unavailable: self.stats.unavailable.load(Ordering::Relaxed),
+            breaker: self.breaker.stats(),
+        }
+    }
+
+    fn effective_deadline(&self, ctx: &QueryContext) -> Deadline {
+        if ctx.deadline.is_bounded() {
+            ctx.deadline
+        } else {
+            match self.config.default_deadline {
+                Some(limit) => Deadline::within(limit),
+                None => Deadline::unbounded(),
+            }
+        }
+    }
+
+    /// Serve from the degradation ladder. `spend_budget` is false when
+    /// the deadline is already gone (only the O(1) stale lookup is
+    /// allowed then).
+    fn degrade(
+        &self,
+        query: &str,
+        deadline: Deadline,
+        on_miss: ServeError,
+    ) -> Result<QueryOutcome, ServeError> {
+        let start = Instant::now();
+        if let Some(stale) = self.cache.get_stale(query) {
+            self.stats.degraded_serves.fetch_add(1, Ordering::Relaxed);
+            return Ok(QueryOutcome {
+                solutions: stale.solutions,
+                elapsed: start.elapsed(),
+                served_by: ServedBy::DegradedStale,
+                shards_used: 1,
+                data_epoch: stale.epoch,
+            });
+        }
+        if !deadline.is_expired() {
+            if let Some(fallback) = &self.fallback {
+                let ctx = QueryContext { deadline };
+                if let Ok(mut out) = fallback.execute_with(query, &ctx) {
+                    self.stats.degraded_serves.fetch_add(1, Ordering::Relaxed);
+                    out.served_by = ServedBy::DegradedLocal;
+                    return Ok(out);
+                }
+            }
+        }
+        if matches!(on_miss, ServeError::Unavailable(_)) {
+            self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(on_miss)
+    }
+}
+
+impl QueryEngine for ResilientEndpoint {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, ServeError> {
+        self.execute_with(query, &QueryContext::default())
+    }
+
+    fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
+        let deadline = self.effective_deadline(ctx);
+        let admission = self.breaker.admit();
+        if admission == Admission::Rejected {
+            return self.degrade(
+                query,
+                deadline,
+                ServeError::Unavailable("circuit breaker open".into()),
+            );
+        }
+
+        let ctx = QueryContext { deadline };
+        let mut attempt: u32 = 0;
+        let mut previous_sleep = self.config.retry.base;
+        loop {
+            if deadline.is_expired() {
+                self.stats.deadline_expiries.fetch_add(1, Ordering::Relaxed);
+                return self.degrade(query, deadline, ServeError::DeadlineExceeded);
+            }
+            match self.primary.execute_with(query, &ctx) {
+                Ok(outcome) => {
+                    self.breaker.on_success();
+                    self.cache
+                        .record_at_epoch(query, &outcome.solutions, outcome.data_epoch);
+                    return Ok(outcome);
+                }
+                Err(e) if e.is_transient() => {
+                    self.breaker.on_failure();
+                    let retryable = attempt < self.config.retry.max_retries
+                        && admission != Admission::Probe
+                        && !deadline.is_expired();
+                    if !retryable {
+                        if matches!(e, ServeError::DeadlineExceeded) {
+                            self.stats.deadline_expiries.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return self.degrade(query, deadline, e);
+                    }
+                    attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    let sleep = self.config.retry.backoff(attempt, previous_sleep);
+                    previous_sleep = sleep;
+                    let sleep = deadline.clamp(sleep);
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                }
+                // Permanent failures (parse errors, execution errors) are
+                // the query's own fault: no breaker penalty, no retry, no
+                // degradation — the client must see the error.
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn data_epoch(&self) -> u64 {
+        self.primary.data_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::DirectEndpoint;
+    use elinda_sparql::Solutions;
+    use elinda_store::TripleStore;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn store() -> TripleStore {
+        TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .").unwrap()
+    }
+
+    /// An engine failing transiently for the first `failures` calls.
+    struct Flaky {
+        store: Arc<TripleStore>,
+        failures: Mutex<u32>,
+    }
+
+    impl QueryEngine for Flaky {
+        fn execute(&self, query: &str) -> Result<QueryOutcome, ServeError> {
+            {
+                let mut left = self.failures.lock();
+                if *left > 0 {
+                    *left -= 1;
+                    return Err(ServeError::Transient("connection reset".into()));
+                }
+            }
+            DirectEndpoint::new(&self.store).execute(query)
+        }
+
+        fn data_epoch(&self) -> u64 {
+            self.store.epoch()
+        }
+    }
+
+    fn flaky(failures: u32) -> Box<Flaky> {
+        Box::new(Flaky {
+            store: Arc::new(store()),
+            failures: Mutex::new(failures),
+        })
+    }
+
+    const Q: &str = "SELECT ?s WHERE { ?s a <http://e/C> }";
+
+    fn fast_retry(n: u32) -> RetryPolicy {
+        RetryPolicy::new(n, Duration::from_micros(10), Duration::from_micros(100))
+    }
+
+    #[test]
+    fn deadline_bounds_and_expiry() {
+        let d = Deadline::within(Duration::from_millis(50));
+        assert!(d.is_bounded());
+        assert!(!d.is_expired());
+        assert!(d.check().is_ok());
+        assert!(d.clamp(Duration::from_secs(5)) <= Duration::from_millis(50));
+        let gone = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(gone.is_expired());
+        assert!(matches!(gone.check(), Err(ServeError::DeadlineExceeded)));
+        assert_eq!(gone.remaining(), Some(Duration::ZERO));
+        assert!(Deadline::unbounded().remaining().is_none());
+        assert!(!Deadline::unbounded().is_expired());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::new(5, Duration::from_millis(1), Duration::from_millis(20));
+        let mut prev = p.base;
+        for attempt in 1..=5 {
+            let a = p.backoff(attempt, prev);
+            let b = p.backoff(attempt, prev);
+            assert_eq!(a, b, "jitter must be deterministic");
+            assert!(a >= p.base && a <= p.cap, "{a:?}");
+            prev = a;
+        }
+        // Different seeds draw differently somewhere in the schedule.
+        let other = p.with_seed(99);
+        assert!((1..=5).any(|k| other.backoff(k, p.base) != p.backoff(k, p.base)));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let ep = ResilientEndpoint::new(
+            flaky(2),
+            ResilienceConfig {
+                retry: fast_retry(3),
+                ..ResilienceConfig::default()
+            },
+        );
+        let out = ep.execute(Q).unwrap();
+        assert_eq!(out.solutions.len(), 2);
+        assert_eq!(ep.stats().retries, 2);
+        assert_eq!(ep.breaker().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn retries_exhausted_surfaces_transient_error() {
+        let ep = ResilientEndpoint::new(
+            flaky(10),
+            ResilienceConfig {
+                retry: fast_retry(2),
+                ..ResilienceConfig::default()
+            },
+        );
+        assert!(matches!(ep.execute(Q), Err(ServeError::Transient(_))));
+        assert_eq!(ep.stats().retries, 2);
+    }
+
+    #[test]
+    fn breaker_opens_and_sheds_then_probe_recovers() {
+        let config = ResilienceConfig {
+            retry: RetryPolicy::disabled(),
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                open_cooldown: Duration::from_millis(20),
+            },
+            ..ResilienceConfig::default()
+        };
+        let ep = ResilientEndpoint::new(flaky(3), config);
+        for _ in 0..3 {
+            assert!(ep.execute(Q).is_err());
+        }
+        assert_eq!(ep.breaker().state(), BreakerState::Open);
+        // Shed fast while open (no stale entry yet: explicit 503).
+        assert!(matches!(ep.execute(Q), Err(ServeError::Unavailable(_))));
+        assert!(ep.stats().unavailable >= 1);
+        // After the cooldown one probe is admitted; the backend has
+        // recovered, so the breaker closes.
+        std::thread::sleep(Duration::from_millis(25));
+        let out = ep.execute(Q).unwrap();
+        assert_eq!(out.solutions.len(), 2);
+        assert_eq!(ep.breaker().state(), BreakerState::Closed);
+        let stats = ep.stats().breaker;
+        assert_eq!(stats.opened, 1);
+        assert_eq!(stats.half_opened, 1);
+        assert_eq!(stats.closed, 1);
+    }
+
+    #[test]
+    fn open_breaker_serves_stale_cache() {
+        let config = ResilienceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                open_cooldown: Duration::from_secs(3600),
+            },
+            ..ResilienceConfig::default()
+        };
+        let ep = ResilientEndpoint::new(flaky(0), config);
+        let fresh = ep.execute(Q).unwrap();
+        // Force the breaker open by reporting a failure directly.
+        ep.breaker().on_failure();
+        assert_eq!(ep.breaker().state(), BreakerState::Open);
+        let degraded = ep.execute(Q).unwrap();
+        assert_eq!(degraded.served_by, ServedBy::DegradedStale);
+        assert_eq!(degraded.solutions.rows, fresh.solutions.rows);
+        assert_eq!(degraded.data_epoch, fresh.data_epoch);
+        assert_eq!(ep.stats().degraded_serves, 1);
+    }
+
+    #[test]
+    fn open_breaker_falls_back_to_local_engine() {
+        let s = Arc::new(store());
+        let config = ResilienceConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                open_cooldown: Duration::from_secs(3600),
+            },
+            ..ResilienceConfig::default()
+        };
+        let ep = ResilientEndpoint::new(flaky(100), config).with_fallback(Box::new(
+            crate::router::ElindaEndpoint::new(
+                Arc::clone(&s),
+                crate::router::EndpointConfig::full(),
+            ),
+        ));
+        // First call fails, trips the breaker; nothing cached, so the
+        // ladder reaches the local fallback.
+        let out = ep.execute(Q).unwrap();
+        assert_eq!(out.served_by, ServedBy::DegradedLocal);
+        assert_eq!(out.solutions.len(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_is_an_explicit_error_not_a_hang() {
+        let ep = ResilientEndpoint::new(flaky(0), ResilienceConfig::default());
+        let ctx = QueryContext {
+            deadline: Deadline::at(Instant::now() - Duration::from_millis(1)),
+        };
+        let started = Instant::now();
+        let err = ep.execute_with(Q, &ctx).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded));
+        assert!(started.elapsed() < Duration::from_millis(100));
+        assert_eq!(ep.stats().deadline_expiries, 1);
+    }
+
+    #[test]
+    fn expired_deadline_serves_stale_if_available() {
+        let ep = ResilientEndpoint::new(flaky(0), ResilienceConfig::default());
+        ep.execute(Q).unwrap();
+        let ctx = QueryContext {
+            deadline: Deadline::at(Instant::now() - Duration::from_millis(1)),
+        };
+        let out = ep.execute_with(Q, &ctx).unwrap();
+        assert_eq!(out.served_by, ServedBy::DegradedStale);
+    }
+
+    #[test]
+    fn permanent_errors_pass_through_without_retry_or_breaker_penalty() {
+        let ep = ResilientEndpoint::new(
+            flaky(0),
+            ResilienceConfig {
+                retry: fast_retry(5),
+                ..ResilienceConfig::default()
+            },
+        );
+        assert!(matches!(
+            ep.execute("SELECT nonsense"),
+            Err(ServeError::Query(_))
+        ));
+        assert_eq!(ep.stats().retries, 0);
+        assert_eq!(ep.breaker().stats().opened, 0);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_context_is_unbounded() {
+        /// An engine that sleeps past any reasonable budget.
+        struct Slow;
+        impl QueryEngine for Slow {
+            fn execute(&self, _q: &str) -> Result<QueryOutcome, ServeError> {
+                unreachable!("execute_with is always used")
+            }
+            fn execute_with(
+                &self,
+                _q: &str,
+                ctx: &QueryContext,
+            ) -> Result<QueryOutcome, ServeError> {
+                assert!(ctx.deadline.is_bounded(), "default deadline not applied");
+                std::thread::sleep(ctx.deadline.clamp(Duration::from_secs(5)));
+                Err(ServeError::DeadlineExceeded)
+            }
+            fn data_epoch(&self) -> u64 {
+                0
+            }
+        }
+        let ep = ResilientEndpoint::new(
+            Box::new(Slow),
+            ResilienceConfig {
+                default_deadline: Some(Duration::from_millis(20)),
+                ..ResilienceConfig::default()
+            },
+        );
+        let started = Instant::now();
+        assert!(matches!(ep.execute(Q), Err(ServeError::DeadlineExceeded)));
+        assert!(started.elapsed() < Duration::from_millis(120));
+    }
+
+    #[test]
+    fn stale_cache_is_epoch_tagged() {
+        let h = HeavyQueryStore::new(
+            HvsConfig {
+                heavy_threshold: Duration::ZERO,
+                capacity: 4,
+            },
+            7,
+        );
+        let sol = Solutions {
+            vars: vec!["x".into()],
+            rows: vec![],
+        };
+        h.record_at_epoch("q", &sol, 7);
+        let stale = h.get_stale("q").unwrap();
+        assert_eq!(stale.epoch, 7);
+    }
+}

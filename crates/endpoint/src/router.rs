@@ -7,9 +7,9 @@
 //! is cleared whenever the knowledge base's epoch moves.
 
 use crate::decomposer::{execute_decomposed, execute_precomputed, recognize_property_expansion};
-use crate::engine::{QueryEngine, QueryOutcome, ServedBy};
+use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
 use crate::hvs::{HeavyQueryStore, HvsConfig, HvsStats};
-use crate::parallel::{execute_decomposed_sharded, ParallelStats, Parallelism};
+use crate::parallel::{try_execute_decomposed_sharded, ParallelStats, Parallelism};
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::{parse_query, Executor};
 use elinda_store::{ClassHierarchy, PropertyAggregates, ShardedTripleStore, TripleStore};
@@ -175,10 +175,21 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
 }
 
 impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
-    fn execute(&self, query: &str) -> Result<QueryOutcome, QueryError> {
+    fn execute(&self, query: &str) -> Result<QueryOutcome, ServeError> {
+        self.execute_with(query, &QueryContext::default())
+    }
+
+    /// The routing pipeline under a per-request deadline, checked
+    /// cooperatively at every stage boundary (HVS lookup → parse →
+    /// evaluate) and handed into the sharded parallel evaluator, whose
+    /// workers re-check it between shard maps.
+    fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         // "The HVS is cleared on any update to the eLinda knowledge bases."
         let store = self.store.borrow();
-        self.hvs.sync_epoch(store.epoch());
+        let epoch = store.epoch();
+        self.hvs.sync_epoch(epoch);
+        let deadline = ctx.deadline;
+        deadline.check()?;
 
         let start = Instant::now();
         if self.config.enable_hvs {
@@ -191,11 +202,13 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                     elapsed: start.elapsed(),
                     served_by: ServedBy::Hvs,
                     shards_used: 1,
+                    data_epoch: epoch,
                 });
             }
         }
 
         let parsed = parse_query(query).map_err(QueryError::Parse)?;
+        deadline.check()?;
         let (solutions, served_by, shards_used) = if self.config.enable_decomposer {
             match recognize_property_expansion(&parsed) {
                 Some(rec) => {
@@ -210,13 +223,14 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                             // back to sequential evaluation rather than
                             // serving pre-update counts.
                             Some(sharded) if !sharded.is_stale(store) => {
-                                let (solutions, report) = execute_decomposed_sharded(
+                                let (solutions, report) = try_execute_decomposed_sharded(
                                     store,
                                     sharded,
                                     &self.hierarchy,
                                     &rec,
                                     &self.config.parallelism,
-                                );
+                                    deadline,
+                                )?;
                                 self.parallel_stats.lock().record(&report);
                                 (solutions, sharded.num_shards())
                             }
@@ -251,6 +265,7 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
             elapsed,
             served_by,
             shards_used,
+            data_epoch: epoch,
         })
     }
 

@@ -4,6 +4,7 @@
 //! cargo run --bin elinda-serve -- [--addr 127.0.0.1:7878] [--workers 4]
 //!                                 [--queue-depth 64] [--scale 1.0]
 //!                                 [--shards 8] [--intra-query-threads 0]
+//!                                 [--deadline-ms 0] [--retry 0] [--breaker 5]
 //! ```
 //!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
@@ -11,7 +12,7 @@
 //! requests and exits.
 
 use elinda_datagen::{generate_dbpedia, DbpediaConfig};
-use elinda_endpoint::{EndpointConfig, Parallelism};
+use elinda_endpoint::{BreakerConfig, EndpointConfig, Parallelism, ResilienceConfig, RetryPolicy};
 use elinda_server::{serve, ServerConfig, ServerState};
 use std::io::BufRead;
 use std::sync::Arc;
@@ -27,6 +28,12 @@ struct Args {
     /// core count and `--workers` so the pools compose without
     /// oversubscription.
     intra_query_threads: usize,
+    /// Per-request execution budget in milliseconds; 0 disables it.
+    deadline_ms: u64,
+    /// Retry attempts for transient failures of idempotent reads.
+    retry: u32,
+    /// Circuit-breaker failure threshold; 0 disables tripping.
+    breaker: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +44,9 @@ fn parse_args() -> Result<Args, String> {
         scale: 1.0,
         shards: 8,
         intra_query_threads: 0,
+        deadline_ms: 0,
+        retry: 0,
+        breaker: 5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,10 +78,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--intra-query-threads: {e}"))?
             }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--retry" => {
+                args.retry = value("--retry")?
+                    .parse()
+                    .map_err(|e| format!("--retry: {e}"))?
+            }
+            "--breaker" => {
+                args.breaker = value("--breaker")?
+                    .parse()
+                    .map_err(|e| format!("--breaker: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
-                     [--intra-query-threads N (0 = auto core budget)]"
+                     [--intra-query-threads N (0 = auto core budget)] \
+                     [--deadline-ms N (0 = unbounded)] [--retry N] \
+                     [--breaker N (failure threshold, 0 = never trips)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -104,15 +131,39 @@ fn main() {
     } else {
         Parallelism::fixed(args.intra_query_threads, args.shards)
     };
-    let state = Arc::new(ServerState::new(
+    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
+    let resilience = ResilienceConfig {
+        default_deadline: deadline,
+        retry: if args.retry > 0 {
+            RetryPolicy::new(
+                args.retry,
+                Duration::from_millis(5),
+                Duration::from_millis(100),
+            )
+        } else {
+            RetryPolicy::disabled()
+        },
+        breaker: BreakerConfig {
+            failure_threshold: if args.breaker > 0 {
+                args.breaker
+            } else {
+                u32::MAX
+            },
+            ..BreakerConfig::default()
+        },
+        ..ResilienceConfig::default()
+    };
+    let state = Arc::new(ServerState::with_resilience(
         store,
         EndpointConfig::parallel(parallelism),
+        resilience,
     ));
     let config = ServerConfig {
         workers: args.workers,
         queue_depth: args.queue_depth,
         read_timeout: Duration::from_secs(5),
         handler_delay: Duration::ZERO,
+        request_deadline: deadline,
     };
     let handle = match serve(state, args.addr.as_str(), config) {
         Ok(handle) => handle,

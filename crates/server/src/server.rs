@@ -9,6 +9,8 @@
 
 use crate::http::{parse_query_pairs, Request, Response};
 use crate::state::{served_by_name, ServerState};
+use elinda_endpoint::resilience::Deadline;
+use elinda_endpoint::ServeError;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 
@@ -33,6 +35,12 @@ pub struct ServerConfig {
     /// production; tests and saturation benchmarks raise it to make
     /// queue overflow and shutdown draining deterministic.
     pub handler_delay: Duration,
+    /// Per-request execution budget created at admission and propagated
+    /// down the whole query path (router → parallel executor → remote
+    /// calls). A request that exhausts it gets `504 Gateway Timeout`
+    /// (or a degraded answer) instead of hanging. `None` disables the
+    /// budget.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +50,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
             handler_delay: Duration::ZERO,
+            request_deadline: None,
         }
     }
 }
@@ -253,9 +262,24 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
     let mut reader = BufReader::new(stream);
     let response = match Request::parse(&mut reader) {
-        Ok(request) => route(&request, shared),
+        // A panic while routing (a poisoned query, a bug in an engine)
+        // must cost this request a 500, not the pool a worker.
+        Ok(request) => {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, shared)))
+                .unwrap_or_else(|_| Response::text(500, "internal server error\n"))
+        }
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
             Response::text(400, format!("bad request: {e}\n"))
+        }
+        // The client sent part of a request and then stalled until the
+        // socket read timeout: tell it so instead of silently dropping.
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) =>
+        {
+            Response::text(408, "request timed out waiting for the client\n")
         }
         // Client vanished before sending a full request.
         Err(_) => return,
@@ -316,10 +340,23 @@ fn sparql(request: &Request, shared: &Shared) -> Response {
     let Some(query) = query_text(request) else {
         return Response::text(400, "missing required `query` parameter\n");
     };
-    match shared.state.execute_json(&query) {
+    let deadline = match shared.config.request_deadline {
+        Some(budget) => Deadline::within(budget),
+        None => Deadline::unbounded(),
+    };
+    match shared.state.execute_json_with(&query, deadline) {
         Ok((body, served_by)) => {
             Response::sparql_json(200, body).header("X-Elinda-Served-By", served_by_name(served_by))
         }
-        Err(e) => Response::text(400, format!("query error: {e}\n")),
+        Err(ServeError::Query(e)) => Response::text(400, format!("query error: {e}\n")),
+        Err(ServeError::DeadlineExceeded) => {
+            Response::text(504, "deadline exceeded before an answer was produced\n")
+        }
+        Err(ServeError::Unavailable(msg)) => {
+            Response::text(503, format!("backend unavailable: {msg}\n")).header("Retry-After", "1")
+        }
+        Err(ServeError::Transient(msg)) => {
+            Response::text(502, format!("upstream failure: {msg}\n"))
+        }
     }
 }

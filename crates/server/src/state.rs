@@ -1,19 +1,30 @@
-//! Shared serving state: one [`TripleStore`] and one metered eLinda
-//! endpoint, owned behind `Arc`s and queried concurrently by every
-//! worker thread.
+//! Shared serving state: one [`TripleStore`] and one metered, fault-
+//! tolerant eLinda endpoint, owned behind `Arc`s and queried
+//! concurrently by every worker thread.
+//!
+//! The serving stack is `MeteredEndpoint<ResilientEndpoint>`: the
+//! resilient wrapper supplies per-request deadlines, retry/backoff, the
+//! circuit breaker, and the degradation ladder; the metering wrapper
+//! sits outside it so degraded serves are measured per component like
+//! every other path.
 
 use elinda_endpoint::json::encode_solutions;
-use elinda_endpoint::{ElindaEndpoint, EndpointConfig, MeteredEndpoint, QueryEngine, ServedBy};
-use elinda_sparql::exec::QueryError;
+use elinda_endpoint::resilience::Deadline;
+use elinda_endpoint::{
+    ElindaEndpoint, EndpointConfig, MeteredEndpoint, QueryContext, QueryEngine, ResilienceConfig,
+    ResilienceStats, ResilientEndpoint, ServeError, ServedBy,
+};
 use elinda_store::TripleStore;
 use std::sync::Arc;
 
-/// The four serving components, in /metrics and report order.
-pub const COMPONENTS: [ServedBy; 4] = [
+/// The serving components, in /metrics and report order.
+pub const COMPONENTS: [ServedBy; 6] = [
     ServedBy::Direct,
     ServedBy::Hvs,
     ServedBy::Decomposer,
     ServedBy::Remote,
+    ServedBy::DegradedStale,
+    ServedBy::DegradedLocal,
 ];
 
 /// Stable lowercase name for a serving component, used in the
@@ -24,6 +35,8 @@ pub fn served_by_name(component: ServedBy) -> &'static str {
         ServedBy::Hvs => "hvs",
         ServedBy::Decomposer => "decomposer",
         ServedBy::Remote => "remote",
+        ServedBy::DegradedStale => "degraded-stale",
+        ServedBy::DegradedLocal => "degraded-local",
     }
 }
 
@@ -32,18 +45,63 @@ pub fn served_by_name(component: ServedBy) -> &'static str {
 /// The store is held in an `Arc` shared with the endpoint (which owns
 /// its own clone), so the whole state is a cheap-to-share, `Send + Sync`
 /// value: workers execute queries through `&self` and the endpoint's
-/// interior mutability (HVS cache, metrics) handles concurrent updates.
+/// interior mutability (HVS cache, breaker, metrics) handles concurrent
+/// updates.
 pub struct ServerState {
     store: Arc<TripleStore>,
-    endpoint: MeteredEndpoint<ElindaEndpoint<Arc<TripleStore>>>,
+    /// The router, kept aside for the parallel-execution gauges; `None`
+    /// when the state was built over a custom engine
+    /// ([`ServerState::with_engine`]).
+    router: Option<Arc<ElindaEndpoint<Arc<TripleStore>>>>,
+    endpoint: MeteredEndpoint<ResilientEndpoint>,
 }
 
 impl ServerState {
     /// Build serving state over a store with the given endpoint
-    /// configuration.
+    /// configuration and default (pass-through) resilience policies.
     pub fn new(store: Arc<TripleStore>, config: EndpointConfig) -> ServerState {
-        let endpoint = MeteredEndpoint::new(ElindaEndpoint::new(Arc::clone(&store), config));
-        ServerState { store, endpoint }
+        ServerState::with_resilience(store, config, ResilienceConfig::default())
+    }
+
+    /// Build serving state with explicit resilience policies (deadline
+    /// default, retry, breaker).
+    pub fn with_resilience(
+        store: Arc<TripleStore>,
+        config: EndpointConfig,
+        resilience: ResilienceConfig,
+    ) -> ServerState {
+        let router = Arc::new(ElindaEndpoint::new(Arc::clone(&store), config));
+        let resilient = ResilientEndpoint::new(Box::new(Arc::clone(&router)), resilience);
+        ServerState {
+            store,
+            router: Some(router),
+            endpoint: MeteredEndpoint::new(resilient),
+        }
+    }
+
+    /// Build serving state whose primary engine is arbitrary — a faulty
+    /// simulated remote, a panicking stub — wrapped in the resilient
+    /// stack, with the local eLinda router as the degradation-ladder
+    /// fallback.
+    pub fn with_engine(
+        store: Arc<TripleStore>,
+        primary: Box<dyn QueryEngine>,
+        resilience: ResilienceConfig,
+        local_fallback: bool,
+    ) -> ServerState {
+        let router = Arc::new(ElindaEndpoint::new(
+            Arc::clone(&store),
+            EndpointConfig::full(),
+        ));
+        let mut resilient = ResilientEndpoint::new(primary, resilience);
+        if local_fallback {
+            resilient = resilient.with_fallback(Box::new(Arc::clone(&router)));
+        }
+        ServerState {
+            store,
+            router: Some(router),
+            endpoint: MeteredEndpoint::new(resilient),
+        }
     }
 
     /// The shared store.
@@ -51,21 +109,38 @@ impl ServerState {
         &self.store
     }
 
-    /// The metered endpoint.
-    pub fn endpoint(&self) -> &MeteredEndpoint<ElindaEndpoint<Arc<TripleStore>>> {
+    /// The metered resilient endpoint.
+    pub fn endpoint(&self) -> &MeteredEndpoint<ResilientEndpoint> {
         &self.endpoint
     }
 
-    /// Execute a query and encode the result in the SPARQL-JSON wire
-    /// format, reporting which component served it.
-    pub fn execute_json(&self, query: &str) -> Result<(String, ServedBy), QueryError> {
-        let outcome = self.endpoint.execute(query)?;
+    /// The fault-tolerance counters (retries, breaker transitions,
+    /// deadline expiries, degraded serves).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.endpoint.inner().stats()
+    }
+
+    /// Execute a query with no deadline and encode the result in the
+    /// SPARQL-JSON wire format, reporting which component served it.
+    pub fn execute_json(&self, query: &str) -> Result<(String, ServedBy), ServeError> {
+        self.execute_json_with(query, Deadline::unbounded())
+    }
+
+    /// [`ServerState::execute_json`] under a per-request deadline.
+    pub fn execute_json_with(
+        &self,
+        query: &str,
+        deadline: Deadline,
+    ) -> Result<(String, ServedBy), ServeError> {
+        let ctx = QueryContext::with_deadline(deadline);
+        let outcome = self.endpoint.execute_with(query, &ctx)?;
         let body = encode_solutions(&outcome.solutions, &self.store);
         Ok((body, outcome.served_by))
     }
 
-    /// Per-component latency metrics in a line-oriented text format
-    /// (count, mean and tail percentiles in microseconds).
+    /// Per-component latency metrics plus fault-tolerance counters in a
+    /// line-oriented text format (counts, mean and tail percentiles in
+    /// microseconds).
     pub fn metrics_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -94,7 +169,34 @@ impl ServerState {
                 ));
             }
         }
-        if let Some(stats) = self.endpoint.inner().parallel_stats() {
+        let res = self.resilience_stats();
+        out.push_str(&format!(
+            "elinda_resilience_retries_total {}\n",
+            res.retries
+        ));
+        out.push_str(&format!(
+            "elinda_resilience_deadline_expiries_total {}\n",
+            res.deadline_expiries
+        ));
+        out.push_str(&format!(
+            "elinda_resilience_degraded_total {}\n",
+            res.degraded_serves
+        ));
+        out.push_str(&format!(
+            "elinda_resilience_unavailable_total {}\n",
+            res.unavailable
+        ));
+        for (transition, count) in [
+            ("opened", res.breaker.opened),
+            ("half_opened", res.breaker.half_opened),
+            ("closed", res.breaker.closed),
+            ("rejected", res.breaker.rejected),
+        ] {
+            out.push_str(&format!(
+                "elinda_breaker_transitions_total{{transition=\"{transition}\"}} {count}\n"
+            ));
+        }
+        if let Some(stats) = self.router.as_ref().and_then(|r| r.parallel_stats()) {
             out.push_str(&format!(
                 "elinda_parallel_queries_total {}\n",
                 stats.queries
@@ -118,6 +220,8 @@ impl ServerState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elinda_endpoint::{BreakerConfig, QueryOutcome, RetryPolicy};
+    use std::time::Duration;
 
     fn state() -> ServerState {
         let store =
@@ -138,7 +242,63 @@ mod tests {
 
     #[test]
     fn execute_json_surfaces_query_errors() {
-        assert!(state().execute_json("SELECT nonsense").is_err());
+        assert!(matches!(
+            state().execute_json("SELECT nonsense"),
+            Err(ServeError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_and_counted() {
+        let s = state();
+        let err = s
+            .execute_json_with(
+                "SELECT ?s WHERE { ?s a <http://e/C> }",
+                Deadline::at(std::time::Instant::now() - Duration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded));
+        assert_eq!(s.resilience_stats().deadline_expiries, 1);
+        assert!(s
+            .metrics_text()
+            .contains("elinda_resilience_deadline_expiries_total 1"));
+    }
+
+    #[test]
+    fn flaky_primary_retries_then_degrades_to_local() {
+        /// Fails transiently forever.
+        struct Down;
+        impl QueryEngine for Down {
+            fn execute(&self, _q: &str) -> Result<QueryOutcome, ServeError> {
+                Err(ServeError::Transient("connection refused".into()))
+            }
+            fn data_epoch(&self) -> u64 {
+                0
+            }
+        }
+        let store =
+            TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .")
+                .unwrap();
+        let resilience = ResilienceConfig {
+            retry: RetryPolicy::new(2, Duration::from_micros(10), Duration::from_micros(50)),
+            breaker: BreakerConfig {
+                failure_threshold: 100,
+                open_cooldown: Duration::from_millis(100),
+            },
+            ..ResilienceConfig::default()
+        };
+        let s = ServerState::with_engine(Arc::new(store), Box::new(Down), resilience, true);
+        let (_, served_by) = s
+            .execute_json("SELECT ?s WHERE { ?s a <http://e/C> }")
+            .unwrap();
+        assert_eq!(served_by, ServedBy::DegradedLocal);
+        let stats = s.resilience_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.degraded_serves, 1);
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_resilience_retries_total 2"));
+        assert!(text.contains("elinda_resilience_degraded_total 1"));
+        assert!(text.contains("component=\"degraded-local\"} 1"));
     }
 
     #[test]
@@ -179,6 +339,11 @@ mod tests {
             )));
             assert!(text.contains(&format!(
                 "elinda_component_latency_p99_us{{component=\"{name}\"}}"
+            )));
+        }
+        for transition in ["opened", "half_opened", "closed", "rejected"] {
+            assert!(text.contains(&format!(
+                "elinda_breaker_transitions_total{{transition=\"{transition}\"}} 0"
             )));
         }
     }

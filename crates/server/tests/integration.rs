@@ -3,7 +3,10 @@
 //! control sheds with `503`, and shutdown drains in-flight requests.
 
 use elinda_endpoint::json::encode_solutions;
-use elinda_endpoint::{EndpointConfig, QueryEngine};
+use elinda_endpoint::{
+    BreakerConfig, EndpointConfig, QueryEngine, QueryOutcome, ResilienceConfig, RetryPolicy,
+    ServeError,
+};
 use elinda_server::{percent_encode, serve, ServerConfig, ServerState};
 use elinda_store::TripleStore;
 use std::io::{Read, Write};
@@ -350,4 +353,172 @@ fn shutdown_drains_in_flight_requests() {
         TcpStream::connect(addr).is_err(),
         "listener still accepting after shutdown"
     );
+}
+
+#[test]
+fn stalled_client_gets_408_and_releases_the_worker() {
+    let state = test_state();
+    let handle = serve(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Send half a request line and stall: the single worker must time
+    // the read out, answer 408, and move on.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stalled.write_all(b"GET /spar").unwrap();
+    let mut raw = Vec::new();
+    stalled.read_to_end(&mut raw).expect("read 408 response");
+    let head = std::str::from_utf8(&raw).unwrap();
+    assert!(head.starts_with("HTTP/1.1 408 "), "{head}");
+
+    // The worker survived the stalled client and still serves.
+    let (status, _, body) = get(addr, &format!("/sparql?query={}", percent_encode(QUERY)));
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    handle.shutdown();
+}
+
+#[test]
+fn panicking_query_returns_500_without_killing_the_worker() {
+    /// An engine that panics on every query — a stand-in for an engine
+    /// bug a request must not turn into a dead worker thread.
+    struct Panicking;
+    impl QueryEngine for Panicking {
+        fn execute(&self, _q: &str) -> Result<QueryOutcome, ServeError> {
+            panic!("engine bug");
+        }
+        fn data_epoch(&self) -> u64 {
+            0
+        }
+    }
+
+    let store =
+        Arc::new(TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C .").unwrap());
+    let state = Arc::new(ServerState::with_engine(
+        store,
+        Box::new(Panicking),
+        ResilienceConfig::default(),
+        false,
+    ));
+    let handle = serve(
+        state,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    for round in 0..3 {
+        let (status, _, body) = get(addr, &format!("/sparql?query={}", percent_encode(QUERY)));
+        assert_eq!(status, 500, "round {round}");
+        assert!(String::from_utf8(body)
+            .unwrap()
+            .contains("internal server error"));
+        // The same (single) worker keeps serving after each panic.
+        let (status, _, _) = get(addr, "/health");
+        assert_eq!(status, 200, "worker died after panic (round {round})");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_resilience_counters_over_http() {
+    /// Fails transiently on every call.
+    struct Down;
+    impl QueryEngine for Down {
+        fn execute(&self, _q: &str) -> Result<QueryOutcome, ServeError> {
+            Err(ServeError::Transient("connection refused".into()))
+        }
+        fn data_epoch(&self) -> u64 {
+            0
+        }
+    }
+
+    let store = Arc::new(
+        TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .").unwrap(),
+    );
+    let resilience = ResilienceConfig {
+        retry: RetryPolicy::new(2, Duration::from_micros(10), Duration::from_micros(50)),
+        breaker: BreakerConfig {
+            failure_threshold: 100,
+            open_cooldown: Duration::from_millis(100),
+        },
+        ..ResilienceConfig::default()
+    };
+    let state = Arc::new(ServerState::with_engine(
+        store,
+        Box::new(Down),
+        resilience,
+        true,
+    ));
+    let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // The dead primary is retried, then the local fallback answers; the
+    // response is explicitly marked degraded.
+    let (status, headers, body) = get(addr, &format!("/sparql?query={}", percent_encode(QUERY)));
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "x-elinda-served-by"),
+        Some("degraded-local")
+    );
+    assert!(std::str::from_utf8(&body).unwrap().contains("bindings"));
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("elinda_resilience_retries_total 2"), "{text}");
+    assert!(
+        text.contains("elinda_resilience_degraded_total 1"),
+        "{text}"
+    );
+    assert!(text.contains("elinda_resilience_deadline_expiries_total 0"));
+    assert!(text.contains("elinda_resilience_unavailable_total 0"));
+    assert!(text.contains("elinda_breaker_transitions_total{transition=\"opened\"} 0"));
+    assert!(text.contains("elinda_component_queries_total{component=\"degraded-local\"} 1"));
+    handle.shutdown();
+}
+
+#[test]
+fn exhausted_request_deadline_maps_to_504() {
+    let state = test_state();
+    let handle = serve(
+        state,
+        "127.0.0.1:0",
+        ServerConfig {
+            // A budget no query can meet: every request 504s.
+            request_deadline: Some(Duration::from_nanos(1)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let (status, _, body) = get(addr, &format!("/sparql?query={}", percent_encode(QUERY)));
+    assert_eq!(status, 504);
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("deadline exceeded"));
+
+    let (_, _, body) = get(addr, "/metrics");
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("elinda_resilience_deadline_expiries_total 1"),
+        "{text}"
+    );
+    handle.shutdown();
 }
