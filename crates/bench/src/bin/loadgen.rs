@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release --bin loadgen -- [--clients 8] [--duration 5]
 //!     [--scale 0.05] [--workers 4] [--queue-depth 64] [--addr HOST:PORT]
-//!     [--fault-profile RATE] [--fault-seed N]
+//!     [--fault-profile RATE] [--fault-seed N] [--trace-sample F]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process `elinda-server` over a
@@ -42,6 +42,9 @@ struct Args {
     /// `None` serves the local endpoint directly.
     fault_profile: Option<f64>,
     fault_seed: u64,
+    /// Fraction of requests traced end-to-end by the in-process server;
+    /// a per-stage latency breakdown is printed after the run.
+    trace_sample: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         addr: None,
         fault_profile: None,
         fault_seed: 0x00e1_1da0_c4a0,
+        trace_sample: ServerConfig::default().trace_sample,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,12 +103,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--fault-seed: {e}"))?
             }
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--trace-sample: {e}"))?
+                    .clamp(0.0, 1.0)
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--clients N] [--duration SECS] [--scale F] \
                      [--workers N] [--queue-depth N] [--addr HOST:PORT] \
                      [--fault-profile RATE (inject transient faults in-process)] \
-                     [--fault-seed N]"
+                     [--fault-seed N] \
+                     [--trace-sample F (0.0-1.0, per-stage breakdown after the run)]"
                         .into(),
                 )
             }
@@ -241,6 +252,10 @@ fn main() {
                 eprintln!("--fault-profile requires the in-process server (drop --addr)");
                 std::process::exit(2);
             }
+            if args.trace_sample > 0.0 {
+                eprintln!("--trace-sample requires the in-process server (drop --addr)");
+                std::process::exit(2);
+            }
             let addr = addr
                 .to_socket_addrs()
                 .ok()
@@ -287,8 +302,12 @@ fn main() {
             let config = ServerConfig {
                 workers: args.workers,
                 queue_depth: args.queue_depth,
+                trace_sample: args.trace_sample,
                 ..ServerConfig::default()
             };
+            if args.trace_sample > 0.0 {
+                eprintln!("tracing {:.0}% of requests", args.trace_sample * 100.0);
+            }
             let handle =
                 serve(Arc::clone(&state), "127.0.0.1:0", config).expect("bind in-process server");
             let addr = handle.local_addr();
@@ -394,6 +413,26 @@ fn main() {
                 stats.breaker.closed,
                 stats.breaker.rejected,
             );
+        }
+    }
+
+    if args.trace_sample > 0.0 {
+        if let Some(state) = &state {
+            println!("\nper-stage latency across sampled traces:");
+            println!(
+                "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                "stage", "count", "p50", "p95", "p99", "mean"
+            );
+            for (stage, summary) in state.stage_snapshot() {
+                println!(
+                    "{stage:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    summary.count,
+                    fmt_latency(summary.p50().unwrap_or_default()),
+                    fmt_latency(summary.p95().unwrap_or_default()),
+                    fmt_latency(summary.p99().unwrap_or_default()),
+                    fmt_latency(summary.mean()),
+                );
+            }
         }
     }
 

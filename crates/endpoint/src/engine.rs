@@ -3,6 +3,7 @@
 //! [`Deadline`](crate::resilience::Deadline).
 
 use crate::resilience::Deadline;
+use crate::trace::TraceCtx;
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::Solutions;
 use std::fmt;
@@ -57,16 +58,27 @@ pub struct QueryOutcome {
 }
 
 /// Per-request execution context handed down the serving stack.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryContext {
     /// The request's time budget (unbounded by default).
     pub deadline: Deadline,
+    /// The request's trace handle (disabled by default: every tracing
+    /// operation is then a no-op branch).
+    pub trace: TraceCtx,
 }
 
 impl QueryContext {
-    /// A context carrying the given budget.
+    /// A context carrying the given budget (tracing disabled).
     pub fn with_deadline(deadline: Deadline) -> Self {
-        QueryContext { deadline }
+        QueryContext {
+            deadline,
+            trace: TraceCtx::disabled(),
+        }
+    }
+
+    /// A context carrying the given budget and trace handle.
+    pub fn with_deadline_and_trace(deadline: Deadline, trace: TraceCtx) -> Self {
+        QueryContext { deadline, trace }
     }
 }
 

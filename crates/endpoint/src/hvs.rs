@@ -193,6 +193,13 @@ impl HeavyQueryStore {
         cached.map(|sol| (*sol).clone())
     }
 
+    /// True when `query` is cached as heavy, without counting the lookup
+    /// as a hit or miss — the `/explain` path predicts routing without
+    /// perturbing the cache-effectiveness counters.
+    pub fn peek(&self, query: &str) -> bool {
+        self.inner.lock().map.contains_key(query)
+    }
+
     /// Record a measured query. Stored only if its runtime met the heavy
     /// threshold. Returns `true` if stored.
     pub fn record(&self, query: &str, solutions: &Solutions, elapsed: Duration) -> bool {

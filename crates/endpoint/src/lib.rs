@@ -39,6 +39,7 @@ pub mod parallel;
 pub mod remote;
 pub mod resilience;
 pub mod router;
+pub mod trace;
 
 pub use decomposer::{recognize_property_expansion, PropertyExpansionQuery};
 pub use direct::DirectEndpoint;
@@ -53,4 +54,5 @@ pub use resilience::{
     Admission, BreakerConfig, BreakerState, BreakerStats, CircuitBreaker, Deadline,
     ResilienceConfig, ResilienceStats, ResilientEndpoint, RetryPolicy,
 };
-pub use router::{DecomposerMode, ElindaEndpoint, EndpointConfig};
+pub use router::{DecomposerMode, ElindaEndpoint, EndpointConfig, ExplainReport};
+pub use trace::{FinishedTrace, SpanRecord, StageStats, TraceCtx, TraceRing};

@@ -32,7 +32,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn record(&mut self, d: Duration) {
+    pub(crate) fn record(&mut self, d: Duration) {
         self.count += 1;
         self.total += d;
         self.min = Some(self.min.map_or(d, |m| m.min(d)));

@@ -26,6 +26,7 @@
 use crate::decomposer::{ExpansionDirection, PropertyExpansionQuery};
 use crate::engine::ServeError;
 use crate::resilience::Deadline;
+use crate::trace::{TraceCtx, ROOT_SPAN};
 use elinda_rdf::fx::FxHashMap;
 use elinda_rdf::TermId;
 use elinda_sparql::{Solutions, Value};
@@ -193,8 +194,15 @@ where
     P: Send,
     F: Fn(usize, &Shard) -> P + Sync,
 {
-    try_map_shards(sharded, threads, Deadline::unbounded(), map)
-        .expect("an unbounded deadline never expires")
+    try_map_shards(
+        sharded,
+        threads,
+        Deadline::unbounded(),
+        &TraceCtx::disabled(),
+        ROOT_SPAN,
+        map,
+    )
+    .expect("an unbounded deadline never expires")
 }
 
 /// [`map_shards`] under a [`Deadline`]: cooperative cancellation for the
@@ -203,10 +211,16 @@ where
 /// request returns (with [`ServeError::DeadlineExceeded`]) as soon as
 /// the in-flight shard maps finish — bounded by one shard's map time,
 /// not by the whole remaining fan-out.
+///
+/// When `trace` is sampled, the fan-out records a `fanout` span under
+/// `parent` with one `shard/<i>` child per mapped shard; with tracing
+/// disabled the extra cost is a handful of `Option` branches.
 pub fn try_map_shards<P, F>(
     sharded: &ShardedTripleStore,
     threads: usize,
     deadline: Deadline,
+    trace: &TraceCtx,
+    parent: u32,
     map: F,
 ) -> Result<(Vec<P>, ParallelReport), ServeError>
 where
@@ -215,6 +229,12 @@ where
 {
     let n = sharded.num_shards();
     let workers = threads.clamp(1, n);
+    let mut fanout = trace.span_under(parent, "fanout");
+    if trace.is_enabled() {
+        fanout.tag("shards", n.to_string());
+        fanout.tag("threads", workers.to_string());
+    }
+    let fanout_id = fanout.id();
     let start = Instant::now();
     let mut busy = vec![Duration::ZERO; n];
     let expired = AtomicBool::new(false);
@@ -225,9 +245,13 @@ where
                 expired.store(true, Ordering::Relaxed);
                 break;
             }
+            let span = trace
+                .is_enabled()
+                .then(|| trace.span_under(fanout_id, &format!("shard/{i}")));
             let t0 = Instant::now();
             out.push(Some(map(i, sharded.shard(i))));
             *slot = t0.elapsed();
+            drop(span);
         }
         out.resize_with(n, || None);
         out
@@ -245,9 +269,13 @@ where
                     if i >= n {
                         break;
                     }
+                    let span = trace
+                        .is_enabled()
+                        .then(|| trace.span_under(fanout_id, &format!("shard/{i}")));
                     let t0 = Instant::now();
                     let partial = map(i, sharded.shard(i));
                     *slots[i].lock() = Some((partial, t0.elapsed()));
+                    drop(span);
                 });
             }
         });
@@ -263,6 +291,7 @@ where
             .collect()
     };
     if expired.load(Ordering::Relaxed) || partials.iter().any(Option::is_none) {
+        fanout.tag("outcome", "deadline_exceeded");
         return Err(ServeError::DeadlineExceeded);
     }
     let report = ParallelReport {
@@ -438,12 +467,23 @@ pub fn execute_decomposed_sharded(
     q: &PropertyExpansionQuery,
     par: &Parallelism,
 ) -> (Solutions, ParallelReport) {
-    try_execute_decomposed_sharded(store, sharded, hierarchy, q, par, Deadline::unbounded())
-        .expect("an unbounded deadline never expires")
+    try_execute_decomposed_sharded(
+        store,
+        sharded,
+        hierarchy,
+        q,
+        par,
+        Deadline::unbounded(),
+        &TraceCtx::disabled(),
+        ROOT_SPAN,
+    )
+    .expect("an unbounded deadline never expires")
 }
 
 /// [`execute_decomposed_sharded`] under a [`Deadline`] (cooperative
-/// cancellation between shard maps).
+/// cancellation between shard maps), recording `fanout`/`shard/<i>` and
+/// `merge` spans under `parent` when `trace` is sampled.
+#[allow(clippy::too_many_arguments)]
 pub fn try_execute_decomposed_sharded(
     store: &TripleStore,
     sharded: &ShardedTripleStore,
@@ -451,6 +491,8 @@ pub fn try_execute_decomposed_sharded(
     q: &PropertyExpansionQuery,
     par: &Parallelism,
     deadline: Deadline,
+    trace: &TraceCtx,
+    parent: u32,
 ) -> Result<(Solutions, ParallelReport), ServeError> {
     let Some(class_id) = store.interner().get(&q.class) else {
         let empty = Solutions {
@@ -468,15 +510,19 @@ pub fn try_execute_decomposed_sharded(
     let n = sharded.num_shards();
     let (agg, report) = match q.direction {
         ExpansionDirection::Outgoing => {
-            let (partials, report) = try_map_shards(sharded, par.threads, deadline, |i, shard| {
-                property_partial_outgoing(shard, i, n, &instances)
-            })?;
+            let (partials, report) =
+                try_map_shards(sharded, par.threads, deadline, trace, parent, |i, shard| {
+                    property_partial_outgoing(shard, i, n, &instances)
+                })?;
+            let _merge = trace.span_under(parent, "merge");
             (merge_outgoing_partials(partials), report)
         }
         ExpansionDirection::Incoming => {
-            let (partials, report) = try_map_shards(sharded, par.threads, deadline, |_, shard| {
-                property_partial_incoming(shard, &instances)
-            })?;
+            let (partials, report) =
+                try_map_shards(sharded, par.threads, deadline, trace, parent, |_, shard| {
+                    property_partial_incoming(shard, &instances)
+                })?;
+            let _merge = trace.span_under(parent, "merge");
             (merge_incoming_partials(partials), report)
         }
     };

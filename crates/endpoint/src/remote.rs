@@ -194,7 +194,12 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for RemoteEndpoint<S> {
 
     fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         let start = Instant::now();
-        let body = self.try_request(query, ctx.deadline)?;
+        let body = {
+            // One span for the whole simulated HTTP exchange (latency
+            // charge + remote evaluation + transfer).
+            let _span = ctx.trace.span("remote");
+            self.try_request(query, ctx.deadline)?
+        };
         let store = self.store.borrow();
         let solutions: Solutions = json::decode_solutions(&body, store)
             .map_err(|e| ServeError::Transient(format!("malformed response body: {e}")))?;

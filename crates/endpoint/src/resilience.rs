@@ -23,6 +23,7 @@
 
 use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
 use crate::hvs::{HeavyQueryStore, HvsConfig};
+use crate::trace::TraceCtx;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -284,6 +285,21 @@ impl CircuitBreaker {
         self.inner.lock().stats
     }
 
+    /// Time left before an open breaker admits its probe: `Some(ZERO)`
+    /// when the cooldown has elapsed (the next request probes), `None`
+    /// when the breaker is not open. Backs the server's `Retry-After`
+    /// header on breaker-open 503s, so clients back off for exactly as
+    /// long as the breaker will keep shedding.
+    pub fn cooldown_remaining(&self) -> Option<Duration> {
+        let inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Open => Some(inner.opened_at.map_or(Duration::ZERO, |at| {
+                self.config.open_cooldown.saturating_sub(at.elapsed())
+            })),
+            _ => None,
+        }
+    }
+
     /// Decide admission for one request.
     pub fn admit(&self) -> Admission {
         let mut inner = self.inner.lock();
@@ -503,18 +519,22 @@ impl ResilientEndpoint {
         }
     }
 
-    /// Serve from the degradation ladder. `spend_budget` is false when
-    /// the deadline is already gone (only the O(1) stale lookup is
-    /// allowed then).
+    /// Serve from the degradation ladder (stale cache → local fallback
+    /// → the explicit error). Only the O(1) stale lookup is allowed once
+    /// the deadline is gone. Records a `degrade` span with the rung that
+    /// answered when the request is sampled.
     fn degrade(
         &self,
         query: &str,
         deadline: Deadline,
+        trace: &TraceCtx,
         on_miss: ServeError,
     ) -> Result<QueryOutcome, ServeError> {
+        let mut span = trace.span("degrade");
         let start = Instant::now();
         if let Some(stale) = self.cache.get_stale(query) {
             self.stats.degraded_serves.fetch_add(1, Ordering::Relaxed);
+            span.tag("outcome", "stale");
             return Ok(QueryOutcome {
                 solutions: stale.solutions,
                 elapsed: start.elapsed(),
@@ -525,10 +545,14 @@ impl ResilientEndpoint {
         }
         if !deadline.is_expired() {
             if let Some(fallback) = &self.fallback {
-                let ctx = QueryContext { deadline };
+                // Do not hand the trace down this path: the fallback is a
+                // full router whose root-level stage spans would overlap
+                // the `degrade` span and double-count wall time.
+                let ctx = QueryContext::with_deadline(deadline);
                 if let Ok(mut out) = fallback.execute_with(query, &ctx) {
                     self.stats.degraded_serves.fetch_add(1, Ordering::Relaxed);
                     out.served_by = ServedBy::DegradedLocal;
+                    span.tag("outcome", "local_fallback");
                     return Ok(out);
                 }
             }
@@ -536,6 +560,7 @@ impl ResilientEndpoint {
         if matches!(on_miss, ServeError::Unavailable(_)) {
             self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
         }
+        span.tag("outcome", "error");
         Err(on_miss)
     }
 }
@@ -547,22 +572,24 @@ impl QueryEngine for ResilientEndpoint {
 
     fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         let deadline = self.effective_deadline(ctx);
+        let trace = ctx.trace.clone();
         let admission = self.breaker.admit();
         if admission == Admission::Rejected {
             return self.degrade(
                 query,
                 deadline,
+                &trace,
                 ServeError::Unavailable("circuit breaker open".into()),
             );
         }
 
-        let ctx = QueryContext { deadline };
+        let ctx = QueryContext::with_deadline_and_trace(deadline, trace.clone());
         let mut attempt: u32 = 0;
         let mut previous_sleep = self.config.retry.base;
         loop {
             if deadline.is_expired() {
                 self.stats.deadline_expiries.fetch_add(1, Ordering::Relaxed);
-                return self.degrade(query, deadline, ServeError::DeadlineExceeded);
+                return self.degrade(query, deadline, &trace, ServeError::DeadlineExceeded);
             }
             match self.primary.execute_with(query, &ctx) {
                 Ok(outcome) => {
@@ -580,7 +607,7 @@ impl QueryEngine for ResilientEndpoint {
                         if matches!(e, ServeError::DeadlineExceeded) {
                             self.stats.deadline_expiries.fetch_add(1, Ordering::Relaxed);
                         }
-                        return self.degrade(query, deadline, e);
+                        return self.degrade(query, deadline, &trace, e);
                     }
                     attempt += 1;
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
@@ -588,6 +615,14 @@ impl QueryEngine for ResilientEndpoint {
                     previous_sleep = sleep;
                     let sleep = deadline.clamp(sleep);
                     if !sleep.is_zero() {
+                        // The backoff sleep is dead wall time between
+                        // attempts; giving it a span keeps the trace's
+                        // stage sum tracking end-to-end latency on flaky
+                        // paths too.
+                        let mut span = trace.span("backoff");
+                        if trace.is_enabled() {
+                            span.tag("attempt", attempt.to_string());
+                        }
                         std::thread::sleep(sleep);
                     }
                 }
@@ -789,9 +824,8 @@ mod tests {
     #[test]
     fn expired_deadline_is_an_explicit_error_not_a_hang() {
         let ep = ResilientEndpoint::new(flaky(0), ResilienceConfig::default());
-        let ctx = QueryContext {
-            deadline: Deadline::at(Instant::now() - Duration::from_millis(1)),
-        };
+        let ctx =
+            QueryContext::with_deadline(Deadline::at(Instant::now() - Duration::from_millis(1)));
         let started = Instant::now();
         let err = ep.execute_with(Q, &ctx).unwrap_err();
         assert!(matches!(err, ServeError::DeadlineExceeded));
@@ -803,9 +837,8 @@ mod tests {
     fn expired_deadline_serves_stale_if_available() {
         let ep = ResilientEndpoint::new(flaky(0), ResilienceConfig::default());
         ep.execute(Q).unwrap();
-        let ctx = QueryContext {
-            deadline: Deadline::at(Instant::now() - Duration::from_millis(1)),
-        };
+        let ctx =
+            QueryContext::with_deadline(Deadline::at(Instant::now() - Duration::from_millis(1)));
         let out = ep.execute_with(Q, &ctx).unwrap();
         assert_eq!(out.served_by, ServedBy::DegradedStale);
     }

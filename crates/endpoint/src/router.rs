@@ -10,6 +10,7 @@ use crate::decomposer::{execute_decomposed, execute_precomputed, recognize_prope
 use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
 use crate::hvs::{HeavyQueryStore, HvsConfig, HvsStats};
 use crate::parallel::{try_execute_decomposed_sharded, ParallelStats, Parallelism};
+use crate::trace::push_json_str;
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::{parse_query, Executor};
 use elinda_store::{ClassHierarchy, PropertyAggregates, ShardedTripleStore, TripleStore};
@@ -94,6 +95,76 @@ impl EndpointConfig {
     }
 }
 
+/// The evaluation path picked by the route decision, carrying the
+/// recognized property-expansion shape where one applies.
+enum EvalPlan {
+    /// Serve from the materialized `(class, property)` aggregates.
+    Precomputed(crate::decomposer::PropertyExpansionQuery),
+    /// Fan the decomposed aggregation across the shard snapshot.
+    Sharded(crate::decomposer::PropertyExpansionQuery),
+    /// Sequential decomposed evaluation on the live indexes.
+    Decomposed(crate::decomposer::PropertyExpansionQuery),
+    /// The plain SPARQL executor.
+    Direct,
+}
+
+impl EvalPlan {
+    fn name(&self) -> &'static str {
+        match self {
+            EvalPlan::Precomputed(_) => "precomputed",
+            EvalPlan::Sharded(_) => "sharded",
+            EvalPlan::Decomposed(_) => "decomposed",
+            EvalPlan::Direct => "direct",
+        }
+    }
+}
+
+/// The router's prediction for a query: which path would serve it right
+/// now, computed **without executing** the query (the `/explain`
+/// endpoint). The HVS check uses a non-counting peek so explaining a
+/// query does not perturb cache-effectiveness counters.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// Whether the fresh HVS currently caches this query.
+    pub hvs_hit: bool,
+    /// Whether the decomposer recognized the property-expansion shape
+    /// (`None` when the query failed to parse).
+    pub recognized: Option<bool>,
+    /// The parse error, when the query is invalid.
+    pub parse_error: Option<String>,
+    /// The predicted serving path: `hvs`, `precomputed`, `sharded`,
+    /// `decomposed`, `direct`, or `invalid`.
+    pub path: &'static str,
+    /// Number of shards the predicted path would fan across (1 on every
+    /// sequential path).
+    pub shards: usize,
+    /// The data epoch the prediction was made against.
+    pub data_epoch: u64,
+}
+
+impl ExplainReport {
+    /// Render the prediction as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"path\":");
+        push_json_str(&mut out, self.path);
+        out.push_str(&format!(",\"hvs_hit\":{}", self.hvs_hit));
+        match self.recognized {
+            Some(r) => out.push_str(&format!(",\"recognized\":{r}")),
+            None => out.push_str(",\"recognized\":null"),
+        }
+        if let Some(err) = &self.parse_error {
+            out.push_str(",\"parse_error\":");
+            push_json_str(&mut out, err);
+        }
+        out.push_str(&format!(
+            ",\"shards\":{},\"data_epoch\":{}}}",
+            self.shards, self.data_epoch
+        ));
+        out
+    }
+}
+
 /// The eLinda endpoint: HVS + decomposer + direct executor.
 ///
 /// Generic over how the store is owned: `ElindaEndpoint<&TripleStore>`
@@ -172,6 +243,44 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
             .as_ref()
             .map(|_| self.parallel_stats.lock().clone())
     }
+
+    /// Predict how [`QueryEngine::execute_with`] would route `query`
+    /// right now, without executing it — the same decision sequence
+    /// (HVS → recognition → index freshness) against the current store
+    /// state. Backs the server's `GET /explain` route.
+    pub fn explain(&self, query: &str) -> ExplainReport {
+        let store = self.store.borrow();
+        let epoch = store.epoch();
+        self.hvs.sync_epoch(epoch);
+        let hvs_hit = self.config.enable_hvs && self.hvs.peek(query);
+        let (recognized, parse_error) = match parse_query(query) {
+            Ok(parsed) => (Some(recognize_property_expansion(&parsed).is_some()), None),
+            Err(e) => (None, Some(QueryError::Parse(e).to_string())),
+        };
+        let (path, shards) = if hvs_hit {
+            ("hvs", 1)
+        } else if parse_error.is_some() {
+            ("invalid", 1)
+        } else if self.config.enable_decomposer && recognized == Some(true) {
+            match &self.aggregates {
+                Some(agg) if !agg.is_stale(store) => ("precomputed", 1),
+                _ => match &self.sharded {
+                    Some(sharded) if !sharded.is_stale(store) => ("sharded", sharded.num_shards()),
+                    _ => ("decomposed", 1),
+                },
+            }
+        } else {
+            ("direct", 1)
+        };
+        ExplainReport {
+            hvs_hit,
+            recognized,
+            parse_error,
+            path,
+            shards,
+            data_epoch: epoch,
+        }
+    }
 }
 
 impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
@@ -182,21 +291,26 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
     /// The routing pipeline under a per-request deadline, checked
     /// cooperatively at every stage boundary (HVS lookup → parse →
     /// evaluate) and handed into the sharded parallel evaluator, whose
-    /// workers re-check it between shard maps.
+    /// workers re-check it between shard maps. When the context carries a
+    /// sampled trace, each stage records a span (`hvs`, `parse`, `route`,
+    /// `eval` with nested `fanout`/`shard/<i>`/`merge`).
     fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         // "The HVS is cleared on any update to the eLinda knowledge bases."
         let store = self.store.borrow();
         let epoch = store.epoch();
         self.hvs.sync_epoch(epoch);
         let deadline = ctx.deadline;
+        let trace = &ctx.trace;
         deadline.check()?;
 
         let start = Instant::now();
         if self.config.enable_hvs {
+            let mut span = trace.span("hvs");
             if let Some(solutions) = self.hvs.get(query) {
                 // The measured time covers the lookup and the clone of the
                 // cached result — the serving cost of the ~80 ms HVS bar of
                 // Fig. 4 (theirs additionally includes the HTTP stack).
+                span.tag("outcome", "hit");
                 return Ok(QueryOutcome {
                     solutions,
                     elapsed: start.elapsed(),
@@ -205,61 +319,87 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                     data_epoch: epoch,
                 });
             }
+            span.tag("outcome", "miss");
         }
 
-        let parsed = parse_query(query).map_err(QueryError::Parse)?;
+        let parsed = {
+            let _span = trace.span("parse");
+            parse_query(query).map_err(QueryError::Parse)?
+        };
         deadline.check()?;
-        let (solutions, served_by, shards_used) = if self.config.enable_decomposer {
+
+        // Route decision: which path will evaluate the query. Deciding
+        // before evaluating keeps the decision observable (the `route`
+        // span and `/explain`) and the stage spans disjoint.
+        let mut route_span = trace.span("route");
+        let plan = if self.config.enable_decomposer {
             match recognize_property_expansion(&parsed) {
-                Some(rec) => {
-                    let (solutions, shards_used) = match &self.aggregates {
-                        // A stale precomputed index falls back to the
-                        // on-demand path rather than serving old counts.
-                        Some(agg) if !agg.is_stale(store) => {
-                            (execute_precomputed(store, agg, &rec), 1)
-                        }
-                        _ => match &self.sharded {
-                            // Likewise: a stale sharded snapshot falls
-                            // back to sequential evaluation rather than
-                            // serving pre-update counts.
-                            Some(sharded) if !sharded.is_stale(store) => {
-                                let (solutions, report) = try_execute_decomposed_sharded(
-                                    store,
-                                    sharded,
-                                    &self.hierarchy,
-                                    &rec,
-                                    &self.config.parallelism,
-                                    deadline,
-                                )?;
-                                self.parallel_stats.lock().record(&report);
-                                (solutions, sharded.num_shards())
-                            }
-                            _ => (execute_decomposed(store, &self.hierarchy, &rec), 1),
-                        },
-                    };
-                    (solutions, ServedBy::Decomposer, shards_used)
-                }
-                None => (
-                    Executor::new(store)
-                        .execute(&parsed)
-                        .map_err(QueryError::Exec)?,
-                    ServedBy::Direct,
-                    1,
-                ),
+                Some(rec) => match &self.aggregates {
+                    // A stale precomputed index falls back to the
+                    // on-demand path rather than serving old counts.
+                    Some(agg) if !agg.is_stale(store) => EvalPlan::Precomputed(rec),
+                    _ => match &self.sharded {
+                        // Likewise: a stale sharded snapshot falls back to
+                        // sequential evaluation rather than serving
+                        // pre-update counts.
+                        Some(sharded) if !sharded.is_stale(store) => EvalPlan::Sharded(rec),
+                        _ => EvalPlan::Decomposed(rec),
+                    },
+                },
+                None => EvalPlan::Direct,
             }
         } else {
-            (
+            EvalPlan::Direct
+        };
+        route_span.tag("path", plan.name());
+        drop(route_span);
+
+        let mut eval_span = trace.span("eval");
+        let (solutions, served_by, shards_used) = match &plan {
+            EvalPlan::Precomputed(rec) => {
+                let agg = self.aggregates.as_ref().expect("plan implies aggregates");
+                (
+                    execute_precomputed(store, agg, rec),
+                    ServedBy::Decomposer,
+                    1,
+                )
+            }
+            EvalPlan::Sharded(rec) => {
+                let sharded = self.sharded.as_ref().expect("plan implies shards");
+                let (solutions, report) = try_execute_decomposed_sharded(
+                    store,
+                    sharded,
+                    &self.hierarchy,
+                    rec,
+                    &self.config.parallelism,
+                    deadline,
+                    trace,
+                    eval_span.id(),
+                )?;
+                self.parallel_stats.lock().record(&report);
+                (solutions, ServedBy::Decomposer, sharded.num_shards())
+            }
+            EvalPlan::Decomposed(rec) => (
+                execute_decomposed(store, &self.hierarchy, rec),
+                ServedBy::Decomposer,
+                1,
+            ),
+            EvalPlan::Direct => (
                 Executor::new(store)
                     .execute(&parsed)
                     .map_err(QueryError::Exec)?,
                 ServedBy::Direct,
                 1,
-            )
+            ),
         };
         let elapsed = start.elapsed();
         if self.config.enable_hvs {
             self.hvs.record(query, &solutions, elapsed);
         }
+        if trace.is_enabled() {
+            eval_span.tag("rows", solutions.len().to_string());
+        }
+        drop(eval_span);
         Ok(QueryOutcome {
             solutions,
             elapsed,

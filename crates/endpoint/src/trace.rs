@@ -1,0 +1,593 @@
+//! Request-scoped tracing: a span tree per sampled request.
+//!
+//! The serving claim of the paper is that *each exploration step is
+//! responsive* because the router picks between the HVS, the decomposed
+//! indexes, and the raw engine — this module makes that decision (and
+//! where the latency of a request actually went) observable per request:
+//!
+//! * [`TraceCtx`] — a cheap handle threaded down the whole query path
+//!   (admission → route decision → HVS lookup → decompose/recognize →
+//!   shard fan-out → merge → serialize). When sampling is off it is a
+//!   single `None` and every operation on it is a branch on that
+//!   `Option` — no allocation, no lock, no clock read — so the
+//!   disabled-tracing overhead is negligible (the `expansion_scaling`
+//!   bench guards this).
+//! * [`SpanGuard`] — one stage of the pipeline; records its wall time
+//!   and outcome tags when dropped (or explicitly finished).
+//! * [`FinishedTrace`] — the completed span tree, renderable as JSON for
+//!   `GET /debug/trace/<id>`.
+//! * [`TraceRing`] — a fixed-capacity ring keeping the last N sampled
+//!   traces. The cursor is a lone atomic and each slot has its own
+//!   reader-writer lock, so retaining a trace never contends with the
+//!   serving hot path (which, with sampling off, never touches the ring
+//!   at all).
+//! * [`StageStats`] — per-stage latency histograms fed from finished
+//!   traces, exported on `/metrics` as
+//!   `elinda_stage_latency_*{stage="…"}` lines.
+
+use crate::metrics::LatencySummary;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The parent id of top-level stage spans (the request itself).
+pub const ROOT_SPAN: u32 = 0;
+
+/// The canonical pipeline stages always present in the `/metrics`
+/// per-stage histogram section (other observed stages are appended).
+pub const CANONICAL_STAGES: [&str; 8] = [
+    "admission",
+    "hvs",
+    "parse",
+    "route",
+    "eval",
+    "fanout",
+    "merge",
+    "serialize",
+];
+
+/// One recorded span: a named stage with its offset window (relative to
+/// the start of the trace) and outcome tags.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span id (> 0; [`ROOT_SPAN`] is reserved for the request).
+    pub id: u32,
+    /// Parent span id ([`ROOT_SPAN`] for top-level stages).
+    pub parent: u32,
+    /// Stage name, e.g. `route` or `shard/3`.
+    pub name: String,
+    /// Start offset from the beginning of the trace.
+    pub start: Duration,
+    /// End offset from the beginning of the trace.
+    pub end: Duration,
+    /// Outcome tags, e.g. `("outcome", "hit")`.
+    pub tags: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Wall time spent in this span.
+    pub fn elapsed(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// The histogram bucket this span folds into: the name up to the
+    /// first `/`, so `shard/3` and `shard/7` aggregate as `shard`.
+    pub fn stage(&self) -> &str {
+        self.name.split('/').next().unwrap_or(&self.name)
+    }
+}
+
+struct TraceInner {
+    id: String,
+    started: Instant,
+    next_id: AtomicU32,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A request-scoped trace handle.
+///
+/// Clones share the same underlying trace; [`TraceCtx::disabled`] is the
+/// no-op handle every unsampled request carries.
+#[derive(Clone, Default)]
+pub struct TraceCtx {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl std::fmt::Debug for TraceCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(f, "TraceCtx({})", inner.id),
+            None => f.write_str("TraceCtx(disabled)"),
+        }
+    }
+}
+
+impl TraceCtx {
+    /// The no-op handle: every operation is a branch on a `None`.
+    pub fn disabled() -> TraceCtx {
+        TraceCtx { inner: None }
+    }
+
+    /// Start a sampled trace for the request with the given id.
+    pub fn sampled(request_id: impl Into<String>) -> TraceCtx {
+        TraceCtx {
+            inner: Some(Arc::new(TraceInner {
+                id: request_id.into(),
+                started: Instant::now(),
+                next_id: AtomicU32::new(1),
+                spans: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// True when this request is sampled. Callers building span names
+    /// with `format!` should gate on this to keep the disabled path
+    /// allocation-free.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The request id, when sampled.
+    pub fn request_id(&self) -> Option<&str> {
+        self.inner.as_deref().map(|i| i.id.as_str())
+    }
+
+    /// Open a top-level stage span.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_under(ROOT_SPAN, name)
+    }
+
+    /// Open a span nested under `parent` (a [`SpanGuard::id`]).
+    pub fn span_under(&self, parent: u32, name: &str) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard {
+                ctx: self,
+                live: None,
+            },
+            Some(inner) => {
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                SpanGuard {
+                    ctx: self,
+                    live: Some(LiveSpan {
+                        id,
+                        parent,
+                        name: name.to_string(),
+                        start: inner.started.elapsed(),
+                        tags: Vec::new(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Close the trace: returns the finished span tree when sampled.
+    /// `outcome` labels how the request ended (`ok`, `error/...`).
+    pub fn finish(self, outcome: &str) -> Option<FinishedTrace> {
+        let inner = self.inner?;
+        // Other clones (none on the serving path once the request is
+        // done) would only lose late spans; the common case is sole
+        // ownership.
+        let total = inner.started.elapsed();
+        let mut spans = std::mem::take(&mut *inner.spans.lock());
+        spans.sort_by_key(|s| (s.start, s.id));
+        Some(FinishedTrace {
+            id: inner.id.clone(),
+            total,
+            outcome: outcome.to_string(),
+            spans,
+        })
+    }
+}
+
+struct LiveSpan {
+    id: u32,
+    parent: u32,
+    name: String,
+    start: Duration,
+    tags: Vec<(String, String)>,
+}
+
+/// An open span; records itself into the trace when dropped.
+pub struct SpanGuard<'t> {
+    ctx: &'t TraceCtx,
+    live: Option<LiveSpan>,
+}
+
+impl SpanGuard<'_> {
+    /// The span id, for nesting children under it ([`ROOT_SPAN`] when
+    /// tracing is disabled — children then attach to the root, which is
+    /// equally invisible).
+    pub fn id(&self) -> u32 {
+        self.live.as_ref().map_or(ROOT_SPAN, |l| l.id)
+    }
+
+    /// Attach an outcome tag. A no-op when tracing is disabled, so
+    /// callers may tag unconditionally with `&str` values; gate
+    /// `format!`-built values on [`TraceCtx::is_enabled`].
+    pub fn tag(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(live) = &mut self.live {
+            live.tags.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Close the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let (Some(live), Some(inner)) = (self.live.take(), self.ctx.inner.as_deref()) else {
+            return;
+        };
+        let end = inner.started.elapsed();
+        inner.spans.lock().push(SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            start: live.start,
+            end,
+            tags: live.tags,
+        });
+    }
+}
+
+/// A completed request trace: the full span tree plus the end-to-end
+/// wall time, renderable as JSON for `GET /debug/trace/<id>`.
+#[derive(Debug, Clone)]
+pub struct FinishedTrace {
+    /// The request id (`X-Request-Id`).
+    pub id: String,
+    /// End-to-end wall time of the traced request.
+    pub total: Duration,
+    /// How the request ended (`ok`, `error/query`, …).
+    pub outcome: String,
+    /// All recorded spans, ordered by start offset.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl FinishedTrace {
+    /// The top-level stage spans (direct children of the request).
+    pub fn stages(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == ROOT_SPAN)
+    }
+
+    /// Summed wall time of the top-level stage spans. The stages are
+    /// contiguous and non-overlapping by construction, so this tracks
+    /// the end-to-end total closely (the acceptance bound is 10%).
+    pub fn stage_total(&self) -> Duration {
+        self.stages().map(SpanRecord::elapsed).sum()
+    }
+
+    /// Render the span tree as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.spans.len() * 128);
+        out.push_str("{\"id\":");
+        push_json_str(&mut out, &self.id);
+        out.push_str(",\"outcome\":");
+        push_json_str(&mut out, &self.outcome);
+        out.push_str(&format!(
+            ",\"total_us\":{},\"stage_total_us\":{},\"spans\":",
+            self.total.as_micros(),
+            self.stage_total().as_micros()
+        ));
+        self.render_children(ROOT_SPAN, &mut out);
+        out.push('}');
+        out
+    }
+
+    fn render_children(&self, parent: u32, out: &mut String) {
+        out.push('[');
+        let mut first = true;
+        for span in self.spans.iter().filter(|s| s.parent == parent) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            push_json_str(out, &span.name);
+            out.push_str(&format!(
+                ",\"start_us\":{},\"elapsed_us\":{}",
+                span.start.as_micros(),
+                span.elapsed().as_micros()
+            ));
+            if !span.tags.is_empty() {
+                out.push_str(",\"tags\":{");
+                for (i, (k, v)) in span.tags.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, k);
+                    out.push(':');
+                    push_json_str(out, v);
+                }
+                out.push('}');
+            }
+            out.push_str(",\"children\":");
+            self.render_children(span.id, out);
+            out.push('}');
+        }
+        out.push(']');
+    }
+}
+
+/// Append a JSON string literal (quoted, escaped) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A fixed-capacity ring of the last N sampled traces.
+///
+/// The write cursor is a single atomic and every slot has its own
+/// reader-writer lock: a retain takes exactly one uncontended slot lock,
+/// so concurrent workers retaining traces never serialize on a shared
+/// structure, and lookups scan slots without blocking writers of other
+/// slots. With sampling off the ring is never touched.
+pub struct TraceRing {
+    slots: Vec<RwLock<Option<Arc<FinishedTrace>>>>,
+    cursor: AtomicUsize,
+}
+
+impl TraceRing {
+    /// A ring retaining the last `capacity` traces (at least 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            slots: (0..capacity.max(1)).map(|_| RwLock::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Retain a finished trace, evicting the oldest once full. Returns
+    /// the shared handle.
+    pub fn push(&self, trace: FinishedTrace) -> Arc<FinishedTrace> {
+        let trace = Arc::new(trace);
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[slot].write() = Some(Arc::clone(&trace));
+        trace
+    }
+
+    /// Find a retained trace by request id (newest first on duplicate
+    /// ids).
+    pub fn get(&self, id: &str) -> Option<Arc<FinishedTrace>> {
+        let len = self.slots.len();
+        let next = self.cursor.load(Ordering::Relaxed);
+        // Scan from the most recently written slot backwards.
+        (0..len).find_map(|back| {
+            let slot = (next + len - 1 - back) % len;
+            self.slots[slot]
+                .read()
+                .as_ref()
+                .filter(|t| t.id == id)
+                .cloned()
+        })
+    }
+
+    /// The most recently retained trace.
+    pub fn latest(&self) -> Option<Arc<FinishedTrace>> {
+        let len = self.slots.len();
+        let next = self.cursor.load(Ordering::Relaxed);
+        (0..len).find_map(|back| {
+            let slot = (next + len - 1 - back) % len;
+            self.slots[slot].read().clone()
+        })
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.read().is_some()).count()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-stage latency histograms, fed from finished traces and exported
+/// on `/metrics` (count, mean, p50/p95/p99 per stage).
+#[derive(Default)]
+pub struct StageStats {
+    stages: Mutex<Vec<(String, LatencySummary)>>,
+}
+
+impl StageStats {
+    /// An empty set of histograms.
+    pub fn new() -> StageStats {
+        StageStats::default()
+    }
+
+    /// Fold every span of a finished trace into its stage bucket
+    /// (`shard/3` → `shard`).
+    pub fn observe(&self, trace: &FinishedTrace) {
+        let mut stages = self.stages.lock();
+        for span in &trace.spans {
+            let stage = span.stage();
+            let summary = match stages.iter_mut().find(|(name, _)| name == stage) {
+                Some((_, summary)) => summary,
+                None => {
+                    stages.push((stage.to_string(), LatencySummary::default()));
+                    &mut stages.last_mut().expect("just pushed").1
+                }
+            };
+            summary.record(span.elapsed());
+        }
+    }
+
+    /// Snapshot of the per-stage summaries: the canonical pipeline
+    /// stages first (zeroed when unobserved), then any extra observed
+    /// stages in name order.
+    pub fn snapshot(&self) -> Vec<(String, LatencySummary)> {
+        let stages = self.stages.lock();
+        let mut out: Vec<(String, LatencySummary)> = CANONICAL_STAGES
+            .iter()
+            .map(|&name| {
+                let summary = stages
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or_default();
+                (name.to_string(), summary)
+            })
+            .collect();
+        let mut extra: Vec<(String, LatencySummary)> = stages
+            .iter()
+            .filter(|(n, _)| !CANONICAL_STAGES.contains(&n.as_str()))
+            .cloned()
+            .collect();
+        extra.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out.extend(extra);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ctx_is_inert() {
+        let ctx = TraceCtx::disabled();
+        assert!(!ctx.is_enabled());
+        assert!(ctx.request_id().is_none());
+        let mut span = ctx.span("route");
+        span.tag("outcome", "direct");
+        assert_eq!(span.id(), ROOT_SPAN);
+        drop(span);
+        assert!(ctx.finish("ok").is_none());
+    }
+
+    #[test]
+    fn spans_record_names_offsets_and_tags() {
+        let ctx = TraceCtx::sampled("req-1");
+        assert!(ctx.is_enabled());
+        assert_eq!(ctx.request_id(), Some("req-1"));
+        {
+            let mut route = ctx.span("route");
+            route.tag("path", "decomposer");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let eval = ctx.span("eval");
+            let fanout = ctx.span_under(eval.id(), "fanout");
+            let _shard = ctx.span_under(fanout.id(), "shard/0");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let trace = ctx.finish("ok").unwrap();
+        assert_eq!(trace.id, "req-1");
+        assert_eq!(trace.outcome, "ok");
+        assert_eq!(trace.spans.len(), 4);
+        let route = trace.spans.iter().find(|s| s.name == "route").unwrap();
+        assert_eq!(route.parent, ROOT_SPAN);
+        assert!(route.elapsed() >= Duration::from_millis(2));
+        assert_eq!(route.tags, vec![("path".to_string(), "decomposer".into())]);
+        let shard = trace.spans.iter().find(|s| s.name == "shard/0").unwrap();
+        assert_eq!(shard.stage(), "shard");
+        let fanout = trace.spans.iter().find(|s| s.name == "fanout").unwrap();
+        assert_eq!(shard.parent, fanout.id);
+        // Only the two top-level stages count toward the stage total.
+        assert_eq!(trace.stages().count(), 2);
+        assert!(trace.stage_total() <= trace.total);
+    }
+
+    #[test]
+    fn trace_renders_as_nested_json() {
+        let ctx = TraceCtx::sampled("req-\"x\"");
+        {
+            let eval = ctx.span("eval");
+            let mut shard = ctx.span_under(eval.id(), "shard/0");
+            shard.tag("busy", "yes");
+        }
+        let json = ctx.finish("ok").unwrap().to_json();
+        assert!(json.starts_with("{\"id\":\"req-\\\"x\\\"\""), "{json}");
+        assert!(json.contains("\"name\":\"eval\""));
+        assert!(json.contains("\"children\":[{\"name\":\"shard/0\""));
+        assert!(json.contains("\"tags\":{\"busy\":\"yes\"}"));
+        assert!(json.contains("\"total_us\":"));
+        // The rendered tree is valid JSON per the in-repo parser.
+        assert!(crate::json::parse_json(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn ring_retains_last_n_and_finds_by_id() {
+        let ring = TraceRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            let ctx = TraceCtx::sampled(format!("req-{i}"));
+            ring.push(ctx.finish("ok").unwrap());
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert!(ring.get("req-0").is_none(), "oldest evicted");
+        assert!(ring.get("req-1").is_none());
+        for i in 2..5 {
+            assert!(ring.get(&format!("req-{i}")).is_some(), "req-{i} retained");
+        }
+        assert_eq!(ring.latest().unwrap().id, "req-4");
+        assert!(ring.get("nonsense").is_none());
+    }
+
+    #[test]
+    fn stage_stats_fold_spans_by_bucket() {
+        let stats = StageStats::new();
+        let ctx = TraceCtx::sampled("r");
+        {
+            let _route = ctx.span("route");
+        }
+        {
+            let eval = ctx.span("eval");
+            let _s0 = ctx.span_under(eval.id(), "shard/0");
+            let _s1 = ctx.span_under(eval.id(), "shard/1");
+        }
+        stats.observe(&ctx.finish("ok").unwrap());
+        let snapshot = stats.snapshot();
+        let get = |name: &str| {
+            snapshot
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.count)
+        };
+        assert_eq!(get("route"), Some(1));
+        assert_eq!(get("eval"), Some(1));
+        assert_eq!(get("shard"), Some(2), "shard/i spans fold into one bucket");
+        assert_eq!(get("serialize"), Some(0), "canonical stages always listed");
+        // Canonical stages come first, in pipeline order.
+        assert_eq!(snapshot[0].0, "admission");
+    }
+
+    #[test]
+    fn concurrent_span_recording_is_safe() {
+        let ctx = TraceCtx::sampled("par");
+        let fanout = ctx.span("fanout");
+        let parent = fanout.id();
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let _span = ctx.span_under(parent, &format!("shard/{i}"));
+                });
+            }
+        });
+        drop(fanout);
+        let trace = ctx.finish("ok").unwrap();
+        assert_eq!(trace.spans.len(), 9);
+        let ids: std::collections::HashSet<u32> = trace.spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 9, "span ids are unique");
+    }
+}

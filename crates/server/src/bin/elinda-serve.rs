@@ -5,6 +5,7 @@
 //!                                 [--queue-depth 64] [--scale 1.0]
 //!                                 [--shards 8] [--intra-query-threads 0]
 //!                                 [--deadline-ms 0] [--retry 0] [--breaker 5]
+//!                                 [--trace-sample 0.0]
 //! ```
 //!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
@@ -34,6 +35,9 @@ struct Args {
     retry: u32,
     /// Circuit-breaker failure threshold; 0 disables tripping.
     breaker: u32,
+    /// Fraction of /sparql requests traced end-to-end; defaults to the
+    /// `ELINDA_TRACE_SAMPLE` environment variable (else 0.0, off).
+    trace_sample: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 0,
         retry: 0,
         breaker: 5,
+        trace_sample: ServerConfig::default().trace_sample,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -93,12 +98,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--breaker: {e}"))?
             }
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--trace-sample: {e}"))?
+                    .clamp(0.0, 1.0)
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
                      [--intra-query-threads N (0 = auto core budget)] \
                      [--deadline-ms N (0 = unbounded)] [--retry N] \
-                     [--breaker N (failure threshold, 0 = never trips)]"
+                     [--breaker N (failure threshold, 0 = never trips)] \
+                     [--trace-sample F (0.0-1.0, default $ELINDA_TRACE_SAMPLE or 0)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -164,6 +176,7 @@ fn main() {
         read_timeout: Duration::from_secs(5),
         handler_delay: Duration::ZERO,
         request_deadline: deadline,
+        trace_sample: args.trace_sample,
     };
     let handle = match serve(state, args.addr.as_str(), config) {
         Ok(handle) => handle,
@@ -180,7 +193,13 @@ fn main() {
         parallelism.shards,
         parallelism.threads
     );
-    eprintln!("routes: /sparql /health /metrics — type `quit` (or close stdin) to stop");
+    if args.trace_sample > 0.0 {
+        eprintln!("tracing {:.0}% of requests", args.trace_sample * 100.0);
+    }
+    eprintln!(
+        "routes: /sparql /health /metrics /explain /debug/trace/<id> — \
+         type `quit` (or close stdin) to stop"
+    );
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {

@@ -10,6 +10,15 @@ use std::io::{self, BufRead, Write};
 /// Largest accepted request body: queries are text, not bulk uploads.
 pub const MAX_BODY: usize = 1 << 20;
 
+/// Largest accepted request-line or header line in bytes (terminator
+/// included). A slow client streaming an endless line gets `400`, not
+/// an unbounded buffer.
+pub const MAX_LINE: usize = 8 << 10;
+
+/// Maximum number of header lines per request; beyond this the request
+/// is rejected with `400` instead of growing the header list forever.
+pub const MAX_HEADERS: usize = 64;
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -65,6 +74,9 @@ impl Request {
             if line.is_empty() {
                 break;
             }
+            if headers.len() >= MAX_HEADERS {
+                return Err(bad("too many headers"));
+            }
             let (name, value) = line
                 .split_once(':')
                 .ok_or_else(|| bad("malformed header line"))?;
@@ -72,12 +84,22 @@ impl Request {
         }
 
         let mut body = Vec::new();
-        let length = headers
-            .iter()
-            .find(|(n, _)| n == "content-length")
-            .map(|(_, v)| v.parse::<usize>().map_err(|_| bad("bad content-length")))
-            .transpose()?
-            .unwrap_or(0);
+        // RFC 7230 §3.3.2: duplicate `Content-Length` headers with
+        // differing values make the message length ambiguous (request
+        // smuggling) and must be rejected; identical repeats are allowed.
+        let mut length: Option<usize> = None;
+        for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
+            let parsed = value
+                .parse::<usize>()
+                .map_err(|_| bad("bad content-length"))?;
+            match length {
+                Some(seen) if seen != parsed => {
+                    return Err(bad("conflicting content-length headers"));
+                }
+                _ => length = Some(parsed),
+            }
+        }
+        let length = length.unwrap_or(0);
         if length > MAX_BODY {
             return Err(bad("request body too large"));
         }
@@ -114,6 +136,15 @@ impl Response {
         Response {
             status,
             headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response (trace trees, explain reports).
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
             body: body.into().into_bytes(),
         }
     }
@@ -172,21 +203,44 @@ fn bad(msg: &str) -> io::Error {
 }
 
 /// Read one `\r\n`-terminated line, returned without the terminator.
+/// Rejects lines longer than [`MAX_LINE`] so a client streaming an
+/// endless request-line or header cannot grow the buffer unboundedly.
 fn read_crlf_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed",
-        ));
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed",
+                ));
+            }
+            break;
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |pos| pos + 1);
+        if line.len() + take > MAX_LINE {
+            return Err(bad("header line too long"));
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
     }
+    let mut line = String::from_utf8(line).map_err(|_| bad("invalid utf-8 in header"))?;
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
     }
     Ok(line)
 }
 
-/// Decode `%XX` escapes and `+`-as-space.
+/// Decode `%XX` escapes only. `+` is a literal plus: in a request
+/// *path* it is an ordinary character, and rewriting it to a space
+/// (a form-encoding convention) corrupts resources whose names contain
+/// `+`. Use [`form_decode`] for `application/x-www-form-urlencoded`
+/// query pairs, where `+`-as-space applies.
 pub fn percent_decode(input: &str) -> String {
     let bytes = input.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -208,10 +262,6 @@ pub fn percent_decode(input: &str) -> String {
                     }
                 }
             }
-            b'+' => {
-                out.push(b' ');
-                i += 1;
-            }
             b => {
                 out.push(b);
                 i += 1;
@@ -219,6 +269,13 @@ pub fn percent_decode(input: &str) -> String {
         }
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Decode a `application/x-www-form-urlencoded` component: `+` means
+/// space, then `%XX` escapes are resolved. Only query pairs use this;
+/// paths go through [`percent_decode`].
+pub fn form_decode(input: &str) -> String {
+    percent_decode(&input.replace('+', "%20"))
 }
 
 /// Percent-encode everything outside the URL-unreserved set (for
@@ -243,8 +300,8 @@ pub fn parse_query_pairs(input: &str) -> Vec<(String, String)> {
         .split('&')
         .filter(|p| !p.is_empty())
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => (percent_decode(k), percent_decode(v)),
-            None => (percent_decode(pair), String::new()),
+            Some((k, v)) => (form_decode(k), form_decode(v)),
+            None => (form_decode(pair), String::new()),
         })
         .collect()
 }
@@ -296,9 +353,88 @@ mod tests {
 
     #[test]
     fn decode_handles_plus_and_bad_escapes() {
-        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        // Paths keep `+` literal; form components treat it as a space.
+        assert_eq!(percent_decode("a+b%20c"), "a+b c");
+        assert_eq!(form_decode("a+b%20c"), "a b c");
+        assert_eq!(form_decode("a%2Bb"), "a+b");
         assert_eq!(percent_decode("50%"), "50%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn plus_in_path_survives_but_query_pairs_form_decode() {
+        let raw = "GET /c%2B%2B+notes?q=a+b HTTP/1.1\r\n\r\n";
+        let req = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(req.path, "/c+++notes");
+        assert_eq!(req.param("q"), Some("a b"));
+    }
+
+    #[test]
+    fn decode_handles_multibyte_utf8_escapes() {
+        assert_eq!(percent_decode("%E2%82%AC"), "\u{20AC}");
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+        // An escape sequence that decodes to invalid UTF-8 is replaced,
+        // not a panic or a silent truncation.
+        assert_eq!(percent_decode("%FF"), "\u{FFFD}");
+    }
+
+    #[test]
+    fn decode_handles_truncated_escape_at_end_of_input() {
+        assert_eq!(percent_decode("abc%4"), "abc%4");
+        assert_eq!(percent_decode("abc%"), "abc%");
+        assert_eq!(form_decode("abc%4"), "abc%4");
+    }
+
+    #[test]
+    fn rejects_oversized_header_line() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE));
+        let err = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_unterminated_endless_line_before_buffering_it_all() {
+        // No newline at all: the reader must give up at MAX_LINE, not
+        // buffer the whole stream.
+        let raw = "G".repeat(MAX_LINE * 4);
+        let err = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_too_many_headers() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-Filler-{i}: 1\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn exactly_max_headers_is_accepted() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS {
+            raw.push_str(&format!("X-Filler-{i}: 1\r\n"));
+        }
+        raw.push_str("\r\n");
+        let req = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(req.headers.len(), MAX_HEADERS);
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_content_length() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde";
+        let err = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn accepts_identical_duplicate_content_length() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        let req = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(req.body, b"abc");
     }
 
     #[test]

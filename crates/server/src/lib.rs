@@ -38,6 +38,6 @@ pub mod http;
 pub mod server;
 pub mod state;
 
-pub use http::{parse_query_pairs, percent_decode, percent_encode, Request, Response};
+pub use http::{form_decode, parse_query_pairs, percent_decode, percent_encode, Request, Response};
 pub use server::{serve, ServerConfig, ServerCounters, ServerHandle};
 pub use state::{served_by_name, ServerState, COMPONENTS};

@@ -10,7 +10,7 @@
 use crate::http::{parse_query_pairs, Request, Response};
 use crate::state::{served_by_name, ServerState};
 use elinda_endpoint::resilience::Deadline;
-use elinda_endpoint::ServeError;
+use elinda_endpoint::{ServeError, TraceCtx};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 
@@ -41,6 +41,12 @@ pub struct ServerConfig {
     /// (or a degraded answer) instead of hanging. `None` disables the
     /// budget.
     pub request_deadline: Option<Duration>,
+    /// Fraction of `/sparql` requests traced end-to-end (span tree,
+    /// ring retention, per-stage histograms), in `[0.0, 1.0]`. Sampling
+    /// is deterministic per request sequence number. `0.0` (the
+    /// default) makes the tracing layer a no-op; the default can be
+    /// overridden with the `ELINDA_TRACE_SAMPLE` environment variable.
+    pub trace_sample: f64,
 }
 
 impl Default for ServerConfig {
@@ -51,8 +57,19 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             handler_delay: Duration::ZERO,
             request_deadline: None,
+            trace_sample: default_trace_sample(),
         }
     }
+}
+
+/// The default trace-sampling rate: `ELINDA_TRACE_SAMPLE` if set and
+/// parseable (clamped to `[0.0, 1.0]`), else `0.0` (tracing off).
+fn default_trace_sample() -> f64 {
+    std::env::var("ELINDA_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(|v| v.clamp(0.0, 1.0))
+        .unwrap_or(0.0)
 }
 
 /// Monotonic serving counters, exposed on `/metrics`.
@@ -75,6 +92,9 @@ struct Shared {
     accepted: AtomicU64,
     served: AtomicU64,
     shed: AtomicU64,
+    /// Monotone per-`/sparql` sequence number driving deterministic
+    /// trace sampling and generated request ids.
+    request_seq: AtomicU64,
 }
 
 impl Shared {
@@ -149,6 +169,7 @@ pub fn serve(
         accepted: AtomicU64::new(0),
         served: AtomicU64::new(0),
         shed: AtomicU64::new(0),
+        request_seq: AtomicU64::new(0),
     });
 
     let workers: Vec<_> = (0..config.workers.max(1))
@@ -269,6 +290,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 .unwrap_or_else(|_| Response::text(500, "internal server error\n"))
         }
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // The reject may leave unread request bytes (an oversized
+            // header, a flood of them); closing with them unread makes
+            // the kernel RST the connection and destroy the 400 before
+            // the client sees it. Discard a bounded amount first.
+            drain_rejected_request(&mut reader);
             Response::text(400, format!("bad request: {e}\n"))
         }
         // The client sent part of a request and then stalled until the
@@ -289,13 +315,60 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.flush();
 }
 
+/// Read and discard whatever the client already sent of a rejected
+/// request, bounded in bytes and time, so the 400 survives the close.
+fn drain_rejected_request(reader: &mut BufReader<TcpStream>) {
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < crate::http::MAX_BODY {
+        match io::Read::read(reader, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
 fn route(request: &Request, shared: &Shared) -> Response {
+    if let Some(id) = request.path.strip_prefix("/debug/trace/") {
+        return if request.method == "GET" {
+            debug_trace(id, shared)
+        } else {
+            Response::text(405, "method not allowed\n")
+        };
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => Response::text(200, "ok\n"),
         ("GET", "/metrics") => metrics(shared),
+        ("GET", "/explain") => explain(request, shared),
         ("GET", "/sparql") | ("POST", "/sparql") => sparql(request, shared),
-        (_, "/health" | "/metrics" | "/sparql") => Response::text(405, "method not allowed\n"),
+        (_, "/health" | "/metrics" | "/sparql" | "/explain") => {
+            Response::text(405, "method not allowed\n")
+        }
         _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// `GET /debug/trace/<id>`: the full span tree of a recently sampled
+/// request, as JSON, or `404` once it has been evicted from the ring.
+fn debug_trace(id: &str, shared: &Shared) -> Response {
+    match shared.state.trace_ring().get(id) {
+        Some(trace) => Response::json(200, trace.to_json()),
+        None => Response::text(404, "no sampled trace with that id\n"),
+    }
+}
+
+/// `GET /explain?query=…`: the router's predicted serving path (HVS
+/// hit, recognized shape, sharding) without executing the query.
+fn explain(request: &Request, shared: &Shared) -> Response {
+    let Some(query) = request.param("query") else {
+        return Response::text(400, "missing required `query` parameter\n");
+    };
+    match shared.state.explain(query) {
+        Some(report) => Response::json(200, report.to_json()),
+        None => Response::text(404, "no local router available to explain against\n"),
     }
 }
 
@@ -336,15 +409,86 @@ fn query_text(request: &Request) -> Option<String> {
         .or_else(|| request.param("query").map(str::to_string))
 }
 
+/// SplitMix64: the one-liner generator used for deterministic request
+/// ids and sampling decisions (no RNG state to contend on).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A client-supplied `X-Request-Id` is honored only if it is short and
+/// header/log-safe; anything else is replaced with a generated id.
+fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+/// 16 hex chars, unique per (process, request sequence number).
+fn generate_request_id(seq: u64) -> String {
+    let salt = u64::from(std::process::id()) << 32;
+    format!("{:016x}", splitmix64(seq ^ salt))
+}
+
+/// Deterministic sampling: request `seq` is traced iff its hashed
+/// sequence number falls below the configured rate.
+fn is_sampled(rate: f64, seq: u64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    // Top 53 bits → a uniform float in [0, 1).
+    let unit = (splitmix64(seq) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < rate
+}
+
 fn sparql(request: &Request, shared: &Shared) -> Response {
-    let Some(query) = query_text(request) else {
-        return Response::text(400, "missing required `query` parameter\n");
+    let seq = shared.request_seq.fetch_add(1, Ordering::Relaxed);
+    let request_id = request
+        .header("x-request-id")
+        .filter(|id| valid_request_id(id))
+        .map(str::to_string)
+        .unwrap_or_else(|| generate_request_id(seq));
+    let trace = if is_sampled(shared.config.trace_sample, seq) {
+        TraceCtx::sampled(request_id.clone())
+    } else {
+        TraceCtx::disabled()
     };
-    let deadline = match shared.config.request_deadline {
-        Some(budget) => Deadline::within(budget),
-        None => Deadline::unbounded(),
+
+    // Admission: protocol handling before the engine sees the query —
+    // extracting the query text and minting the execution budget.
+    let (query, deadline) = {
+        let mut span = trace.span("admission");
+        let query = query_text(request);
+        let deadline = match shared.config.request_deadline {
+            Some(budget) => Deadline::within(budget),
+            None => Deadline::unbounded(),
+        };
+        if trace.is_enabled() {
+            span.tag("method", request.method.clone());
+            span.tag(
+                "outcome",
+                if query.is_some() {
+                    "ok"
+                } else {
+                    "missing_query"
+                },
+            );
+        }
+        (query, deadline)
     };
-    match shared.state.execute_json_with(&query, deadline) {
+    let Some(query) = query else {
+        return Response::text(400, "missing required `query` parameter\n")
+            .header("X-Request-Id", request_id);
+    };
+
+    let response = match shared.state.execute_json_traced(&query, deadline, trace) {
         Ok((body, served_by)) => {
             Response::sparql_json(200, body).header("X-Elinda-Served-By", served_by_name(served_by))
         }
@@ -353,10 +497,57 @@ fn sparql(request: &Request, shared: &Shared) -> Response {
             Response::text(504, "deadline exceeded before an answer was produced\n")
         }
         Err(ServeError::Unavailable(msg)) => {
-            Response::text(503, format!("backend unavailable: {msg}\n")).header("Retry-After", "1")
+            Response::text(503, format!("backend unavailable: {msg}\n"))
+                .header("Retry-After", retry_after_secs(shared).to_string())
         }
         Err(ServeError::Transient(msg)) => {
             Response::text(502, format!("upstream failure: {msg}\n"))
         }
+    };
+    response.header("X-Request-Id", request_id)
+}
+
+/// Seconds a shed client should wait before retrying: the breaker's
+/// remaining open-state cooldown rounded up, and at least one second.
+/// Falls back to one second when the breaker is not open (the 503 came
+/// from somewhere else in the stack).
+fn retry_after_secs(shared: &Shared) -> u64 {
+    shared
+        .state
+        .breaker_cooldown()
+        .map(|remaining| (remaining.as_secs_f64().ceil() as u64).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_validation_accepts_safe_tokens_only() {
+        assert!(valid_request_id("abc-123_X.y"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"a".repeat(65)));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("crlf\r\ninjection"));
+    }
+
+    #[test]
+    fn generated_request_ids_are_hex_and_distinct() {
+        let a = generate_request_id(0);
+        let b = generate_request_id(1);
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sampling_rates_hit_their_extremes_and_scale() {
+        assert!((0..100).all(|seq| !is_sampled(0.0, seq)));
+        assert!((0..100).all(|seq| is_sampled(1.0, seq)));
+        let hits = (0..10_000).filter(|&seq| is_sampled(0.25, seq)).count();
+        assert!((1500..3500).contains(&hits), "0.25 sampled {hits}/10000");
+        // Deterministic: the same sequence number decides the same way.
+        assert_eq!(is_sampled(0.25, 42), is_sampled(0.25, 42));
     }
 }

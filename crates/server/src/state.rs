@@ -11,11 +11,17 @@
 use elinda_endpoint::json::encode_solutions;
 use elinda_endpoint::resilience::Deadline;
 use elinda_endpoint::{
-    ElindaEndpoint, EndpointConfig, MeteredEndpoint, QueryContext, QueryEngine, ResilienceConfig,
-    ResilienceStats, ResilientEndpoint, ServeError, ServedBy,
+    ElindaEndpoint, EndpointConfig, ExplainReport, LatencySummary, MeteredEndpoint, QueryContext,
+    QueryEngine, ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError, ServedBy,
+    StageStats, TraceCtx, TraceRing,
 };
 use elinda_store::TripleStore;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// How many sampled traces the in-memory ring retains for
+/// `GET /debug/trace/<id>`.
+pub const TRACE_RING_CAPACITY: usize = 64;
 
 /// The serving components, in /metrics and report order.
 pub const COMPONENTS: [ServedBy; 6] = [
@@ -54,6 +60,8 @@ pub struct ServerState {
     /// ([`ServerState::with_engine`]).
     router: Option<Arc<ElindaEndpoint<Arc<TripleStore>>>>,
     endpoint: MeteredEndpoint<ResilientEndpoint>,
+    traces: TraceRing,
+    stage_stats: StageStats,
 }
 
 impl ServerState {
@@ -76,6 +84,8 @@ impl ServerState {
             store,
             router: Some(router),
             endpoint: MeteredEndpoint::new(resilient),
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
+            stage_stats: StageStats::new(),
         }
     }
 
@@ -101,6 +111,8 @@ impl ServerState {
             store,
             router: Some(router),
             endpoint: MeteredEndpoint::new(resilient),
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
+            stage_stats: StageStats::new(),
         }
     }
 
@@ -132,10 +144,64 @@ impl ServerState {
         query: &str,
         deadline: Deadline,
     ) -> Result<(String, ServedBy), ServeError> {
-        let ctx = QueryContext::with_deadline(deadline);
-        let outcome = self.endpoint.execute_with(query, &ctx)?;
-        let body = encode_solutions(&outcome.solutions, &self.store);
-        Ok((body, outcome.served_by))
+        self.execute_json_traced(query, deadline, TraceCtx::disabled())
+    }
+
+    /// [`ServerState::execute_json_with`] under a request-scoped trace
+    /// context. If the trace is sampled, the finished span tree is
+    /// folded into the per-stage latency histograms and retained in the
+    /// ring for `GET /debug/trace/<id>`; a disabled trace adds no work.
+    pub fn execute_json_traced(
+        &self,
+        query: &str,
+        deadline: Deadline,
+        trace: TraceCtx,
+    ) -> Result<(String, ServedBy), ServeError> {
+        let ctx = QueryContext::with_deadline_and_trace(deadline, trace.clone());
+        let result = self.endpoint.execute_with(query, &ctx).map(|outcome| {
+            let body = {
+                let _span = trace.span("serialize");
+                encode_solutions(&outcome.solutions, &self.store)
+            };
+            (body, outcome.served_by)
+        });
+        if trace.is_enabled() {
+            let outcome_tag = match &result {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("error/{}", serve_error_kind(e)),
+            };
+            drop(ctx);
+            if let Some(finished) = trace.finish(&outcome_tag) {
+                self.stage_stats.observe(&finished);
+                self.traces.push(finished);
+            }
+        }
+        result
+    }
+
+    /// The ring of recently sampled traces.
+    pub fn trace_ring(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Snapshot of the per-stage latency histograms fed by sampled
+    /// traces (canonical stages first, even when unobserved).
+    pub fn stage_snapshot(&self) -> Vec<(String, LatencySummary)> {
+        self.stage_stats.snapshot()
+    }
+
+    /// Predict how the router would serve `query` without executing it.
+    /// `None` when the state was built over a custom engine and no
+    /// local router exists.
+    pub fn explain(&self, query: &str) -> Option<ExplainReport> {
+        self.router.as_ref().map(|r| r.explain(query))
+    }
+
+    /// Remaining open-state cooldown of the circuit breaker, `None`
+    /// unless the breaker is currently open. Drives `Retry-After` on
+    /// breaker-shed 503 responses.
+    pub fn breaker_cooldown(&self) -> Option<Duration> {
+        self.endpoint.inner().breaker().cooldown_remaining()
     }
 
     /// Per-component latency metrics plus fault-tolerance counters in a
@@ -196,6 +262,26 @@ impl ServerState {
                 "elinda_breaker_transitions_total{{transition=\"{transition}\"}} {count}\n"
             ));
         }
+        for (stage, summary) in self.stage_stats.snapshot() {
+            out.push_str(&format!(
+                "elinda_stage_latency_count{{stage=\"{stage}\"}} {}\n",
+                summary.count
+            ));
+            out.push_str(&format!(
+                "elinda_stage_latency_mean_us{{stage=\"{stage}\"}} {}\n",
+                summary.mean().as_micros()
+            ));
+            for (label, value) in [
+                ("p50", summary.p50()),
+                ("p95", summary.p95()),
+                ("p99", summary.p99()),
+            ] {
+                out.push_str(&format!(
+                    "elinda_stage_latency_{label}_us{{stage=\"{stage}\"}} {}\n",
+                    value.unwrap_or_default().as_micros()
+                ));
+            }
+        }
         if let Some(stats) = self.router.as_ref().and_then(|r| r.parallel_stats()) {
             out.push_str(&format!(
                 "elinda_parallel_queries_total {}\n",
@@ -214,6 +300,17 @@ impl ServerState {
             out.push_str(&format!("elinda_parallel_speedup {:.3}\n", stats.speedup()));
         }
         out
+    }
+}
+
+/// Stable lowercase tag for a [`ServeError`] variant, used as the
+/// trace-outcome suffix (`error/<kind>`).
+fn serve_error_kind(err: &ServeError) -> &'static str {
+    match err {
+        ServeError::Query(_) => "query",
+        ServeError::DeadlineExceeded => "deadline",
+        ServeError::Transient(_) => "transient",
+        ServeError::Unavailable(_) => "unavailable",
     }
 }
 
@@ -323,6 +420,50 @@ mod tests {
         assert!(text.contains("elinda_parallel_speedup"));
         // A sequential endpoint emits no parallel section at all.
         assert!(!state().metrics_text().contains("elinda_parallel"));
+    }
+
+    #[test]
+    fn traced_execution_populates_ring_and_stage_histograms() {
+        let s = state();
+        let q = "SELECT ?s WHERE { ?s a <http://e/C> }";
+        s.execute_json_traced(q, Deadline::unbounded(), TraceCtx::sampled("req-1"))
+            .unwrap();
+        let finished = s.trace_ring().get("req-1").expect("sampled trace retained");
+        assert_eq!(finished.outcome, "ok");
+        assert!(!finished.spans.is_empty());
+        assert!(finished.stage_total() <= finished.total);
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_stage_latency_count{stage=\"serialize\"} 1"));
+        assert!(text.contains("elinda_stage_latency_count{stage=\"eval\"} 1"));
+        // Untraced requests leave the ring and histograms untouched.
+        s.execute_json(q).unwrap();
+        assert!(s
+            .metrics_text()
+            .contains("elinda_stage_latency_count{stage=\"eval\"} 1"));
+    }
+
+    #[test]
+    fn traced_failure_records_error_outcome() {
+        let s = state();
+        let err = s
+            .execute_json_traced(
+                "SELECT nonsense",
+                Deadline::unbounded(),
+                TraceCtx::sampled("req-bad"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Query(_)));
+        let finished = s.trace_ring().get("req-bad").unwrap();
+        assert_eq!(finished.outcome, "error/query");
+    }
+
+    #[test]
+    fn explain_predicts_without_executing() {
+        let s = state();
+        let report = s.explain("SELECT ?s WHERE { ?s a <http://e/C> }").unwrap();
+        assert_eq!(report.path, "direct");
+        assert_eq!(report.recognized, Some(false));
+        assert_eq!(s.endpoint().total_queries(), 0, "explain must not execute");
     }
 
     #[test]

@@ -522,3 +522,262 @@ fn exhausted_request_deadline_maps_to_504() {
     );
     handle.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Request-scoped tracing, /explain, and HTTP framing limits
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_sparql_response_carries_a_request_id() {
+    let state = test_state();
+    let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Success.
+    let (status, headers, _) = get(addr, &format!("/sparql?query={}", percent_encode(QUERY)));
+    assert_eq!(status, 200);
+    let generated = header(&headers, "x-request-id")
+        .expect("id on 200")
+        .to_string();
+    assert_eq!(generated.len(), 16);
+    assert!(generated.bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // Query error: still tagged.
+    let (status, headers, _) = get(
+        addr,
+        &format!("/sparql?query={}", percent_encode("SELECT junk")),
+    );
+    assert_eq!(status, 400);
+    assert!(header(&headers, "x-request-id").is_some());
+
+    // Missing query parameter: still tagged.
+    let (status, headers, _) = get(addr, "/sparql");
+    assert_eq!(status, 400);
+    assert!(header(&headers, "x-request-id").is_some());
+
+    // A well-formed client-supplied id is echoed back verbatim.
+    let (_, headers, _) = exchange(
+        addr,
+        &format!(
+            "GET /sparql?query={} HTTP/1.1\r\nHost: t\r\nX-Request-Id: client-abc.1\r\n\r\n",
+            percent_encode(QUERY)
+        ),
+    );
+    assert_eq!(header(&headers, "x-request-id"), Some("client-abc.1"));
+
+    // A hostile id (whitespace → header injection risk) is replaced.
+    let (_, headers, _) = exchange(
+        addr,
+        &format!(
+            "GET /sparql?query={} HTTP/1.1\r\nHost: t\r\nX-Request-Id: two words\r\n\r\n",
+            percent_encode(QUERY)
+        ),
+    );
+    let replaced = header(&headers, "x-request-id").unwrap();
+    assert_ne!(replaced, "two words");
+    assert_eq!(replaced.len(), 16);
+    handle.shutdown();
+}
+
+#[test]
+fn sampled_trace_is_retrievable_and_stage_sum_tracks_end_to_end_latency() {
+    use elinda_datagen::{generate_dbpedia, DbpediaConfig};
+    use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+
+    // A paper-shape store so the traced request does real work and the
+    // stage spans dwarf the untraced gaps between them.
+    let store = Arc::new(generate_dbpedia(&DbpediaConfig::tiny()));
+    let state = Arc::new(ServerState::new(Arc::clone(&store), EndpointConfig::full()));
+    let handle = serve(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            trace_sample: 1.0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let heavy = property_expansion_sparql(
+        "http://dbpedia.org/ontology/Person",
+        ExpansionDirection::Outgoing,
+    );
+    let (status, headers, _) = get(addr, &format!("/sparql?query={}", percent_encode(&heavy)));
+    assert_eq!(status, 200);
+    let id = header(&headers, "x-request-id").unwrap().to_string();
+
+    // The span tree is retrievable over HTTP by that id.
+    let (status, headers, body) = get(addr, &format!("/debug/trace/{id}"));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let json = String::from_utf8(body).unwrap();
+    assert!(json.contains(&format!("\"id\":\"{id}\"")), "{json}");
+    assert!(json.contains("\"outcome\":\"ok\""), "{json}");
+    for stage in ["admission", "hvs", "parse", "route", "eval", "serialize"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{stage}\"")),
+            "missing {stage}: {json}"
+        );
+    }
+
+    // Acceptance: the root-level stage spans tile the request — their
+    // summed wall time is within 10% of the end-to-end total.
+    let trace = state.trace_ring().get(&id).expect("trace in ring");
+    let total = trace.total.as_secs_f64();
+    let staged = trace.stage_total().as_secs_f64();
+    assert!(
+        staged <= total,
+        "stages exceed the request: {staged} > {total}"
+    );
+    assert!(
+        staged >= total * 0.9,
+        "stage sum {:.1}us covers less than 90% of end-to-end {:.1}us",
+        staged * 1e6,
+        total * 1e6
+    );
+
+    // An unknown id is a 404, not a panic or an empty 200.
+    let (status, _, _) = get(addr, "/debug/trace/does-not-exist");
+    assert_eq!(status, 404);
+
+    // /metrics exposes the per-stage histograms fed by the sample.
+    let (_, _, body) = get(addr, "/metrics");
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("elinda_stage_latency_count{stage=\"eval\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("elinda_stage_latency_p95_us{stage=\"serialize\"}"),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn explain_reports_the_route_without_executing() {
+    let state = test_state();
+    let handle = serve(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let (status, headers, body) = get(addr, &format!("/explain?query={}", percent_encode(QUERY)));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let json = String::from_utf8(body).unwrap();
+    assert!(json.contains("\"path\":\"direct\""), "{json}");
+    assert!(json.contains("\"hvs_hit\":false"), "{json}");
+
+    // A malformed query is explained (parse error surfaced), not run.
+    let (status, _, body) = get(
+        addr,
+        &format!("/explain?query={}", percent_encode("SELECT junk")),
+    );
+    assert_eq!(status, 200);
+    let json = String::from_utf8(body).unwrap();
+    assert!(json.contains("\"path\":\"invalid\""), "{json}");
+    assert!(json.contains("\"parse_error\""), "{json}");
+
+    let (status, _, _) = get(addr, "/explain");
+    assert_eq!(status, 400);
+
+    // Nothing above executed a query.
+    let (_, _, body) = get(addr, "/metrics");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("elinda_queries_total 0"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_header_line_and_header_flood_get_400_not_oom() {
+    let state = test_state();
+    let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // A 64 KiB header line: rejected at the 8 KiB cap.
+    let huge = format!(
+        "GET /sparql HTTP/1.1\r\nHost: t\r\nX-Huge: {}\r\n\r\n",
+        "a".repeat(64 * 1024)
+    );
+    let (status, _, _) = exchange(addr, &huge);
+    assert_eq!(status, 400);
+
+    // 100 header lines: rejected at the 64-header cap.
+    let mut flood = String::from("GET /sparql HTTP/1.1\r\n");
+    for i in 0..100 {
+        flood.push_str(&format!("X-Filler-{i}: 1\r\n"));
+    }
+    flood.push_str("\r\n");
+    let (status, _, _) = exchange(addr, &flood);
+    assert_eq!(status, 400);
+
+    // The worker survived both and still serves.
+    let (status, _, _) = get(addr, "/health");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn conflicting_content_lengths_get_400_over_the_wire() {
+    let state = test_state();
+    let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let (status, _, body) = exchange(
+        handle.local_addr(),
+        "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\nabcdefg",
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body).unwrap().contains("content-length"));
+    handle.shutdown();
+}
+
+#[test]
+fn breaker_open_503_derives_retry_after_from_remaining_cooldown() {
+    /// Fails transiently on every call, tripping the breaker.
+    struct Down;
+    impl QueryEngine for Down {
+        fn execute(&self, _q: &str) -> Result<QueryOutcome, ServeError> {
+            Err(ServeError::Transient("connection refused".into()))
+        }
+        fn data_epoch(&self) -> u64 {
+            0
+        }
+    }
+
+    let store =
+        Arc::new(TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C .").unwrap());
+    let resilience = ResilienceConfig {
+        retry: RetryPolicy::disabled(),
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            open_cooldown: Duration::from_secs(30),
+        },
+        ..ResilienceConfig::default()
+    };
+    let state = Arc::new(ServerState::with_engine(
+        store,
+        Box::new(Down),
+        resilience,
+        false,
+    ));
+    let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let target = format!("/sparql?query={}", percent_encode(QUERY));
+
+    // First request trips the breaker (502 from the transient failure).
+    let (status, _, _) = get(addr, &target);
+    assert_eq!(status, 502);
+
+    // With the breaker open, the shed 503 tells the client how long the
+    // remaining cooldown actually is — not a hardcoded second.
+    let (status, headers, _) = get(addr, &target);
+    assert_eq!(status, 503);
+    let retry_after: u64 = header(&headers, "retry-after")
+        .expect("Retry-After on breaker-open 503")
+        .parse()
+        .expect("integral seconds");
+    assert!(
+        (25..=30).contains(&retry_after),
+        "expected ~30s of cooldown, got {retry_after}"
+    );
+    handle.shutdown();
+}

@@ -216,10 +216,17 @@ fn deadline_expiring_mid_parallel_evaluation_returns_promptly() {
     let budget = Duration::from_millis(40);
     let deadline = Deadline::within(budget);
     let started = Instant::now();
-    let result = try_map_shards(&sharded, 2, deadline, |i: usize, _shard: &Shard| {
-        std::thread::sleep(Duration::from_millis(30));
-        i
-    });
+    let result = try_map_shards(
+        &sharded,
+        2,
+        deadline,
+        &elinda::endpoint::TraceCtx::disabled(),
+        elinda::endpoint::trace::ROOT_SPAN,
+        |i: usize, _shard: &Shard| {
+            std::thread::sleep(Duration::from_millis(30));
+            i
+        },
+    );
     let elapsed = started.elapsed();
     assert!(matches!(result, Err(ServeError::DeadlineExceeded)));
     assert!(
