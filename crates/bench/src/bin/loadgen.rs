@@ -20,6 +20,14 @@
 //! reproducible via `--fault-seed`), with retries and the local router
 //! as the degradation fallback. The report then also shows the
 //! degraded-serve and retry rates alongside the latency percentiles.
+//!
+//! `--session` switches the request mix to a correlated exploration
+//! path — owl:Thing → dbo:Agent → dbo:Person (a subclass step) in both
+//! directions — replayed in order by every client, the access pattern
+//! the result cache and the incremental (frontier-seeded) tier exist
+//! for. Before the fleet starts, one cold pass and one warm pass over
+//! the path measure the repeat-visit speedup; the report then adds the
+//! session cache hit-rate with a per-tier breakdown.
 
 use elinda_bench::{bench_store, fig4_queries};
 use elinda_endpoint::{
@@ -45,6 +53,9 @@ struct Args {
     /// Fraction of requests traced end-to-end by the in-process server;
     /// a per-stage latency breakdown is printed after the run.
     trace_sample: f64,
+    /// Replay a correlated exploration path per client instead of the
+    /// round-robin Fig. 4 mix, and report the cache hit-rate.
+    session: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         fault_profile: None,
         fault_seed: 0x00e1_1da0_c4a0,
         trace_sample: ServerConfig::default().trace_sample,
+        session: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -109,13 +121,15 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--trace-sample: {e}"))?
                     .clamp(0.0, 1.0)
             }
+            "--session" => args.session = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--clients N] [--duration SECS] [--scale F] \
                      [--workers N] [--queue-depth N] [--addr HOST:PORT] \
                      [--fault-profile RATE (inject transient faults in-process)] \
                      [--fault-seed N] \
-                     [--trace-sample F (0.0-1.0, per-stage breakdown after the run)]"
+                     [--trace-sample F (0.0-1.0, per-stage breakdown after the run)] \
+                     [--session (replay correlated exploration paths, report cache hit-rate)]"
                         .into(),
                 )
             }
@@ -229,7 +243,34 @@ fn main() {
     let (outgoing, incoming) = fig4_queries();
     let simple = "SELECT ?klass WHERE { ?klass <http://www.w3.org/2000/01/rdf-schema#subClassOf> \
                   <http://www.w3.org/2002/07/owl#Thing> }";
-    let queries: Vec<String> = if args.fault_profile.is_some() {
+    if args.session && args.fault_profile.is_some() {
+        eprintln!("--session and --fault-profile are mutually exclusive");
+        std::process::exit(2);
+    }
+    let queries: Vec<String> = if args.session {
+        // A correlated exploration path: drill from the root class into
+        // the Agent branch, then expand its Person subclass in both
+        // directions. The Person steps extend the already-visited Agent
+        // frontier, so a cache-enabled server answers them from the
+        // incremental tier even on first sight, and every revisit is a
+        // cache hit.
+        use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+        vec![
+            outgoing.clone(),
+            property_expansion_sparql(
+                "http://dbpedia.org/ontology/Agent",
+                ExpansionDirection::Outgoing,
+            ),
+            property_expansion_sparql(
+                "http://dbpedia.org/ontology/Person",
+                ExpansionDirection::Outgoing,
+            ),
+            property_expansion_sparql(
+                "http://dbpedia.org/ontology/Person",
+                ExpansionDirection::Incoming,
+            ),
+        ]
+    } else if args.fault_profile.is_some() {
         ["Agent", "Person", "Place", "Work"]
             .iter()
             .map(|class| {
@@ -319,6 +360,30 @@ fn main() {
         }
     };
 
+    // Session mode: measure the repeat-visit speedup before the fleet
+    // muddies the cache — one cold pass over the path (empty cache),
+    // one warm pass (every step a cache hit).
+    let mut session_passes: Option<(Vec<Duration>, Vec<Duration>)> = None;
+    if args.session {
+        let mut cold = Vec::new();
+        let mut warm = Vec::new();
+        for pass in 0..2 {
+            for target in &targets {
+                match request(addr, target) {
+                    Ok((200, _, latency)) => {
+                        if pass == 0 {
+                            cold.push(latency)
+                        } else {
+                            warm.push(latency)
+                        }
+                    }
+                    _ => eprintln!("session warmup request failed: {target}"),
+                }
+            }
+        }
+        session_passes = Some((cold, warm));
+    }
+
     eprintln!(
         "running {} closed-loop clients for {:.1}s...",
         args.clients,
@@ -326,10 +391,14 @@ fn main() {
     );
     let started = Instant::now();
     let deadline = started + args.duration;
+    let session = args.session;
     let clients: Vec<_> = (0..args.clients)
         .map(|i| {
             let targets = targets.clone();
-            std::thread::spawn(move || client_loop(addr, &targets, deadline, i))
+            // Session clients all replay the path from its first step —
+            // the point is the correlated order, not load spreading.
+            let offset = if session { 0 } else { i };
+            std::thread::spawn(move || client_loop(addr, &targets, deadline, offset))
         })
         .collect();
     let tallies: Vec<ClientTally> = clients
@@ -341,6 +410,7 @@ fn main() {
     let mut by_component: Vec<(String, Vec<Duration>)> = Vec::new();
     let (mut ok, mut shed, mut timeouts, mut upstream, mut errors) = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut degraded = 0u64;
+    let (mut cache_hits, mut incremental) = (0u64, 0u64);
     for tally in tallies {
         shed += tally.shed;
         timeouts += tally.timeouts;
@@ -349,6 +419,11 @@ fn main() {
         for sample in tally.samples {
             if sample.component.starts_with("degraded") {
                 degraded += 1;
+            }
+            match sample.component.as_str() {
+                "cache-hit" => cache_hits += 1,
+                "incremental" => incremental += 1,
+                _ => {}
             }
             ok += 1;
             match by_component
@@ -383,6 +458,47 @@ fn main() {
             fmt_latency(percentile(&samples, 99.0)),
             fmt_latency(mean),
         );
+    }
+
+    if let Some((mut cold, mut warm)) = session_passes {
+        cold.sort_unstable();
+        warm.sort_unstable();
+        let cold_p50 = percentile(&cold, 50.0);
+        let warm_p50 = percentile(&warm, 50.0);
+        let speedup = if warm_p50 > Duration::ZERO {
+            cold_p50.as_secs_f64() / warm_p50.as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "repeated-path median latency: cold {} -> warm {} ({speedup:.1}x)",
+            fmt_latency(cold_p50),
+            fmt_latency(warm_p50),
+        );
+        let hit_rate = if ok == 0 {
+            0.0
+        } else {
+            (cache_hits + incremental) as f64 / ok as f64 * 100.0
+        };
+        println!(
+            "session cache hit-rate: {hit_rate:.1}% \
+             (cache-hit {cache_hits}, incremental {incremental}, of {ok} ok)"
+        );
+        if let Some(state) = &state {
+            if let Some(stats) = state.cache_stats() {
+                println!(
+                    "result cache: {} hits, {} misses, {} stale hits, {} insertions, \
+                     {} evictions | frontiers: {} hits, {} misses",
+                    stats.hits,
+                    stats.misses,
+                    stats.stale_hits,
+                    stats.insertions,
+                    stats.evictions,
+                    stats.frontier_hits,
+                    stats.frontier_misses,
+                );
+            }
+        }
     }
 
     if args.fault_profile.is_some() {

@@ -21,6 +21,12 @@ pub enum ServedBy {
     Decomposer,
     /// A remote endpoint in compatibility mode.
     Remote,
+    /// A fresh result-cache hit: the finished chart bytes of an earlier
+    /// identical request at the current data epoch.
+    CacheHit,
+    /// Incremental evaluation seeded from a cached parent entity
+    /// frontier instead of a whole-store instance derivation.
+    Incremental,
     /// Degraded: a stale (epoch-tagged) last-known-good cache entry,
     /// served because the backend was unavailable or the budget spent.
     DegradedStale,

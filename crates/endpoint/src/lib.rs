@@ -27,6 +27,7 @@
 //! helps. [`json`] implements the SPARQL-JSON results wire format the
 //! remote mode speaks.
 
+pub mod cache;
 pub mod decomposer;
 pub mod direct;
 pub mod engine;
@@ -41,6 +42,7 @@ pub mod resilience;
 pub mod router;
 pub mod trace;
 
+pub use cache::{normalize_query_text, CacheConfig, CacheStats, ResultCache};
 pub use decomposer::{recognize_property_expansion, PropertyExpansionQuery};
 pub use direct::DirectEndpoint;
 pub use engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};

@@ -99,6 +99,8 @@ struct MetricsInner {
     hvs: LatencySummary,
     decomposer: LatencySummary,
     remote: LatencySummary,
+    cache_hit: LatencySummary,
+    incremental: LatencySummary,
     degraded_stale: LatencySummary,
     degraded_local: LatencySummary,
 }
@@ -110,6 +112,8 @@ impl MetricsInner {
             ServedBy::Hvs => &mut self.hvs,
             ServedBy::Decomposer => &mut self.decomposer,
             ServedBy::Remote => &mut self.remote,
+            ServedBy::CacheHit => &mut self.cache_hit,
+            ServedBy::Incremental => &mut self.incremental,
             ServedBy::DegradedStale => &mut self.degraded_stale,
             ServedBy::DegradedLocal => &mut self.degraded_local,
         }
@@ -155,6 +159,8 @@ impl<E: QueryEngine> MeteredEndpoint<E> {
             ServedBy::Hvs,
             ServedBy::Decomposer,
             ServedBy::Remote,
+            ServedBy::CacheHit,
+            ServedBy::Incremental,
             ServedBy::DegradedStale,
             ServedBy::DegradedLocal,
         ]

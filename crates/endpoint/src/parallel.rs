@@ -536,7 +536,10 @@ pub fn try_execute_decomposed_sharded(
 /// Column names of the subclass-rollup result.
 pub const SUBCLASS_ROLLUP_VARS: [&str; 2] = ["class", "count"];
 
-fn subclass_rollup_solutions(counts: Vec<(TermId, i64)>, store: &TripleStore) -> Solutions {
+pub(crate) fn subclass_rollup_solutions(
+    counts: Vec<(TermId, i64)>,
+    store: &TripleStore,
+) -> Solutions {
     let rows = counts
         .into_iter()
         .map(|(c, n)| vec![Some(Value::Term(c)), Some(Value::Int(n))])
@@ -623,7 +626,7 @@ pub fn subclass_rollup_sharded(
 }
 
 /// Length of the intersection of two sorted, deduplicated id slices.
-fn sorted_intersection_len(a: &[TermId], b: &[TermId]) -> usize {
+pub(crate) fn sorted_intersection_len(a: &[TermId], b: &[TermId]) -> usize {
     let (mut i, mut j, mut n) = (0, 0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -654,7 +657,10 @@ fn dedup_subjects(range: &[elinda_rdf::Triple]) -> Vec<TermId> {
 /// Column names of the object-rollup result.
 pub const OBJECT_ROLLUP_VARS: [&str; 2] = ["class", "count"];
 
-fn object_rollup_solutions(agg: FxHashMap<TermId, i64>, store: &TripleStore) -> Solutions {
+pub(crate) fn object_rollup_solutions(
+    agg: FxHashMap<TermId, i64>,
+    store: &TripleStore,
+) -> Solutions {
     let rows = agg
         .into_iter()
         .map(|(c, n)| vec![Some(Value::Term(c)), Some(Value::Int(n))])

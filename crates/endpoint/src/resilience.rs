@@ -25,6 +25,7 @@ use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedB
 use crate::hvs::{HeavyQueryStore, HvsConfig};
 use crate::trace::TraceCtx;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -454,6 +455,10 @@ pub struct ResilientEndpoint {
     fallback: Option<Box<dyn QueryEngine>>,
     breaker: CircuitBreaker,
     cache: HeavyQueryStore,
+    /// The router's shared result cache, when it runs one: its
+    /// epoch-tagged stale side is a second rung of last-known-good
+    /// answers for the degradation ladder (keyed by normalized text).
+    stale_source: Option<Arc<crate::cache::ResultCache>>,
     stats: StatCells,
     config: ResilienceConfig,
 }
@@ -476,6 +481,7 @@ impl ResilientEndpoint {
                 },
                 epoch,
             ),
+            stale_source: None,
             stats: StatCells::default(),
             config,
         }
@@ -484,6 +490,14 @@ impl ResilientEndpoint {
     /// Add a local fallback engine consulted when the breaker is open.
     pub fn with_fallback(mut self, fallback: Box<dyn QueryEngine>) -> Self {
         self.fallback = Some(fallback);
+        self
+    }
+
+    /// Let the degradation ladder also consult the stale side of the
+    /// router's result cache (after this endpoint's own stale cache
+    /// misses) — exploration charts evicted here may still live there.
+    pub fn with_stale_source(mut self, source: Arc<crate::cache::ResultCache>) -> Self {
+        self.stale_source = Some(source);
         self
     }
 
@@ -542,6 +556,22 @@ impl ResilientEndpoint {
                 shards_used: 1,
                 data_epoch: stale.epoch,
             });
+        }
+        // Second stale rung: the router's result cache keeps evicted
+        // epochs on its own stale side, keyed by normalized query text
+        // (the router normalizes at ingress; this wrapper sees raw text).
+        if let Some(source) = &self.stale_source {
+            if let Some(stale) = source.get_stale(&crate::cache::normalize_query_text(query)) {
+                self.stats.degraded_serves.fetch_add(1, Ordering::Relaxed);
+                span.tag("outcome", "stale_result_cache");
+                return Ok(QueryOutcome {
+                    solutions: stale.solutions,
+                    elapsed: start.elapsed(),
+                    served_by: ServedBy::DegradedStale,
+                    shards_used: 1,
+                    data_epoch: stale.epoch,
+                });
+            }
         }
         if !deadline.is_expired() {
             if let Some(fallback) = &self.fallback {

@@ -1,21 +1,40 @@
 //! [`ElindaEndpoint`]: the full Fig. 3 serving stack.
 //!
-//! Routing, per the paper: check the HVS first; if the query is a
-//! recognized property expansion, answer it with the decomposer;
-//! otherwise route to the direct ("Virtuoso") executor. Measured runtimes
-//! at or above the heavy threshold are recorded in the HVS, and the HVS
-//! is cleared whenever the knowledge base's epoch moves.
+//! Routing, per the paper: check the HVS first; then the exploration
+//! result cache (a fresh hit returns the finished chart bytes); if the
+//! query is a recognized property expansion whose class frontier — or a
+//! cached parent's — is available, evaluate incrementally from that
+//! frontier; otherwise answer with the decomposer (precomputed >
+//! sharded > sequential) or route to the direct ("Virtuoso") executor.
+//! Measured runtimes at or above the heavy threshold are recorded in the
+//! HVS, finished chart results and class frontiers in the result cache,
+//! and both are invalidated whenever the knowledge base's epoch moves.
+//!
+//! Query text is canonicalized once at ingress
+//! ([`crate::cache::normalize_query_text`]) and the normalized text is
+//! used for parsing, HVS keys, and cache keys alike — so semantically
+//! identical `GET`/`POST /sparql` spellings (whitespace, percent-encoded
+//! IRIs, filter order) converge on one execution and one cache entry,
+//! and a cache key can never alias two queries with different answers.
 
-use crate::decomposer::{execute_decomposed, execute_precomputed, recognize_property_expansion};
+use crate::cache::{normalize_query_text, CacheConfig, CacheStats, ResultCache};
+use crate::decomposer::{
+    execute_decomposed, execute_precomputed, recognize_property_expansion, PropertyExpansionQuery,
+};
 use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
 use crate::hvs::{HeavyQueryStore, HvsConfig, HvsStats};
+use crate::incremental::{
+    execute_decomposed_from_frontier, seed_child_frontier, try_execute_sharded_from_frontier,
+};
 use crate::parallel::{try_execute_decomposed_sharded, ParallelStats, Parallelism};
 use crate::trace::push_json_str;
+use elinda_rdf::TermId;
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::{parse_query, Executor};
 use elinda_store::{ClassHierarchy, PropertyAggregates, ShardedTripleStore, TripleStore};
 use parking_lot::Mutex;
 use std::borrow::Borrow;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the decomposer answers recognized queries.
@@ -49,6 +68,11 @@ pub struct EndpointConfig {
     /// recognized expansions with the map-per-shard / merge-partials
     /// evaluator — byte-identical to the sequential path on the wire.
     pub parallelism: Parallelism,
+    /// Serve repeated chart queries from the epoch-aware result cache and
+    /// seed child expansions from cached parent frontiers.
+    pub enable_cache: bool,
+    /// Result-cache sizing (entries, bytes, lock shards).
+    pub cache: CacheConfig,
 }
 
 impl EndpointConfig {
@@ -60,6 +84,8 @@ impl EndpointConfig {
             decomposer_mode: DecomposerMode::OnDemand,
             hvs: HvsConfig::default(),
             parallelism: Parallelism::sequential(),
+            enable_cache: true,
+            cache: CacheConfig::default(),
         }
     }
 
@@ -71,11 +97,14 @@ impl EndpointConfig {
             decomposer_mode: DecomposerMode::OnDemand,
             hvs: HvsConfig::default(),
             parallelism: Parallelism::sequential(),
+            enable_cache: false,
+            cache: CacheConfig::default(),
         }
     }
 
     /// Decomposer only (no caching) — the "eLinda decomposer" bar of
-    /// Fig. 4.
+    /// Fig. 4, and the cold-evaluation reference of the differential
+    /// cache suite.
     pub fn decomposer_only() -> Self {
         EndpointConfig {
             enable_hvs: false,
@@ -83,6 +112,8 @@ impl EndpointConfig {
             decomposer_mode: DecomposerMode::OnDemand,
             hvs: HvsConfig::default(),
             parallelism: Parallelism::sequential(),
+            enable_cache: false,
+            cache: CacheConfig::default(),
         }
     }
 
@@ -98,12 +129,15 @@ impl EndpointConfig {
 /// The evaluation path picked by the route decision, carrying the
 /// recognized property-expansion shape where one applies.
 enum EvalPlan {
+    /// Evaluate from a cached (or parent-derived) entity frontier instead
+    /// of re-deriving the class's instance set.
+    Incremental(PropertyExpansionQuery, Arc<Vec<TermId>>),
     /// Serve from the materialized `(class, property)` aggregates.
-    Precomputed(crate::decomposer::PropertyExpansionQuery),
+    Precomputed(PropertyExpansionQuery),
     /// Fan the decomposed aggregation across the shard snapshot.
-    Sharded(crate::decomposer::PropertyExpansionQuery),
+    Sharded(PropertyExpansionQuery),
     /// Sequential decomposed evaluation on the live indexes.
-    Decomposed(crate::decomposer::PropertyExpansionQuery),
+    Decomposed(PropertyExpansionQuery),
     /// The plain SPARQL executor.
     Direct,
 }
@@ -111,10 +145,22 @@ enum EvalPlan {
 impl EvalPlan {
     fn name(&self) -> &'static str {
         match self {
+            EvalPlan::Incremental(..) => "incremental",
             EvalPlan::Precomputed(_) => "precomputed",
             EvalPlan::Sharded(_) => "sharded",
             EvalPlan::Decomposed(_) => "decomposed",
             EvalPlan::Direct => "direct",
+        }
+    }
+
+    /// The recognized chart shape, when this plan evaluates one.
+    fn recognized(&self) -> Option<&PropertyExpansionQuery> {
+        match self {
+            EvalPlan::Incremental(rec, _) => Some(rec),
+            EvalPlan::Precomputed(rec) | EvalPlan::Sharded(rec) | EvalPlan::Decomposed(rec) => {
+                Some(rec)
+            }
+            EvalPlan::Direct => None,
         }
     }
 }
@@ -132,8 +178,8 @@ pub struct ExplainReport {
     pub recognized: Option<bool>,
     /// The parse error, when the query is invalid.
     pub parse_error: Option<String>,
-    /// The predicted serving path: `hvs`, `precomputed`, `sharded`,
-    /// `decomposed`, `direct`, or `invalid`.
+    /// The predicted serving path: `hvs`, `cache-hit`, `incremental`,
+    /// `precomputed`, `sharded`, `decomposed`, `direct`, or `invalid`.
     pub path: &'static str,
     /// Number of shards the predicted path would fan across (1 on every
     /// sequential path).
@@ -183,6 +229,11 @@ pub struct ElindaEndpoint<S: Borrow<TripleStore>> {
     sharded: Option<ShardedTripleStore>,
     /// Cumulative per-shard timings and speedup, fed by the parallel path.
     parallel_stats: Mutex<ParallelStats>,
+    /// Epoch-aware result + frontier cache; present when
+    /// [`EndpointConfig::enable_cache`] is on. Shared via `Arc` so the
+    /// resilience layer can consult its stale side in the degradation
+    /// ladder.
+    cache: Option<Arc<ResultCache>>,
     config: EndpointConfig,
 }
 
@@ -200,6 +251,11 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
             .then(|| PropertyAggregates::build(s, &hierarchy));
         let sharded = (config.enable_decomposer && config.parallelism.is_parallel())
             .then(|| ShardedTripleStore::build(s, config.parallelism.shards));
+        let cache = config.enable_cache.then(|| {
+            let cache = ResultCache::new(config.cache);
+            cache.sync_epoch(s.epoch());
+            Arc::new(cache)
+        });
         ElindaEndpoint {
             store,
             hierarchy,
@@ -207,6 +263,7 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
             aggregates,
             sharded,
             parallel_stats: Mutex::new(ParallelStats::default()),
+            cache,
             config,
         }
     }
@@ -244,6 +301,71 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
             .map(|_| self.parallel_stats.lock().clone())
     }
 
+    /// The shared result cache, or `None` when caching is off — handed to
+    /// the resilience layer so the degradation ladder can consult the
+    /// cache's epoch-tagged stale side.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Result-cache counters, or `None` when caching is off.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Number of fresh results in the cache (0 when caching is off).
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// Estimated bytes held by the cache (0 when caching is off).
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.bytes())
+    }
+
+    /// Finds a current-epoch frontier for `rec`'s class: directly, or by
+    /// deriving it from a cached frontier of a direct superclass (kept
+    /// members verified complete by cardinality before use). On the live
+    /// route (`live`) the lookup counts hit/miss and a derived frontier
+    /// is recorded back, so the next expansion of the same class finds it
+    /// directly; `/explain` probes with `live` off and mutates nothing.
+    fn find_frontier(
+        &self,
+        store: &TripleStore,
+        cache: &ResultCache,
+        rec: &PropertyExpansionQuery,
+        epoch: u64,
+        live: bool,
+    ) -> Option<Arc<Vec<TermId>>> {
+        let class_iri = rec.class.as_iri()?;
+        let direct = if live {
+            cache.frontier(class_iri)
+        } else {
+            cache.peek_frontier(class_iri)
+        };
+        if let Some(members) = direct {
+            return Some(members);
+        }
+        let class_id = store.interner().get(&rec.class)?;
+        for &parent in self.hierarchy.direct_superclasses(class_id) {
+            let Some(parent_iri) = store.resolve(parent).as_iri() else {
+                continue;
+            };
+            let Some(parent_members) = cache.peek_frontier(parent_iri) else {
+                continue;
+            };
+            let derived = seed_child_frontier(store, &self.hierarchy, &parent_members, class_id);
+            if let Some(derived) = derived {
+                let derived = Arc::new(derived);
+                if live {
+                    cache.record_frontier(class_iri, Arc::clone(&derived), epoch);
+                }
+                return Some(derived);
+            }
+        }
+        None
+    }
+
     /// Predict how [`QueryEngine::execute_with`] would route `query`
     /// right now, without executing it — the same decision sequence
     /// (HVS → recognition → index freshness) against the current store
@@ -252,29 +374,58 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
         let store = self.store.borrow();
         let epoch = store.epoch();
         self.hvs.sync_epoch(epoch);
+        if let Some(cache) = &self.cache {
+            cache.sync_epoch(epoch);
+        }
+        let normalized = normalize_query_text(query);
+        let query = normalized.as_str();
         let hvs_hit = self.config.enable_hvs && self.hvs.peek(query);
+        let cache_hit = !hvs_hit
+            && self
+                .cache
+                .as_ref()
+                .is_some_and(|cache| cache.peek(query).is_some());
         let (recognized, parse_error) = match parse_query(query) {
-            Ok(parsed) => (Some(recognize_property_expansion(&parsed).is_some()), None),
+            Ok(parsed) => (Some(recognize_property_expansion(&parsed)), None),
             Err(e) => (None, Some(QueryError::Parse(e).to_string())),
         };
         let (path, shards) = if hvs_hit {
             ("hvs", 1)
         } else if parse_error.is_some() {
             ("invalid", 1)
-        } else if self.config.enable_decomposer && recognized == Some(true) {
-            match &self.aggregates {
-                Some(agg) if !agg.is_stale(store) => ("precomputed", 1),
-                _ => match &self.sharded {
-                    Some(sharded) if !sharded.is_stale(store) => ("sharded", sharded.num_shards()),
-                    _ => ("decomposed", 1),
-                },
+        } else if cache_hit {
+            ("cache-hit", 1)
+        } else if self.config.enable_decomposer {
+            match recognized.as_ref().and_then(|r| r.as_ref()) {
+                Some(rec) => {
+                    // Same frontier probe as the live route, minus the
+                    // record side effect: explaining must not mutate.
+                    let frontier = self
+                        .cache
+                        .as_ref()
+                        .and_then(|cache| self.find_frontier(store, cache, rec, epoch, false));
+                    if frontier.is_some() {
+                        ("incremental", 1)
+                    } else {
+                        match &self.aggregates {
+                            Some(agg) if !agg.is_stale(store) => ("precomputed", 1),
+                            _ => match &self.sharded {
+                                Some(sharded) if !sharded.is_stale(store) => {
+                                    ("sharded", sharded.num_shards())
+                                }
+                                _ => ("decomposed", 1),
+                            },
+                        }
+                    }
+                }
+                None => ("direct", 1),
             }
         } else {
             ("direct", 1)
         };
         ExplainReport {
             hvs_hit,
-            recognized,
+            recognized: recognized.map(|r| r.is_some()),
             parse_error,
             path,
             shards,
@@ -289,16 +440,24 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
     }
 
     /// The routing pipeline under a per-request deadline, checked
-    /// cooperatively at every stage boundary (HVS lookup → parse →
-    /// evaluate) and handed into the sharded parallel evaluator, whose
-    /// workers re-check it between shard maps. When the context carries a
-    /// sampled trace, each stage records a span (`hvs`, `parse`, `route`,
-    /// `eval` with nested `fanout`/`shard/<i>`/`merge`).
+    /// cooperatively at every stage boundary (HVS lookup → cache lookup →
+    /// parse → evaluate) and handed into the sharded parallel evaluator,
+    /// whose workers re-check it between shard maps. When the context
+    /// carries a sampled trace, each stage records a span (`hvs`, `cache`,
+    /// `parse`, `route`, `eval` with nested `fanout`/`shard/<i>`/`merge`).
     fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         // "The HVS is cleared on any update to the eLinda knowledge bases."
         let store = self.store.borrow();
         let epoch = store.epoch();
         self.hvs.sync_epoch(epoch);
+        if let Some(cache) = &self.cache {
+            cache.sync_epoch(epoch);
+        }
+        // Canonicalize once at ingress; everything downstream — parse,
+        // HVS keys, cache keys — sees the normalized text, so the cache
+        // key is the executed query and can never alias another one.
+        let normalized = normalize_query_text(query);
+        let query = normalized.as_str();
         let deadline = ctx.deadline;
         let trace = &ctx.trace;
         deadline.check()?;
@@ -322,6 +481,21 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
             span.tag("outcome", "miss");
         }
 
+        if let Some(cache) = &self.cache {
+            let mut span = trace.span("cache");
+            if let Some(solutions) = cache.get(query) {
+                span.tag("outcome", "hit");
+                return Ok(QueryOutcome {
+                    solutions: (*solutions).clone(),
+                    elapsed: start.elapsed(),
+                    served_by: ServedBy::CacheHit,
+                    shards_used: 1,
+                    data_epoch: epoch,
+                });
+            }
+            span.tag("outcome", "miss");
+        }
+
         let parsed = {
             let _span = trace.span("parse");
             parse_query(query).map_err(QueryError::Parse)?
@@ -334,18 +508,45 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
         let mut route_span = trace.span("route");
         let plan = if self.config.enable_decomposer {
             match recognize_property_expansion(&parsed) {
-                Some(rec) => match &self.aggregates {
-                    // A stale precomputed index falls back to the
-                    // on-demand path rather than serving old counts.
-                    Some(agg) if !agg.is_stale(store) => EvalPlan::Precomputed(rec),
-                    _ => match &self.sharded {
-                        // Likewise: a stale sharded snapshot falls back to
-                        // sequential evaluation rather than serving
-                        // pre-update counts.
-                        Some(sharded) if !sharded.is_stale(store) => EvalPlan::Sharded(rec),
-                        _ => EvalPlan::Decomposed(rec),
-                    },
-                },
+                Some(rec) => {
+                    let frontier = self
+                        .cache
+                        .as_ref()
+                        .and_then(|cache| self.find_frontier(store, cache, &rec, epoch, true));
+                    match frontier {
+                        // A cached (or parent-derived) frontier: evaluate
+                        // incrementally over its members instead of
+                        // re-deriving the instance set.
+                        Some(members) => EvalPlan::Incremental(rec, members),
+                        None => {
+                            // Cold path: record this class's frontier so a
+                            // later expansion along the same exploration
+                            // path can seed from it.
+                            if let Some(cache) = &self.cache {
+                                if let (Some(iri), Some(class_id)) =
+                                    (rec.class.as_iri(), store.interner().get(&rec.class))
+                                {
+                                    let members = self.hierarchy.instances(store, class_id);
+                                    cache.record_frontier(iri, Arc::new(members), epoch);
+                                }
+                            }
+                            match &self.aggregates {
+                                // A stale precomputed index falls back to the
+                                // on-demand path rather than serving old counts.
+                                Some(agg) if !agg.is_stale(store) => EvalPlan::Precomputed(rec),
+                                _ => match &self.sharded {
+                                    // Likewise: a stale sharded snapshot falls
+                                    // back to sequential evaluation rather than
+                                    // serving pre-update counts.
+                                    Some(sharded) if !sharded.is_stale(store) => {
+                                        EvalPlan::Sharded(rec)
+                                    }
+                                    _ => EvalPlan::Decomposed(rec),
+                                },
+                            }
+                        }
+                    }
+                }
                 None => EvalPlan::Direct,
             }
         } else {
@@ -356,6 +557,29 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
 
         let mut eval_span = trace.span("eval");
         let (solutions, served_by, shards_used) = match &plan {
+            EvalPlan::Incremental(rec, members) => match &self.sharded {
+                // The frontier also restricts the shard scans, so the
+                // parallel evaluator benefits from the seed when fresh.
+                Some(sharded) if !sharded.is_stale(store) => {
+                    let (solutions, report) = try_execute_sharded_from_frontier(
+                        store,
+                        sharded,
+                        members,
+                        rec,
+                        &self.config.parallelism,
+                        deadline,
+                        trace,
+                        eval_span.id(),
+                    )?;
+                    self.parallel_stats.lock().record(&report);
+                    (solutions, ServedBy::Incremental, sharded.num_shards())
+                }
+                _ => (
+                    execute_decomposed_from_frontier(store, members, rec),
+                    ServedBy::Incremental,
+                    1,
+                ),
+            },
             EvalPlan::Precomputed(rec) => {
                 let agg = self.aggregates.as_ref().expect("plan implies aggregates");
                 (
@@ -395,6 +619,14 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
         let elapsed = start.elapsed();
         if self.config.enable_hvs {
             self.hvs.record(query, &solutions, elapsed);
+        }
+        // Only finished chart results enter the result cache: the chart
+        // tiers share one canonical finisher, so a later cache hit is
+        // byte-identical to re-evaluation on any tier.
+        if plan.recognized().is_some() {
+            if let Some(cache) = &self.cache {
+                cache.record(query, &solutions, epoch);
+            }
         }
         if trace.is_enabled() {
             eval_span.tag("rows", solutions.len().to_string());

@@ -36,9 +36,10 @@ pub const ROOT_SPAN: u32 = 0;
 
 /// The canonical pipeline stages always present in the `/metrics`
 /// per-stage histogram section (other observed stages are appended).
-pub const CANONICAL_STAGES: [&str; 8] = [
+pub const CANONICAL_STAGES: [&str; 9] = [
     "admission",
     "hvs",
+    "cache",
     "parse",
     "route",
     "eval",

@@ -6,6 +6,7 @@
 //!                                 [--shards 8] [--intra-query-threads 0]
 //!                                 [--deadline-ms 0] [--retry 0] [--breaker 5]
 //!                                 [--trace-sample 0.0]
+//!                                 [--cache-entries 512] [--cache-bytes 16777216]
 //! ```
 //!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
@@ -13,7 +14,9 @@
 //! requests and exits.
 
 use elinda_datagen::{generate_dbpedia, DbpediaConfig};
-use elinda_endpoint::{BreakerConfig, EndpointConfig, Parallelism, ResilienceConfig, RetryPolicy};
+use elinda_endpoint::{
+    BreakerConfig, CacheConfig, EndpointConfig, Parallelism, ResilienceConfig, RetryPolicy,
+};
 use elinda_server::{serve, ServerConfig, ServerState};
 use std::io::BufRead;
 use std::sync::Arc;
@@ -38,6 +41,10 @@ struct Args {
     /// Fraction of /sparql requests traced end-to-end; defaults to the
     /// `ELINDA_TRACE_SAMPLE` environment variable (else 0.0, off).
     trace_sample: f64,
+    /// Result-cache entry budget; 0 disables the cache entirely.
+    cache_entries: usize,
+    /// Result-cache byte budget.
+    cache_bytes: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +59,8 @@ fn parse_args() -> Result<Args, String> {
         retry: 0,
         breaker: 5,
         trace_sample: ServerConfig::default().trace_sample,
+        cache_entries: CacheConfig::default().max_entries,
+        cache_bytes: CacheConfig::default().max_bytes,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -104,13 +113,25 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--trace-sample: {e}"))?
                     .clamp(0.0, 1.0)
             }
+            "--cache-entries" => {
+                args.cache_entries = value("--cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("--cache-entries: {e}"))?
+            }
+            "--cache-bytes" => {
+                args.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--cache-bytes: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
                      [--intra-query-threads N (0 = auto core budget)] \
                      [--deadline-ms N (0 = unbounded)] [--retry N] \
                      [--breaker N (failure threshold, 0 = never trips)] \
-                     [--trace-sample F (0.0-1.0, default $ELINDA_TRACE_SAMPLE or 0)]"
+                     [--trace-sample F (0.0-1.0, default $ELINDA_TRACE_SAMPLE or 0)] \
+                     [--cache-entries N (0 = disable result cache)] \
+                     [--cache-bytes N]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -165,9 +186,19 @@ fn main() {
         },
         ..ResilienceConfig::default()
     };
+    let mut endpoint_config = EndpointConfig::parallel(parallelism);
+    if args.cache_entries == 0 {
+        endpoint_config.enable_cache = false;
+    } else {
+        endpoint_config.cache = CacheConfig {
+            max_entries: args.cache_entries,
+            max_bytes: args.cache_bytes,
+            ..CacheConfig::default()
+        };
+    }
     let state = Arc::new(ServerState::with_resilience(
         store,
-        EndpointConfig::parallel(parallelism),
+        endpoint_config,
         resilience,
     ));
     let config = ServerConfig {

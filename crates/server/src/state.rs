@@ -24,11 +24,13 @@ use std::time::Duration;
 pub const TRACE_RING_CAPACITY: usize = 64;
 
 /// The serving components, in /metrics and report order.
-pub const COMPONENTS: [ServedBy; 6] = [
+pub const COMPONENTS: [ServedBy; 8] = [
     ServedBy::Direct,
     ServedBy::Hvs,
     ServedBy::Decomposer,
     ServedBy::Remote,
+    ServedBy::CacheHit,
+    ServedBy::Incremental,
     ServedBy::DegradedStale,
     ServedBy::DegradedLocal,
 ];
@@ -41,6 +43,8 @@ pub fn served_by_name(component: ServedBy) -> &'static str {
         ServedBy::Hvs => "hvs",
         ServedBy::Decomposer => "decomposer",
         ServedBy::Remote => "remote",
+        ServedBy::CacheHit => "cache-hit",
+        ServedBy::Incremental => "incremental",
         ServedBy::DegradedStale => "degraded-stale",
         ServedBy::DegradedLocal => "degraded-local",
     }
@@ -79,7 +83,10 @@ impl ServerState {
         resilience: ResilienceConfig,
     ) -> ServerState {
         let router = Arc::new(ElindaEndpoint::new(Arc::clone(&store), config));
-        let resilient = ResilientEndpoint::new(Box::new(Arc::clone(&router)), resilience);
+        let mut resilient = ResilientEndpoint::new(Box::new(Arc::clone(&router)), resilience);
+        if let Some(cache) = router.result_cache() {
+            resilient = resilient.with_stale_source(Arc::clone(cache));
+        }
         ServerState {
             store,
             router: Some(router),
@@ -106,6 +113,9 @@ impl ServerState {
         let mut resilient = ResilientEndpoint::new(primary, resilience);
         if local_fallback {
             resilient = resilient.with_fallback(Box::new(Arc::clone(&router)));
+        }
+        if let Some(cache) = router.result_cache() {
+            resilient = resilient.with_stale_source(Arc::clone(cache));
         }
         ServerState {
             store,
@@ -195,6 +205,12 @@ impl ServerState {
     /// local router exists.
     pub fn explain(&self, query: &str) -> Option<ExplainReport> {
         self.router.as_ref().map(|r| r.explain(query))
+    }
+
+    /// Snapshot of the router's result-cache counters; `None` when the
+    /// state has no local router or its cache is disabled.
+    pub fn cache_stats(&self) -> Option<elinda_endpoint::CacheStats> {
+        self.router.as_ref().and_then(|r| r.cache_stats())
     }
 
     /// Remaining open-state cooldown of the circuit breaker, `None`
@@ -298,6 +314,25 @@ impl ServerState {
                 stats.wall.as_micros()
             ));
             out.push_str(&format!("elinda_parallel_speedup {:.3}\n", stats.speedup()));
+        }
+        if let Some(router) = self.router.as_ref() {
+            if let Some(stats) = router.cache_stats() {
+                for (name, value) in [
+                    ("hits", stats.hits),
+                    ("misses", stats.misses),
+                    ("stale_hits", stats.stale_hits),
+                    ("insertions", stats.insertions),
+                    ("evictions", stats.evictions),
+                    ("invalidations", stats.invalidations),
+                    ("frontier_hits", stats.frontier_hits),
+                    ("frontier_misses", stats.frontier_misses),
+                    ("frontier_insertions", stats.frontier_insertions),
+                ] {
+                    out.push_str(&format!("elinda_cache_{name}_total {value}\n"));
+                }
+                out.push_str(&format!("elinda_cache_entries {}\n", router.cache_len()));
+                out.push_str(&format!("elinda_cache_bytes {}\n", router.cache_bytes()));
+            }
         }
         out
     }

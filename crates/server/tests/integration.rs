@@ -781,3 +781,69 @@ fn breaker_open_503_derives_retry_after_from_remaining_cooldown() {
     );
     handle.shutdown();
 }
+
+/// Regression test for percent-encoded IRI normalization of cache keys.
+///
+/// A GET client that writes `<http://e/%43>` and a POST client that
+/// writes `<http://e/C>` are asking the same chart question; before the
+/// key normalization fix the two spellings hashed to different cache
+/// entries, so semantically identical requests could diverge (duplicate
+/// work at best, inconsistent epochs at worst). Now both must converge
+/// on one entry: the second request is a cache hit with byte-identical
+/// SPARQL-JSON.
+#[test]
+fn percent_encoded_get_and_plain_post_share_one_cache_key() {
+    use elinda_endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+
+    let state = test_state();
+    let handle = serve(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // A recognized chart query (only those are cached), in two spellings
+    // of the same IRI: `%43` is the unreserved octet for `C`. The GET
+    // target re-encodes the query for the URL layer, so the `%` itself
+    // travels as `%25` and the server-decoded query text still contains
+    // the literal `%43` escape inside the IRI.
+    let plain = property_expansion_sparql("http://e/C", ExpansionDirection::Outgoing);
+    let escaped = plain.replace("http://e/C", "http://e/%43");
+    assert_ne!(plain, escaped);
+
+    let (status, headers, first_body) =
+        get(addr, &format!("/sparql?query={}", percent_encode(&escaped)));
+    assert_eq!(status, 200);
+    let first_tier = header(&headers, "x-elinda-served-by")
+        .expect("served-by header")
+        .to_string();
+    assert_ne!(first_tier, "cache-hit", "first sight cannot be a hit");
+
+    let form = format!("query={}", percent_encode(&plain));
+    let (status, headers, second_body) = exchange(
+        addr,
+        &format!(
+            "POST /sparql HTTP/1.1\r\nHost: t\r\n\
+             Content-Type: application/x-www-form-urlencoded\r\n\
+             Content-Length: {}\r\n\r\n{form}",
+            form.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "x-elinda-served-by"),
+        Some("cache-hit"),
+        "the plain POST spelling must land on the GET spelling's entry"
+    );
+    assert_eq!(
+        second_body, first_body,
+        "both spellings must serve identical bytes"
+    );
+
+    // And the reverse direction: a *differently* escaped GET revisit
+    // (lowercase hex, escaping the `e` of the authority) still hits.
+    let other = plain.replace("http://e/C", "http://%65/C");
+    let (status, headers, third_body) =
+        get(addr, &format!("/sparql?query={}", percent_encode(&other)));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-elinda-served-by"), Some("cache-hit"));
+    assert_eq!(third_body, first_body);
+    handle.shutdown();
+}

@@ -186,6 +186,19 @@ impl ClassHierarchy {
         store.pos_range(ty, Some(class)).len()
     }
 
+    /// Whether `(entity, rdf:type, class)` is in the store — a binary
+    /// search in the entity's `rdf:type` SPO run (sorted by object), so
+    /// membership checks over a candidate frontier cost `O(log deg)` each.
+    pub fn is_instance_of(&self, store: &TripleStore, entity: TermId, class: TermId) -> bool {
+        let Some(ty) = self.rdf_type else {
+            return false;
+        };
+        store
+            .spo_range(entity, Some(ty))
+            .binary_search_by(|t| t.o.cmp(&class))
+            .is_ok()
+    }
+
     /// Instances of `class` or any transitive subclass, sorted and unique.
     ///
     /// Datasets like DBpedia materialize transitive types, in which case

@@ -1,0 +1,230 @@
+//! Differential equivalence for the result cache and the incremental
+//! (frontier-seeded) tier: at three seeded dataset scales, random
+//! exploration paths are answered byte-identically on the SPARQL-JSON
+//! wire by the cache-enabled endpoint and by cold sequential
+//! evaluation — including after epoch bumps, where no stale bytes may
+//! ever be served as fresh.
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+use elinda::endpoint::json::encode_solutions;
+use elinda::endpoint::{ElindaEndpoint, EndpointConfig, Parallelism, QueryEngine, ServedBy};
+use elinda::rdf::vocab;
+use elinda::store::TripleStore;
+use proptest::prelude::*;
+
+/// The classes an exploration path may visit. Agent → Person →
+/// {Philosopher, Politician} is the paper's Fig. 2 drill-down, so paths
+/// over this pool routinely extend an already-visited parent frontier —
+/// the access pattern the incremental tier exists for.
+const CLASSES: [&str; 6] = [
+    "Agent",
+    "Person",
+    "Philosopher",
+    "Politician",
+    "Place",
+    "Work",
+];
+
+fn chart_query(class: &str, direction: ExpansionDirection) -> String {
+    if class == "Thing" {
+        property_expansion_sparql(vocab::owl::THING, direction)
+    } else {
+        property_expansion_sparql(&format!("{}{class}", vocab::dbo::NS), direction)
+    }
+}
+
+/// The three seeded scales of the differential suite.
+fn stores() -> Vec<TripleStore> {
+    vec![
+        generate_dbpedia(&DbpediaConfig::tiny().scaled(0.5)),
+        generate_dbpedia(&DbpediaConfig::tiny()),
+        generate_dbpedia(&DbpediaConfig::paper_shape().scaled(0.02)),
+    ]
+}
+
+/// One exploration step: a class index into [`CLASSES`] and a direction.
+fn arb_step() -> impl Strategy<Value = (usize, bool)> {
+    (0..CLASSES.len(), any::<bool>())
+}
+
+fn arb_path() -> impl Strategy<Value = Vec<(usize, bool)>> {
+    proptest::collection::vec(arb_step(), 1..6)
+}
+
+fn direction(outgoing: bool) -> ExpansionDirection {
+    if outgoing {
+        ExpansionDirection::Outgoing
+    } else {
+        ExpansionDirection::Incoming
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Replaying a random exploration path against the cache-enabled
+    /// endpoint yields byte-identical SPARQL-JSON to cold sequential
+    /// evaluation on every step — on first sight (cold, incremental, or
+    /// whatever tier routing picks) and on the revisit (a cache hit).
+    #[test]
+    fn random_paths_are_byte_identical_across_tiers(path in arb_path()) {
+        for store in stores() {
+            let cold = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+            let cached = ElindaEndpoint::new(&store, EndpointConfig::full());
+            for &(class, outgoing) in &path {
+                let q = chart_query(CLASSES[class], direction(outgoing));
+                let reference =
+                    encode_solutions(&cold.execute(&q).unwrap().solutions, &store);
+                let first = cached.execute(&q).unwrap();
+                prop_assert_eq!(
+                    &encode_solutions(&first.solutions, &store),
+                    &reference,
+                    "first visit of {} differs from cold evaluation",
+                    &q
+                );
+                let revisit = cached.execute(&q).unwrap();
+                prop_assert_eq!(revisit.served_by, ServedBy::CacheHit);
+                prop_assert_eq!(
+                    &encode_solutions(&revisit.solutions, &store),
+                    &reference,
+                    "cache hit of {} differs from cold evaluation",
+                    &q
+                );
+            }
+        }
+    }
+
+    /// After the cache's epoch moves past the data it was filled at, no
+    /// request may be answered from the (now stale) fresh side: every
+    /// step re-evaluates, still byte-identical to cold evaluation.
+    #[test]
+    fn epoch_bump_never_serves_stale_bytes_as_fresh(path in arb_path()) {
+        let store = generate_dbpedia(&DbpediaConfig::tiny());
+        let cold = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+        let cached = ElindaEndpoint::new(&store, EndpointConfig::full());
+        for &(class, outgoing) in &path {
+            let q = chart_query(CLASSES[class], direction(outgoing));
+            cached.execute(&q).unwrap();
+            cached.execute(&q).unwrap();
+        }
+        // Simulate a knowledge-base update racing ahead of the store
+        // snapshot: everything cached so far is demoted to the stale side
+        // and all frontiers are dropped.
+        let bumped = store.epoch() + 1;
+        assert!(cached.result_cache().expect("cache enabled").sync_epoch(bumped));
+        for &(class, outgoing) in &path {
+            let q = chart_query(CLASSES[class], direction(outgoing));
+            let out = cached.execute(&q).unwrap();
+            prop_assert_ne!(out.served_by, ServedBy::CacheHit);
+            prop_assert_ne!(out.served_by, ServedBy::Incremental);
+            prop_assert_eq!(
+                &encode_solutions(&out.solutions, &store),
+                &encode_solutions(&cold.execute(&q).unwrap().solutions, &store),
+                "post-bump evaluation of {} differs from cold evaluation",
+                &q
+            );
+        }
+    }
+}
+
+/// A deterministic Fig. 2 drill-down: the Person expansion extends the
+/// already-visited Agent frontier, so its *first* evaluation is served
+/// by the incremental tier — and is still byte-identical to cold
+/// evaluation.
+#[test]
+fn child_expansion_is_served_incrementally_and_identically() {
+    for store in stores() {
+        let cold = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+        let cached = ElindaEndpoint::new(&store, EndpointConfig::full());
+
+        let agent = chart_query("Agent", ExpansionDirection::Outgoing);
+        let first = cached.execute(&agent).unwrap();
+        assert_eq!(first.served_by, ServedBy::Decomposer);
+
+        for (class, dir) in [
+            ("Person", ExpansionDirection::Outgoing),
+            ("Person", ExpansionDirection::Incoming),
+        ] {
+            let q = chart_query(class, dir);
+            let out = cached.execute(&q).unwrap();
+            assert_eq!(
+                out.served_by,
+                ServedBy::Incremental,
+                "{class} {dir:?} should seed from the cached Agent frontier"
+            );
+            assert_eq!(
+                encode_solutions(&out.solutions, &store),
+                encode_solutions(&cold.execute(&q).unwrap().solutions, &store),
+                "incremental {class} {dir:?} differs from cold evaluation"
+            );
+        }
+        let stats = cached.cache_stats().unwrap();
+        assert!(stats.frontier_hits >= 1, "parent frontier was consulted");
+    }
+}
+
+/// The sharded-parallel configuration with caching on is also
+/// byte-identical, on cold, incremental, and cache-hit serves.
+#[test]
+fn parallel_cached_endpoint_matches_sequential_cold() {
+    let store = generate_dbpedia(&DbpediaConfig::tiny());
+    let cold = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+    let parallel = ElindaEndpoint::new(&store, EndpointConfig::parallel(Parallelism::fixed(2, 3)));
+    for class in ["Agent", "Person", "Philosopher"] {
+        for dir in [ExpansionDirection::Outgoing, ExpansionDirection::Incoming] {
+            let q = chart_query(class, dir);
+            let reference = encode_solutions(&cold.execute(&q).unwrap().solutions, &store);
+            let first = cached_bytes(&parallel, &q, &store);
+            let second = parallel.execute(&q).unwrap();
+            assert_eq!(first, reference, "{class} {dir:?} cold/incremental");
+            assert_eq!(second.served_by, ServedBy::CacheHit);
+            assert_eq!(
+                encode_solutions(&second.solutions, &store),
+                reference,
+                "{class} {dir:?} cache hit"
+            );
+        }
+    }
+}
+
+fn cached_bytes(ep: &ElindaEndpoint<&TripleStore>, q: &str, store: &TripleStore) -> String {
+    encode_solutions(&ep.execute(q).unwrap().solutions, store)
+}
+
+/// A genuine knowledge-base update: the new endpoint (and its cache)
+/// must reflect the new data, never resurrecting pre-update bytes.
+#[test]
+fn updated_store_is_reflected_not_resurrected() {
+    let mut store = generate_dbpedia(&DbpediaConfig::tiny());
+    let q = chart_query("Agent", ExpansionDirection::Outgoing);
+    let before = {
+        let ep = ElindaEndpoint::new(&store, EndpointConfig::full());
+        ep.execute(&q).unwrap();
+        encode_solutions(&ep.execute(&q).unwrap().solutions, &store)
+    };
+
+    let s = store.intern(elinda::rdf::Term::iri(
+        "http://dbpedia.org/resource/NewAgent",
+    ));
+    let ty = store.lookup_iri(vocab::rdf::TYPE).unwrap();
+    let agent = store
+        .lookup_iri(&format!("{}Agent", vocab::dbo::NS))
+        .unwrap();
+    let prop = store.intern(elinda::rdf::Term::iri(
+        "http://dbpedia.org/ontology/cacheEquivalenceProp",
+    ));
+    store.insert(s, ty, agent);
+    store.insert(s, prop, s);
+
+    let ep = ElindaEndpoint::new(&store, EndpointConfig::full());
+    let first = ep.execute(&q).unwrap();
+    assert_ne!(first.served_by, ServedBy::CacheHit);
+    let after = encode_solutions(&first.solutions, &store);
+    assert_ne!(after, before, "update must change the Agent chart");
+    let cold = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+    assert_eq!(
+        after,
+        encode_solutions(&cold.execute(&q).unwrap().solutions, &store)
+    );
+}

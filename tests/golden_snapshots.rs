@@ -1,0 +1,230 @@
+//! Golden snapshots of the paper's headline charts, pinned as canonical
+//! SPARQL-JSON fixtures under `tests/golden/`:
+//!
+//! * the Agent subclass bar chart (the Fig. 2 starting pane),
+//! * the Politician outgoing property chart (Section 4 calibration),
+//! * the Philosopher ingoing property chart,
+//! * the erroneous `birthPlace → Food` object chart (Section 1's
+//!   data-quality finding).
+//!
+//! Every route tier must reproduce the pinned bytes verbatim: cold
+//! sequential decomposition, the cache-enabled endpoint (first visit and
+//! cache hit), the incremental frontier-seeded tier, and the sharded
+//! parallel evaluator. The direct executor's row order is unspecified,
+//! so the baseline configuration is compared as a sorted row set.
+//!
+//! Regenerate after an intentional change with `UPDATE_GOLDEN=1 cargo
+//! test --test golden_snapshots`.
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+use elinda::endpoint::json::encode_solutions;
+use elinda::endpoint::{ElindaEndpoint, EndpointConfig, Parallelism, QueryEngine, ServedBy};
+use elinda::rdf::vocab;
+use elinda::store::TripleStore;
+use std::path::PathBuf;
+
+fn store() -> TripleStore {
+    generate_dbpedia(&DbpediaConfig::tiny())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the pinned fixture, or rewrites the fixture
+/// when `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(actual, expected, "snapshot {name} drifted");
+}
+
+fn dbo(local: &str) -> String {
+    format!("{}{local}", vocab::dbo::NS)
+}
+
+/// Sorted-row view of a SPARQL-JSON body, for tiers with unspecified
+/// row order (the direct executor): the `bindings` array elements as a
+/// sorted set, plus the envelope around them.
+fn sorted_rows(body: &str) -> (String, Vec<String>) {
+    let (head, rest) = body
+        .split_once("\"bindings\":[")
+        .expect("SPARQL-JSON body has a bindings array");
+    let (rows, tail) = rest
+        .rsplit_once(']')
+        .expect("SPARQL-JSON bindings array closes");
+    // Bindings are flat objects, so `},{` only ever separates them; the
+    // outermost braces of the first and last one are trimmed so every
+    // element is brace-free and comparable.
+    let rows = rows
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or(rows);
+    let mut rows: Vec<String> = rows.split("},{").map(str::to_string).collect();
+    rows.sort();
+    (format!("{head}|{tail}"), rows)
+}
+
+// ---------------------------------------------------------------------------
+// Chart queries
+// ---------------------------------------------------------------------------
+
+fn agent_subclass_chart() -> String {
+    format!(
+        "SELECT ?c (COUNT(?s) AS ?n) WHERE {{ \
+         ?c <http://www.w3.org/2000/01/rdf-schema#subClassOf> <{}> . ?s a ?c }} \
+         GROUP BY ?c ORDER BY DESC(?n)",
+        dbo("Agent")
+    )
+}
+
+fn birthplace_object_chart() -> String {
+    format!(
+        "SELECT ?c (COUNT(?s) AS ?n) WHERE {{ \
+         ?s a <{}> . ?s <{}> ?o . ?o a ?c }} GROUP BY ?c ORDER BY DESC(?n)",
+        dbo("Person"),
+        dbo("birthPlace")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Recognized property-expansion charts: every chart tier, verbatim.
+// ---------------------------------------------------------------------------
+
+fn assert_chart_tiers(name: &str, class: &str, dir: ExpansionDirection, parent: &str) {
+    let store = store();
+    let q = property_expansion_sparql(&dbo(class), dir);
+
+    // Cold sequential decomposition defines the canonical bytes.
+    let cold = ElindaEndpoint::new(&store, EndpointConfig::decomposer_only());
+    let canonical = encode_solutions(&cold.execute(&q).unwrap().solutions, &store);
+    assert_golden(name, &canonical);
+
+    // Cache-enabled endpoint: first visit and the repeat (a cache hit).
+    let cached = ElindaEndpoint::new(&store, EndpointConfig::full());
+    let first = cached.execute(&q).unwrap();
+    assert_eq!(
+        encode_solutions(&first.solutions, &store),
+        canonical,
+        "{name}: full-config first visit"
+    );
+    let repeat = cached.execute(&q).unwrap();
+    assert_eq!(repeat.served_by, ServedBy::CacheHit);
+    assert_eq!(
+        encode_solutions(&repeat.solutions, &store),
+        canonical,
+        "{name}: cache hit"
+    );
+
+    // Incremental tier: prime the parent frontier, then the child's
+    // first evaluation seeds from it.
+    let primed = ElindaEndpoint::new(&store, EndpointConfig::full());
+    primed
+        .execute(&property_expansion_sparql(&dbo(parent), dir))
+        .unwrap();
+    let inc = primed.execute(&q).unwrap();
+    assert_eq!(
+        inc.served_by,
+        ServedBy::Incremental,
+        "{name}: expected frontier-seeded evaluation after priming {parent}"
+    );
+    assert_eq!(
+        encode_solutions(&inc.solutions, &store),
+        canonical,
+        "{name}: incremental tier"
+    );
+
+    // Sharded parallel evaluator.
+    let parallel = ElindaEndpoint::new(&store, EndpointConfig::parallel(Parallelism::fixed(2, 3)));
+    assert_eq!(
+        encode_solutions(&parallel.execute(&q).unwrap().solutions, &store),
+        canonical,
+        "{name}: sharded parallel tier"
+    );
+
+    // Direct executor (baseline): same rows, order unspecified.
+    let baseline = ElindaEndpoint::new(&store, EndpointConfig::baseline());
+    let direct = encode_solutions(&baseline.execute(&q).unwrap().solutions, &store);
+    assert_eq!(
+        sorted_rows(&direct),
+        sorted_rows(&canonical),
+        "{name}: direct executor row set"
+    );
+}
+
+#[test]
+fn politician_outgoing_property_chart() {
+    assert_chart_tiers(
+        "politician_outgoing.json",
+        "Politician",
+        ExpansionDirection::Outgoing,
+        "Person",
+    );
+}
+
+#[test]
+fn philosopher_ingoing_property_chart() {
+    assert_chart_tiers(
+        "philosopher_incoming.json",
+        "Philosopher",
+        ExpansionDirection::Incoming,
+        "Person",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Plain (unrecognized) charts: served direct under every configuration,
+// byte-identical across all of them.
+// ---------------------------------------------------------------------------
+
+fn assert_direct_everywhere(name: &str, q: &str) -> String {
+    let store = store();
+    let reference = {
+        let ep = ElindaEndpoint::new(&store, EndpointConfig::baseline());
+        encode_solutions(&ep.execute(q).unwrap().solutions, &store)
+    };
+    assert_golden(name, &reference);
+    for config in [
+        EndpointConfig::decomposer_only(),
+        EndpointConfig::full(),
+        EndpointConfig::parallel(Parallelism::fixed(2, 3)),
+    ] {
+        let ep = ElindaEndpoint::new(&store, config);
+        for _ in 0..2 {
+            let out = ep.execute(q).unwrap();
+            assert_eq!(
+                encode_solutions(&out.solutions, &store),
+                reference,
+                "{name}: every configuration serves the pinned bytes"
+            );
+        }
+    }
+    reference
+}
+
+#[test]
+fn agent_subclass_bar_chart() {
+    let body = assert_direct_everywhere("agent_subclasses.json", &agent_subclass_chart());
+    // The Fig. 2 pane: Person is the dominant Agent subclass.
+    assert!(body.contains(&dbo("Person")), "Person bar present");
+}
+
+#[test]
+fn erroneous_birthplace_food_chart() {
+    let body = assert_direct_everywhere("birthplace_food.json", &birthplace_object_chart());
+    // The Section 1 finding: some birthPlace targets are typed Food.
+    assert!(
+        body.contains(&dbo("Food")),
+        "the erroneous Food bar is present"
+    );
+    assert!(body.contains(&dbo("Place")), "the legitimate Place bar");
+}
