@@ -4,6 +4,7 @@
 //! cargo run --release --bin loadgen -- [--clients 8] [--duration 5]
 //!     [--scale 0.05] [--workers 4] [--queue-depth 64] [--addr HOST:PORT]
 //!     [--fault-profile RATE] [--fault-seed N] [--trace-sample F]
+//!     [--session] [--write-rate F]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process `elinda-server` over a
@@ -56,6 +57,12 @@ struct Args {
     /// Replay a correlated exploration path per client instead of the
     /// round-robin Fig. 4 mix, and report the cache hit-rate.
     session: bool,
+    /// Fraction of requests sent as `POST /update` writes into the
+    /// novelty overlay (each inserts one fresh Person instance). The
+    /// in-process server then runs its background compactor, so the run
+    /// exercises the full write → overlay → compaction → cache-demotion
+    /// cycle; the report adds applied-write and compaction counts.
+    write_rate: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         fault_seed: 0x00e1_1da0_c4a0,
         trace_sample: ServerConfig::default().trace_sample,
         session: false,
+        write_rate: 0.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -122,6 +130,12 @@ fn parse_args() -> Result<Args, String> {
                     .clamp(0.0, 1.0)
             }
             "--session" => args.session = true,
+            "--write-rate" => {
+                args.write_rate = value("--write-rate")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--write-rate: {e}"))?
+                    .clamp(0.0, 1.0)
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--clients N] [--duration SECS] [--scale F] \
@@ -129,7 +143,8 @@ fn parse_args() -> Result<Args, String> {
                      [--fault-profile RATE (inject transient faults in-process)] \
                      [--fault-seed N] \
                      [--trace-sample F (0.0-1.0, per-stage breakdown after the run)] \
-                     [--session (replay correlated exploration paths, report cache hit-rate)]"
+                     [--session (replay correlated exploration paths, report cache hit-rate)] \
+                     [--write-rate F (0.0-1.0, fraction of requests POSTing /update)]"
                         .into(),
                 )
             }
@@ -155,6 +170,12 @@ struct ClientTally {
     /// 502s: upstream transient failures that exhausted their retries.
     upstream: u64,
     errors: u64,
+    /// Successful `POST /update` requests.
+    writes: u64,
+    /// Triples actually applied across those writes (noops excluded).
+    applied: u64,
+    /// Writes that failed (non-200 or transport error).
+    write_errors: u64,
 }
 
 fn request(addr: SocketAddr, target: &str) -> Result<(u16, Option<String>, Duration), ()> {
@@ -184,17 +205,87 @@ fn request(addr: SocketAddr, target: &str) -> Result<(u16, Option<String>, Durat
     Ok((status, component, latency))
 }
 
+/// POST one SPARQL UPDATE; returns the status and the number of triples
+/// the server reports as applied (`"inserted"` + `"deleted"`).
+fn write_request(addr: SocketAddr, update: &str) -> Result<(u16, u64), ()> {
+    let mut stream = TcpStream::connect(addr).map_err(|_| ())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|_| ())?;
+    stream
+        .write_all(
+            format!(
+                "POST /update HTTP/1.1\r\nHost: loadgen\r\n\
+                 Content-Type: application/sparql-update\r\n\
+                 Content-Length: {}\r\n\r\n{update}",
+                update.len()
+            )
+            .as_bytes(),
+        )
+        .map_err(|_| ())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|_| ())?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(())?;
+    let field = |name: &str| {
+        text.split(&format!("\"{name}\":"))
+            .nth(1)
+            .and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .and_then(|n| n.parse::<u64>().ok())
+            })
+            .unwrap_or(0)
+    };
+    Ok((status, field("inserted") + field("deleted")))
+}
+
+/// SplitMix64, for the per-request read/write coin flip: deterministic
+/// per (client, sequence) so runs are reproducible.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 fn client_loop(
     addr: SocketAddr,
     targets: &[String],
     deadline: Instant,
     offset: usize,
+    client: usize,
+    write_rate: f64,
 ) -> ClientTally {
     let mut tally = ClientTally::default();
     let mut i = offset;
     while Instant::now() < deadline {
-        let target = &targets[i % targets.len()];
+        let seq = i;
         i += 1;
+        let coin = (mix((client as u64) << 32 | seq as u64) >> 11) as f64 / (1u64 << 53) as f64;
+        if coin < write_rate {
+            // Each write inserts one fresh Person instance — charts over
+            // the Person branch change, so fresh cache entries demote
+            // once the compactor bumps the epoch.
+            let update = format!(
+                "INSERT DATA {{ <http://loadgen/e/{client}/{seq}> a \
+                 <http://dbpedia.org/ontology/Person> }}"
+            );
+            match write_request(addr, &update) {
+                Ok((200, applied)) => {
+                    tally.writes += 1;
+                    tally.applied += applied;
+                }
+                Ok((503, _)) => tally.shed += 1,
+                Ok(_) | Err(()) => tally.write_errors += 1,
+            }
+            continue;
+        }
+        let target = &targets[seq % targets.len()];
         match request(addr, target) {
             Ok((200, component, latency)) => tally.samples.push(Sample {
                 component: component.unwrap_or_else(|| "unknown".into()),
@@ -245,6 +336,12 @@ fn main() {
                   <http://www.w3.org/2002/07/owl#Thing> }";
     if args.session && args.fault_profile.is_some() {
         eprintln!("--session and --fault-profile are mutually exclusive");
+        std::process::exit(2);
+    }
+    if args.write_rate > 0.0 && args.fault_profile.is_some() {
+        // A state built over a custom (faulty) primary has no local
+        // write path; every update would bounce with 503.
+        eprintln!("--write-rate and --fault-profile are mutually exclusive");
         std::process::exit(2);
     }
     let queries: Vec<String> = if args.session {
@@ -344,8 +441,17 @@ fn main() {
                 workers: args.workers,
                 queue_depth: args.queue_depth,
                 trace_sample: args.trace_sample,
+                // With writers in the mix, run the background compactor
+                // fast enough that a short run folds several times.
+                compact_interval: (args.write_rate > 0.0).then(|| Duration::from_millis(200)),
                 ..ServerConfig::default()
             };
+            if args.write_rate > 0.0 {
+                eprintln!(
+                    "write mix: {:.0}% POST /update, compactor every 200ms",
+                    args.write_rate * 100.0
+                );
+            }
             if args.trace_sample > 0.0 {
                 eprintln!("tracing {:.0}% of requests", args.trace_sample * 100.0);
             }
@@ -392,13 +498,14 @@ fn main() {
     let started = Instant::now();
     let deadline = started + args.duration;
     let session = args.session;
+    let write_rate = args.write_rate;
     let clients: Vec<_> = (0..args.clients)
         .map(|i| {
             let targets = targets.clone();
             // Session clients all replay the path from its first step —
             // the point is the correlated order, not load spreading.
             let offset = if session { 0 } else { i };
-            std::thread::spawn(move || client_loop(addr, &targets, deadline, offset))
+            std::thread::spawn(move || client_loop(addr, &targets, deadline, offset, i, write_rate))
         })
         .collect();
     let tallies: Vec<ClientTally> = clients
@@ -411,11 +518,15 @@ fn main() {
     let (mut ok, mut shed, mut timeouts, mut upstream, mut errors) = (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut degraded = 0u64;
     let (mut cache_hits, mut incremental) = (0u64, 0u64);
+    let (mut writes, mut applied, mut write_errors) = (0u64, 0u64, 0u64);
     for tally in tallies {
         shed += tally.shed;
         timeouts += tally.timeouts;
         upstream += tally.upstream;
         errors += tally.errors;
+        writes += tally.writes;
+        applied += tally.applied;
+        write_errors += tally.write_errors;
         for sample in tally.samples {
             if sample.component.starts_with("degraded") {
                 degraded += 1;
@@ -458,6 +569,27 @@ fn main() {
             fmt_latency(percentile(&samples, 99.0)),
             fmt_latency(mean),
         );
+    }
+
+    if args.write_rate > 0.0 {
+        println!(
+            "write path: {writes} updates ok, {applied} triples applied, \
+             {write_errors} write errors"
+        );
+        if let Some(state) = &state {
+            if let Some(stats) = state.novelty_stats() {
+                println!(
+                    "compaction: {} folds, {} triples folded, {} staged now, epoch {}",
+                    stats.compactions, stats.folded_triples, stats.novelty_triples, stats.epoch
+                );
+            }
+            if let Some(stats) = state.cache_stats() {
+                println!(
+                    "cache demotions after writes: {} (fresh entries invalidated by epoch bumps)",
+                    stats.invalidations
+                );
+            }
+        }
     }
 
     if let Some((mut cold, mut warm)) = session_passes {

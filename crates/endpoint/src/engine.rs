@@ -106,6 +106,9 @@ pub enum ServeError {
     /// The backend is unavailable (e.g. circuit breaker open) and no
     /// degraded answer could be produced.
     Unavailable(String),
+    /// The request body is not a well-formed request for its endpoint
+    /// (e.g. an unparsable SPARQL UPDATE string). Maps to HTTP 400.
+    Malformed(String),
 }
 
 impl ServeError {
@@ -125,6 +128,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => f.write_str("deadline exceeded"),
             ServeError::Transient(msg) => write!(f, "transient failure: {msg}"),
             ServeError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            ServeError::Malformed(msg) => write!(f, "malformed request: {msg}"),
         }
     }
 }

@@ -36,6 +36,7 @@ pub mod hvs;
 pub mod incremental;
 pub mod json;
 pub mod metrics;
+pub mod novelty;
 pub mod parallel;
 pub mod remote;
 pub mod resilience;
@@ -50,6 +51,7 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use hvs::{HeavyQueryStore, HvsConfig, HvsStats, StaleEntry};
 pub use incremental::{IncrementalConfig, IncrementalPropertyChart, PartialChart};
 pub use metrics::{LatencySummary, MeteredEndpoint};
+pub use novelty::{ApplyOutcome, CompactionReport, NoveltyConfig, NoveltyStats, NoveltyStore};
 pub use parallel::{ParallelReport, ParallelStats, Parallelism};
 pub use remote::{RemoteConfig, RemoteEndpoint, WireSolutions, WireValue};
 pub use resilience::{

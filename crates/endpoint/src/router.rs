@@ -26,13 +26,14 @@ use crate::hvs::{HeavyQueryStore, HvsConfig, HvsStats};
 use crate::incremental::{
     execute_decomposed_from_frontier, seed_child_frontier, try_execute_sharded_from_frontier,
 };
+use crate::novelty::{CompactionReport, NoveltyStore};
 use crate::parallel::{try_execute_decomposed_sharded, ParallelStats, Parallelism};
 use crate::trace::push_json_str;
 use elinda_rdf::TermId;
 use elinda_sparql::exec::QueryError;
 use elinda_sparql::{parse_query, Executor};
 use elinda_store::{ClassHierarchy, PropertyAggregates, ShardedTripleStore, TripleStore};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::borrow::Borrow;
 use std::sync::Arc;
 use std::time::Instant;
@@ -138,6 +139,10 @@ enum EvalPlan {
     Sharded(PropertyExpansionQuery),
     /// Sequential decomposed evaluation on the live indexes.
     Decomposed(PropertyExpansionQuery),
+    /// A recognized chart evaluated on the plain executor (the
+    /// uncompacted-writes window, when no index generation matches the
+    /// view), then canonicalized — byte-identical to the chart tiers.
+    DirectChart(PropertyExpansionQuery),
     /// The plain SPARQL executor.
     Direct,
 }
@@ -149,6 +154,7 @@ impl EvalPlan {
             EvalPlan::Precomputed(_) => "precomputed",
             EvalPlan::Sharded(_) => "sharded",
             EvalPlan::Decomposed(_) => "decomposed",
+            EvalPlan::DirectChart(_) => "direct",
             EvalPlan::Direct => "direct",
         }
     }
@@ -157,9 +163,10 @@ impl EvalPlan {
     fn recognized(&self) -> Option<&PropertyExpansionQuery> {
         match self {
             EvalPlan::Incremental(rec, _) => Some(rec),
-            EvalPlan::Precomputed(rec) | EvalPlan::Sharded(rec) | EvalPlan::Decomposed(rec) => {
-                Some(rec)
-            }
+            EvalPlan::Precomputed(rec)
+            | EvalPlan::Sharded(rec)
+            | EvalPlan::Decomposed(rec)
+            | EvalPlan::DirectChart(rec) => Some(rec),
             EvalPlan::Direct => None,
         }
     }
@@ -220,13 +227,16 @@ impl ExplainReport {
 /// with no lifetime tie to the caller's stack.
 pub struct ElindaEndpoint<S: Borrow<TripleStore>> {
     store: S,
-    hierarchy: ClassHierarchy,
+    /// The write-path overlay, when this endpoint serves a writable
+    /// store. Reads then consume the overlay's merged view snapshot
+    /// instead of `store` directly.
+    novelty: Option<Arc<NoveltyStore>>,
+    /// The derived read indexes (hierarchy, precomputed aggregates,
+    /// sharded snapshot), rebuilt as a unit by [`Self::refresh`] after a
+    /// compaction. Readers clone the `Arc`s out under a brief read lock,
+    /// so a query consults one consistent index generation end to end.
+    indexes: RwLock<Indexes>,
     hvs: HeavyQueryStore,
-    /// Materialized only in [`DecomposerMode::Precomputed`].
-    aggregates: Option<PropertyAggregates>,
-    /// Sharded snapshot for intra-query parallelism; built only when the
-    /// configured [`Parallelism`] actually fans out.
-    sharded: Option<ShardedTripleStore>,
     /// Cumulative per-shard timings and speedup, fed by the parallel path.
     parallel_stats: Mutex<ParallelStats>,
     /// Epoch-aware result + frontier cache; present when
@@ -237,45 +247,128 @@ pub struct ElindaEndpoint<S: Borrow<TripleStore>> {
     config: EndpointConfig,
 }
 
+/// One generation of derived read indexes, tagged with the store
+/// snapshot it was built from. Cloning is cheap (`Arc`s).
+#[derive(Clone)]
+struct Indexes {
+    /// Epoch of the view these indexes were built from.
+    epoch: u64,
+    /// Lineage id of that view (see [`TripleStore::store_id`]).
+    store_id: u64,
+    hierarchy: Arc<ClassHierarchy>,
+    /// Materialized only in [`DecomposerMode::Precomputed`].
+    aggregates: Option<Arc<PropertyAggregates>>,
+    /// Sharded snapshot for intra-query parallelism; built only when the
+    /// configured [`Parallelism`] actually fans out.
+    sharded: Option<Arc<ShardedTripleStore>>,
+}
+
+impl Indexes {
+    fn build(store: &TripleStore, config: &EndpointConfig) -> Self {
+        let hierarchy = Arc::new(ClassHierarchy::build(store));
+        let aggregates = (config.enable_decomposer
+            && config.decomposer_mode == DecomposerMode::Precomputed)
+            .then(|| Arc::new(PropertyAggregates::build(store, &hierarchy)));
+        let sharded = (config.enable_decomposer && config.parallelism.is_parallel())
+            .then(|| Arc::new(ShardedTripleStore::build(store, config.parallelism.shards)));
+        Indexes {
+            epoch: store.epoch(),
+            store_id: store.store_id(),
+            hierarchy,
+            aggregates,
+            sharded,
+        }
+    }
+
+    /// True when these indexes were built from exactly this view
+    /// snapshot — the precondition for consulting the hierarchy (which,
+    /// unlike the aggregates and shards, carries no own staleness check).
+    fn is_fresh(&self, store: &TripleStore) -> bool {
+        self.store_id == store.store_id() && self.epoch == store.epoch()
+    }
+}
+
 impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     /// Build the endpoint (computes the class hierarchy "mirror" once, as
     /// the paper's endpoint preprocesses its knowledge-base mirrors; in
     /// precomputed mode this also materializes every `(class, property)`
     /// aggregate).
     pub fn new(store: S, config: EndpointConfig) -> Self {
-        let s = store.borrow();
-        let hierarchy = ClassHierarchy::build(s);
+        Self::build(store, None, config)
+    }
+
+    /// Build a **writable** endpoint on top of a novelty overlay: every
+    /// read consumes the overlay's merged view, `data_epoch` follows the
+    /// view epoch, and [`Self::compact`] folds staged writes and
+    /// refreshes the derived indexes. The overlay's base should be the
+    /// same store handed in as `store` (the overlay view is what is
+    /// actually read; `store` is kept for ownership parity with the
+    /// read-only constructor).
+    pub fn with_novelty(store: S, config: EndpointConfig, novelty: Arc<NoveltyStore>) -> Self {
+        Self::build(store, Some(novelty), config)
+    }
+
+    fn build(store: S, novelty: Option<Arc<NoveltyStore>>, config: EndpointConfig) -> Self {
+        let view = novelty.as_ref().map(|n| n.view());
+        let s: &TripleStore = match &view {
+            Some(v) => v,
+            None => store.borrow(),
+        };
+        let indexes = Indexes::build(s, &config);
         let hvs = HeavyQueryStore::new(config.hvs.clone(), s.epoch());
-        let aggregates = (config.enable_decomposer
-            && config.decomposer_mode == DecomposerMode::Precomputed)
-            .then(|| PropertyAggregates::build(s, &hierarchy));
-        let sharded = (config.enable_decomposer && config.parallelism.is_parallel())
-            .then(|| ShardedTripleStore::build(s, config.parallelism.shards));
         let cache = config.enable_cache.then(|| {
             let cache = ResultCache::new(config.cache);
             cache.sync_epoch(s.epoch());
             Arc::new(cache)
         });
+        drop(view);
         ElindaEndpoint {
             store,
-            hierarchy,
+            novelty,
+            indexes: RwLock::new(indexes),
             hvs,
-            aggregates,
-            sharded,
             parallel_stats: Mutex::new(ParallelStats::default()),
             cache,
             config,
         }
     }
 
-    /// The underlying store.
+    /// The underlying base store. Note: on a writable endpoint the live
+    /// data is [`Self::novelty`]'s view, not this base.
     pub fn store(&self) -> &TripleStore {
         self.store.borrow()
     }
 
-    /// The class hierarchy mirror.
-    pub fn hierarchy(&self) -> &ClassHierarchy {
-        &self.hierarchy
+    /// The write-path overlay, when this endpoint is writable.
+    pub fn novelty(&self) -> Option<&Arc<NoveltyStore>> {
+        self.novelty.as_ref()
+    }
+
+    /// The class hierarchy mirror (the current index generation's).
+    pub fn hierarchy(&self) -> Arc<ClassHierarchy> {
+        Arc::clone(&self.indexes.read().hierarchy)
+    }
+
+    /// Rebuild the derived read indexes (hierarchy, aggregates, sharded
+    /// snapshot) from the current view — the post-compaction step that
+    /// re-establishes the fast paths on the new base.
+    pub fn refresh(&self) {
+        let view = self.novelty.as_ref().map(|n| n.view());
+        let s: &TripleStore = match &view {
+            Some(v) => v,
+            None => self.store.borrow(),
+        };
+        let fresh = Indexes::build(s, &self.config);
+        *self.indexes.write() = fresh;
+    }
+
+    /// Fold staged novelty into a new base and refresh the derived
+    /// indexes. Returns `None` on a read-only endpoint or when nothing
+    /// is staged.
+    pub fn compact(&self) -> Option<CompactionReport> {
+        let report = self.novelty.as_ref()?.compact()?;
+        self.refresh();
+        Some(report)
     }
 
     /// HVS counters (hits, misses, invalidations, …).
@@ -296,7 +389,9 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     /// Snapshot of the cumulative parallel-execution statistics, or
     /// `None` when intra-query parallelism is off.
     pub fn parallel_stats(&self) -> Option<ParallelStats> {
-        self.sharded
+        self.indexes
+            .read()
+            .sharded
             .as_ref()
             .map(|_| self.parallel_stats.lock().clone())
     }
@@ -332,6 +427,7 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     fn find_frontier(
         &self,
         store: &TripleStore,
+        hierarchy: &ClassHierarchy,
         cache: &ResultCache,
         rec: &PropertyExpansionQuery,
         epoch: u64,
@@ -347,14 +443,14 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
             return Some(members);
         }
         let class_id = store.interner().get(&rec.class)?;
-        for &parent in self.hierarchy.direct_superclasses(class_id) {
+        for &parent in hierarchy.direct_superclasses(class_id) {
             let Some(parent_iri) = store.resolve(parent).as_iri() else {
                 continue;
             };
             let Some(parent_members) = cache.peek_frontier(parent_iri) else {
                 continue;
             };
-            let derived = seed_child_frontier(store, &self.hierarchy, &parent_members, class_id);
+            let derived = seed_child_frontier(store, hierarchy, &parent_members, class_id);
             if let Some(derived) = derived {
                 let derived = Arc::new(derived);
                 if live {
@@ -371,12 +467,18 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     /// (HVS → recognition → index freshness) against the current store
     /// state. Backs the server's `GET /explain` route.
     pub fn explain(&self, query: &str) -> ExplainReport {
-        let store = self.store.borrow();
+        let view = self.novelty.as_ref().map(|n| n.view());
+        let store: &TripleStore = match &view {
+            Some(v) => v,
+            None => self.store.borrow(),
+        };
         let epoch = store.epoch();
         self.hvs.sync_epoch(epoch);
         if let Some(cache) = &self.cache {
             cache.sync_epoch(epoch);
         }
+        let ix = self.indexes.read().clone();
+        let ix_fresh = ix.is_fresh(store);
         let normalized = normalize_query_text(query);
         let query = normalized.as_str();
         let hvs_hit = self.config.enable_hvs && self.hvs.peek(query);
@@ -400,20 +502,29 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
                 Some(rec) => {
                     // Same frontier probe as the live route, minus the
                     // record side effect: explaining must not mutate.
-                    let frontier = self
-                        .cache
-                        .as_ref()
-                        .and_then(|cache| self.find_frontier(store, cache, rec, epoch, false));
+                    // Frontier derivation consults the hierarchy, so it
+                    // requires a fresh index generation.
+                    let frontier = ix_fresh
+                        .then(|| {
+                            self.cache.as_ref().and_then(|cache| {
+                                self.find_frontier(store, &ix.hierarchy, cache, rec, epoch, false)
+                            })
+                        })
+                        .flatten();
                     if frontier.is_some() {
                         ("incremental", 1)
                     } else {
-                        match &self.aggregates {
+                        match &ix.aggregates {
                             Some(agg) if !agg.is_stale(store) => ("precomputed", 1),
-                            _ => match &self.sharded {
+                            _ => match &ix.sharded {
                                 Some(sharded) if !sharded.is_stale(store) => {
                                     ("sharded", sharded.num_shards())
                                 }
-                                _ => ("decomposed", 1),
+                                // A stale hierarchy cannot drive the
+                                // decomposed path; uncompacted writes
+                                // answer on the direct executor.
+                                _ if ix_fresh => ("decomposed", 1),
+                                _ => ("direct", 1),
                             },
                         }
                     }
@@ -447,12 +558,27 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
     /// `parse`, `route`, `eval` with nested `fanout`/`shard/<i>`/`merge`).
     fn execute_with(&self, query: &str, ctx: &QueryContext) -> Result<QueryOutcome, ServeError> {
         // "The HVS is cleared on any update to the eLinda knowledge bases."
-        let store = self.store.borrow();
+        // On a writable endpoint the read snapshot is the novelty
+        // overlay's merged view, captured once here — concurrent writes
+        // and compactions republish new Arcs and never touch this one,
+        // so the whole query answers at one consistent epoch.
+        let view = self.novelty.as_ref().map(|n| n.view());
+        let store: &TripleStore = match &view {
+            Some(v) => v,
+            None => self.store.borrow(),
+        };
         let epoch = store.epoch();
         self.hvs.sync_epoch(epoch);
         if let Some(cache) = &self.cache {
             cache.sync_epoch(epoch);
         }
+        // One consistent index generation for the whole query: the
+        // staleness checks below compare these snapshots against the
+        // captured view, never against a live (concurrently compacting)
+        // field — a sharded snapshot built before a compaction can
+        // therefore never be consulted after the epoch bump.
+        let ix = self.indexes.read().clone();
+        let ix_fresh = ix.is_fresh(store);
         // Canonicalize once at ingress; everything downstream — parse,
         // HVS keys, cache keys — sees the normalized text, so the cache
         // key is the executed query and can never alias another one.
@@ -508,11 +634,10 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
         let mut route_span = trace.span("route");
         let plan = if self.config.enable_decomposer {
             match recognize_property_expansion(&parsed) {
-                Some(rec) => {
-                    let frontier = self
-                        .cache
-                        .as_ref()
-                        .and_then(|cache| self.find_frontier(store, cache, &rec, epoch, true));
+                Some(rec) if ix_fresh => {
+                    let frontier = self.cache.as_ref().and_then(|cache| {
+                        self.find_frontier(store, &ix.hierarchy, cache, &rec, epoch, true)
+                    });
                     match frontier {
                         // A cached (or parent-derived) frontier: evaluate
                         // incrementally over its members instead of
@@ -526,15 +651,15 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                                 if let (Some(iri), Some(class_id)) =
                                     (rec.class.as_iri(), store.interner().get(&rec.class))
                                 {
-                                    let members = self.hierarchy.instances(store, class_id);
+                                    let members = ix.hierarchy.instances(store, class_id);
                                     cache.record_frontier(iri, Arc::new(members), epoch);
                                 }
                             }
-                            match &self.aggregates {
+                            match &ix.aggregates {
                                 // A stale precomputed index falls back to the
                                 // on-demand path rather than serving old counts.
                                 Some(agg) if !agg.is_stale(store) => EvalPlan::Precomputed(rec),
-                                _ => match &self.sharded {
+                                _ => match &ix.sharded {
                                     // Likewise: a stale sharded snapshot falls
                                     // back to sequential evaluation rather than
                                     // serving pre-update counts.
@@ -547,6 +672,13 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                         }
                     }
                 }
+                // Uncompacted writes: the index generation (and its
+                // hierarchy, which the decomposed and frontier paths
+                // consult) predates the view, so a recognized chart
+                // answers on the direct executor — byte-identical by the
+                // canonical finisher, just slower until compaction
+                // restores the fast rungs.
+                Some(rec) => EvalPlan::DirectChart(rec),
                 None => EvalPlan::Direct,
             }
         } else {
@@ -557,7 +689,7 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
 
         let mut eval_span = trace.span("eval");
         let (solutions, served_by, shards_used) = match &plan {
-            EvalPlan::Incremental(rec, members) => match &self.sharded {
+            EvalPlan::Incremental(rec, members) => match &ix.sharded {
                 // The frontier also restricts the shard scans, so the
                 // parallel evaluator benefits from the seed when fresh.
                 Some(sharded) if !sharded.is_stale(store) => {
@@ -581,7 +713,7 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                 ),
             },
             EvalPlan::Precomputed(rec) => {
-                let agg = self.aggregates.as_ref().expect("plan implies aggregates");
+                let agg = ix.aggregates.as_ref().expect("plan implies aggregates");
                 (
                     execute_precomputed(store, agg, rec),
                     ServedBy::Decomposer,
@@ -589,11 +721,11 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                 )
             }
             EvalPlan::Sharded(rec) => {
-                let sharded = self.sharded.as_ref().expect("plan implies shards");
+                let sharded = ix.sharded.as_ref().expect("plan implies shards");
                 let (solutions, report) = try_execute_decomposed_sharded(
                     store,
                     sharded,
-                    &self.hierarchy,
+                    &ix.hierarchy,
                     rec,
                     &self.config.parallelism,
                     deadline,
@@ -604,10 +736,19 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
                 (solutions, ServedBy::Decomposer, sharded.num_shards())
             }
             EvalPlan::Decomposed(rec) => (
-                execute_decomposed(store, &self.hierarchy, rec),
+                execute_decomposed(store, &ix.hierarchy, rec),
                 ServedBy::Decomposer,
                 1,
             ),
+            EvalPlan::DirectChart(_) => {
+                let mut solutions = Executor::new(store)
+                    .execute(&parsed)
+                    .map_err(QueryError::Exec)?;
+                // Same finisher as every chart tier: the pre-compaction
+                // answer is byte-identical to the post-compaction one.
+                crate::parallel::canonicalize_rows(&mut solutions, store);
+                (solutions, ServedBy::Direct, 1)
+            }
             EvalPlan::Direct => (
                 Executor::new(store)
                     .execute(&parsed)
@@ -642,7 +783,10 @@ impl<S: Borrow<TripleStore> + Send + Sync> QueryEngine for ElindaEndpoint<S> {
     }
 
     fn data_epoch(&self) -> u64 {
-        self.store.borrow().epoch()
+        match &self.novelty {
+            Some(n) => n.epoch(),
+            None => self.store.borrow().epoch(),
+        }
     }
 }
 
@@ -811,6 +955,102 @@ mod tests {
         assert_eq!(out.shards_used, 4);
         assert_eq!(out.solutions.len(), before + 1);
         assert_eq!(ep.parallel_stats().unwrap().queries, 1);
+    }
+
+    #[test]
+    fn writable_endpoint_serves_read_your_writes() {
+        use crate::novelty::{NoveltyConfig, NoveltyStore};
+        let s = Arc::new(store());
+        let novelty = Arc::new(NoveltyStore::new(Arc::clone(&s), NoveltyConfig::default()));
+        let mut cfg = EndpointConfig::full();
+        cfg.parallelism = Parallelism::fixed(2, 4);
+        let ep = ElindaEndpoint::with_novelty(Arc::clone(&s), cfg, Arc::clone(&novelty));
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
+
+        let before = ep.execute(&q).unwrap();
+        let before_rows =
+            crate::json::encode_solutions(&before.solutions, &ep.novelty().unwrap().view());
+
+        // A new Thing with an outgoing edge: visible on the very next
+        // read, before any compaction, on the direct (stale-window) rung.
+        novelty.apply(
+            &elinda_sparql::parse_update(
+                "PREFIX ex: <http://e/> PREFIX owl: <http://www.w3.org/2002/07/owl#> \
+                 INSERT DATA { ex:n a owl:Thing . ex:n ex:p ex:a }",
+            )
+            .unwrap(),
+        );
+        let during = ep.execute(&q).unwrap();
+        assert_eq!(during.served_by, ServedBy::Direct);
+        assert!(during.data_epoch > before.data_epoch);
+        let during_rows = crate::json::encode_solutions(&during.solutions, &novelty.view());
+        assert_ne!(before_rows, during_rows, "write must be visible");
+
+        // Compaction folds, bumps the epoch once more, and restores the
+        // fast tiers — with byte-identical results.
+        let report = ep.compact().expect("dirty overlay compacts");
+        assert_eq!(report.folded, 2);
+        assert_eq!(novelty.novelty_len(), 0);
+        let after = ep.execute(&q).unwrap();
+        assert_eq!(after.served_by, ServedBy::Decomposer);
+        assert_eq!(after.shards_used, 4);
+        assert_eq!(after.data_epoch, during.data_epoch + 1);
+        let after_rows = crate::json::encode_solutions(&after.solutions, &novelty.view());
+        assert_eq!(
+            during_rows, after_rows,
+            "pre- and post-compaction answers must be byte-identical"
+        );
+        // Nothing staged: compacting again is a no-op.
+        assert!(ep.compact().is_none());
+    }
+
+    #[test]
+    fn writable_endpoint_explain_tracks_the_stale_window() {
+        use crate::novelty::{NoveltyConfig, NoveltyStore};
+        let s = Arc::new(store());
+        let novelty = Arc::new(NoveltyStore::new(Arc::clone(&s), NoveltyConfig::default()));
+        let mut cfg = EndpointConfig::decomposer_only();
+        cfg.parallelism = Parallelism::fixed(2, 3);
+        let ep = ElindaEndpoint::with_novelty(Arc::clone(&s), cfg, Arc::clone(&novelty));
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
+        assert_eq!(ep.explain(&q).path, "sharded");
+        novelty.apply(
+            &elinda_sparql::parse_update("INSERT DATA { <http://e/z> <http://e/p> <http://e/a> }")
+                .unwrap(),
+        );
+        let explain = ep.explain(&q);
+        assert_eq!(explain.path, "direct", "stale window answers direct");
+        assert_eq!(explain.data_epoch, novelty.epoch());
+        ep.compact().unwrap();
+        assert_eq!(ep.explain(&q).path, "sharded");
+    }
+
+    #[test]
+    fn write_demotes_fresh_cache_to_stale() {
+        use crate::novelty::{NoveltyConfig, NoveltyStore};
+        let s = Arc::new(store());
+        let novelty = Arc::new(NoveltyStore::new(Arc::clone(&s), NoveltyConfig::default()));
+        let ep = ElindaEndpoint::with_novelty(
+            Arc::clone(&s),
+            EndpointConfig::full(),
+            Arc::clone(&novelty),
+        );
+        let q =
+            property_expansion_sparql(elinda_rdf::vocab::owl::THING, ExpansionDirection::Outgoing);
+        ep.execute(&q).unwrap();
+        assert!(ep.cache_len() >= 1, "chart result cached fresh");
+        novelty.apply(
+            &elinda_sparql::parse_update("INSERT DATA { <http://e/w> <http://e/p> <http://e/a> }")
+                .unwrap(),
+        );
+        // The next read syncs the cache to the new epoch: fresh entries
+        // demote to the stale side (resilience ladder fodder).
+        let out = ep.execute(&q).unwrap();
+        assert_eq!(out.served_by, ServedBy::Direct);
+        let stats = ep.cache_stats().unwrap();
+        assert!(stats.invalidations >= 1, "write must demote fresh entries");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub const ROOT_SPAN: u32 = 0;
 
 /// The canonical pipeline stages always present in the `/metrics`
 /// per-stage histogram section (other observed stages are appended).
-pub const CANONICAL_STAGES: [&str; 9] = [
+pub const CANONICAL_STAGES: [&str; 11] = [
     "admission",
     "hvs",
     "cache",
@@ -46,6 +46,8 @@ pub const CANONICAL_STAGES: [&str; 9] = [
     "fanout",
     "merge",
     "serialize",
+    "write",
+    "compact",
 ];
 
 /// One recorded span: a named stage with its offset window (relative to

@@ -7,6 +7,8 @@
 //!                                 [--deadline-ms 0] [--retry 0] [--breaker 5]
 //!                                 [--trace-sample 0.0]
 //!                                 [--cache-entries 512] [--cache-bytes 16777216]
+//!                                 [--compact-interval-ms 1000]
+//!                                 [--novelty-max-triples 4096]
 //! ```
 //!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
@@ -15,7 +17,8 @@
 
 use elinda_datagen::{generate_dbpedia, DbpediaConfig};
 use elinda_endpoint::{
-    BreakerConfig, CacheConfig, EndpointConfig, Parallelism, ResilienceConfig, RetryPolicy,
+    BreakerConfig, CacheConfig, EndpointConfig, NoveltyConfig, Parallelism, ResilienceConfig,
+    RetryPolicy,
 };
 use elinda_server::{serve, ServerConfig, ServerState};
 use std::io::BufRead;
@@ -45,6 +48,11 @@ struct Args {
     cache_entries: usize,
     /// Result-cache byte budget.
     cache_bytes: usize,
+    /// Background-compactor period in milliseconds; 0 disables the
+    /// compactor thread (writes accumulate in the novelty overlay).
+    compact_interval_ms: u64,
+    /// Staged-novelty size that wakes the compactor early.
+    novelty_max_triples: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -61,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
         trace_sample: ServerConfig::default().trace_sample,
         cache_entries: CacheConfig::default().max_entries,
         cache_bytes: CacheConfig::default().max_bytes,
+        compact_interval_ms: 1000,
+        novelty_max_triples: NoveltyConfig::default().max_triples,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -123,6 +133,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache-bytes: {e}"))?
             }
+            "--compact-interval-ms" => {
+                args.compact_interval_ms = value("--compact-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--compact-interval-ms: {e}"))?
+            }
+            "--novelty-max-triples" => {
+                args.novelty_max_triples = value("--novelty-max-triples")?
+                    .parse()
+                    .map_err(|e| format!("--novelty-max-triples: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
@@ -131,7 +151,9 @@ fn parse_args() -> Result<Args, String> {
                      [--breaker N (failure threshold, 0 = never trips)] \
                      [--trace-sample F (0.0-1.0, default $ELINDA_TRACE_SAMPLE or 0)] \
                      [--cache-entries N (0 = disable result cache)] \
-                     [--cache-bytes N]"
+                     [--cache-bytes N] \
+                     [--compact-interval-ms N (0 = no background compactor)] \
+                     [--novelty-max-triples N (staged writes that wake it early)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -196,10 +218,13 @@ fn main() {
             ..CacheConfig::default()
         };
     }
-    let state = Arc::new(ServerState::with_resilience(
+    let state = Arc::new(ServerState::with_write_config(
         store,
         endpoint_config,
         resilience,
+        NoveltyConfig {
+            max_triples: args.novelty_max_triples,
+        },
     ));
     let config = ServerConfig {
         workers: args.workers,
@@ -208,6 +233,8 @@ fn main() {
         handler_delay: Duration::ZERO,
         request_deadline: deadline,
         trace_sample: args.trace_sample,
+        compact_interval: (args.compact_interval_ms > 0)
+            .then(|| Duration::from_millis(args.compact_interval_ms)),
     };
     let handle = match serve(state, args.addr.as_str(), config) {
         Ok(handle) => handle,
@@ -227,8 +254,14 @@ fn main() {
     if args.trace_sample > 0.0 {
         eprintln!("tracing {:.0}% of requests", args.trace_sample * 100.0);
     }
+    if args.compact_interval_ms > 0 {
+        eprintln!(
+            "background compactor: every {}ms or {} staged triples",
+            args.compact_interval_ms, args.novelty_max_triples
+        );
+    }
     eprintln!(
-        "routes: /sparql /health /metrics /explain /debug/trace/<id> — \
+        "routes: /sparql /update /health /metrics /explain /debug/trace/<id> — \
          type `quit` (or close stdin) to stop"
     );
 

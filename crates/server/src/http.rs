@@ -101,7 +101,7 @@ impl Request {
         }
         let length = length.unwrap_or(0);
         if length > MAX_BODY {
-            return Err(bad("request body too large"));
+            return Err(too_large("request body too large"));
         }
         if length > 0 {
             body.resize(length, 0);
@@ -190,6 +190,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
@@ -200,6 +201,14 @@ fn reason(status: u16) -> &'static str {
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// An oversized request body gets its own error kind so the connection
+/// handler can answer `413 Payload Too Large` instead of a generic
+/// `400` — the distinction tells a well-behaved client whether to fix
+/// the request or stop resending it bigger.
+fn too_large(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg.to_string())
 }
 
 /// Read one `\r\n`-terminated line, returned without the terminator.
@@ -337,12 +346,14 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_body() {
+    fn rejects_oversized_body_with_distinct_kind() {
         let raw = format!(
             "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY + 1
         );
-        assert!(Request::parse(&mut BufReader::new(raw.as_bytes())).is_err());
+        let err = Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        // InvalidInput (not InvalidData) so the handler maps it to 413.
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

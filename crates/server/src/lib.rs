@@ -17,9 +17,11 @@
 //! * [`http`] — minimal HTTP/1.1 framing and percent-coding.
 //!
 //! Routes: `GET/POST /sparql` (SPARQL-JSON results, with the serving
-//! component in the `X-Elinda-Served-By` header), `GET /health`, and
-//! `GET /metrics` (per-component count/mean/p50/p95/p99 plus server
-//! counters).
+//! component in the `X-Elinda-Served-By` header), `POST /update`
+//! (SPARQL UPDATE into the novelty overlay, folded down by the
+//! background compactor), `GET /health`, and `GET /metrics`
+//! (per-component count/mean/p50/p95/p99 plus server counters and
+//! write-path gauges).
 //!
 //! ```no_run
 //! use elinda_datagen::{generate_dbpedia, DbpediaConfig};

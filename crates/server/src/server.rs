@@ -47,6 +47,12 @@ pub struct ServerConfig {
     /// default) makes the tracing layer a no-op; the default can be
     /// overridden with the `ELINDA_TRACE_SAMPLE` environment variable.
     pub trace_sample: f64,
+    /// Period of the background compactor thread folding the novelty
+    /// overlay into the base store. The thread also wakes early when
+    /// staged novelty crosses the overlay's size threshold. `None` (the
+    /// default) spawns no compactor: writes accumulate in the overlay
+    /// until [`crate::state::ServerState::compact_now`] is called.
+    pub compact_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +64,7 @@ impl Default for ServerConfig {
             handler_delay: Duration::ZERO,
             request_deadline: None,
             trace_sample: default_trace_sample(),
+            compact_interval: None,
         }
     }
 }
@@ -113,6 +120,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -135,11 +143,20 @@ impl ServerHandle {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
+        // The compactor parks on the overlay's work condvar; poke it so
+        // it observes the shutdown flag instead of sleeping out its
+        // full interval.
+        if let Some(novelty) = self.shared.state.novelty() {
+            novelty.notify();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
         }
     }
 }
@@ -190,12 +207,46 @@ pub fn serve(
             .expect("spawn acceptor thread")
     };
 
+    // Background compaction: one thread folding the novelty overlay on
+    // a period, woken early when staged writes cross the overlay's size
+    // threshold. Only spawned when both an interval is configured and
+    // the state actually has a write path.
+    let compactor = match (config.compact_interval, shared.state.novelty()) {
+        (Some(interval), Some(_)) => {
+            let shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("elinda-compactor".into())
+                    .spawn(move || compactor_loop(&shared, interval))
+                    .expect("spawn compactor thread"),
+            )
+        }
+        _ => None,
+    };
+
     Ok(ServerHandle {
         shared,
         addr: local,
         acceptor: Some(acceptor),
         workers,
+        compactor,
     })
+}
+
+fn compactor_loop(shared: &Shared, interval: Duration) {
+    let Some(novelty) = shared.state.novelty().cloned() else {
+        return;
+    };
+    while !shared.shutdown.load(Ordering::Acquire) {
+        // Returns early on a threshold signal (or a shutdown poke),
+        // else after the full interval; either way a clean overlay
+        // makes compact_now a no-op.
+        let _signaled = novelty.wait_for_work(interval);
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        shared.state.compact_now();
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: &Shared) {
@@ -297,6 +348,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             drain_rejected_request(&mut reader);
             Response::text(400, format!("bad request: {e}\n"))
         }
+        // A body beyond MAX_BODY: tell the client the payload (not the
+        // request framing) is the problem. Same drain rationale as 400.
+        Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+            drain_rejected_request(&mut reader);
+            Response::text(413, format!("payload too large: {e}\n"))
+        }
         // The client sent part of a request and then stalled until the
         // socket read timeout: tell it so instead of silently dropping.
         Err(e)
@@ -344,7 +401,8 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("GET", "/metrics") => metrics(shared),
         ("GET", "/explain") => explain(request, shared),
         ("GET", "/sparql") | ("POST", "/sparql") => sparql(request, shared),
-        (_, "/health" | "/metrics" | "/sparql" | "/explain") => {
+        ("POST", "/update") => update(request, shared),
+        (_, "/health" | "/metrics" | "/sparql" | "/explain" | "/update") => {
             Response::text(405, "method not allowed\n")
         }
         _ => Response::text(404, "not found\n"),
@@ -503,6 +561,65 @@ fn sparql(request: &Request, shared: &Shared) -> Response {
         Err(ServeError::Transient(msg)) => {
             Response::text(502, format!("upstream failure: {msg}\n"))
         }
+        Err(ServeError::Malformed(msg)) => {
+            Response::text(400, format!("malformed request: {msg}\n"))
+        }
+    };
+    response.header("X-Request-Id", request_id)
+}
+
+/// Extract the update text per the SPARQL protocol: a raw
+/// `application/sparql-update` body, or an `update=` pair in a
+/// form-encoded body (or the query string as a last resort).
+fn update_text(request: &Request) -> Option<String> {
+    let content_type = request.header("content-type").unwrap_or("");
+    let body = String::from_utf8_lossy(&request.body);
+    if content_type.starts_with("application/sparql-update") {
+        return Some(body.into_owned());
+    }
+    parse_query_pairs(&body)
+        .into_iter()
+        .find(|(name, _)| name == "update")
+        .map(|(_, value)| value)
+        .or_else(|| request.param("update").map(str::to_string))
+}
+
+/// `POST /update`: apply a SPARQL UPDATE (`INSERT DATA`/`DELETE DATA`)
+/// to the novelty overlay and report what changed as JSON. The next
+/// read observes the write (read-your-writes); the background compactor
+/// folds it into the base store later.
+fn update(request: &Request, shared: &Shared) -> Response {
+    let seq = shared.request_seq.fetch_add(1, Ordering::Relaxed);
+    let request_id = request
+        .header("x-request-id")
+        .filter(|id| valid_request_id(id))
+        .map(str::to_string)
+        .unwrap_or_else(|| generate_request_id(seq));
+    let trace = if is_sampled(shared.config.trace_sample, seq) {
+        TraceCtx::sampled(request_id.clone())
+    } else {
+        TraceCtx::disabled()
+    };
+
+    let Some(text) = update_text(request) else {
+        return Response::text(400, "missing required `update` parameter\n")
+            .header("X-Request-Id", request_id);
+    };
+    let response = match shared.state.apply_update_traced(&text, trace) {
+        Ok(outcome) => Response::json(
+            200,
+            format!(
+                "{{\"inserted\":{},\"deleted\":{},\"noops\":{},\"novelty\":{},\"epoch\":{}}}",
+                outcome.inserted, outcome.deleted, outcome.noops, outcome.novelty, outcome.epoch
+            ),
+        ),
+        Err(ServeError::Malformed(msg)) => {
+            Response::text(400, format!("malformed update: {msg}\n"))
+        }
+        Err(ServeError::Unavailable(msg)) => {
+            Response::text(503, format!("write path unavailable: {msg}\n"))
+        }
+        Err(e) => Response::text(500, format!("update failed: {e}\n")),
     };
     response.header("X-Request-Id", request_id)
 }

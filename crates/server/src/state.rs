@@ -11,10 +11,12 @@
 use elinda_endpoint::json::encode_solutions;
 use elinda_endpoint::resilience::Deadline;
 use elinda_endpoint::{
-    ElindaEndpoint, EndpointConfig, ExplainReport, LatencySummary, MeteredEndpoint, QueryContext,
-    QueryEngine, ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError, ServedBy,
-    StageStats, TraceCtx, TraceRing,
+    ApplyOutcome, CompactionReport, ElindaEndpoint, EndpointConfig, ExplainReport, LatencySummary,
+    MeteredEndpoint, NoveltyConfig, NoveltyStats, NoveltyStore, QueryContext, QueryEngine,
+    ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError, ServedBy, StageStats,
+    TraceCtx, TraceRing,
 };
+use elinda_sparql::parse_update;
 use elinda_store::TripleStore;
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,6 +65,12 @@ pub struct ServerState {
     /// when the state was built over a custom engine
     /// ([`ServerState::with_engine`]).
     router: Option<Arc<ElindaEndpoint<Arc<TripleStore>>>>,
+    /// The write path: the novelty overlay `POST /update` applies into
+    /// and the background compactor folds down. `None` when the state
+    /// was built over a custom engine — the local store is then only a
+    /// read fallback and accepting writes against it would silently
+    /// diverge from the primary.
+    novelty: Option<Arc<NoveltyStore>>,
     endpoint: MeteredEndpoint<ResilientEndpoint>,
     traces: TraceRing,
     stage_stats: StageStats,
@@ -76,13 +84,31 @@ impl ServerState {
     }
 
     /// Build serving state with explicit resilience policies (deadline
-    /// default, retry, breaker).
+    /// default, retry, breaker) and the default novelty-overlay
+    /// threshold.
     pub fn with_resilience(
         store: Arc<TripleStore>,
         config: EndpointConfig,
         resilience: ResilienceConfig,
     ) -> ServerState {
-        let router = Arc::new(ElindaEndpoint::new(Arc::clone(&store), config));
+        ServerState::with_write_config(store, config, resilience, NoveltyConfig::default())
+    }
+
+    /// [`ServerState::with_resilience`] with an explicit write-path
+    /// configuration (the novelty size threshold that signals the
+    /// background compactor).
+    pub fn with_write_config(
+        store: Arc<TripleStore>,
+        config: EndpointConfig,
+        resilience: ResilienceConfig,
+        novelty_config: NoveltyConfig,
+    ) -> ServerState {
+        let novelty = Arc::new(NoveltyStore::new(Arc::clone(&store), novelty_config));
+        let router = Arc::new(ElindaEndpoint::with_novelty(
+            Arc::clone(&store),
+            config,
+            Arc::clone(&novelty),
+        ));
         let mut resilient = ResilientEndpoint::new(Box::new(Arc::clone(&router)), resilience);
         if let Some(cache) = router.result_cache() {
             resilient = resilient.with_stale_source(Arc::clone(cache));
@@ -90,6 +116,7 @@ impl ServerState {
         ServerState {
             store,
             router: Some(router),
+            novelty: Some(novelty),
             endpoint: MeteredEndpoint::new(resilient),
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
@@ -120,6 +147,7 @@ impl ServerState {
         ServerState {
             store,
             router: Some(router),
+            novelty: None,
             endpoint: MeteredEndpoint::new(resilient),
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
@@ -171,7 +199,15 @@ impl ServerState {
         let result = self.endpoint.execute_with(query, &ctx).map(|outcome| {
             let body = {
                 let _span = trace.span("serialize");
-                encode_solutions(&outcome.solutions, &self.store)
+                // Resolve term ids against the novelty view when the
+                // write path is live: solutions touching uncompacted
+                // inserts reference terms the base store never interned.
+                // The view's interner is append-only across update and
+                // compaction generations, so resolving an older
+                // outcome's ids against the latest view is always sound.
+                let view = self.novelty.as_ref().map(|n| n.view());
+                let store: &TripleStore = view.as_deref().unwrap_or(&self.store);
+                encode_solutions(&outcome.solutions, store)
             };
             (body, outcome.served_by)
         });
@@ -187,6 +223,95 @@ impl ServerState {
             }
         }
         result
+    }
+
+    /// Parse and apply a SPARQL UPDATE (`INSERT DATA` / `DELETE DATA`)
+    /// against the novelty overlay. An unparsable update string maps to
+    /// [`ServeError::Malformed`] (HTTP 400); a state built over a custom
+    /// engine has no write path and answers [`ServeError::Unavailable`].
+    pub fn apply_update(&self, text: &str) -> Result<ApplyOutcome, ServeError> {
+        self.apply_update_traced(text, TraceCtx::disabled())
+    }
+
+    /// [`ServerState::apply_update`] under a request-scoped trace: the
+    /// parse and apply work is recorded as `parse` and `write` stages.
+    pub fn apply_update_traced(
+        &self,
+        text: &str,
+        trace: TraceCtx,
+    ) -> Result<ApplyOutcome, ServeError> {
+        let novelty = self.novelty.as_ref().ok_or_else(|| {
+            ServeError::Unavailable("no local write path over a custom engine".into())
+        })?;
+        let result = (|| {
+            let update = {
+                let _span = trace.span("parse");
+                parse_update(text).map_err(|e| ServeError::Malformed(e.to_string()))?
+            };
+            let outcome = {
+                let mut span = trace.span("write");
+                let outcome = novelty.apply(&update);
+                if trace.is_enabled() {
+                    span.tag("inserted", outcome.inserted.to_string());
+                    span.tag("deleted", outcome.deleted.to_string());
+                    span.tag("novelty", outcome.novelty.to_string());
+                }
+                outcome
+            };
+            Ok(outcome)
+        })();
+        if trace.is_enabled() {
+            let outcome_tag = match &result {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("error/{}", serve_error_kind(e)),
+            };
+            if let Some(finished) = trace.finish(&outcome_tag) {
+                self.stage_stats.observe(&finished);
+                self.traces.push(finished);
+            }
+        }
+        result
+    }
+
+    /// Fold the novelty overlay into a new base store and refresh the
+    /// router's index generation, recording the work as a `compact`
+    /// stage. `None` when there is nothing staged (or no write path).
+    pub fn compact_now(&self) -> Option<CompactionReport> {
+        let router = self.router.as_ref()?;
+        let novelty = self.novelty.as_ref()?;
+        if !novelty.is_dirty() {
+            return None;
+        }
+        let trace = TraceCtx::sampled(format!("compact-e{}", novelty.epoch()));
+        let report = {
+            let mut span = trace.span("compact");
+            let report = router.compact();
+            if let Some(r) = &report {
+                span.tag("folded", r.folded.to_string());
+                span.tag("epoch", r.epoch.to_string());
+            }
+            report
+        };
+        // A concurrent compactor may have won the race; only a real
+        // fold is worth a trace-ring slot and a histogram sample.
+        if report.is_some() {
+            if let Some(finished) = trace.finish("ok") {
+                self.stage_stats.observe(&finished);
+                self.traces.push(finished);
+            }
+        }
+        report
+    }
+
+    /// The novelty overlay, when the write path is live.
+    pub fn novelty(&self) -> Option<&Arc<NoveltyStore>> {
+        self.novelty.as_ref()
+    }
+
+    /// Write-path counters (updates, staged novelty, compactions);
+    /// `None` when the state has no write path.
+    pub fn novelty_stats(&self) -> Option<NoveltyStats> {
+        self.novelty.as_ref().map(|n| n.stats())
     }
 
     /// The ring of recently sampled traces.
@@ -334,6 +459,35 @@ impl ServerState {
                 out.push_str(&format!("elinda_cache_bytes {}\n", router.cache_bytes()));
             }
         }
+        if let Some(stats) = self.novelty_stats() {
+            out.push_str(&format!("elinda_updates_total {}\n", stats.updates));
+            for (name, value) in [
+                ("applied_inserts", stats.inserts),
+                ("applied_deletes", stats.deletes),
+                ("noops", stats.noops),
+            ] {
+                out.push_str(&format!("elinda_novelty_{name}_total {value}\n"));
+            }
+            out.push_str(&format!(
+                "elinda_novelty_triples {}\n",
+                stats.novelty_triples
+            ));
+            out.push_str(&format!(
+                "elinda_novelty_max_triples {}\n",
+                self.novelty.as_ref().map_or(0, |n| n.max_triples())
+            ));
+            out.push_str(&format!("elinda_compaction_total {}\n", stats.compactions));
+            out.push_str(&format!(
+                "elinda_compaction_folded_triples_total {}\n",
+                stats.folded_triples
+            ));
+            out.push_str(&format!(
+                "elinda_compaction_last_us {}\n",
+                stats.last_compaction_us
+            ));
+            out.push_str(&format!("elinda_data_epoch {}\n", stats.epoch));
+            out.push_str(&format!("elinda_base_epoch {}\n", stats.base_epoch));
+        }
         out
     }
 }
@@ -346,6 +500,7 @@ fn serve_error_kind(err: &ServeError) -> &'static str {
         ServeError::DeadlineExceeded => "deadline",
         ServeError::Transient(_) => "transient",
         ServeError::Unavailable(_) => "unavailable",
+        ServeError::Malformed(_) => "malformed",
     }
 }
 
@@ -490,6 +645,116 @@ mod tests {
         assert!(matches!(err, ServeError::Query(_)));
         let finished = s.trace_ring().get("req-bad").unwrap();
         assert_eq!(finished.outcome, "error/query");
+    }
+
+    #[test]
+    fn apply_update_is_read_your_writes_and_compaction_preserves_it() {
+        let s = state();
+        let q = "SELECT ?s WHERE { ?s a <http://e/C> }";
+        let (before, _) = s.execute_json(q).unwrap();
+        assert!(!before.contains("http://e/new"));
+
+        let outcome = s
+            .apply_update("INSERT DATA { <http://e/new> a <http://e/C> }")
+            .unwrap();
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(outcome.novelty, 1);
+        // The very next read observes the write — and its result body
+        // resolves the freshly interned term (the base store has never
+        // seen it).
+        let (after, _) = s.execute_json(q).unwrap();
+        assert!(after.contains("http://e/new"));
+
+        // Folding the overlay must not change a single byte.
+        let report = s.compact_now().expect("staged novelty compacts");
+        assert_eq!(report.folded, 1);
+        let (compacted, _) = s.execute_json(q).unwrap();
+        assert_eq!(after, compacted);
+        // A second compaction with nothing staged is a no-op.
+        assert!(s.compact_now().is_none());
+        let stats = s.novelty_stats().unwrap();
+        assert_eq!(stats.novelty_triples, 0);
+        assert_eq!(stats.compactions, 1);
+    }
+
+    #[test]
+    fn malformed_update_maps_to_malformed_error() {
+        let s = state();
+        let err = s
+            .apply_update("INSERT DATA { ?v a <http://e/C> }")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Malformed(_)));
+        assert_eq!(serve_error_kind(&err), "malformed");
+        let err = s.apply_update("SELECT ?s WHERE { ?s ?p ?o }").unwrap_err();
+        assert!(matches!(err, ServeError::Malformed(_)));
+    }
+
+    #[test]
+    fn custom_engine_state_has_no_write_path() {
+        let store = TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C .").unwrap();
+        /// Serves nothing; only here to occupy the primary slot.
+        struct Stub;
+        impl QueryEngine for Stub {
+            fn execute(&self, _q: &str) -> Result<QueryOutcome, ServeError> {
+                Err(ServeError::Transient("stub".into()))
+            }
+            fn data_epoch(&self) -> u64 {
+                0
+            }
+        }
+        let s = ServerState::with_engine(
+            Arc::new(store),
+            Box::new(Stub),
+            ResilienceConfig::default(),
+            true,
+        );
+        assert!(matches!(
+            s.apply_update("INSERT DATA { <http://e/x> a <http://e/C> }"),
+            Err(ServeError::Unavailable(_))
+        ));
+        assert!(s.compact_now().is_none());
+        assert!(s.novelty_stats().is_none());
+    }
+
+    #[test]
+    fn metrics_text_reports_write_path_counters() {
+        let s = state();
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_updates_total 0"));
+        assert!(text.contains("elinda_novelty_triples 0"));
+        s.apply_update("INSERT DATA { <http://e/x> a <http://e/C> . <http://e/y> a <http://e/C> }")
+            .unwrap();
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_updates_total 1"));
+        assert!(text.contains("elinda_novelty_applied_inserts_total 2"));
+        assert!(text.contains("elinda_novelty_triples 2"));
+        assert!(text.contains("elinda_compaction_total 0"));
+        s.compact_now().unwrap();
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_novelty_triples 0"));
+        assert!(text.contains("elinda_compaction_total 1"));
+        assert!(text.contains("elinda_compaction_folded_triples_total 2"));
+        // Two per-triple bumps plus the compaction-point bump.
+        assert!(text.contains("elinda_data_epoch 3"));
+        assert!(text.contains("elinda_base_epoch 3"));
+    }
+
+    #[test]
+    fn traced_update_and_compaction_feed_stage_histograms() {
+        let s = state();
+        s.apply_update_traced(
+            "INSERT DATA { <http://e/x> a <http://e/C> }",
+            TraceCtx::sampled("write-1"),
+        )
+        .unwrap();
+        let finished = s.trace_ring().get("write-1").unwrap();
+        assert_eq!(finished.outcome, "ok");
+        s.compact_now().unwrap();
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_stage_latency_count{stage=\"write\"} 1"));
+        assert!(text.contains("elinda_stage_latency_count{stage=\"compact\"} 1"));
+        // The compaction trace landed in the ring under its epoch id.
+        assert!(s.trace_ring().get("compact-e1").is_some());
     }
 
     #[test]

@@ -847,3 +847,159 @@ fn percent_encoded_get_and_plain_post_share_one_cache_key() {
     assert_eq!(third_body, first_body);
     handle.shutdown();
 }
+
+/// POST a SPARQL UPDATE as a raw `application/sparql-update` body.
+fn post_update(addr: SocketAddr, update: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    exchange(
+        addr,
+        &format!(
+            "POST /update HTTP/1.1\r\nHost: t\r\n\
+             Content-Type: application/sparql-update\r\n\
+             Content-Length: {}\r\n\r\n{update}",
+            update.len()
+        ),
+    )
+}
+
+#[test]
+fn update_over_http_is_read_your_writes_and_compaction_is_invisible() {
+    let state = test_state();
+    let handle = serve(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    let target = format!("/sparql?query={}", percent_encode(QUERY));
+
+    let (status, _, before) = get(addr, &target);
+    assert_eq!(status, 200);
+    assert!(!String::from_utf8_lossy(&before).contains("http://e/new"));
+
+    let (status, headers, body) =
+        post_update(addr, "INSERT DATA { <http://e/new> a <http://e/C> }");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let report = String::from_utf8_lossy(&body).into_owned();
+    assert!(report.contains("\"inserted\":1"), "{report}");
+    assert!(header(&headers, "x-request-id").is_some());
+
+    // The write is visible to the very next chart request, before any
+    // compaction has run.
+    let (status, _, after) = get(addr, &target);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&after).contains("http://e/new"));
+
+    // Fold the overlay: the same request must serve identical bytes.
+    state.compact_now().expect("staged novelty compacts");
+    let (status, _, compacted) = get(addr, &target);
+    assert_eq!(status, 200);
+    assert_eq!(after, compacted, "compaction must not change results");
+
+    // /metrics shows the overlay drained back to zero.
+    let (status, _, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8_lossy(&metrics).into_owned();
+    assert!(metrics.contains("elinda_novelty_triples 0"), "{metrics}");
+    assert!(metrics.contains("elinda_compaction_total 1"), "{metrics}");
+    handle.shutdown();
+}
+
+#[test]
+fn update_endpoint_hardening_405_400_413() {
+    let state = test_state();
+    let handle = serve(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Non-POST methods on /update are refused, not 404.
+    let (status, _, _) = get(addr, "/update");
+    assert_eq!(status, 405);
+
+    // An unparsable UPDATE string is the client's fault: 400.
+    let (status, _, body) = post_update(addr, "INSERT DATA { ?v a <http://e/C> }");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("malformed"));
+    let (status, _, _) = post_update(addr, "not sparql at all");
+    assert_eq!(status, 400);
+
+    // A POST with no update text at all is also 400.
+    let (status, _, body) = exchange(
+        addr,
+        "POST /update HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("update"));
+
+    // A body over the framing limit gets 413, not a generic 400.
+    let (status, _, body) = exchange(
+        addr,
+        &format!(
+            "POST /update HTTP/1.1\r\nHost: t\r\n\
+             Content-Type: application/sparql-update\r\n\
+             Content-Length: {}\r\n\r\n",
+            elinda_server::http::MAX_BODY + 1
+        ),
+    );
+    assert_eq!(status, 413, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("too large"));
+
+    // Nothing above staged any novelty.
+    assert_eq!(state.novelty_stats().unwrap().novelty_triples, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn background_compactor_folds_writes_without_manual_intervention() {
+    let state = test_state();
+    let handle = serve(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            compact_interval: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let (status, _, _) = post_update(
+        addr,
+        "INSERT DATA { <http://e/bg> a <http://e/C> . <http://e/bg2> a <http://e/C> }",
+    );
+    assert_eq!(status, 200);
+
+    // The compactor thread folds the overlay on its own; poll /metrics
+    // until the staged-novelty gauge returns to zero.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, _, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let metrics = String::from_utf8_lossy(&metrics).into_owned();
+        if metrics.contains("elinda_novelty_triples 0")
+            && !metrics.contains("elinda_compaction_total 0")
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compactor never folded:\n{metrics}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // The folded write is still served.
+    let (status, _, body) = get(addr, &format!("/sparql?query={}", percent_encode(QUERY)));
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("http://e/bg"));
+
+    // Shutdown joins the compactor promptly instead of sleeping out an
+    // interval-less wait.
+    let start = std::time::Instant::now();
+    handle.shutdown();
+    assert!(start.elapsed() < Duration::from_secs(2));
+}

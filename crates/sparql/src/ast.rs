@@ -507,6 +507,93 @@ impl fmt::Display for Expr {
     }
 }
 
+/// A ground (variable-free) triple inside a SPARQL UPDATE data block.
+///
+/// Subjects and predicates are IRIs (the store has no blank nodes);
+/// objects may be IRIs or literals. The parser enforces both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTriple {
+    /// Subject IRI.
+    pub s: Term,
+    /// Predicate IRI.
+    pub p: Term,
+    /// Object IRI or literal.
+    pub o: Term,
+}
+
+impl GroundTriple {
+    /// Build a ground triple.
+    pub fn new(s: Term, p: Term, o: Term) -> Self {
+        GroundTriple { s, p, o }
+    }
+}
+
+impl fmt::Display for GroundTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+/// One SPARQL UPDATE operation (the ground-data subset eLinda's write
+/// path accepts: `INSERT DATA` and `DELETE DATA`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { … }` — add the listed ground triples.
+    InsertData(Vec<GroundTriple>),
+    /// `DELETE DATA { … }` — remove the listed ground triples.
+    DeleteData(Vec<GroundTriple>),
+}
+
+impl UpdateOp {
+    /// The triples this operation carries.
+    pub fn triples(&self) -> &[GroundTriple] {
+        match self {
+            UpdateOp::InsertData(t) | UpdateOp::DeleteData(t) => t,
+        }
+    }
+}
+
+impl fmt::Display for UpdateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kw, triples) = match self {
+            UpdateOp::InsertData(t) => ("INSERT DATA", t),
+            UpdateOp::DeleteData(t) => ("DELETE DATA", t),
+        };
+        write!(f, "{kw} {{ ")?;
+        for t in triples {
+            write!(f, "{t} ")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A parsed SPARQL UPDATE request: one or more operations, applied in
+/// order as a single batch (`;`-separated on the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// The operations, in request order.
+    pub ops: Vec<UpdateOp>,
+}
+
+impl Update {
+    /// Total number of triples across all operations.
+    pub fn triple_count(&self) -> usize {
+        self.ops.iter().map(|op| op.triples().len()).sum()
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,7 +31,7 @@ pub mod parser;
 pub mod token;
 pub mod value;
 
-pub use ast::Query;
+pub use ast::{GroundTriple, Query, Update, UpdateOp};
 pub use exec::{ExecError, Executor, Solutions};
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, parse_update, ParseError};
 pub use value::Value;

@@ -55,6 +55,40 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
     Ok(q)
 }
 
+/// Parse a SPARQL UPDATE request: one or more `INSERT DATA { … }` /
+/// `DELETE DATA { … }` operations separated by `;`, with an optional
+/// `PREFIX`/`BASE` prologue before each operation (as SPARQL 1.1 Update
+/// allows). Data blocks are ground: variables, blank nodes, and property
+/// paths are rejected, and Turtle-style `;`/`,` abbreviations are
+/// accepted.
+pub fn parse_update(input: &str) -> Result<Update, ParseError> {
+    let tokens = tokenize(input).map_err(|e| ParseError {
+        line: e.line,
+        message: e.message,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: default_prefixes(),
+    };
+    let mut ops = Vec::new();
+    loop {
+        p.parse_prologue()?;
+        ops.push(p.parse_update_op()?);
+        if !p.eat_punct(';') {
+            break;
+        }
+        // A trailing ';' after the last operation is permitted.
+        if p.pos == p.tokens.len() {
+            break;
+        }
+    }
+    if p.pos != p.tokens.len() {
+        return Err(p.err("trailing tokens after UPDATE request"));
+    }
+    Ok(Update { ops })
+}
+
 /// The prefixes every eLinda-generated query may rely on without
 /// declaring: the tool always knows `rdf`, `rdfs`, `owl`, `xsd`.
 fn default_prefixes() -> HashMap<String, String> {
@@ -70,6 +104,15 @@ struct Parser {
     tokens: Vec<Located>,
     pos: usize,
     prefixes: HashMap<String, String>,
+}
+
+/// The position of a term inside a ground DATA triple, which decides
+/// which term kinds are admissible there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroundPos {
+    Subject,
+    Predicate,
+    Object,
 }
 
 impl Parser {
@@ -359,6 +402,83 @@ impl Parser {
                     }
                 }
             }
+        }
+    }
+
+    fn parse_update_op(&mut self) -> Result<UpdateOp, ParseError> {
+        let insert = if self.eat_keyword("INSERT") {
+            true
+        } else if self.eat_keyword("DELETE") {
+            false
+        } else {
+            return Err(self.err("expected INSERT DATA or DELETE DATA"));
+        };
+        self.expect_keyword("DATA")?;
+        let triples = self.parse_ground_block()?;
+        Ok(if insert {
+            UpdateOp::InsertData(triples)
+        } else {
+            UpdateOp::DeleteData(triples)
+        })
+    }
+
+    /// A `{ … }` block of ground triples, with Turtle-style `;` predicate
+    /// and `,` object lists. Every position must be constant: the DATA
+    /// forms of SPARQL Update carry no variables.
+    fn parse_ground_block(&mut self) -> Result<Vec<GroundTriple>, ParseError> {
+        self.expect_punct('{')?;
+        let mut out = Vec::new();
+        while !self.eat_punct('}') {
+            let s = self.parse_ground_term(GroundPos::Subject)?;
+            loop {
+                let p = self.parse_ground_term(GroundPos::Predicate)?;
+                loop {
+                    let o = self.parse_ground_term(GroundPos::Object)?;
+                    out.push(GroundTriple::new(s.clone(), p.clone(), o));
+                    if self.eat_punct(',') {
+                        continue;
+                    }
+                    break;
+                }
+                if self.eat_punct(';') {
+                    // Allow trailing ';' before '.' or '}'.
+                    if matches!(
+                        self.peek(),
+                        Some(Token::Punct('.')) | Some(Token::Punct('}'))
+                    ) {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+            // '.' terminates a subject's triples; it is optional before '}'.
+            if !self.eat_punct('.') && !matches!(self.peek(), Some(Token::Punct('}'))) {
+                return Err(self.err("expected '.' or '}' after triple"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_ground_term(&mut self, pos: GroundPos) -> Result<Term, ParseError> {
+        if matches!(self.peek(), Some(Token::Var(_))) {
+            return Err(self.err("variables are not allowed in DATA blocks"));
+        }
+        let term = match self.parse_term_or_var(pos == GroundPos::Predicate)? {
+            TermOrVar::Term(t) => t,
+            TermOrVar::Var(_) => unreachable!("variable rejected above"),
+        };
+        match pos {
+            GroundPos::Subject | GroundPos::Predicate if !matches!(term, Term::Iri(_)) => Err(self
+                .err(format!(
+                    "{} of a DATA triple must be an IRI",
+                    if pos == GroundPos::Subject {
+                        "subject"
+                    } else {
+                        "predicate"
+                    }
+                ))),
+            _ => Ok(term),
         }
     }
 
@@ -929,5 +1049,93 @@ mod tests {
     fn negative_unary_becomes_zero_minus() {
         let q = parses("SELECT ?s WHERE { ?s ?p ?o FILTER(?o > -(?x)) }");
         let _ = q;
+    }
+
+    #[test]
+    fn update_insert_data_basic() {
+        let u = parse_update("INSERT DATA { <http://e/a> <http://e/p> <http://e/b> . }").unwrap();
+        assert_eq!(u.ops.len(), 1);
+        assert_eq!(u.triple_count(), 1);
+        let UpdateOp::InsertData(triples) = &u.ops[0] else {
+            panic!("expected InsertData");
+        };
+        assert_eq!(triples[0].s, Term::iri("http://e/a"));
+        assert_eq!(triples[0].o, Term::iri("http://e/b"));
+    }
+
+    #[test]
+    fn update_prefixes_and_abbreviations() {
+        let u = parse_update(
+            r#"PREFIX ex: <http://e/>
+               INSERT DATA { ex:a a ex:C ; ex:p ex:b , ex:c . ex:b ex:p "v"@en . }"#,
+        )
+        .unwrap();
+        assert_eq!(u.triple_count(), 4);
+        let UpdateOp::InsertData(triples) = &u.ops[0] else {
+            panic!("expected InsertData");
+        };
+        // `a` expands to rdf:type; `;`/`,` fan out subjects and objects.
+        assert_eq!(triples[0].p, Term::iri(vocab::rdf::TYPE));
+        assert_eq!(triples[1].s, triples[2].s);
+        assert_eq!(
+            triples[3].o,
+            Term::Literal(Literal::lang("v".to_string(), "en".to_string()))
+        );
+    }
+
+    #[test]
+    fn update_multiple_ops_and_trailing_semicolon() {
+        let u = parse_update(
+            "PREFIX ex: <http://e/> INSERT DATA { ex:a ex:p ex:b } ; \
+             DELETE DATA { ex:c ex:p ex:d . } ;",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 2);
+        assert!(matches!(u.ops[1], UpdateOp::DeleteData(_)));
+        // A prologue may also appear before a later operation.
+        let u2 = parse_update(
+            "INSERT DATA { <http://e/a> <http://e/p> 1 } ; \
+             PREFIX ex: <http://e/> DELETE DATA { ex:a ex:p 1 }",
+        )
+        .unwrap();
+        assert_eq!(u2.ops.len(), 2);
+    }
+
+    #[test]
+    fn update_display_reparses_to_same_ast() {
+        for text in [
+            "INSERT DATA { <http://e/a> <http://e/p> <http://e/b> . }",
+            r#"PREFIX ex: <http://e/> DELETE DATA { ex:a ex:p "x"^^<http://www.w3.org/2001/XMLSchema#string> }"#,
+            "INSERT DATA { <http://e/a> <http://e/p> 3 } ; DELETE DATA { <http://e/b> <http://e/q> 4.5 }",
+            "INSERT DATA { }",
+        ] {
+            let u1 = parse_update(text).unwrap();
+            let printed = u1.to_string();
+            let u2 = parse_update(&printed)
+                .unwrap_or_else(|e| panic!("printed form failed to parse: {printed}: {e}"));
+            assert_eq!(u1, u2, "fixpoint failed for: {text}");
+        }
+    }
+
+    #[test]
+    fn update_error_cases() {
+        for bad in [
+            // Variables and non-ground forms are out of the DATA subset.
+            "INSERT DATA { ?s <http://e/p> <http://e/o> }",
+            "INSERT DATA { <http://e/s> ?p <http://e/o> }",
+            "DELETE DATA { <http://e/s> <http://e/p> ?o }",
+            // Literal subjects and predicates are not RDF.
+            "INSERT DATA { \"lit\" <http://e/p> <http://e/o> }",
+            "INSERT DATA { <http://e/s> \"lit\" <http://e/o> }",
+            // Structural errors.
+            "INSERT DATA { <http://e/s> <http://e/p> <http://e/o>",
+            "INSERT { <http://e/s> <http://e/p> <http://e/o> }",
+            "INSERT DATA { <http://e/s> <http://e/p> <http://e/o> } garbage",
+            "INSERT DATA { ex:a ex:p ex:b }", // undeclared prefix
+            "SELECT ?s WHERE { ?s ?p ?o }",   // a query is not an update
+            "",
+        ] {
+            assert!(parse_update(bad).is_err(), "should reject: {bad}");
+        }
     }
 }

@@ -123,6 +123,9 @@ const KEYWORDS: &[&str] = &[
     "NOT",
     "TRUE",
     "FALSE",
+    "INSERT",
+    "DELETE",
+    "DATA",
 ];
 
 /// Tokenize a SPARQL query string.

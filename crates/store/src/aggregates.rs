@@ -49,6 +49,9 @@ pub struct PropertyAggregates {
     incoming: FxHashMap<TermId, Vec<(TermId, PropAgg)>>,
     /// Store epoch at build time; stale indexes must be rebuilt.
     epoch: u64,
+    /// Lineage id of the store this index was built from (see
+    /// [`TripleStore::store_id`]): epochs only compare within a lineage.
+    store_id: u64,
 }
 
 impl PropertyAggregates {
@@ -112,6 +115,7 @@ impl PropertyAggregates {
             outgoing: group_by_class(out_flat),
             incoming: group_by_class(in_flat),
             epoch: store.epoch(),
+            store_id: store.store_id(),
         }
     }
 
@@ -142,9 +146,11 @@ impl PropertyAggregates {
         self.epoch
     }
 
-    /// True if the index is stale with respect to the store.
+    /// True if the index is stale with respect to the store: built at a
+    /// different epoch, or against a different store lineage (whose
+    /// epoch numbers are incomparable).
     pub fn is_stale(&self, store: &TripleStore) -> bool {
-        self.epoch != store.epoch()
+        self.store_id != store.store_id() || self.epoch != store.epoch()
     }
 }
 

@@ -85,6 +85,12 @@ pub struct ShardedTripleStore {
     shards: Vec<Shard>,
     /// Epoch of the store this view was built from.
     epoch: u64,
+    /// Lineage id of the store this view was built from. Comparing
+    /// epochs alone is unsound across store objects: a store rebuilt
+    /// from scratch (or a compacted base) restarts or continues its
+    /// epoch counter independently, and a numeric collision would let a
+    /// pre-rebuild snapshot read as fresh.
+    store_id: u64,
     /// Total triples across all shards.
     len: usize,
 }
@@ -124,6 +130,7 @@ impl ShardedTripleStore {
         ShardedTripleStore {
             shards,
             epoch: store.epoch(),
+            store_id: store.store_id(),
             len: store.len(),
         }
     }
@@ -158,9 +165,11 @@ impl ShardedTripleStore {
         self.epoch
     }
 
-    /// True once the backing store has mutated past this snapshot.
+    /// True once the backing store has mutated past this snapshot — or
+    /// is a different store lineage entirely, in which case the epoch
+    /// numbers are incomparable and the snapshot must not be consulted.
     pub fn is_stale(&self, store: &TripleStore) -> bool {
-        store.epoch() != self.epoch
+        store.store_id() != self.store_id || store.epoch() != self.epoch
     }
 
     /// The shard a subject's outgoing triples live in.
@@ -269,6 +278,36 @@ mod tests {
         let p = store.lookup_iri("http://e/p").unwrap();
         store.insert(x, p, x);
         assert!(sharded.is_stale(&store));
+    }
+
+    #[test]
+    fn staleness_is_lineage_aware() {
+        // A snapshot built on one store must read stale against a store
+        // rebuilt from scratch, even when the epoch numbers collide.
+        // Before the store-id check, a rebuilt store whose counter
+        // happened to land on the snapshot's epoch aliased as fresh and
+        // pre-rebuild shard contents could be consulted after a
+        // compaction's epoch bump.
+        let mut a = sample();
+        let x = a.intern(elinda_rdf::Term::iri("http://e/x"));
+        let p = a.lookup_iri("http://e/p").unwrap();
+        a.insert(x, p, x); // epoch 1
+        let sharded = ShardedTripleStore::build(&a, 4);
+        assert!(!sharded.is_stale(&a));
+
+        let mut b = sample(); // different lineage, epoch 0
+        let x = b.intern(elinda_rdf::Term::iri("http://e/x"));
+        let p = b.lookup_iri("http://e/p").unwrap();
+        b.insert(x, p, x); // epoch 1: numerically equal to `a`'s
+        assert_eq!(a.epoch(), b.epoch());
+        assert!(sharded.is_stale(&b), "epoch collision must not alias");
+
+        // A clone continues the lineage: fresh until it mutates, stale
+        // after a pure compaction-point epoch bump.
+        let mut c = a.clone();
+        assert!(!sharded.is_stale(&c));
+        c.bump_epoch();
+        assert!(sharded.is_stale(&c));
     }
 
     #[test]

@@ -8,6 +8,17 @@
 //! updates exist mainly to exercise HVS invalidation.
 
 use elinda_rdf::{Graph, Interner, Term, TermId, Triple};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of store lineage identifiers. Every store built
+/// from scratch (`new` / `from_graph`) gets a fresh id; clones keep the
+/// id, so a clone-and-mutate chain (the novelty overlay's
+/// copy-on-write views) forms one lineage with a monotone epoch.
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_store_id() -> u64 {
+    NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An in-memory indexed RDF triple store.
 #[derive(Debug, Clone)]
@@ -21,6 +32,10 @@ pub struct TripleStore {
     osp: Vec<Triple>,
     /// Bumped on every successful mutation; drives HVS invalidation.
     epoch: u64,
+    /// Lineage identity: snapshots built against a *different* store
+    /// object (e.g. a reload via `from_graph`) must read as stale even
+    /// if the epoch numbers happen to coincide.
+    store_id: u64,
 }
 
 impl TripleStore {
@@ -32,6 +47,7 @@ impl TripleStore {
             pos: Vec::new(),
             osp: Vec::new(),
             epoch: 0,
+            store_id: fresh_store_id(),
         }
     }
 
@@ -51,6 +67,7 @@ impl TripleStore {
             pos,
             osp,
             epoch: 0,
+            store_id: fresh_store_id(),
         }
     }
 
@@ -98,6 +115,23 @@ impl TripleStore {
 
     /// The current epoch. Any mutation bumps it.
     pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The store's lineage id: shared by clones (whose epochs continue
+    /// this store's), distinct for stores built from scratch. Epoch
+    /// comparisons are only meaningful within one lineage.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// Bump the epoch without touching the data — a compaction point.
+    /// Folding novelty into a new base does not change what the triples
+    /// say, but every epoch-tagged snapshot and cache entry built on the
+    /// pre-compaction view must demote, so the fold is made visible as a
+    /// mutation. Returns the new epoch.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
         self.epoch
     }
 

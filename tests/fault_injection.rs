@@ -131,7 +131,9 @@ fn chaos_run_is_correct_complete_or_explicitly_degraded() {
                     | ServeError::Unavailable(_)
                     | ServeError::Transient(_),
                 ) => explicit_errors += 1,
-                Err(ServeError::Query(e)) => panic!("workload query rejected: {e}"),
+                Err(e @ (ServeError::Query(_) | ServeError::Malformed(_))) => {
+                    panic!("workload query rejected: {e}")
+                }
             }
         }
     }

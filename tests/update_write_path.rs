@@ -1,0 +1,307 @@
+//! The write path's correctness contract, tested differentially:
+//!
+//! * applying a random update sequence through the [`NoveltyStore`]
+//!   overlay yields a merged view identical to applying the same
+//!   sequence directly to a clone of the base store;
+//! * reads served during the uncompacted window (the canonicalized
+//!   direct tier) are byte-identical to reads served after compaction
+//!   restores the precomputed/sharded tiers;
+//! * under concurrent readers and a writer, every reader observes a
+//!   monotonically nondecreasing data epoch, and the post-soak store
+//!   matches a sequential replay of the same updates.
+
+use elinda::endpoint::json::encode_solutions;
+use elinda::endpoint::{ElindaEndpoint, EndpointConfig, NoveltyConfig, NoveltyStore, QueryEngine};
+use elinda::rdf::Term;
+use elinda::sparql::{GroundTriple, Update, UpdateOp};
+use elinda::store::TripleStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Strategies: a small closed universe so inserts and deletes collide
+// often enough to exercise the noop and cancellation paths.
+// ---------------------------------------------------------------------------
+
+fn iri(s: &str) -> Term {
+    Term::iri(s.to_string())
+}
+
+fn inst(n: u32) -> Term {
+    iri(&format!("http://e/i{n}"))
+}
+
+fn class(n: u32) -> Term {
+    iri(&format!("http://e/C{n}"))
+}
+
+fn prop(n: u32) -> Term {
+    iri(&format!("http://e/p{n}"))
+}
+
+fn rdf_type() -> Term {
+    iri(elinda::rdf::vocab::rdf::TYPE)
+}
+
+/// One ground statement from the universe: a typing or an edge.
+fn arb_ground() -> impl Strategy<Value = GroundTriple> {
+    prop_oneof![
+        (0u32..12, 0u32..3).prop_map(|(i, c)| GroundTriple::new(inst(i), rdf_type(), class(c))),
+        (0u32..12, 0u32..4, 0u32..12).prop_map(|(s, p, o)| GroundTriple::new(
+            inst(s),
+            prop(p),
+            inst(o)
+        )),
+    ]
+}
+
+/// A base graph drawn from the same universe (so deletes can hit).
+fn arb_base() -> impl Strategy<Value = Vec<GroundTriple>> {
+    proptest::collection::vec(arb_ground(), 0..60)
+}
+
+/// A sequence of updates, each one op of a few triples.
+fn arb_updates() -> impl Strategy<Value = Vec<Update>> {
+    let op = (any::<bool>(), proptest::collection::vec(arb_ground(), 1..5)).prop_map(
+        |(insert, triples)| {
+            if insert {
+                UpdateOp::InsertData(triples)
+            } else {
+                UpdateOp::DeleteData(triples)
+            }
+        },
+    );
+    proptest::collection::vec(
+        proptest::collection::vec(op, 1..3).prop_map(|ops| Update { ops }),
+        0..12,
+    )
+}
+
+fn base_store(triples: &[GroundTriple]) -> TripleStore {
+    let mut store = TripleStore::new();
+    for t in triples {
+        store.insert_terms(t.s.clone(), t.p.clone(), t.o.clone());
+    }
+    store
+}
+
+/// Replay `updates` directly against a mutable store — the oracle the
+/// overlay must agree with.
+fn replay(store: &mut TripleStore, updates: &[Update]) {
+    for update in updates {
+        for op in &update.ops {
+            match op {
+                UpdateOp::InsertData(triples) => {
+                    for t in triples {
+                        store.insert_terms(t.s.clone(), t.p.clone(), t.o.clone());
+                    }
+                }
+                UpdateOp::DeleteData(triples) => {
+                    let ids = |store: &TripleStore, t: &GroundTriple| {
+                        Some(elinda::rdf::Triple::new(
+                            store.interner().get(&t.s)?,
+                            store.interner().get(&t.p)?,
+                            store.interner().get(&t.o)?,
+                        ))
+                    };
+                    for t in triples {
+                        if let Some(triple) = ids(store, t) {
+                            store.remove(triple);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Overlay-merged reads equal a direct sequential replay, and
+    /// compaction changes nothing but the epoch.
+    #[test]
+    fn overlay_view_matches_sequential_replay(
+        base in arb_base(),
+        updates in arb_updates(),
+    ) {
+        let base = base_store(&base);
+        // Oracle: the same updates applied straight to a clone. The
+        // overlay clones the view per batch, so interning order (and
+        // hence term ids) match exactly.
+        let mut oracle = base.clone();
+        replay(&mut oracle, &updates);
+
+        let novelty = NoveltyStore::new(Arc::new(base), NoveltyConfig::default());
+        for update in &updates {
+            novelty.apply(update);
+        }
+
+        let view = novelty.view();
+        prop_assert_eq!(view.spo_slice(), oracle.spo_slice());
+        prop_assert_eq!(view.len(), oracle.len());
+
+        // Compaction folds without changing a single triple.
+        let staged = novelty.novelty_len();
+        let report = novelty.compact();
+        prop_assert_eq!(report.is_some(), staged > 0);
+        let compacted = novelty.view();
+        prop_assert_eq!(compacted.spo_slice(), oracle.spo_slice());
+        prop_assert_eq!(novelty.novelty_len(), 0);
+    }
+
+    /// Through the full router: results served in the stale window
+    /// (before compaction) are byte-identical to results served after
+    /// the compactor restored the fast tiers.
+    #[test]
+    fn pre_and_post_compaction_reads_are_byte_identical(
+        base in arb_base(),
+        updates in arb_updates(),
+    ) {
+        use elinda::endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+
+        let base = base_store(&base);
+        let store = Arc::new(base);
+        let novelty = Arc::new(NoveltyStore::new(Arc::clone(&store), NoveltyConfig::default()));
+        let endpoint = ElindaEndpoint::with_novelty(
+            Arc::clone(&store),
+            EndpointConfig::full(),
+            Arc::clone(&novelty),
+        );
+
+        for update in &updates {
+            novelty.apply(update);
+        }
+
+        let queries = [
+            property_expansion_sparql("http://e/C0", ExpansionDirection::Outgoing),
+            property_expansion_sparql("http://e/C1", ExpansionDirection::Incoming),
+            "SELECT ?s WHERE { ?s a <http://e/C2> }".to_string(),
+        ];
+        let before: Vec<String> = queries
+            .iter()
+            .map(|q| {
+                let outcome = endpoint.execute(q).expect("query serves");
+                encode_solutions(&outcome.solutions, &novelty.view())
+            })
+            .collect();
+
+        endpoint.compact();
+
+        for (q, expected) in queries.iter().zip(&before) {
+            let outcome = endpoint.execute(q).expect("query serves post-compaction");
+            let body = encode_solutions(&outcome.solutions, &novelty.view());
+            prop_assert_eq!(&body, expected, "query changed across compaction: {}", q);
+        }
+    }
+}
+
+/// Concurrent readers against a writer that applies updates and
+/// compacts periodically: every reader sees a monotone data epoch, and
+/// the final store equals a sequential replay.
+#[test]
+fn soak_concurrent_readers_writer_and_compactions() {
+    use elinda::endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut base = TripleStore::new();
+    for i in 0..10 {
+        base.insert_terms(inst(i), rdf_type(), class(i % 3));
+        base.insert_terms(inst(i), prop(i % 4), inst((i + 1) % 10));
+    }
+    let store = Arc::new(base);
+    // A small threshold so the writer's own applies signal compaction
+    // pressure the way a real deployment would.
+    let novelty = Arc::new(NoveltyStore::new(
+        Arc::clone(&store),
+        NoveltyConfig { max_triples: 8 },
+    ));
+    let endpoint = Arc::new(ElindaEndpoint::with_novelty(
+        Arc::clone(&store),
+        EndpointConfig::full(),
+        Arc::clone(&novelty),
+    ));
+
+    // Deterministic update schedule, kept for the sequential oracle.
+    let updates: Vec<Update> = (0..120u32)
+        .map(|round| {
+            let ops = if round % 5 == 4 {
+                vec![UpdateOp::DeleteData(vec![GroundTriple::new(
+                    inst(100 + (round / 5) * 2),
+                    rdf_type(),
+                    class(round % 3),
+                )])]
+            } else {
+                vec![UpdateOp::InsertData(vec![
+                    GroundTriple::new(inst(100 + round), rdf_type(), class(round % 3)),
+                    GroundTriple::new(inst(100 + round), prop(round % 4), inst(round % 10)),
+                ])]
+            };
+            Update { ops }
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let endpoint = Arc::clone(&endpoint);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let queries = [
+                    property_expansion_sparql("http://e/C0", ExpansionDirection::Outgoing),
+                    property_expansion_sparql("http://e/C1", ExpansionDirection::Incoming),
+                    format!("SELECT ?s WHERE {{ ?s a <http://e/C{}> }}", r % 3),
+                ];
+                let mut last_epoch = 0u64;
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for q in &queries {
+                        let outcome = endpoint.execute(q).expect("read serves during writes");
+                        assert!(
+                            outcome.data_epoch >= last_epoch,
+                            "epoch went backwards: {} -> {}",
+                            last_epoch,
+                            outcome.data_epoch
+                        );
+                        last_epoch = outcome.data_epoch;
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    let writer = {
+        let endpoint = Arc::clone(&endpoint);
+        let novelty = Arc::clone(&novelty);
+        let updates = updates.clone();
+        std::thread::spawn(move || {
+            for (i, update) in updates.iter().enumerate() {
+                novelty.apply(update);
+                if i % 10 == 9 {
+                    endpoint.compact();
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+    writer.join().expect("writer thread");
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader thread"))
+        .sum();
+    assert!(served > 0, "readers made progress");
+
+    // Final fold, then compare against the sequential oracle.
+    endpoint.compact();
+    let mut oracle = (*store).clone();
+    replay(&mut oracle, &updates);
+    let view = novelty.view();
+    assert_eq!(view.spo_slice(), oracle.spo_slice());
+    assert_eq!(novelty.novelty_len(), 0);
+    let stats = novelty.stats();
+    assert!(stats.compactions >= 1, "soak compacted at least once");
+    assert_eq!(stats.updates, updates.len() as u64);
+}
