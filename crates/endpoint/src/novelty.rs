@@ -78,6 +78,10 @@ pub struct CompactionReport {
     pub epoch: u64,
     /// Wall time of the fold itself (excluding index rebuilds).
     pub duration: Duration,
+    /// On-disk generation the new base was committed as, filled in by
+    /// the serving layer when a persistent backend is attached (`None`
+    /// here and for memory-only serving).
+    pub persisted_generation: Option<u64>,
 }
 
 /// Monotonic write-path counters plus current gauges, for `/metrics`.
@@ -311,6 +315,7 @@ impl NoveltyStore {
             folded,
             epoch,
             duration,
+            persisted_generation: None,
         })
     }
 

@@ -38,5 +38,5 @@ pub use curie::PrefixMap;
 pub use error::RdfError;
 pub use graph::Graph;
 pub use interner::{Interner, TermId};
-pub use term::{Literal, Term};
+pub use term::{Literal, LiteralKind, Term};
 pub use triple::Triple;

@@ -9,7 +9,24 @@
 //!                                 [--cache-entries 512] [--cache-bytes 16777216]
 //!                                 [--compact-interval-ms 1000]
 //!                                 [--novelty-max-triples 4096]
+//!                                 [--store-dir DIR] [--load FILE.nt]
 //! ```
+//!
+//! Where the store comes from, in priority order:
+//!
+//! * `--load FILE.nt` — stream the N-Triples file through the bulk
+//!   loader; with `--store-dir` the result is also persisted as a new
+//!   generation of that directory.
+//! * `--store-dir DIR` — reopen the committed generation on disk,
+//!   skipping datagen entirely. An empty directory bootstraps from
+//!   datagen (at `--scale`) and persists generation 1; a corrupt one
+//!   fails with a typed error and exit code 1.
+//! * neither — generate the synthetic DBpedia store in memory, as before.
+//!
+//! With a store directory attached, every background compaction commits
+//! the folded base as a new on-disk generation. A greppable
+//! `cold-start:` line reports the source and timing for the bench
+//! trajectory.
 //!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
 //! no dependency-free portable signal handling), then drains in-flight
@@ -21,9 +38,12 @@ use elinda_endpoint::{
     RetryPolicy,
 };
 use elinda_server::{serve, ServerConfig, ServerState};
+use elinda_store::{
+    bulk_load_ntriples_path, PersistError, PersistentBackend, StoreBackend, TripleStore,
+};
 use std::io::BufRead;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Args {
     addr: String,
@@ -53,6 +73,11 @@ struct Args {
     compact_interval_ms: u64,
     /// Staged-novelty size that wakes the compactor early.
     novelty_max_triples: usize,
+    /// Persistent store directory; compactions commit new generations
+    /// into it and restarts reload from it.
+    store_dir: Option<String>,
+    /// N-Triples file to bulk-load instead of running datagen.
+    load: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         cache_bytes: CacheConfig::default().max_bytes,
         compact_interval_ms: 1000,
         novelty_max_triples: NoveltyConfig::default().max_triples,
+        store_dir: None,
+        load: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -143,6 +170,8 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--novelty-max-triples: {e}"))?
             }
+            "--store-dir" => args.store_dir = Some(value("--store-dir")?),
+            "--load" => args.load = Some(value("--load")?),
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
@@ -153,7 +182,9 @@ fn parse_args() -> Result<Args, String> {
                      [--cache-entries N (0 = disable result cache)] \
                      [--cache-bytes N] \
                      [--compact-interval-ms N (0 = no background compactor)] \
-                     [--novelty-max-triples N (staged writes that wake it early)]"
+                     [--novelty-max-triples N (staged writes that wake it early)] \
+                     [--store-dir DIR (persist compactions; reload on restart)] \
+                     [--load FILE.nt (bulk-load instead of datagen)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -171,12 +202,95 @@ fn main() {
         }
     };
 
+    let cold_start = Instant::now();
+    let mut backend: Option<Arc<dyn StoreBackend>> = None;
+    let source;
+    let store: Arc<TripleStore> = if let Some(path) = &args.load {
+        eprintln!("bulk-loading {path}...");
+        let (loaded, report) = match bulk_load_ntriples_path(std::path::Path::new(path)) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("failed to bulk-load {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "loaded {} triples ({} duplicate, {} terms) from {} lines",
+            report.triples, report.duplicates, report.terms, report.lines
+        );
+        let loaded = Arc::new(loaded);
+        if let Some(dir) = &args.store_dir {
+            match PersistentBackend::initialize(dir, Arc::clone(&loaded)) {
+                Ok(b) => {
+                    eprintln!("persisted as {dir} generation {}", b.generation());
+                    backend = Some(Arc::new(b));
+                }
+                Err(e) => {
+                    eprintln!("failed to persist into {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        source = "bulk-load";
+        loaded
+    } else if let Some(dir) = &args.store_dir {
+        match PersistentBackend::open(dir) {
+            Ok(b) => {
+                eprintln!(
+                    "reopened {dir} generation {} ({} triples, no datagen)",
+                    b.generation(),
+                    b.snapshot().len()
+                );
+                let snapshot = b.snapshot();
+                backend = Some(Arc::new(b));
+                source = "disk";
+                snapshot
+            }
+            Err(PersistError::NoCurrentGeneration { .. }) => {
+                // First run against an empty directory: bootstrap from
+                // datagen, then persist generation 1.
+                eprintln!(
+                    "{dir} is empty; generating synthetic DBpedia store (scale {})...",
+                    args.scale
+                );
+                let generated =
+                    Arc::new(generate_dbpedia(&DbpediaConfig::tiny().scaled(args.scale)));
+                match PersistentBackend::initialize(dir, Arc::clone(&generated)) {
+                    Ok(b) => {
+                        eprintln!("persisted as {dir} generation {}", b.generation());
+                        backend = Some(Arc::new(b));
+                    }
+                    Err(e) => {
+                        eprintln!("failed to persist into {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                source = "datagen-bootstrap";
+                generated
+            }
+            Err(e) => {
+                eprintln!("failed to open store directory {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        eprintln!(
+            "generating synthetic DBpedia store (scale {})...",
+            args.scale
+        );
+        source = "datagen";
+        Arc::new(generate_dbpedia(&DbpediaConfig::tiny().scaled(args.scale)))
+    };
     eprintln!(
-        "generating synthetic DBpedia store (scale {})...",
-        args.scale
+        "cold-start: source={source} triples={} terms={} generation={} elapsed_ms={}",
+        store.len(),
+        store.interner().len(),
+        backend
+            .as_ref()
+            .and_then(|b| b.committed_generation())
+            .unwrap_or(0),
+        cold_start.elapsed().as_millis()
     );
-    let store = Arc::new(generate_dbpedia(&DbpediaConfig::tiny().scaled(args.scale)));
-    eprintln!("store ready: {} triples", store.len());
 
     // Per-request core budget: with W server workers on C cores, each
     // request gets max(1, C / W) threads so concurrent heavy queries
@@ -218,14 +332,15 @@ fn main() {
             ..CacheConfig::default()
         };
     }
-    let state = Arc::new(ServerState::with_write_config(
-        store,
-        endpoint_config,
-        resilience,
-        NoveltyConfig {
-            max_triples: args.novelty_max_triples,
-        },
-    ));
+    let novelty_config = NoveltyConfig {
+        max_triples: args.novelty_max_triples,
+    };
+    let state = Arc::new(match backend {
+        Some(backend) => {
+            ServerState::with_backend(backend, endpoint_config, resilience, novelty_config)
+        }
+        None => ServerState::with_write_config(store, endpoint_config, resilience, novelty_config),
+    });
     let config = ServerConfig {
         workers: args.workers,
         queue_depth: args.queue_depth,

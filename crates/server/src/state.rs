@@ -17,7 +17,8 @@ use elinda_endpoint::{
     TraceCtx, TraceRing,
 };
 use elinda_sparql::parse_update;
-use elinda_store::TripleStore;
+use elinda_store::{StoreBackend, TripleStore};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -71,9 +72,25 @@ pub struct ServerState {
     /// read fallback and accepting writes against it would silently
     /// diverge from the primary.
     novelty: Option<Arc<NoveltyStore>>,
+    /// Where compacted bases go for durability. `None` means memory-only
+    /// serving (the pre-persistence behaviour, bit for bit).
+    backend: Option<Arc<dyn StoreBackend>>,
     endpoint: MeteredEndpoint<ResilientEndpoint>,
     traces: TraceRing,
     stage_stats: StageStats,
+    persist_stats: PersistStats,
+}
+
+/// Persistence counters for `/metrics`.
+#[derive(Default)]
+struct PersistStats {
+    /// Generations committed by post-compaction persists.
+    persisted: AtomicU64,
+    /// Persist attempts that failed (the in-memory fold still stands;
+    /// the previous on-disk generation keeps serving restarts).
+    failures: AtomicU64,
+    /// The latest committed generation number (0 before any persist).
+    generation: AtomicU64,
 }
 
 impl ServerState {
@@ -117,10 +134,34 @@ impl ServerState {
             store,
             router: Some(router),
             novelty: Some(novelty),
+            backend: None,
             endpoint: MeteredEndpoint::new(resilient),
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
+            persist_stats: PersistStats::default(),
         }
+    }
+
+    /// [`ServerState::with_write_config`] over a [`StoreBackend`]: the
+    /// startup store is the backend's committed snapshot, and every
+    /// successful compaction is persisted back through it as a new
+    /// generation (reported in the [`CompactionReport`]).
+    pub fn with_backend(
+        backend: Arc<dyn StoreBackend>,
+        config: EndpointConfig,
+        resilience: ResilienceConfig,
+        novelty_config: NoveltyConfig,
+    ) -> ServerState {
+        let mut state =
+            ServerState::with_write_config(backend.snapshot(), config, resilience, novelty_config);
+        if let Some(generation) = backend.committed_generation() {
+            state
+                .persist_stats
+                .generation
+                .store(generation, Ordering::Relaxed);
+        }
+        state.backend = Some(backend);
+        state
     }
 
     /// Build serving state whose primary engine is arbitrary — a faulty
@@ -148,9 +189,11 @@ impl ServerState {
             store,
             router: Some(router),
             novelty: None,
+            backend: None,
             endpoint: MeteredEndpoint::new(resilient),
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
+            persist_stats: PersistStats::default(),
         }
     }
 
@@ -283,7 +326,7 @@ impl ServerState {
             return None;
         }
         let trace = TraceCtx::sampled(format!("compact-e{}", novelty.epoch()));
-        let report = {
+        let mut report = {
             let mut span = trace.span("compact");
             let report = router.compact();
             if let Some(r) = &report {
@@ -292,6 +335,30 @@ impl ServerState {
             }
             report
         };
+        // Commit the freshly folded base through the backend so a
+        // restart resumes from it. A persist failure does not undo the
+        // in-memory fold — the previous on-disk generation stays
+        // committed and keeps serving restarts — so it is counted and
+        // logged, not propagated.
+        if let (Some(r), Some(backend)) = (report.as_mut(), self.backend.as_ref()) {
+            let mut span = trace.span("persist");
+            match backend.persist(&novelty.base()) {
+                Ok(Some(generation)) => {
+                    r.persisted_generation = Some(generation);
+                    self.persist_stats.persisted.fetch_add(1, Ordering::Relaxed);
+                    self.persist_stats
+                        .generation
+                        .store(generation, Ordering::Relaxed);
+                    span.tag("generation", generation.to_string());
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.persist_stats.failures.fetch_add(1, Ordering::Relaxed);
+                    span.tag("error", e.to_string());
+                    eprintln!("elinda-serve: persist after compaction failed: {e}");
+                }
+            }
+        }
         // A concurrent compactor may have won the race; only a real
         // fold is worth a trace-ring slot and a histogram sample.
         if report.is_some() {
@@ -301,6 +368,11 @@ impl ServerState {
             }
         }
         report
+    }
+
+    /// The storage backend, when one is attached.
+    pub fn backend(&self) -> Option<&Arc<dyn StoreBackend>> {
+        self.backend.as_ref()
     }
 
     /// The novelty overlay, when the write path is live.
@@ -487,6 +559,26 @@ impl ServerState {
             ));
             out.push_str(&format!("elinda_data_epoch {}\n", stats.epoch));
             out.push_str(&format!("elinda_base_epoch {}\n", stats.base_epoch));
+        }
+        if let Some(backend) = self.backend.as_ref() {
+            out.push_str(&format!("elinda_store_backend{{kind=\"{}\"}} 1\n", {
+                // `describe()` may embed a path; metrics label only the
+                // kind before the first parenthesis.
+                let desc = backend.describe();
+                desc.split('(').next().unwrap_or("unknown").to_string()
+            }));
+            out.push_str(&format!(
+                "elinda_persist_generations_total {}\n",
+                self.persist_stats.persisted.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "elinda_persist_failures_total {}\n",
+                self.persist_stats.failures.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "elinda_persist_current_generation {}\n",
+                self.persist_stats.generation.load(Ordering::Relaxed)
+            ));
         }
         out
     }
@@ -755,6 +847,69 @@ mod tests {
         assert!(text.contains("elinda_stage_latency_count{stage=\"compact\"} 1"));
         // The compaction trace landed in the ring under its epoch id.
         assert!(s.trace_ring().get("compact-e1").is_some());
+    }
+
+    #[test]
+    fn backend_state_persists_compactions_across_restart() {
+        use elinda_store::test_dirs::{cleanup, fresh_dir};
+        use elinda_store::PersistentBackend;
+
+        let dir = fresh_dir("state-backend");
+        let store = Arc::new(
+            TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C . ex:b a ex:C .")
+                .unwrap(),
+        );
+        let backend = Arc::new(PersistentBackend::initialize(&dir, store).unwrap());
+        let s = ServerState::with_backend(
+            Arc::clone(&backend) as Arc<dyn StoreBackend>,
+            EndpointConfig::full(),
+            ResilienceConfig::default(),
+            NoveltyConfig::default(),
+        );
+        assert!(s
+            .metrics_text()
+            .contains("elinda_persist_current_generation 1"));
+
+        s.apply_update("INSERT DATA { <http://e/new> a <http://e/C> }")
+            .unwrap();
+        let report = s.compact_now().unwrap();
+        assert_eq!(report.persisted_generation, Some(2));
+        assert_eq!(backend.generation(), 2);
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_store_backend{kind=\"persistent\"} 1"));
+        assert!(text.contains("elinda_persist_generations_total 1"));
+        assert!(text.contains("elinda_persist_failures_total 0"));
+        assert!(text.contains("elinda_persist_current_generation 2"));
+
+        // A restart reopens the committed generation: the compacted
+        // write is on disk, no datagen or update replay involved.
+        let reopened = PersistentBackend::open(&dir).unwrap();
+        assert_eq!(reopened.generation(), 2);
+        let snap = reopened.snapshot();
+        assert!(snap.lookup_iri("http://e/new").is_some());
+        assert_eq!(snap.len(), 3);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn memory_backend_compaction_reports_no_generation() {
+        use elinda_store::MemoryBackend;
+
+        let store =
+            Arc::new(TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C .").unwrap());
+        let s = ServerState::with_backend(
+            Arc::new(MemoryBackend::new(store)),
+            EndpointConfig::full(),
+            ResilienceConfig::default(),
+            NoveltyConfig::default(),
+        );
+        s.apply_update("INSERT DATA { <http://e/x> a <http://e/C> }")
+            .unwrap();
+        let report = s.compact_now().unwrap();
+        assert_eq!(report.persisted_generation, None);
+        let text = s.metrics_text();
+        assert!(text.contains("elinda_store_backend{kind=\"memory\"} 1"));
+        assert!(text.contains("elinda_persist_generations_total 0"));
     }
 
     #[test]

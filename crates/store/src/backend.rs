@@ -1,0 +1,235 @@
+//! The [`StoreBackend`] seam: where snapshots come from and where
+//! compacted bases go.
+//!
+//! Everything above the store — the sharded view, the novelty overlay,
+//! the router — consumes immutable `Arc<TripleStore>` snapshots and
+//! never mutates shared state in place. That makes the backend seam
+//! small: a backend produces the startup snapshot and accepts each
+//! compacted base for durability. [`MemoryBackend`] accepts and
+//! discards (the pre-persistence behaviour, bit for bit);
+//! [`PersistentBackend`] writes a new on-disk generation per
+//! compaction and reloads the newest one on restart.
+
+use crate::persist::{self, PersistError};
+use crate::store::TripleStore;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// A source and sink of [`TripleStore`] snapshots.
+///
+/// Implementations must be cheap to `snapshot` (callers may do it per
+/// request) and must make `persist` all-or-nothing: either the store is
+/// durably committed or the previous committed state survives intact.
+pub trait StoreBackend: Send + Sync {
+    /// The current committed snapshot.
+    fn snapshot(&self) -> Arc<TripleStore>;
+
+    /// Durably commit `store` as the new base. Returns the new
+    /// generation number for persistent backends, `None` for
+    /// memory-only ones.
+    fn persist(&self, store: &Arc<TripleStore>) -> Result<Option<u64>, PersistError>;
+
+    /// A short human-readable description for logs and `/metrics`.
+    fn describe(&self) -> String;
+
+    /// The committed generation number, for backends that have one.
+    fn committed_generation(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// The in-memory backend: snapshots live only as long as the process.
+pub struct MemoryBackend {
+    store: RwLock<Arc<TripleStore>>,
+}
+
+impl MemoryBackend {
+    /// Wrap an existing store.
+    pub fn new(store: Arc<TripleStore>) -> Self {
+        MemoryBackend {
+            store: RwLock::new(store),
+        }
+    }
+}
+
+impl StoreBackend for MemoryBackend {
+    fn snapshot(&self) -> Arc<TripleStore> {
+        Arc::clone(&self.store.read().expect("backend lock poisoned"))
+    }
+
+    fn persist(&self, store: &Arc<TripleStore>) -> Result<Option<u64>, PersistError> {
+        *self.store.write().expect("backend lock poisoned") = Arc::clone(store);
+        Ok(None)
+    }
+
+    fn describe(&self) -> String {
+        "memory".to_string()
+    }
+}
+
+/// How many committed generations a [`PersistentBackend`] retains
+/// (current plus fallbacks for recovery) before pruning.
+pub const DEFAULT_KEEP_GENERATIONS: usize = 2;
+
+/// The persistent backend: a store directory of immutable generations
+/// (see [`crate::persist`] for the layout and crash-safety argument).
+pub struct PersistentBackend {
+    dir: PathBuf,
+    keep_generations: usize,
+    current: RwLock<(u64, Arc<TripleStore>)>,
+}
+
+impl PersistentBackend {
+    /// Open a store directory, loading its committed generation.
+    /// Fails with [`PersistError::NoCurrentGeneration`] on an empty or
+    /// uninitialized directory (see [`PersistentBackend::initialize`]).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        let (store, generation) = persist::load_current(&dir)?;
+        Ok(PersistentBackend {
+            dir,
+            keep_generations: DEFAULT_KEEP_GENERATIONS,
+            current: RwLock::new((generation, Arc::new(store))),
+        })
+    }
+
+    /// Initialize a store directory with `store` as generation 1 (or
+    /// the next generation, if the directory already holds some) and
+    /// open it.
+    pub fn initialize(
+        dir: impl Into<PathBuf>,
+        store: Arc<TripleStore>,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        let generation = persist::save_generation(&dir, &store)?;
+        Ok(PersistentBackend {
+            dir,
+            keep_generations: DEFAULT_KEEP_GENERATIONS,
+            current: RwLock::new((generation, store)),
+        })
+    }
+
+    /// Override how many committed generations to retain.
+    pub fn with_keep_generations(mut self, keep: usize) -> Self {
+        self.keep_generations = keep.max(1);
+        self
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The committed generation number currently served.
+    pub fn generation(&self) -> u64 {
+        self.current.read().expect("backend lock poisoned").0
+    }
+}
+
+impl StoreBackend for PersistentBackend {
+    fn snapshot(&self) -> Arc<TripleStore> {
+        Arc::clone(&self.current.read().expect("backend lock poisoned").1)
+    }
+
+    fn persist(&self, store: &Arc<TripleStore>) -> Result<Option<u64>, PersistError> {
+        let generation = persist::save_generation(&self.dir, store)?;
+        *self.current.write().expect("backend lock poisoned") = (generation, Arc::clone(store));
+        // Pruning failure must not fail the commit: the generation is
+        // already durable, we only hold more history than intended.
+        let _ = persist::prune_generations(&self.dir, self.keep_generations);
+        Ok(Some(generation))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "persistent({}, gen {})",
+            self.dir.display(),
+            self.generation()
+        )
+    }
+
+    fn committed_generation(&self) -> Option<u64> {
+        Some(self.generation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dirs::fresh_dir;
+    use elinda_rdf::Term;
+
+    fn sample() -> Arc<TripleStore> {
+        Arc::new(
+            TripleStore::from_turtle(
+                r#"
+                @prefix ex: <http://e/> .
+                ex:a a ex:C ; ex:p ex:b .
+                ex:b a ex:C .
+                "#,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn memory_backend_swaps_snapshots() {
+        let store = sample();
+        let backend = MemoryBackend::new(Arc::clone(&store));
+        assert!(Arc::ptr_eq(&backend.snapshot(), &store));
+        assert_eq!(backend.describe(), "memory");
+
+        let next = Arc::new(TripleStore::new());
+        assert_eq!(backend.persist(&next).unwrap(), None);
+        assert!(Arc::ptr_eq(&backend.snapshot(), &next));
+    }
+
+    #[test]
+    fn persistent_backend_initialize_open_cycle() {
+        let dir = fresh_dir("backend-cycle");
+        let store = sample();
+        let backend = PersistentBackend::initialize(&dir, Arc::clone(&store)).unwrap();
+        assert_eq!(backend.generation(), 1);
+        assert!(backend.describe().contains("gen 1"));
+        drop(backend);
+
+        let reopened = PersistentBackend::open(&dir).unwrap();
+        assert_eq!(reopened.generation(), 1);
+        let snap = reopened.snapshot();
+        assert_eq!(snap.len(), store.len());
+        assert_eq!(snap.spo_slice(), store.spo_slice());
+    }
+
+    #[test]
+    fn open_on_empty_dir_is_typed_error() {
+        let dir = fresh_dir("backend-empty");
+        assert!(matches!(
+            PersistentBackend::open(&dir),
+            Err(PersistError::NoCurrentGeneration { .. })
+        ));
+    }
+
+    #[test]
+    fn persist_advances_generation_and_prunes() {
+        let dir = fresh_dir("backend-persist");
+        let backend = PersistentBackend::initialize(&dir, sample())
+            .unwrap()
+            .with_keep_generations(2);
+        for expected in 2..=5u64 {
+            let mut next = (*backend.snapshot()).clone();
+            let x = next.intern(Term::iri(format!("http://e/x{expected}")));
+            let p = next.lookup_iri("http://e/p").unwrap();
+            next.insert(x, p, x);
+            next.bump_epoch();
+            assert_eq!(backend.persist(&Arc::new(next)).unwrap(), Some(expected));
+        }
+        assert_eq!(backend.generation(), 5);
+        // Only the retained window remains on disk.
+        assert_eq!(persist::list_generations(&dir).unwrap(), vec![4, 5]);
+        // The snapshot serves the persisted data and survives reopen.
+        let reopened = PersistentBackend::open(&dir).unwrap();
+        assert_eq!(reopened.generation(), 5);
+        assert_eq!(reopened.snapshot().len(), backend.snapshot().len());
+        assert_eq!(reopened.snapshot().epoch(), backend.snapshot().epoch());
+    }
+}

@@ -1,0 +1,214 @@
+//! The term dictionary: the [`Interner`] serialized to bytes.
+//!
+//! Records are written **in interning order**, so decoding re-interns
+//! every term into the same dense [`TermId`]s the saved store used.
+//! That makes the ID-triple segment files meaningful without any
+//! remapping, and makes a reloaded store bit-compatible with the one
+//! that was saved (same ids, same sorted runs, same query results).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "ELNDDICT"            8 bytes
+//! version u32 = 1
+//! terms   u64                   record count
+//! records (tag u8, strings…)    tag 0 = IRI      (iri)
+//!                               tag 1 = plain    (lexical)
+//!                               tag 2 = lang     (lexical, tag)
+//!                               tag 3 = typed    (lexical, datatype)
+//! checksum u64                  FNV-1a 64 of everything above
+//! ```
+//!
+//! Strings are `u32` length-prefixed UTF-8.
+
+use crate::persist::{fnv1a64, put_str, put_u32, put_u64, ByteReader, PersistError};
+use elinda_rdf::{Interner, Literal, LiteralKind, Term};
+
+const MAGIC: &[u8; 8] = b"ELNDDICT";
+const VERSION: u32 = 1;
+
+const TAG_IRI: u8 = 0;
+const TAG_PLAIN: u8 = 1;
+const TAG_LANG: u8 = 2;
+const TAG_TYPED: u8 = 3;
+
+/// Serialize `interner` as a dictionary file image (including the
+/// trailing checksum).
+pub fn encode_dictionary(interner: &Interner) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + interner.len() * 32);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, interner.len() as u64);
+    for (_, term) in interner.iter() {
+        match term {
+            Term::Iri(iri) => {
+                out.push(TAG_IRI);
+                put_str(&mut out, iri);
+            }
+            Term::Literal(lit) => match lit.kind() {
+                LiteralKind::Plain => {
+                    out.push(TAG_PLAIN);
+                    put_str(&mut out, lit.lexical());
+                }
+                LiteralKind::Lang(tag) => {
+                    out.push(TAG_LANG);
+                    put_str(&mut out, lit.lexical());
+                    put_str(&mut out, tag);
+                }
+                LiteralKind::Typed(dt) => {
+                    out.push(TAG_TYPED);
+                    put_str(&mut out, lit.lexical());
+                    put_str(&mut out, dt);
+                }
+            },
+        }
+    }
+    let sum = fnv1a64(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Decode a dictionary file image back into an [`Interner`], verifying
+/// magic, version, checksum, record count, and bijectivity (a duplicate
+/// record would silently shift every later id, so it is corruption).
+pub fn decode_dictionary(file: &str, bytes: &[u8]) -> Result<Interner, PersistError> {
+    let payload = crate::persist::verify_checksummed(file, bytes)?;
+    let mut r = ByteReader::new(file, payload);
+    r.expect_magic(MAGIC)?;
+    let version = r.read_u32()?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            file: file.to_string(),
+            version,
+        });
+    }
+    let count = r.read_u64()?;
+    let count = usize::try_from(count)
+        .map_err(|_| r.corrupt(format!("term count {count} exceeds addressable memory")))?;
+    let mut interner = Interner::with_capacity(count);
+    for n in 0..count {
+        let tag = r.read_u8()?;
+        let term = match tag {
+            TAG_IRI => Term::iri(r.read_str()?),
+            TAG_PLAIN => Term::Literal(Literal::plain(r.read_str()?)),
+            TAG_LANG => {
+                let lexical = r.read_str()?;
+                let lang = r.read_str()?;
+                Term::Literal(Literal::lang(lexical, lang))
+            }
+            TAG_TYPED => {
+                let lexical = r.read_str()?;
+                let dt = r.read_str()?;
+                Term::Literal(Literal::typed(lexical, dt))
+            }
+            other => return Err(r.corrupt(format!("unknown term tag {other} in record {n}"))),
+        };
+        let id = interner.intern(term);
+        if id.index() != n {
+            return Err(r.corrupt(format!(
+                "duplicate term record {n} (re-interned as id {})",
+                id.raw()
+            )));
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(r.corrupt(format!(
+            "{} trailing bytes after the last term record",
+            r.remaining()
+        )));
+    }
+    Ok(interner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_interner() -> Interner {
+        let mut i = Interner::new();
+        i.intern(Term::iri("http://e/a"));
+        i.intern(Term::blank("b0"));
+        i.intern(Term::Literal(Literal::plain("plain \"quoted\" text")));
+        i.intern(Term::Literal(Literal::lang("Philosoph", "de")));
+        i.intern(Term::Literal(Literal::integer(42)));
+        i.intern(Term::Literal(Literal::plain(""))); // empty lexical form
+        i.intern(Term::iri("http://e/ünïcödé/道"));
+        i
+    }
+
+    #[test]
+    fn round_trip_preserves_ids_and_terms() {
+        let original = sample_interner();
+        let bytes = encode_dictionary(&original);
+        let decoded = decode_dictionary("dict", &bytes).unwrap();
+        assert_eq!(decoded.len(), original.len());
+        for (id, term) in original.iter() {
+            assert_eq!(decoded.resolve(id), term);
+            assert_eq!(decoded.get(term), Some(id));
+        }
+    }
+
+    #[test]
+    fn empty_interner_round_trips() {
+        let bytes = encode_dictionary(&Interner::new());
+        assert!(decode_dictionary("dict", &bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_dictionary(&sample_interner());
+        bytes[0] ^= 0xff;
+        // Flipping a payload byte also breaks the checksum, which is
+        // checked first.
+        assert!(matches!(
+            decode_dictionary("dict", &bytes),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode_dictionary(&sample_interner());
+        for cut in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_dictionary("dict", &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_with_fixed_checksum() {
+        let mut bytes = encode_dictionary(&sample_interner());
+        // First record's tag byte sits right after magic+version+count.
+        bytes[20] = 9;
+        let len = bytes.len();
+        let sum = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_dictionary("dict", &bytes),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_records() {
+        // Hand-build a dictionary with the same IRI twice.
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u64(&mut out, 2);
+        for _ in 0..2 {
+            out.push(TAG_IRI);
+            put_str(&mut out, "http://e/dup");
+        }
+        let sum = fnv1a64(&out);
+        put_u64(&mut out, sum);
+        let err = decode_dictionary("dict", &out).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+    }
+}

@@ -19,23 +19,44 @@
 //!   indexes targeted by the eLinda decomposer;
 //! * [`shard`] — a subject-hash-partitioned snapshot of the store whose
 //!   per-shard permutation indexes power intra-query parallel
-//!   aggregation (map per shard, merge partials).
+//!   aggregation (map per shard, merge partials);
+//! * [`dict`] / [`segment`] / [`persist`] — the persistent
+//!   dictionary-encoded layout: the interner serialized as a term
+//!   dictionary, the three permutations as checksummed segment files,
+//!   committed in immutable numbered generations behind a `CURRENT`
+//!   pointer;
+//! * [`loader`] — a streaming N-Triples bulk loader building sorted
+//!   runs directly (no per-line graph dedup), so restarts skip datagen;
+//! * [`backend`] — the [`StoreBackend`] seam: the router, overlay, and
+//!   compactor consume `Arc<TripleStore>` snapshots and never see
+//!   whether they came from memory or disk.
 //!
 //! Mutations bump an *epoch* counter; the HVS (in `elinda-endpoint`)
 //! invalidates itself whenever the epoch moves, reproducing "the HVS is
 //! cleared on any update to the eLinda knowledge bases".
 
 pub mod aggregates;
+pub mod backend;
+pub mod dict;
 pub mod labels;
+pub mod loader;
 pub mod pattern;
+pub mod persist;
 pub mod schema;
+pub mod segment;
 pub mod shard;
 pub mod stats;
 pub mod store;
+pub mod test_dirs;
 
 pub use aggregates::{PropAgg, PropertyAggregates};
+pub use backend::{MemoryBackend, PersistentBackend, StoreBackend};
 pub use labels::LabelIndex;
+pub use loader::{bulk_load_ntriples, bulk_load_ntriples_path, export_ntriples, BulkLoadReport};
 pub use pattern::TriplePattern;
+pub use persist::{
+    load_current, load_generation, prune_generations, save_generation, PersistError,
+};
 pub use schema::ClassHierarchy;
 pub use shard::{shard_of, Shard, ShardedTripleStore};
 pub use stats::DatasetStats;

@@ -1,0 +1,804 @@
+//! On-disk persistence: generation directories, manifests, and crash-safe
+//! commits for the dictionary-encoded store.
+//!
+//! A **store directory** holds immutable numbered generations plus a
+//! `CURRENT` pointer file:
+//!
+//! ```text
+//! <store-dir>/
+//!   CURRENT                  # "gen-0000000003\n", flipped via tmp+rename
+//!   gen-0000000002/          # a previous generation (kept for recovery)
+//!   gen-0000000003/
+//!     MANIFEST               # counts, epoch, per-file sizes + checksums
+//!     dict.bin               # the term dictionary (see `dict`)
+//!     spo.seg                # sorted ID-triple runs (see `segment`)
+//!     pos.seg
+//!     osp.seg
+//! ```
+//!
+//! Writes are crash-safe by construction: a generation directory is fully
+//! written and fsynced **before** `CURRENT` is flipped with an atomic
+//! rename, so a crash mid-write leaves an orphan directory that loading
+//! ignores and the next save overwrites. Every file carries its own
+//! checksum and the manifest cross-checks sizes and checksums again, so
+//! torn or bit-flipped files fail load with a typed [`PersistError`] —
+//! never a panic, never partially-served data.
+
+use crate::store::TripleStore;
+use crate::{dict, segment};
+use elinda_rdf::Triple;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The `CURRENT` pointer file name.
+pub const CURRENT_FILE: &str = "CURRENT";
+/// The per-generation manifest file name.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// The dictionary file name inside a generation.
+pub const DICT_FILE: &str = "dict.bin";
+/// The three segment file names, in [`segment::SegmentOrder`] order.
+pub const SEGMENT_FILES: [&str; 3] = ["spo.seg", "pos.seg", "osp.seg"];
+
+/// Why a persisted store could not be written or read back.
+///
+/// Every corruption mode maps to a distinct variant so callers (and the
+/// recovery tests) can tell a truncated file from a bit flip from a
+/// structurally impossible index — and none of them ever panics.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// File (or directory) the operation touched.
+        file: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A file did not start with its expected magic bytes.
+    BadMagic {
+        /// Offending file.
+        file: String,
+    },
+    /// A file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Offending file.
+        file: String,
+        /// Version found in the header.
+        version: u32,
+    },
+    /// A file ended before its declared contents did (torn write,
+    /// truncation).
+    Truncated {
+        /// Offending file.
+        file: String,
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// A file's trailing checksum (or its manifest-recorded checksum)
+    /// does not match its contents.
+    ChecksumMismatch {
+        /// Offending file.
+        file: String,
+    },
+    /// The file decoded but its contents are structurally invalid
+    /// (unsorted runs, out-of-range term ids, permutation mismatch,
+    /// malformed manifest, …).
+    Corrupt {
+        /// Offending file.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The store directory has no committed generation to load.
+    NoCurrentGeneration {
+        /// The store directory.
+        dir: PathBuf,
+    },
+    /// `CURRENT` names a generation whose directory is missing.
+    MissingGeneration {
+        /// The named generation directory.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { file, source } => write!(f, "{file}: I/O error: {source}"),
+            PersistError::BadMagic { file } => write!(f, "{file}: bad magic bytes"),
+            PersistError::UnsupportedVersion { file, version } => {
+                write!(f, "{file}: unsupported format version {version}")
+            }
+            PersistError::Truncated { file, needed, have } => {
+                write!(f, "{file}: truncated (needed {needed} bytes, have {have})")
+            }
+            PersistError::ChecksumMismatch { file } => write!(f, "{file}: checksum mismatch"),
+            PersistError::Corrupt { file, detail } => write!(f, "{file}: corrupt: {detail}"),
+            PersistError::NoCurrentGeneration { dir } => {
+                write!(f, "{}: no committed generation", dir.display())
+            }
+            PersistError::MissingGeneration { dir } => {
+                write!(f, "{}: CURRENT names a missing generation", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl PersistError {
+    pub(crate) fn io(file: impl Into<String>, source: io::Error) -> Self {
+        PersistError::Io {
+            file: file.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            file: file.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire primitives shared by the dictionary and segment codecs
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit over a byte slice — the file checksum. Not
+/// cryptographic; it guards against truncation and accidental
+/// corruption, which is the failure model of a local segment store.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward reader producing typed [`PersistError`]s
+/// (with the owning file's name) instead of panics on short input.
+pub(crate) struct ByteReader<'a> {
+    file: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(file: &'a str, bytes: &'a [u8]) -> Self {
+        ByteReader {
+            file,
+            bytes,
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                file: self.file.to_string(),
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn read_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn read_u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn read_u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn read_str(&mut self) -> Result<&'a str, PersistError> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| PersistError::corrupt(self.file, "invalid UTF-8 in string record"))
+    }
+
+    pub(crate) fn expect_magic(&mut self, magic: &[u8; 8]) -> Result<(), PersistError> {
+        let found = self.take(8).map_err(|_| PersistError::BadMagic {
+            file: self.file.to_string(),
+        })?;
+        if found != magic {
+            return Err(PersistError::BadMagic {
+                file: self.file.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn corrupt(&self, detail: impl Into<String>) -> PersistError {
+        PersistError::corrupt(self.file, detail)
+    }
+}
+
+/// Split `bytes` into `(payload, trailing checksum)` and verify the
+/// checksum, the common footer of every binary file in a generation.
+pub(crate) fn verify_checksummed<'a>(
+    file: &str,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], PersistError> {
+    if bytes.len() < 8 {
+        return Err(PersistError::Truncated {
+            file: file.to_string(),
+            needed: 8,
+            have: bytes.len(),
+        });
+    }
+    let (payload, footer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(footer.try_into().unwrap());
+    if fnv1a64(payload) != stored {
+        return Err(PersistError::ChecksumMismatch {
+            file: file.to_string(),
+        });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Generation naming
+// ---------------------------------------------------------------------------
+
+/// Directory name of generation `n` (`gen-0000000001`).
+pub fn generation_dir_name(n: u64) -> String {
+    format!("gen-{n:010}")
+}
+
+fn parse_generation_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("gen-")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// All committed-or-orphaned generation numbers present in `dir`,
+/// sorted ascending. Missing directory reads as empty.
+pub fn list_generations(dir: &Path) -> Result<Vec<u64>, PersistError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(PersistError::io(dir.display().to_string(), e)),
+    };
+    let mut gens = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| PersistError::io(dir.display().to_string(), e))?;
+        if let Some(n) = entry.file_name().to_str().and_then(parse_generation_name) {
+            if entry.path().is_dir() {
+                gens.push(n);
+            }
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+/// The committed generation number `CURRENT` points at, or `None` when
+/// the directory has no `CURRENT` file yet.
+pub fn current_generation(dir: &Path) -> Result<Option<u64>, PersistError> {
+    let path = dir.join(CURRENT_FILE);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PersistError::io(path.display().to_string(), e)),
+    };
+    match parse_generation_name(text.trim()) {
+        Some(n) => Ok(Some(n)),
+        None => Err(PersistError::corrupt(
+            path.display().to_string(),
+            format!("unparsable CURRENT contents {:?}", text.trim()),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// The parsed per-generation manifest: counts, the persisted epoch, and
+/// the size + checksum of every data file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Store epoch at save time, restored on load.
+    pub epoch: u64,
+    /// Dictionary term count.
+    pub terms: u64,
+    /// Triple count (identical across the three permutations).
+    pub triples: u64,
+    /// `(file name, byte length, fnv1a64)` for each data file.
+    pub files: Vec<(String, u64, u64)>,
+}
+
+impl Manifest {
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("elinda-manifest v1\n");
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        out.push_str(&format!("terms {}\n", self.terms));
+        out.push_str(&format!("triples {}\n", self.triples));
+        for (name, len, sum) in &self.files {
+            out.push_str(&format!("file {name} {len} {sum:016x}\n"));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    fn parse(file: &str, text: &str) -> Result<Manifest, PersistError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("elinda-manifest v1") {
+            return Err(PersistError::corrupt(file, "missing manifest header"));
+        }
+        let mut epoch = None;
+        let mut terms = None;
+        let mut triples = None;
+        let mut files = Vec::new();
+        let mut terminated = false;
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("epoch") => epoch = parts.next().and_then(|v| v.parse().ok()),
+                Some("terms") => terms = parts.next().and_then(|v| v.parse().ok()),
+                Some("triples") => triples = parts.next().and_then(|v| v.parse().ok()),
+                Some("file") => {
+                    let name = parts.next();
+                    let len = parts.next().and_then(|v| v.parse().ok());
+                    let sum = parts.next().and_then(|v| u64::from_str_radix(v, 16).ok());
+                    match (name, len, sum) {
+                        (Some(name), Some(len), Some(sum)) => {
+                            files.push((name.to_string(), len, sum))
+                        }
+                        _ => {
+                            return Err(PersistError::corrupt(
+                                file,
+                                format!("malformed file line {line:?}"),
+                            ))
+                        }
+                    }
+                }
+                Some("end") => {
+                    terminated = true;
+                    break;
+                }
+                Some(other) => {
+                    return Err(PersistError::corrupt(
+                        file,
+                        format!("unknown manifest key {other:?}"),
+                    ))
+                }
+                None => continue,
+            }
+        }
+        if !terminated {
+            // A torn manifest (crash mid-write) has no `end` sentinel.
+            return Err(PersistError::Truncated {
+                file: file.to_string(),
+                needed: 4,
+                have: 0,
+            });
+        }
+        match (epoch, terms, triples) {
+            (Some(epoch), Some(terms), Some(triples)) => Ok(Manifest {
+                epoch,
+                terms,
+                triples,
+                files,
+            }),
+            _ => Err(PersistError::corrupt(
+                file,
+                "manifest missing epoch/terms/triples",
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Save
+// ---------------------------------------------------------------------------
+
+fn write_file_synced(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let name = path.display().to_string();
+    let mut f = fs::File::create(path).map_err(|e| PersistError::io(&name, e))?;
+    f.write_all(bytes).map_err(|e| PersistError::io(&name, e))?;
+    f.sync_all().map_err(|e| PersistError::io(&name, e))?;
+    Ok(())
+}
+
+/// Best-effort directory fsync so renames within it are durable (a
+/// failure here downgrades durability, not correctness).
+fn sync_dir(path: &Path) {
+    if let Ok(f) = fs::File::open(path) {
+        let _ = f.sync_all();
+    }
+}
+
+/// Serialize `store` as the next generation of `dir` and commit it by
+/// flipping `CURRENT`. Returns the new generation number.
+///
+/// Crash safety: the generation directory is complete and fsynced
+/// before the `CURRENT` tmp+rename; a crash at any earlier point leaves
+/// the previous generation committed and this one an ignored orphan.
+pub fn save_generation(dir: &Path, store: &TripleStore) -> Result<u64, PersistError> {
+    fs::create_dir_all(dir).map_err(|e| PersistError::io(dir.display().to_string(), e))?;
+    let next = list_generations(dir)?
+        .last()
+        .copied()
+        .unwrap_or(0)
+        .max(current_generation(dir)?.unwrap_or(0))
+        + 1;
+    let gen_dir = dir.join(generation_dir_name(next));
+    // A leftover directory from an interrupted save of this same number
+    // is stale by definition: rebuild it from scratch.
+    if gen_dir.exists() {
+        fs::remove_dir_all(&gen_dir)
+            .map_err(|e| PersistError::io(gen_dir.display().to_string(), e))?;
+    }
+    fs::create_dir_all(&gen_dir).map_err(|e| PersistError::io(gen_dir.display().to_string(), e))?;
+
+    let dict_bytes = dict::encode_dictionary(store.interner());
+    let seg_bytes = [
+        segment::encode_segment(segment::SegmentOrder::Spo, store.spo_slice()),
+        segment::encode_segment(segment::SegmentOrder::Pos, store.pos_slice()),
+        segment::encode_segment(segment::SegmentOrder::Osp, store.osp_slice()),
+    ];
+
+    let mut files = vec![(
+        DICT_FILE.to_string(),
+        dict_bytes.len() as u64,
+        fnv1a64(&dict_bytes),
+    )];
+    for (name, bytes) in SEGMENT_FILES.iter().zip(&seg_bytes) {
+        files.push((name.to_string(), bytes.len() as u64, fnv1a64(bytes)));
+    }
+    let manifest = Manifest {
+        epoch: store.epoch(),
+        terms: store.interner().len() as u64,
+        triples: store.len() as u64,
+        files,
+    };
+
+    write_file_synced(&gen_dir.join(DICT_FILE), &dict_bytes)?;
+    for (name, bytes) in SEGMENT_FILES.iter().zip(&seg_bytes) {
+        write_file_synced(&gen_dir.join(name), bytes)?;
+    }
+    write_file_synced(&gen_dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+    sync_dir(&gen_dir);
+
+    // The commit point: CURRENT flips atomically to the new generation.
+    let tmp = dir.join(format!(".CURRENT.tmp.{next}"));
+    write_file_synced(&tmp, format!("{}\n", generation_dir_name(next)).as_bytes())?;
+    fs::rename(&tmp, dir.join(CURRENT_FILE))
+        .map_err(|e| PersistError::io(dir.display().to_string(), e))?;
+    sync_dir(dir);
+    Ok(next)
+}
+
+/// True when generation `n`'s manifest was fully written (its `end`
+/// sentinel is in place) — the cheap probe separating interrupted saves
+/// from usable fallback generations.
+fn generation_is_terminated(dir: &Path, n: u64) -> bool {
+    fs::read_to_string(dir.join(generation_dir_name(n)).join(MANIFEST_FILE))
+        .map(|text| text.ends_with("end\n"))
+        .unwrap_or(false)
+}
+
+/// Delete committed generations older than the `keep` most recent ones
+/// (the current generation is always kept), plus every orphan of an
+/// interrupted save: generations above `CURRENT`, and generations below
+/// it whose manifest never finished — neither is a usable fallback.
+/// Returns the generation numbers pruned, ascending.
+pub fn prune_generations(dir: &Path, keep: usize) -> Result<Vec<u64>, PersistError> {
+    let keep = keep.max(1);
+    let Some(current) = current_generation(dir)? else {
+        return Ok(Vec::new());
+    };
+    let mut pruned = Vec::new();
+    let remove = |n: u64, pruned: &mut Vec<u64>| -> Result<(), PersistError> {
+        let path = dir.join(generation_dir_name(n));
+        fs::remove_dir_all(&path).map_err(|e| PersistError::io(path.display().to_string(), e))?;
+        pruned.push(n);
+        Ok(())
+    };
+    let mut committed = Vec::new();
+    for n in list_generations(dir)? {
+        if n != current && (n > current || !generation_is_terminated(dir, n)) {
+            remove(n, &mut pruned)?;
+        } else {
+            committed.push(n);
+        }
+    }
+    let cutoff_idx = committed.len().saturating_sub(keep);
+    for &n in &committed[..cutoff_idx] {
+        if n == current {
+            continue;
+        }
+        remove(n, &mut pruned)?;
+    }
+    pruned.sort_unstable();
+    Ok(pruned)
+}
+
+// ---------------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------------
+
+fn read_verified(gen_dir: &Path, name: &str, manifest: &Manifest) -> Result<Vec<u8>, PersistError> {
+    let path = gen_dir.join(name);
+    let display = path.display().to_string();
+    let bytes = fs::read(&path).map_err(|e| PersistError::io(&display, e))?;
+    let Some((_, len, sum)) = manifest.files.iter().find(|(n, _, _)| n == name) else {
+        return Err(PersistError::corrupt(
+            gen_dir.join(MANIFEST_FILE).display().to_string(),
+            format!("manifest lists no entry for {name}"),
+        ));
+    };
+    if bytes.len() as u64 != *len {
+        return Err(PersistError::Truncated {
+            file: display,
+            needed: *len as usize,
+            have: bytes.len(),
+        });
+    }
+    if fnv1a64(&bytes) != *sum {
+        return Err(PersistError::ChecksumMismatch { file: display });
+    }
+    Ok(bytes)
+}
+
+/// Load one specific generation of `dir`, fully validated: manifest
+/// sizes and checksums, per-file trailing checksums, dictionary
+/// bijectivity, segment sortedness, term-id range, and cross-permutation
+/// consistency (all three segments hold the same triple set).
+pub fn load_generation(dir: &Path, generation: u64) -> Result<TripleStore, PersistError> {
+    let gen_dir = dir.join(generation_dir_name(generation));
+    if !gen_dir.is_dir() {
+        return Err(PersistError::MissingGeneration { dir: gen_dir });
+    }
+    let manifest_path = gen_dir.join(MANIFEST_FILE);
+    let manifest_name = manifest_path.display().to_string();
+    let manifest_text =
+        fs::read_to_string(&manifest_path).map_err(|e| PersistError::io(&manifest_name, e))?;
+    let manifest = Manifest::parse(&manifest_name, &manifest_text)?;
+
+    let dict_bytes = read_verified(&gen_dir, DICT_FILE, &manifest)?;
+    let interner =
+        dict::decode_dictionary(&gen_dir.join(DICT_FILE).display().to_string(), &dict_bytes)?;
+    if interner.len() as u64 != manifest.terms {
+        return Err(PersistError::corrupt(
+            &manifest_name,
+            format!(
+                "dictionary holds {} terms, manifest says {}",
+                interner.len(),
+                manifest.terms
+            ),
+        ));
+    }
+
+    let orders = [
+        segment::SegmentOrder::Spo,
+        segment::SegmentOrder::Pos,
+        segment::SegmentOrder::Osp,
+    ];
+    let mut runs: Vec<Vec<Triple>> = Vec::with_capacity(3);
+    for (name, order) in SEGMENT_FILES.iter().zip(orders) {
+        let bytes = read_verified(&gen_dir, name, &manifest)?;
+        let file = gen_dir.join(name).display().to_string();
+        let triples = segment::decode_segment(&file, &bytes, order)?;
+        if triples.len() as u64 != manifest.triples {
+            return Err(PersistError::corrupt(
+                &file,
+                format!(
+                    "segment holds {} triples, manifest says {}",
+                    triples.len(),
+                    manifest.triples
+                ),
+            ));
+        }
+        let max_term = interner.len() as u32;
+        if let Some(t) = triples
+            .iter()
+            .find(|t| t.s.raw() > max_term || t.p.raw() > max_term || t.o.raw() > max_term)
+        {
+            return Err(PersistError::corrupt(
+                &file,
+                format!("triple references term id beyond dictionary ({t:?})"),
+            ));
+        }
+        runs.push(triples);
+    }
+    let osp = runs.pop().expect("three runs");
+    let pos = runs.pop().expect("three runs");
+    let spo = runs.pop().expect("three runs");
+
+    // The three permutations must agree on the triple set, or pattern
+    // queries would answer differently depending on the index chosen.
+    for (name, run) in SEGMENT_FILES[1..].iter().zip([&pos, &osp]) {
+        let mut resorted = run.clone();
+        resorted.sort_unstable();
+        if resorted != spo {
+            return Err(PersistError::corrupt(
+                gen_dir.join(name).display().to_string(),
+                "permutation disagrees with spo.seg on the triple set",
+            ));
+        }
+    }
+
+    Ok(TripleStore::from_index_parts(
+        interner,
+        spo,
+        pos,
+        osp,
+        manifest.epoch,
+    ))
+}
+
+/// Load the committed (`CURRENT`) generation of `dir`, returning the
+/// store and its generation number.
+pub fn load_current(dir: &Path) -> Result<(TripleStore, u64), PersistError> {
+    let generation = current_generation(dir)?.ok_or_else(|| PersistError::NoCurrentGeneration {
+        dir: dir.to_path_buf(),
+    })?;
+    let store = load_generation(dir, generation)?;
+    Ok((store, generation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dirs::fresh_dir;
+
+    fn sample() -> TripleStore {
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:a a ex:C ; ex:p ex:b , ex:c ; rdfs:label "a" .
+            ex:b a ex:C ; ex:p ex:c .
+            ex:c a ex:D ; rdfs:label "zé \"q\""@fr .
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let dir = fresh_dir("persist-roundtrip");
+        let store = sample();
+        let generation = save_generation(&dir, &store).unwrap();
+        assert_eq!(generation, 1);
+        let (loaded, loaded_gen) = load_current(&dir).unwrap();
+        assert_eq!(loaded_gen, 1);
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.epoch(), store.epoch());
+        assert_eq!(loaded.spo_slice(), store.spo_slice());
+        assert_eq!(loaded.pos_slice(), store.pos_slice());
+        assert_eq!(loaded.osp_slice(), store.osp_slice());
+        assert_eq!(loaded.interner().len(), store.interner().len());
+        for (id, term) in store.interner().iter() {
+            assert_eq!(loaded.interner().resolve(id), term);
+        }
+        // The loaded store is a new lineage.
+        assert_ne!(loaded.store_id(), store.store_id());
+    }
+
+    #[test]
+    fn epoch_survives_the_round_trip() {
+        let dir = fresh_dir("persist-epoch");
+        let mut store = sample();
+        let x = store.intern(elinda_rdf::Term::iri("http://e/x"));
+        let p = store.lookup_iri("http://e/p").unwrap();
+        store.insert(x, p, x);
+        store.bump_epoch();
+        assert_eq!(store.epoch(), 2);
+        save_generation(&dir, &store).unwrap();
+        let (loaded, _) = load_current(&dir).unwrap();
+        assert_eq!(loaded.epoch(), 2);
+    }
+
+    #[test]
+    fn generations_are_numbered_monotonically() {
+        let dir = fresh_dir("persist-gens");
+        let store = sample();
+        assert_eq!(save_generation(&dir, &store).unwrap(), 1);
+        assert_eq!(save_generation(&dir, &store).unwrap(), 2);
+        assert_eq!(save_generation(&dir, &store).unwrap(), 3);
+        assert_eq!(list_generations(&dir).unwrap(), vec![1, 2, 3]);
+        assert_eq!(current_generation(&dir).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_and_current() {
+        let dir = fresh_dir("persist-prune");
+        let store = sample();
+        for _ in 0..4 {
+            save_generation(&dir, &store).unwrap();
+        }
+        let pruned = prune_generations(&dir, 2).unwrap();
+        assert_eq!(pruned, vec![1, 2]);
+        assert_eq!(list_generations(&dir).unwrap(), vec![3, 4]);
+        // Pruning again is a no-op.
+        assert!(prune_generations(&dir, 2).unwrap().is_empty());
+        // The survivors still load.
+        assert_eq!(load_current(&dir).unwrap().1, 4);
+    }
+
+    #[test]
+    fn empty_dir_reports_no_generation() {
+        let dir = fresh_dir("persist-empty");
+        assert!(current_generation(&dir).unwrap().is_none());
+        assert!(matches!(
+            load_current(&dir),
+            Err(PersistError::NoCurrentGeneration { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let dir = fresh_dir("persist-empty-store");
+        let store = TripleStore::new();
+        save_generation(&dir, &store).unwrap();
+        let (loaded, _) = load_current(&dir).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.interner().len(), 0);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_torn_text() {
+        let m = Manifest {
+            epoch: 7,
+            terms: 10,
+            triples: 5,
+            files: vec![("dict.bin".into(), 123, 0xabcd)],
+        };
+        let text = m.render();
+        assert_eq!(Manifest::parse("m", &text).unwrap(), m);
+        // Cut before the `end` sentinel: a torn write.
+        let torn = &text[..text.len() - 4];
+        assert!(matches!(
+            Manifest::parse("m", torn),
+            Err(PersistError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("m", "garbage"),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}

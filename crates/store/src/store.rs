@@ -71,6 +71,39 @@ impl TripleStore {
         }
     }
 
+    /// Assemble a store from already-built index parts: an interner and
+    /// the three sorted, deduplicated permutations of one triple set.
+    /// Used by the persistence loader ([`crate::persist`]) and the bulk
+    /// loader ([`crate::loader`]), which produce the sorted runs
+    /// themselves. The `epoch` is restored verbatim (a reloaded store
+    /// continues its saved lineage's epoch count); the store id is
+    /// fresh, so epoch-tagged snapshots from before a reload always
+    /// read as stale.
+    ///
+    /// The permutations must be sorted by their respective keys and
+    /// contain the same triples; debug builds assert this.
+    pub fn from_index_parts(
+        interner: Interner,
+        spo: Vec<Triple>,
+        pos: Vec<Triple>,
+        osp: Vec<Triple>,
+        epoch: u64,
+    ) -> Self {
+        debug_assert!(spo.windows(2).all(|w| w[0].spo() < w[1].spo()));
+        debug_assert!(pos.windows(2).all(|w| w[0].pos() < w[1].pos()));
+        debug_assert!(osp.windows(2).all(|w| w[0].osp() < w[1].osp()));
+        debug_assert_eq!(spo.len(), pos.len());
+        debug_assert_eq!(spo.len(), osp.len());
+        TripleStore {
+            interner,
+            spo,
+            pos,
+            osp,
+            epoch,
+            store_id: fresh_store_id(),
+        }
+    }
+
     /// Parse and load an N-Triples document.
     pub fn from_ntriples(input: &str) -> Result<Self, elinda_rdf::RdfError> {
         Ok(Self::from_graph(elinda_rdf::ntriples::parse_document(

@@ -1,0 +1,26 @@
+//! Unique scratch directories for persistence tests.
+//!
+//! The workspace builds offline with no `tempfile` crate, so tests that
+//! need a store directory get one here: a fresh path under the system
+//! temp dir, unique per process and call, created on demand. Callers
+//! may remove it afterwards; leaking under `/tmp` on a panicking test
+//! is acceptable and keeps the failure inspectable.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// Create and return a fresh empty directory whose name embeds `label`,
+/// the process id, and a per-process counter.
+pub fn fresh_dir(label: &str) -> PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("elinda-{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Remove a scratch directory, ignoring errors (it may already be gone).
+pub fn cleanup(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,303 @@
+//! Cross-backend differential suite: the persistent dictionary-encoded
+//! backend must be invisible to every query tier.
+//!
+//! A store saved to disk and loaded back must produce **byte-identical**
+//! SPARQL-JSON to the in-memory original — for the cold decomposer, the
+//! cache (first visit and hit), the incremental frontier-seeded tier,
+//! the sharded parallel evaluator, and the direct executor — and the
+//! same must hold for reads after SPARQL UPDATEs, after compaction, and
+//! after a restart from the post-compaction generation. A proptest leg
+//! extends the save→load identity to random graphs.
+
+use elinda::datagen::{generate_dbpedia, DbpediaConfig};
+use elinda::endpoint::decomposer::{property_expansion_sparql, ExpansionDirection};
+use elinda::endpoint::json::encode_solutions;
+use elinda::endpoint::{
+    ElindaEndpoint, EndpointConfig, NoveltyConfig, Parallelism, QueryEngine, ResilienceConfig,
+    ServedBy,
+};
+use elinda::rdf::term::Literal;
+use elinda::rdf::{vocab, Graph, Term};
+use elinda::server::ServerState;
+use elinda::store::test_dirs::{cleanup, fresh_dir};
+use elinda::store::{
+    load_current, save_generation, MemoryBackend, PersistentBackend, StoreBackend, TripleStore,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn dbo(local: &str) -> String {
+    format!("{}{local}", vocab::dbo::NS)
+}
+
+/// Save `store` into a scratch directory and load it back — the
+/// persistent backend's startup path, distilled.
+fn persist_round_trip(store: &TripleStore) -> TripleStore {
+    let dir = fresh_dir("equiv");
+    save_generation(&dir, store).expect("save generation");
+    let (loaded, generation) = load_current(&dir).expect("load generation");
+    assert_eq!(generation, 1);
+    cleanup(&dir);
+    loaded
+}
+
+/// Queries covering every router path: two recognized property-expansion
+/// charts (precomputed/cache/incremental/sharded tiers) and two plain
+/// aggregations (direct tier).
+fn chart_queries() -> Vec<String> {
+    vec![
+        property_expansion_sparql(&dbo("Politician"), ExpansionDirection::Outgoing),
+        property_expansion_sparql(&dbo("Philosopher"), ExpansionDirection::Incoming),
+        format!(
+            "SELECT ?c (COUNT(?s) AS ?n) WHERE {{ \
+             ?c <http://www.w3.org/2000/01/rdf-schema#subClassOf> <{}> . ?s a ?c }} \
+             GROUP BY ?c ORDER BY DESC(?n)",
+            dbo("Agent")
+        ),
+        format!(
+            "SELECT ?c (COUNT(?s) AS ?n) WHERE {{ \
+             ?s a <{}> . ?s <{}> ?o . ?o a ?c }} GROUP BY ?c ORDER BY DESC(?n)",
+            dbo("Person"),
+            dbo("birthPlace")
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole assertion: every tier, byte-identical across backends.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_router_tiers_are_byte_identical_across_backends() {
+    let memory = generate_dbpedia(&DbpediaConfig::tiny());
+    let disk = persist_round_trip(&memory);
+
+    // The reload preserved the interner exactly (same ids, same terms),
+    // which is what makes the raw index slices comparable at all.
+    assert_eq!(memory.interner().len(), disk.interner().len());
+    assert_eq!(memory.spo_slice(), disk.spo_slice());
+    assert_eq!(memory.epoch(), disk.epoch());
+
+    for q in chart_queries() {
+        // Cold sequential decomposition (the canonical chart bytes).
+        let reference = {
+            let ep = ElindaEndpoint::new(&memory, EndpointConfig::decomposer_only());
+            encode_solutions(&ep.execute(&q).unwrap().solutions, &memory)
+        };
+        {
+            let ep = ElindaEndpoint::new(&disk, EndpointConfig::decomposer_only());
+            assert_eq!(
+                encode_solutions(&ep.execute(&q).unwrap().solutions, &disk),
+                reference,
+                "decomposer tier diverged: {q}"
+            );
+        }
+
+        // Full config: first visit, then the cache hit must replay the
+        // same bytes on both backends.
+        let full_mem = ElindaEndpoint::new(&memory, EndpointConfig::full());
+        let full_disk = ElindaEndpoint::new(&disk, EndpointConfig::full());
+        for (label, ep, store) in [("memory", &full_mem, &memory), ("disk", &full_disk, &disk)] {
+            let first = ep.execute(&q).unwrap();
+            assert_eq!(
+                encode_solutions(&first.solutions, store),
+                reference,
+                "full-config first visit diverged on {label}: {q}"
+            );
+            let repeat = ep.execute(&q).unwrap();
+            assert_eq!(
+                encode_solutions(&repeat.solutions, store),
+                reference,
+                "cache-hit replay diverged on {label}: {q}"
+            );
+        }
+
+        // Sharded parallel evaluator.
+        for (label, store) in [("memory", &memory), ("disk", &disk)] {
+            let ep = ElindaEndpoint::new(store, EndpointConfig::parallel(Parallelism::fixed(2, 3)));
+            assert_eq!(
+                encode_solutions(&ep.execute(&q).unwrap().solutions, store),
+                reference,
+                "parallel tier diverged on {label}: {q}"
+            );
+        }
+
+        // Direct executor. Its row order is unspecified in general, but
+        // both backends hold identical term ids and index slices, so the
+        // *same implementation over the same data* must emit the same
+        // bytes — a stricter check than sorted-set equality.
+        let direct_mem = {
+            let ep = ElindaEndpoint::new(&memory, EndpointConfig::baseline());
+            encode_solutions(&ep.execute(&q).unwrap().solutions, &memory)
+        };
+        let direct_disk = {
+            let ep = ElindaEndpoint::new(&disk, EndpointConfig::baseline());
+            encode_solutions(&ep.execute(&q).unwrap().solutions, &disk)
+        };
+        assert_eq!(direct_mem, direct_disk, "direct tier diverged: {q}");
+    }
+}
+
+#[test]
+fn incremental_tier_is_byte_identical_across_backends() {
+    let memory = generate_dbpedia(&DbpediaConfig::tiny());
+    let disk = persist_round_trip(&memory);
+    let parent = property_expansion_sparql(&dbo("Person"), ExpansionDirection::Outgoing);
+    let child = property_expansion_sparql(&dbo("Politician"), ExpansionDirection::Outgoing);
+
+    let mut bodies = Vec::new();
+    for (label, store) in [("memory", &memory), ("disk", &disk)] {
+        let ep = ElindaEndpoint::new(store, EndpointConfig::full());
+        ep.execute(&parent).unwrap();
+        let out = ep.execute(&child).unwrap();
+        assert_eq!(
+            out.served_by,
+            ServedBy::Incremental,
+            "{label}: expected frontier-seeded evaluation after priming"
+        );
+        bodies.push(encode_solutions(&out.solutions, store));
+    }
+    assert_eq!(bodies[0], bodies[1], "incremental tier diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Post-UPDATE and post-compaction reads, including a restart.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn update_compact_restart_reads_are_byte_identical() {
+    let dir = fresh_dir("equiv-update");
+    let seed = Arc::new(generate_dbpedia(&DbpediaConfig::tiny()));
+
+    let mem_state = ServerState::with_backend(
+        Arc::new(MemoryBackend::new(Arc::clone(&seed))),
+        EndpointConfig::full(),
+        ResilienceConfig::default(),
+        NoveltyConfig::default(),
+    );
+    let disk_backend = Arc::new(PersistentBackend::initialize(&dir, Arc::clone(&seed)).unwrap());
+    let disk_state = ServerState::with_backend(
+        Arc::clone(&disk_backend) as Arc<dyn StoreBackend>,
+        EndpointConfig::full(),
+        ResilienceConfig::default(),
+        NoveltyConfig::default(),
+    );
+
+    let updates = [
+        format!(
+            "INSERT DATA {{ <http://e/px> a <{}> . <http://e/px> <{}> <http://e/town> }}",
+            dbo("Politician"),
+            dbo("birthPlace")
+        ),
+        "DELETE DATA { <http://e/px> a <http://dbpedia.org/ontology/Politician> }".to_string(),
+        format!("INSERT DATA {{ <http://e/py> a <{}> }}", dbo("Philosopher")),
+    ];
+    let queries = chart_queries();
+
+    for update in &updates {
+        let a = mem_state.apply_update(update).unwrap();
+        let b = disk_state.apply_update(update).unwrap();
+        assert_eq!(a.inserted, b.inserted);
+        assert_eq!(a.deleted, b.deleted);
+        // Uncompacted reads agree byte for byte.
+        for q in &queries {
+            let (mem_body, _) = mem_state.execute_json(q).unwrap();
+            let (disk_body, _) = disk_state.execute_json(q).unwrap();
+            assert_eq!(mem_body, disk_body, "post-update read diverged: {q}");
+        }
+    }
+
+    // Compaction folds the overlay; the persistent side also commits a
+    // new generation. Reads must not move by a byte on either side.
+    let before: Vec<String> = queries
+        .iter()
+        .map(|q| mem_state.execute_json(q).unwrap().0)
+        .collect();
+    let mem_report = mem_state.compact_now().expect("staged novelty");
+    let disk_report = disk_state.compact_now().expect("staged novelty");
+    assert_eq!(mem_report.folded, disk_report.folded);
+    assert_eq!(mem_report.persisted_generation, None);
+    assert_eq!(disk_report.persisted_generation, Some(2));
+    for (q, expected) in queries.iter().zip(&before) {
+        let (mem_body, _) = mem_state.execute_json(q).unwrap();
+        let (disk_body, _) = disk_state.execute_json(q).unwrap();
+        assert_eq!(&mem_body, expected, "compaction changed bytes: {q}");
+        assert_eq!(mem_body, disk_body, "post-compaction read diverged: {q}");
+    }
+
+    // Restart the persistent side from disk: a brand-new state over the
+    // reopened generation must serve the same bytes as the long-running
+    // in-memory state.
+    drop(disk_state);
+    let reopened = Arc::new(PersistentBackend::open(&dir).unwrap());
+    assert_eq!(reopened.generation(), 2);
+    let restarted = ServerState::with_backend(
+        reopened,
+        EndpointConfig::full(),
+        ResilienceConfig::default(),
+        NoveltyConfig::default(),
+    );
+    for q in &queries {
+        let (mem_body, _) = mem_state.execute_json(q).unwrap();
+        let (restart_body, _) = restarted.execute_json(q).unwrap();
+        assert_eq!(mem_body, restart_body, "post-restart read diverged: {q}");
+    }
+    cleanup(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: the save→load identity holds for arbitrary graphs.
+// ---------------------------------------------------------------------------
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        3 => (0u32..40).prop_map(|n| Term::iri(format!("http://e/n{n}"))),
+        1 => "[a-zA-Z0-9 \\\\\"\n\t]{0,12}".prop_map(|s| Term::Literal(Literal::plain(s))),
+        1 => (-1000i64..1000).prop_map(|n| Term::Literal(Literal::integer(n))),
+        1 => ("[a-z]{1,8}", prop_oneof![Just("en"), Just("de")])
+            .prop_map(|(s, l)| Term::Literal(Literal::lang(s, l))),
+    ]
+}
+
+fn arb_store() -> impl Strategy<Value = TripleStore> {
+    let iri = |range: std::ops::Range<u32>| range.prop_map(|n| Term::iri(format!("http://e/n{n}")));
+    proptest::collection::vec((iri(0..30), iri(0..8), arb_term()), 0..120).prop_map(|triples| {
+        let mut g = Graph::new();
+        for (s, p, o) in triples {
+            g.insert(s, p, o);
+        }
+        TripleStore::from_graph(g)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn save_load_preserves_indexes_and_dictionary(store in arb_store()) {
+        let loaded = persist_round_trip(&store);
+        prop_assert_eq!(loaded.len(), store.len());
+        prop_assert_eq!(loaded.spo_slice(), store.spo_slice());
+        prop_assert_eq!(loaded.pos_slice(), store.pos_slice());
+        prop_assert_eq!(loaded.osp_slice(), store.osp_slice());
+        prop_assert_eq!(loaded.interner().len(), store.interner().len());
+        for (id, term) in store.interner().iter() {
+            prop_assert_eq!(loaded.interner().resolve(id), term);
+        }
+    }
+
+    #[test]
+    fn direct_tier_bytes_survive_the_round_trip(store in arb_store()) {
+        let loaded = persist_round_trip(&store);
+        let q = "SELECT ?s ?o WHERE { ?s <http://e/n1> ?o }";
+        let a = {
+            let ep = ElindaEndpoint::new(&store, EndpointConfig::baseline());
+            encode_solutions(&ep.execute(q).unwrap().solutions, &store)
+        };
+        let b = {
+            let ep = ElindaEndpoint::new(&loaded, EndpointConfig::baseline());
+            encode_solutions(&ep.execute(q).unwrap().solutions, &loaded)
+        };
+        prop_assert_eq!(a, b);
+    }
+}
