@@ -42,6 +42,7 @@ pub mod remote;
 pub mod resilience;
 pub mod router;
 pub mod trace;
+pub mod update_log;
 
 pub use cache::{normalize_query_text, CacheConfig, CacheStats, ResultCache};
 pub use decomposer::{recognize_property_expansion, PropertyExpansionQuery};
@@ -60,3 +61,4 @@ pub use resilience::{
 };
 pub use router::{DecomposerMode, ElindaEndpoint, EndpointConfig, ExplainReport};
 pub use trace::{FinishedTrace, SpanRecord, StageStats, TraceCtx, TraceRing};
+pub use update_log::{decode_update, encode_update};

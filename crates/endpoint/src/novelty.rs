@@ -206,7 +206,25 @@ impl NoveltyStore {
     /// (SPARQL UPDATE semantics); an all-noop request leaves the view
     /// Arc and the epoch untouched, so caches stay fresh.
     pub fn apply(&self, update: &Update) -> ApplyOutcome {
+        match self.apply_with(update, |_| Ok::<(), std::convert::Infallible>(())) {
+            Ok(outcome) => outcome,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`NoveltyStore::apply`] with a durability hook: `log` runs under
+    /// the overlay write lock *before* any mutation, so the order of
+    /// successful log calls is exactly the order updates take effect —
+    /// the WAL's replay order matches apply order by construction. If
+    /// `log` fails, the overlay is untouched and the error propagates;
+    /// the update was neither logged nor applied.
+    pub fn apply_with<E>(
+        &self,
+        update: &Update,
+        log: impl FnOnce(&Update) -> Result<(), E>,
+    ) -> Result<ApplyOutcome, E> {
         let mut inner = self.inner.write();
+        log(update)?;
         let mut store = (*inner.view).clone();
         let (mut inserted, mut deleted, mut noops) = (0usize, 0usize, 0usize);
         for op in &update.ops {
@@ -280,7 +298,7 @@ impl NoveltyStore {
         if outcome.novelty >= self.config.max_triples {
             self.notify();
         }
-        outcome
+        Ok(outcome)
     }
 
     /// Fold the staged novelty into a new base: promote the merged view,
@@ -289,6 +307,16 @@ impl NoveltyStore {
     /// responsible for rebuilding derived indexes afterwards
     /// ([`crate::router::ElindaEndpoint::refresh`]).
     pub fn compact(&self) -> Option<CompactionReport> {
+        self.compact_with(|| {})
+    }
+
+    /// [`NoveltyStore::compact`] with a durability hook: `post_fold`
+    /// runs under the overlay write lock immediately after the fold, so
+    /// no update can land between the fold and the hook. The WAL layer
+    /// uses it to seal the active log segment at exactly the fold point:
+    /// every record at or before the seal is covered by the folded base,
+    /// every record after it is novelty on top.
+    pub fn compact_with(&self, post_fold: impl FnOnce()) -> Option<CompactionReport> {
         let start = Instant::now();
         let mut inner = self.inner.write();
         let folded = inner.added.len() + inner.removed.len();
@@ -302,6 +330,7 @@ impl NoveltyStore {
         inner.view = new_base;
         inner.added.clear();
         inner.removed.clear();
+        post_fold();
         drop(inner);
         let duration = start.elapsed();
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);

@@ -366,7 +366,15 @@ impl<S: Borrow<TripleStore>> ElindaEndpoint<S> {
     /// indexes. Returns `None` on a read-only endpoint or when nothing
     /// is staged.
     pub fn compact(&self) -> Option<CompactionReport> {
-        let report = self.novelty.as_ref()?.compact()?;
+        self.compact_with(|| {})
+    }
+
+    /// [`ElindaEndpoint::compact`] with a durability hook forwarded to
+    /// [`NoveltyStore::compact_with`]: `post_fold` runs under the
+    /// overlay write lock at the exact fold point (the WAL layer seals
+    /// its active segment there).
+    pub fn compact_with(&self, post_fold: impl FnOnce()) -> Option<CompactionReport> {
+        let report = self.novelty.as_ref()?.compact_with(post_fold)?;
         self.refresh();
         Some(report)
     }

@@ -10,6 +10,8 @@
 //!                                 [--compact-interval-ms 1000]
 //!                                 [--novelty-max-triples 4096]
 //!                                 [--store-dir DIR] [--load FILE.nt]
+//!                                 [--wal DIR] [--wal-sync always|never|interval[:MS]]
+//!                                 [--wal-group-commit-us N]
 //! ```
 //!
 //! Where the store comes from, in priority order:
@@ -28,6 +30,14 @@
 //! `cold-start:` line reports the source and timing for the bench
 //! trajectory.
 //!
+//! With `--wal DIR`, every `POST /update` is appended to a checksummed
+//! write-ahead log and fsynced (per `--wal-sync`) before it is acked;
+//! on restart the log tail is replayed on top of the loaded store and a
+//! greppable `wal-recovery:` line reports what came back. Compactions
+//! seal the active segment at the fold point and discard sealed
+//! segments once the folded base is durably persisted, so kill-at-any-
+//! instant recovers to exactly the acked prefix.
+//!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
 //! no dependency-free portable signal handling), then drains in-flight
 //! requests and exits.
@@ -39,7 +49,8 @@ use elinda_endpoint::{
 };
 use elinda_server::{serve, ServerConfig, ServerState};
 use elinda_store::{
-    bulk_load_ntriples_path, PersistError, PersistentBackend, StoreBackend, TripleStore,
+    bulk_load_ntriples_path, PersistError, PersistentBackend, StoreBackend, TripleStore, Wal,
+    WalConfig, WalSyncPolicy,
 };
 use std::io::BufRead;
 use std::sync::Arc;
@@ -78,6 +89,16 @@ struct Args {
     store_dir: Option<String>,
     /// N-Triples file to bulk-load instead of running datagen.
     load: Option<String>,
+    /// Write-ahead log directory; updates are appended (and fsynced per
+    /// `--wal-sync`) before they are acked, and restarts replay the
+    /// tail on top of the loaded store.
+    wal: Option<String>,
+    /// Durability policy: `always` (fsync per acked update), `never`,
+    /// or `interval[:MS]`.
+    wal_sync: WalSyncPolicy,
+    /// Group-commit gather window in microseconds; 0 disables the wait
+    /// (concurrent writers still share a leader's fsync).
+    wal_group_commit_us: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
         novelty_max_triples: NoveltyConfig::default().max_triples,
         store_dir: None,
         load: None,
+        wal: None,
+        wal_sync: WalSyncPolicy::Always,
+        wal_group_commit_us: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -172,6 +196,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store-dir" => args.store_dir = Some(value("--store-dir")?),
             "--load" => args.load = Some(value("--load")?),
+            "--wal" => args.wal = Some(value("--wal")?),
+            "--wal-sync" => {
+                let text = value("--wal-sync")?;
+                args.wal_sync = WalSyncPolicy::parse(&text)
+                    .ok_or_else(|| format!("--wal-sync: unknown policy `{text}`"))?
+            }
+            "--wal-group-commit-us" => {
+                args.wal_group_commit_us = value("--wal-group-commit-us")?
+                    .parse()
+                    .map_err(|e| format!("--wal-group-commit-us: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
@@ -184,7 +219,10 @@ fn parse_args() -> Result<Args, String> {
                      [--compact-interval-ms N (0 = no background compactor)] \
                      [--novelty-max-triples N (staged writes that wake it early)] \
                      [--store-dir DIR (persist compactions; reload on restart)] \
-                     [--load FILE.nt (bulk-load instead of datagen)]"
+                     [--load FILE.nt (bulk-load instead of datagen)] \
+                     [--wal DIR (append+fsync updates before acking; replay on restart)] \
+                     [--wal-sync always|never|interval[:MS]] \
+                     [--wal-group-commit-us N (fsync gather window)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -335,12 +373,41 @@ fn main() {
     let novelty_config = NoveltyConfig {
         max_triples: args.novelty_max_triples,
     };
-    let state = Arc::new(match backend {
+    let mut state = match backend {
         Some(backend) => {
             ServerState::with_backend(backend, endpoint_config, resilience, novelty_config)
         }
         None => ServerState::with_write_config(store, endpoint_config, resilience, novelty_config),
-    });
+    };
+    if let Some(dir) = &args.wal {
+        let wal_config = WalConfig {
+            sync: args.wal_sync,
+            group_commit_window: Duration::from_micros(args.wal_group_commit_us),
+        };
+        let (wal, recovery) = match Wal::open(std::path::Path::new(dir), wal_config) {
+            Ok(opened) => opened,
+            Err(e) => {
+                eprintln!("failed to open write-ahead log {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match state.attach_wal(Arc::new(wal), &recovery) {
+            Ok(report) => eprintln!(
+                "wal-recovery: replayed={} triples={} truncated={} torn={} segments={} sync={}",
+                report.replayed_records,
+                report.replayed_triples,
+                report.truncated_bytes,
+                report.torn,
+                recovery.segments,
+                args.wal_sync.name()
+            ),
+            Err(e) => {
+                eprintln!("failed to replay write-ahead log {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let state = Arc::new(state);
     let config = ServerConfig {
         workers: args.workers,
         queue_depth: args.queue_depth,
@@ -351,7 +418,7 @@ fn main() {
         compact_interval: (args.compact_interval_ms > 0)
             .then(|| Duration::from_millis(args.compact_interval_ms)),
     };
-    let handle = match serve(state, args.addr.as_str(), config) {
+    let handle = match serve(Arc::clone(&state), args.addr.as_str(), config) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("failed to bind {}: {e}", args.addr);
@@ -392,6 +459,17 @@ fn main() {
     eprintln!("shutting down (draining in-flight requests)...");
     let counters = handle.counters();
     handle.shutdown();
+    // Drain-time flush: fold and persist staged writes, then force a
+    // final WAL fsync, so a clean shutdown leaves nothing to replay.
+    if let Some(report) = state.shutdown_flush() {
+        eprintln!(
+            "shutdown-flush: folded={} generation={}",
+            report.folded,
+            report
+                .persisted_generation
+                .map_or_else(|| "none".to_string(), |g| g.to_string())
+        );
+    }
     eprintln!(
         "served {} requests ({} shed by admission control)",
         counters.served, counters.shed

@@ -42,4 +42,4 @@ pub mod state;
 
 pub use http::{form_decode, parse_query_pairs, percent_decode, percent_encode, Request, Response};
 pub use server::{serve, ServerConfig, ServerCounters, ServerHandle};
-pub use state::{served_by_name, ServerState, COMPONENTS};
+pub use state::{served_by_name, ServerState, WalReplayReport, COMPONENTS};

@@ -11,13 +11,13 @@
 use elinda_endpoint::json::encode_solutions;
 use elinda_endpoint::resilience::Deadline;
 use elinda_endpoint::{
-    ApplyOutcome, CompactionReport, ElindaEndpoint, EndpointConfig, ExplainReport, LatencySummary,
-    MeteredEndpoint, NoveltyConfig, NoveltyStats, NoveltyStore, QueryContext, QueryEngine,
-    ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError, ServedBy, StageStats,
-    TraceCtx, TraceRing,
+    decode_update, encode_update, ApplyOutcome, CompactionReport, ElindaEndpoint, EndpointConfig,
+    ExplainReport, LatencySummary, MeteredEndpoint, NoveltyConfig, NoveltyStats, NoveltyStore,
+    QueryContext, QueryEngine, ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError,
+    ServedBy, StageStats, TraceCtx, TraceRing,
 };
 use elinda_sparql::parse_update;
-use elinda_store::{StoreBackend, TripleStore};
+use elinda_store::{StoreBackend, TripleStore, Wal, WalError, WalRecovery};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -75,10 +75,30 @@ pub struct ServerState {
     /// Where compacted bases go for durability. `None` means memory-only
     /// serving (the pre-persistence behaviour, bit for bit).
     backend: Option<Arc<dyn StoreBackend>>,
+    /// The durable write-ahead log. When attached, `POST /update` acks
+    /// only after the record is appended (and fsynced per the sync
+    /// policy), and compaction seals + discards log segments once the
+    /// folded base is durably persisted.
+    wal: Option<Arc<Wal>>,
+    /// What WAL recovery replayed at startup, frozen for `/metrics`.
+    wal_replay: WalReplayReport,
     endpoint: MeteredEndpoint<ResilientEndpoint>,
     traces: TraceRing,
     stage_stats: StageStats,
     persist_stats: PersistStats,
+}
+
+/// What replaying the WAL tail did at startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalReplayReport {
+    /// Log records decoded and re-applied into the novelty overlay.
+    pub replayed_records: u64,
+    /// Ground triples those records carried (including no-ops).
+    pub replayed_triples: u64,
+    /// Bytes truncated from the log tail as torn or corrupt.
+    pub truncated_bytes: u64,
+    /// Whether a torn tail was detected (and truncated) during the scan.
+    pub torn: bool,
 }
 
 /// Persistence counters for `/metrics`.
@@ -135,6 +155,8 @@ impl ServerState {
             router: Some(router),
             novelty: Some(novelty),
             backend: None,
+            wal: None,
+            wal_replay: WalReplayReport::default(),
             endpoint: MeteredEndpoint::new(resilient),
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
@@ -164,6 +186,60 @@ impl ServerState {
         state
     }
 
+    /// Attach an opened write-ahead log and replay its recovered tail
+    /// into the novelty overlay: every record the log acked after the
+    /// last persisted generation is re-applied (ground `INSERT DATA` /
+    /// `DELETE DATA` replay is idempotent, so records already folded
+    /// into the loaded base are harmless no-ops). Must run before the
+    /// state starts serving; after it, `apply_update` acks only once
+    /// the record is durable per the log's sync policy.
+    ///
+    /// A record that fails to decode is structural corruption *behind a
+    /// valid checksum* — the typed error propagates and the server
+    /// refuses to start rather than silently inventing or dropping
+    /// acked writes.
+    pub fn attach_wal(
+        &mut self,
+        wal: Arc<Wal>,
+        recovery: &WalRecovery,
+    ) -> Result<WalReplayReport, WalError> {
+        let novelty = self.novelty.as_ref().ok_or_else(|| {
+            WalError::corrupt("wal", "no write path to replay into (custom engine state)")
+        })?;
+        let mut report = WalReplayReport {
+            truncated_bytes: recovery.truncated_bytes,
+            torn: recovery.torn.is_some(),
+            ..WalReplayReport::default()
+        };
+        for record in &recovery.records {
+            let label = format!("wal record #{}", record.seq);
+            let update = decode_update(&label, &record.payload)?;
+            report.replayed_triples += update.triple_count() as u64;
+            report.replayed_records += 1;
+            // Plain apply: these records are already in the log.
+            novelty.apply(&update);
+        }
+        if let Some(router) = self.router.as_ref() {
+            if report.replayed_records > 0 {
+                router.refresh();
+            }
+        }
+        self.wal = Some(wal);
+        self.wal_replay = report;
+        Ok(report)
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// What WAL recovery replayed at startup (zeroes when no WAL is
+    /// attached or the log was clean).
+    pub fn wal_replay(&self) -> WalReplayReport {
+        self.wal_replay
+    }
+
     /// Build serving state whose primary engine is arbitrary — a faulty
     /// simulated remote, a panicking stub — wrapped in the resilient
     /// stack, with the local eLinda router as the degradation-ladder
@@ -190,6 +266,8 @@ impl ServerState {
             router: Some(router),
             novelty: None,
             backend: None,
+            wal: None,
+            wal_replay: WalReplayReport::default(),
             endpoint: MeteredEndpoint::new(resilient),
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
@@ -293,7 +371,34 @@ impl ServerState {
             };
             let outcome = {
                 let mut span = trace.span("write");
-                let outcome = novelty.apply(&update);
+                let outcome = match self.wal.as_ref() {
+                    None => novelty.apply(&update),
+                    Some(wal) => {
+                        // Durability ordering: the record is appended
+                        // under the overlay write lock (log order ==
+                        // apply order) and fsynced per the sync policy
+                        // before the request is acked. Append failures
+                        // leave the overlay untouched; a sync failure
+                        // leaves the update applied in memory but
+                        // unacked — the client must retry, and ground
+                        // replay is idempotent.
+                        let payload = encode_update(&update);
+                        let mut pos = None;
+                        let outcome = novelty
+                            .apply_with(&update, |_| wal.append(&payload).map(|p| pos = Some(p)))
+                            .map_err(|e| {
+                                ServeError::Unavailable(format!(
+                                    "write-ahead log append failed: {e}"
+                                ))
+                            })?;
+                        if let Some(pos) = pos {
+                            wal.sync_to(pos).map_err(|e| {
+                                ServeError::Unavailable(format!("write-ahead log sync failed: {e}"))
+                            })?;
+                        }
+                        outcome
+                    }
+                };
                 if trace.is_enabled() {
                     span.tag("inserted", outcome.inserted.to_string());
                     span.tag("deleted", outcome.deleted.to_string());
@@ -326,9 +431,17 @@ impl ServerState {
             return None;
         }
         let trace = TraceCtx::sampled(format!("compact-e{}", novelty.epoch()));
+        // When a WAL is attached, seal its active segment at the exact
+        // fold point (under the overlay write lock): every record in the
+        // sealed prefix is covered by the folded base, every later
+        // record is novelty on top of it.
+        let mut sealed: Option<Result<u64, WalError>> = None;
         let mut report = {
             let mut span = trace.span("compact");
-            let report = router.compact();
+            let report = match self.wal.as_ref() {
+                None => router.compact(),
+                Some(wal) => router.compact_with(|| sealed = Some(wal.seal())),
+            };
             if let Some(r) = &report {
                 span.tag("folded", r.folded.to_string());
                 span.tag("epoch", r.epoch.to_string());
@@ -355,8 +468,38 @@ impl ServerState {
                 Err(e) => {
                     self.persist_stats.failures.fetch_add(1, Ordering::Relaxed);
                     span.tag("error", e.to_string());
-                    eprintln!("elinda-serve: persist after compaction failed: {e}");
+                    eprintln!(
+                        "persist-error: generation={} kind={} error={e}",
+                        self.persist_stats.generation.load(Ordering::Relaxed),
+                        e.kind()
+                    );
                 }
+            }
+        }
+        // WAL rotation: the sealed prefix becomes garbage only once the
+        // folded base it describes is durably committed. On a seal
+        // failure, a failed persist, or a memory-only backend, the
+        // segments stay — recovery replay is idempotent, so replaying
+        // already-folded records on top of an older base is safe.
+        if let Some(wal) = self.wal.as_ref() {
+            match sealed {
+                Some(Ok(sealed_through)) => {
+                    let durable = report
+                        .as_ref()
+                        .is_some_and(|r| r.persisted_generation.is_some());
+                    if durable {
+                        if let Err(e) = wal.discard_sealed(sealed_through) {
+                            eprintln!(
+                                "wal-error: op=discard segment={sealed_through} kind={} error={e}",
+                                e.kind()
+                            );
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    eprintln!("wal-error: op=seal kind={} error={e}", e.kind());
+                }
+                None => {}
             }
         }
         // A concurrent compactor may have won the race; only a real
@@ -365,6 +508,22 @@ impl ServerState {
             if let Some(finished) = trace.finish("ok") {
                 self.stage_stats.observe(&finished);
                 self.traces.push(finished);
+            }
+        }
+        report
+    }
+
+    /// Drain-time flush of the write path: fold and persist any staged
+    /// novelty (which also seals and rotates the WAL when the fold is
+    /// durable), then force a final WAL fsync so the log covers every
+    /// acked write byte-for-byte before the process exits. Errors are
+    /// logged, not propagated — shutdown proceeds regardless, and
+    /// recovery replay covers whatever the flush could not.
+    pub fn shutdown_flush(&self) -> Option<CompactionReport> {
+        let report = self.compact_now();
+        if let Some(wal) = self.wal.as_ref() {
+            if let Err(e) = wal.sync() {
+                eprintln!("wal-error: op=shutdown-sync kind={} error={e}", e.kind());
             }
         }
         report
@@ -579,6 +738,30 @@ impl ServerState {
                 "elinda_persist_current_generation {}\n",
                 self.persist_stats.generation.load(Ordering::Relaxed)
             ));
+        }
+        if let Some(wal) = self.wal.as_ref() {
+            let stats = wal.stats();
+            out.push_str(&format!(
+                "elinda_wal_sync_policy{{policy=\"{}\"}} 1\n",
+                wal.config().sync.name()
+            ));
+            for (name, value) in [
+                ("appended_records_total", stats.appended_records),
+                ("appended_bytes_total", stats.appended_bytes),
+                ("fsyncs_total", stats.fsyncs),
+                ("sync_failures_total", stats.sync_failures),
+                ("last_fsync_us", stats.last_fsync_us),
+                ("group_commit_last_batch", stats.last_batch),
+                ("group_commit_max_batch", stats.max_batch),
+                ("active_segment", stats.active_segment),
+                ("discarded_segments_total", stats.discarded_segments),
+                ("replayed_records", self.wal_replay.replayed_records),
+                ("replayed_triples", self.wal_replay.replayed_triples),
+                ("recovery_truncated_bytes", self.wal_replay.truncated_bytes),
+                ("recovery_torn", self.wal_replay.torn as u64),
+            ] {
+                out.push_str(&format!("elinda_wal_{name} {value}\n"));
+            }
         }
         out
     }

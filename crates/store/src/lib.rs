@@ -29,7 +29,11 @@
 //!   runs directly (no per-line graph dedup), so restarts skip datagen;
 //! * [`backend`] — the [`StoreBackend`] seam: the router, overlay, and
 //!   compactor consume `Arc<TripleStore>` snapshots and never see
-//!   whether they came from memory or disk.
+//!   whether they came from memory or disk;
+//! * [`wal`] / [`wal_fault`] — the durable write-ahead log for the
+//!   update path (checksummed length-prefixed records, group-commit
+//!   fsync, segment rotation at compaction, torn-tail recovery) and its
+//!   seeded durability-fault injector.
 //!
 //! Mutations bump an *epoch* counter; the HVS (in `elinda-endpoint`)
 //! invalidates itself whenever the epoch moves, reproducing "the HVS is
@@ -48,6 +52,8 @@ pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod test_dirs;
+pub mod wal;
+pub mod wal_fault;
 
 pub use aggregates::{PropAgg, PropertyAggregates};
 pub use backend::{MemoryBackend, PersistentBackend, StoreBackend};
@@ -61,3 +67,7 @@ pub use schema::ClassHierarchy;
 pub use shard::{shard_of, Shard, ShardedTripleStore};
 pub use stats::DatasetStats;
 pub use store::TripleStore;
+pub use wal::{
+    TornReason, Wal, WalConfig, WalError, WalPos, WalRecord, WalRecovery, WalStats, WalSyncPolicy,
+};
+pub use wal_fault::{WalFaultInjector, WalFaultKind, WalFaultPlan};

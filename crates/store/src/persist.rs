@@ -144,6 +144,21 @@ impl PersistError {
         }
     }
 
+    /// Stable lowercase kind tag for the error variant, used in
+    /// structured log lines (`persist-error: … kind=io`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PersistError::Io { .. } => "io",
+            PersistError::BadMagic { .. } => "bad-magic",
+            PersistError::UnsupportedVersion { .. } => "unsupported-version",
+            PersistError::Truncated { .. } => "truncated",
+            PersistError::ChecksumMismatch { .. } => "checksum-mismatch",
+            PersistError::Corrupt { .. } => "corrupt",
+            PersistError::NoCurrentGeneration { .. } => "no-current-generation",
+            PersistError::MissingGeneration { .. } => "missing-generation",
+        }
+    }
+
     pub(crate) fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> Self {
         PersistError::Corrupt {
             file: file.into(),
@@ -442,12 +457,16 @@ fn write_file_synced(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     Ok(())
 }
 
-/// Best-effort directory fsync so renames within it are durable (a
-/// failure here downgrades durability, not correctness).
-fn sync_dir(path: &Path) {
-    if let Ok(f) = fs::File::open(path) {
-        let _ = f.sync_all();
-    }
+/// Directory fsync so file creation and renames within it are durable.
+/// A failure here used to be silently swallowed — which meant a commit
+/// could be acknowledged without its `CURRENT` rename actually being on
+/// stable storage. It now propagates like every other I/O error, so the
+/// serving layer counts it in `elinda_persist_failures_total` and keeps
+/// the previous generation committed.
+fn sync_dir(path: &Path) -> Result<(), PersistError> {
+    let f = fs::File::open(path).map_err(|e| PersistError::io(path.display().to_string(), e))?;
+    f.sync_all()
+        .map_err(|e| PersistError::io(path.display().to_string(), e))
 }
 
 /// Serialize `store` as the next generation of `dir` and commit it by
@@ -500,14 +519,14 @@ pub fn save_generation(dir: &Path, store: &TripleStore) -> Result<u64, PersistEr
         write_file_synced(&gen_dir.join(name), bytes)?;
     }
     write_file_synced(&gen_dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
-    sync_dir(&gen_dir);
+    sync_dir(&gen_dir)?;
 
     // The commit point: CURRENT flips atomically to the new generation.
     let tmp = dir.join(format!(".CURRENT.tmp.{next}"));
     write_file_synced(&tmp, format!("{}\n", generation_dir_name(next)).as_bytes())?;
     fs::rename(&tmp, dir.join(CURRENT_FILE))
         .map_err(|e| PersistError::io(dir.display().to_string(), e))?;
-    sync_dir(dir);
+    sync_dir(dir)?;
     Ok(next)
 }
 

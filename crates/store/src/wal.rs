@@ -1,0 +1,1391 @@
+//! The durable write-ahead log for the update path.
+//!
+//! PR 6 made the endpoint writable (updates stage in the novelty
+//! overlay) and PR 7 made the base store persistent, but durability only
+//! happened at compaction: every acked update staged in the overlay died
+//! with the process. The WAL closes that window. Before an update is
+//! acknowledged it is appended here as a checksummed, length-prefixed
+//! record and fsynced (policy permitting); on restart the serving layer
+//! replays the tail on top of the loaded generation, so a kill at any
+//! instant recovers to exactly the acked prefix.
+//!
+//! **Layout.** A WAL directory holds numbered segment files:
+//!
+//! ```text
+//! <wal-dir>/
+//!   wal-0000000001.log       # sealed at the last compaction
+//!   wal-0000000002.log       # active: records since the last fold
+//! ```
+//!
+//! Each segment starts with a 12-byte header (`ELNDWAL1` magic + format
+//! version) followed by records framed as
+//!
+//! ```text
+//! len:u32 | seq:u64 | payload[len] | fnv1a64(len‖seq‖payload):u64
+//! ```
+//!
+//! — the same FNV-1a-64 convention the generation MANIFEST uses. The
+//! payload is opaque bytes to this crate; `elinda-endpoint` encodes the
+//! parsed `Update` AST into it, keeping `elinda-store` free of a parser
+//! dependency.
+//!
+//! **Group commit.** [`Wal::append`] only buffers into the OS; callers
+//! then block on [`Wal::sync_to`] before acking. Under the `always`
+//! policy concurrent writers elect one fsync leader, which optionally
+//! sleeps a gather window ([`WalConfig::group_commit_window`]) and then
+//! issues a single `fdatasync` covering everyone queued behind it —
+//! the classic group commit, bounding fsyncs per second rather than
+//! per write.
+//!
+//! **Rotation.** [`Wal::seal`] (called under the overlay's write lock at
+//! the compaction fold point) fsyncs the active segment and starts the
+//! next one; after the folded base is durably persisted as a new
+//! generation, [`Wal::discard_sealed`] deletes the sealed segments —
+//! the sole point where log records become garbage. A crash between
+//! those steps merely replays records the new generation already
+//! contains, which is safe because ground `INSERT DATA`/`DELETE DATA`
+//! replay is idempotent (membership set/unset; last op per triple wins).
+//!
+//! **Recovery.** [`Wal::open`] scans every segment forward. The first
+//! invalid record — short frame, oversized length, checksum mismatch,
+//! or sequence break — marks a torn tail: the scan stops, the tail is
+//! truncated, and everything after it (including later segments) is
+//! dropped and counted, never silently invented. Structural corruption
+//! (bad magic, unknown version) is a typed [`WalError`]; nothing in
+//! this module panics on disk contents.
+
+use crate::persist::{fnv1a64, put_u32, put_u64};
+use crate::wal_fault::{WalFaultInjector, WalFaultKind};
+use std::fmt;
+use std::fs;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Magic bytes opening every WAL segment file.
+pub const WAL_MAGIC: &[u8; 8] = b"ELNDWAL1";
+/// Current segment format version.
+pub const WAL_VERSION: u32 = 1;
+/// Segment header length: magic + version.
+const HEADER_LEN: u64 = 12;
+/// Fixed framing bytes around a record payload: len + seq + checksum.
+const RECORD_OVERHEAD: usize = 4 + 8 + 8;
+/// Upper bound on a record payload. A declared length beyond this is
+/// treated as tail corruption rather than an allocation request.
+pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why the WAL could not be opened, appended to, or made durable.
+///
+/// Torn tails are *not* errors — recovery truncates them and reports the
+/// loss in [`WalRecovery`]. These variants cover I/O failures and
+/// structural corruption that truncation cannot explain away.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying filesystem operation failed (including injected
+    /// fsync errors and ENOSPC from the durability-fault layer).
+    Io {
+        /// File (or directory) the operation touched.
+        file: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A segment file does not start with the WAL magic bytes.
+    BadMagic {
+        /// Offending file.
+        file: String,
+    },
+    /// A segment's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Offending file.
+        file: String,
+        /// Version found in the header.
+        version: u32,
+    },
+    /// A record payload handed to [`Wal::append`] exceeds
+    /// [`MAX_RECORD_LEN`].
+    RecordTooLarge {
+        /// The oversized payload length.
+        len: usize,
+    },
+    /// An earlier append failed mid-write, leaving the active segment's
+    /// tail in an unknown state; the writer refuses further appends
+    /// (reopening the WAL recovers by truncating the torn tail).
+    Poisoned {
+        /// The active segment file.
+        file: String,
+    },
+    /// A decoded payload (or other structure) is invalid — reported by
+    /// the layers that interpret payloads, e.g. the update codec.
+    Corrupt {
+        /// Offending file or record label.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { file, source } => write!(f, "{file}: I/O error: {source}"),
+            WalError::BadMagic { file } => write!(f, "{file}: bad WAL magic bytes"),
+            WalError::UnsupportedVersion { file, version } => {
+                write!(f, "{file}: unsupported WAL format version {version}")
+            }
+            WalError::RecordTooLarge { len } => {
+                write!(
+                    f,
+                    "WAL record payload of {len} bytes exceeds {MAX_RECORD_LEN}"
+                )
+            }
+            WalError::Poisoned { file } => {
+                write!(f, "{file}: WAL writer poisoned by an earlier failed append")
+            }
+            WalError::Corrupt { file, detail } => write!(f, "{file}: corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl WalError {
+    pub(crate) fn io(file: impl Into<String>, source: io::Error) -> Self {
+        WalError::Io {
+            file: file.into(),
+            source,
+        }
+    }
+
+    /// Build a corruption error (used by payload decoders in higher
+    /// layers as well as this module).
+    pub fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> Self {
+        WalError::Corrupt {
+            file: file.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Stable lowercase kind tag, for structured log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalError::Io { .. } => "io",
+            WalError::BadMagic { .. } => "bad-magic",
+            WalError::UnsupportedVersion { .. } => "unsupported-version",
+            WalError::RecordTooLarge { .. } => "record-too-large",
+            WalError::Poisoned { .. } => "poisoned",
+            WalError::Corrupt { .. } => "corrupt",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// When appended records are pushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSyncPolicy {
+    /// Fsync before every ack (grouped across concurrent writers).
+    /// The only policy under which "acked ⇒ on disk" holds exactly.
+    Always,
+    /// Fsync at most once per interval; acks between syncs ride on the
+    /// next one. Bounds data loss to the interval.
+    Interval(Duration),
+    /// Never fsync on the append path (the OS flushes eventually;
+    /// rotation and shutdown still sync). For benchmarks and tests.
+    Never,
+}
+
+impl WalSyncPolicy {
+    /// Parse a `--wal-sync` flag value: `always`, `never`, or
+    /// `interval[:millis]` (default 100 ms).
+    pub fn parse(text: &str) -> Option<WalSyncPolicy> {
+        match text {
+            "always" => Some(WalSyncPolicy::Always),
+            "never" => Some(WalSyncPolicy::Never),
+            "interval" => Some(WalSyncPolicy::Interval(Duration::from_millis(100))),
+            _ => {
+                let millis = text.strip_prefix("interval:")?.parse().ok()?;
+                Some(WalSyncPolicy::Interval(Duration::from_millis(millis)))
+            }
+        }
+    }
+
+    /// Stable name for logs and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalSyncPolicy::Always => "always",
+            WalSyncPolicy::Interval(_) => "interval",
+            WalSyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// WAL tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// The sync policy (see [`WalSyncPolicy`]).
+    pub sync: WalSyncPolicy,
+    /// How long an elected fsync leader waits for followers to queue
+    /// their appends before issuing the shared fsync. Zero disables the
+    /// gather wait (the leader still covers everything already queued).
+    pub group_commit_window: Duration,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            sync: WalSyncPolicy::Always,
+            group_commit_window: Duration::ZERO,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery report
+// ---------------------------------------------------------------------------
+
+/// Why a recovery scan stopped before the end of the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornReason {
+    /// A segment file ended inside its 12-byte header (crash during
+    /// segment creation); the segment holds no records.
+    TruncatedHeader,
+    /// The file ended inside a record frame.
+    TruncatedRecord,
+    /// A record declared a length beyond [`MAX_RECORD_LEN`].
+    OversizedLength,
+    /// A record's trailing FNV-1a-64 did not match its contents.
+    ChecksumMismatch,
+    /// A record's sequence number broke the strictly-increasing chain.
+    NonMonotonicSequence,
+}
+
+impl TornReason {
+    /// Stable lowercase name for the recovery log line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TornReason::TruncatedHeader => "truncated-header",
+            TornReason::TruncatedRecord => "truncated-record",
+            TornReason::OversizedLength => "oversized-length",
+            TornReason::ChecksumMismatch => "checksum-mismatch",
+            TornReason::NonMonotonicSequence => "non-monotonic-sequence",
+        }
+    }
+}
+
+/// One valid record recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// The opaque payload as appended.
+    pub payload: Vec<u8>,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct WalRecovery {
+    /// Every valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes dropped past the first invalid record (the truncated tail
+    /// plus any later segments).
+    pub truncated_bytes: u64,
+    /// Why the scan stopped early, when it did.
+    pub torn: Option<TornReason>,
+    /// Segment files surviving recovery (including the active one).
+    pub segments: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Segment naming
+// ---------------------------------------------------------------------------
+
+/// File name of segment `n` (`wal-0000000001.log`).
+pub fn segment_file_name(n: u64) -> String {
+    format!("wal-{n:010}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// All segment numbers present in `dir`, sorted ascending. A missing
+/// directory reads as empty.
+pub fn list_segments(dir: &Path) -> Result<Vec<u64>, WalError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(WalError::io(dir.display().to_string(), e)),
+    };
+    let mut segs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| WalError::io(dir.display().to_string(), e))?;
+        if let Some(n) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segs.push(n);
+        }
+    }
+    segs.sort_unstable();
+    Ok(segs)
+}
+
+// ---------------------------------------------------------------------------
+// Record scan
+// ---------------------------------------------------------------------------
+
+struct SegmentScan {
+    records: Vec<WalRecord>,
+    /// End of the valid prefix (header included); bytes beyond it are
+    /// torn. Zero means the header itself is torn.
+    valid_end: u64,
+    /// Expected next sequence number after this segment.
+    next_expected: Option<u64>,
+    torn: Option<TornReason>,
+}
+
+/// Scan one segment's bytes. `expected` is the required first sequence
+/// number (`None` accepts any start — the first surviving segment after
+/// a discard). Torn tails are reported, not errors; bad magic or an
+/// unknown version is a hard [`WalError`].
+fn scan_segment(file: &str, bytes: &[u8], expected: Option<u64>) -> Result<SegmentScan, WalError> {
+    if (bytes.len() as u64) < HEADER_LEN {
+        return Ok(SegmentScan {
+            records: Vec::new(),
+            valid_end: 0,
+            next_expected: expected,
+            torn: Some(TornReason::TruncatedHeader),
+        });
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        return Err(WalError::BadMagic { file: file.into() });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(WalError::UnsupportedVersion {
+            file: file.into(),
+            version,
+        });
+    }
+    let mut records = Vec::new();
+    let mut expected = expected;
+    let mut pos = HEADER_LEN as usize;
+    let mut torn = None;
+    while pos < bytes.len() {
+        let rem = bytes.len() - pos;
+        if rem < 4 {
+            torn = Some(TornReason::TruncatedRecord);
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            torn = Some(TornReason::OversizedLength);
+            break;
+        }
+        let total = RECORD_OVERHEAD + len as usize;
+        if rem < total {
+            torn = Some(TornReason::TruncatedRecord);
+            break;
+        }
+        let body = &bytes[pos..pos + 12 + len as usize];
+        let stored = u64::from_le_bytes(
+            bytes[pos + 12 + len as usize..pos + total]
+                .try_into()
+                .unwrap(),
+        );
+        if fnv1a64(body) != stored {
+            torn = Some(TornReason::ChecksumMismatch);
+            break;
+        }
+        let seq = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        if let Some(exp) = expected {
+            if seq != exp {
+                torn = Some(TornReason::NonMonotonicSequence);
+                break;
+            }
+        }
+        records.push(WalRecord {
+            seq,
+            payload: bytes[pos + 12..pos + 12 + len as usize].to_vec(),
+        });
+        expected = Some(seq + 1);
+        pos += total;
+    }
+    Ok(SegmentScan {
+        records,
+        valid_end: pos as u64,
+        next_expected: expected,
+        torn,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The WAL
+// ---------------------------------------------------------------------------
+
+/// Position of a durable point in the log: `(segment, byte offset)`,
+/// ordered lexicographically. [`Wal::append`] returns the position just
+/// past the new record; [`Wal::sync_to`] blocks until at least that
+/// position is on stable storage (policy permitting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalPos {
+    /// Segment number.
+    pub segment: u64,
+    /// Byte offset within the segment (end of the record).
+    pub offset: u64,
+}
+
+struct Writer {
+    file: fs::File,
+    segment: u64,
+    /// Bytes written so far (header included) — the append position.
+    offset: u64,
+    next_seq: u64,
+    /// Set when an append failed mid-write: the on-disk tail is
+    /// unknown, and only a reopen-with-recovery may touch it again.
+    poisoned: bool,
+}
+
+struct SyncState {
+    /// Highest `(segment, offset)` known to be on stable storage.
+    synced: (u64, u64),
+    /// Whether an fsync leader is currently elected.
+    leader: bool,
+    /// When the last successful fsync completed (interval policy).
+    last_sync: Instant,
+}
+
+/// Monotonic WAL counters plus gauges, for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (excluding failed appends).
+    pub appended_records: u64,
+    /// Bytes appended, framing included.
+    pub appended_bytes: u64,
+    /// Successful fsyncs issued (append path, rotation, and forced).
+    pub fsyncs: u64,
+    /// Fsyncs that reported an error.
+    pub sync_failures: u64,
+    /// Duration of the most recent successful fsync, in microseconds.
+    pub last_fsync_us: u64,
+    /// Records covered by the most recent group-commit fsync.
+    pub last_batch: u64,
+    /// Largest group-commit batch observed.
+    pub max_batch: u64,
+    /// The active segment number.
+    pub active_segment: u64,
+    /// The next sequence number an append will use.
+    pub next_seq: u64,
+    /// Sealed segments deleted by [`Wal::discard_sealed`].
+    pub discarded_segments: u64,
+}
+
+/// The write-ahead log: a directory of segment files, an append path
+/// with group-commit fsync, and rotation hooks for the compactor. All
+/// methods take `&self`; the log is shared behind an `Arc` across
+/// server workers and the compactor thread.
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    writer: Mutex<Writer>,
+    sync: Mutex<SyncState>,
+    sync_cond: Condvar,
+    faults: Option<Arc<WalFaultInjector>>,
+    appended_records: AtomicU64,
+    appended_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    sync_failures: AtomicU64,
+    last_fsync_us: AtomicU64,
+    last_batch: AtomicU64,
+    max_batch: AtomicU64,
+    discarded_segments: AtomicU64,
+    /// `appended_records` at the time of the last fsync — the group
+    /// commit batch is the delta.
+    records_at_last_sync: AtomicU64,
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `dir`, running recovery: scan every
+    /// segment, truncate the torn tail, drop unreachable later
+    /// segments, and return the surviving records for replay.
+    pub fn open(dir: &Path, config: WalConfig) -> Result<(Wal, WalRecovery), WalError> {
+        Wal::open_with_faults(dir, config, None)
+    }
+
+    /// [`Wal::open`] with a durability-fault injector attached to the
+    /// append and fsync paths.
+    pub fn open_with_faults(
+        dir: &Path,
+        config: WalConfig,
+        faults: Option<Arc<WalFaultInjector>>,
+    ) -> Result<(Wal, WalRecovery), WalError> {
+        fs::create_dir_all(dir).map_err(|e| WalError::io(dir.display().to_string(), e))?;
+        let mut recovery = WalRecovery::default();
+        let mut expected: Option<u64> = None;
+        let mut last_seq = 0u64;
+        // `(segment, valid_end)` to reopen; `valid_end == 0` means the
+        // segment must be recreated from scratch (torn header).
+        let mut active: Option<(u64, u64)> = None;
+        let mut surviving = 0usize;
+        for seg in list_segments(dir)? {
+            let path = dir.join(segment_file_name(seg));
+            let label = path.display().to_string();
+            if recovery.torn.is_some() {
+                // Everything after a tear is unreachable garbage.
+                let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                fs::remove_file(&path).map_err(|e| WalError::io(&label, e))?;
+                recovery.truncated_bytes += len;
+                continue;
+            }
+            let bytes = fs::read(&path).map_err(|e| WalError::io(&label, e))?;
+            let scan = scan_segment(&label, &bytes, expected)?;
+            expected = scan.next_expected;
+            if let Some(last) = scan.records.last() {
+                last_seq = last.seq;
+            }
+            recovery.records.extend(scan.records);
+            if let Some(reason) = scan.torn {
+                recovery.torn = Some(reason);
+                recovery.truncated_bytes += bytes.len() as u64 - scan.valid_end;
+                if scan.valid_end < HEADER_LEN {
+                    // Crash during segment creation: no header, no
+                    // records; recreate the file fresh below.
+                    fs::remove_file(&path).map_err(|e| WalError::io(&label, e))?;
+                    active = Some((seg, 0));
+                } else {
+                    active = Some((seg, scan.valid_end));
+                    surviving += 1;
+                }
+            } else {
+                active = Some((seg, scan.valid_end));
+                surviving += 1;
+            }
+        }
+
+        let (segment, offset, file) = match active {
+            Some((seg, end)) if end >= HEADER_LEN => {
+                let path = dir.join(segment_file_name(seg));
+                let label = path.display().to_string();
+                let mut f = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| WalError::io(&label, e))?;
+                let disk_len = f.metadata().map_err(|e| WalError::io(&label, e))?.len();
+                if disk_len != end {
+                    // Truncate the torn tail; the drop is already
+                    // accounted in `truncated_bytes`.
+                    f.set_len(end).map_err(|e| WalError::io(&label, e))?;
+                    f.sync_data().map_err(|e| WalError::io(&label, e))?;
+                }
+                f.seek(SeekFrom::Start(end))
+                    .map_err(|e| WalError::io(&label, e))?;
+                (seg, end, f)
+            }
+            Some((seg, _)) => {
+                let f = create_segment(dir, seg)?;
+                surviving += 1;
+                (seg, HEADER_LEN, f)
+            }
+            None => {
+                let f = create_segment(dir, 1)?;
+                surviving += 1;
+                (1, HEADER_LEN, f)
+            }
+        };
+        fsync_dir(dir)?;
+        recovery.segments = surviving;
+
+        let wal = Wal {
+            dir: dir.to_path_buf(),
+            config,
+            writer: Mutex::new(Writer {
+                file,
+                segment,
+                offset,
+                next_seq: last_seq + 1,
+                poisoned: false,
+            }),
+            sync: Mutex::new(SyncState {
+                // Recovery truncated and fsynced the tail, so the whole
+                // surviving prefix counts as durable.
+                synced: (segment, offset),
+                leader: false,
+                last_sync: Instant::now(),
+            }),
+            sync_cond: Condvar::new(),
+            faults,
+            appended_records: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            sync_failures: AtomicU64::new(0),
+            last_fsync_us: AtomicU64::new(0),
+            last_batch: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            discarded_segments: AtomicU64::new(0),
+            records_at_last_sync: AtomicU64::new(0),
+        };
+        Ok((wal, recovery))
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// The active segment number.
+    pub fn active_segment(&self) -> u64 {
+        self.writer
+            .lock()
+            .expect("wal writer mutex poisoned")
+            .segment
+    }
+
+    /// Append one record (buffered, not yet durable) and return the
+    /// position to pass to [`Wal::sync_to`] before acking. Callers
+    /// serialize appends with the state the log mirrors (the overlay's
+    /// write lock) so log order equals apply order.
+    pub fn append(&self, payload: &[u8]) -> Result<WalPos, WalError> {
+        if payload.len() > MAX_RECORD_LEN as usize {
+            return Err(WalError::RecordTooLarge { len: payload.len() });
+        }
+        let mut w = self.writer.lock().expect("wal writer mutex poisoned");
+        let label = self
+            .dir
+            .join(segment_file_name(w.segment))
+            .display()
+            .to_string();
+        if w.poisoned {
+            return Err(WalError::Poisoned { file: label });
+        }
+        let mut buf = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+        put_u32(&mut buf, payload.len() as u32);
+        put_u64(&mut buf, w.next_seq);
+        buf.extend_from_slice(payload);
+        let sum = fnv1a64(&buf);
+        put_u64(&mut buf, sum);
+
+        match self.faults.as_ref().and_then(|f| f.next_append_fault()) {
+            Some(WalFaultKind::TornWrite) => {
+                // Write a strict prefix, then "crash": the tail is torn
+                // and the writer must not be used again.
+                let cut = (buf.len() / 2).max(1);
+                let _ = w.file.write_all(&buf[..cut]);
+                w.poisoned = true;
+                return Err(WalError::io(label, io::Error::other("injected torn write")));
+            }
+            Some(WalFaultKind::Enospc) => {
+                // Refused up front: nothing reached the file, so the
+                // writer stays usable (space may free up later).
+                return Err(WalError::io(
+                    label,
+                    io::Error::from_raw_os_error(28), // ENOSPC
+                ));
+            }
+            Some(WalFaultKind::BitFlip) => {
+                // Corrupt one payload byte (or the checksum for empty
+                // payloads): the write "succeeds" silently; only the
+                // recovery checksum will catch it.
+                let idx = if payload.is_empty() {
+                    buf.len() - 1
+                } else {
+                    12 + payload.len() / 2
+                };
+                buf[idx] ^= 0x40;
+            }
+            Some(WalFaultKind::FsyncError) | None => {}
+        }
+
+        if let Err(e) = w.file.write_all(&buf) {
+            // A partial write leaves a torn record on disk; poison the
+            // writer so nothing lands after the tear.
+            w.poisoned = true;
+            return Err(WalError::io(label, e));
+        }
+        w.offset += buf.len() as u64;
+        w.next_seq += 1;
+        let pos = WalPos {
+            segment: w.segment,
+            offset: w.offset,
+        };
+        drop(w);
+        self.appended_records.fetch_add(1, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(pos)
+    }
+
+    /// Make everything up to `pos` durable according to the sync
+    /// policy: `always` joins (or leads) a group commit; `interval`
+    /// fsyncs only when the interval has elapsed; `never` returns
+    /// immediately. An error means the record may not be on disk and
+    /// the caller must not ack it.
+    pub fn sync_to(&self, pos: WalPos) -> Result<(), WalError> {
+        match self.config.sync {
+            WalSyncPolicy::Never => Ok(()),
+            WalSyncPolicy::Interval(interval) => {
+                let due = {
+                    let st = self.sync.lock().expect("wal sync mutex poisoned");
+                    st.last_sync.elapsed() >= interval
+                };
+                if due {
+                    self.group_sync((pos.segment, pos.offset))
+                } else {
+                    Ok(())
+                }
+            }
+            WalSyncPolicy::Always => self.group_sync((pos.segment, pos.offset)),
+        }
+    }
+
+    /// Force an fsync of everything appended so far, regardless of
+    /// policy (shutdown flush, rotation).
+    pub fn sync(&self) -> Result<(), WalError> {
+        let target = {
+            let w = self.writer.lock().expect("wal writer mutex poisoned");
+            (w.segment, w.offset)
+        };
+        self.group_sync(target)
+    }
+
+    /// The group commit: wait until `(segment, offset) >= target` is
+    /// durable, electing one leader at a time to issue the shared
+    /// fsync. The leader optionally sleeps the gather window first so
+    /// concurrent appends ride the same fsync.
+    fn group_sync(&self, target: (u64, u64)) -> Result<(), WalError> {
+        loop {
+            {
+                let mut st = self.sync.lock().expect("wal sync mutex poisoned");
+                loop {
+                    if st.synced >= target {
+                        return Ok(());
+                    }
+                    if !st.leader {
+                        break;
+                    }
+                    st = self.sync_cond.wait(st).expect("wal sync mutex poisoned");
+                }
+                st.leader = true;
+            }
+            if !self.config.group_commit_window.is_zero() {
+                std::thread::sleep(self.config.group_commit_window);
+            }
+            // Snapshot the covered extent outside the sync lock; the
+            // fsync happens on a cloned handle so appends continue.
+            let snapshot = {
+                let w = self.writer.lock().expect("wal writer mutex poisoned");
+                w.file
+                    .try_clone()
+                    .map(|f| (f, w.segment, w.offset))
+                    .map_err(|e| {
+                        WalError::io(
+                            self.dir
+                                .join(segment_file_name(w.segment))
+                                .display()
+                                .to_string(),
+                            e,
+                        )
+                    })
+            };
+            let result = snapshot.and_then(|(file, segment, offset)| {
+                self.fsync_file(&file, segment).map(|()| (segment, offset))
+            });
+            let mut st = self.sync.lock().expect("wal sync mutex poisoned");
+            st.leader = false;
+            match result {
+                Ok(covered) => {
+                    if covered > st.synced {
+                        st.synced = covered;
+                    }
+                    st.last_sync = Instant::now();
+                    let done = st.synced >= target;
+                    drop(st);
+                    self.sync_cond.notify_all();
+                    let now = self.appended_records.load(Ordering::Relaxed);
+                    let prev = self.records_at_last_sync.swap(now, Ordering::Relaxed);
+                    let batch = now.saturating_sub(prev);
+                    self.last_batch.store(batch, Ordering::Relaxed);
+                    self.max_batch.fetch_max(batch, Ordering::Relaxed);
+                    if done {
+                        return Ok(());
+                    }
+                    // A rotation raced us; go around once more.
+                }
+                Err(e) => {
+                    drop(st);
+                    // Wake waiters so one of them re-elects and retries.
+                    self.sync_cond.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Fsync `file` (segment `segment`), honoring injected fsync faults
+    /// and recording latency + counters.
+    fn fsync_file(&self, file: &fs::File, segment: u64) -> Result<(), WalError> {
+        let label = || {
+            self.dir
+                .join(segment_file_name(segment))
+                .display()
+                .to_string()
+        };
+        if let Some(f) = self.faults.as_ref() {
+            if f.next_fsync_fails() {
+                self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(WalError::io(
+                    label(),
+                    io::Error::other("injected fsync failure"),
+                ));
+            }
+        }
+        let start = Instant::now();
+        match file.sync_data() {
+            Ok(()) => {
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.last_fsync_us
+                    .store(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.sync_failures.fetch_add(1, Ordering::Relaxed);
+                Err(WalError::io(label(), e))
+            }
+        }
+    }
+
+    /// Seal the active segment and start the next one, returning the
+    /// sealed segment number. Called under the same lock that orders
+    /// appends (the overlay's write lock) at the compaction fold point,
+    /// so the segment boundary aligns exactly with the folded state:
+    /// every folded record is in a segment `<=` the sealed number and
+    /// every later append lands after it.
+    pub fn seal(&self) -> Result<u64, WalError> {
+        let mut w = self.writer.lock().expect("wal writer mutex poisoned");
+        // The sealed contents must be durable before the segment is
+        // considered finished.
+        self.fsync_file(&w.file, w.segment)?;
+        let sealed = w.segment;
+        let sealed_end = w.offset;
+        let next = sealed + 1;
+        let file = create_segment(&self.dir, next)?;
+        fsync_dir(&self.dir)?;
+        w.file = file;
+        w.segment = next;
+        w.offset = HEADER_LEN;
+        w.poisoned = false;
+        drop(w);
+        let mut st = self.sync.lock().expect("wal sync mutex poisoned");
+        if (sealed, sealed_end) > st.synced {
+            st.synced = (sealed, sealed_end);
+        }
+        // The new segment's header is durable too.
+        if (next, HEADER_LEN) > st.synced {
+            st.synced = (next, HEADER_LEN);
+        }
+        st.last_sync = Instant::now();
+        drop(st);
+        self.sync_cond.notify_all();
+        Ok(sealed)
+    }
+
+    /// Delete sealed segments numbered `<= through` (never the active
+    /// one). Called only after the folded base that contains their
+    /// records is durably persisted — the sole point where log records
+    /// become garbage. Returns how many files were removed.
+    pub fn discard_sealed(&self, through: u64) -> Result<usize, WalError> {
+        let active = self.active_segment();
+        let upto = through.min(active.saturating_sub(1));
+        let mut removed = 0usize;
+        for seg in list_segments(&self.dir)? {
+            if seg > upto {
+                continue;
+            }
+            let path = self.dir.join(segment_file_name(seg));
+            fs::remove_file(&path).map_err(|e| WalError::io(path.display().to_string(), e))?;
+            removed += 1;
+        }
+        if removed > 0 {
+            fsync_dir(&self.dir)?;
+            self.discarded_segments
+                .fetch_add(removed as u64, Ordering::Relaxed);
+        }
+        Ok(removed)
+    }
+
+    /// Counter + gauge snapshot for `/metrics`.
+    pub fn stats(&self) -> WalStats {
+        let (active_segment, next_seq) = {
+            let w = self.writer.lock().expect("wal writer mutex poisoned");
+            (w.segment, w.next_seq)
+        };
+        WalStats {
+            appended_records: self.appended_records.load(Ordering::Relaxed),
+            appended_bytes: self.appended_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            sync_failures: self.sync_failures.load(Ordering::Relaxed),
+            last_fsync_us: self.last_fsync_us.load(Ordering::Relaxed),
+            last_batch: self.last_batch.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            active_segment,
+            next_seq,
+            discarded_segments: self.discarded_segments.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Create segment `n` with a fresh fsynced header; the returned handle
+/// is positioned just past the header.
+fn create_segment(dir: &Path, n: u64) -> Result<fs::File, WalError> {
+    let path = dir.join(segment_file_name(n));
+    let label = path.display().to_string();
+    let mut f = fs::OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)
+        .map_err(|e| WalError::io(&label, e))?;
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(WAL_MAGIC);
+    put_u32(&mut header, WAL_VERSION);
+    f.write_all(&header).map_err(|e| WalError::io(&label, e))?;
+    f.sync_data().map_err(|e| WalError::io(&label, e))?;
+    Ok(f)
+}
+
+/// Directory fsync so segment creation, truncation, and deletion are
+/// durable. Unlike the pre-PR-8 persist path, failures propagate.
+fn fsync_dir(dir: &Path) -> Result<(), WalError> {
+    let f = fs::File::open(dir).map_err(|e| WalError::io(dir.display().to_string(), e))?;
+    f.sync_all()
+        .map_err(|e| WalError::io(dir.display().to_string(), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dirs::{cleanup, fresh_dir};
+
+    fn open(dir: &Path) -> (Wal, WalRecovery) {
+        Wal::open(dir, WalConfig::default()).unwrap()
+    }
+
+    fn payloads(recovery: &WalRecovery) -> Vec<Vec<u8>> {
+        recovery.records.iter().map(|r| r.payload.clone()).collect()
+    }
+
+    #[test]
+    fn append_sync_reopen_round_trips() {
+        let dir = fresh_dir("wal-roundtrip");
+        let (wal, rec) = open(&dir);
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.segments, 1);
+        for payload in [&b"alpha"[..], b"", b"gamma-gamma"] {
+            let pos = wal.append(payload).unwrap();
+            wal.sync_to(pos).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appended_records, 3);
+        assert!(stats.fsyncs >= 1);
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(
+            payloads(&rec),
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma-gamma".to_vec()]
+        );
+        assert_eq!(rec.records[0].seq, 1);
+        assert_eq!(rec.records[2].seq, 3);
+        assert!(rec.torn.is_none());
+        assert_eq!(rec.truncated_bytes, 0);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_cut_point() {
+        let dir = fresh_dir("wal-torn");
+        let (wal, _) = open(&dir);
+        for payload in [&b"one"[..], b"two-two", b"three"] {
+            let pos = wal.append(payload).unwrap();
+            wal.sync_to(pos).unwrap();
+        }
+        drop(wal);
+        let path = dir.join(segment_file_name(1));
+        let full = fs::read(&path).unwrap();
+        let boundaries: Vec<usize> = {
+            let mut ends = vec![HEADER_LEN as usize];
+            for len in [3usize, 7, 5] {
+                ends.push(ends.last().unwrap() + RECORD_OVERHEAD + len);
+            }
+            ends
+        };
+        assert_eq!(*boundaries.last().unwrap(), full.len());
+        for cut in 0..full.len() {
+            let scratch = fresh_dir("wal-torn-cut");
+            fs::write(scratch.join(segment_file_name(1)), &full[..cut]).unwrap();
+            let (_, rec) = open(&scratch);
+            // Exactly the records whose frames fit before the cut
+            // survive; a cut on a frame boundary is a clean tail.
+            let expected = boundaries
+                .iter()
+                .filter(|&&b| b <= cut)
+                .count()
+                .saturating_sub(1);
+            assert_eq!(rec.records.len(), expected, "cut at {cut}");
+            let on_boundary = boundaries.contains(&cut);
+            assert_eq!(rec.torn.is_some(), !on_boundary, "cut at {cut}");
+            let valid_prefix = boundaries.iter().copied().rfind(|&b| b <= cut).unwrap_or(0);
+            assert_eq!(rec.truncated_bytes, (cut - valid_prefix) as u64);
+            cleanup(&scratch);
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn bitflip_truncates_from_the_flip() {
+        let dir = fresh_dir("wal-bitflip");
+        let (wal, _) = open(&dir);
+        for payload in [&b"first"[..], b"second", b"third"] {
+            let pos = wal.append(payload).unwrap();
+            wal.sync_to(pos).unwrap();
+        }
+        drop(wal);
+        let path = dir.join(segment_file_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let second_payload = HEADER_LEN as usize + RECORD_OVERHEAD + 5 + 12 + 2;
+        bytes[second_payload] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let (wal, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"first".to_vec()]);
+        assert_eq!(rec.torn, Some(TornReason::ChecksumMismatch));
+        assert!(rec.truncated_bytes > 0);
+        // The log is usable again after truncation, and sequence
+        // numbers continue from the surviving prefix.
+        let pos = wal.append(b"fourth").unwrap();
+        wal.sync_to(pos).unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"first".to_vec(), b"fourth".to_vec()]);
+        assert_eq!(rec.records[1].seq, 2);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn seal_and_discard_rotate_segments() {
+        let dir = fresh_dir("wal-rotate");
+        let (wal, _) = open(&dir);
+        wal.append(b"pre-fold").unwrap();
+        let sealed = wal.seal().unwrap();
+        assert_eq!(sealed, 1);
+        assert_eq!(wal.active_segment(), 2);
+        let pos = wal.append(b"post-fold").unwrap();
+        wal.sync_to(pos).unwrap();
+        // Before discard, both records replay (idempotent over the
+        // persisted base).
+        drop(wal);
+        let (wal, rec) = open(&dir);
+        assert_eq!(
+            payloads(&rec),
+            vec![b"pre-fold".to_vec(), b"post-fold".to_vec()]
+        );
+        assert_eq!(rec.segments, 2);
+        assert_eq!(wal.discard_sealed(1).unwrap(), 1);
+        assert_eq!(wal.stats().discarded_segments, 1);
+        drop(wal);
+        let (wal, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"post-fold".to_vec()]);
+        assert_eq!(rec.records[0].seq, 2, "sequence survives the discard");
+        // Discard can never remove the active segment.
+        assert_eq!(wal.discard_sealed(u64::MAX).unwrap(), 0);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn crash_during_seal_leaves_recoverable_log() {
+        let dir = fresh_dir("wal-seal-crash");
+        let (wal, _) = open(&dir);
+        let pos = wal.append(b"kept").unwrap();
+        wal.sync_to(pos).unwrap();
+        wal.seal().unwrap();
+        drop(wal);
+        // Simulate a crash that tore the new segment's header.
+        let path = dir.join(segment_file_name(2));
+        fs::write(&path, &b"ELND"[..]).unwrap();
+        let (wal, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"kept".to_vec()]);
+        assert_eq!(rec.torn, Some(TornReason::TruncatedHeader));
+        // Segment 2 was recreated fresh and accepts appends.
+        assert_eq!(wal.active_segment(), 2);
+        let pos = wal.append(b"after").unwrap();
+        wal.sync_to(pos).unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"kept".to_vec(), b"after".to_vec()]);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn corruption_in_sealed_segment_drops_later_segments() {
+        let dir = fresh_dir("wal-sealed-corrupt");
+        let (wal, _) = open(&dir);
+        let pos = wal.append(b"segment-one").unwrap();
+        wal.sync_to(pos).unwrap();
+        wal.seal().unwrap();
+        let pos = wal.append(b"segment-two").unwrap();
+        wal.sync_to(pos).unwrap();
+        drop(wal);
+        let path = dir.join(segment_file_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let (_, rec) = open(&dir);
+        // Truncation, never invention: segment 2's records are beyond
+        // the tear and must not replay.
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.torn, Some(TornReason::ChecksumMismatch));
+        assert!(rec.truncated_bytes > 0);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let dir = fresh_dir("wal-magic");
+        fs::write(dir.join(segment_file_name(1)), b"NOTAWAL!\x01\x00\x00\x00").unwrap();
+        assert!(matches!(
+            Wal::open(&dir, WalConfig::default()),
+            Err(WalError::BadMagic { .. })
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        fs::write(dir.join(segment_file_name(1)), &bytes).unwrap();
+        match Wal::open(&dir, WalConfig::default()) {
+            Err(WalError::UnsupportedVersion { version, .. }) => assert_eq!(version, 99),
+            Err(other) => panic!("expected UnsupportedVersion, got {other:?}"),
+            Ok(_) => panic!("expected UnsupportedVersion, got Ok"),
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn oversized_length_is_a_torn_tail_not_an_allocation() {
+        let dir = fresh_dir("wal-oversized");
+        let (wal, _) = open(&dir);
+        let pos = wal.append(b"ok").unwrap();
+        wal.sync_to(pos).unwrap();
+        drop(wal);
+        let path = dir.join(segment_file_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        fs::write(&path, &bytes).unwrap();
+        let (_, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"ok".to_vec()]);
+        assert_eq!(rec.torn, Some(TornReason::OversizedLength));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn torn_write_fault_poisons_writer_and_recovers_on_reopen() {
+        let dir = fresh_dir("wal-fault-torn");
+        let faults = Arc::new(WalFaultInjector::scripted());
+        faults.arm_append(1, WalFaultKind::TornWrite);
+        let (wal, _) =
+            Wal::open_with_faults(&dir, WalConfig::default(), Some(Arc::clone(&faults))).unwrap();
+        let pos = wal.append(b"acked").unwrap();
+        wal.sync_to(pos).unwrap();
+        let err = wal.append(b"torn-away").unwrap_err();
+        assert!(matches!(err, WalError::Io { .. }), "got {err:?}");
+        // The writer refuses further appends until recovery runs.
+        assert!(matches!(
+            wal.append(b"more"),
+            Err(WalError::Poisoned { .. })
+        ));
+        drop(wal);
+        let (wal, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"acked".to_vec()]);
+        assert_eq!(rec.torn, Some(TornReason::TruncatedRecord));
+        let pos = wal.append(b"resumed").unwrap();
+        wal.sync_to(pos).unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"acked".to_vec(), b"resumed".to_vec()]);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn enospc_fault_fails_without_damaging_the_log() {
+        let dir = fresh_dir("wal-fault-enospc");
+        let faults = Arc::new(WalFaultInjector::scripted());
+        faults.arm_append(0, WalFaultKind::Enospc);
+        let (wal, _) = Wal::open_with_faults(&dir, WalConfig::default(), Some(faults)).unwrap();
+        let err = wal.append(b"refused").unwrap_err();
+        match &err {
+            WalError::Io { source, .. } => {
+                assert_eq!(source.raw_os_error(), Some(28));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // Nothing was written; the next append succeeds with seq 1.
+        let pos = wal.append(b"accepted").unwrap();
+        wal.sync_to(pos).unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"accepted".to_vec()]);
+        assert_eq!(rec.records[0].seq, 1);
+        assert!(rec.torn.is_none());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn fsync_fault_fails_sync_and_counts() {
+        let dir = fresh_dir("wal-fault-fsync");
+        let faults = Arc::new(WalFaultInjector::scripted());
+        faults.arm_fsync(0);
+        let (wal, _) = Wal::open_with_faults(&dir, WalConfig::default(), Some(faults)).unwrap();
+        let pos = wal.append(b"unacked").unwrap();
+        let err = wal.sync_to(pos).unwrap_err();
+        assert!(matches!(err, WalError::Io { .. }));
+        assert_eq!(wal.stats().sync_failures, 1);
+        // A retry succeeds: the fault was one-shot.
+        wal.sync_to(pos).unwrap();
+        assert_eq!(wal.stats().fsyncs, 1);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn bitflip_fault_is_silent_until_recovery() {
+        let dir = fresh_dir("wal-fault-bitflip");
+        let faults = Arc::new(WalFaultInjector::scripted());
+        faults.arm_append(1, WalFaultKind::BitFlip);
+        let (wal, _) = Wal::open_with_faults(&dir, WalConfig::default(), Some(faults)).unwrap();
+        for payload in [&b"good"[..], b"flipped", b"shadowed"] {
+            let pos = wal.append(payload).unwrap();
+            wal.sync_to(pos).unwrap();
+        }
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(payloads(&rec), vec![b"good".to_vec()]);
+        assert_eq!(rec.torn, Some(TornReason::ChecksumMismatch));
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn concurrent_group_commit_keeps_every_acked_record() {
+        let dir = fresh_dir("wal-group");
+        let config = WalConfig {
+            sync: WalSyncPolicy::Always,
+            group_commit_window: Duration::from_micros(200),
+        };
+        let (wal, _) = Wal::open(&dir, config).unwrap();
+        let wal = Arc::new(wal);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let payload = format!("writer-{t}-{i}");
+                        let pos = wal.append(payload.as_bytes()).unwrap();
+                        wal.sync_to(pos).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appended_records, 100);
+        // Group commit shares fsyncs: far fewer than one per record.
+        assert!(stats.fsyncs < 100, "fsyncs={}", stats.fsyncs);
+        assert!(stats.max_batch >= 1);
+        drop(wal);
+        let (_, rec) = open(&dir);
+        assert_eq!(rec.records.len(), 100);
+        // Sequence numbers are gapless and ordered.
+        for (i, r) in rec.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64 + 1);
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn never_and_interval_policies_defer_fsyncs() {
+        let dir = fresh_dir("wal-policy");
+        let config = WalConfig {
+            sync: WalSyncPolicy::Never,
+            group_commit_window: Duration::ZERO,
+        };
+        let (wal, _) = Wal::open(&dir, config).unwrap();
+        let pos = wal.append(b"lazy").unwrap();
+        wal.sync_to(pos).unwrap();
+        assert_eq!(wal.stats().fsyncs, 0);
+        // A forced sync still works under `never`.
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs, 1);
+        drop(wal);
+
+        let dir2 = fresh_dir("wal-policy-interval");
+        let config = WalConfig {
+            sync: WalSyncPolicy::Interval(Duration::from_secs(3600)),
+            group_commit_window: Duration::ZERO,
+        };
+        let (wal, _) = Wal::open(&dir2, config).unwrap();
+        let pos = wal.append(b"deferred").unwrap();
+        wal.sync_to(pos).unwrap();
+        assert_eq!(wal.stats().fsyncs, 0, "interval not yet elapsed");
+        cleanup(&dir);
+        cleanup(&dir2);
+    }
+
+    #[test]
+    fn sync_policy_parses_flag_values() {
+        assert_eq!(WalSyncPolicy::parse("always"), Some(WalSyncPolicy::Always));
+        assert_eq!(WalSyncPolicy::parse("never"), Some(WalSyncPolicy::Never));
+        assert_eq!(
+            WalSyncPolicy::parse("interval"),
+            Some(WalSyncPolicy::Interval(Duration::from_millis(100)))
+        );
+        assert_eq!(
+            WalSyncPolicy::parse("interval:250"),
+            Some(WalSyncPolicy::Interval(Duration::from_millis(250)))
+        );
+        assert_eq!(WalSyncPolicy::parse("sometimes"), None);
+        assert_eq!(WalSyncPolicy::parse("interval:x"), None);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_up_front() {
+        let dir = fresh_dir("wal-too-large");
+        let (wal, _) = open(&dir);
+        // Claim a huge length without allocating it: `append` checks
+        // the length before touching the buffer.
+        let payload = vec![0u8; MAX_RECORD_LEN as usize + 1];
+        assert!(matches!(
+            wal.append(&payload),
+            Err(WalError::RecordTooLarge { .. })
+        ));
+        cleanup(&dir);
+    }
+}

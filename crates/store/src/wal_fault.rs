@@ -1,0 +1,286 @@
+//! Deterministic durability-fault injection for the write-ahead log.
+//!
+//! Disks fail in characteristic ways: a crash mid-`write` leaves a torn
+//! record, silent media corruption flips bits, `fsync` can report an
+//! error, and the volume can run out of space. [`WalFaultPlan`] models
+//! all four behind a single seed — the fault assigned to the `n`-th
+//! append (or the `n`-th fsync) is a pure function of `(seed, n)`, the
+//! same reproducibility contract the query-path `FaultPlan` in
+//! `elinda-endpoint` established — and [`WalFaultInjector`] layers
+//! scripted one-shot faults on top so the recovery tests can arm an
+//! exact kill point ("tear append #3") instead of fishing for one.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64: the per-draw mixing function (same constants as the
+/// query-path fault plan in `elinda-endpoint`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One uniform draw in `[0, 1)` for operation `n` of stream `stream`.
+fn unit_draw(seed: u64, stream: u64, n: u64) -> f64 {
+    let x = splitmix64(seed ^ stream ^ n.wrapping_mul(0x9e37_79b9));
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The durability failure modes the WAL can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WalFaultKind {
+    /// The append writes only a prefix of the record and then "crashes":
+    /// the writer is poisoned and the on-disk tail is torn.
+    TornWrite,
+    /// The append writes the full record but with one byte corrupted —
+    /// silent media corruption that only the recovery checksum catches.
+    BitFlip,
+    /// The append fails up front with `ENOSPC`; nothing reaches the
+    /// file and the writer stays usable (space may free up later).
+    Enospc,
+    /// The next fsync reports an error; the records it covered are not
+    /// durable and the caller must not ack them.
+    FsyncError,
+}
+
+impl WalFaultKind {
+    /// Stable lowercase name, for logs and assertions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalFaultKind::TornWrite => "torn-write",
+            WalFaultKind::BitFlip => "bit-flip",
+            WalFaultKind::Enospc => "enospc",
+            WalFaultKind::FsyncError => "fsync-error",
+        }
+    }
+}
+
+/// A seeded, deterministic durability-fault schedule.
+///
+/// Append faults (torn write / bit flip / ENOSPC) partition a single
+/// uniform draw per append, checked in that fixed order; fsync errors
+/// draw from an independent stream indexed by fsync number.
+#[derive(Debug, Clone, Copy)]
+pub struct WalFaultPlan {
+    /// Seed of the per-operation draws.
+    pub seed: u64,
+    /// Probability an append tears mid-record.
+    pub torn_write_rate: f64,
+    /// Probability an append silently flips a byte.
+    pub bit_flip_rate: f64,
+    /// Probability an append fails with `ENOSPC`.
+    pub enospc_rate: f64,
+    /// Probability an fsync reports an error.
+    pub fsync_error_rate: f64,
+}
+
+const APPEND_STREAM: u64 = 0xA99E_4D00;
+const FSYNC_STREAM: u64 = 0xF5C4_1C00;
+
+impl WalFaultPlan {
+    /// No faults at all.
+    pub fn none(seed: u64) -> Self {
+        WalFaultPlan {
+            seed,
+            torn_write_rate: 0.0,
+            bit_flip_rate: 0.0,
+            enospc_rate: 0.0,
+            fsync_error_rate: 0.0,
+        }
+    }
+
+    /// A plan injecting only `kind` at `rate`.
+    pub fn only(kind: WalFaultKind, rate: f64, seed: u64) -> Self {
+        let mut plan = WalFaultPlan::none(seed);
+        match kind {
+            WalFaultKind::TornWrite => plan.torn_write_rate = rate,
+            WalFaultKind::BitFlip => plan.bit_flip_rate = rate,
+            WalFaultKind::Enospc => plan.enospc_rate = rate,
+            WalFaultKind::FsyncError => plan.fsync_error_rate = rate,
+        }
+        plan
+    }
+
+    /// The fault (if any) scheduled for append number `n` — a pure
+    /// function of `(seed, n)`.
+    pub fn append_fault_at(&self, n: u64) -> Option<WalFaultKind> {
+        let draw = unit_draw(self.seed, APPEND_STREAM, n);
+        let mut edge = self.torn_write_rate;
+        if draw < edge {
+            return Some(WalFaultKind::TornWrite);
+        }
+        edge += self.bit_flip_rate;
+        if draw < edge {
+            return Some(WalFaultKind::BitFlip);
+        }
+        edge += self.enospc_rate;
+        if draw < edge {
+            return Some(WalFaultKind::Enospc);
+        }
+        None
+    }
+
+    /// Whether fsync number `n` is scheduled to fail — a pure function
+    /// of `(seed, n)`.
+    pub fn fsync_fault_at(&self, n: u64) -> bool {
+        unit_draw(self.seed, FSYNC_STREAM, n) < self.fsync_error_rate
+    }
+}
+
+/// Shared, thread-safe fault scheduler: numbers appends and fsyncs,
+/// resolves the plan, and lets tests arm one-shot scripted faults at
+/// exact operation indices (scripted faults win over the plan).
+pub struct WalFaultInjector {
+    plan: WalFaultPlan,
+    next_append: AtomicU64,
+    next_fsync: AtomicU64,
+    injected: AtomicU64,
+    scripted_appends: Mutex<BTreeMap<u64, WalFaultKind>>,
+    scripted_fsyncs: Mutex<BTreeSet<u64>>,
+}
+
+impl WalFaultInjector {
+    /// An injector for the plan.
+    pub fn new(plan: WalFaultPlan) -> Self {
+        WalFaultInjector {
+            plan,
+            next_append: AtomicU64::new(0),
+            next_fsync: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            scripted_appends: Mutex::new(BTreeMap::new()),
+            scripted_fsyncs: Mutex::new(BTreeSet::new()),
+        }
+    }
+
+    /// An injector with no planned faults, for purely scripted use.
+    pub fn scripted() -> Self {
+        WalFaultInjector::new(WalFaultPlan::none(0))
+    }
+
+    /// The plan.
+    pub fn plan(&self) -> &WalFaultPlan {
+        &self.plan
+    }
+
+    /// Arm a one-shot append fault at append index `n` (0-based).
+    pub fn arm_append(&self, n: u64, kind: WalFaultKind) {
+        self.scripted_appends
+            .lock()
+            .expect("wal fault mutex poisoned")
+            .insert(n, kind);
+    }
+
+    /// Arm a one-shot fsync error at fsync index `n` (0-based).
+    pub fn arm_fsync(&self, n: u64) {
+        self.scripted_fsyncs
+            .lock()
+            .expect("wal fault mutex poisoned")
+            .insert(n);
+    }
+
+    /// The fault to inject for the next append, if any.
+    pub fn next_append_fault(&self) -> Option<WalFaultKind> {
+        let n = self.next_append.fetch_add(1, Ordering::Relaxed);
+        let scripted = self
+            .scripted_appends
+            .lock()
+            .expect("wal fault mutex poisoned")
+            .remove(&n);
+        let fault = scripted.or_else(|| {
+            let planned = self.plan.append_fault_at(n);
+            // `FsyncError` belongs to the fsync stream; the append
+            // partition can never produce it.
+            debug_assert_ne!(planned, Some(WalFaultKind::FsyncError));
+            planned
+        });
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// Whether the next fsync should report an error.
+    pub fn next_fsync_fails(&self) -> bool {
+        let n = self.next_fsync.fetch_add(1, Ordering::Relaxed);
+        let scripted = self
+            .scripted_fsyncs
+            .lock()
+            .expect("wal fault mutex poisoned")
+            .remove(&n);
+        let fails = scripted || self.plan.fsync_fault_at(n);
+        if fails {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fails
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_partitioned() {
+        let plan = WalFaultPlan {
+            seed: 42,
+            torn_write_rate: 0.2,
+            bit_flip_rate: 0.2,
+            enospc_rate: 0.2,
+            fsync_error_rate: 0.3,
+        };
+        let first: Vec<_> = (0..256).map(|n| plan.append_fault_at(n)).collect();
+        let second: Vec<_> = (0..256).map(|n| plan.append_fault_at(n)).collect();
+        assert_eq!(first, second);
+        // All three append kinds occur at these rates; fsync never does.
+        for kind in [
+            WalFaultKind::TornWrite,
+            WalFaultKind::BitFlip,
+            WalFaultKind::Enospc,
+        ] {
+            assert!(first.contains(&Some(kind)), "{kind:?} missing");
+        }
+        assert!(first.iter().all(|f| *f != Some(WalFaultKind::FsyncError)));
+        assert!((0..256).any(|n| plan.fsync_fault_at(n)));
+        assert!((0..256).any(|n| !plan.fsync_fault_at(n)));
+    }
+
+    #[test]
+    fn rates_zero_means_no_faults() {
+        let plan = WalFaultPlan::none(7);
+        assert!((0..1000).all(|n| plan.append_fault_at(n).is_none()));
+        assert!((0..1000).all(|n| !plan.fsync_fault_at(n)));
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_at_their_index() {
+        let inj = WalFaultInjector::scripted();
+        inj.arm_append(2, WalFaultKind::TornWrite);
+        inj.arm_fsync(1);
+        assert_eq!(inj.next_append_fault(), None);
+        assert_eq!(inj.next_append_fault(), None);
+        assert_eq!(inj.next_append_fault(), Some(WalFaultKind::TornWrite));
+        assert_eq!(inj.next_append_fault(), None);
+        assert!(!inj.next_fsync_fails());
+        assert!(inj.next_fsync_fails());
+        assert!(!inj.next_fsync_fails());
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn only_plan_injects_just_that_kind() {
+        let plan = WalFaultPlan::only(WalFaultKind::Enospc, 1.0, 3);
+        assert_eq!(plan.append_fault_at(0), Some(WalFaultKind::Enospc));
+        assert!(!plan.fsync_fault_at(0));
+        let plan = WalFaultPlan::only(WalFaultKind::FsyncError, 1.0, 3);
+        assert_eq!(plan.append_fault_at(0), None);
+        assert!(plan.fsync_fault_at(0));
+    }
+}

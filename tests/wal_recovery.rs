@@ -1,0 +1,386 @@
+//! Kill-at-any-instant durability: a server killed at an arbitrary
+//! point of the write path must restart serving **exactly the acked
+//! prefix** — every update whose `POST /update` was acknowledged is
+//! present, every torn in-flight record is truncated away, and the
+//! recovered state answers SPARQL-JSON byte-identically to a reference
+//! store that never crashed.
+//!
+//! A "kill" here is dropping the `ServerState` (and its `Wal`) without
+//! any flush: files stay exactly as the syscalls left them, which is
+//! what SIGKILL leaves behind. Torn records are produced by the seeded
+//! durability-fault injector rather than by racing a real signal, so
+//! every scenario is deterministic.
+
+use elinda::endpoint::{
+    encode_update, EndpointConfig, NoveltyConfig, ResilienceConfig, ServeError,
+};
+use elinda::server::ServerState;
+use elinda::sparql::parse_update;
+use elinda::store::test_dirs::{cleanup, fresh_dir};
+use elinda::store::{
+    PersistError, PersistentBackend, StoreBackend, TripleStore, Wal, WalConfig, WalFaultInjector,
+    WalFaultKind, WalRecovery,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Queries whose encoded bodies must match byte-for-byte between a
+/// recovered store and the never-crashed reference.
+const QUERIES: [&str; 3] = [
+    "SELECT ?s WHERE { ?s a <http://e/C> }",
+    "SELECT ?s ?o WHERE { ?s <http://e/p> ?o }",
+    "SELECT ?s WHERE { ?s a <http://e/D> }",
+];
+
+fn sample_store() -> Arc<TripleStore> {
+    Arc::new(
+        TripleStore::from_turtle(
+            r#"
+            @prefix ex: <http://e/> .
+            ex:a a ex:C ; ex:p ex:b .
+            ex:b a ex:C ; ex:p ex:c .
+            ex:c a ex:D .
+            "#,
+        )
+        .unwrap(),
+    )
+}
+
+/// An in-memory state that never crashed: the reference for what the
+/// acked prefix must look like.
+fn reference_state(acked: &[&str]) -> ServerState {
+    let state = ServerState::with_write_config(
+        sample_store(),
+        EndpointConfig::full(),
+        ResilienceConfig::default(),
+        NoveltyConfig::default(),
+    );
+    for text in acked {
+        state.apply_update(text).unwrap();
+    }
+    state
+}
+
+/// Open (bootstrapping on first use) the persistent store at
+/// `store_dir`, attach the WAL at `wal_dir`, and replay its tail.
+fn open_state(
+    store_dir: &Path,
+    wal_dir: &Path,
+    faults: Option<Arc<WalFaultInjector>>,
+) -> (ServerState, WalRecovery) {
+    let backend: Arc<dyn StoreBackend> = match PersistentBackend::open(store_dir) {
+        Ok(b) => Arc::new(b),
+        Err(PersistError::NoCurrentGeneration { .. }) => {
+            Arc::new(PersistentBackend::initialize(store_dir, sample_store()).unwrap())
+        }
+        Err(e) => panic!("store directory failed to open: {e}"),
+    };
+    let mut state = ServerState::with_backend(
+        backend,
+        EndpointConfig::full(),
+        ResilienceConfig::default(),
+        NoveltyConfig::default(),
+    );
+    let (wal, recovery) = Wal::open_with_faults(wal_dir, WalConfig::default(), faults)
+        .expect("wal recovery is typed and total; it must not fail on our scenarios");
+    state.attach_wal(Arc::new(wal), &recovery).unwrap();
+    (state, recovery)
+}
+
+/// Assert the two states serve byte-identical SPARQL-JSON.
+fn assert_same_answers(recovered: &ServerState, reference: &ServerState, scenario: &str) {
+    for q in QUERIES {
+        let (got, _) = recovered.execute_json(q).unwrap();
+        let (want, _) = reference.execute_json(q).unwrap();
+        assert_eq!(got, want, "{scenario}: diverged on {q}");
+    }
+}
+
+#[test]
+fn kill_mid_append_truncates_the_unacked_record() {
+    let store_dir = fresh_dir("walrec-midappend-store");
+    let wal_dir = fresh_dir("walrec-midappend-wal");
+
+    let faults = Arc::new(WalFaultInjector::scripted());
+    let (state, _) = open_state(&store_dir, &wal_dir, Some(Arc::clone(&faults)));
+    let acked =
+        "INSERT DATA { <http://e/n1> a <http://e/C> . <http://e/n1> <http://e/p> <http://e/a> }";
+    state.apply_update(acked).unwrap();
+    // The second update tears mid-write: the client gets an error (no
+    // ack), the writer is poisoned, and the on-disk tail is garbage.
+    faults.arm_append(1, WalFaultKind::TornWrite);
+    let err = state
+        .apply_update("INSERT DATA { <http://e/n2> a <http://e/C> }")
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Unavailable(_)), "got {err}");
+    drop(state); // SIGKILL
+
+    let (recovered, recovery) = open_state(&store_dir, &wal_dir, None);
+    assert!(recovery.torn.is_some(), "the torn tail must be detected");
+    assert!(recovery.truncated_bytes > 0);
+    assert_eq!(recovered.wal_replay().replayed_records, 1);
+    assert_same_answers(&recovered, &reference_state(&[acked]), "kill-mid-append");
+    // The recovered log is live again: the retried update now lands.
+    recovered
+        .apply_update("INSERT DATA { <http://e/n2> a <http://e/C> }")
+        .unwrap();
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn kill_between_append_and_ack_replays_the_record() {
+    let store_dir = fresh_dir("walrec-preack-store");
+    let wal_dir = fresh_dir("walrec-preack-wal");
+
+    let (state, _) = open_state(&store_dir, &wal_dir, None);
+    let acked = "INSERT DATA { <http://e/n1> a <http://e/C> }";
+    state.apply_update(acked).unwrap();
+    // The record reaches the log durably but the process dies before
+    // the HTTP response goes out: append + fsync by hand, no apply.
+    let unacked = "DELETE DATA { <http://e/b> <http://e/p> <http://e/c> }";
+    let payload = encode_update(&parse_update(unacked).unwrap());
+    let wal = Arc::clone(state.wal().unwrap());
+    let pos = wal.append(&payload).unwrap();
+    wal.sync_to(pos).unwrap();
+    drop(state); // SIGKILL between append and ack
+
+    // At-least-once: a durable-but-unacked record is indistinguishable
+    // from an acked one, so it must replay (the client never heard
+    // back and will retry idempotently).
+    let (recovered, recovery) = open_state(&store_dir, &wal_dir, None);
+    assert!(recovery.torn.is_none());
+    assert_eq!(recovered.wal_replay().replayed_records, 2);
+    assert_same_answers(
+        &recovered,
+        &reference_state(&[acked, unacked]),
+        "kill-between-append-and-ack",
+    );
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn kill_after_seal_before_persist_replays_everything() {
+    let store_dir = fresh_dir("walrec-seal-store");
+    let wal_dir = fresh_dir("walrec-seal-wal");
+
+    let (state, _) = open_state(&store_dir, &wal_dir, None);
+    let acked = [
+        "INSERT DATA { <http://e/n1> a <http://e/C> }",
+        "DELETE DATA { <http://e/a> <http://e/p> <http://e/b> }",
+    ];
+    for text in acked {
+        state.apply_update(text).unwrap();
+    }
+    // Compaction reached the seal but died before the fold was
+    // persisted: on disk, the old generation + both log segments.
+    state.wal().unwrap().seal().unwrap();
+    drop(state); // SIGKILL
+
+    let (recovered, recovery) = open_state(&store_dir, &wal_dir, None);
+    assert_eq!(
+        recovery.segments, 2,
+        "the sealed and fresh segments both survive"
+    );
+    assert_eq!(recovered.wal_replay().replayed_records, 2);
+    assert_same_answers(
+        &recovered,
+        &reference_state(&acked),
+        "kill-after-seal-before-persist",
+    );
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn kill_after_persist_before_discard_replays_idempotently() {
+    let store_dir = fresh_dir("walrec-persist-store");
+    let wal_dir = fresh_dir("walrec-persist-wal");
+
+    let (state, _) = open_state(&store_dir, &wal_dir, None);
+    let acked = [
+        "INSERT DATA { <http://e/n1> a <http://e/C> }",
+        "DELETE DATA { <http://e/a> <http://e/p> <http://e/b> }",
+    ];
+    for text in acked {
+        state.apply_update(text).unwrap();
+    }
+    // Compaction sealed, folded, and persisted the new generation —
+    // then died before discarding the sealed segment.
+    state.wal().unwrap().seal().unwrap();
+    let novelty = Arc::clone(state.novelty().unwrap());
+    novelty.compact().expect("staged novelty folds");
+    let generation = state
+        .backend()
+        .unwrap()
+        .persist(&novelty.base())
+        .unwrap()
+        .expect("persistent backend commits a generation");
+    assert_eq!(generation, 2);
+    drop(state); // SIGKILL before discard_sealed
+
+    // The new generation already contains the folded records; replaying
+    // them on top is a pile of no-ops, never a duplication.
+    let (recovered, recovery) = open_state(&store_dir, &wal_dir, None);
+    assert_eq!(recovery.segments, 2);
+    assert_eq!(recovered.wal_replay().replayed_records, 2);
+    assert_same_answers(
+        &recovered,
+        &reference_state(&acked),
+        "kill-after-persist-before-discard",
+    );
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn clean_compaction_rotates_and_leaves_nothing_to_replay() {
+    let store_dir = fresh_dir("walrec-rotate-store");
+    let wal_dir = fresh_dir("walrec-rotate-wal");
+
+    let (state, _) = open_state(&store_dir, &wal_dir, None);
+    state
+        .apply_update("INSERT DATA { <http://e/n1> a <http://e/C> }")
+        .unwrap();
+    let report = state.compact_now().expect("staged novelty compacts");
+    assert_eq!(report.persisted_generation, Some(2));
+    let stats = state.wal().unwrap().stats();
+    assert_eq!(
+        stats.discarded_segments, 1,
+        "the sealed segment is garbage now"
+    );
+    let metrics = state.metrics_text();
+    assert!(metrics.contains("elinda_wal_appended_records_total 1"));
+    assert!(metrics.contains("elinda_wal_discarded_segments_total 1"));
+    drop(state);
+
+    let (recovered, recovery) = open_state(&store_dir, &wal_dir, None);
+    assert_eq!(recovery.segments, 1);
+    assert_eq!(recovered.wal_replay().replayed_records, 0);
+    assert_same_answers(
+        &recovered,
+        &reference_state(&["INSERT DATA { <http://e/n1> a <http://e/C> }"]),
+        "clean-rotation",
+    );
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn enospc_rejects_the_update_and_keeps_serving() {
+    let store_dir = fresh_dir("walrec-enospc-store");
+    let wal_dir = fresh_dir("walrec-enospc-wal");
+
+    let faults = Arc::new(WalFaultInjector::scripted());
+    faults.arm_append(0, WalFaultKind::Enospc);
+    let (state, _) = open_state(&store_dir, &wal_dir, Some(faults));
+    let err = state
+        .apply_update("INSERT DATA { <http://e/n1> a <http://e/C> }")
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Unavailable(_)), "got {err}");
+    // The rejected update took no effect and reads keep serving.
+    assert_same_answers(&state, &reference_state(&[]), "enospc-rejected");
+    // ENOSPC is transient (space can free up): the writer is not
+    // poisoned and the retry succeeds.
+    state
+        .apply_update("INSERT DATA { <http://e/n1> a <http://e/C> }")
+        .unwrap();
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn fsync_error_fails_the_ack_and_is_counted() {
+    let store_dir = fresh_dir("walrec-fsync-store");
+    let wal_dir = fresh_dir("walrec-fsync-wal");
+
+    let faults = Arc::new(WalFaultInjector::scripted());
+    faults.arm_fsync(0);
+    let (state, _) = open_state(&store_dir, &wal_dir, Some(faults));
+    let err = state
+        .apply_update("INSERT DATA { <http://e/n1> a <http://e/C> }")
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Unavailable(_)), "got {err}");
+    assert_eq!(state.wal().unwrap().stats().sync_failures, 1);
+    assert!(state
+        .metrics_text()
+        .contains("elinda_wal_sync_failures_total 1"));
+    // The next attempt fsyncs cleanly and acks; ground replay makes the
+    // earlier applied-but-unacked copy harmless.
+    state
+        .apply_update("INSERT DATA { <http://e/n1> a <http://e/C> }")
+        .unwrap();
+    assert_same_answers(
+        &state,
+        &reference_state(&["INSERT DATA { <http://e/n1> a <http://e/C> }"]),
+        "fsync-retry",
+    );
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn corrupt_wal_tail_recovers_with_typed_truncation_never_a_panic() {
+    let store_dir = fresh_dir("walrec-corrupt-store");
+    let wal_dir = fresh_dir("walrec-corrupt-wal");
+
+    let (state, _) = open_state(&store_dir, &wal_dir, None);
+    let acked = "INSERT DATA { <http://e/n1> a <http://e/C> }";
+    state.apply_update(acked).unwrap();
+    state
+        .apply_update("INSERT DATA { <http://e/n2> a <http://e/C> }")
+        .unwrap();
+    drop(state);
+
+    // Flip one byte in the last record's payload region: the checksum
+    // catches it and recovery truncates from there — acked-but-
+    // corrupted data is *lost*, reported, and never invented.
+    let seg = wal_dir.join("wal-0000000001.log");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let n = bytes.len();
+    bytes[n - 12] ^= 0x01;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let (recovered, recovery) = open_state(&store_dir, &wal_dir, None);
+    assert!(recovery.torn.is_some());
+    assert!(recovery.truncated_bytes > 0);
+    assert_eq!(recovered.wal_replay().replayed_records, 1);
+    assert!(recovered.wal_replay().torn);
+    assert_same_answers(&recovered, &reference_state(&[acked]), "corrupt-tail");
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
+
+#[test]
+fn shutdown_flush_leaves_an_empty_log() {
+    let store_dir = fresh_dir("walrec-flush-store");
+    let wal_dir = fresh_dir("walrec-flush-wal");
+
+    let (state, _) = open_state(&store_dir, &wal_dir, None);
+    state
+        .apply_update("INSERT DATA { <http://e/n1> a <http://e/C> }")
+        .unwrap();
+    let report = state.shutdown_flush().expect("staged novelty folds");
+    assert_eq!(report.persisted_generation, Some(2));
+    drop(state);
+
+    let (recovered, _) = open_state(&store_dir, &wal_dir, None);
+    assert_eq!(recovered.wal_replay().replayed_records, 0);
+    assert_same_answers(
+        &recovered,
+        &reference_state(&["INSERT DATA { <http://e/n1> a <http://e/C> }"]),
+        "clean-shutdown",
+    );
+
+    cleanup(&store_dir);
+    cleanup(&wal_dir);
+}
