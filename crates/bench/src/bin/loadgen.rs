@@ -5,12 +5,25 @@
 //!     [--scale 0.05] [--workers 4] [--queue-depth 64] [--addr HOST:PORT]
 //!     [--fault-profile RATE] [--fault-seed N] [--trace-sample F]
 //!     [--session] [--write-rate F]
+//!     [--rate RPS] [--event-loop] [--bench-json PATH]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process `elinda-server` over a
 //! paper-shape synthetic store and drives that. Each client thread runs
 //! a closed loop — connect, send one `GET /sparql` request, read the
 //! full response, repeat — so offered load tracks service capacity.
+//!
+//! `--rate RPS` switches to an **open loop**: requests are scheduled at
+//! a fixed arrival rate on persistent keep-alive connections, and each
+//! latency is measured from the request's *intended* send time, not the
+//! moment the socket write finally happened. A closed loop silently
+//! stops offering load the instant the server slows down (coordinated
+//! omission), so its percentiles flatter an overloaded server; the open
+//! loop keeps the schedule and charges queueing delay to the server.
+//! `--event-loop` hosts the in-process server on the epoll reactor
+//! front-end instead of the blocking one, and `--bench-json PATH`
+//! writes a machine-readable snapshot (totals plus p50/p95/p99 overall
+//! and split into cold/warm halves) for CI trend tracking.
 //! Responses are attributed to serving components via the
 //! `X-Elinda-Served-By` header, and the report shows throughput plus
 //! p50/p95/p99 latency per component (the Fig. 4 comparison, measured
@@ -34,7 +47,7 @@ use elinda_bench::{bench_store, fig4_queries};
 use elinda_endpoint::{
     EndpointConfig, FaultPlan, RemoteConfig, RemoteEndpoint, ResilienceConfig, RetryPolicy,
 };
-use elinda_server::{percent_encode, serve, ServerConfig, ServerState};
+use elinda_server::{percent_encode, serve, ServerConfig, ServerHandle, ServerState};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -63,6 +76,13 @@ struct Args {
     /// exercises the full write → overlay → compaction → cache-demotion
     /// cycle; the report adds applied-write and compaction counts.
     write_rate: f64,
+    /// Open-loop arrival rate in requests/second across all clients;
+    /// `None` runs the classic closed loop.
+    rate: Option<f64>,
+    /// Host the in-process server on the epoll reactor front-end.
+    event_loop: bool,
+    /// Write a machine-readable benchmark snapshot to this path.
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,6 +98,9 @@ fn parse_args() -> Result<Args, String> {
         trace_sample: ServerConfig::default().trace_sample,
         session: false,
         write_rate: 0.0,
+        rate: None,
+        event_loop: false,
+        bench_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -130,6 +153,17 @@ fn parse_args() -> Result<Args, String> {
                     .clamp(0.0, 1.0)
             }
             "--session" => args.session = true,
+            "--rate" => {
+                let rate: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--rate must be a positive number".into());
+                }
+                args.rate = Some(rate);
+            }
+            "--event-loop" => args.event_loop = true,
+            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--write-rate" => {
                 args.write_rate = value("--write-rate")?
                     .parse::<f64>()
@@ -144,7 +178,11 @@ fn parse_args() -> Result<Args, String> {
                      [--fault-seed N] \
                      [--trace-sample F (0.0-1.0, per-stage breakdown after the run)] \
                      [--session (replay correlated exploration paths, report cache hit-rate)] \
-                     [--write-rate F (0.0-1.0, fraction of requests POSTing /update)]"
+                     [--write-rate F (0.0-1.0, fraction of requests POSTing /update)] \
+                     [--rate RPS (open loop: fixed arrival rate, keep-alive connections, \
+                     latency from intended send time)] \
+                     [--event-loop (host the in-process server on the epoll reactor)] \
+                     [--bench-json PATH (write a JSON benchmark snapshot)]"
                         .into(),
                 )
             }
@@ -253,6 +291,164 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A persistent keep-alive connection for the open-loop driver: one
+/// socket reused across requests, responses framed by `Content-Length`,
+/// transparent reconnect when the server closes (request cap, error
+/// paths) or the transport fails.
+struct OpenLoopConn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl OpenLoopConn {
+    fn new(addr: SocketAddr) -> Self {
+        OpenLoopConn {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Send one keep-alive GET and read the full response. Returns the
+    /// status and serving component. Any transport failure tears the
+    /// connection down; the next call reconnects.
+    fn exchange(&mut self, target: &str) -> Result<(u16, Option<String>), ()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr).map_err(|_| ())?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .map_err(|_| ())?;
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        let result = self.try_exchange(target);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn try_exchange(&mut self, target: &str) -> Result<(u16, Option<String>), ()> {
+        let stream = self.stream.as_mut().ok_or(())?;
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes())
+            .map_err(|_| ())?;
+
+        // Read until the headers are complete.
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = stream.read(&mut chunk).map_err(|_| ())?;
+            if n == 0 {
+                return Err(());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..header_end]).map_err(|_| ())?;
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or(())?;
+        let mut content_length = 0usize;
+        let mut component = None;
+        let mut close = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| ())?;
+            } else if name.eq_ignore_ascii_case("x-elinda-served-by") {
+                component = Some(value.to_string());
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
+            }
+        }
+
+        // Read the body through, then drop the consumed bytes.
+        let total = header_end + content_length;
+        while self.buf.len() < total {
+            let mut chunk = [0u8; 16 * 1024];
+            let n = stream.read(&mut chunk).map_err(|_| ())?;
+            if n == 0 {
+                return Err(());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        self.buf.drain(..total);
+        if close {
+            self.stream = None;
+            self.buf.clear();
+        }
+        Ok((status, component))
+    }
+}
+
+/// Per-thread open-loop tallies. Each sample keeps the request's
+/// intended offset from the run start so the report can split the run
+/// into a cold first half and a warm second half.
+#[derive(Default)]
+struct OpenTally {
+    sent: u64,
+    shed: u64,
+    errors: u64,
+    samples: Vec<(Duration, Sample)>,
+}
+
+/// Drive one open-loop client: client `i` of `n` owns every `n`-th slot
+/// of the global arrival schedule (slot `k` fires at `start + k/rate`).
+/// The client sleeps until each intended send time — but when the
+/// server falls behind it sends immediately and *still* measures from
+/// the intended time, so queueing delay lands in the percentiles
+/// instead of being silently omitted.
+fn open_loop_client(
+    addr: SocketAddr,
+    targets: &[String],
+    start: Instant,
+    duration: Duration,
+    rate: f64,
+    clients: usize,
+    client: usize,
+) -> OpenTally {
+    let mut tally = OpenTally::default();
+    let mut conn = OpenLoopConn::new(addr);
+    let mut k = 0usize;
+    loop {
+        let slot = k * clients + client;
+        k += 1;
+        let offset = Duration::from_secs_f64(slot as f64 / rate);
+        if offset >= duration {
+            return tally;
+        }
+        let intended = start + offset;
+        if let Some(wait) = intended.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        tally.sent += 1;
+        let target = &targets[slot % targets.len()];
+        match conn.exchange(target) {
+            Ok((200, component)) => {
+                let latency = Instant::now().duration_since(intended);
+                tally.samples.push((
+                    offset,
+                    Sample {
+                        component: component.unwrap_or_else(|| "unknown".into()),
+                        latency,
+                    },
+                ));
+            }
+            Ok((503, _)) => tally.shed += 1,
+            Ok(_) | Err(()) => tally.errors += 1,
+        }
+    }
+}
+
 fn client_loop(
     addr: SocketAddr,
     targets: &[String],
@@ -300,6 +496,182 @@ fn client_loop(
     tally
 }
 
+/// Summarize a (sorted-in-place) latency set for the open-loop report.
+struct LatencySummary {
+    count: u64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    max: Duration,
+    mean: Duration,
+}
+
+fn summarize(samples: &mut [Duration]) -> LatencySummary {
+    samples.sort_unstable();
+    let mean = if samples.is_empty() {
+        Duration::ZERO
+    } else {
+        samples.iter().sum::<Duration>() / samples.len() as u32
+    };
+    LatencySummary {
+        count: samples.len() as u64,
+        p50: percentile(samples, 50.0),
+        p95: percentile(samples, 95.0),
+        p99: percentile(samples, 99.0),
+        max: samples.last().copied().unwrap_or_default(),
+        mean,
+    }
+}
+
+fn json_latency(s: &LatencySummary) -> String {
+    let ms = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}}",
+        s.count,
+        ms(s.p50),
+        ms(s.p95),
+        ms(s.p99),
+        ms(s.max),
+        ms(s.mean)
+    )
+}
+
+/// Run the open-loop fleet, print the report, and optionally write the
+/// `--bench-json` snapshot.
+fn run_open_loop(
+    args: &Args,
+    rate: f64,
+    addr: SocketAddr,
+    targets: &[String],
+    server: Option<ServerHandle>,
+) {
+    let front_end = if args.addr.is_some() {
+        "external"
+    } else if args.event_loop {
+        "event-loop"
+    } else {
+        "blocking"
+    };
+    eprintln!(
+        "open loop: {rate} req/s across {} keep-alive clients for {:.1}s ({front_end} front-end)",
+        args.clients,
+        args.duration.as_secs_f64()
+    );
+    let start = Instant::now();
+    let clients: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let targets = targets.to_vec();
+            let n = args.clients;
+            let duration = args.duration;
+            std::thread::spawn(move || {
+                open_loop_client(addr, &targets, start, duration, rate, n, i)
+            })
+        })
+        .collect();
+    let tallies: Vec<OpenTally> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed();
+
+    let (mut sent, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let mut all = Vec::new();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    let mut by_component: Vec<(String, Vec<Duration>)> = Vec::new();
+    let half = args.duration / 2;
+    for tally in tallies {
+        sent += tally.sent;
+        shed += tally.shed;
+        errors += tally.errors;
+        for (offset, sample) in tally.samples {
+            all.push(sample.latency);
+            if offset < half {
+                cold.push(sample.latency);
+            } else {
+                warm.push(sample.latency);
+            }
+            match by_component
+                .iter_mut()
+                .find(|(name, _)| *name == sample.component)
+            {
+                Some((_, samples)) => samples.push(sample.latency),
+                None => by_component.push((sample.component, vec![sample.latency])),
+            }
+        }
+    }
+    by_component.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let ok = all.len() as u64;
+    let achieved = ok as f64 / elapsed.as_secs_f64();
+
+    let total = summarize(&mut all);
+    let cold = summarize(&mut cold);
+    let warm = summarize(&mut warm);
+    println!(
+        "\nopen loop: offered {rate:.1} req/s, achieved {achieved:.1} req/s | \
+         {sent} sent, {ok} ok, {shed} shed (503), {errors} errors over {:.2}s",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "window", "count", "p50", "p95", "p99", "max", "mean"
+    );
+    for (label, summary) in [("total", &total), ("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{label:<12} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            summary.count,
+            fmt_latency(summary.p50),
+            fmt_latency(summary.p95),
+            fmt_latency(summary.p99),
+            fmt_latency(summary.max),
+            fmt_latency(summary.mean),
+        );
+    }
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "component", "count", "p50", "p95", "p99"
+    );
+    for (component, mut samples) in by_component {
+        samples.sort_unstable();
+        println!(
+            "{component:<12} {:>8} {:>10} {:>10} {:>10}",
+            samples.len(),
+            fmt_latency(percentile(&samples, 50.0)),
+            fmt_latency(percentile(&samples, 95.0)),
+            fmt_latency(percentile(&samples, 99.0)),
+        );
+    }
+
+    if let Some(path) = &args.bench_json {
+        let json = format!(
+            "{{\n  \"bench\": \"open-loop-loadgen\",\n  \"version\": 1,\n  \
+             \"config\": {{\"rate\": {rate}, \"clients\": {}, \"duration_s\": {}, \
+             \"scale\": {}, \"workers\": {}, \"front_end\": \"{front_end}\"}},\n  \
+             \"totals\": {{\"sent\": {sent}, \"ok\": {ok}, \"shed\": {shed}, \
+             \"errors\": {errors}, \"achieved_rps\": {achieved:.1}}},\n  \
+             \"latency_ms\": {},\n  \"cold\": {},\n  \"warm\": {}\n}}\n",
+            args.clients,
+            args.duration.as_secs_f64(),
+            args.scale,
+            args.workers,
+            json_latency(&total),
+            json_latency(&cold),
+            json_latency(&warm),
+        );
+        std::fs::write(path, json).expect("write --bench-json");
+        eprintln!("wrote benchmark snapshot to {path}");
+    }
+
+    if let Some(handle) = server {
+        let counters = handle.counters();
+        println!(
+            "server: accepted {} served {} shed {}",
+            counters.accepted, counters.served, counters.shed
+        );
+        handle.shutdown();
+    }
+}
+
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -342,6 +714,20 @@ fn main() {
         // A state built over a custom (faulty) primary has no local
         // write path; every update would bounce with 503.
         eprintln!("--write-rate and --fault-profile are mutually exclusive");
+        std::process::exit(2);
+    }
+    if args.rate.is_some()
+        && (args.session || args.fault_profile.is_some() || args.write_rate > 0.0)
+    {
+        eprintln!("--rate (open loop) is incompatible with --session/--fault-profile/--write-rate");
+        std::process::exit(2);
+    }
+    if args.bench_json.is_some() && args.rate.is_none() {
+        eprintln!("--bench-json requires --rate (open-loop mode)");
+        std::process::exit(2);
+    }
+    if args.event_loop && args.addr.is_some() {
+        eprintln!("--event-loop requires the in-process server (drop --addr)");
         std::process::exit(2);
     }
     let queries: Vec<String> = if args.session {
@@ -441,6 +827,7 @@ fn main() {
                 workers: args.workers,
                 queue_depth: args.queue_depth,
                 trace_sample: args.trace_sample,
+                event_loop: args.event_loop,
                 // With writers in the mix, run the background compactor
                 // fast enough that a short run folds several times.
                 compact_interval: (args.write_rate > 0.0).then(|| Duration::from_millis(200)),
@@ -465,6 +852,14 @@ fn main() {
             (addr, Some(handle), Some(state))
         }
     };
+
+    // Open loop: a fixed arrival schedule on keep-alive connections,
+    // reported separately — closed-loop accounting (and the session /
+    // fault machinery) does not apply.
+    if let Some(rate) = args.rate {
+        run_open_loop(&args, rate, addr, &targets, server);
+        return;
+    }
 
     // Session mode: measure the repeat-visit speedup before the fleet
     // muddies the cache — one cold pass over the path (empty cache),

@@ -3,6 +3,10 @@
 //! ```text
 //! cargo run --bin elinda-serve -- [--addr 127.0.0.1:7878] [--workers 4]
 //!                                 [--queue-depth 64] [--scale 1.0]
+//!                                 [--event-loop] [--max-connections 8192]
+//!                                 [--keep-alive-timeout-ms 30000]
+//!                                 [--max-requests-per-conn 1000]
+//!                                 [--drain-timeout-ms 250]
 //!                                 [--shards 8] [--intra-query-threads 0]
 //!                                 [--deadline-ms 0] [--retry 0] [--breaker 5]
 //!                                 [--trace-sample 0.0]
@@ -99,6 +103,19 @@ struct Args {
     /// Group-commit gather window in microseconds; 0 disables the wait
     /// (concurrent writers still share a leader's fsync).
     wal_group_commit_us: u64,
+    /// Serve with the epoll-backed event-driven front-end (HTTP/1.1
+    /// keep-alive + pipelining) instead of the blocking
+    /// connection-per-worker model.
+    event_loop: bool,
+    /// Maximum simultaneously open connections under the event loop.
+    max_connections: usize,
+    /// Idle keep-alive timeout in milliseconds (event loop only).
+    keep_alive_timeout_ms: u64,
+    /// Requests per connection before the reactor closes it.
+    max_requests_per_conn: usize,
+    /// How long shed / rejected-request paths drain leftover client
+    /// bytes before answering, in milliseconds.
+    drain_timeout_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -122,6 +139,11 @@ fn parse_args() -> Result<Args, String> {
         wal: None,
         wal_sync: WalSyncPolicy::Always,
         wal_group_commit_us: 0,
+        event_loop: false,
+        max_connections: ServerConfig::default().max_connections,
+        keep_alive_timeout_ms: ServerConfig::default().keep_alive_timeout.as_millis() as u64,
+        max_requests_per_conn: ServerConfig::default().max_requests_per_conn,
+        drain_timeout_ms: ServerConfig::default().drain_timeout.as_millis() as u64,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -207,6 +229,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--wal-group-commit-us: {e}"))?
             }
+            "--event-loop" => args.event_loop = true,
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--keep-alive-timeout-ms" => {
+                args.keep_alive_timeout_ms = value("--keep-alive-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--keep-alive-timeout-ms: {e}"))?
+            }
+            "--max-requests-per-conn" => {
+                args.max_requests_per_conn = value("--max-requests-per-conn")?
+                    .parse()
+                    .map_err(|e| format!("--max-requests-per-conn: {e}"))?
+            }
+            "--drain-timeout-ms" => {
+                args.drain_timeout_ms = value("--drain-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--drain-timeout-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
@@ -222,7 +265,12 @@ fn parse_args() -> Result<Args, String> {
                      [--load FILE.nt (bulk-load instead of datagen)] \
                      [--wal DIR (append+fsync updates before acking; replay on restart)] \
                      [--wal-sync always|never|interval[:MS]] \
-                     [--wal-group-commit-us N (fsync gather window)]"
+                     [--wal-group-commit-us N (fsync gather window)] \
+                     [--event-loop (epoll front-end: keep-alive + pipelining)] \
+                     [--max-connections N (event-loop connection cap)] \
+                     [--keep-alive-timeout-ms N (idle connection close)] \
+                     [--max-requests-per-conn N (close after N requests)] \
+                     [--drain-timeout-ms N (rejected-request drain bound)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -417,6 +465,11 @@ fn main() {
         trace_sample: args.trace_sample,
         compact_interval: (args.compact_interval_ms > 0)
             .then(|| Duration::from_millis(args.compact_interval_ms)),
+        drain_timeout: Duration::from_millis(args.drain_timeout_ms),
+        event_loop: args.event_loop,
+        max_connections: args.max_connections,
+        keep_alive_timeout: Duration::from_millis(args.keep_alive_timeout_ms),
+        max_requests_per_conn: args.max_requests_per_conn,
     };
     let handle = match serve(Arc::clone(&state), args.addr.as_str(), config) {
         Ok(handle) => handle,
@@ -426,13 +479,24 @@ fn main() {
         }
     };
     eprintln!(
-        "listening on http://{} ({} workers, queue depth {}, {} shards × {} threads/query)",
+        "listening on http://{} ({} workers, queue depth {}, {} shards × {} threads/query, {} front-end)",
         handle.local_addr(),
         args.workers,
         args.queue_depth,
         parallelism.shards,
-        parallelism.threads
+        parallelism.threads,
+        if args.event_loop {
+            "event-loop"
+        } else {
+            "blocking"
+        }
     );
+    if args.event_loop {
+        eprintln!(
+            "keep-alive: max {} connections, idle timeout {}ms, {} requests/connection",
+            args.max_connections, args.keep_alive_timeout_ms, args.max_requests_per_conn
+        );
+    }
     if args.trace_sample > 0.0 {
         eprintln!("tracing {:.0}% of requests", args.trace_sample * 100.0);
     }

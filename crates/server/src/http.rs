@@ -1,9 +1,13 @@
 //! Minimal HTTP/1.1 framing for the SPARQL protocol endpoint.
 //!
-//! Supports exactly what the serving subsystem needs: one request per
-//! connection (`Connection: close` on every response), request-line and
+//! Supports exactly what the serving subsystem needs: request-line and
 //! header parsing, `Content-Length` bodies, percent-decoding, and
-//! `application/x-www-form-urlencoded` query-pair parsing.
+//! `application/x-www-form-urlencoded` query-pair parsing. Two parsing
+//! entry points share one grammar: [`Request::parse`] reads a blocking
+//! stream (one request per connection, `Connection: close` on every
+//! response), and [`Request::try_parse`] consumes an in-memory buffer
+//! incrementally for the event-driven front-end, which keeps
+//! connections alive and pipelines requests.
 
 use std::io::{self, BufRead, Write};
 
@@ -32,6 +36,12 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the client may reuse this connection for another
+    /// request: `HTTP/1.1` unless a `Connection: close` token was sent,
+    /// or any other version with an explicit `Connection: keep-alive`.
+    /// The blocking front-end ignores this and always closes; the
+    /// event-driven front-end honors it.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -54,20 +64,7 @@ impl Request {
 
     /// Parse one request from a buffered stream.
     pub fn parse<R: BufRead>(reader: &mut R) -> io::Result<Request> {
-        let line = read_crlf_line(reader)?;
-        let mut parts = line.split(' ');
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() => (m, t, v),
-            _ => return Err(bad("malformed request line")),
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(bad("unsupported HTTP version"));
-        }
-        let (raw_path, raw_query) = match target.split_once('?') {
-            Some((p, q)) => (p, q),
-            None => (target, ""),
-        };
-
+        let head = parse_request_line(&read_crlf_line(reader)?)?;
         let mut headers = Vec::new();
         loop {
             let line = read_crlf_line(reader)?;
@@ -77,44 +74,179 @@ impl Request {
             if headers.len() >= MAX_HEADERS {
                 return Err(bad("too many headers"));
             }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| bad("malformed header line"))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            headers.push(parse_header_line(&line)?);
         }
 
+        let length = body_length(&headers)?;
         let mut body = Vec::new();
-        // RFC 7230 §3.3.2: duplicate `Content-Length` headers with
-        // differing values make the message length ambiguous (request
-        // smuggling) and must be rejected; identical repeats are allowed.
-        let mut length: Option<usize> = None;
-        for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
-            let parsed = value
-                .parse::<usize>()
-                .map_err(|_| bad("bad content-length"))?;
-            match length {
-                Some(seen) if seen != parsed => {
-                    return Err(bad("conflicting content-length headers"));
-                }
-                _ => length = Some(parsed),
-            }
-        }
-        let length = length.unwrap_or(0);
-        if length > MAX_BODY {
-            return Err(too_large("request body too large"));
-        }
         if length > 0 {
             body.resize(length, 0);
             reader.read_exact(&mut body)?;
         }
 
-        Ok(Request {
-            method: method.to_ascii_uppercase(),
-            path: percent_decode(raw_path),
-            query: parse_query_pairs(raw_query),
-            headers,
-            body,
-        })
+        Ok(assemble(head, headers, body))
+    }
+
+    /// Try to parse one request out of an in-memory buffer holding
+    /// whatever bytes have arrived so far — the event-driven front-end's
+    /// entry point, sharing every grammar rule and limit with
+    /// [`Request::parse`].
+    ///
+    /// Returns:
+    /// - `Ok(Some((request, consumed)))` — a complete request occupying
+    ///   the first `consumed` bytes of `buf`; pipelined followers remain
+    ///   in the buffer after that offset.
+    /// - `Ok(None)` — the bytes so far are a valid prefix; read more.
+    /// - `Err(_)` — the prefix can never become a valid request, with
+    ///   the same error kinds as [`Request::parse`] (`InvalidData` →
+    ///   400, `InvalidInput` → 413).
+    pub fn try_parse(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
+        let mut pos = 0usize;
+        let Some(line) = next_crlf_line(buf, &mut pos)? else {
+            return Ok(None);
+        };
+        let head = parse_request_line(&line)?;
+        let mut headers = Vec::new();
+        loop {
+            let Some(line) = next_crlf_line(buf, &mut pos)? else {
+                return Ok(None);
+            };
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(bad("too many headers"));
+            }
+            headers.push(parse_header_line(&line)?);
+        }
+        let length = body_length(&headers)?;
+        if buf.len() - pos < length {
+            return Ok(None);
+        }
+        let body = buf[pos..pos + length].to_vec();
+        Ok(Some((assemble(head, headers, body), pos + length)))
+    }
+}
+
+/// The parsed request line: method, split target, and whether the
+/// version string was exactly `HTTP/1.1` (the keep-alive-by-default
+/// version).
+struct RequestLine {
+    method: String,
+    raw_path: String,
+    raw_query: String,
+    http11: bool,
+}
+
+fn parse_request_line(line: &str) -> io::Result<RequestLine> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(bad("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(RequestLine {
+        method: method.to_string(),
+        raw_path: raw_path.to_string(),
+        raw_query: raw_query.to_string(),
+        http11: version == "HTTP/1.1",
+    })
+}
+
+fn parse_header_line(line: &str) -> io::Result<(String, String)> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| bad("malformed header line"))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Resolve the body length from `Content-Length` headers.
+///
+/// RFC 7230 §3.3.2: duplicate `Content-Length` headers with differing
+/// values make the message length ambiguous (request smuggling) and
+/// must be rejected; identical repeats are allowed. A length beyond
+/// [`MAX_BODY`] gets the distinct `InvalidInput` kind so handlers map
+/// it to `413`.
+fn body_length(headers: &[(String, String)]) -> io::Result<usize> {
+    let mut length: Option<usize> = None;
+    for (_, value) in headers.iter().filter(|(n, _)| n == "content-length") {
+        let parsed = value
+            .parse::<usize>()
+            .map_err(|_| bad("bad content-length"))?;
+        match length {
+            Some(seen) if seen != parsed => {
+                return Err(bad("conflicting content-length headers"));
+            }
+            _ => length = Some(parsed),
+        }
+    }
+    let length = length.unwrap_or(0);
+    if length > MAX_BODY {
+        return Err(too_large("request body too large"));
+    }
+    Ok(length)
+}
+
+fn assemble(head: RequestLine, headers: Vec<(String, String)>, body: Vec<u8>) -> Request {
+    let keep_alive = wants_keep_alive(head.http11, &headers);
+    Request {
+        method: head.method.to_ascii_uppercase(),
+        path: percent_decode(&head.raw_path),
+        query: parse_query_pairs(&head.raw_query),
+        headers,
+        body,
+        keep_alive,
+    }
+}
+
+/// HTTP/1.1 defaults to persistent connections unless the client sends
+/// a `close` token; HTTP/1.0 (and the other `HTTP/1.x` versions this
+/// parser tolerates) closes unless the client explicitly opts in with
+/// `keep-alive`. `close` wins over `keep-alive` if both appear.
+fn wants_keep_alive(http11: bool, headers: &[(String, String)]) -> bool {
+    let mut explicit_keep = false;
+    for (_, value) in headers.iter().filter(|(n, _)| n == "connection") {
+        for token in value.split(',') {
+            match token.trim().to_ascii_lowercase().as_str() {
+                "close" => return false,
+                "keep-alive" => explicit_keep = true,
+                _ => {}
+            }
+        }
+    }
+    http11 || explicit_keep
+}
+
+/// Pull the next `\n`-terminated line out of `buf` starting at `*pos`,
+/// returned without the terminator, advancing `*pos` past it. `Ok(None)`
+/// means the line is still incomplete; a line that cannot fit
+/// [`MAX_LINE`] bytes (terminator included) is rejected as soon as that
+/// is knowable, even before its newline arrives — the incremental
+/// analogue of [`read_crlf_line`]'s bound.
+fn next_crlf_line(buf: &[u8], pos: &mut usize) -> io::Result<Option<String>> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            if nl + 1 > MAX_LINE {
+                return Err(bad("header line too long"));
+            }
+            let mut line = std::str::from_utf8(&rest[..nl])
+                .map_err(|_| bad("invalid utf-8 in header"))?
+                .to_string();
+            while line.ends_with('\r') {
+                line.pop();
+            }
+            *pos += nl + 1;
+            Ok(Some(line))
+        }
+        None if rest.len() >= MAX_LINE => Err(bad("header line too long")),
+        None => Ok(None),
     }
 }
 
@@ -167,18 +299,30 @@ impl Response {
         self
     }
 
-    /// Serialize onto a stream. Every response closes the connection.
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+    /// Serialize to bytes. `close` picks the `Connection` header value:
+    /// the blocking front-end always closes; the event-driven front-end
+    /// answers `keep-alive` until the connection's last response, which
+    /// must say `close` so the client knows not to reuse the socket.
+    pub fn serialize(&self, close: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        let _ = write!(out, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        write!(
-            w,
-            "Content-Length: {}\r\nConnection: close\r\n\r\n",
-            self.body.len()
-        )?;
-        w.write_all(&self.body)?;
+        let _ = write!(
+            out,
+            "Content-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.body.len(),
+            if close { "close" } else { "keep-alive" }
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialize onto a stream. Every response closes the connection
+    /// (the blocking front-end's one-request-per-connection contract).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(&self.serialize(true))?;
         w.flush()
     }
 }
@@ -473,6 +617,137 @@ mod tests {
                 ("b".into(), "2".into()),
                 ("c".into(), String::new())
             ]
+        );
+    }
+
+    #[test]
+    fn serialize_close_matches_write_to_byte_for_byte() {
+        let response = Response::sparql_json(200, "{\"x\":1}").header("X-Test", "1");
+        let mut via_stream = Vec::new();
+        response.write_to(&mut via_stream).unwrap();
+        assert_eq!(via_stream, response.serialize(true));
+    }
+
+    #[test]
+    fn serialize_keep_alive_differs_only_in_connection_header() {
+        let response = Response::text(200, "ok");
+        let close = String::from_utf8(response.serialize(true)).unwrap();
+        let keep = String::from_utf8(response.serialize(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_http_version() {
+        let parse = |raw: &str| Request::parse(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert!(parse("GET / HTTP/1.1\r\n\r\n").keep_alive);
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(!parse("GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+        // `close` wins when both tokens appear in one list.
+        assert!(!parse("GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn try_parse_incomplete_prefixes_ask_for_more() {
+        let raw = b"POST /sparql HTTP/1.1\r\nContent-Length: 9\r\n\r\nquery=abc";
+        for cut in 0..raw.len() {
+            assert!(
+                Request::try_parse(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (req, consumed) = Request::try_parse(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"query=abc");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn try_parse_leaves_pipelined_followers_in_the_buffer() {
+        let raw = b"GET /health HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, consumed) = Request::try_parse(raw).unwrap().unwrap();
+        assert_eq!(first.path, "/health");
+        let (second, consumed2) = Request::try_parse(&raw[consumed..]).unwrap().unwrap();
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn try_parse_matches_blocking_parse_on_whole_requests() {
+        let cases: &[&[u8]] = &[
+            b"GET /sparql?query=SELECT%20%3Fs&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"POST /sparql HTTP/1.1\r\nContent-Length: 9\r\n\r\nquery=abc",
+            b"GET /c%2B%2B+notes?q=a+b HTTP/1.1\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc",
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n",
+        ];
+        for raw in cases {
+            let blocking = Request::parse(&mut BufReader::new(*raw)).unwrap();
+            let (incremental, consumed) = Request::try_parse(raw).unwrap().unwrap();
+            assert_eq!(consumed, raw.len());
+            assert_eq!(blocking.method, incremental.method);
+            assert_eq!(blocking.path, incremental.path);
+            assert_eq!(blocking.query, incremental.query);
+            assert_eq!(blocking.headers, incremental.headers);
+            assert_eq!(blocking.body, incremental.body);
+            assert_eq!(blocking.keep_alive, incremental.keep_alive);
+        }
+    }
+
+    #[test]
+    fn try_parse_rejects_with_the_same_error_kinds() {
+        // Malformed request line → InvalidData (400).
+        assert_eq!(
+            Request::try_parse(b"NONSENSE\r\n\r\n").unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // Oversized declared body → InvalidInput (413).
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(
+            Request::try_parse(raw.as_bytes()).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+        // Conflicting duplicate Content-Length → InvalidData.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde";
+        assert_eq!(
+            Request::try_parse(raw).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn try_parse_bounds_unterminated_lines_before_the_newline_arrives() {
+        // A line that can no longer fit MAX_LINE must be rejected even
+        // though its terminator never arrived — otherwise a slowloris
+        // client could grow the buffer forever.
+        let raw = vec![b'G'; MAX_LINE];
+        assert_eq!(
+            Request::try_parse(&raw).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // One byte short of the bound is still just "incomplete".
+        assert!(Request::try_parse(&raw[..MAX_LINE - 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn try_parse_enforces_header_count_incrementally() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("X-Filler-{i}: 1\r\n"));
+        }
+        // No terminating blank line: the count bound still fires.
+        assert_eq!(
+            Request::try_parse(raw.as_bytes()).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
         );
     }
 }

@@ -14,6 +14,15 @@
 //! * [`server::serve`] — a non-blocking acceptor feeding a bounded
 //!   queue drained by a fixed worker pool, with `503` load shedding
 //!   when the queue is full and graceful drain on shutdown;
+//! * [`reactor`] — an optional epoll-backed event-driven front-end
+//!   ([`ServerConfig::event_loop`]) replacing the
+//!   connection-per-worker model with a single reactor thread that
+//!   owns accept + read/write readiness for thousands of keep-alive
+//!   connections, parses requests incrementally, and hands complete
+//!   requests to the same bounded worker queue — admission control,
+//!   shedding, and status-code semantics unchanged;
+//! * [`sys`] — the raw-syscall shim (epoll, `RLIMIT_NOFILE`) that
+//!   keeps the workspace dependency-free;
 //! * [`http`] — minimal HTTP/1.1 framing and percent-coding.
 //!
 //! Routes: `GET/POST /sparql` (SPARQL-JSON results, with the serving
@@ -37,8 +46,11 @@
 //! ```
 
 pub mod http;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
 pub mod state;
+pub mod sys;
 
 pub use http::{form_decode, parse_query_pairs, percent_decode, percent_encode, Request, Response};
 pub use server::{serve, ServerConfig, ServerCounters, ServerHandle};

@@ -1,10 +1,18 @@
-//! The serving loop: a non-blocking acceptor feeding a bounded request
-//! queue drained by a fixed pool of worker threads.
+//! The serving loop: a front-end feeding a bounded request queue
+//! drained by a fixed pool of worker threads.
 //!
-//! Admission control is explicit: when the queue is full the acceptor
-//! answers `503 Service Unavailable` itself instead of letting latency
-//! grow without bound. Shutdown is graceful: the acceptor stops
-//! admitting, workers drain every queued connection, and
+//! Two front-ends share that queue. The default blocking front-end is
+//! a non-blocking acceptor handing whole connections to workers (one
+//! request per connection, `Connection: close`). With
+//! [`ServerConfig::event_loop`] the epoll-backed [`crate::reactor`]
+//! owns every socket instead: it parses requests incrementally, keeps
+//! connections alive between requests, pipelines, and hands complete
+//! requests (not connections) to the same workers.
+//!
+//! Admission control is explicit either way: when the queue is full
+//! the front-end answers `503 Service Unavailable` itself instead of
+//! letting latency grow without bound. Shutdown is graceful: the
+//! front-end stops admitting, workers drain every queued item, and
 //! [`ServerHandle::shutdown`] returns only once all of them exited.
 
 use crate::http::{parse_query_pairs, Request, Response};
@@ -15,6 +23,8 @@ use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -53,6 +63,32 @@ pub struct ServerConfig {
     /// default) spawns no compactor: writes accumulate in the overlay
     /// until [`crate::state::ServerState::compact_now`] is called.
     pub compact_interval: Option<Duration>,
+    /// How long the shed / rejected-request paths keep reading leftover
+    /// client bytes before giving up. Draining before answering stops
+    /// the kernel from RST-ing the socket (destroying the error
+    /// response) over unread data; this bounds how long a slow-writing
+    /// client can occupy the draining thread.
+    pub drain_timeout: Duration,
+    /// Serve connections with the epoll-backed event-driven front-end
+    /// ([`crate::reactor`]) instead of the blocking
+    /// connection-per-worker model: HTTP/1.1 keep-alive, request
+    /// pipelining, and thousands of idle connections without pinning
+    /// threads. Requires a supported target ([`crate::sys::supported`]);
+    /// [`serve`] fails with `Unsupported` otherwise.
+    pub event_loop: bool,
+    /// Maximum simultaneously open connections under the event loop;
+    /// beyond this the reactor answers `503` and closes immediately.
+    /// Ignored by the blocking front-end.
+    pub max_connections: usize,
+    /// How long an idle keep-alive connection (no request in progress)
+    /// may sit between requests before the reactor closes it. Ignored
+    /// by the blocking front-end, which never keeps connections alive.
+    pub keep_alive_timeout: Duration,
+    /// Requests served on one connection before the reactor closes it
+    /// (`Connection: close` on the final response), bounding how long
+    /// any single client can monopolize a connection slot. Ignored by
+    /// the blocking front-end.
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +101,11 @@ impl Default for ServerConfig {
             request_deadline: None,
             trace_sample: default_trace_sample(),
             compact_interval: None,
+            drain_timeout: Duration::from_millis(250),
+            event_loop: false,
+            max_connections: 8192,
+            keep_alive_timeout: Duration::from_secs(30),
+            max_requests_per_conn: 1000,
         }
     }
 }
@@ -82,26 +123,66 @@ fn default_trace_sample() -> f64 {
 /// Monotonic serving counters, exposed on `/metrics`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerCounters {
-    /// Connections handed to the worker pool.
+    /// Connections admitted by the front-end (handed to the worker
+    /// pool under the blocking front-end, registered with the reactor
+    /// under the event loop).
     pub accepted: u64,
     /// Responses written by workers (including error responses).
     pub served: u64,
-    /// Connections answered `503` by admission control.
+    /// Requests answered `503` by admission control.
     pub shed: u64,
+    /// `accept(2)` failures (excluding `WouldBlock`), which previously
+    /// vanished into a silent sleep. Resource-exhaustion errors
+    /// (`EMFILE`/`ENFILE`) additionally back the acceptor off
+    /// exponentially instead of hot-looping.
+    pub accept_errors: u64,
 }
 
-struct Shared {
-    state: Arc<ServerState>,
-    config: ServerConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
-    shutdown: AtomicBool,
-    accepted: AtomicU64,
-    served: AtomicU64,
-    shed: AtomicU64,
+/// One unit of queued work: the blocking front-end enqueues whole
+/// connections; the reactor enqueues already-parsed requests and takes
+/// the response back over the completion channel.
+pub(crate) enum Work {
+    Conn(TcpStream),
+    Job { token: u64, request: Request },
+}
+
+/// A worker's answer to a reactor [`Work::Job`], keyed by the
+/// reactor's connection token.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    pub(crate) response: Response,
+}
+
+/// The cross-platform spelling of the reactor's wake pipe: the write
+/// end workers poke after pushing a completion. Only ever constructed
+/// on unix (the reactor is unavailable elsewhere); the non-unix alias
+/// exists so `Shared` needs no cfg-dependent shape.
+#[cfg(unix)]
+pub(crate) type WakePipe = UnixStream;
+#[cfg(not(unix))]
+pub(crate) type WakePipe = TcpStream;
+
+pub(crate) struct Shared {
+    pub(crate) state: Arc<ServerState>,
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: Mutex<VecDeque<Work>>,
+    pub(crate) available: Condvar,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) accept_errors: AtomicU64,
+    /// Connections currently open under the reactor (gauge).
+    pub(crate) connections_open: AtomicU64,
+    /// Keep-alive connections closed for idling past the timeout.
+    pub(crate) idle_closed: AtomicU64,
     /// Monotone per-`/sparql` sequence number driving deterministic
     /// trace sampling and generated request ids.
-    request_seq: AtomicU64,
+    pub(crate) request_seq: AtomicU64,
+    /// Responses finished by workers, awaiting reactor pickup.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Write end of the reactor's wake pipe (reactor mode only).
+    pub(crate) wake_tx: Mutex<Option<WakePipe>>,
 }
 
 impl Shared {
@@ -110,6 +191,40 @@ impl Shared {
             accepted: self.accepted.load(Ordering::Relaxed),
             served: self.served.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hand a reactor-parsed request to the worker pool under the same
+    /// bounded-queue admission control as whole connections. `false`
+    /// means the queue is full and the caller must shed.
+    pub(crate) fn enqueue_job(&self, token: u64, request: Request) -> bool {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= self.config.queue_depth {
+            return false;
+        }
+        queue.push_back(Work::Job { token, request });
+        drop(queue);
+        self.available.notify_one();
+        true
+    }
+
+    /// Deliver a finished response to the reactor and wake it.
+    fn complete(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(completion);
+        self.wake_reactor();
+    }
+
+    /// Poke the reactor's wake pipe. A full pipe buffer is fine: the
+    /// reactor already has a wake-up pending and drains the pipe
+    /// wholesale.
+    pub(crate) fn wake_reactor(&self) {
+        let guard = self.wake_tx.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pipe) = guard.as_ref() {
+            let _ = (&*pipe).write(&[1]);
         }
     }
 }
@@ -143,6 +258,10 @@ impl ServerHandle {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.available.notify_all();
+        // The reactor parks in epoll_wait; poke its wake pipe so it
+        // observes the shutdown flag immediately (no-op in blocking
+        // mode, where no pipe exists).
+        self.shared.wake_reactor();
         // The compactor parks on the overlay's work condvar; poke it so
         // it observes the shutdown flag instead of sleeping out its
         // full interval.
@@ -186,7 +305,12 @@ pub fn serve(
         accepted: AtomicU64::new(0),
         served: AtomicU64::new(0),
         shed: AtomicU64::new(0),
+        accept_errors: AtomicU64::new(0),
+        connections_open: AtomicU64::new(0),
+        idle_closed: AtomicU64::new(0),
         request_seq: AtomicU64::new(0),
+        completions: Mutex::new(Vec::new()),
+        wake_tx: Mutex::new(None),
     });
 
     let workers: Vec<_> = (0..config.workers.max(1))
@@ -199,7 +323,9 @@ pub fn serve(
         })
         .collect();
 
-    let acceptor = {
+    let acceptor = if config.event_loop {
+        spawn_reactor(listener, &shared)?
+    } else {
         let shared = Arc::clone(&shared);
         thread::Builder::new()
             .name("elinda-acceptor".into())
@@ -233,6 +359,30 @@ pub fn serve(
     })
 }
 
+/// Build the reactor synchronously (so a missing epoll backend fails
+/// `serve` instead of a background thread) and run it on the thread
+/// that replaces the blocking acceptor.
+#[cfg(unix)]
+fn spawn_reactor(listener: TcpListener, shared: &Arc<Shared>) -> io::Result<JoinHandle<()>> {
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    let reactor = crate::reactor::Reactor::new(listener, Arc::clone(shared), wake_rx)?;
+    *shared.wake_tx.lock().unwrap_or_else(|e| e.into_inner()) = Some(wake_tx);
+    thread::Builder::new()
+        .name("elinda-reactor".into())
+        .spawn(move || reactor.run())
+        .map_err(io::Error::other)
+}
+
+#[cfg(not(unix))]
+fn spawn_reactor(_listener: TcpListener, _shared: &Arc<Shared>) -> io::Result<JoinHandle<()>> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "the event-driven front-end requires a unix target with epoll",
+    ))
+}
+
 fn compactor_loop(shared: &Shared, interval: Duration) {
     let Some(novelty) = shared.state.novelty().cloned() else {
         return;
@@ -249,17 +399,61 @@ fn compactor_loop(shared: &Shared, interval: Duration) {
     }
 }
 
+/// Pacing for the accept loop's error handling. Transient
+/// per-connection failures (an aborted handshake) get the base pause;
+/// resource exhaustion (`EMFILE`/`ENFILE`, no buffers/memory) doubles
+/// the pause up to a ceiling — retrying instantly cannot succeed until
+/// descriptors free up, and hot-looping starves the threads that would
+/// free them. Any successful accept resets the ramp.
+pub(crate) struct AcceptBackoff {
+    delay: Duration,
+}
+
+impl AcceptBackoff {
+    const BASE: Duration = Duration::from_millis(2);
+    const CEILING: Duration = Duration::from_millis(1000);
+
+    pub(crate) fn new() -> AcceptBackoff {
+        AcceptBackoff { delay: Self::BASE }
+    }
+
+    pub(crate) fn on_success(&mut self) {
+        self.delay = Self::BASE;
+    }
+
+    /// The pause to take after a (non-`WouldBlock`) accept error.
+    pub(crate) fn on_error(&mut self, e: &io::Error) -> Duration {
+        if is_resource_exhaustion(e) {
+            let current = self.delay;
+            self.delay = (self.delay * 2).min(Self::CEILING);
+            current
+        } else {
+            Self::BASE
+        }
+    }
+}
+
+/// Whether an accept error means the process is out of a shared
+/// resource (so immediate retry is futile). The stable
+/// `io::ErrorKind` set has no variants for these yet; match raw
+/// errnos: `ENOMEM`=12, `ENFILE`=23, `EMFILE`=24, `ENOBUFS`=105.
+fn is_resource_exhaustion(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(12 | 23 | 24 | 105))
+}
+
 fn accept_loop(listener: TcpListener, shared: &Shared) {
+    let mut backoff = AcceptBackoff::new();
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff.on_success();
                 // The listener is non-blocking so the loop can observe
                 // shutdown; handled connections must block normally.
                 let _ = stream.set_nonblocking(false);
                 let enqueued = {
                     let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                     if queue.len() < shared.config.queue_depth {
-                        queue.push_back(stream);
+                        queue.push_back(Work::Conn(stream));
                         true
                     } else {
                         drop(queue);
@@ -275,7 +469,10 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(2));
             }
-            Err(_) => thread::sleep(Duration::from_millis(2)),
+            Err(e) => {
+                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(backoff.on_error(&e));
+            }
         }
     }
     // Dropping the listener here closes the accept socket, so clients
@@ -288,22 +485,27 @@ fn shed(stream: TcpStream, shared: &Shared) {
     // received data makes the kernel send RST, which can destroy the
     // 503 before the client reads it. The timeout bounds how long a
     // slow-writing client can occupy the acceptor.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(shared.config.drain_timeout));
     let mut reader = BufReader::new(stream);
     let _ = Request::parse(&mut reader);
     let mut stream = reader.into_inner();
-    let response =
-        Response::text(503, "server overloaded, retry later\n").header("Retry-After", "1");
+    let response = shed_response();
     let _ = response.write_to(&mut stream);
+}
+
+/// The admission-control 503, shared by both front-ends so shedding is
+/// byte-identical whichever one answered.
+pub(crate) fn shed_response() -> Response {
+    Response::text(503, "server overloaded, retry later\n").header("Retry-After", "1")
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
+        let work = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(work) = queue.pop_front() {
+                    break Some(work);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
@@ -315,10 +517,24 @@ fn worker_loop(shared: &Shared) {
                 queue = guard;
             }
         };
-        match stream {
-            Some(stream) => {
+        match work {
+            Some(Work::Conn(stream)) => {
                 handle_connection(stream, shared);
                 shared.served.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Work::Job { token, request }) => {
+                if !shared.config.handler_delay.is_zero() {
+                    thread::sleep(shared.config.handler_delay);
+                }
+                // Same panic fence as the blocking path: a poisoned
+                // query costs this request a 500, not the pool a
+                // worker — and the reactor always gets its completion.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(&request, shared)
+                }))
+                .unwrap_or_else(|_| Response::text(500, "internal server error\n"));
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.complete(Completion { token, response });
             }
             // Shutdown requested and the queue is fully drained.
             None => return,
@@ -345,23 +561,28 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             // header, a flood of them); closing with them unread makes
             // the kernel RST the connection and destroy the 400 before
             // the client sees it. Discard a bounded amount first.
-            drain_rejected_request(&mut reader);
+            drain_rejected_request(&mut reader, shared.config.drain_timeout);
             Response::text(400, format!("bad request: {e}\n"))
         }
         // A body beyond MAX_BODY: tell the client the payload (not the
         // request framing) is the problem. Same drain rationale as 400.
         Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
-            drain_rejected_request(&mut reader);
+            drain_rejected_request(&mut reader, shared.config.drain_timeout);
             Response::text(413, format!("payload too large: {e}\n"))
         }
         // The client sent part of a request and then stalled until the
         // socket read timeout: tell it so instead of silently dropping.
+        // The partial request's bytes are still unread in the kernel
+        // buffer; exactly like the 400/413 paths, closing without
+        // draining them would RST the socket and destroy the 408
+        // before the client reads it.
         Err(e)
             if matches!(
                 e.kind(),
                 io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
             ) =>
         {
+            drain_rejected_request(&mut reader, shared.config.drain_timeout);
             Response::text(408, "request timed out waiting for the client\n")
         }
         // Client vanished before sending a full request.
@@ -373,11 +594,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 }
 
 /// Read and discard whatever the client already sent of a rejected
-/// request, bounded in bytes and time, so the 400 survives the close.
-fn drain_rejected_request(reader: &mut BufReader<TcpStream>) {
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_millis(250)));
+/// request, bounded in bytes and time, so the error response survives
+/// the close.
+fn drain_rejected_request(reader: &mut BufReader<TcpStream>, timeout: Duration) {
+    let _ = reader.get_ref().set_read_timeout(Some(timeout));
     let mut scratch = [0u8; 4096];
     let mut drained = 0usize;
     while drained < crate::http::MAX_BODY {
@@ -440,10 +660,26 @@ fn metrics(shared: &Shared) -> Response {
     ));
     body.push_str(&format!("elinda_server_served_total {}\n", counters.served));
     body.push_str(&format!("elinda_server_shed_total {}\n", counters.shed));
+    body.push_str(&format!(
+        "elinda_accept_errors {}\n",
+        counters.accept_errors
+    ));
     body.push_str(&format!("elinda_server_queue_depth {depth}\n"));
     body.push_str(&format!(
         "elinda_server_workers {}\n",
         shared.config.workers
+    ));
+    body.push_str(&format!(
+        "elinda_server_event_loop {}\n",
+        u8::from(shared.config.event_loop)
+    ));
+    body.push_str(&format!(
+        "elinda_server_connections_open {}\n",
+        shared.connections_open.load(Ordering::Relaxed)
+    ));
+    body.push_str(&format!(
+        "elinda_server_idle_closed_total {}\n",
+        shared.idle_closed.load(Ordering::Relaxed)
     ));
     Response::text(200, body)
 }
@@ -656,6 +892,50 @@ mod tests {
         assert_eq!(a.len(), 16);
         assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn accept_backoff_ramps_on_resource_errors_and_resets() {
+        let mut backoff = AcceptBackoff::new();
+        let emfile = io::Error::from_raw_os_error(24);
+        let aborted = io::Error::new(io::ErrorKind::ConnectionAborted, "aborted");
+
+        // Transient errors never ramp.
+        assert_eq!(backoff.on_error(&aborted), AcceptBackoff::BASE);
+        assert_eq!(backoff.on_error(&aborted), AcceptBackoff::BASE);
+
+        // Resource exhaustion doubles, capped at the ceiling.
+        let mut last = Duration::ZERO;
+        for _ in 0..16 {
+            let pause = backoff.on_error(&emfile);
+            assert!(pause >= last);
+            assert!(pause <= AcceptBackoff::CEILING);
+            last = pause;
+        }
+        assert_eq!(last, AcceptBackoff::CEILING);
+
+        // A transient error mid-ramp keeps the ramp.
+        assert_eq!(backoff.on_error(&aborted), AcceptBackoff::BASE);
+        assert_eq!(backoff.on_error(&emfile), AcceptBackoff::CEILING);
+
+        // Success resets it.
+        backoff.on_success();
+        assert_eq!(backoff.on_error(&emfile), AcceptBackoff::BASE);
+    }
+
+    #[test]
+    fn resource_exhaustion_classification_matches_errnos() {
+        for errno in [12, 23, 24, 105] {
+            assert!(is_resource_exhaustion(&io::Error::from_raw_os_error(errno)));
+        }
+        // ECONNABORTED (103) and EINTR (4) are transient, not resource
+        // exhaustion.
+        assert!(!is_resource_exhaustion(&io::Error::from_raw_os_error(103)));
+        assert!(!is_resource_exhaustion(&io::Error::from_raw_os_error(4)));
+        assert!(!is_resource_exhaustion(&io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "no os error"
+        )));
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Raw Linux syscalls for the event-driven front-end.
+//!
+//! The workspace is dependency-free (no `libc`, no `mio`), so the few
+//! kernel interfaces the reactor needs — `epoll` readiness and an
+//! `RLIMIT_NOFILE` raise for many-connection tests — are invoked
+//! directly via the architecture's syscall instruction. Everything is
+//! gated per target: on x86_64/aarch64 Linux the real syscalls run; on
+//! any other target the module compiles to stubs that report
+//! [`supported`]` == false` so the server falls back to the blocking
+//! front-end instead of failing at runtime.
+//!
+//! Safety model: each wrapper passes only valid file descriptors and
+//! properly sized, properly aligned buffers owned by the caller, and
+//! translates the kernel's negative-errno convention into
+//! [`io::Error`] immediately, so no raw return value escapes this
+//! module.
+
+use std::io;
+
+/// Readable (subset of `epoll_event.events` the reactor uses).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Transport error (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Both directions hung up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (half-closed connection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+
+/// One readiness record returned by `epoll_wait`.
+///
+/// The kernel's `struct epoll_event` is packed on x86_64 (a historical
+/// ABI quirk: 12 bytes, no padding) but naturally aligned (16 bytes)
+/// everywhere else — get the layout wrong and the kernel scribbles
+/// events across record boundaries.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Debug, Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLL*` flags above).
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub token: u64,
+}
+
+impl EpollEvent {
+    /// An all-zero record, for pre-sizing `epoll_wait` buffers.
+    pub const fn zeroed() -> EpollEvent {
+        EpollEvent {
+            events: 0,
+            token: 0,
+        }
+    }
+
+    /// Copy out the readiness mask (a by-value read is required on
+    /// x86_64, where the packed field may be unaligned).
+    pub fn events(&self) -> u32 {
+        let e = *self;
+        e.events
+    }
+
+    /// Copy out the registration token.
+    pub fn token(&self) -> u64 {
+        let e = *self;
+        e.token
+    }
+}
+
+/// Whether this build has a working epoll backend. `false` means the
+/// event-driven front-end is unavailable and callers must use the
+/// blocking front-end.
+pub fn supported() -> bool {
+    imp::SUPPORTED
+}
+
+/// An owned epoll instance; the fd is closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = imp::epoll_create1(EPOLL_CLOEXEC)?;
+        Ok(Epoll { fd })
+    }
+
+    /// Register `fd` for the `events` mask under `token`.
+    pub fn add(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        imp::epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut ev)
+    }
+
+    /// Change the registered `events` mask for `fd`.
+    pub fn modify(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        imp::epoll_ctl(self.fd, EPOLL_CTL_MOD, fd, &mut ev)
+    }
+
+    /// Remove `fd` from the interest set.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        let mut ev = EpollEvent::zeroed();
+        imp::epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut ev)
+    }
+
+    /// Block up to `timeout_ms` (`-1` = forever) for readiness; fills
+    /// `events` from the front and returns how many records are valid.
+    /// `EINTR` is retried internally with the same timeout.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            match imp::epoll_pwait(self.fd, events, timeout_ms) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                other => return other.map(|n| n as usize),
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        imp::close(self.fd);
+    }
+}
+
+/// Raise the soft `RLIMIT_NOFILE` toward `want` (capped at the hard
+/// limit). Returns the soft limit now in effect. Used by
+/// many-connection tests and the CI bench leg, where default soft
+/// limits (often 1024) are far below the connection counts exercised.
+pub fn raise_nofile(want: u64) -> io::Result<u64> {
+    imp::raise_nofile(want)
+}
+
+/// Set the soft `RLIMIT_NOFILE` to exactly `want` (capped at the hard
+/// limit), *lowering* it if needed. Returns the limit now in effect.
+/// Exists for tests that provoke real `EMFILE` conditions (accept-error
+/// handling); production code should only ever [`raise_nofile`].
+pub fn set_soft_nofile(want: u64) -> io::Result<u64> {
+    imp::set_soft_nofile(want)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::EpollEvent;
+    use std::arch::asm;
+    use std::io;
+
+    pub const SUPPORTED: bool = true;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const PRLIMIT64: usize = 302;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const CLOSE: usize = 57;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const PRLIMIT64: usize = 261;
+    }
+
+    /// Invoke syscall `n` with four arguments, returning the raw
+    /// kernel result (negative errno on failure).
+    ///
+    /// SAFETY (callers): arguments must match what the kernel expects
+    /// for `n` — fds must be live, pointers must reference memory valid
+    /// for the call's duration and access mode.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        // SAFETY: the `syscall` instruction with the kernel-clobbered
+        // rcx/r11 declared; all argument registers are inputs only.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        // SAFETY: `svc 0` with the syscall number in x8, arguments in
+        // x0..x3, result in x0.
+        unsafe {
+            asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a1 as isize => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Map a raw kernel return to `io::Result`.
+    fn check(ret: isize) -> io::Result<isize> {
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create1(flags: i32) -> io::Result<i32> {
+        // SAFETY: no pointers involved.
+        let ret = unsafe { syscall4(nr::EPOLL_CREATE1, flags as usize, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: &mut EpollEvent) -> io::Result<()> {
+        // SAFETY: `event` is a live, exclusively borrowed EpollEvent
+        // with the kernel's expected layout for this architecture.
+        let ret = unsafe {
+            syscall4(
+                nr::EPOLL_CTL,
+                epfd as usize,
+                op as usize,
+                fd as usize,
+                event as *mut EpollEvent as usize,
+            )
+        };
+        check(ret).map(|_| ())
+    }
+
+    pub fn epoll_pwait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<isize> {
+        // epoll_pwait's 5th argument (sigmask) is NULL = epoll_wait
+        // semantics; x86_64 dropped plain epoll_wait from new ABIs, so
+        // pwait is the portable spelling. A NULL mask ignores the 6th
+        // (sigsetsize) argument.
+        #[cfg(target_arch = "x86_64")]
+        unsafe fn pwait(epfd: i32, ptr: usize, len: usize, timeout_ms: i32) -> isize {
+            let ret: isize;
+            // SAFETY: five-argument syscall; r8 carries the NULL sigmask.
+            unsafe {
+                asm!(
+                    "syscall",
+                    inlateout("rax") nr::EPOLL_PWAIT as isize => ret,
+                    in("rdi") epfd as usize,
+                    in("rsi") ptr,
+                    in("rdx") len,
+                    in("r10") timeout_ms as isize,
+                    in("r8") 0usize,
+                    out("rcx") _,
+                    out("r11") _,
+                    options(nostack),
+                );
+            }
+            ret
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe fn pwait(epfd: i32, ptr: usize, len: usize, timeout_ms: i32) -> isize {
+            let ret: isize;
+            // SAFETY: five-argument syscall; x4 carries the NULL sigmask.
+            unsafe {
+                asm!(
+                    "svc 0",
+                    in("x8") nr::EPOLL_PWAIT,
+                    inlateout("x0") epfd as isize => ret,
+                    in("x1") ptr,
+                    in("x2") len,
+                    in("x3") timeout_ms as isize,
+                    in("x4") 0usize,
+                    options(nostack),
+                );
+            }
+            ret
+        }
+        if events.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "empty event buffer",
+            ));
+        }
+        // SAFETY: `events` is a live exclusive slice; the kernel writes
+        // at most `events.len()` records into it.
+        let ret = unsafe { pwait(epfd, events.as_mut_ptr() as usize, events.len(), timeout_ms) };
+        check(ret)
+    }
+
+    pub fn close(fd: i32) {
+        // SAFETY: no pointers; double-close is prevented by ownership
+        // in `Epoll`.
+        let _ = unsafe { syscall4(nr::CLOSE, fd as usize, 0, 0, 0) };
+    }
+
+    const RLIMIT_NOFILE: usize = 7;
+
+    #[repr(C)]
+    struct Rlimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    pub fn raise_nofile(want: u64) -> io::Result<u64> {
+        let mut current = Rlimit64 { cur: 0, max: 0 };
+        // SAFETY: pid 0 = this process; new_limit NULL = read-only;
+        // `current` is a live exclusive Rlimit64.
+        let ret = unsafe {
+            syscall4(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                0,
+                &mut current as *mut Rlimit64 as usize,
+            )
+        };
+        check(ret)?;
+        let target = want.min(current.max);
+        if current.cur >= target {
+            return Ok(current.cur);
+        }
+        let new_limit = Rlimit64 {
+            cur: target,
+            max: current.max,
+        };
+        // SAFETY: old_limit NULL = write-only; `new_limit` is live for
+        // the call.
+        let ret = unsafe {
+            syscall4(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &new_limit as *const Rlimit64 as usize,
+                0,
+            )
+        };
+        check(ret)?;
+        Ok(target)
+    }
+
+    pub fn set_soft_nofile(want: u64) -> io::Result<u64> {
+        let mut current = Rlimit64 { cur: 0, max: 0 };
+        // SAFETY: pid 0 = this process; new_limit NULL = read-only;
+        // `current` is a live exclusive Rlimit64.
+        let ret = unsafe {
+            syscall4(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                0,
+                &mut current as *mut Rlimit64 as usize,
+            )
+        };
+        check(ret)?;
+        let target = want.min(current.max);
+        let new_limit = Rlimit64 {
+            cur: target,
+            max: current.max,
+        };
+        // SAFETY: old_limit NULL = write-only; `new_limit` is live for
+        // the call.
+        let ret = unsafe {
+            syscall4(
+                nr::PRLIMIT64,
+                0,
+                RLIMIT_NOFILE,
+                &new_limit as *const Rlimit64 as usize,
+                0,
+            )
+        };
+        check(ret)?;
+        Ok(target)
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+
+    pub const SUPPORTED: bool = false;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is unavailable on this target; use the blocking front-end",
+        ))
+    }
+
+    pub fn epoll_create1(_flags: i32) -> io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn epoll_ctl(_epfd: i32, _op: i32, _fd: i32, _event: &mut EpollEvent) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn epoll_pwait(
+        _epfd: i32,
+        _events: &mut [EpollEvent],
+        _timeout_ms: i32,
+    ) -> io::Result<isize> {
+        unsupported()
+    }
+
+    pub fn close(_fd: i32) {}
+
+    pub fn raise_nofile(_want: u64) -> io::Result<u64> {
+        unsupported()
+    }
+
+    pub fn set_soft_nofile(_want: u64) -> io::Result<u64> {
+        unsupported()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readability_on_a_socket_pair() {
+        if !supported() {
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .add(server_side.as_raw_fd(), 42, EPOLLIN | EPOLLRDHUP)
+            .unwrap();
+
+        // Nothing written yet: a short wait must time out empty.
+        let mut events = [EpollEvent::zeroed(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let n = epoll.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].events() & EPOLLIN, 0);
+
+        // Peer close surfaces as RDHUP (and/or HUP), not silence.
+        drop(client);
+        let n = epoll.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].events() & (EPOLLRDHUP | EPOLLHUP | EPOLLIN), 0);
+
+        epoll.delete(server_side.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn epoll_modify_switches_interest_to_writability() {
+        if !supported() {
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let epoll = Epoll::new().unwrap();
+        epoll.add(server_side.as_raw_fd(), 7, EPOLLIN).unwrap();
+        // An idle connected socket is writable the moment we ask.
+        epoll.modify(server_side.as_raw_fd(), 7, EPOLLOUT).unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        let n = epoll.wait(&mut events, 2_000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].events() & EPOLLOUT, 0);
+        drop(client);
+    }
+
+    #[test]
+    fn raise_nofile_is_monotone_and_capped() {
+        if !supported() {
+            return;
+        }
+        let current = raise_nofile(0).unwrap();
+        // Asking for less than the current soft limit never lowers it.
+        assert!(raise_nofile(0).unwrap() >= current);
+        // Asking for an absurd amount caps at the hard limit instead of
+        // failing.
+        let raised = raise_nofile(u64::MAX).unwrap();
+        assert!(raised >= current);
+    }
+}

@@ -1,0 +1,106 @@
+//! Regression test: `accept(2)` failures must be counted (they used to
+//! vanish into a silent sleep) and the acceptor must ride out resource
+//! exhaustion instead of dropping the listener.
+//!
+//! The test provokes a real `EMFILE`: it lowers the soft
+//! `RLIMIT_NOFILE`, fills the table with descriptors, frees exactly one
+//! so a client `connect` can complete its handshake into the backlog,
+//! and then watches the acceptor hit `EMFILE` on every `accept` until
+//! the descriptors are released — after which the pending connection
+//! must still be served.
+//!
+//! This lives in its own integration-test binary (its own process):
+//! the lowered limit would break any other test running concurrently.
+
+#![cfg(unix)]
+
+use elinda_endpoint::EndpointConfig;
+use elinda_server::{serve, sys, ServerConfig, ServerState};
+use elinda_store::TripleStore;
+use std::fs::File;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[test]
+fn accept_errors_are_counted_and_the_acceptor_recovers() {
+    if !sys::supported() {
+        return;
+    }
+    let store =
+        Arc::new(TripleStore::from_turtle("@prefix ex: <http://e/> . ex:a a ex:C .").unwrap());
+    let state = Arc::new(ServerState::new(store, EndpointConfig::full()));
+    let handle = serve(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    // Sanity: the counter starts clean and normal accepts do not bump it.
+    let mut probe = TcpStream::connect(addr).unwrap();
+    probe
+        .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut out = Vec::new();
+    probe.read_to_end(&mut out).unwrap();
+    assert_eq!(handle.counters().accept_errors, 0);
+
+    let original = sys::raise_nofile(0).expect("read current limit");
+
+    // Lower the limit and fill the descriptor table.
+    sys::set_soft_nofile(256).expect("lower soft limit");
+    let mut fillers = Vec::new();
+    // Until EMFILE: the table is full.
+    while let Ok(f) = File::open("/dev/null") {
+        fillers.push(f);
+    }
+    assert!(!fillers.is_empty(), "never reached the descriptor limit");
+
+    // Free exactly one slot for the client socket: the handshake
+    // completes in the listener backlog, but the acceptor's accept(2)
+    // now needs a descriptor none remain for.
+    fillers.pop();
+    let client = TcpStream::connect(addr).expect("connect into the backlog");
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // The acceptor must observe EMFILE and count it (with backoff, not
+    // a hot loop — the counter climbs slowly).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.counters().accept_errors == 0 {
+        assert!(Instant::now() < deadline, "accept EMFILE was never counted");
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Release the descriptors: the backed-off acceptor retries, admits
+    // the parked connection, and it is served normally.
+    drop(fillers);
+    sys::set_soft_nofile(original).expect("restore limit");
+    let mut client = client;
+    client
+        .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut response = Vec::new();
+    client
+        .read_to_end(&mut response)
+        .expect("parked connection served after recovery");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 200 "), "{text}");
+
+    // The error shows on /metrics too.
+    let mut metrics = TcpStream::connect(addr).unwrap();
+    metrics
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut body = Vec::new();
+    metrics.read_to_end(&mut body).unwrap();
+    let text = String::from_utf8_lossy(&body);
+    let count: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("elinda_accept_errors "))
+        .expect("accept-errors metric")
+        .parse()
+        .unwrap();
+    assert!(count >= 1, "{text}");
+    handle.shutdown();
+}

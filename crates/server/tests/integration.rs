@@ -1003,3 +1003,76 @@ fn background_compactor_folds_writes_without_manual_intervention() {
     handle.shutdown();
     assert!(start.elapsed() < Duration::from_secs(2));
 }
+
+#[test]
+fn blocking_408_drains_for_the_configured_drain_timeout_before_responding() {
+    // Regression for two bugs at once: the 408 path used to respond
+    // without draining (the error often died as a TCP RST before the
+    // client could read it), and `drain_timeout` used to be hardcoded.
+    // A silent client costs the full drain window, so the 408 lands at
+    // ~read_timeout + drain_timeout — timing proves both the drain and
+    // the plumbing.
+    let state = test_state();
+    let read_timeout = Duration::from_millis(200);
+    let drain_timeout = Duration::from_millis(600);
+    let handle = serve(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout,
+            drain_timeout,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stalled.write_all(b"GET /spar").unwrap();
+    let start = std::time::Instant::now();
+    let mut raw = Vec::new();
+    stalled.read_to_end(&mut raw).expect("read 408 response");
+    let elapsed = start.elapsed();
+    let head = std::str::from_utf8(&raw).unwrap();
+    assert!(head.starts_with("HTTP/1.1 408 "), "{head}");
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "{head}"
+    );
+    assert!(
+        elapsed >= read_timeout + drain_timeout - Duration::from_millis(50),
+        "408 arrived after {elapsed:?}; expected ≥ read + drain ≈ 800ms"
+    );
+    handle.shutdown();
+
+    // The same stall against a short drain window responds much
+    // sooner: the window really is the configured knob.
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout,
+            drain_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stalled.write_all(b"GET /spar").unwrap();
+    let start = std::time::Instant::now();
+    let mut raw = Vec::new();
+    stalled.read_to_end(&mut raw).expect("read 408 response");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < read_timeout + Duration::from_millis(400),
+        "short drain window still took {elapsed:?}"
+    );
+    handle.shutdown();
+}

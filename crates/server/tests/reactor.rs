@@ -1,0 +1,696 @@
+//! End-to-end tests for the epoll-backed event-driven front-end:
+//! keep-alive reuse, pipelining, idle and slowloris timeouts,
+//! half-closed peers, per-request shedding, connection caps, and the
+//! `Connection: close` contract on every close path.
+
+#![cfg(unix)]
+
+use elinda_endpoint::EndpointConfig;
+use elinda_server::{percent_encode, serve, ServerConfig, ServerState};
+use elinda_store::TripleStore;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const QUERY: &str = "SELECT ?s WHERE { ?s a <http://e/C> }";
+
+fn test_state() -> Arc<ServerState> {
+    let store = TripleStore::from_turtle(
+        "@prefix ex: <http://e/> .
+         ex:a a ex:C . ex:b a ex:C . ex:c a ex:C .
+         ex:a ex:knows ex:b .",
+    )
+    .unwrap();
+    Arc::new(ServerState::new(Arc::new(store), EndpointConfig::full()))
+}
+
+fn reactor_config() -> ServerConfig {
+    ServerConfig {
+        event_loop: true,
+        ..ServerConfig::default()
+    }
+}
+
+/// A client that keeps one socket open across requests and reads
+/// exactly one `Content-Length`-framed response at a time, leaving
+/// pipelined followers buffered.
+struct KeepAliveClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+type ParsedResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        KeepAliveClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, raw: &str) {
+        self.stream.write_all(raw.as_bytes()).expect("send request");
+    }
+
+    fn get(&mut self, target: &str) {
+        self.send(&format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"));
+    }
+
+    /// Read one full response off the socket.
+    fn read_response(&mut self) -> ParsedResponse {
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill("response headers");
+        };
+        let head = std::str::from_utf8(&self.buf[..header_end])
+            .unwrap()
+            .to_string();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split(' ')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .map(|line| {
+                let (name, value) = line.split_once(':').unwrap();
+                (name.trim().to_ascii_lowercase(), value.trim().to_string())
+            })
+            .collect();
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .expect("content-length on every response")
+            .1
+            .parse()
+            .unwrap();
+        while self.buf.len() < header_end + 4 + length {
+            self.fill("response body");
+        }
+        let body = self.buf[header_end + 4..header_end + 4 + length].to_vec();
+        self.buf.drain(..header_end + 4 + length);
+        (status, headers, body)
+    }
+
+    fn fill(&mut self, waiting_for: &str) {
+        let mut scratch = [0u8; 16 * 1024];
+        match self.stream.read(&mut scratch) {
+            Ok(0) => panic!("connection closed while waiting for {waiting_for}"),
+            Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+            Err(e) => panic!("read error while waiting for {waiting_for}: {e}"),
+        }
+    }
+
+    /// Assert the server closes the connection (EOF) without further
+    /// payload bytes.
+    fn expect_eof(&mut self) {
+        let mut scratch = [0u8; 1024];
+        match self.stream.read(&mut scratch) {
+            Ok(0) => {}
+            Ok(n) => panic!(
+                "expected EOF, got {n} more bytes: {:?}",
+                String::from_utf8_lossy(&scratch[..n])
+            ),
+            Err(e) => panic!("expected EOF, got read error: {e}"),
+        }
+    }
+}
+
+fn connection_header(headers: &[(String, String)]) -> &str {
+    headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.as_str())
+        .expect("Connection header on every response")
+}
+
+#[test]
+fn keep_alive_connection_serves_sequential_requests() {
+    let handle = serve(test_state(), "127.0.0.1:0", reactor_config()).unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    for round in 0..3 {
+        client.get("/health");
+        let (status, headers, body) = client.read_response();
+        assert_eq!(status, 200, "round {round}");
+        assert_eq!(body, b"ok\n");
+        assert_eq!(connection_header(&headers), "keep-alive");
+    }
+    client.get(&format!("/sparql?query={}", percent_encode(QUERY)));
+    let (status, headers, body) = client.read_response();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("bindings"));
+    assert_eq!(connection_header(&headers), "keep-alive");
+
+    // All five requests rode one admitted connection.
+    assert_eq!(handle.counters().accepted, 1);
+    assert_eq!(handle.counters().served, 4);
+
+    // An explicit `Connection: close` request gets a closing response
+    // and then EOF.
+    client.send("GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    let (status, headers, _) = client.read_response();
+    assert_eq!(status, 200);
+    assert_eq!(connection_header(&headers), "close");
+    client.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses_on_one_socket() {
+    let handle = serve(test_state(), "127.0.0.1:0", reactor_config()).unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    // Three requests in one write; responses must come back in order.
+    client.send(&format!(
+        "GET /health HTTP/1.1\r\nHost: t\r\n\r\n\
+         GET /sparql?query={} HTTP/1.1\r\nHost: t\r\n\r\n\
+         GET /nope HTTP/1.1\r\nHost: t\r\n\r\n",
+        percent_encode(QUERY)
+    ));
+
+    let (status, _, body) = client.read_response();
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+    let (status, _, body) = client.read_response();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("bindings"));
+    let (status, _, _) = client.read_response();
+    assert_eq!(status, 404);
+
+    assert_eq!(handle.counters().accepted, 1);
+    assert_eq!(handle.counters().served, 3);
+    handle.shutdown();
+}
+
+#[test]
+fn many_pipelined_requests_all_answered_in_order() {
+    let handle = serve(test_state(), "127.0.0.1:0", reactor_config()).unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    let n = 32;
+    let mut batch = String::new();
+    for i in 0..n {
+        // Distinct targets so an out-of-order response is detectable:
+        // even requests hit /health, odd ones a distinct 404 path.
+        if i % 2 == 0 {
+            batch.push_str("GET /health HTTP/1.1\r\nHost: t\r\n\r\n");
+        } else {
+            batch.push_str(&format!("GET /missing-{i} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        }
+    }
+    client.send(&batch);
+    for i in 0..n {
+        let (status, _, _) = client.read_response();
+        let expected = if i % 2 == 0 { 200 } else { 404 };
+        assert_eq!(status, expected, "response {i} out of order");
+    }
+    assert_eq!(handle.counters().served, n as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_after_the_timeout() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            keep_alive_timeout: Duration::from_millis(200),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+    let mut client = KeepAliveClient::connect(addr);
+
+    client.get("/health");
+    let (status, headers, _) = client.read_response();
+    assert_eq!(status, 200);
+    assert_eq!(connection_header(&headers), "keep-alive");
+
+    // Idle past the timeout: the server closes silently (no 408 — no
+    // request was in progress).
+    client.expect_eof();
+
+    // The close is visible on the idle-closed metric.
+    let mut probe = KeepAliveClient::connect(addr);
+    probe.get("/metrics");
+    let (status, _, body) = probe.read_response();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("elinda_server_idle_closed_total 1"), "{text}");
+    assert!(text.contains("elinda_server_event_loop 1"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn slowloris_trickler_gets_408_and_does_not_block_other_clients() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Duration::from_millis(400),
+            drain_timeout: Duration::from_millis(50),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // The trickler sends a byte every 100 ms — each arrival refreshes a
+    // naive idle clock, but the whole-request deadline runs from the
+    // first byte.
+    let mut trickler = KeepAliveClient::connect(addr);
+    let started = Instant::now();
+    let trickle = thread::spawn(move || {
+        for b in [b'G', b'E', b'T', b' ', b'/', b'h'] {
+            if trickler.stream.write_all(&[b]).is_err() {
+                break; // server already rejected us
+            }
+            thread::sleep(Duration::from_millis(100));
+        }
+        trickler
+    });
+
+    // Meanwhile well-behaved clients are served promptly.
+    for _ in 0..3 {
+        let mut ok = KeepAliveClient::connect(addr);
+        ok.get("/health");
+        let (status, _, _) = ok.read_response();
+        assert_eq!(status, 200);
+    }
+
+    let mut trickler = trickle.join().unwrap();
+    let (status, headers, body) = trickler.read_response();
+    assert_eq!(status, 408, "{}", String::from_utf8_lossy(&body));
+    assert!(
+        String::from_utf8_lossy(&body).contains("timed out"),
+        "{}",
+        String::from_utf8_lossy(&body)
+    );
+    // A rejected request always closes, and says so.
+    assert_eq!(connection_header(&headers), "close");
+    trickler.expect_eof();
+    // The deadline ran from the first byte: the 408 landed well before
+    // a per-byte-reset clock would have allowed.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "408 took {:?}",
+        started.elapsed()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn half_closed_peer_still_receives_its_response() {
+    let handle = serve(test_state(), "127.0.0.1:0", reactor_config()).unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    // Full request, then FIN: the server must still answer (and close,
+    // since nothing further can arrive).
+    client.get(&format!("/sparql?query={}", percent_encode(QUERY)));
+    client.stream.shutdown(Shutdown::Write).unwrap();
+    let (status, _, body) = client.read_response();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("bindings"));
+    client.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn half_closed_peer_with_partial_request_is_dropped_silently() {
+    let handle = serve(test_state(), "127.0.0.1:0", reactor_config()).unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    // EOF before a complete request: the blocking front-end's "client
+    // vanished" contract — no response bytes at all.
+    client.send("GET /hea");
+    client.stream.shutdown(Shutdown::Write).unwrap();
+    client.expect_eof();
+    assert_eq!(handle.counters().served, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn request_cap_closes_the_connection_with_connection_close() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_requests_per_conn: 2,
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    client.get("/health");
+    let (_, headers, _) = client.read_response();
+    assert_eq!(connection_header(&headers), "keep-alive");
+
+    client.get("/health");
+    let (_, headers, _) = client.read_response();
+    assert_eq!(connection_header(&headers), "close");
+    client.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn queue_overflow_sheds_per_request_with_503() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            handler_delay: Duration::from_millis(150),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..12)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
+                client.get(&format!("/sparql?query={}", percent_encode(QUERY)));
+                let (status, headers, body) = client.read_response();
+                if status == 503 {
+                    // The shed is byte-compatible with the blocking
+                    // front-end's 503 and always closes.
+                    assert_eq!(body, b"server overloaded, retry later\n");
+                    assert_eq!(connection_header(&headers), "close");
+                    assert!(headers.iter().any(|(n, v)| n == "retry-after" && v == "1"));
+                    client.expect_eof();
+                }
+                status
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    assert!(statuses.contains(&503), "no request was shed: {statuses:?}");
+    assert!(
+        statuses.contains(&200),
+        "no request succeeded: {statuses:?}"
+    );
+    assert!(statuses.iter().all(|s| matches!(s, 200 | 503)));
+    assert!(handle.counters().shed >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_new_connections_with_503() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 2,
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Fill the cap with two live connections (reading a response proves
+    // each is fully admitted, not still in the accept queue).
+    let mut first = KeepAliveClient::connect(addr);
+    first.get("/health");
+    assert_eq!(first.read_response().0, 200);
+    let mut second = KeepAliveClient::connect(addr);
+    second.get("/health");
+    assert_eq!(second.read_response().0, 200);
+
+    // The third connection is turned away at the door.
+    let mut third = KeepAliveClient::connect(addr);
+    let (status, headers, body) = third.read_response();
+    assert_eq!(status, 503);
+    assert_eq!(body, b"server overloaded, retry later\n");
+    assert_eq!(connection_header(&headers), "close");
+    third.expect_eof();
+    assert!(handle.counters().shed >= 1);
+
+    // Freeing a slot re-opens the door.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = KeepAliveClient::connect(addr);
+        retry.get("/health");
+        let (status, _, _) = retry.read_response();
+        if status == 200 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after closing a connection"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn rejected_requests_close_with_connection_close_and_drain_first() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            drain_timeout: Duration::from_millis(100),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Malformed request line → 400, Connection: close, EOF.
+    let mut bad = KeepAliveClient::connect(addr);
+    bad.send("NONSENSE\r\n\r\n");
+    let (status, headers, _) = bad.read_response();
+    assert_eq!(status, 400);
+    assert_eq!(connection_header(&headers), "close");
+    bad.expect_eof();
+
+    // Oversized declared body → 413 even though the body never arrives
+    // (the drain deadline bounds the wait), Connection: close, EOF.
+    let mut big = KeepAliveClient::connect(addr);
+    big.send(&format!(
+        "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        elinda_server::http::MAX_BODY + 1
+    ));
+    let (status, headers, body) = big.read_response();
+    assert_eq!(status, 413, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("too large"));
+    assert_eq!(connection_header(&headers), "close");
+    big.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_and_closes_idle_connections() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            handler_delay: Duration::from_millis(100),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // One idle keep-alive connection that must be dropped on shutdown.
+    let mut idle = KeepAliveClient::connect(addr);
+    idle.get("/health");
+    assert_eq!(idle.read_response().0, 200);
+
+    // Six slow in-flight requests that must all complete.
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
+                client.get(&format!("/sparql?query={}", percent_encode(QUERY)));
+                client.read_response()
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.counters().accepted < 7 {
+        assert!(Instant::now() < deadline, "requests were never admitted");
+        thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+
+    for client in clients {
+        let (status, headers, body) = client.join().unwrap();
+        assert_eq!(status, 200);
+        assert!(!body.is_empty());
+        // Responses written during shutdown must tell the client the
+        // connection is done.
+        assert_eq!(connection_header(&headers), "close");
+    }
+    // The idle connection was dropped, and the listener is gone.
+    idle.expect_eof();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener still accepting after shutdown"
+    );
+}
+
+#[test]
+fn five_thousand_idle_keep_alive_connections_with_a_fixed_worker_pool() {
+    if elinda_server::sys::raise_nofile(20_000).map_or(true, |limit| limit < 12_000) {
+        eprintln!("skipping: cannot raise RLIMIT_NOFILE high enough");
+        return;
+    }
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            max_connections: 8192,
+            keep_alive_timeout: Duration::from_secs(120),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    const CONNS: usize = 5000;
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => panic!("connect {i} failed: {e}"),
+        }
+    }
+
+    // Wait until the reactor has registered all of them.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut probe = KeepAliveClient::connect(addr);
+        probe.get("/metrics");
+        let (status, _, body) = probe.read_response();
+        assert_eq!(status, 200);
+        let text = String::from_utf8(body).unwrap();
+        let open: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("elinda_server_connections_open "))
+            .expect("connections_open gauge")
+            .parse()
+            .unwrap();
+        if open >= CONNS as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {open}/{CONNS} connections registered"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // With 5k idle sockets parked on the reactor, the fixed pool still
+    // serves promptly — including on a sample of the idle connections
+    // themselves.
+    for i in (0..CONNS).step_by(500) {
+        let stream = idle[i].try_clone().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut client = KeepAliveClient {
+            stream,
+            buf: Vec::new(),
+        };
+        client.get("/health");
+        let (status, _, body) = client.read_response();
+        assert_eq!(status, 200, "idle connection {i} failed to serve");
+        assert_eq!(body, b"ok\n");
+    }
+    drop(idle);
+    handle.shutdown();
+}
+
+/// Regression (event loop): the 408 path must drain buffered request
+/// bytes before responding, and honor the configured drain timeout —
+/// the response arrives at roughly `read_timeout + drain_timeout`, not
+/// at `read_timeout`, and survives intact.
+#[test]
+fn reactor_408_after_drain_honors_the_configured_drain_timeout() {
+    let read_timeout = Duration::from_millis(200);
+    let drain_timeout = Duration::from_millis(600);
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout,
+            drain_timeout,
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+
+    let started = Instant::now();
+    client.send("GET /spar");
+    let (status, headers, body) = client.read_response();
+    let elapsed = started.elapsed();
+    assert_eq!(status, 408);
+    assert_eq!(body, b"request timed out waiting for the client\n");
+    assert_eq!(connection_header(&headers), "close");
+    assert!(
+        elapsed >= read_timeout + drain_timeout - Duration::from_millis(50),
+        "408 arrived after {elapsed:?}: the drain window was skipped"
+    );
+    client.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn zero_byte_connection_closes_silently_at_the_idle_timeout() {
+    let handle = serve(
+        test_state(),
+        "127.0.0.1:0",
+        ServerConfig {
+            keep_alive_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(400),
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let mut client = KeepAliveClient::connect(handle.local_addr());
+    // Never send a byte: no request is in progress, so the idle clock
+    // (not the 408 request deadline) applies and the close is silent.
+    client.expect_eof();
+    handle.shutdown();
+}
+
+#[test]
+fn serve_fails_fast_when_event_loop_is_unsupported() {
+    // On targets with epoll the reactor must come up; the stub target
+    // must fail `serve` synchronously instead of dying in a thread.
+    match serve(test_state(), "127.0.0.1:0", reactor_config()) {
+        Ok(handle) => {
+            assert!(
+                elinda_server::sys::supported(),
+                "event loop came up without an epoll backend"
+            );
+            handle.shutdown();
+        }
+        Err(e) => {
+            assert!(!elinda_server::sys::supported(), "{e}");
+            assert_eq!(e.kind(), ErrorKind::Unsupported);
+        }
+    }
+}
