@@ -6,10 +6,16 @@
 //!     [--fault-profile RATE] [--fault-seed N] [--trace-sample F]
 //!     [--session] [--write-rate F]
 //!     [--rate RPS] [--event-loop] [--bench-json PATH]
+//!     [--coordinator HOST:PORT]
 //! ```
 //!
 //! Without `--addr` it spins up an in-process `elinda-server` over a
-//! paper-shape synthetic store and drives that. Each client thread runs
+//! paper-shape synthetic store and drives that. `--coordinator
+//! HOST:PORT` targets an external shard-fabric coordinator instead:
+//! like `--addr`, but the report separates **explicitly degraded**
+//! outcomes (a 200 served by a degradation rung, or a typed 504) from
+//! hard errors, so a chaos run can assert that shard loss never
+//! produced a non-degraded failure. Each client thread runs
 //! a closed loop — connect, send one `GET /sparql` request, read the
 //! full response, repeat — so offered load tracks service capacity.
 //!
@@ -83,6 +89,9 @@ struct Args {
     event_loop: bool,
     /// Write a machine-readable benchmark snapshot to this path.
     bench_json: Option<String>,
+    /// Drive an external shard-fabric coordinator at this address;
+    /// degraded outcomes are then tallied separately from errors.
+    coordinator: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -101,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         rate: None,
         event_loop: false,
         bench_json: None,
+        coordinator: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -164,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--event-loop" => args.event_loop = true,
             "--bench-json" => args.bench_json = Some(value("--bench-json")?),
+            "--coordinator" => args.coordinator = Some(value("--coordinator")?),
             "--write-rate" => {
                 args.write_rate = value("--write-rate")?
                     .parse::<f64>()
@@ -182,7 +193,9 @@ fn parse_args() -> Result<Args, String> {
                      [--rate RPS (open loop: fixed arrival rate, keep-alive connections, \
                      latency from intended send time)] \
                      [--event-loop (host the in-process server on the epoll reactor)] \
-                     [--bench-json PATH (write a JSON benchmark snapshot)]"
+                     [--bench-json PATH (write a JSON benchmark snapshot)] \
+                     [--coordinator HOST:PORT (drive a shard-fabric coordinator; \
+                     tally degraded outcomes separately from errors)]"
                         .into(),
                 )
             }
@@ -397,6 +410,11 @@ impl OpenLoopConn {
 struct OpenTally {
     sent: u64,
     shed: u64,
+    /// Explicitly degraded outcomes: a 200 answered by a degradation
+    /// rung (`X-Elinda-Served-By: degraded-*`) or a typed 504. Under a
+    /// shard-fabric chaos run these are the *contractual* responses to
+    /// shard loss; anything in `errors` is a real failure.
+    degraded: u64,
     errors: u64,
     samples: Vec<(Duration, Sample)>,
 }
@@ -435,15 +453,14 @@ fn open_loop_client(
         match conn.exchange(target) {
             Ok((200, component)) => {
                 let latency = Instant::now().duration_since(intended);
-                tally.samples.push((
-                    offset,
-                    Sample {
-                        component: component.unwrap_or_else(|| "unknown".into()),
-                        latency,
-                    },
-                ));
+                let component = component.unwrap_or_else(|| "unknown".into());
+                if component.starts_with("degraded") {
+                    tally.degraded += 1;
+                }
+                tally.samples.push((offset, Sample { component, latency }));
             }
             Ok((503, _)) => tally.shed += 1,
+            Ok((504, _)) => tally.degraded += 1,
             Ok(_) | Err(()) => tally.errors += 1,
         }
     }
@@ -545,7 +562,9 @@ fn run_open_loop(
     targets: &[String],
     server: Option<ServerHandle>,
 ) {
-    let front_end = if args.addr.is_some() {
+    let front_end = if args.coordinator.is_some() {
+        "fabric-coordinator"
+    } else if args.addr.is_some() {
         "external"
     } else if args.event_loop {
         "event-loop"
@@ -574,7 +593,7 @@ fn run_open_loop(
         .collect();
     let elapsed = start.elapsed();
 
-    let (mut sent, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let (mut sent, mut shed, mut degraded, mut errors) = (0u64, 0u64, 0u64, 0u64);
     let mut all = Vec::new();
     let mut cold = Vec::new();
     let mut warm = Vec::new();
@@ -583,6 +602,7 @@ fn run_open_loop(
     for tally in tallies {
         sent += tally.sent;
         shed += tally.shed;
+        degraded += tally.degraded;
         errors += tally.errors;
         for (offset, sample) in tally.samples {
             all.push(sample.latency);
@@ -609,7 +629,8 @@ fn run_open_loop(
     let warm = summarize(&mut warm);
     println!(
         "\nopen loop: offered {rate:.1} req/s, achieved {achieved:.1} req/s | \
-         {sent} sent, {ok} ok, {shed} shed (503), {errors} errors over {:.2}s",
+         {sent} sent, {ok} ok, {shed} shed (503), {degraded} degraded, \
+         {errors} errors over {:.2}s",
         elapsed.as_secs_f64()
     );
     println!(
@@ -648,7 +669,8 @@ fn run_open_loop(
              \"config\": {{\"rate\": {rate}, \"clients\": {}, \"duration_s\": {}, \
              \"scale\": {}, \"workers\": {}, \"front_end\": \"{front_end}\"}},\n  \
              \"totals\": {{\"sent\": {sent}, \"ok\": {ok}, \"shed\": {shed}, \
-             \"errors\": {errors}, \"achieved_rps\": {achieved:.1}}},\n  \
+             \"degraded\": {degraded}, \"errors\": {errors}, \
+             \"achieved_rps\": {achieved:.1}}},\n  \
              \"latency_ms\": {},\n  \"cold\": {},\n  \"warm\": {}\n}}\n",
             args.clients,
             args.duration.as_secs_f64(),
@@ -689,7 +711,7 @@ fn fmt_latency(d: Duration) -> String {
 }
 
 fn main() {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
@@ -729,6 +751,24 @@ fn main() {
     if args.event_loop && args.addr.is_some() {
         eprintln!("--event-loop requires the in-process server (drop --addr)");
         std::process::exit(2);
+    }
+    if let Some(coordinator) = &args.coordinator {
+        // The coordinator is an external server; everything that holds
+        // for `--addr` holds here, so fold it into the same path.
+        if args.addr.is_some() {
+            eprintln!("--coordinator and --addr are mutually exclusive");
+            std::process::exit(2);
+        }
+        if args.event_loop {
+            eprintln!("--event-loop requires the in-process server (drop --coordinator)");
+            std::process::exit(2);
+        }
+        if args.write_rate > 0.0 {
+            eprintln!("--write-rate targets the local write path; the coordinator has none");
+            std::process::exit(2);
+        }
+        eprintln!("driving shard-fabric coordinator at http://{coordinator}");
+        args.addr = Some(coordinator.clone());
     }
     let queries: Vec<String> = if args.session {
         // A correlated exploration path: drill from the root class into
@@ -1026,6 +1066,13 @@ fn main() {
                 );
             }
         }
+    }
+
+    if args.coordinator.is_some() {
+        println!(
+            "fabric degradation: {degraded} degraded 200s, {timeouts} typed 504s, \
+             {upstream} upstream 502s across {ok} ok responses"
+        );
     }
 
     if args.fault_profile.is_some() {

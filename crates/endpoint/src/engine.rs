@@ -27,6 +27,9 @@ pub enum ServedBy {
     /// Incremental evaluation seeded from a cached parent entity
     /// frontier instead of a whole-store instance derivation.
     Incremental,
+    /// The shard fabric: a coordinator scattered the chart query across
+    /// real shard processes and merged their partial aggregates.
+    Fabric,
     /// Degraded: a stale (epoch-tagged) last-known-good cache entry,
     /// served because the backend was unavailable or the budget spent.
     DegradedStale,

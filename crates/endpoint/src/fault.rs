@@ -8,6 +8,13 @@
 //! **reproducible**: the fault assigned to the `n`-th request is a pure
 //! function of `(seed, n)`, with burst state layered deterministically
 //! on top.
+//!
+//! The same profiles apply beyond the simulated wire: a
+//! [`FaultInjector`] attached to the shard fabric's
+//! [`ShardClient`](crate::fabric::ShardClient) injects its faults into
+//! *real* TCP shard connections — a connection error fails the exchange
+//! before the send, a timeout stalls then fails within the deadline, and
+//! a malformed-body fault corrupts the received partial.
 
 use crate::resilience::splitmix64;
 use std::sync::atomic::{AtomicU64, Ordering};

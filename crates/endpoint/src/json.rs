@@ -34,7 +34,9 @@ impl std::error::Error for JsonError {}
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn escape_json(out: &mut String, s: &str) {
+/// Append `s` to `out` with JSON string escaping (shared with the
+/// fabric's partial-aggregate wire encoder).
+pub(crate) fn escape_json(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -31,6 +31,7 @@ pub mod cache;
 pub mod decomposer;
 pub mod direct;
 pub mod engine;
+pub mod fabric;
 pub mod fault;
 pub mod hvs;
 pub mod incremental;
@@ -48,6 +49,10 @@ pub use cache::{normalize_query_text, CacheConfig, CacheStats, ResultCache};
 pub use decomposer::{recognize_property_expansion, PropertyExpansionQuery};
 pub use direct::DirectEndpoint;
 pub use engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
+pub use fabric::{
+    FabricConfig, FabricCoordinator, FabricStats, ShardClient, ShardClientStats, ShardEvaluator,
+    ShardPartial,
+};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use hvs::{HeavyQueryStore, HvsConfig, HvsStats, StaleEntry};
 pub use incremental::{IncrementalConfig, IncrementalPropertyChart, PartialChart};

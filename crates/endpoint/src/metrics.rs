@@ -103,6 +103,7 @@ struct MetricsInner {
     incremental: LatencySummary,
     degraded_stale: LatencySummary,
     degraded_local: LatencySummary,
+    fabric: LatencySummary,
 }
 
 impl MetricsInner {
@@ -116,6 +117,7 @@ impl MetricsInner {
             ServedBy::Incremental => &mut self.incremental,
             ServedBy::DegradedStale => &mut self.degraded_stale,
             ServedBy::DegradedLocal => &mut self.degraded_local,
+            ServedBy::Fabric => &mut self.fabric,
         }
     }
 }

@@ -21,6 +21,11 @@
 //! replay byte-identically. All simulated waiting respects the caller's
 //! [`Deadline`](crate::resilience::Deadline): a stalled backend turns
 //! into an explicit timeout, never an unbounded hang.
+//!
+//! The *simulated* wire here is the single-process stand-in; the shard
+//! fabric ([`crate::fabric`]) promotes the same encode/decode discipline
+//! to pooled keep-alive HTTP connections over real TCP, scattering
+//! decomposed chart queries to real shard processes.
 
 use crate::engine::{QueryContext, QueryEngine, QueryOutcome, ServeError, ServedBy};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};

@@ -16,6 +16,10 @@
 //!                                 [--store-dir DIR] [--load FILE.nt]
 //!                                 [--wal DIR] [--wal-sync always|never|interval[:MS]]
 //!                                 [--wal-group-commit-us N]
+//!                                 [--shard-role coordinator|shard]
+//!                                 [--coordinator ADDR1,ADDR2,...]
+//!                                 [--shard-map N] [--shard-id I]
+//!                                 [--breaker-cooldown-ms N]
 //! ```
 //!
 //! Where the store comes from, in priority order:
@@ -42,14 +46,28 @@
 //! segments once the folded base is durably persisted, so kill-at-any-
 //! instant recovers to exactly the acked prefix.
 //!
+//! The **shard fabric** splits chart evaluation across processes.
+//! `--shard-role shard --shard-map N --shard-id I` makes this process
+//! shard `I` of a static map of `N`: it loads the dataset through the
+//! ordinary bootstrap, partitions it by the standard subject hash, and
+//! answers `POST /shard/eval` with partial aggregates over partition
+//! `I`. `--shard-role coordinator --coordinator A1,A2,...` makes this
+//! process the scatter-gather coordinator over that fleet (entry `i` of
+//! the list must be shard `i`): recognized chart queries scatter to all
+//! shards and the merged result is byte-identical to single-process
+//! serving; everything else is served locally. Every process in the
+//! fabric must bootstrap the identical dataset (same `--scale`/`--load`
+//! input). The coordinator has no write path — `POST /update` answers
+//! 503 — so `--wal` is rejected in coordinator role.
+//!
 //! Runs until stdin is closed or a line reading `quit` arrives (there is
 //! no dependency-free portable signal handling), then drains in-flight
 //! requests and exits.
 
 use elinda_datagen::{generate_dbpedia, DbpediaConfig};
 use elinda_endpoint::{
-    BreakerConfig, CacheConfig, EndpointConfig, NoveltyConfig, Parallelism, ResilienceConfig,
-    RetryPolicy,
+    BreakerConfig, CacheConfig, EndpointConfig, FabricConfig, NoveltyConfig, Parallelism,
+    ResilienceConfig, RetryPolicy,
 };
 use elinda_server::{serve, ServerConfig, ServerState};
 use elinda_store::{
@@ -116,6 +134,19 @@ struct Args {
     /// How long shed / rejected-request paths drain leftover client
     /// bytes before answering, in milliseconds.
     drain_timeout_ms: u64,
+    /// Fabric role: `coordinator` scatters chart queries across the
+    /// fleet, `shard` serves partial aggregates for one partition.
+    shard_role: Option<String>,
+    /// Coordinator role: comma-separated shard addresses in shard-id
+    /// order.
+    coordinator: Option<String>,
+    /// Shard role: total shards in the static map.
+    shard_map: Option<usize>,
+    /// Shard role: this process's partition index.
+    shard_id: Option<usize>,
+    /// Circuit-breaker open-state cooldown in milliseconds (applies to
+    /// both the serving breaker and the per-shard fabric breakers).
+    breaker_cooldown_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -144,6 +175,11 @@ fn parse_args() -> Result<Args, String> {
         keep_alive_timeout_ms: ServerConfig::default().keep_alive_timeout.as_millis() as u64,
         max_requests_per_conn: ServerConfig::default().max_requests_per_conn,
         drain_timeout_ms: ServerConfig::default().drain_timeout.as_millis() as u64,
+        shard_role: None,
+        coordinator: None,
+        shard_map: None,
+        shard_id: None,
+        breaker_cooldown_ms: BreakerConfig::default().open_cooldown.as_millis() as u64,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -250,6 +286,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--drain-timeout-ms: {e}"))?
             }
+            "--shard-role" => args.shard_role = Some(value("--shard-role")?),
+            "--coordinator" => args.coordinator = Some(value("--coordinator")?),
+            "--shard-map" => {
+                args.shard_map = Some(
+                    value("--shard-map")?
+                        .parse()
+                        .map_err(|e| format!("--shard-map: {e}"))?,
+                )
+            }
+            "--shard-id" => {
+                args.shard_id = Some(
+                    value("--shard-id")?
+                        .parse()
+                        .map_err(|e| format!("--shard-id: {e}"))?,
+                )
+            }
+            "--breaker-cooldown-ms" => {
+                args.breaker_cooldown_ms = value("--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|e| format!("--breaker-cooldown-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: elinda-serve [--addr HOST:PORT] [--workers N] \
                      [--queue-depth N] [--scale F] [--shards N] \
@@ -270,10 +327,69 @@ fn parse_args() -> Result<Args, String> {
                      [--max-connections N (event-loop connection cap)] \
                      [--keep-alive-timeout-ms N (idle connection close)] \
                      [--max-requests-per-conn N (close after N requests)] \
-                     [--drain-timeout-ms N (rejected-request drain bound)]"
+                     [--drain-timeout-ms N (rejected-request drain bound)] \
+                     [--shard-role coordinator|shard (fabric role)] \
+                     [--coordinator ADDR1,ADDR2,... (shard fleet, shard-id order)] \
+                     [--shard-map N (total shards)] [--shard-id I (this partition)] \
+                     [--breaker-cooldown-ms N (breaker open-state cooldown)]"
                     .into())
             }
             other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    match args.shard_role.as_deref() {
+        None => {
+            if args.coordinator.is_some() {
+                return Err("--coordinator requires --shard-role coordinator".into());
+            }
+            if args.shard_map.is_some() || args.shard_id.is_some() {
+                return Err("--shard-map/--shard-id require --shard-role shard".into());
+            }
+        }
+        Some("coordinator") => {
+            let fleet = args
+                .coordinator
+                .as_deref()
+                .ok_or("--shard-role coordinator requires --coordinator ADDR1,ADDR2,...")?;
+            if fleet.split(',').all(|a| a.trim().is_empty()) {
+                return Err("--coordinator: the shard address list is empty".into());
+            }
+            if args.shard_map.is_some() || args.shard_id.is_some() {
+                return Err(
+                    "--shard-map/--shard-id are shard-role flags; the coordinator's \
+                     map is the --coordinator address list"
+                        .into(),
+                );
+            }
+            if args.wal.is_some() {
+                return Err("--wal is incompatible with --shard-role coordinator: the \
+                     coordinator has no write path to log"
+                    .into());
+            }
+        }
+        Some("shard") => {
+            let map = args
+                .shard_map
+                .ok_or("--shard-role shard requires --shard-map N")?;
+            let id = args
+                .shard_id
+                .ok_or("--shard-role shard requires --shard-id I")?;
+            if map == 0 {
+                return Err("--shard-map: the shard map must name at least one shard".into());
+            }
+            if id >= map {
+                return Err(format!(
+                    "--shard-id: {id} is out of range for a map of {map} shards"
+                ));
+            }
+            if args.coordinator.is_some() {
+                return Err("--coordinator is a coordinator-role flag".into());
+            }
+        }
+        Some(other) => {
+            return Err(format!(
+                "--shard-role: `{other}` is not a role (expected coordinator or shard)"
+            ))
         }
     }
     Ok(args)
@@ -404,7 +520,7 @@ fn main() {
             } else {
                 u32::MAX
             },
-            ..BreakerConfig::default()
+            open_cooldown: Duration::from_millis(args.breaker_cooldown_ms),
         },
         ..ResilienceConfig::default()
     };
@@ -421,12 +537,53 @@ fn main() {
     let novelty_config = NoveltyConfig {
         max_triples: args.novelty_max_triples,
     };
-    let mut state = match backend {
-        Some(backend) => {
-            ServerState::with_backend(backend, endpoint_config, resilience, novelty_config)
+    let mut state = if args.shard_role.as_deref() == Some("coordinator") {
+        // parse_args guarantees a non-empty address list in this role.
+        let fleet: Vec<String> = args
+            .coordinator
+            .as_deref()
+            .unwrap_or("")
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        eprintln!(
+            "shard-fabric: coordinator scattering to {} shards: {}",
+            fleet.len(),
+            fleet.join(",")
+        );
+        let mut fabric_config = FabricConfig::new(fleet);
+        // One breaker policy for the whole stack: the per-shard fabric
+        // breakers trip and cool down like the serving breaker.
+        fabric_config.breaker = resilience.breaker;
+        if let Some(deadline) = deadline {
+            fabric_config.request_timeout = deadline;
         }
-        None => ServerState::with_write_config(store, endpoint_config, resilience, novelty_config),
+        ServerState::with_fabric(store, fabric_config, endpoint_config, resilience)
+    } else {
+        match backend {
+            Some(backend) => {
+                ServerState::with_backend(backend, endpoint_config, resilience, novelty_config)
+            }
+            None => {
+                ServerState::with_write_config(store, endpoint_config, resilience, novelty_config)
+            }
+        }
     };
+    if args.shard_role.as_deref() == Some("shard") {
+        // parse_args guarantees both values in this role.
+        let (id, map) = (args.shard_id.unwrap_or(0), args.shard_map.unwrap_or(1));
+        if let Err(e) = state.enable_shard_eval(id, map) {
+            eprintln!("failed to enable shard role: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "shard-fabric: shard {id} of {map} ({} partition triples)",
+            state
+                .shard_evaluator()
+                .map_or(0, |evaluator| evaluator.partition_len())
+        );
+    }
     if let Some(dir) = &args.wal {
         let wal_config = WalConfig {
             sync: args.wal_sync,
@@ -507,7 +664,7 @@ fn main() {
         );
     }
     eprintln!(
-        "routes: /sparql /update /health /metrics /explain /debug/trace/<id> — \
+        "routes: /sparql /update /shard/eval /health /metrics /explain /debug/trace/<id> — \
          type `quit` (or close stdin) to stop"
     );
 

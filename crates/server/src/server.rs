@@ -622,7 +622,8 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("GET", "/explain") => explain(request, shared),
         ("GET", "/sparql") | ("POST", "/sparql") => sparql(request, shared),
         ("POST", "/update") => update(request, shared),
-        (_, "/health" | "/metrics" | "/sparql" | "/explain" | "/update") => {
+        ("POST", "/shard/eval") => shard_eval(request, shared),
+        (_, "/health" | "/metrics" | "/sparql" | "/explain" | "/update" | "/shard/eval") => {
             Response::text(405, "method not allowed\n")
         }
         _ => Response::text(404, "not found\n"),
@@ -799,6 +800,44 @@ fn sparql(request: &Request, shared: &Shared) -> Response {
         }
         Err(ServeError::Malformed(msg)) => {
             Response::text(400, format!("malformed request: {msg}\n"))
+        }
+    };
+    response.header("X-Request-Id", request_id)
+}
+
+/// The fabric's internal partial-aggregate route: a shard-role process
+/// answers a decomposed chart query with a text-keyed partial over its
+/// own subject-hash partition. A process not running in shard role has
+/// nothing behind this path and answers 404.
+fn shard_eval(request: &Request, shared: &Shared) -> Response {
+    let seq = shared.request_seq.fetch_add(1, Ordering::Relaxed);
+    let request_id = request
+        .header("x-request-id")
+        .filter(|id| valid_request_id(id))
+        .map(str::to_string)
+        .unwrap_or_else(|| generate_request_id(seq));
+    let Some(evaluator) = shared.state.shard_evaluator() else {
+        return Response::text(404, "not serving a shard role\n")
+            .header("X-Request-Id", request_id);
+    };
+    let Some(query) = query_text(request) else {
+        return Response::text(400, "missing required `query` parameter\n")
+            .header("X-Request-Id", request_id);
+    };
+    let response = match evaluator.eval(&query) {
+        Ok(body) => Response::json(200, body),
+        Err(ServeError::Malformed(msg)) => {
+            Response::text(400, format!("malformed request: {msg}\n"))
+        }
+        Err(ServeError::Query(e)) => Response::text(400, format!("query error: {e}\n")),
+        Err(ServeError::DeadlineExceeded) => {
+            Response::text(504, "deadline exceeded before an answer was produced\n")
+        }
+        Err(ServeError::Unavailable(msg)) => {
+            Response::text(503, format!("backend unavailable: {msg}\n"))
+        }
+        Err(ServeError::Transient(msg)) => {
+            Response::text(502, format!("upstream failure: {msg}\n"))
         }
     };
     response.header("X-Request-Id", request_id)

@@ -11,10 +11,11 @@
 use elinda_endpoint::json::encode_solutions;
 use elinda_endpoint::resilience::Deadline;
 use elinda_endpoint::{
-    decode_update, encode_update, ApplyOutcome, CompactionReport, ElindaEndpoint, EndpointConfig,
-    ExplainReport, LatencySummary, MeteredEndpoint, NoveltyConfig, NoveltyStats, NoveltyStore,
-    QueryContext, QueryEngine, ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError,
-    ServedBy, StageStats, TraceCtx, TraceRing,
+    decode_update, encode_update, ApplyOutcome, BreakerState, CompactionReport, ElindaEndpoint,
+    EndpointConfig, ExplainReport, FabricConfig, FabricCoordinator, LatencySummary,
+    MeteredEndpoint, NoveltyConfig, NoveltyStats, NoveltyStore, QueryContext, QueryEngine,
+    ResilienceConfig, ResilienceStats, ResilientEndpoint, ServeError, ServedBy, ShardEvaluator,
+    StageStats, TraceCtx, TraceRing,
 };
 use elinda_sparql::parse_update;
 use elinda_store::{StoreBackend, TripleStore, Wal, WalError, WalRecovery};
@@ -27,13 +28,14 @@ use std::time::Duration;
 pub const TRACE_RING_CAPACITY: usize = 64;
 
 /// The serving components, in /metrics and report order.
-pub const COMPONENTS: [ServedBy; 8] = [
+pub const COMPONENTS: [ServedBy; 9] = [
     ServedBy::Direct,
     ServedBy::Hvs,
     ServedBy::Decomposer,
     ServedBy::Remote,
     ServedBy::CacheHit,
     ServedBy::Incremental,
+    ServedBy::Fabric,
     ServedBy::DegradedStale,
     ServedBy::DegradedLocal,
 ];
@@ -48,6 +50,7 @@ pub fn served_by_name(component: ServedBy) -> &'static str {
         ServedBy::Remote => "remote",
         ServedBy::CacheHit => "cache-hit",
         ServedBy::Incremental => "incremental",
+        ServedBy::Fabric => "fabric",
         ServedBy::DegradedStale => "degraded-stale",
         ServedBy::DegradedLocal => "degraded-local",
     }
@@ -83,6 +86,12 @@ pub struct ServerState {
     /// What WAL recovery replayed at startup, frozen for `/metrics`.
     wal_replay: WalReplayReport,
     endpoint: MeteredEndpoint<ResilientEndpoint>,
+    /// The scatter-gather coordinator, kept aside for the
+    /// `elinda_fabric_*` metrics. `Some` only in coordinator role.
+    fabric: Option<Arc<FabricCoordinator>>,
+    /// The shard-side partial-aggregate evaluator behind
+    /// `POST /shard/eval`. `Some` only in shard role.
+    shard_eval: Option<Arc<ShardEvaluator>>,
     traces: TraceRing,
     stage_stats: StageStats,
     persist_stats: PersistStats,
@@ -158,6 +167,8 @@ impl ServerState {
             wal: None,
             wal_replay: WalReplayReport::default(),
             endpoint: MeteredEndpoint::new(resilient),
+            fabric: None,
+            shard_eval: None,
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
             persist_stats: PersistStats::default(),
@@ -269,10 +280,73 @@ impl ServerState {
             wal: None,
             wal_replay: WalReplayReport::default(),
             endpoint: MeteredEndpoint::new(resilient),
+            fabric: None,
+            shard_eval: None,
             traces: TraceRing::new(TRACE_RING_CAPACITY),
             stage_stats: StageStats::new(),
             persist_stats: PersistStats::default(),
         }
+    }
+
+    /// Build coordinator-role serving state: the primary engine is a
+    /// [`FabricCoordinator`] scattering recognized chart queries across
+    /// the shard fleet, with the local eLinda router both as its
+    /// delegate for non-chart queries and as the degradation-ladder
+    /// fallback when the gather fails — the "partial coverage →
+    /// stale/local fallback" rung. Coordinator state has no write path:
+    /// shard processes each hold their own copy of the dataset, so a
+    /// local-only update would silently diverge the fleet.
+    pub fn with_fabric(
+        store: Arc<TripleStore>,
+        fabric: FabricConfig,
+        config: EndpointConfig,
+        resilience: ResilienceConfig,
+    ) -> ServerState {
+        let router = Arc::new(ElindaEndpoint::new(Arc::clone(&store), config));
+        let coordinator = Arc::new(FabricCoordinator::new(
+            Arc::clone(&store),
+            fabric,
+            Box::new(Arc::clone(&router)),
+        ));
+        let mut resilient = ResilientEndpoint::new(Box::new(Arc::clone(&coordinator)), resilience)
+            .with_fallback(Box::new(Arc::clone(&router)));
+        if let Some(cache) = router.result_cache() {
+            resilient = resilient.with_stale_source(Arc::clone(cache));
+        }
+        ServerState {
+            store,
+            router: Some(router),
+            novelty: None,
+            backend: None,
+            wal: None,
+            wal_replay: WalReplayReport::default(),
+            endpoint: MeteredEndpoint::new(resilient),
+            fabric: Some(coordinator),
+            shard_eval: None,
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
+            stage_stats: StageStats::new(),
+            persist_stats: PersistStats::default(),
+        }
+    }
+
+    /// Switch this state into shard role: partition the loaded store as
+    /// shard `shard_id` of `num_shards` and start answering
+    /// `POST /shard/eval` with partial aggregates over that partition.
+    /// The ordinary read path keeps serving the full local store.
+    pub fn enable_shard_eval(&mut self, shard_id: usize, num_shards: usize) -> Result<(), String> {
+        let evaluator = ShardEvaluator::new(Arc::clone(&self.store), shard_id, num_shards)?;
+        self.shard_eval = Some(Arc::new(evaluator));
+        Ok(())
+    }
+
+    /// The scatter-gather coordinator, in coordinator role.
+    pub fn fabric(&self) -> Option<&Arc<FabricCoordinator>> {
+        self.fabric.as_ref()
+    }
+
+    /// The shard-side partial-aggregate evaluator, in shard role.
+    pub fn shard_evaluator(&self) -> Option<&Arc<ShardEvaluator>> {
+        self.shard_eval.as_ref()
     }
 
     /// The shared store.
@@ -689,6 +763,53 @@ impl ServerState {
                 out.push_str(&format!("elinda_cache_entries {}\n", router.cache_len()));
                 out.push_str(&format!("elinda_cache_bytes {}\n", router.cache_bytes()));
             }
+        }
+        if let Some(fabric) = self.fabric.as_ref() {
+            let stats = fabric.stats();
+            out.push_str("elinda_fabric_role{role=\"coordinator\"} 1\n");
+            out.push_str(&format!("elinda_fabric_shards {}\n", fabric.num_shards()));
+            for (name, value) in [
+                ("scatter_queries_total", stats.scattered),
+                ("gathered_total", stats.gathered),
+                ("gather_failures_total", stats.gather_failures),
+                ("local_queries_total", stats.local),
+            ] {
+                out.push_str(&format!("elinda_fabric_{name} {value}\n"));
+            }
+            for (i, client) in fabric.clients().iter().enumerate() {
+                let s = client.stats();
+                for (name, value) in [
+                    ("requests", s.requests),
+                    ("failures", s.failures),
+                    ("reconnects", s.reconnects),
+                    ("breaker_rejected", s.breaker_rejected),
+                ] {
+                    out.push_str(&format!(
+                        "elinda_fabric_shard_{name}_total{{shard=\"{i}\"}} {value}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "elinda_fabric_shard_breaker_open{{shard=\"{i}\"}} {}\n",
+                    u8::from(client.breaker().state() == BreakerState::Open)
+                ));
+            }
+        }
+        if let Some(eval) = self.shard_eval.as_ref() {
+            out.push_str("elinda_fabric_role{role=\"shard\"} 1\n");
+            out.push_str(&format!("elinda_fabric_shard_id {}\n", eval.shard_id()));
+            out.push_str(&format!("elinda_fabric_shards {}\n", eval.num_shards()));
+            out.push_str(&format!(
+                "elinda_fabric_partition_triples {}\n",
+                eval.partition_len()
+            ));
+            out.push_str(&format!(
+                "elinda_fabric_partials_total {}\n",
+                eval.partials_served()
+            ));
+            out.push_str(&format!(
+                "elinda_fabric_partial_rejects_total {}\n",
+                eval.rejects()
+            ));
         }
         if let Some(stats) = self.novelty_stats() {
             out.push_str(&format!("elinda_updates_total {}\n", stats.updates));
